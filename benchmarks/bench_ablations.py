@@ -1,0 +1,36 @@
+"""Benchmarks: the ablation studies of DESIGN.md §5."""
+
+
+def test_ablation_complete_graph(run_experiment):
+    result = run_experiment("ablation_complete_graph")
+    for row in result.rows:
+        if row["raw_graph_cost"] is not None:
+            assert row["raw_graph_cost"] >= row["closure_cost"] - 1e-9
+
+
+def test_ablation_dp_backends(run_experiment):
+    result = run_experiment("ablation_dp_backends")
+    for row in result.rows:
+        # paper mode == the pseudocode reference; second-best never worse
+        # per instance is not guaranteed, but the reference must agree
+        assert abs(row["paper_mode"] - row["reference"]) < 1e-9
+
+
+def test_ablation_frontiers(run_experiment):
+    result = run_experiment("ablation_frontiers")
+    for row in result.rows:
+        assert row["mpareto"] >= row["optimal"] - 1e-6
+        assert row["mpareto"] <= row["endpoints_only"] + 1e-6
+
+
+def test_ablation_mu(run_experiment):
+    result = run_experiment("ablation_mu")
+    moves = [row["vnfs_moved"] for row in result.rows]
+    # more expensive migration => no more moves than cheaper migration
+    assert all(a >= b for a, b in zip(moves, moves[1:]))
+
+
+def test_ablation_dynamics(run_experiment):
+    result = run_experiment("ablation_dynamics")
+    for row in result.rows:
+        assert row["fresh_day_cost"] <= row["stale_day_cost"] + 1e-6

@@ -1,0 +1,36 @@
+"""Benchmarks: the paper's Section VII future-work extensions."""
+
+
+def test_ext_replication(run_experiment):
+    result = run_experiment("ext_replication")
+    by_name = {row["strategy"]: row["day_cost"] for row in result.rows}
+    # more copies never hurt a static deployment
+    reps = sorted(k for k in by_name if k.startswith("replicas"))
+    for a, b in zip(reps, reps[1:]):
+        assert by_name[b] <= by_name[a] + 1e-6
+    # any strategy beats never moving a stale chain
+    assert by_name["mpareto"] <= by_name["no_migration"] + 1e-6
+
+
+def test_ext_multi_sfc(run_experiment):
+    result = run_experiment("ext_multi_sfc")
+    for row in result.rows:
+        assert row["migrated_cost"] <= row["stay_cost"] + 1e-6
+
+
+def test_ext_schedules(run_experiment):
+    result = run_experiment("ext_schedules")
+    by_name = {row["policy"]: row for row in result.rows}
+    # every-hour migrates at least as often as the sparser schedules
+    assert by_name["every_hour"]["migrations"] >= by_name["periodic_3h"]["migrations"]
+    assert by_name["never"]["migrations"] == 0
+    # never-migrate pays the most (stale hour-0 chain all day)
+    worst = max(row["day_cost"] for row in result.rows)
+    assert by_name["never"]["day_cost"] == worst
+
+
+def test_ext_arrivals(run_experiment):
+    result = run_experiment("ext_arrivals")
+    by_name = {row["policy"]: row for row in result.rows}
+    assert by_name["mpareto"]["day_cost"] <= by_name["no_migration"]["day_cost"] + 1e-6
+    assert by_name["no_migration"]["vnf_moves"] == 0.0

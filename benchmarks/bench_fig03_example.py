@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Example 1 / Fig. 3 (the worked migration example)."""
+
+
+def test_fig03_example(run_experiment):
+    result = run_experiment("fig03_example")
+    totals = [row["total_cost"] for row in result.rows]
+    # the three published stage totals: 410, 1004, 416
+    assert totals == [410.0, 1004.0, 416.0]

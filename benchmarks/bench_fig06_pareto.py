@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 6(b) (parallel-frontier Pareto trace)."""
+
+
+def test_fig06_pareto(run_experiment):
+    result = run_experiment("fig06_pareto")
+    assert len(result.rows) >= 2  # at least p and p'
+    # C_b is non-decreasing along parallel frontiers by construction
+    cbs = [row["C_b"] for row in result.rows]
+    assert all(a <= b + 1e-9 for a, b in zip(cbs, cbs[1:]))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 7 (TOP-1: DP-Stroll vs Optimal vs 2+eps)."""
+
+
+def test_fig07_top1(run_experiment):
+    result = run_experiment("fig07_top1")
+    for row in result.rows:
+        if row["optimal"] is not None:
+            # DP-Stroll never beats the exact optimum and stays below the
+            # PrimalDual guarantee (the paper's headline shape)
+            assert row["dp_stroll"] >= row["optimal"] - 1e-6
+            assert row["dp_stroll"] <= row["primaldual_guarantee"] + 1e-6

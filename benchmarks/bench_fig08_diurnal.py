@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 8 (the Eq. 9 daily traffic pattern)."""
+
+
+def test_fig08_diurnal(run_experiment):
+    result = run_experiment("fig08_diurnal")
+    west = [row["tau_west"] for row in result.rows]
+    # Eq. 9 exactly: silent boundaries, 1 - tau_min peak at noon
+    assert west[0] == 0.0 and west[-1] == 0.0
+    assert abs(max(west) - 0.8) < 1e-12

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig. 9 (TOP comparison, unweighted fat tree)."""
+
+
+def test_fig09_top(run_experiment):
+    result = run_experiment("fig09_top")
+    for row in result.rows:
+        # the paper's ordering: Optimal <= DP <= both baselines (DP can tie)
+        if row.get("optimal") is not None:
+            assert row["optimal"] <= row["dp"] + 1e-6
+        assert row["dp"] <= row["steering"] + 1e-6
+        assert row["dp"] <= row["greedy"] + 1e-6

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 10 (TOP on delay-weighted PPDCs)."""
+
+
+def test_fig10_top_weighted(run_experiment):
+    result = run_experiment("fig10_top_weighted")
+    for row in result.rows:
+        if row.get("optimal") is not None:
+            assert row["optimal"] <= row["dp"] + 1e-6
+        assert row["dp"] <= row["steering"] + 1e-6
+        assert row["dp"] <= row["greedy"] + 1e-6

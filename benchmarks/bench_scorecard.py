@@ -1,0 +1,7 @@
+"""Benchmark: the executable reproduction scorecard."""
+
+
+def test_scorecard(run_experiment):
+    result = run_experiment("scorecard")
+    verdicts = [row["verdict"] for row in result.rows]
+    assert verdicts and all(v == "PASS" for v in verdicts)

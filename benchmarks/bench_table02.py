@@ -1,0 +1,6 @@
+"""Benchmark: emit Table II (the algorithm/baseline map)."""
+
+
+def test_table02(run_experiment):
+    result = run_experiment("table02_algorithms")
+    assert [row["problem"] for row in result.rows] == ["TOP-1", "TOP", "TOM"]

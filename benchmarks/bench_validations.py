@@ -1,0 +1,22 @@
+"""Benchmarks: model-premise validation experiments."""
+
+
+def test_val_link_utilization(run_experiment):
+    result = run_experiment("val_link_utilization")
+    for row in result.rows:
+        # the DP placement defines the 40% provisioning point
+        assert abs(row["dp_max_util"] - 0.4) < 1e-9
+        # chain-blind placement never concentrates traffic *less*
+        assert row["steering_max_util"] >= row["dp_max_util"] - 1e-9
+        # aggregate volume ordering matches the cost-model ordering
+        assert row["dp_total_volume"] <= row["steering_total_volume"] + 1e-6
+
+
+def test_val_gravity_dynamics(run_experiment):
+    result = run_experiment("val_gravity_dynamics")
+    by_name = {row["workload"]: row for row in result.rows}
+    # migration never loses money
+    for row in result.rows:
+        assert row["saving"] >= -1e-9
+    # skewed workloads give migration at least as much room as uniform
+    assert by_name["gravity"]["saving"] >= by_name["uniform"]["saving"] - 0.02

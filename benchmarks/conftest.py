@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one figure/table of the paper via the
+experiment registry and times the run with pytest-benchmark.  The
+regenerated table is printed (visible with ``pytest -s``) and its rows
+and notes are attached to the benchmark's ``extra_info`` so the JSON
+output of ``--benchmark-json`` carries the reproduced numbers.
+
+Scale selection: ``REPRO_BENCH_SCALE`` ∈ {smoke, default, paper},
+defaulting to ``default`` (laptop-friendly, minutes for the full suite).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run a registered experiment exactly once under the benchmark timer."""
+
+    def _run(name: str):
+        scale = bench_scale()
+        result = benchmark.pedantic(
+            get_experiment(name), args=(scale,), iterations=1, rounds=1
+        )
+        print()
+        print(result.to_table())
+        benchmark.extra_info["scale"] = scale
+        benchmark.extra_info["rows"] = result.rows
+        benchmark.extra_info["notes"] = result.notes
+        return result
+
+    return _run

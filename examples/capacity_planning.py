@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Capacity planning: does the 40 % provisioning premise survive placement?
+
+The paper assumes "enough edge bandwidths" because production links run
+around 40 % utilization [31].  This example plans capacity for a
+gravity-skewed tenant mix (hot racks, heavy-tailed Zoom-style sessions)
+under the DP placement, then asks what happens to the same fabric when a
+chain-blind baseline places the SFC instead — and renders where the DP
+put the chain.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import fat_tree
+from repro.analysis import describe_placement, render_fat_tree_placement
+from repro.baselines import steering_placement
+from repro.core import dp_placement
+from repro.routing import utilization_report
+from repro.workload.gravity import place_vm_pairs_gravity
+from repro.workload.zoom import ZoomTrafficModel
+
+
+def main() -> None:
+    topo = fat_tree(8)
+    n = 5
+    num_pairs = 96
+    flows = place_vm_pairs_gravity(topo, num_pairs, skew=1.5, seed=11)
+    flows = flows.with_rates(ZoomTrafficModel().sample(num_pairs, rng=11))
+    print(f"fabric {topo}")
+    print(f"workload: {num_pairs} gravity-skewed pairs, Zoom-style rates "
+          f"(total {flows.total_rate:,.0f})\n")
+
+    dp = dp_placement(topo, flows, n)
+    print(describe_placement(topo, flows, dp.placement))
+    print()
+    print(render_fat_tree_placement(topo, dp.placement))
+
+    # provision links so the DP placement's hottest link runs at 40%
+    dp_report = utilization_report(topo, flows, dp.placement)
+    print(f"\nprovisioned link capacity: {dp_report.capacity:,.0f} "
+          f"(hottest link at {dp_report.max_utilization:.0%})")
+    print(f"loaded links: {dp_report.num_loaded_links}/{dp_report.num_links}, "
+          f"mean utilization {dp_report.mean_utilization:.1%}")
+
+    # what the same fabric looks like under a chain-blind placement
+    steering = steering_placement(topo, flows, n)
+    st_report = utilization_report(
+        topo, flows, steering.placement, capacity=dp_report.capacity
+    )
+    print(f"\nSteering placement on the same capacity:")
+    print(f"  aggregate traffic: {steering.cost:,.0f} "
+          f"(DP: {dp.cost:,.0f}, {steering.cost / dp.cost - 1:+.0%})")
+    print(f"  hottest link: {st_report.max_utilization:.0%} of capacity")
+    print(f"  links beyond the 40% design point: "
+          f"{sum(1 for _ in st_report.overloaded)} overloaded outright"
+          if not st_report.within_provisioning
+          else "  no link exceeds capacity")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Replication vs migration — the paper's closing future-work question.
+
+Section VII asks "to which extent VNF replication could be beneficial in
+terms of dynamic traffic mitigation when compared to VNF migration".
+This example deploys 1–3 static chain copies (every flow picks its
+cheapest complete copy; nothing ever moves) and races them against
+single-chain mPareto migration over the same dynamic day.
+
+Run:  python examples/replication_study.py
+"""
+
+import numpy as np
+
+from repro import DiurnalModel, FacebookTrafficModel, assign_cohorts, fat_tree, place_vm_pairs
+from repro.core.replication import (
+    per_flow_copy_choice,
+    replicated_communication_cost,
+    replicated_placement,
+)
+from repro.core.costs import CostContext
+from repro.sim.engine import simulate_day
+from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+from repro.utils.tables import ascii_table
+from repro.workload.dynamics import RedrawnRates
+
+
+def main() -> None:
+    topo = fat_tree(8)
+    l, n, mu = 48, 5, 1e4
+    model = FacebookTrafficModel()
+    rng = np.random.default_rng(5)
+
+    flows = place_vm_pairs(topo, l, seed=5)
+    flows = flows.with_rates(model.sample(l, rng=5))
+    process = RedrawnRates(flows, DiurnalModel(), assign_cohorts(l, seed=5), model, seed=5)
+    start = np.sort(rng.choice(topo.switches, size=n, replace=False))
+    print(f"fabric {topo}; {l} flows; {n}-VNF chain; mu={mu:g}")
+
+    rows = []
+    # dynamic single chain
+    for name, policy in (
+        ("mPareto migration", MParetoPolicy(topo, mu)),
+        ("no migration", NoMigrationPolicy(topo, mu)),
+    ):
+        day = simulate_day(topo, flows, policy, process, start)
+        rows.append([name, 1, day.total_cost, day.total_migrations])
+
+    # static replication
+    hour1 = flows.with_rates(process.rates_at(1))
+    for copies in (1, 2, 3):
+        deployment = replicated_placement(topo, hour1, n, num_copies=copies)
+        day_cost = sum(
+            replicated_communication_cost(
+                topo, flows.with_rates(process.rates_at(h)), deployment.copies
+            )
+            for h in range(1, 13)
+        )
+        rows.append([f"static {copies}-replica", copies, day_cost, 0])
+        if copies == 3:
+            ctx = CostContext(topo, flows.with_rates(process.rates_at(6)))
+            choice = per_flow_copy_choice(ctx, deployment)
+            share = np.bincount(choice, minlength=copies) / l
+            print(f"copy usage at noon: {np.round(share, 2)}")
+
+    print()
+    print(ascii_table(
+        ["strategy", "chains", "day cost", "migrations"],
+        rows,
+        title="replication vs migration over one dynamic day",
+    ))
+    mp = rows[0][2]
+    best_static = min(r[2] for r in rows[2:])
+    print(f"\nbest static replication vs mPareto migration: "
+          f"{best_static / mp - 1.0:+.1%} day cost")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+installs in offline environments whose pip/setuptools cannot build
+PEP 660 editable wheels (`python setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

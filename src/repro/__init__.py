@@ -1,0 +1,101 @@
+"""repro — traffic-optimal VNF placement and migration in dynamic PPDCs.
+
+A from-scratch reproduction of Tran, Sun, Tang & Pan, *"Traffic-Optimal
+Virtual Network Function Placement and Migration in Dynamic Cloud Data
+Centers"* (IPDPS 2022): the policy-preserving data-center model, the TOP /
+TOM algorithm suite (DP-Stroll, DP placement, primal-dual approximation,
+mPareto migration, exact solvers), all published baselines (Steering,
+Greedy, PLAN, MCF), and a benchmark harness regenerating every figure of
+the paper's evaluation section.
+
+Quick start::
+
+    from repro import fat_tree, place_vm_pairs, FacebookTrafficModel
+    from repro import dp_placement, sfc_of_size
+
+    topo = fat_tree(k=4)
+    flows = place_vm_pairs(topo, num_pairs=20, seed=1)
+    flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=1))
+    result = dp_placement(topo, flows, sfc_of_size(3))
+    print(result.placement, result.cost)
+"""
+
+from repro.errors import (
+    BudgetExceededError,
+    GraphError,
+    InfeasibleError,
+    MigrationError,
+    PlacementError,
+    ReproError,
+    SolverError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.graphs import CostGraph, GraphBuilder
+from repro.topology import (
+    Topology,
+    bcube,
+    dcell,
+    fat_tree,
+    jellyfish,
+    leaf_spine,
+    linear_ppdc,
+    vl2,
+    apply_uniform_delays,
+)
+from repro.workload import (
+    SFC,
+    DiurnalModel,
+    FacebookTrafficModel,
+    FlowSet,
+    UniformTrafficModel,
+    access_sfc,
+    application_sfc,
+    assign_cohorts,
+    assign_cohorts_spatial,
+    full_sfc,
+    place_vm_pairs,
+    sfc_of_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "GraphError",
+    "TopologyError",
+    "WorkloadError",
+    "PlacementError",
+    "MigrationError",
+    "InfeasibleError",
+    "BudgetExceededError",
+    "SolverError",
+    # graphs
+    "CostGraph",
+    "GraphBuilder",
+    # topology
+    "Topology",
+    "fat_tree",
+    "linear_ppdc",
+    "leaf_spine",
+    "vl2",
+    "bcube",
+    "dcell",
+    "jellyfish",
+    "apply_uniform_delays",
+    # workload
+    "FlowSet",
+    "place_vm_pairs",
+    "SFC",
+    "access_sfc",
+    "application_sfc",
+    "full_sfc",
+    "sfc_of_size",
+    "FacebookTrafficModel",
+    "UniformTrafficModel",
+    "DiurnalModel",
+    "assign_cohorts",
+    "assign_cohorts_spatial",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis helpers: cost breakdowns and terminal visualizations."""
+
+from repro.analysis.reports import (
+    CostBreakdown,
+    cost_breakdown,
+    describe_placement,
+    migration_summary,
+)
+from repro.analysis.fattree_view import render_fat_tree_placement
+
+__all__ = [
+    "CostBreakdown",
+    "cost_breakdown",
+    "describe_placement",
+    "migration_summary",
+    "render_fat_tree_placement",
+]

@@ -1,0 +1,62 @@
+"""ASCII rendering of VNF placements on fat-tree fabrics.
+
+Draws the three switch layers (core / aggregation / edge) as rows of
+cells, marking where each VNF of the chain sits — handy for eyeballing
+what the placement algorithms decided, in examples and debugging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.topology.base import Topology
+
+__all__ = ["render_fat_tree_placement"]
+
+
+def render_fat_tree_placement(
+    topology: Topology,
+    placement: np.ndarray,
+    cell_width: int = 5,
+) -> str:
+    """Render a fat-tree's switch layers with VNF positions marked.
+
+    Each switch cell shows its label; switches hosting a VNF show
+    ``fJ:label``.  Only works for topologies built by
+    :func:`~repro.topology.fattree.fat_tree` (it relies on the builder's
+    layer counts in ``meta``).
+    """
+    meta = topology.meta
+    required = {"edge_switches", "agg_switches", "core_switches"}
+    if not required <= set(meta):
+        raise ReproError(
+            "render_fat_tree_placement requires a fat_tree-built topology"
+        )
+    p = np.asarray(placement, dtype=np.int64)
+    vnf_at = {int(s): j + 1 for j, s in enumerate(p)}
+
+    num_edge = meta["edge_switches"]
+    num_agg = meta["agg_switches"]
+    num_core = meta["core_switches"]
+    switches = topology.switches
+    layers = [
+        ("core", switches[num_edge + num_agg : num_edge + num_agg + num_core]),
+        ("agg ", switches[num_edge : num_edge + num_agg]),
+        ("edge", switches[:num_edge]),
+    ]
+
+    def cell(switch: int) -> str:
+        label = topology.graph.label(int(switch))
+        if int(switch) in vnf_at:
+            text = f"f{vnf_at[int(switch)]}:{label}"
+        else:
+            text = label
+        return text.center(max(cell_width, len(text)))
+
+    lines = []
+    for name, row in layers:
+        lines.append(f"{name} |" + "|".join(cell(int(s)) for s in row) + "|")
+    chain = " -> ".join(topology.graph.label(int(s)) for s in p)
+    lines.append(f"chain: {chain}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Re-implementations of the state-of-the-art systems the paper compares to.
+
+VNF placement (Fig. 9, Fig. 10):
+
+* ``steering`` — Steering, Zhang et al. ICNP 2013 [55]
+* ``greedy_liu`` — the two-step greedy of Liu et al. TSC 2017 [34]
+
+VM migration (Fig. 11):
+
+* ``plan`` — PLAN, Cui et al. TPDS 2017 [17]
+* ``mcf_migration`` — the min-cost-flow formulation of Flores et al.
+  INFOCOM 2020 [24]
+* ``no-migration`` lives in :mod:`repro.core.migration` (it is the
+  degenerate point of the migration problem, not an external system).
+
+Each baseline is implemented from the description in the paper's §VI plus
+the cited source's decision rule, and is priced through the exact same
+:class:`~repro.core.costs.CostContext` as our algorithms.
+"""
+
+from repro.baselines.common import VMMigrationResult, default_host_capacity, vm_table
+from repro.baselines.steering import steering_placement
+from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.baselines.plan import plan_vm_migration
+from repro.baselines.random_placement import random_placement, random_placement_quantiles
+from repro.baselines.mcf_migration import mcf_vm_migration
+
+__all__ = [
+    "VMMigrationResult",
+    "default_host_capacity",
+    "vm_table",
+    "steering_placement",
+    "greedy_liu_placement",
+    "plan_vm_migration",
+    "random_placement",
+    "random_placement_quantiles",
+    "mcf_vm_migration",
+]

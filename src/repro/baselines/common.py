@@ -1,0 +1,147 @@
+"""Shared machinery for the VM-migration baselines (PLAN and MCF).
+
+Both baselines keep the VNF placement fixed and relocate *VMs*.  Because
+every flow's cost separates per endpoint
+(``λ_i·(c(s(v_i), p(1)) + chain + c(p(n), s(v'_i)))``), each VM's
+contribution depends only on its own host and its *anchor* — the ingress
+switch for source VMs, the egress switch for destination VMs.  The
+:func:`vm_table` helper flattens a flow set into that per-VM view; the
+baselines then differ only in how they pick destination hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "VMMigrationResult",
+    "vm_table",
+    "host_occupancy",
+    "default_host_capacity",
+    "resolve_host_capacity",
+    "apply_vm_moves",
+]
+
+
+@dataclass(frozen=True)
+class VMMigrationResult:
+    """Outcome of a VM-migration baseline round.
+
+    ``cost = communication_cost + migration_cost`` mirrors
+    :class:`~repro.core.types.MigrationResult` so Fig. 11 can tabulate VNF
+    and VM approaches side by side; ``num_migrated`` counts moved VMs.
+    """
+
+    flows: FlowSet
+    vnf_placement: np.ndarray
+    cost: float
+    communication_cost: float
+    migration_cost: float
+    num_migrated: int
+    algorithm: str
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.vnf_placement, dtype=np.int64)
+        arr.setflags(write=False)
+        object.__setattr__(self, "vnf_placement", arr)
+        if abs((self.communication_cost + self.migration_cost) - self.cost) > 1e-6 * max(
+            1.0, abs(self.cost)
+        ):
+            raise MigrationError(
+                "cost must equal communication_cost + migration_cost "
+                f"({self.communication_cost} + {self.migration_cost} != {self.cost})"
+            )
+
+
+def vm_table(
+    flows: FlowSet, ingress: int, egress: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a flow set into per-VM arrays ``(hosts, anchors, rates, flow_ids)``.
+
+    Row ``i < l`` is flow ``i``'s source VM (anchored at the ingress
+    switch); row ``l + i`` is its destination VM (anchored at the egress).
+    """
+    l = flows.num_flows
+    hosts = np.concatenate([flows.sources, flows.destinations]).astype(np.int64)
+    anchors = np.concatenate(
+        [np.full(l, ingress, dtype=np.int64), np.full(l, egress, dtype=np.int64)]
+    )
+    rates = np.concatenate([flows.rates, flows.rates])
+    flow_ids = np.concatenate([np.arange(l), np.arange(l)])
+    return hosts, anchors, rates, flow_ids
+
+
+def host_occupancy(topology: Topology, flows: FlowSet) -> np.ndarray:
+    """VMs currently on each host, indexed by host *position* in ``topology.hosts``."""
+    counts = np.bincount(
+        np.concatenate([flows.sources, flows.destinations]),
+        minlength=topology.graph.num_nodes,
+    )
+    return counts[topology.hosts]
+
+
+def default_host_capacity(
+    topology: Topology, flows: FlowSet, free_slots: int = 1
+) -> np.ndarray:
+    """Per-host VM capacity: current occupancy plus ``free_slots``.
+
+    The paper only says baselines migrate "to hosts with available
+    resources"; production data centers run near capacity, so the model
+    gives every host a small number of free slots rather than unlimited
+    room — otherwise VM migration could co-locate the entire workload
+    next to the service chain, which no operator allows.  Returned as a
+    vector indexed by host position.
+    """
+    if free_slots < 0:
+        raise MigrationError(f"free_slots must be non-negative, got {free_slots}")
+    return host_occupancy(topology, flows) + free_slots
+
+
+def resolve_host_capacity(
+    topology: Topology,
+    flows: FlowSet,
+    host_capacity: int | np.ndarray | None,
+) -> np.ndarray:
+    """Normalize a capacity spec (scalar / vector / None) to a per-host vector."""
+    if host_capacity is None:
+        return default_host_capacity(topology, flows)
+    if np.isscalar(host_capacity):
+        cap = np.full(topology.num_hosts, int(host_capacity), dtype=np.int64)
+    else:
+        cap = np.asarray(host_capacity, dtype=np.int64)
+        if cap.shape != (topology.num_hosts,):
+            raise MigrationError(
+                f"capacity vector shape {cap.shape} != host count {topology.num_hosts}"
+            )
+    occupancy = host_occupancy(topology, flows)
+    if np.any(cap < occupancy):
+        raise MigrationError(
+            "host capacity is below current occupancy on some hosts"
+        )
+    return cap
+
+
+def apply_vm_moves(
+    flows: FlowSet, new_hosts: np.ndarray
+) -> tuple[FlowSet, np.ndarray]:
+    """Rebuild a flow set from a per-VM host assignment (see :func:`vm_table`).
+
+    Returns ``(new_flows, moved_mask)`` where ``moved_mask`` is per-VM.
+    """
+    l = flows.num_flows
+    hosts = np.asarray(new_hosts, dtype=np.int64)
+    if hosts.shape != (2 * l,):
+        raise MigrationError(
+            f"expected one host per VM ({2 * l}), got shape {hosts.shape}"
+        )
+    old = np.concatenate([flows.sources, flows.destinations])
+    moved = hosts != old
+    new_flows = flows.with_endpoints(hosts[:l], hosts[l:])
+    return new_flows, moved

@@ -1,0 +1,99 @@
+"""PLAN [17]: utility-driven policy-aware VM migration (Cui et al., TPDS 2017).
+
+PLAN "migrates VMs to hosts with available resources to maximize the
+utility, which is the reduction of the VM's communication cost minus its
+migration cost".  With a fixed VNF placement, a VM's communication cost
+depends only on the distance from its host to its anchor switch (the SFC
+ingress for source VMs, the egress for destination VMs), so the utility
+of moving VM ``v`` (rate ``λ``) from host ``h`` to host ``h'`` is
+
+    u(v, h') = λ · (c(h, anchor) − c(h', anchor)) − μ_vm · c(h, h')
+
+PLAN greedily applies the highest-utility feasible move, host capacities
+permitting, each VM moving at most once per invocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.baselines.common import (
+    VMMigrationResult,
+    apply_vm_moves,
+    resolve_host_capacity,
+    vm_table,
+)
+from repro.core.costs import CostContext, validate_placement
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = ["plan_vm_migration"]
+
+
+def plan_vm_migration(
+    topology: Topology,
+    flows: FlowSet,
+    vnf_placement: np.ndarray,
+    mu_vm: float,
+    host_capacity: int | np.ndarray | None = None,
+) -> VMMigrationResult:
+    """One PLAN migration round under the new traffic rates in ``flows``."""
+    placement = validate_placement(topology, vnf_placement)
+    ctx = CostContext(topology, flows)
+    hosts_arr = topology.hosts
+    dist = ctx.distances
+    capacity = resolve_host_capacity(topology, flows, host_capacity)
+
+    vm_hosts, anchors, rates, _ = vm_table(flows, int(placement[0]), int(placement[-1]))
+    num_vms = vm_hosts.size
+    host_pos = {int(h): i for i, h in enumerate(hosts_arr)}
+    occupancy = np.bincount(
+        [host_pos[int(h)] for h in vm_hosts], minlength=hosts_arr.size
+    )
+
+    # utility[v, h'] = λ_v (c(h_v, a_v) − c(h', a_v)) − μ_vm c(h_v, h')
+    current_cost = rates * dist[vm_hosts, anchors]
+    candidate_cost = rates[:, None] * dist[anchors][:, hosts_arr]
+    move_cost = mu_vm * dist[vm_hosts][:, hosts_arr]
+    utility = current_cost[:, None] - candidate_cost - move_cost
+
+    # best-first greedy: a max-heap of (utility, vm, host position)
+    heap: list[tuple[float, int, int]] = []
+    best_targets = np.argsort(-utility, axis=1)[:, :8]  # top-8 per VM is plenty
+    for v in range(num_vms):
+        for pos in best_targets[v]:
+            if utility[v, pos] > 0:
+                heapq.heappush(heap, (-float(utility[v, pos]), v, int(pos)))
+
+    new_hosts = vm_hosts.copy()
+    moved = np.zeros(num_vms, dtype=bool)
+    while heap:
+        neg_u, v, pos = heapq.heappop(heap)
+        if moved[v]:
+            continue
+        target = int(hosts_arr[pos])
+        if target == new_hosts[v]:
+            continue
+        if occupancy[pos] >= capacity[pos]:
+            continue
+        occupancy[pos] += 1
+        occupancy[host_pos[int(new_hosts[v])]] -= 1
+        new_hosts[v] = target
+        moved[v] = True
+
+    new_flows, moved_mask = apply_vm_moves(flows, new_hosts)
+    migration_cost = float(mu_vm * dist[vm_hosts[moved_mask], new_hosts[moved_mask]].sum())
+    new_ctx = ctx.with_flows(new_flows)
+    comm = new_ctx.communication_cost(placement)
+    return VMMigrationResult(
+        flows=new_flows,
+        vnf_placement=placement,
+        cost=comm + migration_cost,
+        communication_cost=comm,
+        migration_cost=migration_cost,
+        num_migrated=int(moved_mask.sum()),
+        algorithm="plan",
+        extra={"free_capacity": int((capacity - occupancy).sum())},
+    )

@@ -1,0 +1,73 @@
+"""Random placement: the zero-information control baseline.
+
+Not part of the paper's comparison set, but indispensable for sanity:
+every real algorithm must beat a uniformly random distinct placement,
+and the gap to random calibrates how much headroom an instance offers
+(flat unit fat trees leave surprisingly little — see DESIGN.md §4b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.placement import chain_size
+from repro.core.types import PlacementResult
+from repro.errors import InfeasibleError
+from repro.topology.base import Topology
+from repro.utils.rng import as_generator
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = ["random_placement", "random_placement_quantiles"]
+
+
+def random_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    seed: int | np.random.Generator | None = 0,
+) -> PlacementResult:
+    """A uniformly random distinct placement, priced like every algorithm."""
+    n = chain_size(sfc)
+    if n > topology.num_switches:
+        raise InfeasibleError(
+            f"SFC of {n} VNFs cannot be placed on {topology.num_switches} switches"
+        )
+    gen = as_generator(seed)
+    placement = gen.choice(topology.switches, size=n, replace=False)
+    validate_placement(topology, placement, n)
+    ctx = CostContext(topology, flows)
+    return PlacementResult(
+        placement=placement,
+        cost=ctx.communication_cost(placement),
+        algorithm="random",
+    )
+
+
+def random_placement_quantiles(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    samples: int = 200,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Cost distribution of random placements: min / median / mean / max.
+
+    Gives an instance's *headroom profile*: how much worse than the
+    median random placement can a bad placement be, and how close to the
+    best random draw do the real algorithms land.
+    """
+    if samples < 1:
+        raise InfeasibleError(f"samples must be positive, got {samples}")
+    gen = as_generator(seed)
+    costs = np.asarray(
+        [random_placement(topology, flows, sfc, seed=gen).cost for _ in range(samples)]
+    )
+    return {
+        "min": float(costs.min()),
+        "median": float(np.median(costs)),
+        "mean": float(costs.mean()),
+        "max": float(costs.max()),
+        "samples": float(samples),
+    }

@@ -1,0 +1,103 @@
+"""Command-line interface: list and run the paper-reproduction experiments.
+
+Examples
+--------
+::
+
+    repro list
+    repro run fig07_top1
+    repro run fig11c_vary_l --scale paper --json results/fig11c.json
+    repro run-all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import SCALES, get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Traffic-optimal VNF placement and migration (IPDPS 2022) — "
+            "regenerate the paper's figures"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see `repro list`)")
+    run.add_argument(
+        "--scale", choices=SCALES, default="default", help="experiment scale"
+    )
+    run.add_argument("--json", type=Path, default=None, help="also write JSON here")
+    run.add_argument(
+        "--plot", action="store_true", help="also render a sparkline chart"
+    )
+
+    run_all = sub.add_parser("run-all", help="run every registered experiment")
+    run_all.add_argument(
+        "--scale", choices=SCALES, default="default", help="experiment scale"
+    )
+    run_all.add_argument(
+        "--json-dir", type=Path, default=None, help="directory for per-experiment JSON"
+    )
+    return parser
+
+
+def _run_one(
+    name: str, scale: str, json_path: Path | None, out, plot: bool = False
+) -> None:
+    experiment = get_experiment(name)
+    start = time.perf_counter()
+    result = experiment(scale)
+    elapsed = time.perf_counter() - start
+    print(result.to_table(), file=out)
+    if plot:
+        print(file=out)
+        print(result.to_chart(), file=out)
+    print(f"[{name} @ {scale}: {elapsed:.1f}s]", file=out)
+    if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(result.to_json())
+        print(f"wrote {json_path}", file=out)
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    try:
+        return _dispatch(build_parser().parse_args(argv), out)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+
+
+def _dispatch(args, out) -> int:
+    if args.command == "list":
+        for name, description in list_experiments().items():
+            print(f"{name:28s} {description}", file=out)
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment, args.scale, args.json, out, plot=args.plot)
+        return 0
+    if args.command == "run-all":
+        for name in list_experiments():
+            json_path = (
+                args.json_dir / f"{name}.json" if args.json_dir is not None else None
+            )
+            _run_one(name, args.scale, json_path, out)
+            print(file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

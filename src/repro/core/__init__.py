@@ -1,0 +1,80 @@
+"""The paper's primary contribution: TOP and TOM algorithm suite.
+
+Modules
+-------
+``costs``
+    The topology-aware cost model: ``C_a`` (Eq. 1), ``C_b`` and ``C_t``
+    (Eq. 8), vectorized over a precomputed :class:`CostContext`.
+``stroll``
+    Algorithm 2 (DP-Stroll) for the n-stroll / TOP-1 problem — a
+    pure-Python reference mirroring the pseudocode plus a numpy min-plus
+    vectorized engine.
+``placement``
+    Algorithm 3 (DP) for TOP, and the simple exact solutions for n = 1, 2.
+``primal_dual``
+    Algorithm 1: the 2+ε primal-dual approximation scheme for TOP-1
+    (Goemans-Williamson moat growing + pruning + tree doubling).
+``optimal``
+    Algorithms 4 and 6: exact exhaustive/branch-and-bound solvers for TOP
+    and TOM (with an explicit search budget guard).
+``migration``
+    Algorithm 5 (mPareto): migration corridors, parallel migration
+    frontiers, Pareto-front extraction, and the minimum-cost frontier.
+"""
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.types import MigrationResult, PlacementResult
+from repro.core.stroll import StrollResult, dp_stroll, dp_stroll_reference
+from repro.core.placement import dp_placement, dp_placement_top1
+from repro.core.primal_dual import primal_dual_stroll, primal_dual_placement_top1
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.migration import (
+    FrontierTrace,
+    best_full_frontier,
+    full_frontier_set,
+    mpareto_migration,
+    migration_frontiers,
+    no_migration,
+)
+from repro.core.replication import (
+    ReplicatedPlacement,
+    replicated_communication_cost,
+    replicated_placement,
+)
+from repro.core.multi_sfc import (
+    MultiSfcPlacement,
+    multi_sfc_cost,
+    multi_sfc_migration,
+    multi_sfc_placement,
+)
+from repro.core.lp_bound import top1_lp_lower_bound
+
+__all__ = [
+    "CostContext",
+    "validate_placement",
+    "PlacementResult",
+    "MigrationResult",
+    "StrollResult",
+    "dp_stroll",
+    "dp_stroll_reference",
+    "dp_placement",
+    "dp_placement_top1",
+    "primal_dual_stroll",
+    "primal_dual_placement_top1",
+    "optimal_placement",
+    "optimal_migration",
+    "mpareto_migration",
+    "migration_frontiers",
+    "no_migration",
+    "FrontierTrace",
+    "full_frontier_set",
+    "best_full_frontier",
+    "ReplicatedPlacement",
+    "replicated_placement",
+    "replicated_communication_cost",
+    "MultiSfcPlacement",
+    "multi_sfc_placement",
+    "multi_sfc_cost",
+    "multi_sfc_migration",
+    "top1_lp_lower_bound",
+]

@@ -1,0 +1,153 @@
+"""The topology-aware cost model (Eq. 1 and Eq. 8), vectorized.
+
+Eq. 1 decomposes — because the inter-VNF chain is shared by every flow —
+into three independent parts (with ``Λ = Σ_i λ_i``):
+
+    C_a(p) =  a_in[p(1)]                        (ingress attraction)
+            + Λ · Σ_j c(p(j), p(j+1))           (chain cost)
+            + a_out[p(n)]                       (egress attraction)
+
+where ``a_in[u] = Σ_i λ_i · c(s(v_i), u)`` and
+``a_out[u] = Σ_i λ_i · c(u, s(v'_i))``.  :class:`CostContext` precomputes
+the attraction vectors and the switch-to-switch distance matrix once per
+(topology, flow set) pair; every algorithm in :mod:`repro.core` and
+:mod:`repro.baselines` prices its candidate placements through it, so all
+algorithms are compared under the exact same cost function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PlacementError, WorkloadError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = ["CostContext", "validate_placement"]
+
+
+def validate_placement(
+    topology: Topology, placement: Sequence[int] | np.ndarray, n: int | None = None
+) -> np.ndarray:
+    """Check a placement is ``n`` *distinct switches*; return it as an array.
+
+    The paper assumes "different VNFs of an SFC are installed on servers
+    attached on different switches" — duplicates are a modelling error,
+    not just a bad solution.
+    """
+    arr = np.asarray(placement, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise PlacementError(f"placement must be non-empty 1-D, got shape {arr.shape}")
+    if n is not None and arr.size != n:
+        raise PlacementError(f"placement has {arr.size} VNFs, expected {n}")
+    switch_set = set(topology.switches.tolist())
+    stray = [int(x) for x in arr if int(x) not in switch_set]
+    if stray:
+        raise PlacementError(f"placement entries {stray[:5]} are not switches")
+    if len(set(arr.tolist())) != arr.size:
+        raise PlacementError(f"placement {arr.tolist()} repeats a switch")
+    return arr
+
+
+class CostContext:
+    """Precomputed cost structure for one (topology, flow set) pair.
+
+    Attributes
+    ----------
+    total_rate:
+        ``Λ = Σ_i λ_i``.
+    ingress_attraction / egress_attraction:
+        Arrays over *all graph nodes*: ``a_in[u]`` / ``a_out[u]`` as in the
+        module docstring.  Indexing by node id (rather than switch
+        position) keeps every algorithm free of position bookkeeping.
+    """
+
+    def __init__(self, topology: Topology, flows: FlowSet) -> None:
+        flows.validate_against(topology)
+        self.topology = topology
+        self.flows = flows
+        dist = topology.graph.distances
+        self._dist = dist
+        rates = flows.rates
+        self.total_rate = float(rates.sum())
+        # a_in[u] = Σ_i λ_i c(s(v_i), u): rows of dist indexed by source hosts
+        self.ingress_attraction = rates @ dist[flows.sources, :]
+        self.egress_attraction = rates @ dist[flows.destinations, :]
+        for arr in (self.ingress_attraction, self.egress_attraction):
+            arr.setflags(write=False)
+
+    # -- Eq. 1 ---------------------------------------------------------------
+
+    def chain_cost(self, placement: np.ndarray) -> float:
+        """``Σ_j c(p(j), p(j+1))`` — the unscaled inter-VNF path cost."""
+        p = np.asarray(placement, dtype=np.int64)
+        if p.size < 2:
+            return 0.0
+        return float(self._dist[p[:-1], p[1:]].sum())
+
+    def communication_cost(self, placement: np.ndarray) -> float:
+        """``C_a(p)`` of Eq. 1."""
+        p = np.asarray(placement, dtype=np.int64)
+        if p.ndim != 1 or p.size == 0:
+            raise PlacementError(f"placement must be non-empty 1-D, got {p!r}")
+        return float(
+            self.ingress_attraction[p[0]]
+            + self.total_rate * self.chain_cost(p)
+            + self.egress_attraction[p[-1]]
+        )
+
+    def per_flow_costs(self, placement: np.ndarray) -> np.ndarray:
+        """Per-flow communication cost; sums to :meth:`communication_cost`."""
+        p = np.asarray(placement, dtype=np.int64)
+        chain = self.chain_cost(p)
+        return self.flows.rates * (
+            self._dist[self.flows.sources, p[0]]
+            + chain
+            + self._dist[p[-1], self.flows.destinations]
+        )
+
+    # -- Eq. 8 ---------------------------------------------------------------
+
+    def migration_cost(self, source: np.ndarray, target: np.ndarray, mu: float) -> float:
+        """``C_b(p, m) = μ Σ_j c(p(j), m(j))``."""
+        if mu < 0:
+            raise WorkloadError(f"migration coefficient must be non-negative, got {mu}")
+        src = np.asarray(source, dtype=np.int64)
+        dst = np.asarray(target, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise PlacementError(
+                f"source shape {src.shape} != target shape {dst.shape}"
+            )
+        return float(mu * self._dist[src, dst].sum())
+
+    def total_cost(self, source: np.ndarray, target: np.ndarray, mu: float) -> float:
+        """``C_t(p, m) = C_b(p, m) + C_a(m)`` of Eq. 8."""
+        return self.migration_cost(source, target, mu) + self.communication_cost(target)
+
+    # -- re-rating -------------------------------------------------------------
+
+    def with_rates(self, rates: np.ndarray) -> "CostContext":
+        """New context for the same pairs under a new traffic-rate vector."""
+        return CostContext(self.topology, self.flows.with_rates(rates))
+
+    def with_flows(self, flows: FlowSet) -> "CostContext":
+        """New context for different flows (e.g. after VM migration)."""
+        return CostContext(self.topology, flows)
+
+    # -- convenience views -----------------------------------------------------
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Full node-by-node ``c(u, v)`` matrix (read-only)."""
+        return self._dist
+
+    @property
+    def switches(self) -> np.ndarray:
+        return self.topology.switches
+
+    def switch_attractions(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(a_in, a_out)`` restricted to switch nodes, in switch order."""
+        sw = self.topology.switches
+        return self.ingress_attraction[sw], self.egress_attraction[sw]

@@ -1,0 +1,210 @@
+"""LP lower bound for TOP-1 (the primal of Eqs. 2–7, flow-relaxed).
+
+Algorithm 1's analysis works against the LP relaxation of the TOP-1 ILP.
+The ILP's cut constraints (5)–(6) are exponential in number, so we solve
+a *polynomial* relaxation that keeps the bound property:
+
+* the s-t connectivity cuts (5) are replaced by an exact unit s→t flow
+  (one conservation constraint per node, ``f_{uv} + f_{vu} ≤ y_e``);
+* the node-coverage cuts (6) are kept only for singletons
+  (``Σ_{e ∋ v} y_e ≥ 2 x_v``);
+* the count constraint (7), ``Σ x_v ≥ n``, is kept as is.
+
+Every feasible n-stroll induces a feasible point (y = traversal counts,
+f = one unit routed along the walk, x = indicators of the n visited
+switches), so the LP optimum is a valid lower bound on the optimal
+stroll — weaker than the full exponential LP, but solvable with scipy's
+HiGHS in milliseconds and enough to sandwich the DP and primal-dual
+results in tests:   LP ≤ Optimal ≤ DP-Stroll ≤ 2·Optimal + ε.
+
+``cutting_planes=True`` recovers the *full* strength of constraint
+family (6) by exact separation: a set ``S ∋ v`` of switches violating
+``Σ_{e∈δ(S)} y_e ≥ 2 x_v`` is a minimum cut between ``v`` and the
+non-switch nodes under capacities ``y``, found with the Edmonds–Karp
+solver; violated cuts are added and the LP re-solved until none remain.
+(The connectivity family (5) is already exact through the flow
+formulation, by max-flow/min-cut duality.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.flow.maxflow import max_flow_min_cut
+from repro.graphs.adjacency import CostGraph
+
+__all__ = ["top1_lp_lower_bound"]
+
+
+def top1_lp_lower_bound(
+    graph: CostGraph,
+    source: int,
+    target: int,
+    n: int,
+    countable: set[int] | None = None,
+    rate: float = 1.0,
+    cutting_planes: bool = False,
+    max_rounds: int = 25,
+) -> float:
+    """Solve the flow-relaxed TOP-1 LP; returns the objective value.
+
+    ``countable`` is the set of nodes eligible to host VNFs (the
+    switches); it defaults to every node except the endpoints.  With
+    ``cutting_planes=True`` the coverage cuts (6) are separated exactly
+    (see module docstring) for the full LP bound.
+    """
+    if countable is None:
+        countable = set(range(graph.num_nodes)) - {source, target}
+    countable = sorted(set(countable) - {source, target})
+    if n < 1:
+        raise SolverError(f"n must be >= 1, got {n}")
+    if len(countable) < n:
+        raise SolverError(
+            f"need {n} countable nodes but only {len(countable)} available"
+        )
+
+    edges = list(graph.edges)
+    num_nodes = graph.num_nodes
+    num_edges = len(edges)
+    num_x = len(countable)
+    x_pos = {v: i for i, v in enumerate(countable)}
+
+    # variable layout: [y_e (E) | f_uv (E) | f_vu (E) | x_v (X)]
+    num_vars = 3 * num_edges + num_x
+
+    def y(i: int) -> int:
+        return i
+
+    def f_fwd(i: int) -> int:
+        return num_edges + i
+
+    def f_bwd(i: int) -> int:
+        return 2 * num_edges + i
+
+    def x(v: int) -> int:
+        return 3 * num_edges + x_pos[v]
+
+    cost = np.zeros(num_vars)
+    for i, (u, v, _) in enumerate(edges):
+        cost[y(i)] = rate * graph.weights[u, v]
+
+    # equality: flow conservation; net outflow +1 at source, -1 at target
+    a_eq = np.zeros((num_nodes, num_vars))
+    b_eq = np.zeros(num_nodes)
+    for i, (u, v, _) in enumerate(edges):
+        a_eq[u, f_fwd(i)] += 1.0
+        a_eq[v, f_fwd(i)] -= 1.0
+        a_eq[v, f_bwd(i)] += 1.0
+        a_eq[u, f_bwd(i)] -= 1.0
+    b_eq[source] += 1.0
+    b_eq[target] -= 1.0
+    if source == target:
+        # a tour has zero net flow everywhere; connectivity is then carried
+        # only by the degree constraints (the bound remains valid)
+        b_eq[:] = 0.0
+
+    # inequalities in A_ub @ z <= b_ub form
+    rows_ub: list[np.ndarray] = []
+    b_ub: list[float] = []
+
+    # f_uv + f_vu - y_e <= 0
+    for i in range(num_edges):
+        row = np.zeros(num_vars)
+        row[f_fwd(i)] = 1.0
+        row[f_bwd(i)] = 1.0
+        row[y(i)] = -1.0
+        rows_ub.append(row)
+        b_ub.append(0.0)
+
+    # singleton cuts: 2 x_v - sum_{e incident to v} y_e <= 0
+    incident: dict[int, list[int]] = {v: [] for v in countable}
+    for i, (u, v, _) in enumerate(edges):
+        if u in incident:
+            incident[u].append(i)
+        if v in incident:
+            incident[v].append(i)
+    for v in countable:
+        row = np.zeros(num_vars)
+        row[x(v)] = 2.0
+        for i in incident[v]:
+            row[y(i)] -= 1.0
+        rows_ub.append(row)
+        b_ub.append(0.0)
+
+    # count: -sum x_v <= -n
+    row = np.zeros(num_vars)
+    for v in countable:
+        row[x(v)] = -1.0
+    rows_ub.append(row)
+    b_ub.append(-float(n))
+
+    bounds = (
+        [(0.0, float(n + 1))] * num_edges  # y_e: walks may reuse edges
+        + [(0.0, 1.0)] * (2 * num_edges)  # unit flow
+        + [(0.0, 1.0)] * num_x
+    )
+
+    def solve() -> "linprog.OptimizeResult":  # type: ignore[name-defined]
+        result = linprog(
+            cost,
+            A_ub=np.vstack(rows_ub),
+            b_ub=np.asarray(b_ub),
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:  # pragma: no cover - scipy failure is exceptional
+            raise SolverError(f"TOP-1 LP failed: {result.message}")
+        return result
+
+    result = solve()
+    if not cutting_planes:
+        return float(result.fun)
+
+    # exact separation of the coverage cuts (6): for each fractional x_v,
+    # the worst set S ∋ v of countable nodes is a min cut between v and a
+    # super-sink attached to every non-countable node, capacities = y
+    countable_set = set(countable)
+    non_countable = [
+        v for v in range(num_nodes) if v not in countable_set
+    ]
+    tol = 1e-7
+    for _ in range(max_rounds):
+        z = result.x
+        y_vals = z[:num_edges]
+        big = float(y_vals.sum()) + 1.0
+        flow_nodes = num_nodes + 1
+        super_sink = num_nodes
+        base_arcs: list[tuple[int, int, float]] = []
+        for i, (u, v, _) in enumerate(edges):
+            capacity = float(y_vals[i])
+            base_arcs.append((u, v, capacity))
+            base_arcs.append((v, u, capacity))
+        for v in non_countable:
+            base_arcs.append((v, super_sink, big))
+
+        violated = False
+        for v in countable:
+            x_val = float(z[x(v)])
+            if x_val <= tol:
+                continue
+            cut_value, source_side = max_flow_min_cut(
+                flow_nodes, base_arcs, v, super_sink
+            )
+            if cut_value < 2.0 * x_val - 1e-6:
+                in_s = source_side[:num_nodes]
+                row = np.zeros(num_vars)
+                row[x(v)] = 2.0
+                for i, (a, b) in enumerate((u, w) for u, w, _ in edges):
+                    if in_s[a] != in_s[b]:
+                        row[y(i)] -= 1.0
+                rows_ub.append(row)
+                b_ub.append(0.0)
+                violated = True
+        if not violated:
+            break
+        result = solve()
+    return float(result.fun)

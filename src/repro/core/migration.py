@@ -1,0 +1,404 @@
+"""Algorithm 5 (mPareto): traffic-optimal VNF migration via parallel frontiers.
+
+When the traffic-rate vector changes, a fresh DP placement ``p'`` gives
+the cheapest communication but the dearest migration, while staying at
+``p`` costs nothing to migrate but keeps the stale communication cost.
+Algorithm 5 walks each VNF ``f_j`` along the shortest path (its
+*migration corridor* ``S_j``) from ``p(j)`` toward ``p'(j)`` and stops
+the whole chain at the best *parallel migration frontier* — the k-th row
+of the ``h_max × n`` matrix whose column ``j`` is corridor ``S_j`` padded
+at its end (Definition 2).  Evaluating ``C_t = C_b + C_a`` on every
+parallel frontier and keeping the minimum yields a point on the
+``(C_b, C_a)`` Pareto front (Fig. 6(b)); Theorem 5 notes the scalarized
+optimum is attained when that front is convex.
+
+:func:`frontier_trace` exposes the whole front for the Fig. 6(b)
+reproduction, together with Pareto/convexity predicates used by both the
+tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.placement import dp_placement
+from repro.core.types import MigrationResult, PlacementResult
+from repro.errors import GraphError, MigrationError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "FrontierTrace",
+    "migration_corridors",
+    "coherent_migration_corridors",
+    "migration_frontiers",
+    "frontier_trace",
+    "mpareto_migration",
+    "no_migration",
+    "pareto_points",
+    "is_pareto_front",
+    "front_is_convex",
+]
+
+PlacementAlgorithm = Callable[..., PlacementResult]
+
+
+def migration_corridors(
+    topology: Topology, source: np.ndarray, target: np.ndarray
+) -> list[list[int]]:
+    """Shortest-path corridor ``S_j`` for each VNF, as switch sequences.
+
+    ``S_j[0] == source[j]`` and ``S_j[-1] == target[j]`` (a single-entry
+    corridor when the VNF stays put).  VNFs only sit on switches, so
+    corridors follow shortest paths in the switch-induced subgraph; on
+    server-centric fabrics with no switch-to-switch links (BCube) a
+    corridor degenerates to the direct jump ``[source, target]``.
+    """
+    src = np.asarray(source, dtype=np.int64)
+    dst = np.asarray(target, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise MigrationError(f"source {src.shape} and target {dst.shape} differ")
+    induced, position_of = topology.switch_only_graph()
+    switches = topology.switches
+    corridors: list[list[int]] = []
+    for j in range(src.size):
+        a, b = int(src[j]), int(dst[j])
+        if a == b:
+            corridors.append([a])
+            continue
+        try:
+            induced_path = induced.shortest_path(position_of[a], position_of[b])
+            corridors.append([int(switches[p]) for p in induced_path])
+        except GraphError:
+            # server-centric fabrics (e.g. BCube) may have no switch-only
+            # route; the corridor degenerates to a direct jump
+            corridors.append([a, b])
+    return corridors
+
+
+def coherent_migration_corridors(
+    topology: Topology, source: np.ndarray, target: np.ndarray
+) -> list[list[int]]:
+    """Alternative corridors: convoy-aligned shortest-path tie-breaking.
+
+    :func:`migration_corridors` takes whatever shortest path the cached
+    predecessor structure yields; on fabrics with many equal-length paths
+    each VNF picks independently and intermediate parallel frontiers can
+    scatter the chain (the Fig. 6(b) finding in EXPERIMENTS.md).  This
+    variant still walks only shortest paths — every step must strictly
+    decrease the remaining distance to the VNF's target — but among tied
+    next hops it picks the one closest to the *previous VNF's* corridor
+    position at the same step.
+
+    **Measured outcome (negative result):** convoy tie-breaking does not
+    restore the Pareto monotonicity of the frontier trace; the scatter is
+    dominated by corridor *length mismatch* (VNFs with short corridors
+    finish early while others are mid-flight), which no hop-level
+    tie-break can fix.  The variant is kept as the natural first attempt,
+    a correctness-tested baseline for corridor-alignment ideas, and a
+    second corridor family for :func:`mpareto_migration` to draw
+    candidates from — it never changes Algorithm 5's guarantees (rows 0
+    and ``h_max−1`` are still ``p`` and ``p'``).
+    """
+    src = np.asarray(source, dtype=np.int64)
+    dst = np.asarray(target, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise MigrationError(f"source {src.shape} and target {dst.shape} differ")
+    induced, position_of = topology.switch_only_graph()
+    switches = topology.switches
+    dist = induced.distances
+
+    corridors: list[list[int]] = []
+    previous: list[int] | None = None
+    for j in range(src.size):
+        a, b = int(src[j]), int(dst[j])
+        if a == b:
+            corridor = [a]
+        elif not np.isfinite(dist[position_of[a], position_of[b]]):
+            corridor = [a, b]  # server-centric fallback, as in the base variant
+        else:
+            corridor = [a]
+            current = position_of[a]
+            goal = position_of[b]
+            step = 1
+            while current != goal:
+                remaining = dist[current, goal]
+                nbrs = induced.neighbors(current)
+                on_shortest = [
+                    int(v)
+                    for v in nbrs
+                    if np.isclose(
+                        induced.weights[current, v] + dist[v, goal], remaining
+                    )
+                ]
+                assert on_shortest, "shortest-path step must exist"
+                if previous is not None and len(on_shortest) > 1:
+                    anchor = previous[min(step, len(previous) - 1)]
+                    anchor_pos = position_of[anchor]
+                    on_shortest.sort(key=lambda v: (dist[v, anchor_pos], v))
+                current = on_shortest[0]
+                corridor.append(int(switches[current]))
+                step += 1
+        corridors.append(corridor)
+        previous = corridor
+    return corridors
+
+
+def migration_frontiers(
+    topology: Topology,
+    source: np.ndarray,
+    target: np.ndarray,
+    coherent: bool = False,
+) -> list[np.ndarray]:
+    """The ``h_max`` parallel migration frontiers of Definition 2.
+
+    Row ``i`` places VNF ``j`` at the ``min(i, h_j−1)``-th switch of its
+    corridor; row 0 is ``p`` and the last row is ``p'``.  With
+    ``coherent=True`` the corridors are convoy-aligned (see
+    :func:`coherent_migration_corridors`).
+    """
+    if coherent:
+        corridors = coherent_migration_corridors(topology, source, target)
+    else:
+        corridors = migration_corridors(topology, source, target)
+    h_max = max(len(c) for c in corridors)
+    frontiers = []
+    for i in range(h_max):
+        row = np.asarray(
+            [corridor[min(i, len(corridor) - 1)] for corridor in corridors],
+            dtype=np.int64,
+        )
+        frontiers.append(row)
+    return frontiers
+
+
+@dataclass(frozen=True)
+class FrontierTrace:
+    """All parallel frontiers with their cost coordinates (Fig. 6(b)).
+
+    ``migration_costs[i]`` / ``communication_costs[i]`` are
+    ``C_b(p, fr_i)`` / ``C_a(fr_i)`` for frontier ``i`` (row 0 = stay
+    put, last row = the fresh placement ``p'``).
+    """
+
+    frontiers: list
+    migration_costs: np.ndarray
+    communication_costs: np.ndarray
+    distinct: np.ndarray
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_costs(self) -> np.ndarray:
+        return self.migration_costs + self.communication_costs
+
+    @property
+    def num_frontiers(self) -> int:
+        return len(self.frontiers)
+
+    def best_index(self, require_distinct: bool = False) -> int:
+        totals = self.total_costs.copy()
+        if require_distinct:
+            totals[~self.distinct] = np.inf
+        return int(np.argmin(totals))
+
+
+def frontier_trace(
+    ctx: CostContext,
+    source: np.ndarray,
+    target: np.ndarray,
+    mu: float,
+    coherent: bool = False,
+) -> FrontierTrace:
+    """Price every parallel frontier between ``source`` and ``target``."""
+    frontiers = migration_frontiers(ctx.topology, source, target, coherent=coherent)
+    migration_costs = np.asarray(
+        [ctx.migration_cost(source, fr, mu) for fr in frontiers]
+    )
+    communication_costs = np.asarray(
+        [ctx.communication_cost(fr) for fr in frontiers]
+    )
+    distinct = np.asarray(
+        [len(set(fr.tolist())) == fr.size for fr in frontiers], dtype=bool
+    )
+    return FrontierTrace(
+        frontiers=frontiers,
+        migration_costs=migration_costs,
+        communication_costs=communication_costs,
+        distinct=distinct,
+    )
+
+
+def mpareto_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float,
+    placement_algorithm: PlacementAlgorithm = dp_placement,
+    require_distinct: bool = True,
+    coherent: bool = False,
+) -> MigrationResult:
+    """Algorithm 5: migrate to the minimum-cost parallel frontier.
+
+    ``flows`` carries the *new* traffic rates.  ``placement_algorithm``
+    computes the fresh target placement ``p'`` (Algorithm 3 by default —
+    line 1 of the pseudocode).  ``require_distinct=True`` (default) skips
+    interior frontiers where two corridors momentarily collide on one
+    switch: the model requires each VNF on its own switch, and the paper's
+    worked Example 1 is consistent with the check even though the
+    pseudocode omits it.  Row 0 (stay put) and the last row (``p'``) are
+    always collision-free, so a feasible frontier always exists.  Pass
+    ``require_distinct=False`` for the bit-faithful pseudocode behaviour.
+    """
+    src = validate_placement(topology, source_placement)
+    ctx = CostContext(topology, flows)
+    fresh = placement_algorithm(topology, flows, src.size)
+    trace = frontier_trace(ctx, src, fresh.placement, mu, coherent=coherent)
+    best = trace.best_index(require_distinct=require_distinct)
+    migration = np.asarray(trace.frontiers[best], dtype=np.int64)
+    comm = float(trace.communication_costs[best])
+    move = float(trace.migration_costs[best])
+    return MigrationResult(
+        source=src,
+        migration=migration,
+        cost=comm + move,
+        communication_cost=comm,
+        migration_cost=move,
+        algorithm="mpareto",
+        extra={
+            "frontier_index": best,
+            "num_frontiers": trace.num_frontiers,
+            "target_placement": fresh.placement.tolist(),
+            "frontier_distinct": bool(trace.distinct[best]),
+        },
+    )
+
+
+def no_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float = 0.0,
+) -> MigrationResult:
+    """The NoMigration baseline: stay at ``p`` and pay ``C_a(p)`` only."""
+    src = validate_placement(topology, source_placement)
+    ctx = CostContext(topology, flows)
+    comm = ctx.communication_cost(src)
+    return MigrationResult(
+        source=src,
+        migration=src,
+        cost=comm,
+        communication_cost=comm,
+        migration_cost=0.0,
+        algorithm="no-migration",
+    )
+
+
+def full_frontier_set(
+    topology: Topology,
+    source: np.ndarray,
+    target: np.ndarray,
+    limit: int = 100_000,
+) -> list[np.ndarray]:
+    """Definition 1's complete frontier set ``𝓕`` (all ``Π h_j`` schemes).
+
+    Every way of stopping each VNF somewhere on its own corridor.  The
+    size is the product of corridor lengths, so this is only enumerable
+    for small instances; ``limit`` guards against accidental explosions
+    (Algorithm 5 exists precisely because ``|𝓕|`` blows up — it scans the
+    ``h_max`` *parallel* frontiers instead).
+    """
+    import itertools
+
+    corridors = migration_corridors(topology, source, target)
+    size = 1
+    for corridor in corridors:
+        size *= len(corridor)
+        if size > limit:
+            raise MigrationError(
+                f"full frontier set has more than {limit} members "
+                f"(product of corridor lengths); use parallel frontiers"
+            )
+    return [
+        np.asarray(combo, dtype=np.int64)
+        for combo in itertools.product(*corridors)
+    ]
+
+
+def best_full_frontier(
+    ctx: CostContext,
+    source: np.ndarray,
+    target: np.ndarray,
+    mu: float,
+    require_distinct: bool = True,
+    limit: int = 100_000,
+) -> tuple[np.ndarray, float]:
+    """Exhaustive minimum over Definition 1's full frontier set.
+
+    The strongest corridor-constrained migration — used by the frontier
+    ablation to quantify what Algorithm 5's parallel restriction gives up.
+    """
+    src = np.asarray(source, dtype=np.int64)
+    best_cost = np.inf
+    best: np.ndarray | None = None
+    for frontier in full_frontier_set(ctx.topology, src, target, limit=limit):
+        if require_distinct and len(set(frontier.tolist())) != frontier.size:
+            continue
+        cost = ctx.total_cost(src, frontier, mu)
+        if cost < best_cost:
+            best_cost = cost
+            best = frontier
+    if best is None:
+        raise MigrationError("no feasible frontier in the full set")
+    return best, float(best_cost)
+
+
+# -- Pareto-front analysis (Fig. 6(b), Theorem 5) -----------------------------
+
+
+def pareto_points(trace: FrontierTrace) -> np.ndarray:
+    """Indices of non-dominated frontiers in the ``(C_b, C_a)`` plane."""
+    cb = trace.migration_costs
+    ca = trace.communication_costs
+    keep = []
+    for i in range(len(cb)):
+        dominated = np.any(
+            (cb <= cb[i]) & (ca <= ca[i]) & ((cb < cb[i]) | (ca < ca[i]))
+        )
+        if not dominated:
+            keep.append(i)
+    return np.asarray(keep, dtype=np.int64)
+
+
+def is_pareto_front(trace: FrontierTrace, atol: float = 1e-9) -> bool:
+    """True iff the frontier sequence itself forms a Pareto front.
+
+    Along parallel frontiers ``C_b`` is non-decreasing by construction;
+    the sequence is a Pareto front exactly when ``C_a`` is non-increasing
+    (Fig. 6(b)'s empirical observation).
+    """
+    cb = trace.migration_costs
+    ca = trace.communication_costs
+    return bool(
+        np.all(np.diff(cb) >= -atol) and np.all(np.diff(ca) <= atol)
+    )
+
+
+def front_is_convex(trace: FrontierTrace, atol: float = 1e-9) -> bool:
+    """Theorem 5's condition: the (C_b, C_a) front is convex.
+
+    Checked via non-decreasing slopes between consecutive distinct-``C_b``
+    points of the front.
+    """
+    cb = trace.migration_costs
+    ca = trace.communication_costs
+    order = np.argsort(cb)
+    cb, ca = cb[order], ca[order]
+    slopes = []
+    for i in range(1, len(cb)):
+        if cb[i] - cb[i - 1] > atol:
+            slopes.append((ca[i] - ca[i - 1]) / (cb[i] - cb[i - 1]))
+    return bool(np.all(np.diff(np.asarray(slopes)) >= -atol)) if len(slopes) > 1 else True

@@ -1,0 +1,225 @@
+"""Multiple SFC classes (the paper's Section VII future work).
+
+The paper's model serves every flow with one shared SFC; its future work
+asks about "a more general scenario wherein ... different VM flows can
+request different SFCs".  This module implements that generalization
+under the same one-VNF-per-switch rule:
+
+* flows are partitioned into *classes*, each with its own SFC;
+* chains of different classes occupy disjoint switch sets (each switch's
+  attached server hosts one VNF);
+* the objective is the sum of Eq. 1 over classes.
+
+Placement is sequential: classes are processed heaviest-traffic first,
+each placed by Algorithm 3 restricted to the still-unused switches —
+the heaviest class gets the best geography, a natural generalization of
+the single-SFC DP that degrades gracefully and keeps the per-class
+optimality structure.  Migration applies mPareto per class, with
+frontiers that would collide with *other* classes' chains filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.migration import frontier_trace
+from repro.core.placement import chain_size, dp_placement
+from repro.core.types import MigrationResult
+from repro.errors import InfeasibleError, PlacementError, WorkloadError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = [
+    "MultiSfcPlacement",
+    "multi_sfc_placement",
+    "multi_sfc_cost",
+    "multi_sfc_migration",
+]
+
+
+@dataclass(frozen=True)
+class MultiSfcPlacement:
+    """Per-class placements over disjoint switch sets."""
+
+    placements: tuple[np.ndarray, ...]
+    class_costs: tuple[float, ...]
+    cost: float
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        frozen = []
+        seen: set[int] = set()
+        for arr in self.placements:
+            arr = np.asarray(arr, dtype=np.int64)
+            overlap = seen & set(arr.tolist())
+            if overlap:
+                raise PlacementError(
+                    f"classes share switches {sorted(overlap)[:5]}"
+                )
+            seen.update(arr.tolist())
+            arr.setflags(write=False)
+            frozen.append(arr)
+        object.__setattr__(self, "placements", tuple(frozen))
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.placements)
+
+
+def _split_classes(
+    flows: FlowSet, class_of: np.ndarray, num_classes: int
+) -> list[np.ndarray]:
+    class_of = np.asarray(class_of, dtype=np.int64)
+    if class_of.shape != (flows.num_flows,):
+        raise WorkloadError(
+            f"class_of shape {class_of.shape} != flow count {flows.num_flows}"
+        )
+    if class_of.min() < 0 or class_of.max() >= num_classes:
+        raise WorkloadError(
+            f"class ids must lie in [0, {num_classes}), got "
+            f"[{class_of.min()}, {class_of.max()}]"
+        )
+    return [np.flatnonzero(class_of == c) for c in range(num_classes)]
+
+
+def multi_sfc_cost(
+    topology: Topology,
+    flows: FlowSet,
+    class_of: np.ndarray,
+    placements: tuple[np.ndarray, ...] | list[np.ndarray],
+) -> float:
+    """Total Eq. 1 cost summed over classes (each with its own chain)."""
+    members = _split_classes(flows, class_of, len(placements))
+    total = 0.0
+    for idx, placement in zip(members, placements):
+        if idx.size == 0:
+            continue
+        ctx = CostContext(topology, flows.subset(idx))
+        total += ctx.communication_cost(np.asarray(placement, dtype=np.int64))
+    return float(total)
+
+
+def multi_sfc_placement(
+    topology: Topology,
+    flows: FlowSet,
+    class_of: np.ndarray,
+    sfcs: list[SFC | int],
+) -> MultiSfcPlacement:
+    """Sequential heaviest-first placement of every class's chain."""
+    sizes = [chain_size(sfc) for sfc in sfcs]
+    if sum(sizes) > topology.num_switches:
+        raise InfeasibleError(
+            f"the {len(sfcs)} chains need {sum(sizes)} distinct switches but "
+            f"the fabric has {topology.num_switches}"
+        )
+    members = _split_classes(flows, class_of, len(sfcs))
+    for c, idx in enumerate(members):
+        if idx.size == 0:
+            raise WorkloadError(f"SFC class {c} has no flows")
+
+    # heaviest classes claim switches first
+    class_rates = [float(flows.rates[idx].sum()) for idx in members]
+    order = np.argsort(-np.asarray(class_rates))
+
+    placements: list[np.ndarray | None] = [None] * len(sfcs)
+    class_costs: list[float] = [0.0] * len(sfcs)
+    used: set[int] = set()
+    for c in order:
+        candidates = [int(s) for s in topology.switches if int(s) not in used]
+        result = dp_placement(
+            topology,
+            flows.subset(members[c]),
+            sizes[c],
+            candidate_switches=candidates,
+        )
+        placements[c] = result.placement
+        class_costs[c] = result.cost
+        used.update(result.placement.tolist())
+
+    assert all(p is not None for p in placements)
+    return MultiSfcPlacement(
+        placements=tuple(placements),  # type: ignore[arg-type]
+        class_costs=tuple(class_costs),
+        cost=float(sum(class_costs)),
+        extra={"placement_order": [int(c) for c in order]},
+    )
+
+
+def multi_sfc_migration(
+    topology: Topology,
+    flows: FlowSet,
+    class_of: np.ndarray,
+    current: MultiSfcPlacement,
+    mu: float,
+) -> tuple[MultiSfcPlacement, list[MigrationResult]]:
+    """Per-class mPareto under the new rates in ``flows``.
+
+    Classes migrate heaviest-first; a class's candidate frontiers must not
+    collide with any *other* class's (current or already-migrated) chain.
+    """
+    members = _split_classes(flows, class_of, current.num_classes)
+    class_rates = [float(flows.rates[idx].sum()) for idx in members]
+    order = np.argsort(-np.asarray(class_rates))
+
+    new_placements: list[np.ndarray] = [p for p in current.placements]
+    results: list[MigrationResult | None] = [None] * current.num_classes
+    for c in order:
+        idx = members[c]
+        class_flows = flows.subset(idx) if idx.size else None
+        if class_flows is None:
+            continue
+        source = np.asarray(current.placements[c], dtype=np.int64)
+        occupied = {
+            int(s)
+            for other, placement in enumerate(new_placements)
+            if other != c
+            for s in placement
+        }
+        candidates = [
+            int(s)
+            for s in topology.switches
+            if int(s) not in occupied or int(s) in set(source.tolist())
+        ]
+        fresh = dp_placement(
+            topology, class_flows, source.size, candidate_switches=candidates
+        )
+        ctx = CostContext(topology, class_flows)
+        trace = frontier_trace(ctx, source, fresh.placement, mu)
+        totals = trace.total_costs.copy()
+        for i, frontier in enumerate(trace.frontiers):
+            collides = bool(set(int(s) for s in frontier) & occupied)
+            if collides or not trace.distinct[i]:
+                totals[i] = np.inf
+        best = int(np.argmin(totals))
+        migration = np.asarray(trace.frontiers[best], dtype=np.int64)
+        comm = float(trace.communication_costs[best])
+        move = float(trace.migration_costs[best])
+        results[c] = MigrationResult(
+            source=source,
+            migration=migration,
+            cost=comm + move,
+            communication_cost=comm,
+            migration_cost=move,
+            algorithm="multi-sfc-mpareto",
+            extra={"class": int(c), "frontier_index": best},
+        )
+        new_placements[c] = migration
+
+    for c in range(current.num_classes):
+        validate_placement(topology, new_placements[c])
+    migrated = MultiSfcPlacement(
+        placements=tuple(new_placements),
+        class_costs=tuple(
+            results[c].communication_cost if results[c] else 0.0
+            for c in range(current.num_classes)
+        ),
+        cost=float(
+            sum(r.communication_cost for r in results if r is not None)
+        ),
+        extra={"migration_order": [int(c) for c in order]},
+    )
+    return migrated, [r for r in results if r is not None]

@@ -1,0 +1,259 @@
+"""Algorithms 4 and 6: exact (optimal) solvers for TOP and TOM.
+
+Any stroll visiting ``n`` distinct switches induces an ordered tuple of
+those switches, and conversely a tuple prices as the sum of metric-closure
+hops — so the exact optimum of TOP is
+
+    min over ordered distinct (q_1 … q_n):
+        a_in[q_1] + Λ · Σ_j c(q_j, q_{j+1}) + a_out[q_n]
+
+and TOM adds the per-position migration term ``μ · c(p_j, q_j)`` (Eq. 8).
+The paper's Algorithms 4/6 enumerate all ``|V_s|!/(|V_s|-n)!`` tuples;
+this module instead runs a depth-first branch-and-bound:
+
+* an admissible lower bound ``g_j[u]`` — the cost of completing positions
+  ``j+1 … n`` from ``u`` *ignoring distinctness* — is a single min-plus
+  DP sweep (``O(n·C^2)``) and prunes most of the tree;
+* the search is warm-started with the DP heuristic's solution, so pruning
+  is effective from the first node;
+* an explicit ``node_budget`` guard raises
+  :class:`~repro.errors.BudgetExceededError` instead of running forever
+  on instances where exactness is genuinely out of reach (the search is
+  still ``O(C^n)`` worst-case — exactly the wall the paper acknowledges).
+
+``candidate_switches`` restricts the search to a subset of switches; the
+simulation harness uses this to compute *restricted-exact* references on
+k=16 fabrics where the full exact search is infeasible (documented in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.placement import chain_size, dp_placement
+from repro.core.types import MigrationResult, PlacementResult
+from repro.errors import BudgetExceededError, InfeasibleError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = ["optimal_placement", "optimal_migration", "exact_chain_search"]
+
+
+def exact_chain_search(
+    distances: np.ndarray,
+    chain_rate: float,
+    start_scores: np.ndarray,
+    position_scores: np.ndarray,
+    upper_bound: float,
+    node_budget: int,
+) -> tuple[np.ndarray, float, int]:
+    """Exact min-cost ordered distinct tuple via branch-and-bound.
+
+    Parameters
+    ----------
+    distances:
+        ``(C, C)`` metric among the candidate switches.
+    chain_rate:
+        ``Λ`` — multiplier of consecutive-switch distances.
+    start_scores:
+        Per-candidate cost of *starting* the tuple there
+        (``a_in + position_scores[0]`` pre-folded by the caller is fine;
+        this function adds ``position_scores[0]`` itself, so pass the raw
+        ingress attraction).
+    position_scores:
+        ``(n, C)`` additive per-position node costs (zero for TOP;
+        ``μ·c(p_j, ·)`` for TOM; ``a_out`` must be folded into row n−1 by
+        the caller).
+    upper_bound:
+        Warm-start incumbent (cost of a known feasible solution).
+
+    Returns ``(tuple_positions, cost, explored)``.
+    """
+    n, num_c = position_scores.shape
+    if distances.shape != (num_c, num_c):
+        raise ValueError("distances and position_scores disagree on candidate count")
+    if n > num_c:
+        raise InfeasibleError(f"cannot choose {n} distinct switches from {num_c}")
+
+    # g[j][u]: relaxed completion cost from position j at candidate u
+    g = np.zeros((n, num_c))
+    for j in range(n - 2, -1, -1):
+        through = chain_rate * distances + (position_scores[j + 1] + g[j + 1])[None, :]
+        np.fill_diagonal(through, np.inf)
+        g[j] = through.min(axis=1)
+
+    first_scores = start_scores + position_scores[0] + g[0]
+    order0 = np.argsort(first_scores)
+
+    best_cost = float(upper_bound)
+    best_tuple: np.ndarray | None = None
+    explored = 0
+    used = np.zeros(num_c, dtype=bool)
+    chosen = np.empty(n, dtype=np.int64)
+
+    # iterative DFS with explicit stack of (position, candidate-order, index)
+    eps = 1e-12
+
+    def _search(pos: int, prev: int, partial: float) -> None:
+        nonlocal best_cost, best_tuple, explored
+        explored += 1
+        if explored > node_budget:
+            raise BudgetExceededError(
+                f"exact search explored more than {node_budget} nodes; "
+                "reduce n, restrict candidates, or raise node_budget"
+            )
+        if pos == n:
+            if partial < best_cost - eps:
+                best_cost = partial
+                best_tuple = chosen.copy()
+            return
+        step = chain_rate * distances[prev] + position_scores[pos]
+        totals = partial + step + g[pos]
+        order = np.argsort(totals)
+        for cand in order:
+            cand = int(cand)
+            if used[cand]:
+                continue
+            if totals[cand] >= best_cost - eps:
+                break  # sorted: nothing later can improve
+            used[cand] = True
+            chosen[pos] = cand
+            _search(pos + 1, cand, partial + float(step[cand]))
+            used[cand] = False
+
+    for cand in order0:
+        cand = int(cand)
+        if first_scores[cand] >= best_cost - eps:
+            break
+        used[cand] = True
+        chosen[0] = cand
+        _search(1, cand, float(start_scores[cand] + position_scores[0][cand]))
+        used[cand] = False
+        explored += 1
+
+    if best_tuple is None:
+        # warm start was already optimal; signal with an empty tuple
+        return np.empty(0, dtype=np.int64), best_cost, explored
+    return best_tuple, best_cost, explored
+
+
+def _resolve_candidates(
+    topology: Topology, candidate_switches: Sequence[int] | None
+) -> np.ndarray:
+    if candidate_switches is None:
+        return topology.switches
+    cand = np.asarray(sorted(set(int(c) for c in candidate_switches)), dtype=np.int64)
+    switch_set = set(topology.switches.tolist())
+    stray = [int(c) for c in cand if int(c) not in switch_set]
+    if stray:
+        raise InfeasibleError(f"candidate switches {stray[:5]} are not switches")
+    return cand
+
+
+def optimal_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    node_budget: int = 5_000_000,
+    candidate_switches: Sequence[int] | None = None,
+) -> PlacementResult:
+    """Algorithm 4: exact TOP via warm-started branch-and-bound."""
+    n = chain_size(sfc)
+    cand = _resolve_candidates(topology, candidate_switches)
+    if n > cand.size:
+        raise InfeasibleError(f"cannot place {n} VNFs on {cand.size} candidate switches")
+    ctx = CostContext(topology, flows)
+
+    dist = ctx.distances[np.ix_(cand, cand)]
+    a_in = ctx.ingress_attraction[cand]
+    a_out = ctx.egress_attraction[cand]
+    position_scores = np.zeros((n, cand.size))
+    position_scores[n - 1] += a_out
+
+    warm: PlacementResult | None = None
+    warm_cost = np.inf
+    if candidate_switches is None and n <= topology.num_switches:
+        warm = dp_placement(topology, flows, n)
+        warm_cost = warm.cost
+
+    tup, cost, explored = exact_chain_search(
+        dist, ctx.total_rate, a_in, position_scores, warm_cost, node_budget
+    )
+    if tup.size == 0:
+        assert warm is not None, "no warm start and no solution found"
+        return PlacementResult(
+            placement=warm.placement,
+            cost=warm.cost,
+            algorithm="optimal",
+            extra={"explored": explored, "warm_start_optimal": True},
+        )
+    placement = cand[tup]
+    validate_placement(topology, placement, n)
+    real_cost = ctx.communication_cost(placement)
+    return PlacementResult(
+        placement=placement,
+        cost=real_cost,
+        algorithm="optimal",
+        extra={"explored": explored, "bound_cost": float(cost)},
+    )
+
+
+def optimal_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float,
+    node_budget: int = 5_000_000,
+    candidate_switches: Sequence[int] | None = None,
+) -> MigrationResult:
+    """Algorithm 6: exact TOM via the same branch-and-bound engine.
+
+    ``flows`` must carry the *new* traffic rates; ``source_placement`` is
+    the placement ``p`` the VNFs currently occupy.
+    """
+    src = validate_placement(topology, source_placement)
+    n = src.size
+    cand = _resolve_candidates(topology, candidate_switches)
+    # the stay-put solution must be expressible in the candidate set
+    cand = np.asarray(sorted(set(cand.tolist()) | set(src.tolist())), dtype=np.int64)
+    ctx = CostContext(topology, flows)
+
+    dist = ctx.distances[np.ix_(cand, cand)]
+    a_in = ctx.ingress_attraction[cand]
+    a_out = ctx.egress_attraction[cand]
+    # per-position migration pull toward the current placement
+    position_scores = mu * ctx.distances[np.ix_(src, cand)]
+    position_scores[n - 1] += a_out
+
+    # warm starts: stay put, or jump wholesale to the fresh DP placement
+    stay_cost = ctx.total_cost(src, src, mu)
+    warm_m = src
+    warm_cost = stay_cost
+    if candidate_switches is None:
+        fresh = dp_placement(topology, flows, n)
+        fresh_cost = ctx.total_cost(src, fresh.placement, mu)
+        if fresh_cost < warm_cost:
+            warm_m = fresh.placement
+            warm_cost = fresh_cost
+
+    tup, cost, explored = exact_chain_search(
+        dist, ctx.total_rate, a_in, position_scores, warm_cost, node_budget
+    )
+    migration = cand[tup] if tup.size else warm_m
+    validate_placement(topology, migration, n)
+    comm = ctx.communication_cost(migration)
+    move = ctx.migration_cost(src, migration, mu)
+    return MigrationResult(
+        source=src,
+        migration=migration,
+        cost=comm + move,
+        communication_cost=comm,
+        migration_cost=move,
+        algorithm="optimal",
+        extra={"explored": explored, "candidates": int(cand.size)},
+    )

@@ -1,0 +1,206 @@
+"""VNF replication (the paper's Section VII future work).
+
+The paper closes by asking "to which extent VNF replication could be
+beneficial in terms of dynamic traffic mitigation when compared to VNF
+migration".  This module implements the natural replication model for
+the single-SFC PPDC so the question can be answered quantitatively:
+
+* Each VNF ``f_j`` may run ``r`` replicas, each on its own switch; a
+  *replicated placement* is an ``(r, n)`` matrix of distinct switches
+  whose ``i``-th row is a complete copy of the chain.
+* Policy preservation is per flow: a flow picks ONE chain copy end to
+  end (replicas of a stateful VNF cannot be mixed mid-flow without
+  state transfer) — the copy minimizing its own policy-preserving route.
+* The replication objective mirrors Eq. 1 with a per-flow min over
+  copies:
+
+      C_a^rep(P) = Σ_i λ_i · min_r [ c(s(v_i), P[r,1]) +
+                                     Σ_j c(P[r,j], P[r,j+1]) +
+                                     c(P[r,n], s(v'_i)) ]
+
+:func:`replicated_placement` builds the copies greedily — copy 1 is the
+plain Algorithm 3 placement; each further copy targets the rack
+neighbourhood whose flows are currently served worst (weighted by their
+rates) and places a *local* chain there via the candidate-restricted
+Algorithm 3.  Locality is the whole point: on symmetric fabrics a
+second globally-placed chain is a clone of the first and no flow ever
+prefers it, whereas a rack-local chain serves its neighbourhood's
+(majority intra-rack) flows with 1-hop attraction instead of a trip to
+the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostContext, validate_placement
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError, PlacementError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "ReplicatedPlacement",
+    "replicated_communication_cost",
+    "per_flow_copy_choice",
+    "replicated_placement",
+]
+
+
+@dataclass(frozen=True)
+class ReplicatedPlacement:
+    """``r`` complete chain copies; ``copies[i]`` is one placement row."""
+
+    copies: np.ndarray  # (r, n) switch node indices, globally distinct
+    cost: float
+    algorithm: str = "replicated-dp"
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.copies, dtype=np.int64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise PlacementError(f"copies must be a non-empty (r, n) matrix, got {arr.shape}")
+        flat = arr.ravel().tolist()
+        if len(set(flat)) != len(flat):
+            raise PlacementError("chain copies must use globally distinct switches")
+        arr.setflags(write=False)
+        object.__setattr__(self, "copies", arr)
+
+    @property
+    def num_copies(self) -> int:
+        return int(self.copies.shape[0])
+
+    @property
+    def num_vnfs(self) -> int:
+        return int(self.copies.shape[1])
+
+
+def _per_copy_flow_costs(ctx: CostContext, copies: np.ndarray) -> np.ndarray:
+    """``(r, l)`` matrix: flow ``i``'s full route cost through copy ``r``."""
+    flows = ctx.flows
+    dist = ctx.distances
+    out = np.empty((copies.shape[0], flows.num_flows))
+    for r_idx in range(copies.shape[0]):
+        row = copies[r_idx]
+        chain = float(dist[row[:-1], row[1:]].sum()) if row.size > 1 else 0.0
+        out[r_idx] = flows.rates * (
+            dist[flows.sources, row[0]] + chain + dist[row[-1], flows.destinations]
+        )
+    return out
+
+
+def per_flow_copy_choice(ctx: CostContext, placement: ReplicatedPlacement) -> np.ndarray:
+    """Which chain copy each flow routes through (argmin of its route cost)."""
+    return _per_copy_flow_costs(ctx, placement.copies).argmin(axis=0)
+
+
+def replicated_communication_cost(
+    topology: Topology, flows: FlowSet, copies: np.ndarray
+) -> float:
+    """``C_a^rep``: every flow takes its cheapest complete chain copy."""
+    ctx = CostContext(topology, flows)
+    per_copy = _per_copy_flow_costs(ctx, np.asarray(copies, dtype=np.int64))
+    return float(per_copy.min(axis=0).sum())
+
+
+def _local_candidates(
+    topology: Topology, anchor: int, used: set[int], n: int
+) -> np.ndarray:
+    """Unused switches nearest ``anchor``, growing the radius until ``n`` fit."""
+    dist = topology.graph.distances
+    free = np.asarray(
+        [s for s in topology.switches if int(s) not in used], dtype=np.int64
+    )
+    order = np.argsort(dist[anchor, free], kind="stable")
+    # take the n nearest plus a small margin so the restricted DP has room
+    take = min(free.size, max(n + 4, 2 * n))
+    return free[order[:take]]
+
+
+def replicated_placement(
+    topology: Topology,
+    flows: FlowSet,
+    n: int,
+    num_copies: int,
+    residual_fraction: float = 0.5,
+) -> ReplicatedPlacement:
+    """Greedy ``num_copies``-replica deployment.
+
+    Copy 1 is the Algorithm 3 placement for all flows.  Each subsequent
+    copy anchors at the rack whose flows currently pay the most (summed
+    best-copy route cost), takes the unused switches nearest that rack's
+    edge switch as candidates, and places a chain there for the rack's
+    neighbourhood flows via the candidate-restricted Algorithm 3.
+    ``residual_fraction`` controls how much of the fabric around the
+    anchor the copy optimizes for: the copy's workload is the fraction of
+    flows closest to the anchor.
+    """
+    if num_copies < 1:
+        raise PlacementError(f"num_copies must be >= 1, got {num_copies}")
+    if not (0.0 < residual_fraction <= 1.0):
+        raise PlacementError(
+            f"residual_fraction must be in (0, 1], got {residual_fraction}"
+        )
+    if num_copies * n > topology.num_switches:
+        raise InfeasibleError(
+            f"{num_copies} copies of {n} VNFs need {num_copies * n} distinct "
+            f"switches but the fabric has {topology.num_switches}"
+        )
+    ctx = CostContext(topology, flows)
+
+    first = dp_placement(topology, flows, n)
+    copies = [first.placement]
+    used = set(first.placement.tolist())
+
+    dist = ctx.distances
+    anchored: set[int] = set()
+    for _ in range(1, num_copies):
+        stack = np.vstack(copies)
+        per_copy = _per_copy_flow_costs(ctx, stack)
+        best_now = per_copy.min(axis=0)
+        # anchor at the rack whose *local* flows pay the most: a local copy
+        # can only fix flows whose endpoints both live near the anchor
+        rack_cost: dict[int, float] = {}
+        for i in range(flows.num_flows):
+            src_rack = topology.rack_of_host(int(flows.sources[i]))
+            dst_rack = topology.rack_of_host(int(flows.destinations[i]))
+            if src_rack == dst_rack:
+                rack_cost[src_rack] = rack_cost.get(src_rack, 0.0) + float(best_now[i])
+        candidates_racks = [r for r in rack_cost if r not in anchored]
+        if not candidates_racks:
+            break
+        anchor = max(candidates_racks, key=lambda r: rack_cost[r])
+        anchored.add(anchor)
+
+        local = _local_candidates(topology, anchor, used, n)
+        if local.size < n:
+            break  # no room for another complete copy
+        # the copy's workload: the anchor's neighbourhood (sources within
+        # two hops — the pod, in a fat tree), topped up with the globally
+        # nearest flows when the neighbourhood is small
+        near_mask = dist[flows.sources, anchor] <= 2.0
+        take = max(
+            int(near_mask.sum()),
+            max(1, int(round(residual_fraction * flows.num_flows)) // 4),
+        )
+        nearest = np.argsort(dist[flows.sources, anchor], kind="stable")[:take]
+        fresh = dp_placement(
+            topology,
+            flows.subset(nearest),
+            n,
+            candidate_switches=local.tolist(),
+        )
+        copies.append(fresh.placement)
+        used.update(int(s) for s in fresh.placement)
+
+    stack = np.vstack(copies)
+    for row in stack:
+        validate_placement(topology, row, n)
+    cost = replicated_communication_cost(topology, flows, stack)
+    return ReplicatedPlacement(
+        copies=stack,
+        cost=cost,
+        extra={"requested_copies": num_copies, "built_copies": stack.shape[0]},
+    )

@@ -1,0 +1,479 @@
+"""Algorithm 2: the DP for the n-stroll problem (TOP-1).
+
+Finding a shortest ``s``-``t`` stroll visiting ``n`` distinct nodes is
+NP-hard, but a shortest ``s``-``t`` stroll with exactly ``e`` *edges* is a
+min-plus DP.  Algorithm 2 therefore runs the e-edge DP on the *metric
+closure* ``G''`` (complete graph of shortest-path costs), starting at
+``e = n + 1`` and growing ``e`` until the reconstructed walk visits at
+least ``n`` distinct intermediate nodes.  Two rules matter:
+
+* the DP runs on the closure, not the raw graph — Example 2 of the paper
+  shows the raw graph gives suboptimal walks;
+* an immediate backtrack ``a → b → a`` is forbidden (line 6 of the
+  pseudocode) — it burns two closure edges without discovering a new node
+  (Example 3), and by the triangle inequality removing one never hurts.
+
+**Backtrack modes.**  The paper's pseudocode memoizes a *single*
+successor per ``(node, e)`` state and rejects an extension ``u → w``
+whenever that stored successor of ``w`` is ``u``.  With cost ties (unit
+weight fabrics are full of them) this can discard ``w`` even though an
+equally cheap continuation avoiding ``u`` exists, and the DP then misses
+optimal strolls.  The classic fix is to memoize the best *two*
+successors and fall back to the second when the first would backtrack —
+this computes exactly the minimum-cost no-immediate-backtrack e-edge
+stroll, which is what the exclusion rule intends.  The engine supports
+both: ``mode="second-best"`` (default, the strengthened DP) and
+``mode="paper"`` (bit-faithful to the pseudocode; used in ablations and
+verified against :func:`dp_stroll_reference`).
+
+:func:`dp_stroll_reference` transliterates the pseudocode with explicit
+loops; :class:`StrollEngine` vectorizes each DP layer as a masked
+min-plus matrix step and exposes batch solving toward a fixed target so
+Algorithm 3 can amortize one DP run across every candidate ingress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InfeasibleError, SolverError
+
+__all__ = ["StrollResult", "StrollEngine", "dp_stroll", "dp_stroll_reference"]
+
+_MODES = ("second-best", "paper")
+
+
+@dataclass(frozen=True)
+class StrollResult:
+    """An ``s``-``t`` stroll visiting at least ``n`` distinct intermediates.
+
+    Attributes
+    ----------
+    walk:
+        Node sequence in closure-index space, from ``s`` to ``t``
+        inclusive; every hop is a closure edge.
+    cost:
+        Walk cost under the closure matrix the solver was given.
+    distinct:
+        The first ``n`` distinct intermediate nodes in visit order —
+        exactly where Algorithm 2 installs ``f_1 … f_n``.
+    num_edges:
+        ``len(walk) - 1`` (the final ``r`` of the pseudocode).
+    """
+
+    walk: np.ndarray
+    cost: float
+    distinct: np.ndarray
+    num_edges: int
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("walk", "distinct"):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+
+def _collect_distinct(walk: np.ndarray, n: int) -> np.ndarray:
+    """First ``n`` distinct intermediates of a walk, in first-visit order.
+
+    Endpoints (``walk[0]`` and ``walk[-1]``) never count, even when the
+    walk revisits them mid-way.
+    """
+    source, target = int(walk[0]), int(walk[-1])
+    seen: list[int] = []
+    seen_set = {source, target}
+    for node in walk[1:-1]:
+        node = int(node)
+        if node not in seen_set:
+            seen.append(node)
+            seen_set.add(node)
+            if len(seen) == n:
+                break
+    return np.asarray(seen, dtype=np.int64)
+
+
+def count_needed(nodes: list[int], endpoints: set[int]) -> int:
+    """Distinct non-endpoint nodes in a walk (the stroll feasibility count)."""
+    return len({v for v in nodes if v not in endpoints})
+
+
+def _check_inputs(closure: np.ndarray, source: int, target: int, n: int) -> np.ndarray:
+    closure = np.asarray(closure, dtype=np.float64)
+    if closure.ndim != 2 or closure.shape[0] != closure.shape[1]:
+        raise SolverError(f"closure must be square, got shape {closure.shape}")
+    m = closure.shape[0]
+    if not (0 <= source < m and 0 <= target < m):
+        raise SolverError(f"endpoints ({source}, {target}) out of range for {m} nodes")
+    if n < 1:
+        raise SolverError(f"n must be >= 1, got {n}")
+    available = m - len({source, target})
+    if available < n:
+        raise InfeasibleError(
+            f"need {n} distinct intermediates but only {available} candidate nodes exist"
+        )
+    return closure
+
+
+class StrollEngine:
+    """Incremental e-edge stroll DP toward a fixed ``target``.
+
+    For every layer ``e`` the engine stores, per node ``u``, the best and
+    second-best first steps of an exactly-``e``-edge ``u → target``
+    stroll (``cost1/succ1`` and ``cost2/succ2``; the two strolls differ
+    in their first step).  Layers are grown on demand, so asking for
+    results from many sources (Algorithm 3) shares all the DP work.
+    """
+
+    #: how many edge counts beyond ``n + 1`` the outer loop scans before
+    #: falling back to insertion repair (see :meth:`solve`)
+    scan_slack: int = 6
+
+    def __init__(
+        self,
+        closure: np.ndarray,
+        target: int,
+        mode: str = "second-best",
+        max_edges: int | None = None,
+    ) -> None:
+        closure = np.asarray(closure, dtype=np.float64)
+        if closure.ndim != 2 or closure.shape[0] != closure.shape[1]:
+            raise SolverError(f"closure must be square, got shape {closure.shape}")
+        if mode not in _MODES:
+            raise SolverError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.closure = closure
+        self.m = closure.shape[0]
+        if not (0 <= target < self.m):
+            raise SolverError(f"target {target} out of range for {self.m} nodes")
+        self.target = int(target)
+        self.mode = mode
+        # a walk can always reach n distinct nodes within n + m edges; the
+        # default guard is generous so hitting it indicates a logic error.
+        self.max_edges = max_edges if max_edges is not None else 2 * self.m + 64
+
+        cost1 = closure[:, target].astype(np.float64, copy=True)
+        cost1[target] = np.inf  # a 1-edge stroll target->target is a self-loop
+        succ1 = np.full(self.m, target, dtype=np.int64)
+        succ1[target] = -1
+        cost2 = np.full(self.m, np.inf)
+        succ2 = np.full(self.m, -1, dtype=np.int64)
+        # layer index 0 == e = 1
+        self._cost1: list[np.ndarray] = [cost1]
+        self._succ1: list[np.ndarray] = [succ1]
+        self._cost2: list[np.ndarray] = [cost2]
+        self._succ2: list[np.ndarray] = [succ2]
+        self._diag = np.arange(self.m)
+
+    @property
+    def num_layers(self) -> int:
+        """Largest ``e`` currently computed."""
+        return len(self._cost1)
+
+    def _grow_layer(self) -> None:
+        prev_c1, prev_s1 = self._cost1[-1], self._succ1[-1]
+        prev_c2 = self._cost2[-1]
+        closure = self.closure
+        # M[u, w] = cost of stepping u -> w then continuing optimally while
+        # avoiding an immediate return to u
+        step = closure + prev_c1[None, :]
+        cols = np.flatnonzero(np.isfinite(prev_c1))
+        rows = prev_s1[cols]
+        if self.mode == "paper":
+            # pseudocode: reject w outright when its stored successor is u
+            step[rows, cols] = np.inf
+        else:
+            # strengthened DP: fall back to w's second-best continuation
+            step[rows, cols] = closure[rows, cols] + prev_c2[cols]
+        step[:, self.target] = np.inf  # target is never an intermediate
+        step[self._diag, self._diag] = np.inf  # no self-steps
+
+        cost1 = step.min(axis=1)
+        succ1 = step.argmin(axis=1).astype(np.int64)
+        succ1[~np.isfinite(cost1)] = -1
+        # second-best first step (must differ from the best first step)
+        finite = np.isfinite(cost1)
+        step[self._diag[finite], succ1[finite]] = np.inf
+        cost2 = step.min(axis=1)
+        succ2 = step.argmin(axis=1).astype(np.int64)
+        succ2[~np.isfinite(cost2)] = -1
+
+        self._cost1.append(cost1)
+        self._succ1.append(succ1)
+        self._cost2.append(cost2)
+        self._succ2.append(succ2)
+
+    def ensure_layers(self, e: int) -> None:
+        if e > self.max_edges:
+            raise SolverError(
+                f"stroll DP asked for {e} edges, beyond the max_edges={self.max_edges} guard"
+            )
+        while self.num_layers < e:
+            self._grow_layer()
+
+    def cost_at(self, source: int, e: int) -> float:
+        """Min cost of an exactly-``e``-edge ``source → target`` stroll."""
+        self.ensure_layers(e)
+        return float(self._cost1[e - 1][source])
+
+    def walk_at(self, source: int, e: int) -> np.ndarray:
+        """Reconstruct the ``e``-edge stroll from ``source`` (inclusive).
+
+        Steps follow the best stored successor, falling back to the
+        second-best when the best would immediately backtrack (the cost
+        layers were computed under exactly this rule, so the walk's cost
+        matches :meth:`cost_at`).
+        """
+        self.ensure_layers(e)
+        if not np.isfinite(self._cost1[e - 1][source]):
+            raise InfeasibleError(
+                f"no {e}-edge stroll from {source} to {self.target} exists"
+            )
+        walk = [int(source)]
+        prev = -1
+        node = int(source)
+        for remaining in range(e, 0, -1):
+            layer = remaining - 1
+            nxt = int(self._succ1[layer][node])
+            if nxt == prev:
+                nxt = int(self._succ2[layer][node])
+                if nxt < 0:
+                    raise SolverError("stroll reconstruction hit a dead end")
+            prev = node
+            node = nxt
+            walk.append(node)
+        assert node == self.target, "stroll reconstruction must end at the target"
+        return np.asarray(walk, dtype=np.int64)
+
+    def batch_solve(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 2's outer loop for *every* source at once.
+
+        Returns ``(costs, edges)`` arrays over all sources: ``costs[s]`` is
+        the cost of the first (smallest-``e``) exactly-``e``-edge stroll
+        from ``s`` whose reconstruction visits at least ``n`` distinct
+        intermediates, and ``edges[s]`` that ``e``.  Sources whose scan
+        window never yields enough distinct nodes are finished by
+        :meth:`solve` (insertion repair) and report the repaired cost.
+        Successor chaining and the distinct-intermediate count are fully
+        vectorized per layer.
+        """
+        m = self.m
+        costs = np.full(m, np.inf)
+        edges = np.full(m, -1, dtype=np.int64)
+        pending = np.ones(m, dtype=bool)
+        scan_limit = min(n + 1 + self.scan_slack, self.max_edges)
+        e = n + 1
+        while np.any(pending) and e <= scan_limit:
+            self.ensure_layers(e)
+            layer_cost = self._cost1[e - 1]
+            active = np.flatnonzero(pending & np.isfinite(layer_cost))
+            if active.size:
+                walks = np.empty((active.size, e + 1), dtype=np.int64)
+                walks[:, 0] = active
+                prev = np.full(active.size, -1, dtype=np.int64)
+                node = active.copy()
+                for step in range(1, e + 1):
+                    layer = e - step
+                    nxt = self._succ1[layer][node]
+                    clash = nxt == prev
+                    if np.any(clash):
+                        nxt = np.where(clash, self._succ2[layer][node], nxt)
+                    prev = node
+                    node = nxt
+                    walks[:, step] = node
+                # distinct intermediates, excluding each walk's own source
+                # and the shared target
+                interior = walks[:, 1:-1].copy()
+                interior[interior == walks[:, :1]] = -1
+                interior[interior == self.target] = -1
+                interior.sort(axis=1)
+                fresh = interior[:, 1:] != interior[:, :-1]
+                counts = fresh.sum(axis=1) + 1
+                counts -= (interior[:, :1] == -1).ravel()  # drop the -1 bucket
+                ok = counts >= n
+                done = active[ok]
+                costs[done] = layer_cost[done]
+                edges[done] = e
+                pending[done] = False
+            e += 1
+        # stragglers: the per-source repair path (rare — cheap-cycle orbits)
+        for source in np.flatnonzero(pending):
+            try:
+                result = self.solve(int(source), n)
+            except (InfeasibleError, SolverError):
+                continue  # stays at (inf, -1): no stroll from this source
+            costs[source] = result.cost
+            edges[source] = result.num_edges
+        return costs, edges
+
+    def _repair_walk(self, walk: np.ndarray, n: int) -> np.ndarray:
+        """Greedy insertion repair: add fresh nodes until ``n`` distinct.
+
+        When the scanned layers never produce a walk with ``n`` distinct
+        intermediates (the e-edge optimum keeps orbiting a cheap cycle —
+        the failure mode the pseudocode's backtrack rule only "partially"
+        fixes, cf. Example 3), the cheapest scanned walk is patched by
+        repeatedly inserting the unvisited node with the smallest detour
+        ``c(a, x) + c(x, b) − c(a, b)`` between some consecutive pair.
+        Each insertion adds exactly one distinct node, so termination is
+        immediate and the detour premium is bounded by the insertion costs.
+        """
+        closure = self.closure
+        nodes = list(int(v) for v in walk)
+        endpoints = {nodes[0], self.target}
+        visited = set(nodes)
+        missing = n - count_needed(nodes, endpoints)
+        candidates = [
+            v for v in range(self.m) if v not in visited and v not in endpoints
+        ]
+        if missing > len(candidates):
+            raise InfeasibleError(
+                f"cannot repair walk to {n} distinct nodes: only "
+                f"{len(candidates)} unvisited candidates remain"
+            )
+        for _ in range(missing):
+            best = (np.inf, -1, -1)  # (delta, candidate, position)
+            arr = np.asarray(nodes)
+            for x in candidates:
+                deltas = closure[arr[:-1], x] + closure[x, arr[1:]] - closure[arr[:-1], arr[1:]]
+                pos = int(np.argmin(deltas))
+                if deltas[pos] < best[0]:
+                    best = (float(deltas[pos]), x, pos)
+            _, x, pos = best
+            if x < 0:
+                raise SolverError("repair found no insertable node")  # pragma: no cover
+            nodes.insert(pos + 1, x)
+            candidates.remove(x)
+        return np.asarray(nodes, dtype=np.int64)
+
+    def solve(self, source: int, n: int) -> StrollResult:
+        """Algorithm 2's outer loop: grow ``e`` until ``n`` distinct nodes.
+
+        The scan is bounded: if no layer in ``n+1 .. n+1+scan_slack``
+        yields enough distinct intermediates (possible when a cheap cycle
+        dominates every longer layer), the cheapest scanned walk is
+        patched by :meth:`_repair_walk` instead of growing ``e`` forever.
+        """
+        _check_inputs(self.closure, source, self.target, n)
+        fallback: np.ndarray | None = None
+        fallback_cost = np.inf
+        for e in range(n + 1, min(n + 1 + self.scan_slack, self.max_edges) + 1):
+            self.ensure_layers(e)
+            if not np.isfinite(self._cost1[e - 1][source]):
+                continue
+            walk = self.walk_at(source, e)
+            distinct = _collect_distinct(walk, n)
+            if distinct.size >= n:
+                return StrollResult(
+                    walk=walk,
+                    cost=float(self._cost1[e - 1][source]),
+                    distinct=distinct[:n],
+                    num_edges=e,
+                    extra={"grown_layers": self.num_layers, "mode": self.mode},
+                )
+            if fallback is None:
+                fallback = walk
+                fallback_cost = float(self._cost1[e - 1][source])
+        if fallback is None:
+            raise SolverError(
+                f"no stroll from {source} to {self.target} exists within "
+                f"{self.max_edges} edges"
+            )
+        repaired = self._repair_walk(fallback, n)
+        distinct = _collect_distinct(repaired, n)
+        assert distinct.size >= n, "repair must reach n distinct intermediates"
+        cost = float(self.closure[repaired[:-1], repaired[1:]].sum())
+        return StrollResult(
+            walk=repaired,
+            cost=cost,
+            distinct=distinct[:n],
+            num_edges=int(repaired.size - 1),
+            extra={"mode": self.mode, "repaired": True, "scan_cost": fallback_cost},
+        )
+
+
+def dp_stroll(
+    closure: np.ndarray,
+    source: int,
+    target: int,
+    n: int,
+    mode: str = "second-best",
+) -> StrollResult:
+    """Algorithm 2 (vectorized): shortest stroll visiting ``n`` distinct nodes.
+
+    ``closure`` must be a metric-closure cost matrix (complete graph);
+    ``source``/``target`` are indices into it.  See the module docstring
+    for the ``mode`` choices.
+    """
+    closure = _check_inputs(closure, source, target, n)
+    engine = StrollEngine(closure, target, mode=mode)
+    return engine.solve(source, n)
+
+
+def dp_stroll_reference(
+    closure: np.ndarray,
+    source: int,
+    target: int,
+    n: int,
+) -> StrollResult:
+    """Pure-Python transliteration of the paper's Algorithm 2 pseudocode.
+
+    Single-successor memoization, exactly as printed (= ``mode="paper"``
+    of the vectorized engine, which tests assert it agrees with).  Kept
+    deliberately loop-heavy and index-explicit as executable ground truth.
+    """
+    closure = _check_inputs(closure, source, target, n)
+    m = closure.shape[0]
+    max_edges = 2 * m + 64
+
+    # cost[e][u], succ[e][u]; e starts at 1
+    cost: dict[int, list[float]] = {1: [float("inf")] * m}
+    succ: dict[int, list[int]] = {1: [-1] * m}
+    for u in range(m):
+        if u != target:
+            cost[1][u] = float(closure[u, target])
+            succ[1][u] = target
+
+    def grow(e: int) -> None:
+        cost[e] = [float("inf")] * m
+        succ[e] = [-1] * m
+        for u_i in range(m):
+            for u in range(m):
+                if u == u_i or u == target:
+                    continue
+                if succ[e - 1][u] == u_i:
+                    continue  # line 6: no immediate backtrack
+                candidate = float(closure[u_i, u]) + cost[e - 1][u]
+                if candidate < cost[e][u_i]:
+                    cost[e][u_i] = candidate
+                    succ[e][u_i] = u
+
+    r = n + 1
+    while True:
+        for e in range(2, r + 1):
+            if e not in cost:
+                grow(e)
+        if cost[r][source] != float("inf"):
+            # reconstruct the r-edge walk via the successor tables
+            walk = [source]
+            node = source
+            for remaining in range(r, 0, -1):
+                node = succ[remaining][node]
+                walk.append(node)
+            walk_arr = np.asarray(walk, dtype=np.int64)
+            distinct = _collect_distinct(walk_arr, n)
+            if distinct.size >= n:
+                return StrollResult(
+                    walk=walk_arr,
+                    cost=float(cost[r][source]),
+                    distinct=distinct[:n],
+                    num_edges=r,
+                    extra={"engine": "reference"},
+                )
+        r += 1
+        if r > max_edges:
+            raise SolverError(
+                f"reference stroll search exceeded {max_edges} edges; "
+                "instance appears degenerate"
+            )

@@ -1,0 +1,110 @@
+"""Result types shared by every placement/migration algorithm.
+
+All algorithms — ours and the baselines — return the same
+:class:`PlacementResult` / :class:`MigrationResult` shapes so the
+experiment harness can evaluate and tabulate them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+__all__ = ["PlacementResult", "MigrationResult"]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """A VNF placement ``p`` and its total communication cost ``C_a(p)``.
+
+    Attributes
+    ----------
+    placement:
+        ``p`` as an array of graph node indices: ``placement[j]`` is the
+        switch hosting VNF ``f_{j+1}`` (ingress at position 0).
+    cost:
+        ``C_a(p)`` under the rates the algorithm was given (Eq. 1).
+    algorithm:
+        Identifier for tables (``"dp"``, ``"optimal"``, ``"steering"``, …).
+    extra:
+        Free-form diagnostics (iterations, bound values, runtimes, …).
+    """
+
+    placement: np.ndarray
+    cost: float
+    algorithm: str
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.placement, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise PlacementError(f"placement must be a non-empty 1-D array, got {arr!r}")
+        arr.setflags(write=False)
+        object.__setattr__(self, "placement", arr)
+        if not np.isfinite(self.cost):
+            raise PlacementError(f"placement cost must be finite, got {self.cost}")
+
+    @property
+    def num_vnfs(self) -> int:
+        return int(self.placement.size)
+
+    @property
+    def ingress(self) -> int:
+        return int(self.placement[0])
+
+    @property
+    def egress(self) -> int:
+        return int(self.placement[-1])
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """A VNF migration ``m`` from an initial placement ``p``.
+
+    ``cost`` is the paper's objective ``C_t(p, m) = C_b(p, m) + C_a(m)``
+    (Eq. 8); the two addends are broken out so the Pareto analysis and
+    Fig. 11's migration-count plots need no recomputation.
+    """
+
+    source: np.ndarray
+    migration: np.ndarray
+    cost: float
+    communication_cost: float
+    migration_cost: float
+    algorithm: str
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        src = np.asarray(self.source, dtype=np.int64)
+        dst = np.asarray(self.migration, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1 or src.size == 0:
+            raise PlacementError(
+                f"source {src.shape} and migration {dst.shape} must be equal-length 1-D"
+            )
+        for arr, name in ((src, "source"), (dst, "migration")):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+        if abs((self.communication_cost + self.migration_cost) - self.cost) > 1e-6 * max(
+            1.0, abs(self.cost)
+        ):
+            raise PlacementError(
+                "cost must equal communication_cost + migration_cost "
+                f"({self.communication_cost} + {self.migration_cost} != {self.cost})"
+            )
+
+    @property
+    def num_migrated(self) -> int:
+        """How many VNFs actually moved (``m(j) != p(j)``)."""
+        return int(np.count_nonzero(self.source != self.migration))
+
+    def as_placement(self) -> PlacementResult:
+        """The post-migration placement viewed as a plain placement result."""
+        return PlacementResult(
+            placement=self.migration,
+            cost=self.communication_cost,
+            algorithm=self.algorithm,
+            extra=dict(self.extra),
+        )

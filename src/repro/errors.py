@@ -1,0 +1,54 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still being able to distinguish configuration mistakes from
+infeasible problem instances.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation references unknown nodes."""
+
+
+class TopologyError(ReproError):
+    """A topology builder received inconsistent or unsupported parameters."""
+
+
+class WorkloadError(ReproError):
+    """A workload (flows, traffic model, SFC) is inconsistent."""
+
+
+class PlacementError(ReproError):
+    """A VNF placement is infeasible or violates the distinctness rule."""
+
+
+class MigrationError(ReproError):
+    """A VNF/VM migration request cannot be satisfied."""
+
+
+class InfeasibleError(ReproError):
+    """The problem instance admits no feasible solution.
+
+    Raised, for example, when an SFC has more VNFs than there are switches,
+    or when a min-cost-flow instance cannot route the required amount.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An exact solver was asked to explore a search space beyond its guard.
+
+    The exhaustive solvers (Algorithms 4 and 6 in the paper) are
+    ``O(|V_s|^n)``; this error is raised instead of silently running for
+    hours when the instance exceeds the configured node budget.
+    """
+
+
+class SolverError(ReproError):
+    """An internal solver reached an inconsistent state (library bug)."""

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Importing this package registers every experiment; run them via
+
+>>> from repro.experiments import get_experiment
+>>> result = get_experiment("fig07_top1")("smoke")
+>>> print(result.to_table())          # doctest: +SKIP
+
+or from the command line: ``python -m repro.cli run fig07_top1``.
+"""
+
+from repro.experiments.common import (
+    SCALES,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    register,
+)
+
+# importing the modules populates the registry
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    extensions,
+    fig03_example,
+    fig06_pareto,
+    fig07_top1,
+    fig08_diurnal,
+    fig09_top,
+    fig10_top_weighted,
+    fig11_dynamic,
+    scorecard,
+    tables,
+    validations,
+)
+
+__all__ = [
+    "SCALES",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

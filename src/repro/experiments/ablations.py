@@ -1,0 +1,295 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* ``ablation_complete_graph`` — Example 2's point: the stroll DP must run
+  on the metric closure; on the raw graph it returns dearer strolls.
+* ``ablation_dp_backends`` — the pseudocode's single-successor memo
+  ("paper" mode) vs the strengthened best/second-best DP, cross-checked
+  against the loop-faithful reference implementation.
+* ``ablation_frontiers`` — Algorithm 5's parallel frontiers vs the naive
+  endpoint rule (stay at ``p`` or jump to ``p'``) vs exact Algorithm 6.
+* ``ablation_mu`` — sensitivity of the migration benefit to the
+  migration coefficient μ.
+* ``ablation_dynamics`` — how much headroom migration has (fresh-vs-stale
+  placement gap at μ=0) under each traffic-dynamics model; documents why
+  the Fig. 11 regime uses hourly redraws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostContext
+from repro.core.migration import best_full_frontier, mpareto_migration
+from repro.core.optimal import optimal_migration
+from repro.core.placement import dp_placement
+from repro.core.stroll import dp_stroll, dp_stroll_reference
+from repro.errors import InfeasibleError, MigrationError, SolverError
+from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.graphs.generators import random_cost_graph
+from repro.graphs.metric_closure import metric_closure
+from repro.topology.fattree import fat_tree
+from repro.utils.rng import spawn_rngs
+from repro.workload.diurnal import DiurnalModel, assign_cohorts, assign_cohorts_spatial
+from repro.workload.dynamics import RedrawnRates, ScaledRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = [
+    "run_complete_graph",
+    "run_dp_backends",
+    "run_frontiers",
+    "run_mu",
+    "run_dynamics",
+]
+
+
+def _raw_cost_matrix(graph) -> np.ndarray:
+    """Adjacency weights with +inf for non-edges (the non-closure input)."""
+    return graph.weights.copy()
+
+
+@register("ablation_complete_graph", "Stroll DP on metric closure vs raw graph")
+def run_complete_graph(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    rows = []
+    worse = 0
+    failed = 0
+    trials = 6 if scale == "smoke" else 20
+    for seed in range(trials):
+        rng = np.random.default_rng(seed)
+        # sparse graphs make the point: on dense graphs raw walks already
+        # approximate closure walks, Example 2 is about the sparse case
+        graph = random_cost_graph(rng, 10, edge_prob=0.12)
+        closure = metric_closure(graph)
+        raw = _raw_cost_matrix(graph)
+        on_closure = dp_stroll(closure, 0, 9, 3).cost
+        try:
+            on_raw = dp_stroll(raw, 0, 9, 3).cost
+        except (SolverError, InfeasibleError):
+            # the raw graph may not even contain an (n+1)-edge stroll —
+            # the obstacle the paper's G'' construction removes
+            on_raw = None
+            failed += 1
+        if on_raw is not None and on_raw > on_closure + 1e-9:
+            worse += 1
+        rows.append(
+            {
+                "seed": seed,
+                "closure_cost": on_closure,
+                "raw_graph_cost": on_raw,
+                "penalty": (on_raw / on_closure - 1.0) if on_raw is not None else None,
+            }
+        )
+    notes = [
+        f"raw-graph DP strictly worse on {worse}/{trials} instances and "
+        f"outright failed on {failed}/{trials} (never better) — "
+        "Example 2's motivation for G''",
+    ]
+    return ExperimentResult(
+        experiment="ablation_complete_graph",
+        description="Example 2 ablation: DP input graph",
+        rows=rows,
+        notes=notes,
+        params={"trials": trials},
+    )
+
+
+@register("ablation_dp_backends", "Stroll DP variants: second-best vs paper vs reference")
+def run_dp_backends(scale: str = "default") -> ExperimentResult:
+    check_scale(scale)
+    trials = 6 if scale == "smoke" else 25
+    rows = []
+    agree = 0
+    improvements = []
+    for seed in range(trials):
+        rng = np.random.default_rng(1000 + seed)
+        closure = metric_closure(random_cost_graph(rng, 9))
+        strengthened = dp_stroll(closure, 0, 8, 3).cost
+        paper = dp_stroll(closure, 0, 8, 3, mode="paper").cost
+        reference = dp_stroll_reference(closure, 0, 8, 3).cost
+        agree += int(abs(paper - reference) < 1e-9)
+        improvements.append(paper / strengthened - 1.0)
+        rows.append(
+            {
+                "seed": seed,
+                "second_best": strengthened,
+                "paper_mode": paper,
+                "reference": reference,
+            }
+        )
+    notes = [
+        f"vectorized paper mode == pseudocode reference on {agree}/{trials} instances",
+        f"paper mode over second-best: mean {np.mean(improvements):+.1%}, "
+        f"max {np.max(improvements):+.1%} (ties on symmetric fabrics, can "
+        "lose badly on tie-dense instances)",
+    ]
+    return ExperimentResult(
+        experiment="ablation_dp_backends",
+        description="Backtrack-handling ablation for Algorithm 2",
+        rows=rows,
+        notes=notes,
+        params={"trials": trials},
+    )
+
+
+@register("ablation_frontiers", "mPareto frontiers vs endpoint rule vs exact TOM")
+def run_frontiers(scale: str = "default") -> ExperimentResult:
+    params = {
+        "smoke": {"k": 4, "l": 8, "n": 3, "trials": 3, "mu": 100.0},
+        "default": {"k": 8, "l": 32, "n": 5, "trials": 8, "mu": 1e3},
+        "paper": {"k": 8, "l": 128, "n": 7, "trials": 20, "mu": 1e4},
+    }[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    rows = []
+    for trial, rng in enumerate(spawn_rngs(31, params["trials"])):
+        flows = place_vm_pairs(topo, params["l"], seed=rng)
+        flows = flows.with_rates(model.sample(params["l"], rng=rng))
+        source = dp_placement(topo, flows, params["n"]).placement
+        new_flows = flows.with_rates(model.sample(params["l"], rng=rng))
+        ctx = CostContext(topo, new_flows)
+
+        mp = mpareto_migration(topo, new_flows, source, params["mu"])
+        # endpoint rule: stay at p or jump wholesale to p'
+        fresh = dp_placement(topo, new_flows, params["n"]).placement
+        endpoint_cost = min(
+            ctx.total_cost(source, source, params["mu"]),
+            ctx.total_cost(source, fresh, params["mu"]),
+        )
+        # Definition 1's complete frontier set, when enumerable
+        try:
+            _, full_cost = best_full_frontier(
+                ctx, source, fresh, params["mu"], limit=50_000
+            )
+        except MigrationError:
+            full_cost = None
+        opt = optimal_migration(topo, new_flows, source, params["mu"])
+        rows.append(
+            {
+                "trial": trial,
+                "mpareto": mp.cost,
+                "full_frontier_set": full_cost,
+                "endpoints_only": endpoint_cost,
+                "optimal": opt.cost,
+                "frontiers": mp.extra["num_frontiers"],
+            }
+        )
+    mp_mean = np.mean([r["mpareto"] for r in rows])
+    ep_mean = np.mean([r["endpoints_only"] for r in rows])
+    opt_mean = np.mean([r["optimal"] for r in rows])
+    notes = [
+        f"mPareto within {mp_mean / opt_mean - 1.0:.2%} of exact TOM on average",
+        f"interior frontiers buy {1.0 - mp_mean / ep_mean:.2%} over the "
+        "endpoint-only rule on average",
+    ]
+    return ExperimentResult(
+        experiment="ablation_frontiers",
+        description="Value of parallel migration frontiers (Algorithm 5)",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )
+
+
+@register("ablation_mu", "Migration-coefficient sensitivity of mPareto")
+def run_mu(scale: str = "default") -> ExperimentResult:
+    params = {
+        "smoke": {"k": 4, "l": 8, "n": 3, "mus": (0.0, 1e2, 1e4)},
+        "default": {"k": 8, "l": 64, "n": 5, "mus": (0.0, 1e1, 1e2, 1e3, 1e4, 1e5)},
+        "paper": {"k": 16, "l": 256, "n": 7, "mus": (0.0, 1e2, 1e3, 1e4, 1e5, 1e6)},
+    }[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    rng = spawn_rngs(37, 1)[0]
+    flows = place_vm_pairs(topo, params["l"], seed=rng)
+    flows = flows.with_rates(model.sample(params["l"], rng=rng))
+    # the hour-0 start (see fig11_dynamic): an arbitrary placement, so
+    # migration has real work to do at every mu
+    source = np.sort(rng.choice(topo.switches, size=params["n"], replace=False))
+    new_flows = flows.with_rates(model.sample(params["l"], rng=rng))
+    ctx = CostContext(topo, new_flows)
+    stay = ctx.communication_cost(source)
+
+    rows = []
+    for mu in params["mus"]:
+        result = mpareto_migration(topo, new_flows, source, mu)
+        rows.append(
+            {
+                "mu": mu,
+                "total_cost": result.cost,
+                "migration_cost": result.migration_cost,
+                "vnfs_moved": result.num_migrated,
+                "stay_cost": stay,
+            }
+        )
+    moves = [r["vnfs_moved"] for r in rows]
+    notes = [
+        f"migrations monotonically vanish as mu grows: {moves}",
+        "total cost is non-decreasing in mu: "
+        f"{all(a['total_cost'] <= b['total_cost'] + 1e-6 for a, b in zip(rows, rows[1:]))}",
+    ]
+    return ExperimentResult(
+        experiment="ablation_mu",
+        description="mPareto vs migration coefficient",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )
+
+
+@register("ablation_dynamics", "Migration headroom under each dynamics model")
+def run_dynamics(scale: str = "default") -> ExperimentResult:
+    params = {
+        "smoke": {"k": 4, "l": 8, "n": 3},
+        "default": {"k": 8, "l": 32, "n": 5},
+        "paper": {"k": 8, "l": 128, "n": 7},
+    }[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    diurnal = DiurnalModel()
+    flows = place_vm_pairs(topo, params["l"], seed=3)
+    flows = flows.with_rates(model.sample(params["l"], rng=3))
+
+    rows = []
+    for dynamics in ("scaled", "redrawn"):
+        for cohorts in ("random", "spatial"):
+            offsets = (
+                assign_cohorts_spatial(topo, flows)
+                if cohorts == "spatial"
+                else assign_cohorts(params["l"], seed=3)
+            )
+            if dynamics == "scaled":
+                process = ScaledRates(flows, diurnal, offsets)
+            else:
+                process = RedrawnRates(flows, diurnal, offsets, model, seed=3)
+            stale_placement = dp_placement(
+                topo, flows.with_rates(process.rates_at(1)), params["n"]
+            ).placement
+            stale = fresh = 0.0
+            for hour in range(1, diurnal.num_hours + 1):
+                hour_flows = flows.with_rates(process.rates_at(hour))
+                ctx = CostContext(topo, hour_flows)
+                stale += ctx.communication_cost(stale_placement)
+                fresh += dp_placement(topo, hour_flows, params["n"]).cost
+            rows.append(
+                {
+                    "dynamics": dynamics,
+                    "cohorts": cohorts,
+                    "stale_day_cost": stale,
+                    "fresh_day_cost": fresh,
+                    "headroom": 1.0 - fresh / stale if stale > 0 else 0.0,
+                }
+            )
+    notes = [
+        "headroom = the largest possible migration saving (mu=0, TOP at "
+        "hour 1); on an unweighted fat tree with spatially uniform scaled "
+        "traffic it collapses to ~0 — the reason Fig. 11 needs per-hour "
+        "rate churn (see EXPERIMENTS.md)",
+    ]
+    return ExperimentResult(
+        experiment="ablation_dynamics",
+        description="Fresh-vs-stale placement gap per dynamics model",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

@@ -1,0 +1,132 @@
+"""Shared experiment infrastructure: results, scales, and the registry.
+
+Every figure of the paper's evaluation section has one module here whose
+``run(scale)`` regenerates it as an :class:`ExperimentResult` — a list of
+rows (one per x-axis point) with one column per algorithm series, plus
+free-form notes recording the qualitative checks (who wins, by how much).
+
+Three scales are supported everywhere:
+
+* ``smoke`` — seconds; used by the test suite.
+* ``default`` — minutes on a laptop; used by ``pytest benchmarks/``.
+* ``paper`` — the paper's fabric sizes (k=16, 20 replications); hours.
+  Exact ("Optimal") series automatically degrade to restricted-exact or
+  are skipped where the search is infeasible, and say so in the notes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.utils.tables import rows_to_table
+
+__all__ = [
+    "SCALES",
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+]
+
+SCALES = ("smoke", "default", "paper")
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    experiment: str
+    description: str
+    rows: list[dict]
+    columns: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        header = f"{self.experiment}: {self.description}"
+        if self.params:
+            header += "\nparams: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.params.items())
+            )
+        body = rows_to_table(self.rows, columns=self.columns, title=header)
+        if self.notes:
+            body += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return body
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "description": self.description,
+                "params": self.params,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def to_chart(self) -> str:
+        """Sparkline chart of the numeric columns (see ``repro run --plot``).
+
+        The first column is treated as the x axis; every other column
+        whose values are numeric becomes a series.
+        """
+        from repro.utils.plotting import series_chart
+
+        if not self.rows:
+            return "(empty)"
+        columns = list(self.rows[0].keys())
+        x_name = columns[0]
+        series = {}
+        for name in columns[1:]:
+            values = [row.get(name) for row in self.rows]
+            numeric = [
+                float(v) if isinstance(v, (int, float)) and v is not None else float("nan")
+                for v in values
+            ]
+            if any(v == v for v in numeric):  # at least one non-NaN
+                series[name] = numeric
+        return series_chart(series, x_labels=self.column(x_name))
+
+
+ExperimentFn = Callable[[str], ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, ExperimentFn]] = {}
+
+
+def register(name: str, description: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator adding an experiment to the global registry."""
+
+    def deco(fn: ExperimentFn) -> ExperimentFn:
+        if name in _REGISTRY:
+            raise ReproError(f"experiment {name!r} registered twice")
+        _REGISTRY[name] = (description, fn)
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    try:
+        return _REGISTRY[name][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ReproError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def list_experiments() -> Mapping[str, str]:
+    """Name -> description of every registered experiment."""
+    return {name: desc for name, (desc, _fn) in sorted(_REGISTRY.items())}
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ReproError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale

@@ -1,0 +1,105 @@
+"""Fig. 6(b): the (C_b, C_a) trace of the parallel migration frontiers.
+
+The paper plots, for a k=16 fat tree with n=6 VNFs and μ=200, the
+migration cost ``C_b(p, m)`` (x) against the post-migration communication
+cost ``C_a(m)`` (y) of every parallel frontier, observing that the trace
+forms a Pareto front (C_a falls as C_b rises) and noting that a convex
+front certifies mPareto's scalarized optimum (Theorem 5).
+
+Scenario: the Fig. 1/3 story at fabric scale — traffic whose spatial
+centre of mass moves across the day (spatial time-zone cohorts under the
+Eq. 9 envelope), so the fresh placement ``p'`` sits across the fabric
+from ``p`` and the corridors are long enough to trace.
+
+**Reproduction finding** (recorded in the notes and EXPERIMENTS.md): the
+*endpoint-sorted non-dominated subset* of the frontiers is a Pareto front
+by construction, but the raw frontier sequence is not always monotone in
+``C_a``: when each VNF independently picks among the fat tree's many
+equal-length shortest paths, the chain can scatter mid-transit and
+intermediate frontiers transiently cost more than both endpoints.
+mPareto is unaffected — it scans every frontier and takes the minimum —
+but the paper's "the frontiers are a Pareto front" observation holds for
+coherent migrations, not universally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostContext
+from repro.core.migration import (
+    front_is_convex,
+    frontier_trace,
+    is_pareto_front,
+    pareto_points,
+)
+from repro.core.placement import dp_placement
+from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.topology.fattree import fat_tree
+from repro.workload.diurnal import DiurnalModel, assign_cohorts_spatial
+from repro.workload.dynamics import ScaledRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = ["run"]
+
+_SCALE_PARAMS = {
+    "smoke": {"k": 4, "n": 3, "num_pairs": 8, "mu": 200.0, "seed": 2},
+    "default": {"k": 8, "n": 6, "num_pairs": 12, "mu": 200.0, "seed": 2},
+    "paper": {"k": 16, "n": 6, "num_pairs": 48, "mu": 200.0, "seed": 2},
+}
+
+
+@register("fig06_pareto", "Parallel-frontier Pareto trace (C_b vs C_a)")
+def run(scale: str = "default") -> ExperimentResult:
+    params = _SCALE_PARAMS[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    diurnal = DiurnalModel()
+
+    # scan seeds deterministically for an instance whose optimum moves
+    trace = None
+    for seed in range(params["seed"], params["seed"] + 16):
+        flows = place_vm_pairs(topo, params["num_pairs"], seed=seed)
+        flows = flows.with_rates(model.sample(params["num_pairs"], rng=seed))
+        offsets = assign_cohorts_spatial(topo, flows)
+        process = ScaledRates(flows, diurnal, offsets)
+        early = flows.with_rates(process.rates_at(1))  # east cohort dominates
+        late = flows.with_rates(process.rates_at(9))  # west cohort only
+        source = dp_placement(topo, early, params["n"]).placement
+        target = dp_placement(topo, late, params["n"]).placement
+        ctx = CostContext(topo, late)
+        candidate = frontier_trace(ctx, source, target, params["mu"])
+        if trace is None or candidate.num_frontiers > trace.num_frontiers:
+            trace = candidate
+        if trace.num_frontiers >= 3:
+            break
+    assert trace is not None
+
+    rows = [
+        {
+            "frontier": i,
+            "C_b": float(trace.migration_costs[i]),
+            "C_a": float(trace.communication_costs[i]),
+            "C_t": float(trace.total_costs[i]),
+            "distinct": bool(trace.distinct[i]),
+        }
+        for i in range(trace.num_frontiers)
+    ]
+    best = trace.best_index(require_distinct=True)
+    front = pareto_points(trace)
+    notes = [
+        f"frontier count h_max = {trace.num_frontiers}",
+        f"raw frontier sequence is a Pareto front: {is_pareto_front(trace)} "
+        "(paper: yes; see module docstring for when this breaks)",
+        f"non-dominated frontiers: {front.tolist()}",
+        f"front is convex (Theorem 5 condition): {front_is_convex(trace)}",
+        f"mPareto selects frontier {best} with C_t = {trace.total_costs[best]:,.0f}",
+    ]
+    return ExperimentResult(
+        experiment="fig06_pareto",
+        description="Fig. 6(b): C_b vs C_a over parallel migration frontiers",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

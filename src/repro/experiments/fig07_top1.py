@@ -1,0 +1,109 @@
+"""Fig. 7: TOP-1 algorithms on a k=8 unweighted PPDC with one VM pair.
+
+The paper plots, for n = 2…8(+), the communication cost of
+
+* **DP-Stroll** (Algorithm 2),
+* **Optimal** (Algorithm 4, exact), and
+* **PrimalDual** — plotted as its 2+ε *guarantee*, i.e. 2 × Optimal
+  ("we compare DP-Stroll with the 2+ε guarantee (i.e., two times of
+  Optimal) of PrimalDual"),
+
+observing that DP-Stroll stays within ~8 % of Optimal and far below the
+guarantee.  We additionally run two extra series: the bit-faithful
+``mode="paper"`` DP (the pseudocode's single-successor memo — the closest
+analogue of the paper's own implementation, and the one expected to show
+its ~8 % gap) and our concrete primal-dual implementation (Algorithm 1).
+Every data point averages ``replications`` random single-flow workloads
+(95 % CI half-widths are reported alongside).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement_top1
+from repro.core.primal_dual import primal_dual_placement_top1
+from repro.errors import BudgetExceededError
+from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.topology.fattree import fat_tree
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import mean_ci
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = ["run"]
+
+_SCALE_PARAMS = {
+    "smoke": {"k": 4, "ns": (2, 3), "replications": 2, "seed": 5},
+    "default": {"k": 8, "ns": (2, 3, 4, 5, 6), "replications": 5, "seed": 5},
+    "paper": {"k": 8, "ns": tuple(range(2, 14)), "replications": 20, "seed": 5},
+}
+
+
+@register("fig07_top1", "TOP-1: DP-Stroll vs Optimal vs the 2+eps guarantee")
+def run(scale: str = "default") -> ExperimentResult:
+    params = _SCALE_PARAMS[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    rows = []
+    notes = []
+    gaps = []
+    for n in params["ns"]:
+        dp_costs, paper_costs, opt_costs, pd_costs = [], [], [], []
+        optimal_ok = True
+        for rng in spawn_rngs(params["seed"] * 1000 + n, params["replications"]):
+            flows = place_vm_pairs(topo, 1, intra_rack_fraction=0.0, seed=rng)
+            flows = flows.with_rates(model.sample(1, rng=rng))
+            dp_costs.append(dp_placement_top1(topo, flows, n).cost)
+            paper_costs.append(dp_placement_top1(topo, flows, n, mode="paper").cost)
+            pd_costs.append(primal_dual_placement_top1(topo, flows, n).cost)
+            if optimal_ok:
+                try:
+                    opt_costs.append(
+                        optimal_placement(topo, flows, n, node_budget=400_000).cost
+                    )
+                except BudgetExceededError:
+                    optimal_ok = False
+        dp = mean_ci(dp_costs)
+        paper_dp = mean_ci(paper_costs)
+        pd = mean_ci(pd_costs)
+        opt = mean_ci(opt_costs) if optimal_ok and opt_costs else None
+        row = {
+            "n": n,
+            "dp_stroll": dp.mean,
+            "dp_ci": dp.halfwidth,
+            "dp_stroll_paper_mode": paper_dp.mean,
+            "optimal": opt.mean if opt else None,
+            "primaldual_guarantee": 2.0 * opt.mean if opt else None,
+            "primal_dual_actual": pd.mean,
+        }
+        rows.append(row)
+        if opt:
+            gaps.append(dp.mean / opt.mean - 1.0)
+    if gaps:
+        notes.append(
+            f"DP-Stroll over Optimal: mean gap {np.mean(gaps):.1%}, "
+            f"max {np.max(gaps):.1%} (paper: ~8% with its single-successor "
+            "memo; see dp_stroll_paper_mode for that variant)"
+        )
+        paper_gaps = [
+            r["dp_stroll_paper_mode"] / r["optimal"] - 1.0
+            for r in rows
+            if r["optimal"]
+        ]
+        notes.append(
+            f"paper-mode DP over Optimal: mean gap {np.mean(paper_gaps):.1%}, "
+            f"max {np.max(paper_gaps):.1%}"
+        )
+        notes.append(
+            "DP-Stroll below the 2+eps guarantee at every measured n: "
+            f"{all(r['dp_stroll'] <= r['primaldual_guarantee'] for r in rows if r['optimal'])}"
+        )
+    return ExperimentResult(
+        experiment="fig07_top1",
+        description="Fig. 7: TOP-1 comparison on the k=%d fat tree, l=1" % params["k"],
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

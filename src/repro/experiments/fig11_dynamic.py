@@ -1,0 +1,234 @@
+"""Fig. 11: VNF migration under dynamic traffic (the headline experiment).
+
+Three registered experiments cover the four panels:
+
+* ``fig11a_hourly`` — per-hour total cost of mPareto, Optimal, PLAN and
+  MCF (panel (a)) together with their per-hour migration counts
+  (panel (b));
+* ``fig11c_vary_l`` — total day cost vs the number of VM pairs ``l``
+  (exponential scale, base 2) for mPareto and Optimal at μ = 10⁴ and
+  10⁵, against NoMigration (panel (c));
+* ``fig11d_vary_n`` — total day cost vs the SFC length ``n`` for mPareto
+  vs NoMigration (panel (d)).
+
+Experimental regime (see EXPERIMENTS.md for the full rationale):
+
+* per-flow rates redraw every hour (production-style churn) under the
+  Eq. 9 diurnal envelope with the two 3-hour-offset cohorts;
+* the day starts from the literal hour-0 TOP placement — Eq. 9 gives
+  τ₀ = 0, so every placement ties as "initial optimal" and an arbitrary
+  one is used (this staleness is exactly what NoMigration pays for);
+* the VM-migration baselines get deliberately *favorable* terms — VM
+  moves priced at ``VM_SIZE_RATIO = 0.02×`` a VNF move (physically a VM
+  image costs ~10× more, under which PLAN/MCF never move at all and
+  coincide with NoMigration) and ``FREE_SLOTS = 4`` spare VM slots per
+  host — so Fig. 11(b)'s "many VM migrations" is visible and the
+  comparison is an upper bound on what VM migration can achieve;
+* the Optimal series is Algorithm 6 (warm-started branch-and-bound),
+  restricted to a candidate neighbourhood when the fabric is too large
+  for the full exact search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.sim.policies import (
+    McfVmPolicy,
+    MParetoPolicy,
+    NoMigrationPolicy,
+    OptimalVnfPolicy,
+    PlanVmPolicy,
+)
+from repro.sim.runner import RunConfig, run_replications
+from repro.topology.fattree import fat_tree
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = ["run_hourly", "run_vary_l", "run_vary_n"]
+
+_BASE = {
+    "smoke": {"k": 4, "l": 8, "n": 3, "replications": 2, "seed": 17,
+              "ls": (4, 8), "ns": (2, 3), "node_budget": 50_000},
+    "default": {"k": 8, "l": 64, "n": 7, "replications": 3, "seed": 17,
+                "ls": (8, 16, 32, 64, 128), "ns": (3, 5, 7, 9),
+                "node_budget": 400_000},
+    "paper": {"k": 16, "l": 256, "n": 7, "replications": 20, "seed": 17,
+              "ls": (16, 32, 64, 128, 256, 512, 1024), "ns": (3, 5, 7, 9, 11, 13),
+              "node_budget": 400_000},
+}
+
+#: deliberately favorable to the VM baselines — see module docstring.
+#: (The physically-motivated value from the paper's μ methodology is ~10:
+#: a VM image dwarfs a 100 MB VNF container; at that price PLAN and MCF
+#: simply never migrate and equal NoMigration.)
+VM_SIZE_RATIO = 0.02
+
+#: spare VM slots per host for the VM-migration baselines
+FREE_SLOTS = 4
+
+
+def _optimal_candidates(topology, scale: str):
+    """Candidate restriction for Algorithm 6 on large fabrics.
+
+    The full exact search is used up to k=8; on the paper-scale k=16
+    fabric the exact reference is restricted to every fourth switch plus
+    whatever the policies touch (documented as "restricted-exact").
+    """
+    if scale != "paper":
+        return None
+    return topology.switches[::4].tolist()
+
+
+def _config(params, l, n, mu, replications=None):
+    return RunConfig(
+        num_pairs=l,
+        num_vnfs=n,
+        mu=mu,
+        dynamics="redrawn",
+        initial_placement="hour0",
+        replications=replications or params["replications"],
+        seed=params["seed"],
+    )
+
+
+@register("fig11a_hourly", "Hourly costs and migration counts of all policies")
+def run_hourly(scale: str = "default") -> ExperimentResult:
+    params = _BASE[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    cands = _optimal_candidates(topo, scale)
+    factories = {
+        "mpareto": lambda t, mu: MParetoPolicy(t, mu),
+        "optimal": lambda t, mu: OptimalVnfPolicy(
+            t, mu, node_budget=params["node_budget"], candidate_switches=cands
+        ),
+        "plan": lambda t, mu: PlanVmPolicy(
+            t, mu, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
+        ),
+        "mcf": lambda t, mu: McfVmPolicy(
+            t, mu, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
+        ),
+    }
+    config = _config(params, params["l"], params["n"], mu=1e4)
+    results, summaries = run_replications(topo, FacebookTrafficModel(), config, factories)
+
+    hours = [r.hour for r in results[0].days["mpareto"].records]
+    rows = []
+    for idx, hour in enumerate(hours):
+        row = {"hour": hour}
+        for name in factories:
+            cost = np.mean([rep.days[name].records[idx].total_cost for rep in results])
+            migs = np.mean(
+                [rep.days[name].records[idx].num_migrations for rep in results]
+            )
+            row[f"{name}_cost"] = float(cost)
+            row[f"{name}_migs"] = float(migs)
+        rows.append(row)
+
+    mp = summaries["mpareto"]["total_cost"].mean
+    opt = summaries["optimal"]["total_cost"].mean
+    notes = [
+        f"mPareto over Optimal (day total): {mp / opt - 1.0:.1%} (paper: 5-10%)",
+    ]
+    for base in ("plan", "mcf"):
+        total = summaries[base]["total_cost"].mean
+        notes.append(
+            f"mPareto saves vs {base.upper()}: {1.0 - mp / total:.1%} "
+            "(paper: 52-63%)"
+        )
+    notes.append(
+        "migration volume (day): "
+        + ", ".join(
+            f"{name}={summaries[name]['migrations'].mean:.1f}" for name in factories
+        )
+        + " (paper Fig. 11(b): far fewer VNF than VM migrations)"
+    )
+    return ExperimentResult(
+        experiment="fig11a_hourly",
+        description="Fig. 11(a,b): hourly cost and migrations, mu=1e4",
+        rows=rows,
+        notes=notes,
+        params={**params, "mu": 1e4, "vm_size_ratio": VM_SIZE_RATIO, "free_slots": FREE_SLOTS},
+    )
+
+
+@register("fig11c_vary_l", "Day cost vs number of VM pairs (exp scale)")
+def run_vary_l(scale: str = "default") -> ExperimentResult:
+    params = _BASE[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    cands = _optimal_candidates(topo, scale)
+    rows = []
+    reductions = []
+    restricted = cands is not None
+    for l in params["ls"]:
+        row = {"l": l, "n": params["n"], "optimal_restricted": restricted}
+        for mu in (1e4, 1e5):
+            factories = {
+                "mpareto": lambda t, m: MParetoPolicy(t, m),
+                "optimal": lambda t, m: OptimalVnfPolicy(
+                    t, m, node_budget=params["node_budget"], candidate_switches=cands
+                ),
+                "nomig": lambda t, m: NoMigrationPolicy(t, m),
+            }
+            _, summaries = run_replications(
+                topo, FacebookTrafficModel(), _config(params, l, params["n"], mu), factories
+            )
+            tag = f"mu{mu:.0e}".replace("e+0", "e")
+            row[f"mpareto_{tag}"] = summaries["mpareto"]["total_cost"].mean
+            row[f"optimal_{tag}"] = summaries["optimal"]["total_cost"].mean
+            if mu == 1e4:
+                row["no_migration"] = summaries["nomig"]["total_cost"].mean
+                reductions.append(1.0 - row[f"mpareto_{tag}"] / row["no_migration"])
+        rows.append(row)
+    notes = [
+        f"mPareto reduction vs NoMigration (mu=1e4): up to {max(reductions):.1%} "
+        "(paper: up to 73%)",
+        "mu=1e4 totals <= mu=1e5 totals (cheaper migration helps): "
+        f"{all(r['mpareto_mu1e4'] <= r['mpareto_mu1e5'] + 1e-6 for r in rows)}",
+    ]
+    return ExperimentResult(
+        experiment="fig11c_vary_l",
+        description="Fig. 11(c): day cost vs l at mu=1e4/1e5",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )
+
+
+@register("fig11d_vary_n", "Day cost vs SFC length: mPareto vs NoMigration")
+def run_vary_n(scale: str = "default") -> ExperimentResult:
+    params = _BASE[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    rows = []
+    reductions = []
+    for n in params["ns"]:
+        factories = {
+            "mpareto": lambda t, m: MParetoPolicy(t, m),
+            "nomig": lambda t, m: NoMigrationPolicy(t, m),
+        }
+        _, summaries = run_replications(
+            topo, FacebookTrafficModel(), _config(params, params["l"], n, 1e4), factories
+        )
+        mp = summaries["mpareto"]["total_cost"].mean
+        stay = summaries["nomig"]["total_cost"].mean
+        reductions.append(1.0 - mp / stay)
+        rows.append(
+            {
+                "n": n,
+                "l": params["l"],
+                "mpareto": mp,
+                "no_migration": stay,
+                "reduction": 1.0 - mp / stay,
+            }
+        )
+    notes = [
+        f"mPareto reduction vs NoMigration: {min(reductions):.1%} to "
+        f"{max(reductions):.1%} (paper: up to 73%)",
+    ]
+    return ExperimentResult(
+        experiment="fig11d_vary_n",
+        description="Fig. 11(d): day cost vs n at mu=1e4",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )

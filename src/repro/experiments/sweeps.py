@@ -1,0 +1,99 @@
+"""Generic parameter-sweep machinery, exposed as a public API.
+
+The per-figure experiments hard-code the paper's sweeps; downstream users
+typically want their own grids ("my topology, my chain lengths, my
+algorithms").  :func:`placement_sweep` runs an arbitrary grid of
+(topology × l × n) cells over any set of placement algorithms with the
+paired-workload methodology the figures use (every algorithm sees the
+identical workloads per cell), returning tidy rows ready for
+:func:`~repro.utils.results_io.write_rows_csv` or a DataFrame.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.topology.base import Topology
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import mean_ci
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import TrafficModel
+
+__all__ = ["placement_sweep"]
+
+PlacementFn = Callable[[Topology, FlowSet, int], object]
+WorkloadFn = Callable[[Topology, int, np.random.Generator], FlowSet]
+
+
+def _default_workload(model: TrafficModel) -> WorkloadFn:
+    def build(topology: Topology, l: int, rng: np.random.Generator) -> FlowSet:
+        flows = place_vm_pairs(topology, l, seed=rng)
+        return flows.with_rates(model.sample(l, rng=rng))
+
+    return build
+
+
+def placement_sweep(
+    topologies: Mapping[str, Topology],
+    algorithms: Mapping[str, PlacementFn],
+    ls: Sequence[int],
+    ns: Sequence[int],
+    traffic_model: TrafficModel | None = None,
+    workload: WorkloadFn | None = None,
+    replications: int = 5,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> list[dict]:
+    """Run every algorithm over the (topology × l × n) grid.
+
+    Returns one row per cell with, for each algorithm, the mean cost and
+    its confidence half-width (keys ``<name>`` and ``<name>_ci``).
+    Algorithms that raise on a cell report ``None`` there (e.g. exact
+    solvers exceeding their budget) — the sweep keeps going.
+    """
+    if not topologies or not algorithms:
+        raise ReproError("topologies and algorithms must be non-empty")
+    if replications < 1:
+        raise ReproError(f"replications must be positive, got {replications}")
+    if workload is None:
+        if traffic_model is None:
+            raise ReproError("provide either traffic_model or workload")
+        workload = _default_workload(traffic_model)
+
+    rows: list[dict] = []
+    for topo_name, topology in topologies.items():
+        for l in ls:
+            for n in ns:
+                # stable across processes (built-in str hashing is salted)
+                cell_seed = zlib.crc32(
+                    f"{seed}|{topo_name}|{l}|{n}".encode()
+                ) % (2**31 - 1)
+                costs: dict[str, list[float]] = {name: [] for name in algorithms}
+                failed: set[str] = set()
+                for rng in spawn_rngs(cell_seed, replications):
+                    flows = workload(topology, l, rng)
+                    for name, algorithm in algorithms.items():
+                        if name in failed:
+                            continue
+                        try:
+                            result = algorithm(topology, flows, n)
+                        except Exception:
+                            failed.add(name)
+                            continue
+                        costs[name].append(float(getattr(result, "cost")))
+                row: dict = {"topology": topo_name, "l": l, "n": n}
+                for name in algorithms:
+                    values = costs[name]
+                    if values and name not in failed:
+                        ci = mean_ci(values, confidence=confidence)
+                        row[name] = ci.mean
+                        row[f"{name}_ci"] = ci.halfwidth
+                    else:
+                        row[name] = None
+                        row[f"{name}_ci"] = None
+                rows.append(row)
+    return rows

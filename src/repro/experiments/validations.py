@@ -1,0 +1,147 @@
+"""Validation experiments: checking the model's own premises.
+
+* ``val_link_utilization`` — the paper assumes "enough edge bandwidths"
+  because links run ~40 % utilized [31].  This experiment routes every
+  policy-preserving flow over its shortest paths and reports the hottest
+  link for the DP placement vs the chain-blind baselines: bad placements
+  don't just cost aggregate traffic, they concentrate it.
+* ``val_gravity_dynamics`` — DESIGN.md §4b's claim quantified: under
+  gravity-skewed workloads, migration recovers real cost even with the
+  mildest (scaled-only) dynamics, whereas uniform workloads give it
+  nothing to chase on a unit fat tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.steering import steering_placement
+from repro.core.costs import CostContext
+from repro.core.migration import mpareto_migration
+from repro.core.placement import dp_placement
+from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.routing.link_loads import utilization_report
+from repro.topology.fattree import fat_tree
+from repro.utils.rng import spawn_rngs
+from repro.workload.diurnal import DiurnalModel, assign_cohorts_spatial
+from repro.workload.dynamics import ScaledRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.gravity import place_vm_pairs_gravity
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = ["run_link_utilization", "run_gravity_dynamics"]
+
+_PARAMS = {
+    "smoke": {"k": 4, "l": 12, "n": 3, "replications": 2, "seed": 41},
+    "default": {"k": 8, "l": 64, "n": 5, "replications": 4, "seed": 41},
+    "paper": {"k": 16, "l": 256, "n": 7, "replications": 10, "seed": 41},
+}
+
+
+@register("val_link_utilization", "Hottest-link load: DP vs chain-blind placement")
+def run_link_utilization(scale: str = "default") -> ExperimentResult:
+    params = _PARAMS[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    rows = []
+    for rep, rng in enumerate(spawn_rngs(params["seed"], params["replications"])):
+        flows = place_vm_pairs(topo, params["l"], seed=rng)
+        flows = flows.with_rates(model.sample(params["l"], rng=rng))
+        dp = dp_placement(topo, flows, params["n"])
+        steering = steering_placement(topo, flows, params["n"])
+        # one shared capacity: provision for the DP placement at 40%
+        dp_report = utilization_report(topo, flows, dp.placement)
+        capacity = dp_report.capacity
+        st_report = utilization_report(
+            topo, flows, steering.placement, capacity=capacity
+        )
+        rows.append(
+            {
+                "replication": rep,
+                "dp_max_util": dp_report.max_utilization,
+                "steering_max_util": st_report.max_utilization,
+                "steering_overloaded_links": len(st_report.overloaded),
+                "dp_total_volume": dp_report.extra["total_volume"],
+                "steering_total_volume": st_report.extra["total_volume"],
+            }
+        )
+    worse = float(
+        np.mean([r["steering_max_util"] / r["dp_max_util"] for r in rows])
+    )
+    notes = [
+        "capacity provisioned so the DP placement's hottest link runs at "
+        "40% (the paper's [31] premise)",
+        f"under that capacity, Steering's hottest link runs {worse:.2f}x "
+        "hotter on average — chain-blind placement concentrates traffic, "
+        "not just inflates it",
+    ]
+    return ExperimentResult(
+        experiment="val_link_utilization",
+        description="Link utilization under 40%-provisioning (premise check)",
+        rows=rows,
+        notes=notes,
+        params=params,
+    )
+
+
+@register("val_gravity_dynamics", "Gravity-skewed workloads give migration room")
+def run_gravity_dynamics(scale: str = "default") -> ExperimentResult:
+    params = _PARAMS[check_scale(scale)]
+    topo = fat_tree(params["k"])
+    model = FacebookTrafficModel()
+    diurnal = DiurnalModel()
+    mu = 100.0
+    rows = []
+    for generator in ("uniform", "gravity"):
+        day_stay: list[float] = []
+        day_move: list[float] = []
+        moves: list[int] = []
+        for rng in spawn_rngs(params["seed"] + 7, params["replications"]):
+            if generator == "gravity":
+                flows = place_vm_pairs_gravity(topo, params["l"], skew=1.6, seed=rng)
+            else:
+                flows = place_vm_pairs(topo, params["l"], seed=rng)
+            flows = flows.with_rates(model.sample(params["l"], rng=rng))
+            offsets = assign_cohorts_spatial(topo, flows)
+            process = ScaledRates(flows, diurnal, offsets)
+            placement = dp_placement(
+                topo, flows.with_rates(process.rates_at(1)), params["n"]
+            ).placement
+            stay = move = 0.0
+            moved = 0
+            current = placement
+            for hour in range(1, diurnal.num_hours + 1):
+                hour_flows = flows.with_rates(process.rates_at(hour))
+                ctx = CostContext(topo, hour_flows)
+                stay += ctx.communication_cost(placement)
+                result = mpareto_migration(topo, hour_flows, current, mu)
+                move += result.cost
+                moved += result.num_migrated
+                current = result.migration
+            day_stay.append(stay)
+            day_move.append(move)
+            moves.append(moved)
+        rows.append(
+            {
+                "workload": generator,
+                "no_migration_day_cost": float(np.mean(day_stay)),
+                "mpareto_day_cost": float(np.mean(day_move)),
+                "saving": 1.0 - float(np.mean(day_move)) / float(np.mean(day_stay)),
+                "vnf_moves": float(np.mean(moves)),
+            }
+        )
+    by_name = {r["workload"]: r for r in rows}
+    notes = [
+        "scaled-only dynamics (the mildest model) with spatial cohorts",
+        f"uniform workload saving: {by_name['uniform']['saving']:.1%}; "
+        f"gravity workload saving: {by_name['gravity']['saving']:.1%} — "
+        "spatial skew is what gives migration something to chase "
+        "(DESIGN.md 4b)",
+    ]
+    return ExperimentResult(
+        experiment="val_gravity_dynamics",
+        description="Migration value under uniform vs gravity workloads",
+        rows=rows,
+        notes=notes,
+        params={**params, "mu": mu},
+    )

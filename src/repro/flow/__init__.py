@@ -1,0 +1,18 @@
+"""Min-cost-flow substrate.
+
+A self-contained successive-shortest-path solver with Johnson potentials,
+used by the MCF VM-migration baseline (Flores et al. [24] model the joint
+communication + migration cost minimization as a minimum cost flow
+problem).  Validated against :func:`networkx.min_cost_flow` in the tests.
+"""
+
+from repro.flow.maxflow import max_flow_min_cut
+from repro.flow.mincostflow import Arc, FlowResult, min_cost_flow, solve_transportation
+
+__all__ = [
+    "Arc",
+    "FlowResult",
+    "min_cost_flow",
+    "solve_transportation",
+    "max_flow_min_cut",
+]

@@ -1,0 +1,35 @@
+"""Graph substrate: weighted undirected graphs, shortest paths, metric closure.
+
+This package is the foundation of the PPDC model in Section III of the
+paper: topologies are :class:`CostGraph` instances, the topology-aware cost
+``c(u, v)`` is the all-pairs shortest-path matrix, and the DP algorithms
+operate on the metric closure (complete graph) derived from it.
+"""
+
+from repro.graphs.adjacency import CostGraph, GraphBuilder
+from repro.graphs.metric_closure import metric_closure, restrict_closure
+from repro.graphs.paths import (
+    count_distinct_intermediates,
+    is_walk,
+    walk_cost,
+)
+from repro.graphs.shortest_paths import (
+    all_pairs_shortest_paths,
+    bfs_distances,
+    dijkstra,
+    reconstruct_path,
+)
+
+__all__ = [
+    "CostGraph",
+    "GraphBuilder",
+    "metric_closure",
+    "restrict_closure",
+    "all_pairs_shortest_paths",
+    "bfs_distances",
+    "dijkstra",
+    "reconstruct_path",
+    "is_walk",
+    "walk_cost",
+    "count_distinct_intermediates",
+]

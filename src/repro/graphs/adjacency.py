@@ -1,0 +1,239 @@
+"""Weighted undirected graph with integer node indices and cached metrics.
+
+:class:`CostGraph` is the single graph representation used throughout the
+library.  Nodes are referred to by dense integer indices (fast numpy
+indexing in the hot paths) and carry human-readable string labels for
+display.  Construction goes through :class:`GraphBuilder`, after which the
+graph is immutable; the all-pairs shortest-path matrix — the paper's
+topology-aware cost ``c(u, v)`` — is computed lazily once and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
+
+from repro.errors import GraphError
+
+__all__ = ["GraphBuilder", "CostGraph"]
+
+
+class GraphBuilder:
+    """Incremental constructor for :class:`CostGraph`.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> a, c = b.add_node("a"), b.add_node("c")
+    >>> _ = b.add_edge(a, c, 2.0)
+    >>> g = b.build()
+    >>> g.cost(a, c)
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._index: dict[str, int] = {}
+        self._edges: list[tuple[int, int, float]] = []
+
+    def add_node(self, label: str) -> int:
+        """Register a node; returns its index. Duplicate labels are errors."""
+        if label in self._index:
+            raise GraphError(f"duplicate node label {label!r}")
+        idx = len(self._labels)
+        self._labels.append(label)
+        self._index[label] = idx
+        return idx
+
+    def add_nodes(self, labels: Iterable[str]) -> list[int]:
+        return [self.add_node(label) for label in labels]
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> "GraphBuilder":
+        """Add an undirected edge. Self-loops and non-positive weights are rejected."""
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references unknown node (n={n})")
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if not (weight > 0.0 and np.isfinite(weight)):
+            raise GraphError(f"edge ({u}, {v}) weight must be positive finite, got {weight}")
+        self._edges.append((u, v, float(weight)))
+        return self
+
+    def build(self) -> "CostGraph":
+        return CostGraph(self._labels, self._edges)
+
+
+class CostGraph:
+    """Immutable weighted undirected graph with cached all-pairs distances.
+
+    Parameters
+    ----------
+    labels:
+        Node labels; the node count is ``len(labels)``.
+    edges:
+        ``(u, v, weight)`` triples.  Parallel edges collapse to the minimum
+        weight (the cheaper link is always preferred by shortest paths).
+    """
+
+    def __init__(self, labels: Sequence[str], edges: Iterable[tuple[int, int, float]]) -> None:
+        self._labels = list(labels)
+        n = len(self._labels)
+        if n == 0:
+            raise GraphError("graph must have at least one node")
+        self._index = {label: i for i, label in enumerate(self._labels)}
+        if len(self._index) != n:
+            raise GraphError("node labels must be unique")
+
+        weights = np.full((n, n), np.inf, dtype=np.float64)
+        np.fill_diagonal(weights, 0.0)
+        edge_list: list[tuple[int, int, float]] = []
+        for u, v, w in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) references unknown node (n={n})")
+            if u == v:
+                raise GraphError(f"self-loop on node {u} is not allowed")
+            if not (w > 0.0 and np.isfinite(w)):
+                raise GraphError(f"edge ({u}, {v}) weight must be positive finite, got {w}")
+            if w < weights[u, v]:
+                weights[u, v] = weights[v, u] = float(w)
+            edge_list.append((min(u, v), max(u, v), float(w)))
+        self._weights = weights
+        self._weights.setflags(write=False)
+        self._edges = tuple(sorted(set(edge_list)))
+        self._adj: list[np.ndarray] = [
+            np.flatnonzero(np.isfinite(weights[i]) & (np.arange(n) != i)) for i in range(n)
+        ]
+        self._dist: np.ndarray | None = None
+        self._pred: np.ndarray | None = None
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self._labels)
+
+    @property
+    def edges(self) -> tuple[tuple[int, int, float], ...]:
+        """Unique undirected edges as ``(min(u,v), max(u,v), weight)``."""
+        return self._edges
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Read-only ``(n, n)`` adjacency weight matrix (inf = no edge)."""
+        return self._weights
+
+    def label(self, node: int) -> str:
+        return self._labels[node]
+
+    def node(self, label: str) -> int:
+        try:
+            return self._index[label]
+        except KeyError:
+            raise GraphError(f"unknown node label {label!r}") from None
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices adjacent to ``node`` (ascending, read-only view semantics)."""
+        return self._adj[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u != v and bool(np.isfinite(self._weights[u, v]))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        if not self.has_edge(u, v):
+            raise GraphError(f"no edge between {u} and {v}")
+        return float(self._weights[u, v])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostGraph(n={self.num_nodes}, m={self.num_edges})"
+
+    # -- shortest-path metrics ---------------------------------------------
+
+    def _ensure_apsp(self) -> None:
+        if self._dist is None:
+            n = self.num_nodes
+            rows, cols, data = [], [], []
+            for u, v, w in self._edges:
+                # only the collapsed (minimum) weight participates
+                w_eff = self._weights[u, v]
+                rows.extend((u, v))
+                cols.extend((v, u))
+                data.extend((w_eff, w_eff))
+            sparse = csr_matrix((data, (rows, cols)), shape=(n, n))
+            dist, pred = _csgraph_shortest_path(
+                sparse, method="D", directed=False, return_predecessors=True
+            )
+            dist.setflags(write=False)
+            self._dist = dist
+            self._pred = pred
+
+    @property
+    def distances(self) -> np.ndarray:
+        """All-pairs shortest-path cost matrix ``c(u, v)`` (read-only)."""
+        self._ensure_apsp()
+        assert self._dist is not None
+        return self._dist
+
+    def cost(self, u: int, v: int) -> float:
+        """Topology-aware cost ``c(u, v)`` between two nodes."""
+        return float(self.distances[u, v])
+
+    def shortest_path(self, u: int, v: int) -> list[int]:
+        """Node sequence of one shortest ``u``-``v`` path (inclusive).
+
+        Raises :class:`GraphError` when ``v`` is unreachable from ``u``.
+        """
+        self._ensure_apsp()
+        assert self._pred is not None
+        if u == v:
+            return [u]
+        if not np.isfinite(self.distances[u, v]):
+            raise GraphError(f"node {v} is unreachable from node {u}")
+        path = [v]
+        node = v
+        while node != u:
+            node = int(self._pred[u, node])
+            path.append(node)
+        path.reverse()
+        return path
+
+    def is_connected(self) -> bool:
+        return bool(np.all(np.isfinite(self.distances[0])))
+
+    def diameter(self) -> float:
+        """Greatest shortest-path distance between any node pair."""
+        if not self.is_connected():
+            raise GraphError("diameter is undefined for a disconnected graph")
+        return float(self.distances.max())
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_networkx(self):
+        """Export to :class:`networkx.Graph` (used in tests for cross-checks)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for i, label in enumerate(self._labels):
+            g.add_node(i, label=label)
+        for u, v, _ in self._edges:
+            g.add_edge(u, v, weight=float(self._weights[u, v]))
+        return g
+
+    def reweighted(self, weight_of: "callable") -> "CostGraph":
+        """Return a copy whose edge weights are ``weight_of(u, v, old_w)``."""
+        new_edges = [(u, v, float(weight_of(u, v, w))) for u, v, w in self._edges]
+        return CostGraph(self._labels, new_edges)

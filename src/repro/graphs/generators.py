@@ -1,0 +1,35 @@
+"""Random graph generators for tests, ablations and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.adjacency import CostGraph, GraphBuilder
+from repro.utils.rng import as_generator
+
+__all__ = ["random_cost_graph"]
+
+
+def random_cost_graph(
+    rng: int | np.random.Generator,
+    num_nodes: int,
+    edge_prob: float = 0.4,
+    weight_low: float = 0.5,
+    weight_high: float = 5.0,
+) -> CostGraph:
+    """A connected random weighted graph.
+
+    A spanning path guarantees connectivity; every other pair gains an
+    edge with probability ``edge_prob``.  Weights are uniform on
+    ``[weight_low, weight_high)``.
+    """
+    gen = as_generator(rng)
+    builder = GraphBuilder()
+    builder.add_nodes(f"v{i}" for i in range(num_nodes))
+    for i in range(num_nodes - 1):
+        builder.add_edge(i, i + 1, float(gen.uniform(weight_low, weight_high)))
+    for i in range(num_nodes):
+        for j in range(i + 2, num_nodes):
+            if gen.random() < edge_prob:
+                builder.add_edge(i, j, float(gen.uniform(weight_low, weight_high)))
+    return builder.build()

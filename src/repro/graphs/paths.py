@@ -1,0 +1,75 @@
+"""Walk/stroll validation helpers.
+
+The n-stroll problem (Section IV) works with *walks* — node sequences that
+may revisit nodes and edges.  These helpers validate walks against a graph
+or a closure matrix, price them, and count the distinct intermediate nodes
+a stroll visits (the quantity the DP grows until it reaches ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.adjacency import CostGraph
+
+__all__ = [
+    "is_walk",
+    "walk_cost",
+    "closure_walk_cost",
+    "count_distinct_intermediates",
+    "has_immediate_backtrack",
+]
+
+
+def is_walk(graph: "CostGraph", nodes: Sequence[int]) -> bool:
+    """True iff consecutive nodes in the sequence are adjacent in ``graph``."""
+    if len(nodes) == 0:
+        return False
+    if len(nodes) == 1:
+        return 0 <= nodes[0] < graph.num_nodes
+    return all(graph.has_edge(u, v) for u, v in zip(nodes, nodes[1:]))
+
+
+def walk_cost(graph: "CostGraph", nodes: Sequence[int]) -> float:
+    """Sum of edge weights along a walk; raises if it is not a walk."""
+    if not is_walk(graph, nodes):
+        raise GraphError(f"sequence {list(nodes)} is not a walk in the graph")
+    return float(sum(graph.edge_weight(u, v) for u, v in zip(nodes, nodes[1:])))
+
+
+def closure_walk_cost(closure: np.ndarray, nodes: Sequence[int]) -> float:
+    """Walk cost on a metric-closure matrix (every hop is a closure edge)."""
+    seq = np.asarray(nodes, dtype=np.int64)
+    if seq.ndim != 1 or seq.size == 0:
+        raise GraphError("walk must be a non-empty 1-D node sequence")
+    if seq.size == 1:
+        return 0.0
+    return float(closure[seq[:-1], seq[1:]].sum())
+
+
+def count_distinct_intermediates(nodes: Sequence[int], endpoints: Sequence[int]) -> int:
+    """Number of distinct nodes in a walk, excluding ``endpoints``.
+
+    This is the "at least n distinct switches" count of the n-stroll: the
+    source and destination hosts never count, no matter how often the walk
+    passes through them.
+    """
+    if len(nodes) == 0:
+        raise GraphError("walk must be non-empty")
+    excluded = set(endpoints)
+    return len({node for node in nodes if node not in excluded})
+
+
+def has_immediate_backtrack(nodes: Sequence[int]) -> bool:
+    """True iff the walk contains an ``a → b → a`` sub-sequence.
+
+    Algorithm 2 (line 6) forbids these because they burn two closure edges
+    without visiting a new node; the vectorized DP replicates the rule and
+    tests use this predicate to verify it.
+    """
+    return any(a == c for a, c in zip(nodes, nodes[2:]))

@@ -1,0 +1,111 @@
+"""Shortest-path primitives: Dijkstra, BFS and all-pairs computation.
+
+:class:`repro.graphs.CostGraph` uses the scipy ``csgraph`` backend for its
+cached all-pairs matrix; this module provides stand-alone, pure-Python
+reference implementations.  The references exist for two reasons: they are
+the ground truth the vectorized code is tested against, and they document
+the algorithms without scipy's indirection (per the project's
+"make it work, then make it fast" convention).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graphs.adjacency import CostGraph
+
+__all__ = ["dijkstra", "bfs_distances", "all_pairs_shortest_paths", "reconstruct_path"]
+
+
+def dijkstra(graph: "CostGraph", source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Single-source Dijkstra.
+
+    Returns ``(dist, pred)`` where ``dist[v]`` is the shortest-path cost
+    from ``source`` and ``pred[v]`` the predecessor of ``v`` on one such
+    path (``-1`` for the source and unreachable nodes).
+    """
+    n = graph.num_nodes
+    if not (0 <= source < n):
+        raise GraphError(f"source {source} out of range for {n} nodes")
+    dist = np.full(n, np.inf)
+    pred = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    weights = graph.weights
+    visited = np.zeros(n, dtype=bool)
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if visited[u]:
+            continue
+        visited[u] = True
+        for v in graph.neighbors(u):
+            nd = d + weights[u, v]
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, int(v)))
+    return dist, pred
+
+
+def bfs_distances(graph: "CostGraph", source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Single-source BFS hop counts (for unweighted / unit-weight graphs).
+
+    Returns ``(dist, pred)`` like :func:`dijkstra`, with ``dist`` counting
+    edges.  Edge weights are ignored.
+    """
+    n = graph.num_nodes
+    if not (0 <= source < n):
+        raise GraphError(f"source {source} out of range for {n} nodes")
+    dist = np.full(n, np.inf)
+    pred = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0.0
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if not np.isfinite(dist[v]):
+                dist[v] = dist[u] + 1.0
+                pred[v] = u
+                queue.append(int(v))
+    return dist, pred
+
+
+def all_pairs_shortest_paths(graph: "CostGraph") -> np.ndarray:
+    """All-pairs shortest-path matrix via repeated reference Dijkstra.
+
+    This is the ``O(n · m log n)`` reference used to validate the cached
+    scipy-backed :attr:`CostGraph.distances`; production code should use
+    the cached property instead.
+    """
+    n = graph.num_nodes
+    out = np.empty((n, n))
+    for source in range(n):
+        out[source], _ = dijkstra(graph, source)
+    return out
+
+
+def reconstruct_path(pred: np.ndarray, source: int, target: int) -> list[int]:
+    """Rebuild the node sequence from a predecessor array.
+
+    ``pred`` must come from a single-source run rooted at ``source``.
+    """
+    if source == target:
+        return [source]
+    if pred[target] < 0:
+        raise GraphError(f"node {target} is unreachable from node {source}")
+    path = [target]
+    node = target
+    while node != source:
+        node = int(pred[node])
+        if node < 0 or len(path) > len(pred):
+            raise GraphError("predecessor array is inconsistent")
+        path.append(node)
+    path.reverse()
+    return path

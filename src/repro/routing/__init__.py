@@ -1,0 +1,24 @@
+"""Routing substrate: shortest-path link loads and utilization accounting.
+
+The paper assumes "there are enough edge bandwidths" because production
+links are provisioned around 40 % utilization [31].  This package makes
+that assumption *checkable*: given a placement and a flow set it routes
+every policy-preserving flow segment over shortest paths, accumulates
+per-link loads, and reports utilization against provisioned capacities —
+so experiments can verify the no-congestion premise instead of trusting
+it.
+"""
+
+from repro.routing.link_loads import (
+    LinkLoadReport,
+    link_loads,
+    policy_preserving_link_loads,
+    utilization_report,
+)
+
+__all__ = [
+    "LinkLoadReport",
+    "link_loads",
+    "policy_preserving_link_loads",
+    "utilization_report",
+]

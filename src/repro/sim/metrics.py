@@ -1,0 +1,111 @@
+"""Post-hoc analysis of simulated days: gaps, summaries, hourly tables.
+
+The runner returns raw :class:`~repro.sim.engine.DayResult` objects; this
+module turns a set of paired days into the quantities the paper's Fig. 11
+panels report — per-hour series, policy-vs-reference gaps, and migration
+efficiency (cost saved per migration performed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sim.engine import DayResult
+from repro.utils.tables import ascii_table
+
+__all__ = ["GapAnalysis", "analyze_gaps", "hourly_table", "migration_efficiency"]
+
+
+@dataclass(frozen=True)
+class GapAnalysis:
+    """How far a policy runs above a reference policy, hour by hour."""
+
+    policy: str
+    reference: str
+    hourly_gap: np.ndarray  # fractional, per hour (0 where both are free)
+    total_gap: float
+    extra: dict = field(default_factory=dict)
+
+    def worst_hour(self) -> tuple[int, float]:
+        idx = int(np.argmax(self.hourly_gap))
+        return idx, float(self.hourly_gap[idx])
+
+
+def analyze_gaps(
+    days: Mapping[str, DayResult], reference: str
+) -> dict[str, GapAnalysis]:
+    """Per-policy gap analysis against ``reference`` (paired days).
+
+    All days must cover the same hours; the reference is excluded from the
+    output (its gap is identically zero).
+    """
+    if reference not in days:
+        raise ReproError(f"reference policy {reference!r} not among {sorted(days)}")
+    ref = days[reference]
+    ref_hours = [r.hour for r in ref.records]
+    ref_series = ref.hourly("total_cost")
+    out: dict[str, GapAnalysis] = {}
+    for name, day in days.items():
+        if name == reference:
+            continue
+        hours = [r.hour for r in day.records]
+        if hours != ref_hours:
+            raise ReproError(
+                f"policy {name!r} covers hours {hours[:3]}..., "
+                f"reference covers {ref_hours[:3]}..."
+            )
+        series = day.hourly("total_cost")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gap = np.where(ref_series > 0, series / ref_series - 1.0, 0.0)
+        total_gap = (
+            day.total_cost / ref.total_cost - 1.0 if ref.total_cost > 0 else 0.0
+        )
+        out[name] = GapAnalysis(
+            policy=name,
+            reference=reference,
+            hourly_gap=gap,
+            total_gap=float(total_gap),
+        )
+    return out
+
+
+def hourly_table(days: Mapping[str, DayResult], metric: str = "total_cost") -> str:
+    """ASCII table: one row per hour, one column per policy."""
+    if not days:
+        raise ReproError("days must be non-empty")
+    names = sorted(days)
+    hours = [r.hour for r in days[names[0]].records]
+    rows = []
+    for idx, hour in enumerate(hours):
+        row: list = [hour]
+        for name in names:
+            records = days[name].records
+            row.append(getattr(records[idx], metric) if idx < len(records) else None)
+        rows.append(row)
+    return ascii_table(["hour", *names], rows, title=f"hourly {metric}")
+
+
+def migration_efficiency(
+    days: Mapping[str, DayResult], baseline: str
+) -> dict[str, float]:
+    """Cost saved (vs ``baseline``) per migration performed.
+
+    The paper's Fig. 11(a)+(b) argument in one number: VNF migration wins
+    because each move buys more traffic reduction than a VM move.
+    Policies that never migrate report 0.
+    """
+    if baseline not in days:
+        raise ReproError(f"baseline policy {baseline!r} not among {sorted(days)}")
+    base_cost = days[baseline].total_cost
+    out: dict[str, float] = {}
+    for name, day in days.items():
+        if name == baseline:
+            continue
+        saved = base_cost - day.total_cost
+        moves = day.total_migrations
+        out[name] = float(saved / moves) if moves > 0 else 0.0
+    return out

@@ -1,0 +1,256 @@
+"""Migration policies the simulator can drive.
+
+A policy owns the mutable state a strategy carries through the day —
+the current VNF placement for VNF-migration strategies, the current VM
+locations for VM-migration baselines — and reacts to each hour's new
+traffic-rate vector with a :class:`PolicyStep`.
+
+All policies share one initialization: the hour-one TOP placement
+(Algorithm 3 on the first non-zero rates), matching the paper's "after
+the TOP creates the initial optimal VNF placement, the TOM then executes
+periodically".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.common import default_host_capacity
+from repro.baselines.mcf_migration import mcf_vm_migration
+from repro.baselines.plan import plan_vm_migration
+from repro.core.migration import mpareto_migration, no_migration
+from repro.core.optimal import optimal_migration
+from repro.errors import MigrationError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "PolicyStep",
+    "MigrationPolicy",
+    "MParetoPolicy",
+    "OptimalVnfPolicy",
+    "NoMigrationPolicy",
+    "PlanVmPolicy",
+    "McfVmPolicy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyStep:
+    """One hour's outcome: costs paid and migrations performed."""
+
+    communication_cost: float
+    migration_cost: float
+    num_migrations: int
+
+    @property
+    def total_cost(self) -> float:
+        return self.communication_cost + self.migration_cost
+
+
+class MigrationPolicy(ABC):
+    """Stateful per-day strategy; see module docstring."""
+
+    name: str = "policy"
+
+    def __init__(self, topology: Topology, mu: float) -> None:
+        if mu < 0:
+            raise MigrationError(f"mu must be non-negative, got {mu}")
+        self.topology = topology
+        self.mu = mu
+        self._placement: np.ndarray | None = None
+        self._flows: FlowSet | None = None
+
+    def initialize(self, flows: FlowSet, placement: np.ndarray) -> None:
+        """Install the initial TOP placement and VM locations."""
+        self._placement = np.asarray(placement, dtype=np.int64)
+        self._flows = flows
+
+    @property
+    def placement(self) -> np.ndarray:
+        assert self._placement is not None, "policy used before initialize()"
+        return self._placement
+
+    @property
+    def flows(self) -> FlowSet:
+        assert self._flows is not None, "policy used before initialize()"
+        return self._flows
+
+    @abstractmethod
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        """React to the new traffic-rate vector; mutate state; report costs."""
+
+
+class MParetoPolicy(MigrationPolicy):
+    """Algorithm 5 every hour (the paper's mPareto series)."""
+
+    name = "mpareto"
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = mpareto_migration(self.topology, flows, self.placement, self.mu)
+        self._placement = result.migration
+        self._flows = flows
+        return PolicyStep(
+            communication_cost=result.communication_cost,
+            migration_cost=result.migration_cost,
+            num_migrations=result.num_migrated,
+        )
+
+
+class OptimalVnfPolicy(MigrationPolicy):
+    """Algorithm 6 every hour, optionally on a restricted candidate set.
+
+    ``candidate_switches=None`` is the full exact search (feasible on
+    small fabrics); a candidate set turns it into the restricted-exact
+    reference documented in EXPERIMENTS.md for k=16-scale runs.
+    """
+
+    name = "optimal"
+
+    def __init__(
+        self,
+        topology: Topology,
+        mu: float,
+        node_budget: int = 2_000_000,
+        candidate_switches: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(topology, mu)
+        self.node_budget = node_budget
+        self.candidate_switches = candidate_switches
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = optimal_migration(
+            self.topology,
+            flows,
+            self.placement,
+            self.mu,
+            node_budget=self.node_budget,
+            candidate_switches=self.candidate_switches,
+        )
+        self._placement = result.migration
+        self._flows = flows
+        return PolicyStep(
+            communication_cost=result.communication_cost,
+            migration_cost=result.migration_cost,
+            num_migrations=result.num_migrated,
+        )
+
+
+class NoMigrationPolicy(MigrationPolicy):
+    """Keep the initial placement all day (Fig. 11(c,d) reference)."""
+
+    name = "no-migration"
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = no_migration(self.topology, flows, self.placement)
+        self._flows = flows
+        return PolicyStep(
+            communication_cost=result.communication_cost,
+            migration_cost=0.0,
+            num_migrations=0,
+        )
+
+
+class PlanVmPolicy(MigrationPolicy):
+    """PLAN [17]: VMs chase the fixed VNF placement each hour.
+
+    ``vm_size_ratio`` scales the migration coefficient for VM moves:
+    following the paper's own quantification of μ (memory transferred per
+    migration over bytes per packet), a VM image (~1 GB) costs about an
+    order of magnitude more to move than a 100 MB containerized VNF.
+    """
+
+    name = "plan"
+
+    def __init__(
+        self,
+        topology: Topology,
+        mu: float,
+        host_capacity: int | np.ndarray | None = None,
+        vm_size_ratio: float = 10.0,
+        free_slots: int = 1,
+    ) -> None:
+        super().__init__(topology, mu)
+        self.host_capacity = host_capacity
+        self.vm_size_ratio = vm_size_ratio
+        self.free_slots = free_slots
+
+    def initialize(self, flows: FlowSet, placement: np.ndarray) -> None:
+        super().initialize(flows, placement)
+        if self.host_capacity is None:
+            # freeze the day's capacity against the *initial* layout so the
+            # fabric's total free space does not grow as VMs move around
+            self.host_capacity = default_host_capacity(
+                self.topology, flows, free_slots=self.free_slots
+            )
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = plan_vm_migration(
+            self.topology,
+            flows,
+            self.placement,
+            self.mu * self.vm_size_ratio,
+            self.host_capacity,
+        )
+        self._flows = result.flows
+        return PolicyStep(
+            communication_cost=result.communication_cost,
+            migration_cost=result.migration_cost,
+            num_migrations=result.num_migrated,
+        )
+
+
+class McfVmPolicy(MigrationPolicy):
+    """MCF [24]: the min-cost-flow VM reassignment each hour.
+
+    ``vm_size_ratio`` as in :class:`PlanVmPolicy`.
+    """
+
+    name = "mcf"
+
+    def __init__(
+        self,
+        topology: Topology,
+        mu: float,
+        host_capacity: int | np.ndarray | None = None,
+        top_k: int = 8,
+        vm_size_ratio: float = 10.0,
+        free_slots: int = 1,
+    ) -> None:
+        super().__init__(topology, mu)
+        self.host_capacity = host_capacity
+        self.top_k = top_k
+        self.vm_size_ratio = vm_size_ratio
+        self.free_slots = free_slots
+
+    def initialize(self, flows: FlowSet, placement: np.ndarray) -> None:
+        super().initialize(flows, placement)
+        if self.host_capacity is None:
+            self.host_capacity = default_host_capacity(
+                self.topology, flows, free_slots=self.free_slots
+            )
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = mcf_vm_migration(
+            self.topology,
+            flows,
+            self.placement,
+            self.mu * self.vm_size_ratio,
+            host_capacity=self.host_capacity,
+            top_k=self.top_k,
+        )
+        self._flows = result.flows
+        return PolicyStep(
+            communication_cost=result.communication_cost,
+            migration_cost=result.migration_cost,
+            num_migrations=result.num_migrated,
+        )

@@ -1,0 +1,98 @@
+"""Migration scheduling policies beyond every-hour mPareto.
+
+The paper's framework runs TOM "periodically"; real operators add
+hysteresis.  Two wrappers compose with any VNF-migration step:
+
+* :class:`PeriodicMParetoPolicy` — run Algorithm 5 every ``period``
+  hours and stay put in between (cheaper control plane, staler chains);
+* :class:`ThresholdMParetoPolicy` — run Algorithm 5 only when staying
+  put would cost at least ``(1 + threshold)`` times the fresh TOP
+  placement's communication cost (migrate only when meaningfully stale).
+
+Both are exercised by the scheduling ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import CostContext
+from repro.core.migration import mpareto_migration, no_migration
+from repro.core.placement import dp_placement
+from repro.errors import MigrationError
+from repro.sim.policies import MigrationPolicy, PolicyStep
+
+__all__ = ["PeriodicMParetoPolicy", "ThresholdMParetoPolicy"]
+
+
+class PeriodicMParetoPolicy(MigrationPolicy):
+    """mPareto every ``period`` hours, NoMigration otherwise."""
+
+    name = "mpareto-periodic"
+
+    def __init__(self, topology, mu: float, period: int = 3) -> None:
+        super().__init__(topology, mu)
+        if period < 1:
+            raise MigrationError(f"period must be >= 1, got {period}")
+        self.period = period
+        self._tick = 0
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        self._flows = flows
+        self._tick += 1
+        if self._tick % self.period == 0:
+            result = mpareto_migration(self.topology, flows, self.placement, self.mu)
+            self._placement = result.migration
+            return PolicyStep(
+                communication_cost=result.communication_cost,
+                migration_cost=result.migration_cost,
+                num_migrations=result.num_migrated,
+            )
+        stay = no_migration(self.topology, flows, self.placement)
+        return PolicyStep(
+            communication_cost=stay.communication_cost,
+            migration_cost=0.0,
+            num_migrations=0,
+        )
+
+
+class ThresholdMParetoPolicy(MigrationPolicy):
+    """mPareto only when the stale placement is ``threshold`` worse than fresh.
+
+    Each hour the policy prices staying put against a fresh Algorithm 3
+    placement; mPareto runs only if
+    ``C_a(p) > (1 + threshold) · C_a(p')``.  With ``threshold = 0`` this
+    degenerates to every-hour mPareto (minus numerical ties); large
+    thresholds approach NoMigration.
+    """
+
+    name = "mpareto-threshold"
+
+    def __init__(self, topology, mu: float, threshold: float = 0.1) -> None:
+        super().__init__(topology, mu)
+        if threshold < 0:
+            raise MigrationError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        self._flows = flows
+        ctx = CostContext(self.topology, flows)
+        stay_cost = ctx.communication_cost(self.placement)
+        fresh = dp_placement(self.topology, flows, int(self.placement.size))
+        if stay_cost > (1.0 + self.threshold) * fresh.cost:
+            result = mpareto_migration(
+                self.topology, flows, self.placement, self.mu
+            )
+            self._placement = result.migration
+            return PolicyStep(
+                communication_cost=result.communication_cost,
+                migration_cost=result.migration_cost,
+                num_migrations=result.num_migrated,
+            )
+        return PolicyStep(
+            communication_cost=stay_cost,
+            migration_cost=0.0,
+            num_migrations=0,
+        )

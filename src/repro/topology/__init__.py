@@ -1,0 +1,34 @@
+"""Data-center topology substrate.
+
+Builders for the fat-tree PPDCs evaluated in the paper (k = 2, 4, 8, 16)
+plus the linear chain of Fig. 1 and several other standard data-center
+fabrics (leaf-spine, VL2, BCube, jellyfish) so the algorithms can be
+exercised beyond fat trees — the paper notes its problems and solutions
+"apply to any data center topology".
+"""
+
+from repro.topology.base import Topology
+from repro.topology.fattree import fat_tree
+from repro.topology.linear import linear_ppdc
+from repro.topology.leafspine import leaf_spine
+from repro.topology.vl2 import vl2
+from repro.topology.bcube import bcube
+from repro.topology.dcell import dcell
+from repro.topology.jellyfish import jellyfish
+from repro.topology.weights import (
+    apply_uniform_delays,
+    unit_weights,
+)
+
+__all__ = [
+    "Topology",
+    "fat_tree",
+    "linear_ppdc",
+    "leaf_spine",
+    "vl2",
+    "bcube",
+    "dcell",
+    "jellyfish",
+    "apply_uniform_delays",
+    "unit_weights",
+]

@@ -1,0 +1,157 @@
+"""The :class:`Topology` wrapper: a PPDC graph plus host/switch structure.
+
+A PPDC (Section III) is an undirected weighted graph whose nodes split
+into hosts ``V_h`` and switches ``V_s``; VNFs live on (servers attached
+to) switches, VMs live on hosts.  :class:`Topology` carries the
+:class:`~repro.graphs.CostGraph` together with that split and the rack
+structure (which edge switch serves each host) that the workload
+generator needs for its 80 %-intra-rack placement rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import CostGraph
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True, eq=False)
+class Topology:
+    """A PPDC: graph + host/switch partition + rack map.
+
+    ``eq=False``: topologies compare (and hash) by identity — the
+    generated field-wise ``__eq__`` would be ill-defined on ndarray
+    fields, and identity semantics are what the per-topology caches
+    (stroll matrices, switch-only graphs) need.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"fat-tree(k=8)"``.
+    graph:
+        The underlying weighted graph over all hosts and switches.
+    hosts:
+        Node indices of the hosts ``V_h`` (ascending).
+    switches:
+        Node indices of the switches ``V_s`` (ascending).
+    host_edge_switch:
+        For each position in :attr:`hosts`, the switch index of the edge
+        (top-of-rack) switch that host hangs off.  Hosts with equal values
+        are "in the same rack" for workload locality purposes.
+    """
+
+    name: str
+    graph: CostGraph
+    hosts: np.ndarray
+    switches: np.ndarray
+    host_edge_switch: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        hosts = np.asarray(self.hosts, dtype=np.int64)
+        switches = np.asarray(self.switches, dtype=np.int64)
+        rack = np.asarray(self.host_edge_switch, dtype=np.int64)
+        object.__setattr__(self, "hosts", hosts)
+        object.__setattr__(self, "switches", switches)
+        object.__setattr__(self, "host_edge_switch", rack)
+        n = self.graph.num_nodes
+        all_nodes = np.concatenate([hosts, switches])
+        if sorted(all_nodes.tolist()) != list(range(n)):
+            raise TopologyError(
+                "hosts and switches must partition the graph's node set exactly"
+            )
+        if rack.shape != hosts.shape:
+            raise TopologyError("host_edge_switch must align with hosts")
+        switch_set = set(switches.tolist())
+        if not set(rack.tolist()) <= switch_set:
+            raise TopologyError("host_edge_switch entries must be switches")
+        for mat in (hosts, switches, rack):
+            mat.setflags(write=False)
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def num_hosts(self) -> int:
+        return int(self.hosts.size)
+
+    @property
+    def num_switches(self) -> int:
+        return int(self.switches.size)
+
+    def is_host(self, node: int) -> bool:
+        return bool(np.isin(node, self.hosts))
+
+    def is_switch(self, node: int) -> bool:
+        return bool(np.isin(node, self.switches))
+
+    def rack_of_host(self, host: int) -> int:
+        """Edge switch serving ``host`` (a graph node index, not a position)."""
+        pos = np.searchsorted(self.hosts, host)
+        if pos >= self.hosts.size or self.hosts[pos] != host:
+            raise TopologyError(f"node {host} is not a host")
+        return int(self.host_edge_switch[pos])
+
+    def hosts_in_rack(self, edge_switch: int) -> np.ndarray:
+        """All hosts served by ``edge_switch``."""
+        return self.hosts[self.host_edge_switch == edge_switch]
+
+    def racks(self) -> list[np.ndarray]:
+        """Hosts grouped by rack, one array per distinct edge switch."""
+        return [self.hosts_in_rack(sw) for sw in np.unique(self.host_edge_switch)]
+
+    @property
+    def switch_distances(self) -> np.ndarray:
+        """``c(u, v)`` restricted to switch rows/columns (copy-on-read view)."""
+        return self.graph.distances[np.ix_(self.switches, self.switches)]
+
+    def host_to_switch_distances(self) -> np.ndarray:
+        """``(num_hosts, num_switches)`` matrix of ``c(host, switch)``."""
+        return self.graph.distances[np.ix_(self.hosts, self.switches)]
+
+    def switch_only_graph(self) -> tuple[CostGraph, dict[int, int]]:
+        """The induced subgraph over switches only (cached).
+
+        Returns ``(graph, position_of)`` where ``position_of`` maps a
+        switch's node index in the full graph to its index in the induced
+        graph.  Used for VNF migration corridors: in server-centric
+        fabrics (BCube) the full-graph shortest path between two switches
+        may relay through hosts, but VNFs only ever sit on switches.
+        """
+        cached = self.meta.get("_switch_graph")
+        if cached is not None:
+            return cached
+        position_of = {int(s): i for i, s in enumerate(self.switches)}
+        labels = [self.graph.label(int(s)) for s in self.switches]
+        edges = [
+            (position_of[u], position_of[v], w)
+            for u, v, w in self.graph.edges
+            if u in position_of and v in position_of
+        ]
+        induced = CostGraph(labels, edges)
+        self.meta["_switch_graph"] = (induced, position_of)
+        return induced, position_of
+
+    def with_graph(self, graph: CostGraph, name: str | None = None) -> "Topology":
+        """Same structure over a reweighted graph (see ``topology.weights``)."""
+        if graph.num_nodes != self.graph.num_nodes:
+            raise TopologyError("replacement graph must have the same node count")
+        public_meta = {k: v for k, v in self.meta.items() if not k.startswith("_")}
+        return Topology(
+            name=name or self.name,
+            graph=graph,
+            hosts=self.hosts,
+            switches=self.switches,
+            host_edge_switch=self.host_edge_switch,
+            meta=public_meta,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, hosts={self.num_hosts}, "
+            f"switches={self.num_switches}, edges={self.graph.num_edges})"
+        )

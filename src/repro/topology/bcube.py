@@ -1,0 +1,74 @@
+"""BCube(n, k) server-centric topology (Guo et al., SIGCOMM 2009).
+
+BCube is server-centric: each host connects to one switch per level, so
+hosts are not leaves and can relay traffic.  The VNF model is unchanged —
+VNFs still live on switches — which makes BCube a good stress test for
+the placement algorithms on graphs where host-to-host paths are short and
+plentiful.
+
+``BCube(n, k)`` has ``n^(k+1)`` hosts and ``(k+1) * n^k`` switches; the
+host with digit address ``(a_k, ..., a_0)`` (base ``n``) connects at level
+``i`` to the switch identified by its address with digit ``i`` removed.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["bcube"]
+
+
+def bcube(n: int, levels: int = 1, edge_weight: float = 1.0) -> Topology:
+    """Build ``BCube(n, k)`` with ``k = levels``.
+
+    ``n`` is the switch port count (hosts per level-0 switch); ``levels``
+    is the highest level index ``k`` (so ``levels=1`` is the common
+    two-level BCube).
+    """
+    if n < 2:
+        raise TopologyError(f"BCube port count n must be >= 2, got {n}")
+    if levels < 0:
+        raise TopologyError(f"levels must be >= 0, got {levels}")
+    k = levels
+    num_hosts = n ** (k + 1)
+    switches_per_level = n**k
+
+    builder = GraphBuilder()
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    level_switches: list[list[int]] = []
+    counter = 0
+    for level in range(k + 1):
+        ids = builder.add_nodes(f"s{counter + i + 1}" for i in range(switches_per_level))
+        counter += switches_per_level
+        level_switches.append(ids)
+
+    # address digits: host index h has digits (a_k, ..., a_0) base n
+    host_edge_switch = []
+    for h_idx, h_node in enumerate(hosts):
+        digits = []
+        rest = h_idx
+        for _ in range(k + 1):
+            digits.append(rest % n)
+            rest //= n
+        # digits[i] = a_i; switch index at level i = digits with a_i removed
+        for level in range(k + 1):
+            other = [d for j, d in enumerate(digits) if j != level]
+            sw_idx = 0
+            for d in reversed(other):
+                sw_idx = sw_idx * n + d
+            builder.add_edge(h_node, level_switches[level][sw_idx], edge_weight)
+        host_edge_switch.append(level_switches[0][h_idx // n])
+
+    all_switches = list(itertools.chain.from_iterable(level_switches))
+    return Topology(
+        name=f"bcube(n={n},k={k})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=all_switches,
+        host_edge_switch=host_edge_switch,
+        meta={"n": n, "k": k, "switches_per_level": switches_per_level},
+    )

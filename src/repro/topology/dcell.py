@@ -1,0 +1,60 @@
+"""DCell (Guo et al., SIGCOMM 2008): recursively defined server-centric DCN.
+
+``DCell_0`` is ``n`` hosts on one mini-switch; ``DCell_1`` connects
+``n + 1`` copies of ``DCell_0`` by direct host-to-host links (host ``j``
+of cell ``i`` pairs with host ``i`` of cell ``j + 1`` for ``i <= j``).
+Like BCube, hosts relay traffic; unlike BCube, most inter-cell capacity
+is host-to-host, so the switch-only subgraph is disconnected and VNF
+migration corridors degenerate to direct jumps — a stress test for the
+corridors' fallback path.
+
+Only level 1 is built (levels ≥ 2 grow super-exponentially and add no
+new structure for the algorithms under test).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["dcell"]
+
+
+def dcell(n: int, edge_weight: float = 1.0) -> Topology:
+    """Build a level-1 DCell over ``n``-port mini-switches.
+
+    ``n + 1`` cells of ``n`` hosts each: ``n(n+1)`` hosts, ``n + 1``
+    switches, plus the ``n(n+1)/2`` inter-cell host links.
+    """
+    if n < 2:
+        raise TopologyError(f"DCell port count n must be >= 2, got {n}")
+    num_cells = n + 1
+    builder = GraphBuilder()
+    hosts = builder.add_nodes(
+        f"h{i + 1}" for i in range(num_cells * n)
+    )
+    switches = builder.add_nodes(f"s{i + 1}" for i in range(num_cells))
+
+    def host_of(cell: int, idx: int) -> int:
+        return hosts[cell * n + idx]
+
+    host_edge_switch = []
+    for cell in range(num_cells):
+        for idx in range(n):
+            builder.add_edge(host_of(cell, idx), switches[cell], edge_weight)
+            host_edge_switch.append(switches[cell])
+
+    # inter-cell links: host i of cell j+1 <-> host j of cell i, for i <= j
+    for i in range(num_cells):
+        for j in range(i, n):
+            builder.add_edge(host_of(i, j), host_of(j + 1, i), edge_weight)
+
+    return Topology(
+        name=f"dcell(n={n})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=switches,
+        host_edge_switch=host_edge_switch,
+        meta={"n": n, "cells": num_cells},
+    )

@@ -1,0 +1,88 @@
+"""k-ary fat-tree builder (Al-Fares et al. [6]), the paper's main topology.
+
+A ``k``-ary fat tree has ``k`` pods; each pod holds ``k/2`` edge switches
+and ``k/2`` aggregation switches, every edge switch serves ``k/2`` hosts,
+and ``(k/2)^2`` core switches connect the pods.  Totals: ``k^3/4`` hosts
+and ``5k^2/4`` switches.  The paper evaluates ``k = 8`` (128 hosts) and
+``k = 16`` (1024 hosts); ``k = 2`` degenerates into the 5-switch linear
+chain of Fig. 1 / Fig. 3, and the worked examples in the tests rely on
+the exact label layout documented below.
+
+Labels: hosts ``h1..hN`` in pod order; switches ``s<i>`` numbered edge
+switches first (pod by pod), then aggregation (pod by pod), then core.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["fat_tree"]
+
+
+def fat_tree(k: int, edge_weight: float = 1.0) -> Topology:
+    """Build a ``k``-ary fat tree PPDC with uniform edge weights.
+
+    Parameters
+    ----------
+    k:
+        Switch port count; must be a positive even integer.
+    edge_weight:
+        Weight of every link (1.0 = the paper's unweighted/hop-count PPDC).
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree arity k must be a positive even integer, got {k}")
+    half = k // 2
+    num_pods = k
+    num_edge = num_pods * half
+    num_agg = num_pods * half
+    num_core = half * half
+    num_hosts = num_edge * half
+
+    builder = GraphBuilder()
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    # switch numbering: edge (per pod), then aggregation (per pod), then core
+    edge_sw = builder.add_nodes(f"s{i + 1}" for i in range(num_edge))
+    agg_sw = builder.add_nodes(f"s{num_edge + i + 1}" for i in range(num_agg))
+    core_sw = builder.add_nodes(f"s{num_edge + num_agg + i + 1}" for i in range(num_core))
+
+    host_edge_switch = []
+    for e_idx, e_node in enumerate(edge_sw):
+        for h_off in range(half):
+            h_node = hosts[e_idx * half + h_off]
+            builder.add_edge(h_node, e_node, edge_weight)
+            host_edge_switch.append(e_node)
+
+    # pod-internal complete bipartite edge <-> aggregation
+    for pod in range(num_pods):
+        for e_off in range(half):
+            for a_off in range(half):
+                builder.add_edge(
+                    edge_sw[pod * half + e_off], agg_sw[pod * half + a_off], edge_weight
+                )
+
+    # aggregation <-> core: the a-th aggregation switch of every pod connects
+    # to core switches a*half .. a*half + half - 1
+    for pod in range(num_pods):
+        for a_off in range(half):
+            for c_off in range(half):
+                builder.add_edge(
+                    agg_sw[pod * half + a_off], core_sw[a_off * half + c_off], edge_weight
+                )
+
+    graph = builder.build()
+    return Topology(
+        name=f"fat-tree(k={k})",
+        graph=graph,
+        hosts=hosts,
+        switches=edge_sw + agg_sw + core_sw,
+        host_edge_switch=host_edge_switch,
+        meta={
+            "k": k,
+            "pods": num_pods,
+            "edge_switches": num_edge,
+            "agg_switches": num_agg,
+            "core_switches": num_core,
+        },
+    )

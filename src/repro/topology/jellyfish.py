@@ -1,0 +1,82 @@
+"""Jellyfish: random regular-graph switch fabric (Singla et al., NSDI 2012).
+
+Switches form a random ``r``-regular graph; each switch additionally
+serves a fixed number of hosts.  Randomized topologies are a useful
+adversarial input for the placement DP because shortest-path structure has
+none of the symmetry the fat tree offers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+from repro.utils.rng import as_generator
+
+__all__ = ["jellyfish"]
+
+
+def jellyfish(
+    num_switches: int,
+    degree: int,
+    hosts_per_switch: int = 1,
+    edge_weight: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+    max_attempts: int = 50,
+) -> Topology:
+    """Build a jellyfish PPDC over a connected random ``degree``-regular graph.
+
+    Uses networkx's pairing-model generator and retries until the sampled
+    graph is connected (hence ``max_attempts``).
+    """
+    import networkx as nx
+
+    if num_switches < 3:
+        raise TopologyError(f"need at least 3 switches, got {num_switches}")
+    if degree < 2 or degree >= num_switches:
+        raise TopologyError(
+            f"degree must satisfy 2 <= degree < num_switches, got {degree}"
+        )
+    if (num_switches * degree) % 2 != 0:
+        raise TopologyError("num_switches * degree must be even for a regular graph")
+    if hosts_per_switch < 1:
+        raise TopologyError(f"hosts_per_switch must be positive, got {hosts_per_switch}")
+
+    rng = as_generator(seed)
+    random_graph = None
+    for _ in range(max_attempts):
+        candidate = nx.random_regular_graph(
+            degree, num_switches, seed=int(rng.integers(0, 2**31 - 1))
+        )
+        if nx.is_connected(candidate):
+            random_graph = candidate
+            break
+    if random_graph is None:
+        raise TopologyError(
+            f"failed to sample a connected {degree}-regular graph on "
+            f"{num_switches} nodes in {max_attempts} attempts"
+        )
+
+    builder = GraphBuilder()
+    num_hosts = num_switches * hosts_per_switch
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    switches = builder.add_nodes(f"s{i + 1}" for i in range(num_switches))
+
+    host_edge_switch = []
+    for s_idx, s_node in enumerate(switches):
+        for h_off in range(hosts_per_switch):
+            builder.add_edge(hosts[s_idx * hosts_per_switch + h_off], s_node, edge_weight)
+            host_edge_switch.append(s_node)
+    for u, v in random_graph.edges():
+        builder.add_edge(switches[u], switches[v], edge_weight)
+
+    return Topology(
+        name=f"jellyfish(s={num_switches},r={degree})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=switches,
+        host_edge_switch=host_edge_switch,
+        meta={"degree": degree},
+    )

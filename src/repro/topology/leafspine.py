@@ -1,0 +1,60 @@
+"""Two-tier leaf-spine (Clos) fabric.
+
+Every leaf (top-of-rack) switch connects to every spine switch; hosts hang
+off leaves.  This is the most common modern DC fabric and a useful second
+topology for checking that the placement/migration algorithms are not
+fat-tree-specific.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["leaf_spine"]
+
+
+def leaf_spine(
+    num_leaves: int,
+    num_spines: int,
+    hosts_per_leaf: int,
+    edge_weight: float = 1.0,
+) -> Topology:
+    """Build a leaf-spine PPDC.
+
+    Parameters mirror the physical design: ``num_leaves`` ToR switches with
+    ``hosts_per_leaf`` hosts each, fully meshed to ``num_spines`` spines.
+    """
+    if num_leaves < 1 or num_spines < 1 or hosts_per_leaf < 1:
+        raise TopologyError(
+            f"leaf-spine needs positive dimensions, got leaves={num_leaves}, "
+            f"spines={num_spines}, hosts_per_leaf={hosts_per_leaf}"
+        )
+    builder = GraphBuilder()
+    num_hosts = num_leaves * hosts_per_leaf
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    leaves = builder.add_nodes(f"s{i + 1}" for i in range(num_leaves))
+    spines = builder.add_nodes(f"s{num_leaves + i + 1}" for i in range(num_spines))
+
+    host_edge_switch = []
+    for l_idx, leaf in enumerate(leaves):
+        for h_off in range(hosts_per_leaf):
+            builder.add_edge(hosts[l_idx * hosts_per_leaf + h_off], leaf, edge_weight)
+            host_edge_switch.append(leaf)
+    for leaf in leaves:
+        for spine in spines:
+            builder.add_edge(leaf, spine, edge_weight)
+
+    return Topology(
+        name=f"leaf-spine({num_leaves}x{num_spines})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=leaves + spines,
+        host_edge_switch=host_edge_switch,
+        meta={
+            "leaves": num_leaves,
+            "spines": num_spines,
+            "hosts_per_leaf": hosts_per_leaf,
+        },
+    )

@@ -1,0 +1,55 @@
+"""The linear PPDC of Fig. 1: a chain of switches with hosts at the ends.
+
+Fig. 1 shows two hosts connected through a chain of five switches; the
+paper notes this is the same network as the k=2 fat tree of Fig. 3.  The
+builder generalizes to any chain length and any number of hosts per end.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["linear_ppdc"]
+
+
+def linear_ppdc(
+    num_switches: int = 5,
+    hosts_per_end: int = 1,
+    edge_weight: float = 1.0,
+) -> Topology:
+    """Build a chain ``h.. - s1 - s2 - ... - sM - ..h`` PPDC.
+
+    ``hosts_per_end`` hosts attach to each end switch; with the defaults
+    this is exactly the Fig. 1 network (h1 - s1..s5 - h2).
+    """
+    if num_switches < 1:
+        raise TopologyError(f"need at least one switch, got {num_switches}")
+    if hosts_per_end < 1:
+        raise TopologyError(f"need at least one host per end, got {hosts_per_end}")
+
+    builder = GraphBuilder()
+    num_hosts = 2 * hosts_per_end
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    switches = builder.add_nodes(f"s{i + 1}" for i in range(num_switches))
+
+    for left, right in zip(switches, switches[1:]):
+        builder.add_edge(left, right, edge_weight)
+
+    host_edge_switch = []
+    for i in range(hosts_per_end):
+        builder.add_edge(hosts[i], switches[0], edge_weight)
+        host_edge_switch.append(switches[0])
+    for i in range(hosts_per_end):
+        builder.add_edge(hosts[hosts_per_end + i], switches[-1], edge_weight)
+        host_edge_switch.append(switches[-1])
+
+    return Topology(
+        name=f"linear(m={num_switches})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=switches,
+        host_edge_switch=host_edge_switch,
+        meta={"num_switches": num_switches, "hosts_per_end": hosts_per_end},
+    )

@@ -1,0 +1,78 @@
+"""VL2-style three-tier fabric (Greenberg et al., SIGCOMM 2009).
+
+VL2 arranges ToR switches under aggregation switches (each ToR dual-homed
+to two aggs) and builds a complete bipartite graph between aggregation and
+intermediate (core) switches.  We reproduce that wiring shape: it gives a
+topology with different path multiplicity than a fat tree, exercising the
+algorithms on a structurally distinct graph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+__all__ = ["vl2"]
+
+
+def vl2(
+    num_intermediate: int,
+    num_aggregation: int,
+    tors_per_agg_pair: int = 2,
+    hosts_per_tor: int = 2,
+    edge_weight: float = 1.0,
+) -> Topology:
+    """Build a VL2 PPDC.
+
+    ``num_aggregation`` must be even: ToRs are attached to consecutive
+    aggregation pairs ``(agg_0, agg_1), (agg_2, agg_3), ...`` with
+    ``tors_per_agg_pair`` ToRs per pair.
+    """
+    if num_intermediate < 1 or num_aggregation < 2 or num_aggregation % 2 != 0:
+        raise TopologyError(
+            "vl2 needs >=1 intermediate and a positive even aggregation count, "
+            f"got intermediate={num_intermediate}, aggregation={num_aggregation}"
+        )
+    if tors_per_agg_pair < 1 or hosts_per_tor < 1:
+        raise TopologyError("tors_per_agg_pair and hosts_per_tor must be positive")
+
+    num_pairs = num_aggregation // 2
+    num_tors = num_pairs * tors_per_agg_pair
+    num_hosts = num_tors * hosts_per_tor
+
+    builder = GraphBuilder()
+    hosts = builder.add_nodes(f"h{i + 1}" for i in range(num_hosts))
+    tors = builder.add_nodes(f"s{i + 1}" for i in range(num_tors))
+    aggs = builder.add_nodes(f"s{num_tors + i + 1}" for i in range(num_aggregation))
+    cores = builder.add_nodes(
+        f"s{num_tors + num_aggregation + i + 1}" for i in range(num_intermediate)
+    )
+
+    host_edge_switch = []
+    for t_idx, tor in enumerate(tors):
+        for h_off in range(hosts_per_tor):
+            builder.add_edge(hosts[t_idx * hosts_per_tor + h_off], tor, edge_weight)
+            host_edge_switch.append(tor)
+
+    for t_idx, tor in enumerate(tors):
+        pair = t_idx // tors_per_agg_pair
+        builder.add_edge(tor, aggs[2 * pair], edge_weight)
+        builder.add_edge(tor, aggs[2 * pair + 1], edge_weight)
+
+    for agg in aggs:
+        for core in cores:
+            builder.add_edge(agg, core, edge_weight)
+
+    return Topology(
+        name=f"vl2(i={num_intermediate},a={num_aggregation})",
+        graph=builder.build(),
+        hosts=hosts,
+        switches=tors + aggs + cores,
+        host_edge_switch=host_edge_switch,
+        meta={
+            "intermediate": num_intermediate,
+            "aggregation": num_aggregation,
+            "tors": num_tors,
+        },
+    )

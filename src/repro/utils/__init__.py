@@ -1,0 +1,24 @@
+"""Shared utilities: seeded RNG streams, statistics, tables and timing."""
+
+from repro.utils.rng import RngStream, spawn_rngs
+from repro.utils.stats import ConfidenceInterval, mean_ci, summarize_runs
+from repro.utils.tables import ascii_table, format_float
+from repro.utils.timing import Timer
+from repro.utils.plotting import series_chart, sparkline
+from repro.utils.results_io import read_rows_csv, write_result_files, write_rows_csv
+
+__all__ = [
+    "RngStream",
+    "spawn_rngs",
+    "ConfidenceInterval",
+    "mean_ci",
+    "summarize_runs",
+    "ascii_table",
+    "format_float",
+    "Timer",
+    "sparkline",
+    "series_chart",
+    "write_rows_csv",
+    "read_rows_csv",
+    "write_result_files",
+]

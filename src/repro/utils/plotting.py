@@ -1,0 +1,74 @@
+"""Terminal plotting: unicode sparklines and simple multi-series charts.
+
+The experiment harness is terminal-first; these helpers render a figure's
+series as block-character plots so ``repro run <fig> --plot`` gives a
+visual impression without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "series_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character sketch of a numeric series.
+
+    Non-finite entries render as spaces; a constant series renders at
+    mid-height.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for value in arr:
+        if not math.isfinite(value):
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_BLOCKS[len(_BLOCKS) // 2])
+        else:
+            idx = int(round((value - lo) / span * (len(_BLOCKS) - 1)))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence | None = None,
+    width: int | None = None,
+) -> str:
+    """Multi-series sparkline chart with aligned labels and min/max legends.
+
+    Example output::
+
+        dp        ▁▂▄▆█  [1.2e+05 .. 9.8e+05]
+        steering  ▂▃▅▇█  [2.0e+05 .. 1.9e+06]
+        x: 3 .. 13
+    """
+    if not series:
+        return "(no series)"
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        spark = sparkline(arr)
+        finite = arr[np.isfinite(arr)]
+        if finite.size:
+            legend = f"[{finite.min():.3g} .. {finite.max():.3g}]"
+        else:
+            legend = "[empty]"
+        lines.append(f"{name:<{label_width}}  {spark}  {legend}")
+    if x_labels is not None and len(x_labels) > 0:
+        lines.append(f"{'x':<{label_width}}  {x_labels[0]} .. {x_labels[-1]}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""CSV / JSON persistence for experiment results.
+
+The CLI writes JSON; downstream analysis (pandas, spreadsheets, plotting
+outside this repo) usually wants CSV.  These helpers are deliberately
+dependency-free (the csv stdlib module) and round-trip the row structure
+of :class:`~repro.experiments.common.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["write_rows_csv", "read_rows_csv", "write_result_files"]
+
+
+def write_rows_csv(path: Path | str, rows: Sequence[dict]) -> None:
+    """Write dict rows as CSV; the header is the union of keys, in first-seen order."""
+    if not rows:
+        raise ReproError("cannot write an empty row set")
+    path = Path(path)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _render(row.get(key)) for key in columns})
+
+
+def _render(value: Any) -> Any:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    return value
+
+
+def _parse(text: str) -> Any:
+    if text == "":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        as_int = int(text)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_rows_csv(path: Path | str) -> list[dict]:
+    """Read back rows written by :func:`write_rows_csv` (typed best-effort)."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such CSV file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        return [
+            {key: _parse(value) for key, value in row.items()} for row in reader
+        ]
+
+
+def write_result_files(result, directory: Path | str) -> dict[str, Path]:
+    """Persist an ExperimentResult as ``<name>.csv`` + ``<name>.json``.
+
+    Returns the written paths keyed by format.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{result.experiment}.csv"
+    json_path = directory / f"{result.experiment}.json"
+    write_rows_csv(csv_path, result.rows)
+    json_path.write_text(result.to_json())
+    return {"csv": csv_path, "json": json_path}

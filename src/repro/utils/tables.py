@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints each reproduced figure as an ASCII table —
+one row per x-axis point, one column per algorithm series — so results are
+readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ascii_table", "format_float", "rows_to_table"]
+
+
+def format_float(value: Any, precision: int = 4) -> str:
+    """Render a cell: floats compactly, ``None`` as a dash, rest via str."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.{precision}g}"
+        return f"{value:,.{precision}g}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table."""
+    rendered = [[format_float(cell, precision) for cell in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in rendered)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def rows_to_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows; columns default to first row's keys."""
+    if not rows:
+        return title or "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    body = [[row.get(col) for col in cols] for row in rows]
+    return ascii_table(cols, body, title=title, precision=precision)

@@ -1,0 +1,37 @@
+"""A minimal wall-clock timer used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single instance can be re-entered; :attr:`total` accumulates across
+    uses and :attr:`laps` records each individual duration.
+    """
+
+    total: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Timer exited without entering"
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.laps.append(lap)
+        self.total += lap
+
+    @property
+    def last(self) -> float:
+        """Duration of the most recent lap (0.0 before any lap)."""
+        return self.laps[-1] if self.laps else 0.0

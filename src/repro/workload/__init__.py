@@ -1,0 +1,48 @@
+"""Workload substrate: VM flows, traffic-rate models, SFCs, diurnal dynamics.
+
+Reproduces the paper's Section VI experiment setup:
+
+* VM pairs placed with 80 % rack locality (Benson et al. [8]);
+* per-flow rates drawn from the Facebook-like 25/70/5 light/medium/heavy
+  mix over [0, 10000] (Roy et al. [43]);
+* SFCs of up to 13 VNFs drawn from the IETF access/application catalog [3];
+* the Eq. 9 diurnal scale factor with two coasts 3 hours apart.
+"""
+
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.gravity import gravity_rack_masses, place_vm_pairs_gravity
+from repro.workload.sfc import SFC, access_sfc, application_sfc, full_sfc, sfc_of_size
+from repro.workload.traffic import (
+    FacebookTrafficModel,
+    RateBand,
+    TrafficModel,
+    UniformTrafficModel,
+)
+from repro.workload.diurnal import DiurnalModel, assign_cohorts, assign_cohorts_spatial
+from repro.workload.dynamics import RateProcess, RedrawnRates, ScaledRates
+from repro.workload.zoom import ZoomTrafficModel
+from repro.workload.arrivals import ArrivalDepartureRates
+
+__all__ = [
+    "FlowSet",
+    "place_vm_pairs",
+    "place_vm_pairs_gravity",
+    "gravity_rack_masses",
+    "SFC",
+    "access_sfc",
+    "application_sfc",
+    "full_sfc",
+    "sfc_of_size",
+    "TrafficModel",
+    "FacebookTrafficModel",
+    "UniformTrafficModel",
+    "RateBand",
+    "DiurnalModel",
+    "assign_cohorts",
+    "assign_cohorts_spatial",
+    "RateProcess",
+    "ScaledRates",
+    "RedrawnRates",
+    "ZoomTrafficModel",
+    "ArrivalDepartureRates",
+]

@@ -1,0 +1,106 @@
+"""Flow arrival/departure dynamics: the paper's "new users join" case.
+
+Section V notes that "new users join for the first time [35] is a
+special case of TOM, wherein their traffic rates change from zero to
+some positive values".  :class:`ArrivalDepartureRates` renders that as a
+rate process: each flow has an activity window — it *arrives* at a
+random hour and *departs* after an exponential-ish holding time — and
+contributes its (diurnally scaled) rate only while active.  Flows that
+never arrived yet, or already left, contribute exactly zero, so the
+placement algorithms see rates switching 0 → λ → 0 over the day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import as_generator
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import RateProcess
+from repro.workload.flows import FlowSet
+
+__all__ = ["ArrivalDepartureRates"]
+
+
+class ArrivalDepartureRates(RateProcess):
+    """Rates gated by per-flow activity windows.
+
+    Parameters
+    ----------
+    flows:
+        The VM pairs with their base (peak) rates.
+    diurnal:
+        The Eq. 9 envelope applied on top of the activity gating.
+    cohort_offsets:
+        Per-flow time-zone offsets, as elsewhere.
+    mean_holding_hours:
+        Mean session length; holding times are geometric with this mean
+        (discrete hours), truncated to at least one hour.
+    always_on_fraction:
+        Share of flows active for the whole day (long-lived services).
+    seed:
+        Seeds arrivals and holding times.
+    """
+
+    def __init__(
+        self,
+        flows: FlowSet,
+        diurnal: DiurnalModel,
+        cohort_offsets: np.ndarray,
+        mean_holding_hours: float = 4.0,
+        always_on_fraction: float = 0.25,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        offsets = np.asarray(cohort_offsets, dtype=float)
+        if offsets.shape != (flows.num_flows,):
+            raise WorkloadError(
+                f"cohort_offsets shape {offsets.shape} != flow count {flows.num_flows}"
+            )
+        if mean_holding_hours <= 0:
+            raise WorkloadError(
+                f"mean_holding_hours must be positive, got {mean_holding_hours}"
+            )
+        if not (0.0 <= always_on_fraction <= 1.0):
+            raise WorkloadError(
+                f"always_on_fraction must be in [0, 1], got {always_on_fraction}"
+            )
+        gen = as_generator(seed)
+        num_flows = flows.num_flows
+        n_hours = diurnal.num_hours
+
+        arrivals = gen.integers(1, n_hours + 1, size=num_flows).astype(float)
+        holding = np.maximum(
+            1, gen.geometric(min(1.0, 1.0 / mean_holding_hours), size=num_flows)
+        ).astype(float)
+        departures = arrivals + holding
+        always_on = gen.random(num_flows) < always_on_fraction
+        arrivals[always_on] = 0.0
+        departures[always_on] = float(n_hours) + 1.0
+
+        self.base = flows.rates.copy()
+        self.diurnal = diurnal
+        self.offsets = offsets
+        self.arrivals = arrivals
+        self.departures = departures
+
+    def active_at(self, hour: int) -> np.ndarray:
+        """Boolean mask of flows active at integer ``hour``."""
+        h = float(hour)
+        return (self.arrivals <= h) & (h < self.departures)
+
+    def rates_at(self, hour: int) -> np.ndarray:
+        scales = self.diurnal.flow_scales(hour, self.offsets)
+        return np.where(self.active_at(hour), self.base * scales, 0.0)
+
+    def churn_between(self, hour_a: int, hour_b: int) -> int:
+        """How many flows arrive or depart in the half-open span ``(a, b]``."""
+        if hour_b < hour_a:
+            raise WorkloadError("hour_b must be >= hour_a")
+        arrivals = int(
+            np.count_nonzero((self.arrivals > hour_a) & (self.arrivals <= hour_b))
+        )
+        departures = int(
+            np.count_nonzero((self.departures > hour_a) & (self.departures <= hour_b))
+        )
+        return arrivals + departures

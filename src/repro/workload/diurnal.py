@@ -1,0 +1,149 @@
+"""The paper's diurnal traffic model (Eq. 9) and time-zone cohorts.
+
+The paper models dynamic cloud traffic as cycle-stationary over an
+``N = 12``-hour day (6 AM to 6 PM): rates ramp up linearly from 6 AM to
+noon and back down until 6 PM, scaled by
+
+    τ_h = 0                          h = 0
+    τ_h = 2 (h / N) (1 − τ_min)      h = 1 .. N/2
+    τ_h = 2 ((N − h) / N) (1 − τ_min)  h = N/2 + 1 .. N
+
+with ``τ_min = 0.2`` taken from Eramo et al. [20].  We implement the
+equation exactly as printed (``variant="literal"``); note that it reaches
+``1 − τ_min = 0.8`` at noon and 0 at the boundaries, so ``τ_min`` acts as
+a peak-attenuation parameter rather than a floor.  ``variant="floored"``
+adds ``τ_min`` throughout (floor ``τ_min``, peak 1.0), the reading
+consistent with [20]'s sinusoid, and is offered for sensitivity studies.
+
+To model US time zones, half of the flows (east coast) run three hours
+*earlier* than the rest: at simulation hour ``h`` an east-coast flow is
+already at local hour ``h + 3``.  Hours outside ``[0, N]`` scale to 0
+(outside the modeled working day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import as_generator
+
+__all__ = ["DiurnalModel", "assign_cohorts", "assign_cohorts_spatial"]
+
+
+@dataclass(frozen=True)
+class DiurnalModel:
+    """Eq. 9 diurnal scale factor.
+
+    Attributes
+    ----------
+    num_hours:
+        ``N`` in Eq. 9 (the paper uses 12).
+    tau_min:
+        The ``τ_min`` parameter (the paper uses 0.2).
+    variant:
+        ``"literal"`` = the equation exactly as published;
+        ``"floored"`` = the equation plus ``τ_min`` (floor at τ_min, peak 1).
+    """
+
+    num_hours: int = 12
+    tau_min: float = 0.2
+    variant: str = "literal"
+
+    def __post_init__(self) -> None:
+        if self.num_hours < 2 or self.num_hours % 2 != 0:
+            raise WorkloadError(
+                f"num_hours must be a positive even integer, got {self.num_hours}"
+            )
+        if not (0.0 <= self.tau_min < 1.0):
+            raise WorkloadError(f"tau_min must be in [0, 1), got {self.tau_min}")
+        if self.variant not in ("literal", "floored"):
+            raise WorkloadError(f"unknown variant {self.variant!r}")
+
+    def scale(self, hour: float) -> float:
+        """``τ_h`` for a (possibly fractional or out-of-day) hour."""
+        return float(self.scales(np.asarray([hour]))[0])
+
+    def scales(self, hours: np.ndarray) -> np.ndarray:
+        """Vectorized ``τ_h``; hours outside ``[0, N]`` scale to zero."""
+        h = np.asarray(hours, dtype=np.float64)
+        n = float(self.num_hours)
+        up = 2.0 * (h / n) * (1.0 - self.tau_min)
+        down = 2.0 * ((n - h) / n) * (1.0 - self.tau_min)
+        tau = np.where(h <= n / 2.0, up, down)
+        inside = (h > 0) & (h <= n)
+        tau = np.where(inside, tau, 0.0)
+        if self.variant == "floored":
+            tau = np.where(inside, tau + self.tau_min, tau)
+        return tau
+
+    def pattern(self) -> np.ndarray:
+        """``τ_h`` for the integer hours ``0 .. N`` (Fig. 8's base series)."""
+        return self.scales(np.arange(self.num_hours + 1))
+
+    def flow_scales(self, hour: float, cohort_offsets: np.ndarray) -> np.ndarray:
+        """Per-flow scale at simulation ``hour`` given per-flow hour offsets.
+
+        ``cohort_offsets[i]`` is how far ahead flow ``i``'s local time runs
+        (3 for the paper's east-coast cohort, 0 for west).
+        """
+        offsets = np.asarray(cohort_offsets, dtype=np.float64)
+        return self.scales(hour + offsets)
+
+    def peak_hour(self) -> int:
+        return self.num_hours // 2
+
+
+def assign_cohorts_spatial(
+    topology,
+    flows,
+    offset_hours: float = 3.0,
+) -> np.ndarray:
+    """Per-flow hour offsets correlated with *where* the flow lives.
+
+    Flows whose source host sits in the first half of the data center's
+    racks form the early ("east coast") cohort; the rest run on the base
+    clock.  Rationale: cloud schedulers place users' jobs with locality,
+    so jobs submitted from different time zones occupy different regions
+    of the fabric.  Without this spatial correlation, an unweighted
+    fat tree under uniformly spread flows has a *static* optimal chain
+    placement (the fully central one costs ``(n+5)·Λ`` at every hour) and
+    no migration scheme — the paper's or anyone's — can reduce traffic;
+    the dynamics of the paper's Figs. 1/3 and 11 presuppose traffic whose
+    spatial center of mass moves over the day.  See DESIGN.md §4.
+    """
+    racks = sorted({topology.rack_of_host(int(h)) for h in topology.hosts})
+    early_racks = set(racks[: len(racks) // 2])
+    offsets = np.asarray(
+        [
+            float(offset_hours) if topology.rack_of_host(int(h)) in early_racks else 0.0
+            for h in flows.sources
+        ]
+    )
+    return offsets
+
+
+def assign_cohorts(
+    num_flows: int,
+    fraction_early: float = 0.5,
+    offset_hours: float = 3.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Assign per-flow hour offsets: ``fraction_early`` of flows run early.
+
+    Returns an array of offsets in ``{offset_hours, 0}``.  The assignment
+    is an exact split (first ``round(fraction * l)`` after shuffling), not
+    a Bernoulli draw, so small flow sets keep the intended 50/50 balance.
+    """
+    if num_flows < 1:
+        raise WorkloadError(f"num_flows must be positive, got {num_flows}")
+    if not (0.0 <= fraction_early <= 1.0):
+        raise WorkloadError(f"fraction_early must be in [0, 1], got {fraction_early}")
+    rng = as_generator(seed)
+    offsets = np.zeros(num_flows)
+    num_early = int(round(fraction_early * num_flows))
+    order = rng.permutation(num_flows)
+    offsets[order[:num_early]] = float(offset_hours)
+    return offsets

@@ -1,0 +1,118 @@
+"""Hour-to-hour rate processes: how the traffic-rate vector evolves.
+
+The paper describes its dynamic traffic as the Eq. 9 diurnal envelope
+applied to flows with Facebook-like rate diversity, but leaves open how
+much per-flow *churn* there is hour to hour.  Both readings are
+implemented:
+
+* :class:`ScaledRates` — each flow keeps one base rate for the whole day;
+  only the diurnal scale (and the cohort offset) changes.  This is the
+  most literal reading; note that under it, spatially uniform workloads
+  on an unweighted fat tree have a *static* optimal placement (see
+  :func:`~repro.workload.diurnal.assign_cohorts_spatial`), so migration
+  cannot help by construction.
+* :class:`RedrawnRates` — each hour every flow redraws its base rate from
+  the traffic model before the diurnal scale is applied.  This models the
+  "highly diverse and dynamic" per-flow churn of production traces [43]
+  (the same VM pair moves between light/medium/heavy classes over the
+  day) and is the regime in which the paper's migration dynamics
+  (Fig. 11) are visible.  A ``churn`` fraction < 1 redraws only that
+  share of flows each hour, interpolating between the two models.
+
+Processes are deterministic given their seed, and every policy compared
+in one experiment sees the exact same rate sequence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import spawn_rngs
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.flows import FlowSet
+from repro.workload.traffic import TrafficModel
+
+__all__ = ["RateProcess", "ScaledRates", "RedrawnRates"]
+
+
+class RateProcess(ABC):
+    """A deterministic per-hour traffic-rate sequence for one flow set."""
+
+    @abstractmethod
+    def rates_at(self, hour: int) -> np.ndarray:
+        """Effective traffic-rate vector at integer ``hour``."""
+
+
+class ScaledRates(RateProcess):
+    """Fixed base rates, diurnally scaled per cohort."""
+
+    def __init__(
+        self,
+        flows: FlowSet,
+        diurnal: DiurnalModel,
+        cohort_offsets: np.ndarray,
+    ) -> None:
+        offsets = np.asarray(cohort_offsets, dtype=float)
+        if offsets.shape != (flows.num_flows,):
+            raise WorkloadError(
+                f"cohort_offsets shape {offsets.shape} != flow count {flows.num_flows}"
+            )
+        self.base = flows.rates.copy()
+        self.diurnal = diurnal
+        self.offsets = offsets
+
+    def rates_at(self, hour: int) -> np.ndarray:
+        return self.base * self.diurnal.flow_scales(hour, self.offsets)
+
+
+class RedrawnRates(RateProcess):
+    """Hourly per-flow redraws from a traffic model, diurnally scaled.
+
+    Rates for every hour are pre-drawn at construction from a seeded
+    stream, so repeated queries (and different policies) always see
+    identical sequences.
+    """
+
+    def __init__(
+        self,
+        flows: FlowSet,
+        diurnal: DiurnalModel,
+        cohort_offsets: np.ndarray,
+        traffic_model: TrafficModel,
+        seed: int,
+        churn: float = 1.0,
+        max_hour: int | None = None,
+    ) -> None:
+        offsets = np.asarray(cohort_offsets, dtype=float)
+        if offsets.shape != (flows.num_flows,):
+            raise WorkloadError(
+                f"cohort_offsets shape {offsets.shape} != flow count {flows.num_flows}"
+            )
+        if not (0.0 < churn <= 1.0):
+            raise WorkloadError(f"churn must be in (0, 1], got {churn}")
+        self.diurnal = diurnal
+        self.offsets = offsets
+        horizon = (max_hour if max_hour is not None else diurnal.num_hours) + 1
+        num_flows = flows.num_flows
+        rngs = spawn_rngs(seed, horizon)
+        bases = np.empty((horizon, num_flows))
+        current = flows.rates.copy()
+        for hour in range(horizon):
+            fresh = traffic_model.sample(num_flows, rng=rngs[hour])
+            if churn >= 1.0:
+                current = fresh
+            else:
+                flip = rngs[hour].random(num_flows) < churn
+                current = np.where(flip, fresh, current)
+            bases[hour] = current
+        self._bases = bases
+
+    def rates_at(self, hour: int) -> np.ndarray:
+        if not (0 <= hour < self._bases.shape[0]):
+            raise WorkloadError(
+                f"hour {hour} beyond the pre-drawn horizon {self._bases.shape[0] - 1}"
+            )
+        return self._bases[hour] * self.diurnal.flow_scales(hour, self.offsets)

@@ -1,0 +1,149 @@
+"""VM flow sets and the rack-local pair placement of the paper's setup.
+
+A :class:`FlowSet` holds ``l`` communicating VM pairs
+``P = {(v_1, v'_1), ..., (v_l, v'_l)}`` as three aligned numpy arrays:
+source hosts, destination hosts, and traffic rates ``λ_i``.  The paper
+places "80 % of the VM pairs into hosts under the same edge switches"
+because that fraction of DC traffic stays within the rack [8];
+:func:`place_vm_pairs` implements that rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.topology.base import Topology
+from repro.utils.rng import as_generator
+
+__all__ = ["FlowSet", "place_vm_pairs"]
+
+
+@dataclass(frozen=True)
+class FlowSet:
+    """``l`` VM flows: aligned ``(sources, destinations, rates)`` arrays.
+
+    ``sources[i]`` and ``destinations[i]`` are host node indices in the
+    owning topology's graph; ``rates[i]`` is the traffic rate ``λ_i``.
+    Instances are immutable; rate changes produce new flow sets via
+    :meth:`with_rates` (the traffic rate vector is "not a constant vector"
+    in a dynamic PPDC, but the pairs themselves persist).
+    """
+
+    sources: np.ndarray
+    destinations: np.ndarray
+    rates: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        src = np.asarray(self.sources, dtype=np.int64)
+        dst = np.asarray(self.destinations, dtype=np.int64)
+        rates = np.asarray(self.rates, dtype=np.float64)
+        if not (src.ndim == dst.ndim == rates.ndim == 1):
+            raise WorkloadError("sources, destinations and rates must be 1-D")
+        if not (src.size == dst.size == rates.size):
+            raise WorkloadError(
+                f"misaligned flow arrays: {src.size}, {dst.size}, {rates.size}"
+            )
+        if src.size == 0:
+            raise WorkloadError("a FlowSet must contain at least one flow")
+        if np.any(rates < 0):
+            raise WorkloadError("traffic rates must be non-negative")
+        for arr, name in ((src, "sources"), (dst, "destinations"), (rates, "rates")):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def total_rate(self) -> float:
+        """``Λ = Σ_i λ_i`` — the multiplier of the inter-VNF chain cost."""
+        return float(self.rates.sum())
+
+    def with_rates(self, rates: np.ndarray) -> "FlowSet":
+        """Same VM pairs with a new traffic-rate vector."""
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.shape != self.rates.shape:
+            raise WorkloadError(
+                f"rate vector shape {rates.shape} != flow count {self.rates.shape}"
+            )
+        return FlowSet(self.sources, self.destinations, rates, dict(self.meta))
+
+    def with_endpoints(self, sources: np.ndarray, destinations: np.ndarray) -> "FlowSet":
+        """Same rates with relocated VM endpoints (used by VM-migration baselines)."""
+        return FlowSet(sources, destinations, self.rates, dict(self.meta))
+
+    def subset(self, indices: np.ndarray) -> "FlowSet":
+        idx = np.asarray(indices, dtype=np.int64)
+        return FlowSet(
+            self.sources[idx], self.destinations[idx], self.rates[idx], dict(self.meta)
+        )
+
+    def validate_against(self, topology: Topology) -> None:
+        """Check every endpoint is a host of ``topology``."""
+        host_set = set(topology.hosts.tolist())
+        endpoints = set(self.sources.tolist()) | set(self.destinations.tolist())
+        stray = endpoints - host_set
+        if stray:
+            raise WorkloadError(f"flow endpoints {sorted(stray)[:5]} are not hosts")
+
+    def intra_rack_fraction(self, topology: Topology) -> float:
+        """Fraction of flows whose endpoints share an edge switch."""
+        racks_src = np.array([topology.rack_of_host(int(h)) for h in self.sources])
+        racks_dst = np.array([topology.rack_of_host(int(h)) for h in self.destinations])
+        return float(np.mean(racks_src == racks_dst))
+
+
+def place_vm_pairs(
+    topology: Topology,
+    num_pairs: int,
+    intra_rack_fraction: float = 0.8,
+    seed: int | np.random.Generator | None = 0,
+) -> FlowSet:
+    """Place ``num_pairs`` VM pairs with the paper's 80 % rack locality.
+
+    For an intra-rack pair both endpoints are drawn (uniformly, with
+    replacement across pairs) from the hosts of one uniformly chosen rack;
+    the two VMs may share a host, matching Fig. 3 where ``v_1`` and
+    ``v'_1`` are both stored at ``h_1``.  Inter-rack pairs draw endpoints
+    from two distinct racks.  Rates are initialized to 1 and are normally
+    overwritten by a :class:`~repro.workload.traffic.TrafficModel`.
+    """
+    if num_pairs < 1:
+        raise WorkloadError(f"num_pairs must be positive, got {num_pairs}")
+    if not (0.0 <= intra_rack_fraction <= 1.0):
+        raise WorkloadError(
+            f"intra_rack_fraction must be in [0, 1], got {intra_rack_fraction}"
+        )
+    rng = as_generator(seed)
+    racks = topology.racks()
+    if len(racks) < 2 and intra_rack_fraction < 1.0:
+        raise WorkloadError(
+            "inter-rack pairs requested but the topology has a single rack"
+        )
+
+    sources = np.empty(num_pairs, dtype=np.int64)
+    destinations = np.empty(num_pairs, dtype=np.int64)
+    intra = rng.random(num_pairs) < intra_rack_fraction
+    num_racks = len(racks)
+    for i in range(num_pairs):
+        if intra[i]:
+            rack = racks[int(rng.integers(num_racks))]
+            sources[i] = rack[int(rng.integers(rack.size))]
+            destinations[i] = rack[int(rng.integers(rack.size))]
+        else:
+            r1, r2 = rng.choice(num_racks, size=2, replace=False)
+            rack1, rack2 = racks[int(r1)], racks[int(r2)]
+            sources[i] = rack1[int(rng.integers(rack1.size))]
+            destinations[i] = rack2[int(rng.integers(rack2.size))]
+
+    return FlowSet(
+        sources=sources,
+        destinations=destinations,
+        rates=np.ones(num_pairs),
+        meta={"intra_rack_fraction": intra_rack_fraction},
+    )

@@ -1,0 +1,116 @@
+"""Service function chains (SFCs).
+
+An SFC ``(f_1, ..., f_n)`` forces VM traffic through its VNFs in order.
+The IETF data-center use-case draft [3] — the paper's source — splits
+real-world service functions into *access* functions (5-6 per chain) and
+*application* functions (4-5 per chain), for chains of up to 13 VNFs.
+The catalog names below follow that draft's examples; only the chain
+*length* matters to the algorithms, but named VNFs keep examples and
+experiment output readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "SFC",
+    "ACCESS_FUNCTIONS",
+    "APPLICATION_FUNCTIONS",
+    "access_sfc",
+    "application_sfc",
+    "full_sfc",
+    "sfc_of_size",
+]
+
+#: Access-side service functions (security / admission), per [3] §3.
+ACCESS_FUNCTIONS: tuple[str, ...] = (
+    "firewall",
+    "ddos-protection",
+    "intrusion-detection",
+    "nat",
+    "vpn-gateway",
+    "traffic-shaper",
+)
+
+#: Application-side service functions (performance / delivery), per [3] §3.
+APPLICATION_FUNCTIONS: tuple[str, ...] = (
+    "load-balancer",
+    "cache-proxy",
+    "wan-optimizer",
+    "tls-terminator",
+    "application-firewall",
+    "compression",
+    "media-transcoder",
+)
+
+
+@dataclass(frozen=True)
+class SFC:
+    """An ordered service function chain.
+
+    ``functions`` are the VNF names, ingress first.  The chain must be
+    non-empty and free of duplicates (each VNF is a single instance on its
+    own switch in the paper's model).
+    """
+
+    functions: tuple[str, ...]
+    name: str = "sfc"
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise WorkloadError("an SFC must contain at least one VNF")
+        if len(set(self.functions)) != len(self.functions):
+            raise WorkloadError(f"SFC {self.name!r} contains duplicate VNFs")
+
+    @property
+    def size(self) -> int:
+        """``n``, the number of VNFs."""
+        return len(self.functions)
+
+    @property
+    def ingress(self) -> str:
+        return self.functions[0]
+
+    @property
+    def egress(self) -> str:
+        return self.functions[-1]
+
+    def __iter__(self):
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return self.size
+
+
+def access_sfc(size: int = 5) -> SFC:
+    """An access chain of ``size`` functions (the draft's 5-6 typical)."""
+    if not (1 <= size <= len(ACCESS_FUNCTIONS)):
+        raise WorkloadError(
+            f"access SFC size must be in [1, {len(ACCESS_FUNCTIONS)}], got {size}"
+        )
+    return SFC(ACCESS_FUNCTIONS[:size], name=f"access-{size}")
+
+
+def application_sfc(size: int = 4) -> SFC:
+    """An application chain of ``size`` functions (the draft's 4-5 typical)."""
+    if not (1 <= size <= len(APPLICATION_FUNCTIONS)):
+        raise WorkloadError(
+            f"application SFC size must be in [1, {len(APPLICATION_FUNCTIONS)}], got {size}"
+        )
+    return SFC(APPLICATION_FUNCTIONS[:size], name=f"application-{size}")
+
+
+def full_sfc() -> SFC:
+    """The maximal 13-VNF chain the paper considers (access then application)."""
+    return SFC(ACCESS_FUNCTIONS + APPLICATION_FUNCTIONS, name="full-13")
+
+
+def sfc_of_size(n: int) -> SFC:
+    """A chain of exactly ``n`` VNFs drawn access-first from the catalog."""
+    catalog = ACCESS_FUNCTIONS + APPLICATION_FUNCTIONS
+    if not (1 <= n <= len(catalog)):
+        raise WorkloadError(f"SFC size must be in [1, {len(catalog)}], got {n}")
+    return SFC(catalog[:n], name=f"chain-{n}")

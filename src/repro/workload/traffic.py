@@ -1,0 +1,105 @@
+"""Traffic-rate models.
+
+The paper follows "diverse flow characteristics found in Facebook data
+centers [43]": rates in ``[0, 10000]`` with 25 % of flows light
+(``[0, 3000)``), 70 % medium (``[3000, 7000]``) and 5 % heavy
+(``(7000, 10000]``).  :class:`FacebookTrafficModel` reproduces that mix
+exactly; :class:`UniformTrafficModel` is a plain control model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import as_generator
+
+__all__ = ["RateBand", "TrafficModel", "FacebookTrafficModel", "UniformTrafficModel"]
+
+
+@dataclass(frozen=True)
+class RateBand:
+    """A traffic class: draw ``U[low, high)`` with selection probability ``share``."""
+
+    name: str
+    share: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.share <= 1.0):
+            raise WorkloadError(f"band {self.name!r} share {self.share} not in [0, 1]")
+        if not (0.0 <= self.low < self.high):
+            raise WorkloadError(
+                f"band {self.name!r} range [{self.low}, {self.high}) is invalid"
+            )
+
+
+class TrafficModel(ABC):
+    """Samples per-flow base traffic rates ``λ_i``."""
+
+    @abstractmethod
+    def sample(self, count: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``count`` rates."""
+
+
+class FacebookTrafficModel(TrafficModel):
+    """The paper's 25/70/5 light/medium/heavy mix over [0, 10000].
+
+    Each flow first picks a band according to the shares, then draws its
+    rate uniformly inside the band — which keeps the published marginal
+    shares exact regardless of band widths.
+    """
+
+    DEFAULT_BANDS = (
+        RateBand("light", 0.25, 0.0, 3000.0),
+        RateBand("medium", 0.70, 3000.0, 7000.0),
+        RateBand("heavy", 0.05, 7000.0, 10000.0),
+    )
+
+    def __init__(self, bands: tuple[RateBand, ...] = DEFAULT_BANDS) -> None:
+        if not bands:
+            raise WorkloadError("at least one rate band is required")
+        total = sum(band.share for band in bands)
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"band shares must sum to 1, got {total}")
+        self.bands = tuple(bands)
+
+    def sample(self, count: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        if count < 1:
+            raise WorkloadError(f"count must be positive, got {count}")
+        gen = as_generator(rng)
+        shares = np.array([band.share for band in self.bands])
+        choices = gen.choice(len(self.bands), size=count, p=shares)
+        lows = np.array([band.low for band in self.bands])[choices]
+        highs = np.array([band.high for band in self.bands])[choices]
+        return gen.uniform(lows, highs)
+
+    def band_of(self, rate: float) -> RateBand:
+        """Classify a rate back into its band (half-open on the right)."""
+        for band in self.bands:
+            if band.low <= rate < band.high:
+                return band
+        last = self.bands[-1]
+        if rate == last.high:
+            return last
+        raise WorkloadError(f"rate {rate} is outside every band")
+
+
+class UniformTrafficModel(TrafficModel):
+    """Uniform rates on ``[low, high)`` — a structure-free control model."""
+
+    def __init__(self, low: float = 0.0, high: float = 10000.0) -> None:
+        if not (0.0 <= low < high):
+            raise WorkloadError(f"invalid uniform range [{low}, {high})")
+        self.low = low
+        self.high = high
+
+    def sample(self, count: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        if count < 1:
+            raise WorkloadError(f"count must be positive, got {count}")
+        gen = as_generator(rng)
+        return gen.uniform(self.low, self.high, size=count)

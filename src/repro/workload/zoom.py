@@ -1,0 +1,94 @@
+"""A session-structured traffic model after the paper's Zoom motivation.
+
+The introduction motivates dynamic PPDC traffic with Zoom cloud
+conferencing: "one Zoom Meeting Connector VM could support 200 meetings
+simultaneously with up to 1000 participants in a meeting.  Different
+Zoom meetings could have a dramatically different number of participants
+... resulting in diverse and dynamic cloud traffic."
+
+:class:`ZoomTrafficModel` renders that structure as a generative model a
+flow's rate can be drawn from:
+
+* each flow is a *meeting connector* serving a random number of
+  concurrent meetings (truncated geometric, up to ``max_meetings``);
+* each meeting has a participant count from a heavy-tailed (Zipf-like)
+  distribution truncated at ``max_participants``;
+* each participant contributes ``rate_per_participant`` units, and the
+  meeting's media mix (video / voice / text) scales that contribution.
+
+The resulting marginal is heavy-tailed with occasional very large flows
+— more extreme than the Facebook 25/70/5 mix — and is used as an
+alternative rate model in sensitivity studies.  Rates are clipped to the
+paper's global [0, ``rate_cap``] range so both models are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import as_generator
+from repro.workload.traffic import TrafficModel
+
+__all__ = ["ZoomTrafficModel"]
+
+#: media-mix multipliers: (share, rate multiplier)
+_MEDIA_MIX = (
+    ("video", 0.5, 1.0),
+    ("voice", 0.35, 0.25),
+    ("text", 0.15, 0.02),
+)
+
+
+@dataclass(frozen=True)
+class ZoomTrafficModel(TrafficModel):
+    """Heavy-tailed meeting-connector traffic (see module docstring)."""
+
+    max_meetings: int = 200
+    max_participants: int = 1000
+    mean_meetings: float = 8.0
+    participant_zipf_a: float = 1.6
+    rate_per_participant: float = 2.0
+    rate_cap: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.max_meetings < 1 or self.max_participants < 1:
+            raise WorkloadError("meeting and participant caps must be positive")
+        if self.mean_meetings <= 0:
+            raise WorkloadError(f"mean_meetings must be positive, got {self.mean_meetings}")
+        if self.participant_zipf_a <= 1.0:
+            raise WorkloadError(
+                f"participant_zipf_a must exceed 1, got {self.participant_zipf_a}"
+            )
+        if self.rate_per_participant <= 0 or self.rate_cap <= 0:
+            raise WorkloadError("rates must be positive")
+
+    def sample(self, count: int, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        if count < 1:
+            raise WorkloadError(f"count must be positive, got {count}")
+        gen = as_generator(rng)
+        rates = np.empty(count)
+        shares = np.asarray([share for _, share, _ in _MEDIA_MIX])
+        multipliers = np.asarray([mult for _, _, mult in _MEDIA_MIX])
+        for i in range(count):
+            meetings = int(
+                min(self.max_meetings, 1 + gen.geometric(1.0 / self.mean_meetings))
+            )
+            participants = np.minimum(
+                gen.zipf(self.participant_zipf_a, size=meetings),
+                self.max_participants,
+            )
+            media = gen.choice(len(_MEDIA_MIX), size=meetings, p=shares)
+            load = float(
+                (participants * multipliers[media]).sum() * self.rate_per_participant
+            )
+            rates[i] = min(load, self.rate_cap)
+        return rates
+
+    def describe(self) -> str:
+        return (
+            f"ZoomTrafficModel(meetings<= {self.max_meetings}, "
+            f"participants<= {self.max_participants}, cap={self.rate_cap:g})"
+        )

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.analysis.fattree_view import render_fat_tree_placement
+from repro.analysis.reports import cost_breakdown, describe_placement, migration_summary
+from repro.core.costs import CostContext
+from repro.core.migration import mpareto_migration, no_migration
+from repro.core.placement import dp_placement
+from repro.errors import ReproError
+from repro.topology.leafspine import leaf_spine
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 10, seed=121)
+    return flows.with_rates(FacebookTrafficModel().sample(10, rng=121))
+
+
+class TestCostBreakdown:
+    def test_reconstructs_total(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3).placement
+        breakdown = cost_breakdown(ft4, workload, placement)
+        ctx = CostContext(ft4, workload)
+        assert breakdown.total == pytest.approx(ctx.communication_cost(placement))
+
+    def test_shares_sum_to_one(self, ft4, workload):
+        placement = ft4.switches[:3]
+        shares = cost_breakdown(ft4, workload, placement).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_silent_workload(self, ft4, workload):
+        silent = workload.with_rates(np.zeros(workload.num_flows))
+        breakdown = cost_breakdown(ft4, silent, ft4.switches[:2])
+        assert breakdown.total == 0.0
+        assert sum(breakdown.shares().values()) == 0.0
+
+    def test_single_vnf_has_no_chain(self, ft4, workload):
+        breakdown = cost_breakdown(ft4, workload, ft4.switches[:1])
+        assert breakdown.chain_cost == 0.0
+
+    def test_empty_rejected(self, ft4, workload):
+        with pytest.raises(ReproError):
+            cost_breakdown(ft4, workload, np.asarray([], dtype=np.int64))
+
+
+class TestDescriptions:
+    def test_describe_placement_mentions_labels(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3)
+        text = describe_placement(ft4, workload, placement.placement)
+        for s in placement.placement:
+            assert ft4.graph.label(int(s)) in text
+        assert "C_a" in text
+
+    def test_migration_summary_moved(self, ft4, workload):
+        source = ft4.switches[[0, 1, 2]]
+        result = mpareto_migration(ft4, workload, source, mu=0.0)
+        text = migration_summary(ft4, result)
+        assert "mpareto" in text
+        if result.num_migrated:
+            assert "->" in text
+
+    def test_migration_summary_stayed(self, ft4, workload):
+        source = dp_placement(ft4, workload, 3).placement
+        result = no_migration(ft4, workload, source)
+        text = migration_summary(ft4, result)
+        assert "no VNFs moved" in text
+
+
+class TestFatTreeView:
+    def test_marks_vnfs(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3).placement
+        art = render_fat_tree_placement(ft4, placement)
+        assert "core" in art and "edge" in art
+        for j, s in enumerate(placement, start=1):
+            assert f"f{j}:{ft4.graph.label(int(s))}" in art
+
+    def test_requires_fat_tree(self, workload):
+        topo = leaf_spine(4, 2, 4)
+        with pytest.raises(ReproError):
+            render_fat_tree_placement(topo, topo.switches[:2])

@@ -1,0 +1,107 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.baselines.steering import steering_placement
+from repro.core.costs import CostContext
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.sfc import sfc_of_size
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 12, seed=33)
+    return flows.with_rates(FacebookTrafficModel().sample(12, rng=33))
+
+
+@pytest.mark.parametrize("algorithm", [steering_placement, greedy_liu_placement])
+class TestBaselineContracts:
+    """Shared contracts every placement baseline must honour."""
+
+    def test_valid_distinct_placement(self, ft4, workload, algorithm):
+        result = algorithm(ft4, workload, 4)
+        assert result.num_vnfs == 4
+        assert len(set(result.placement.tolist())) == 4
+        switch_set = set(ft4.switches.tolist())
+        assert all(int(s) in switch_set for s in result.placement)
+
+    def test_reported_cost_matches_model(self, ft4, workload, algorithm):
+        result = algorithm(ft4, workload, 3)
+        ctx = CostContext(ft4, workload)
+        assert result.cost == pytest.approx(ctx.communication_cost(result.placement))
+
+    def test_never_beats_optimal(self, ft4, workload, algorithm):
+        for n in (2, 3):
+            base = algorithm(ft4, workload, n)
+            opt = optimal_placement(ft4, workload, n)
+            assert base.cost >= opt.cost - 1e-9
+
+    def test_deterministic(self, ft4, workload, algorithm):
+        a = algorithm(ft4, workload, 4)
+        b = algorithm(ft4, workload, 4)
+        assert np.array_equal(a.placement, b.placement)
+
+    def test_accepts_sfc(self, ft4, workload, algorithm):
+        assert algorithm(ft4, workload, sfc_of_size(3)).num_vnfs == 3
+
+    def test_infeasible_rejected(self, ft4, workload, algorithm):
+        with pytest.raises(InfeasibleError):
+            algorithm(ft4, workload, ft4.num_switches + 1)
+
+
+class TestPaperShape:
+    def test_dp_beats_baselines_on_average(self, ft4):
+        """Fig. 9/10's qualitative claim: DP < Steering and DP < Greedy.
+
+        Checked as an average over several workloads (individual instances
+        can tie on small fabrics).
+        """
+        dp_total = steering_total = greedy_total = 0.0
+        for seed in range(6):
+            flows = place_vm_pairs(ft4, 10, seed=seed)
+            flows = flows.with_rates(FacebookTrafficModel().sample(10, rng=seed))
+            dp_total += dp_placement(ft4, flows, 5).cost
+            steering_total += steering_placement(ft4, flows, 5).cost
+            greedy_total += greedy_liu_placement(ft4, flows, 5).cost
+        assert dp_total < steering_total
+        assert dp_total < greedy_total
+
+    def test_steering_is_chain_blind_by_default(self, ft4, workload):
+        """Default Steering scores every location by subscriber attraction
+        only (the single-SFC degeneration): the chosen switches are the n
+        individually best by a_in + a_out, visited in chain order."""
+        n = 3
+        result = steering_placement(ft4, workload, n)
+        ctx = CostContext(ft4, workload)
+        score = (
+            ctx.ingress_attraction[ft4.switches] + ctx.egress_attraction[ft4.switches]
+        )
+        expected = ft4.switches[np.argsort(score, kind="stable")[:n]]
+        assert result.placement.tolist() == expected.tolist()
+
+    def test_steering_chain_aware_variant(self, ft4, workload):
+        """The charitable variant starts at the ingress-attraction argmin."""
+        result = steering_placement(ft4, workload, 3, chain_aware=True)
+        ctx = CostContext(ft4, workload)
+        a_in = ctx.ingress_attraction[ft4.switches]
+        assert result.ingress == int(ft4.switches[int(np.argmin(a_in))])
+
+    def test_chain_aware_usually_cheaper(self, ft4):
+        """The chain-aware readings cannot be worse on average — the whole
+        point of the degeneration is that chain-blindness costs traffic."""
+        from repro.baselines.greedy_liu import greedy_liu_placement as greedy
+
+        blind = aware = 0.0
+        for seed in range(5):
+            flows = place_vm_pairs(ft4, 10, seed=seed)
+            flows = flows.with_rates(FacebookTrafficModel().sample(10, rng=seed))
+            for algo in (steering_placement, greedy):
+                blind += algo(ft4, flows, 5).cost
+                aware += algo(ft4, flows, 5, chain_aware=True).cost
+        assert aware <= blind

@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.baselines.random_placement import (
+    random_placement,
+    random_placement_quantiles,
+)
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 10, seed=161)
+    return flows.with_rates(FacebookTrafficModel().sample(10, rng=161))
+
+
+class TestRandomPlacement:
+    def test_valid_and_deterministic(self, ft4, workload):
+        a = random_placement(ft4, workload, 4, seed=5)
+        b = random_placement(ft4, workload, 4, seed=5)
+        assert np.array_equal(a.placement, b.placement)
+        assert len(set(a.placement.tolist())) == 4
+
+    def test_never_beats_optimal(self, ft4, workload):
+        opt = optimal_placement(ft4, workload, 3)
+        for seed in range(10):
+            rand = random_placement(ft4, workload, 3, seed=seed)
+            assert rand.cost >= opt.cost - 1e-9
+
+    def test_dp_beats_median_random(self, ft4, workload):
+        quantiles = random_placement_quantiles(ft4, workload, 4, samples=100, seed=0)
+        dp = dp_placement(ft4, workload, 4)
+        assert dp.cost <= quantiles["median"] + 1e-9
+        assert quantiles["min"] <= quantiles["median"] <= quantiles["max"]
+
+    def test_infeasible(self, ft4, workload):
+        with pytest.raises(InfeasibleError):
+            random_placement(ft4, workload, ft4.num_switches + 1)
+        with pytest.raises(InfeasibleError):
+            random_placement_quantiles(ft4, workload, 2, samples=0)

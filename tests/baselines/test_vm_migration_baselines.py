@@ -1,0 +1,179 @@
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    apply_vm_moves,
+    default_host_capacity,
+    host_occupancy,
+    resolve_host_capacity,
+    vm_table,
+)
+from repro.baselines.mcf_migration import mcf_vm_migration
+from repro.baselines.plan import plan_vm_migration
+from repro.core.costs import CostContext
+from repro.core.placement import dp_placement
+from repro.errors import MigrationError
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 10, seed=44)
+    return flows.with_rates(FacebookTrafficModel().sample(10, rng=44))
+
+
+@pytest.fixture()
+def placement(ft4, workload):
+    return dp_placement(ft4, workload, 3).placement
+
+
+class TestCommon:
+    def test_vm_table_layout(self, workload):
+        hosts, anchors, rates, flow_ids = vm_table(workload, ingress=100, egress=200)
+        l = workload.num_flows
+        assert hosts.size == 2 * l
+        assert np.array_equal(hosts[:l], workload.sources)
+        assert np.array_equal(hosts[l:], workload.destinations)
+        assert set(anchors[:l]) == {100}
+        assert set(anchors[l:]) == {200}
+        assert np.array_equal(rates[:l], workload.rates)
+        assert flow_ids[0] == flow_ids[l]
+
+    def test_host_occupancy(self, ft4, workload):
+        occ = host_occupancy(ft4, workload)
+        assert occ.sum() == 2 * workload.num_flows
+        assert occ.shape == (ft4.num_hosts,)
+
+    def test_default_capacity_adds_free_slots(self, ft4, workload):
+        occ = host_occupancy(ft4, workload)
+        cap = default_host_capacity(ft4, workload, free_slots=2)
+        assert np.array_equal(cap, occ + 2)
+
+    def test_resolve_scalar(self, ft4, workload):
+        occ = host_occupancy(ft4, workload)
+        cap = resolve_host_capacity(ft4, workload, int(occ.max()) + 1)
+        assert np.all(cap == occ.max() + 1)
+
+    def test_resolve_rejects_undersized(self, ft4, workload):
+        with pytest.raises(MigrationError):
+            resolve_host_capacity(ft4, workload, 0)
+
+    def test_apply_vm_moves(self, ft4, workload):
+        hosts = np.concatenate([workload.sources, workload.destinations]).copy()
+        hosts[0] = int(ft4.hosts[-1])
+        new_flows, moved = apply_vm_moves(workload, hosts)
+        assert moved.sum() >= 1
+        assert new_flows.sources[0] == int(ft4.hosts[-1])
+        assert np.array_equal(new_flows.rates, workload.rates)
+
+    def test_apply_vm_moves_shape_guard(self, workload):
+        with pytest.raises(MigrationError):
+            apply_vm_moves(workload, np.zeros(3, dtype=np.int64))
+
+
+@pytest.mark.parametrize("migrate", [plan_vm_migration, mcf_vm_migration])
+class TestVmBaselineContracts:
+    def test_improves_or_stays(self, ft4, workload, placement, migrate):
+        """Total cost after (comm + migration) never exceeds staying put."""
+        ctx = CostContext(ft4, workload)
+        stay = ctx.communication_cost(placement)
+        result = migrate(ft4, workload, placement, mu_vm=10.0)
+        assert result.cost <= stay + 1e-6
+
+    def test_huge_mu_freezes(self, ft4, workload, placement, migrate):
+        result = migrate(ft4, workload, placement, mu_vm=1e12)
+        assert result.num_migrated == 0
+        assert result.migration_cost == 0.0
+
+    def test_capacity_respected(self, ft4, workload, placement, migrate):
+        cap = resolve_host_capacity(ft4, workload, None)
+        result = migrate(ft4, workload, placement, mu_vm=1.0, host_capacity=cap)
+        occ = host_occupancy(ft4, result.flows)
+        assert np.all(occ <= cap)
+
+    def test_rates_preserved(self, ft4, workload, placement, migrate):
+        result = migrate(ft4, workload, placement, mu_vm=1.0)
+        assert np.array_equal(result.flows.rates, workload.rates)
+
+    def test_cost_decomposition(self, ft4, workload, placement, migrate):
+        result = migrate(ft4, workload, placement, mu_vm=5.0)
+        ctx = CostContext(ft4, result.flows)
+        assert result.communication_cost == pytest.approx(
+            ctx.communication_cost(placement)
+        )
+        assert result.cost == pytest.approx(
+            result.communication_cost + result.migration_cost
+        )
+
+    def test_migration_cost_matches_moves(self, ft4, workload, placement, migrate):
+        result = migrate(ft4, workload, placement, mu_vm=3.0)
+        old = np.concatenate([workload.sources, workload.destinations])
+        new = np.concatenate([result.flows.sources, result.flows.destinations])
+        dist = ft4.graph.distances
+        expected = 3.0 * dist[old, new].sum()
+        assert result.migration_cost == pytest.approx(expected)
+        assert result.num_migrated == int((old != new).sum())
+
+
+class TestMcfSpecifics:
+    def test_mcf_no_worse_than_plan_at_cheap_mu(self, ft4, workload, placement):
+        """MCF solves the assignment exactly; PLAN is greedy, so on the
+        same instance with identical capacities MCF should not lose."""
+        cap = resolve_host_capacity(ft4, workload, None)
+        mcf = mcf_vm_migration(ft4, workload, placement, mu_vm=1.0, host_capacity=cap)
+        plan = plan_vm_migration(ft4, workload, placement, mu_vm=1.0, host_capacity=cap)
+        assert mcf.cost <= plan.cost + 1e-6
+
+    def test_unconstrained_is_per_vm_argmin(self, ft4, workload, placement):
+        """With ample capacity MCF must reach every VM's individual optimum."""
+        huge_cap = np.full(ft4.num_hosts, 1000)
+        result = mcf_vm_migration(
+            ft4, workload, placement, mu_vm=1.0, host_capacity=huge_cap
+        )
+        hosts, anchors, rates, _ = vm_table(
+            workload, int(placement[0]), int(placement[-1])
+        )
+        dist = ft4.graph.distances
+        total = rates[:, None] * dist[anchors][:, ft4.hosts] + 1.0 * dist[hosts][
+            :, ft4.hosts
+        ]
+        expected = total.min(axis=1).sum()
+        new_hosts = np.concatenate([result.flows.sources, result.flows.destinations])
+        achieved = sum(
+            total[v, int(np.searchsorted(ft4.hosts, h))]
+            for v, h in enumerate(new_hosts)
+        )
+        assert achieved == pytest.approx(expected)
+
+
+class TestAssignmentSolver:
+    def test_lap_matches_ssp_transportation(self):
+        """The slot-expanded LAP and the SSP solver agree on random instances."""
+        from repro.baselines.mcf_migration import _assign_with_slots
+        from repro.flow.mincostflow import solve_transportation
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            rows = int(rng.integers(3, 10))
+            cols = int(rng.integers(2, 6))
+            cap = rng.integers(1, 4, size=cols)
+            while cap.sum() < rows:
+                cap[int(rng.integers(cols))] += 1
+            cost = rng.uniform(1, 20, size=(rows, cols))
+            chosen = _assign_with_slots(cost, cap)
+            lap_cost = float(cost[np.arange(rows), chosen].sum())
+            _, ssp_cost = solve_transportation(
+                cost, np.ones(rows, dtype=np.int64), cap
+            )
+            assert lap_cost == pytest.approx(ssp_cost)
+            # capacities respected
+            counts = np.bincount(chosen, minlength=cols)
+            assert np.all(counts <= cap)
+
+    def test_infeasible_slots(self):
+        from repro.baselines.mcf_migration import _assign_with_slots
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            _assign_with_slots(np.ones((3, 2)), np.asarray([1, 1]))

@@ -1,0 +1,42 @@
+"""Shared fixtures: small topologies and workloads reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FacebookTrafficModel, fat_tree, linear_ppdc, place_vm_pairs
+from repro.workload.flows import FlowSet
+
+
+@pytest.fixture(scope="session")
+def ft2():
+    """The k=2 fat tree of Fig. 3 (equals the linear PPDC of Fig. 1)."""
+    return fat_tree(2)
+
+
+@pytest.fixture(scope="session")
+def ft4():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="session")
+def ft8():
+    return fat_tree(8)
+
+
+@pytest.fixture()
+def example1_flows(ft2):
+    """Example 1's two flows: (v1,v1') on h1 and (v2,v2') on h2, λ = <100, 1>."""
+    h1, h2 = int(ft2.hosts[0]), int(ft2.hosts[1])
+    return FlowSet(sources=[h1, h2], destinations=[h1, h2], rates=[100.0, 1.0])
+
+
+@pytest.fixture()
+def small_workload(ft4):
+    """A 12-pair Facebook-rate workload on the k=4 fabric."""
+    flows = place_vm_pairs(ft4, 12, seed=42)
+    return flows.with_rates(FacebookTrafficModel().sample(12, rng=42))
+
+
+from repro.graphs.generators import random_cost_graph  # noqa: E402  (re-export for tests)

@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.migration import (
+    coherent_migration_corridors,
+    frontier_trace,
+    migration_corridors,
+    migration_frontiers,
+    mpareto_migration,
+)
+from repro.core.placement import dp_placement
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft8):
+    flows = place_vm_pairs(ft8, 16, seed=151)
+    flows = flows.with_rates(FacebookTrafficModel().sample(16, rng=151))
+    source = ft8.switches[[0, 10, 40]]
+    target = dp_placement(ft8, flows, 3).placement
+    return flows, source, target
+
+
+class TestCoherentCorridors:
+    def test_corridors_are_shortest_paths(self, ft8, setup):
+        """Coherent corridors never pay extra hops: same lengths as the base."""
+        flows, source, target = setup
+        base = migration_corridors(ft8, source, target)
+        coherent = coherent_migration_corridors(ft8, source, target)
+        for b, c in zip(base, coherent):
+            assert len(b) == len(c)
+            assert b[0] == c[0] and b[-1] == c[-1]
+
+    def test_corridor_steps_are_edges(self, ft8, setup):
+        flows, source, target = setup
+        induced, position_of = ft8.switch_only_graph()
+        for corridor in coherent_migration_corridors(ft8, source, target):
+            for a, b in zip(corridor, corridor[1:]):
+                assert induced.has_edge(position_of[a], position_of[b])
+
+    def test_frontier_endpoints_unchanged(self, ft8, setup):
+        flows, source, target = setup
+        frontiers = migration_frontiers(ft8, source, target, coherent=True)
+        assert np.array_equal(frontiers[0], source)
+        assert np.array_equal(frontiers[-1], target)
+
+    def test_mpareto_coherent_still_sandwiched(self, ft8, setup):
+        """Coherent mPareto keeps Algorithm 5's guarantee (never worse than
+        both endpoints) regardless of which corridors it scans."""
+        flows, source, _ = setup
+        ctx = CostContext(ft8, flows)
+        mu = 100.0
+        result = mpareto_migration(ft8, flows, source, mu, coherent=True)
+        fresh = np.asarray(result.extra["target_placement"])
+        assert result.cost <= ctx.total_cost(source, source, mu) + 1e-6
+        assert result.cost <= ctx.total_cost(source, fresh, mu) + 1e-6
+
+    def test_trace_lengths_match(self, ft8, setup):
+        flows, source, target = setup
+        ctx = CostContext(ft8, flows)
+        base = frontier_trace(ctx, source, target, 10.0)
+        coherent = frontier_trace(ctx, source, target, 10.0, coherent=True)
+        assert base.num_frontiers == coherent.num_frontiers

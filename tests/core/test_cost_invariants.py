@@ -1,0 +1,119 @@
+"""Hypothesis battery: cost-model invariants across fabric families.
+
+These are the algebraic facts the whole framework rests on; each is
+checked over random workloads on structurally different fabrics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostContext
+from repro.topology.bcube import bcube
+from repro.topology.fattree import fat_tree
+from repro.topology.leafspine import leaf_spine
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+_FABRICS = {
+    "fat-tree": lambda: fat_tree(4),
+    "leaf-spine": lambda: leaf_spine(4, 2, 4),
+    "bcube": lambda: bcube(4, 1),
+}
+_CACHE: dict = {}
+
+
+def fabric(name: str):
+    if name not in _CACHE:
+        _CACHE[name] = _FABRICS[name]()
+    return _CACHE[name]
+
+
+def context(name: str, seed: int, l: int = 6) -> CostContext:
+    topo = fabric(name)
+    flows = place_vm_pairs(topo, l, seed=seed)
+    flows = flows.with_rates(FacebookTrafficModel().sample(l, rng=seed))
+    return CostContext(topo, flows)
+
+
+def random_chain(ctx: CostContext, seed: int, n: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.choice(ctx.switches, size=n, replace=False)
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(_FABRICS)), seed=st.integers(0, 400))
+def test_rate_scaling_is_linear(name, seed):
+    """C_a(k·λ) = k · C_a(λ) — the cost model is linear in traffic."""
+    ctx = context(name, seed)
+    placement = random_chain(ctx, seed)
+    scaled = ctx.with_rates(ctx.flows.rates * 3.5)
+    assert scaled.communication_cost(placement) == pytest.approx(
+        3.5 * ctx.communication_cost(placement)
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(_FABRICS)), seed=st.integers(0, 400))
+def test_flow_additivity(name, seed):
+    """C_a over a flow set equals the sum of C_a over its parts."""
+    ctx = context(name, seed)
+    placement = random_chain(ctx, seed)
+    l = ctx.flows.num_flows
+    first = ctx.with_flows(ctx.flows.subset(np.arange(l // 2)))
+    second = ctx.with_flows(ctx.flows.subset(np.arange(l // 2, l)))
+    assert ctx.communication_cost(placement) == pytest.approx(
+        first.communication_cost(placement) + second.communication_cost(placement)
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(_FABRICS)), seed=st.integers(0, 400))
+def test_reversed_chain_swaps_attractions(name, seed):
+    """Reversing the chain swaps ingress/egress roles exactly."""
+    ctx = context(name, seed)
+    placement = random_chain(ctx, seed)
+    reversed_flows = ctx.flows.with_endpoints(
+        ctx.flows.destinations.copy(), ctx.flows.sources.copy()
+    )
+    reversed_ctx = ctx.with_flows(reversed_flows)
+    assert ctx.communication_cost(placement) == pytest.approx(
+        reversed_ctx.communication_cost(placement[::-1].copy())
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(sorted(_FABRICS)),
+    seed=st.integers(0, 400),
+    mu=st.floats(0.0, 1e5),
+)
+def test_migration_cost_symmetry(name, seed, mu):
+    """C_b(p, m) = C_b(m, p) on undirected fabrics."""
+    ctx = context(name, seed)
+    p = random_chain(ctx, seed)
+    m = random_chain(ctx, seed + 1)
+    assert ctx.migration_cost(p, m, mu) == pytest.approx(ctx.migration_cost(m, p, mu))
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(_FABRICS)), seed=st.integers(0, 400))
+def test_migration_cost_triangle(name, seed):
+    """Per-position triangle inequality: C_b(p, m) <= C_b(p, q) + C_b(q, m)."""
+    ctx = context(name, seed)
+    p = random_chain(ctx, seed)
+    q = random_chain(ctx, seed + 1)
+    m = random_chain(ctx, seed + 2)
+    assert ctx.migration_cost(p, m, 1.0) <= (
+        ctx.migration_cost(p, q, 1.0) + ctx.migration_cost(q, m, 1.0) + 1e-9
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(name=st.sampled_from(sorted(_FABRICS)), seed=st.integers(0, 400))
+def test_chain_subpath_monotone(name, seed):
+    """Dropping the last VNF never increases the chain cost."""
+    ctx = context(name, seed)
+    placement = random_chain(ctx, seed, n=4)
+    assert ctx.chain_cost(placement[:-1]) <= ctx.chain_cost(placement) + 1e-9

@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostContext, validate_placement
+from repro.errors import PlacementError, WorkloadError
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+class TestValidatePlacement:
+    def test_valid(self, ft4):
+        placement = ft4.switches[:3]
+        out = validate_placement(ft4, placement, 3)
+        assert out.tolist() == placement.tolist()
+
+    def test_host_rejected(self, ft4):
+        with pytest.raises(PlacementError, match="not switches"):
+            validate_placement(ft4, [int(ft4.hosts[0])])
+
+    def test_duplicates_rejected(self, ft4):
+        sw = int(ft4.switches[0])
+        with pytest.raises(PlacementError, match="repeats"):
+            validate_placement(ft4, [sw, sw])
+
+    def test_wrong_size(self, ft4):
+        with pytest.raises(PlacementError, match="expected"):
+            validate_placement(ft4, ft4.switches[:2], 3)
+
+    def test_empty_rejected(self, ft4):
+        with pytest.raises(PlacementError):
+            validate_placement(ft4, [])
+
+
+class TestEq1WorkedExample:
+    """Example 1 / Fig. 3: the k=2 fat tree with λ = <100, 1>."""
+
+    def test_initial_placement_costs_410(self, ft2, example1_flows):
+        ctx = CostContext(ft2, example1_flows)
+        # f1 at h1's edge switch, f2 at the adjacent aggregation switch
+        s1 = ft2.rack_of_host(int(ft2.hosts[0]))
+        s2 = int(ft2.graph.neighbors(s1)[1])  # its aggregation neighbor
+        placement = np.asarray([s1, s2])
+        assert ctx.communication_cost(placement) == pytest.approx(410.0)
+
+    def test_rate_flip_costs_1004(self, ft2, example1_flows):
+        flipped = example1_flows.with_rates([1.0, 100.0])
+        ctx = CostContext(ft2, flipped)
+        s1 = ft2.rack_of_host(int(ft2.hosts[0]))
+        s2 = int(ft2.graph.neighbors(s1)[1])
+        assert ctx.communication_cost(np.asarray([s1, s2])) == pytest.approx(1004.0)
+
+    def test_migrated_placement_costs_410_plus_6(self, ft2, example1_flows):
+        flipped = example1_flows.with_rates([1.0, 100.0])
+        ctx = CostContext(ft2, flipped)
+        s1 = ft2.rack_of_host(int(ft2.hosts[0]))
+        s2 = int(ft2.graph.neighbors(s1)[1])
+        t1 = ft2.rack_of_host(int(ft2.hosts[1]))  # h2's edge switch
+        t2 = int(ft2.graph.neighbors(t1)[1])  # its aggregation neighbor
+        old = np.asarray([s1, s2])
+        new = np.asarray([t1, t2])
+        assert ctx.communication_cost(new) == pytest.approx(410.0)
+        assert ctx.migration_cost(old, new, mu=1.0) == pytest.approx(6.0)
+        assert ctx.total_cost(old, new, mu=1.0) == pytest.approx(416.0)
+
+
+class TestCostContext:
+    def test_per_flow_sums_to_total(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        placement = ft4.switches[[0, 5, 10]]
+        assert ctx.per_flow_costs(placement).sum() == pytest.approx(
+            ctx.communication_cost(placement)
+        )
+
+    def test_single_vnf_has_no_chain(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        placement = ft4.switches[[3]]
+        expected = (
+            ctx.ingress_attraction[placement[0]] + ctx.egress_attraction[placement[0]]
+        )
+        assert ctx.communication_cost(placement) == pytest.approx(expected)
+
+    def test_migration_cost_zero_when_static(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        p = ft4.switches[:4]
+        assert ctx.migration_cost(p, p, mu=100.0) == 0.0
+
+    def test_negative_mu_rejected(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        p = ft4.switches[:2]
+        with pytest.raises(WorkloadError):
+            ctx.migration_cost(p, p, mu=-1.0)
+
+    def test_mismatched_migration_shapes(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        with pytest.raises(PlacementError):
+            ctx.migration_cost(ft4.switches[:2], ft4.switches[:3], mu=1.0)
+
+    def test_with_rates_scales_linearly(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        doubled = ctx.with_rates(small_workload.rates * 2.0)
+        placement = ft4.switches[:3]
+        assert doubled.communication_cost(placement) == pytest.approx(
+            2.0 * ctx.communication_cost(placement)
+        )
+
+    def test_switch_attractions_align(self, ft4, small_workload):
+        ctx = CostContext(ft4, small_workload)
+        a_in, a_out = ctx.switch_attractions()
+        assert a_in.shape == (ft4.num_switches,)
+        sw0 = int(ft4.switches[0])
+        assert a_in[0] == ctx.ingress_attraction[sw0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_eq1_equals_manual_sum(self, ft4, seed):
+        """Property: the vectorized C_a matches a direct per-flow evaluation."""
+        flows = place_vm_pairs(ft4, 6, seed=seed)
+        flows = flows.with_rates(FacebookTrafficModel().sample(6, rng=seed))
+        ctx = CostContext(ft4, flows)
+        rng = np.random.default_rng(seed)
+        placement = rng.choice(ft4.switches, size=3, replace=False)
+        dist = ft4.graph.distances
+        chain = sum(dist[placement[j], placement[j + 1]] for j in range(2))
+        manual = sum(
+            rate * (dist[src, placement[0]] + chain + dist[placement[-1], dst])
+            for src, dst, rate in zip(flows.sources, flows.destinations, flows.rates)
+        )
+        assert ctx.communication_cost(placement) == pytest.approx(manual)

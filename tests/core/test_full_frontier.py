@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.migration import (
+    best_full_frontier,
+    full_frontier_set,
+    migration_corridors,
+    mpareto_migration,
+)
+from repro.core.optimal import optimal_migration
+from repro.core.placement import dp_placement
+from repro.errors import MigrationError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=141)
+    flows = flows.with_rates(FacebookTrafficModel().sample(8, rng=141))
+    source = ft4.switches[[0, 7]]
+    target = dp_placement(ft4, flows, 2).placement
+    return flows, source, target
+
+
+class TestFullFrontierSet:
+    def test_size_is_product_of_corridor_lengths(self, ft4, setup):
+        flows, source, target = setup
+        corridors = migration_corridors(ft4, source, target)
+        expected = 1
+        for corridor in corridors:
+            expected *= len(corridor)
+        frontiers = full_frontier_set(ft4, source, target)
+        assert len(frontiers) == expected
+
+    def test_contains_endpoints(self, ft4, setup):
+        flows, source, target = setup
+        frontiers = [f.tolist() for f in full_frontier_set(ft4, source, target)]
+        assert source.tolist() in frontiers
+        assert target.tolist() in frontiers
+
+    def test_every_member_on_corridors(self, ft4, setup):
+        flows, source, target = setup
+        corridors = migration_corridors(ft4, source, target)
+        for frontier in full_frontier_set(ft4, source, target):
+            for j, switch in enumerate(frontier):
+                assert int(switch) in corridors[j]
+
+    def test_limit_guard(self, ft4, setup):
+        flows, source, target = setup
+        with pytest.raises(MigrationError, match="more than"):
+            full_frontier_set(ft4, source, target, limit=1)
+
+
+class TestBestFullFrontier:
+    def test_sandwiched_between_mpareto_and_optimal(self, ft4, setup):
+        """optimal TOM <= best full frontier <= mPareto (parallel subset)."""
+        flows, source, target = setup
+        ctx = CostContext(ft4, flows)
+        mu = 10.0
+        _, full_cost = best_full_frontier(ctx, source, target, mu)
+        mp = mpareto_migration(ft4, flows, source, mu)
+        opt = optimal_migration(ft4, flows, source, mu)
+        assert opt.cost <= full_cost + 1e-9
+        assert full_cost <= mp.cost + 1e-9
+
+    def test_distinctness_respected(self, ft4, setup):
+        flows, source, target = setup
+        ctx = CostContext(ft4, flows)
+        best, _ = best_full_frontier(ctx, source, target, mu=5.0)
+        assert len(set(best.tolist())) == best.size

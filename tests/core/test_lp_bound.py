@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.core.lp_bound import top1_lp_lower_bound
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement_top1
+from repro.errors import SolverError
+from repro.graphs.generators import random_cost_graph
+from repro.workload.flows import FlowSet
+
+
+class TestLpLowerBound:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_sandwich_on_fat_tree(self, ft4, n):
+        """LP <= Optimal <= DP-Stroll on real TOP-1 instances."""
+        src, dst = int(ft4.hosts[0]), int(ft4.hosts[9])
+        flows = FlowSet(sources=[src], destinations=[dst], rates=[1.0])
+        countable = set(ft4.switches.tolist())
+        lp = top1_lp_lower_bound(ft4.graph, src, dst, n, countable=countable)
+        opt = optimal_placement(ft4, flows, n)
+        stroll = dp_placement_top1(ft4, flows, n)
+        assert lp <= opt.cost + 1e-6
+        assert opt.cost <= stroll.cost + 1e-9
+        assert lp > 0.0  # endpoints in different racks: the bound is active
+
+    def test_bound_below_optimal_on_random_graphs(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            graph = random_cost_graph(rng, 9)
+            lp = top1_lp_lower_bound(graph, 0, 8, 3)
+            flows_cost = None
+            # optimal stroll via the exact brute force used elsewhere
+            from tests.core.test_stroll import brute_force_stroll
+            from repro.graphs.metric_closure import metric_closure
+
+            opt = brute_force_stroll(metric_closure(graph), 0, 8, 3)
+            assert lp <= opt + 1e-6
+
+    def test_rate_scales_linearly(self, ft4):
+        src, dst = int(ft4.hosts[0]), int(ft4.hosts[9])
+        countable = set(ft4.switches.tolist())
+        one = top1_lp_lower_bound(ft4.graph, src, dst, 2, countable=countable, rate=1.0)
+        ten = top1_lp_lower_bound(ft4.graph, src, dst, 2, countable=countable, rate=10.0)
+        assert ten == pytest.approx(10.0 * one, rel=1e-6)
+
+    def test_grows_with_n(self, ft4):
+        src, dst = int(ft4.hosts[0]), int(ft4.hosts[9])
+        countable = set(ft4.switches.tolist())
+        bounds = [
+            top1_lp_lower_bound(ft4.graph, src, dst, n, countable=countable)
+            for n in (1, 3, 5)
+        ]
+        assert bounds[0] <= bounds[1] + 1e-9 <= bounds[2] + 2e-9
+
+    def test_validation(self, ft4):
+        src, dst = int(ft4.hosts[0]), int(ft4.hosts[1])
+        with pytest.raises(SolverError):
+            top1_lp_lower_bound(ft4.graph, src, dst, 0)
+        with pytest.raises(SolverError):
+            top1_lp_lower_bound(ft4.graph, src, dst, 3, countable={int(ft4.switches[0])})

@@ -1,0 +1,213 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.migration import (
+    front_is_convex,
+    frontier_trace,
+    is_pareto_front,
+    migration_corridors,
+    migration_frontiers,
+    mpareto_migration,
+    no_migration,
+    pareto_points,
+)
+from repro.core.optimal import optimal_migration
+from repro.core.placement import dp_placement
+from repro.errors import MigrationError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 10, seed=21)
+    return flows.with_rates(FacebookTrafficModel().sample(10, rng=21))
+
+
+class TestCorridors:
+    def test_endpoints(self, ft4):
+        src = ft4.switches[[0, 3]]
+        dst = ft4.switches[[5, 3]]
+        corridors = migration_corridors(ft4, src, dst)
+        assert corridors[0][0] == src[0] and corridors[0][-1] == dst[0]
+        assert corridors[1] == [int(src[1])]  # stationary VNF
+
+    def test_corridor_is_shortest_path(self, ft4):
+        src, dst = ft4.switches[[0]], ft4.switches[[18]]
+        corridor = migration_corridors(ft4, src, dst)[0]
+        assert len(corridor) - 1 == ft4.graph.cost(int(src[0]), int(dst[0]))
+
+    def test_all_switches(self, ft4):
+        corridors = migration_corridors(ft4, ft4.switches[:3], ft4.switches[5:8])
+        switch_set = set(ft4.switches.tolist())
+        for corridor in corridors:
+            assert all(v in switch_set for v in corridor)
+
+    def test_shape_mismatch(self, ft4):
+        with pytest.raises(MigrationError):
+            migration_corridors(ft4, ft4.switches[:2], ft4.switches[:3])
+
+
+class TestFrontiers:
+    def test_first_and_last_rows(self, ft4):
+        src = ft4.switches[[0, 4]]
+        dst = ft4.switches[[10, 15]]
+        frontiers = migration_frontiers(ft4, src, dst)
+        assert np.array_equal(frontiers[0], src)
+        assert np.array_equal(frontiers[-1], dst)
+
+    def test_row_count_is_hmax(self, ft4):
+        src = ft4.switches[[0, 4]]
+        dst = ft4.switches[[10, 15]]
+        corridors = migration_corridors(ft4, src, dst)
+        frontiers = migration_frontiers(ft4, src, dst)
+        assert len(frontiers) == max(len(c) for c in corridors)
+
+    def test_short_corridors_pad_at_destination(self, ft4):
+        src = ft4.switches[[0, 4]]
+        dst = ft4.switches[[10, 4]]  # second VNF stays
+        frontiers = migration_frontiers(ft4, src, dst)
+        for row in frontiers:
+            assert row[1] == ft4.switches[4]
+
+
+class TestFrontierTrace:
+    def test_migration_cost_monotone(self, ft4, workload):
+        """Along parallel frontiers C_b never decreases (Fig. 6(b) x-axis)."""
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[0, 1, 2]]
+        dst = dp_placement(ft4, workload, 3).placement
+        trace = frontier_trace(ctx, src, dst, mu=10.0)
+        assert np.all(np.diff(trace.migration_costs) >= -1e-9)
+
+    def test_costs_match_context(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[0, 1, 2]]
+        dst = ft4.switches[[10, 11, 12]]
+        trace = frontier_trace(ctx, src, dst, mu=7.0)
+        for i, fr in enumerate(trace.frontiers):
+            assert trace.communication_costs[i] == pytest.approx(
+                ctx.communication_cost(fr)
+            )
+            assert trace.migration_costs[i] == pytest.approx(
+                ctx.migration_cost(src, fr, 7.0)
+            )
+
+    def test_best_index_respects_distinct(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[0, 1, 2]]
+        dst = dp_placement(ft4, workload, 3).placement
+        trace = frontier_trace(ctx, src, dst, mu=0.0)
+        best = trace.best_index(require_distinct=True)
+        assert trace.distinct[best]
+
+
+class TestMPareto:
+    def test_example1(self, ft2, example1_flows):
+        """The paper's Example 1 end-to-end: 410 -> 1004 -> mPareto 416."""
+        initial = dp_placement(ft2, example1_flows, 2).placement
+        flipped = example1_flows.with_rates([1.0, 100.0])
+        result = mpareto_migration(ft2, flipped, initial, mu=1.0)
+        assert result.cost == pytest.approx(416.0)
+        assert result.num_migrated == 2
+        # 58.6% reduction vs staying put, as the paper reports
+        stay = no_migration(ft2, flipped, initial)
+        assert 1 - result.cost / stay.cost == pytest.approx(0.586, abs=0.01)
+
+    def test_result_is_distinct_by_default(self, ft4, workload):
+        src = ft4.switches[[0, 1, 2, 3]]
+        result = mpareto_migration(ft4, workload, src, mu=1.0)
+        assert len(set(result.migration.tolist())) == 4
+
+    def test_never_worse_than_staying(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[0, 5, 9]]
+        result = mpareto_migration(ft4, workload, src, mu=100.0)
+        assert result.cost <= ctx.communication_cost(src) + 1e-9
+
+    def test_never_better_than_optimal(self, ft4, workload):
+        src = ft4.switches[[0, 5]]
+        mp = mpareto_migration(ft4, workload, src, mu=10.0)
+        opt = optimal_migration(ft4, workload, src, mu=10.0)
+        assert mp.cost >= opt.cost - 1e-9
+
+    def test_huge_mu_freezes(self, ft4, workload):
+        src = ft4.switches[[2, 7, 12]]
+        result = mpareto_migration(ft4, workload, src, mu=1e12)
+        assert np.array_equal(result.migration, src)
+        assert result.num_migrated == 0
+
+    def test_cost_decomposition(self, ft4, workload):
+        src = ft4.switches[[0, 1, 2]]
+        result = mpareto_migration(ft4, workload, src, mu=5.0)
+        assert result.cost == pytest.approx(
+            result.communication_cost + result.migration_cost
+        )
+
+
+class TestNoMigration:
+    def test_pays_only_communication(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[4, 8]]
+        result = no_migration(ft4, workload, src)
+        assert result.migration_cost == 0.0
+        assert result.cost == pytest.approx(ctx.communication_cost(src))
+        assert result.num_migrated == 0
+
+
+class TestParetoAnalysis:
+    def test_pareto_points_non_dominated(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        src = ft4.switches[[0, 1, 2]]
+        dst = dp_placement(ft4, workload, 3).placement
+        trace = frontier_trace(ctx, src, dst, mu=10.0)
+        front = pareto_points(trace)
+        assert front.size >= 1
+        cb, ca = trace.migration_costs, trace.communication_costs
+        for i in front:
+            dominated = np.any(
+                (cb <= cb[i]) & (ca <= ca[i]) & ((cb < cb[i]) | (ca < ca[i]))
+            )
+            assert not dominated
+
+    def test_is_pareto_front_detects_monotone(self):
+        from repro.core.migration import FrontierTrace
+
+        trace = FrontierTrace(
+            frontiers=[None] * 3,
+            migration_costs=np.asarray([0.0, 1.0, 2.0]),
+            communication_costs=np.asarray([10.0, 6.0, 5.0]),
+            distinct=np.ones(3, dtype=bool),
+        )
+        assert is_pareto_front(trace)
+        assert front_is_convex(trace) in (True, False)  # well-defined
+
+    def test_is_pareto_front_detects_violation(self):
+        from repro.core.migration import FrontierTrace
+
+        trace = FrontierTrace(
+            frontiers=[None] * 3,
+            migration_costs=np.asarray([0.0, 1.0, 2.0]),
+            communication_costs=np.asarray([10.0, 11.0, 5.0]),
+            distinct=np.ones(3, dtype=bool),
+        )
+        assert not is_pareto_front(trace)
+
+    def test_convexity(self):
+        from repro.core.migration import FrontierTrace
+
+        convex = FrontierTrace(
+            frontiers=[None] * 3,
+            migration_costs=np.asarray([0.0, 1.0, 2.0]),
+            communication_costs=np.asarray([10.0, 5.0, 4.0]),
+            distinct=np.ones(3, dtype=bool),
+        )
+        assert front_is_convex(convex)
+        concave = FrontierTrace(
+            frontiers=[None] * 3,
+            migration_costs=np.asarray([0.0, 1.0, 2.0]),
+            communication_costs=np.asarray([10.0, 9.0, 2.0]),
+            distinct=np.ones(3, dtype=bool),
+        )
+        assert not front_is_convex(concave)

@@ -1,0 +1,84 @@
+"""Structural monotonicity properties of the TOP/TOM optimization landscape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostContext
+from repro.core.migration import frontier_trace, mpareto_migration
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.placement import dp_placement
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+def make_workload(ft4, seed, l=6):
+    flows = place_vm_pairs(ft4, l, seed=seed)
+    return flows.with_rates(FacebookTrafficModel().sample(l, rng=seed))
+
+
+class TestOptimalMonotoneInN:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_longer_chains_cost_more(self, ft4, seed):
+        """Any placement of n+1 VNFs visits n distinct switches too, so the
+        exact optimum is non-decreasing in n."""
+        flows = make_workload(ft4, seed)
+        costs = [optimal_placement(ft4, flows, n).cost for n in (1, 2, 3)]
+        assert costs[0] <= costs[1] + 1e-9
+        assert costs[1] <= costs[2] + 1e-9
+
+
+class TestMigrationMonotoneInMu:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_total_cost_nondecreasing_in_mu(self, ft4, seed):
+        flows = make_workload(ft4, seed)
+        source = ft4.switches[[0, 7, 13]]
+        costs = [
+            optimal_migration(ft4, flows, source, mu).cost for mu in (0.0, 10.0, 1e4)
+        ]
+        assert costs[0] <= costs[1] + 1e-9
+        assert costs[1] <= costs[2] + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_mpareto_moves_nonincreasing_in_mu(self, ft4, seed):
+        flows = make_workload(ft4, seed)
+        rng = np.random.default_rng(seed)
+        source = rng.choice(ft4.switches, size=3, replace=False)
+        moves = [
+            mpareto_migration(ft4, flows, source, mu).num_migrated
+            for mu in (0.0, 1e3, 1e9)
+        ]
+        assert moves[-1] == 0  # astronomically expensive migration freezes
+        assert moves[0] >= moves[-1]
+
+
+class TestFrontierStructure:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_first_frontier_is_free(self, ft4, seed):
+        flows = make_workload(ft4, seed)
+        source = ft4.switches[[0, 5, 10]]
+        target = dp_placement(ft4, flows, 3).placement
+        trace = frontier_trace(CostContext(ft4, flows), source, target, mu=7.0)
+        assert trace.migration_costs[0] == 0.0
+        assert np.array_equal(trace.frontiers[0], source)
+        assert np.array_equal(trace.frontiers[-1], target)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200), mu=st.floats(0.0, 1e4))
+    def test_mpareto_never_above_either_endpoint(self, ft4, seed, mu):
+        """The chosen frontier beats both 'stay' and 'jump to fresh'."""
+        flows = make_workload(ft4, seed)
+        rng = np.random.default_rng(seed)
+        source = rng.choice(ft4.switches, size=3, replace=False)
+        ctx = CostContext(ft4, flows)
+        result = mpareto_migration(ft4, flows, source, mu)
+        fresh = np.asarray(result.extra["target_placement"])
+        stay_cost = ctx.total_cost(source, source, mu)
+        jump_cost = ctx.total_cost(source, fresh, mu)
+        assert result.cost <= stay_cost + 1e-6
+        assert result.cost <= jump_cost + 1e-6

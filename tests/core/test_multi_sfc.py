@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.core.multi_sfc import (
+    MultiSfcPlacement,
+    multi_sfc_cost,
+    multi_sfc_migration,
+    multi_sfc_placement,
+)
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError, PlacementError, WorkloadError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.sfc import access_sfc, application_sfc
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft8):
+    flows = place_vm_pairs(ft8, 20, seed=81)
+    flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=81))
+    rng = np.random.default_rng(81)
+    class_of = rng.integers(0, 2, size=20)
+    # guarantee both classes are inhabited
+    class_of[0], class_of[1] = 0, 1
+    return flows, class_of
+
+
+class TestMultiSfcPlacementType:
+    def test_shared_switch_rejected(self):
+        with pytest.raises(PlacementError, match="share"):
+            MultiSfcPlacement(
+                placements=(np.asarray([130, 131]), np.asarray([131, 132])),
+                class_costs=(0.0, 0.0),
+                cost=0.0,
+            )
+
+
+class TestMultiSfcPlacement:
+    def test_disjoint_chains(self, ft8, setup):
+        flows, class_of = setup
+        result = multi_sfc_placement(
+            ft8, flows, class_of, [access_sfc(5), application_sfc(4)]
+        )
+        assert result.num_classes == 2
+        flat = np.concatenate(result.placements).tolist()
+        assert len(set(flat)) == len(flat)
+        assert result.placements[0].size == 5
+        assert result.placements[1].size == 4
+
+    def test_cost_is_sum_of_class_costs(self, ft8, setup):
+        flows, class_of = setup
+        result = multi_sfc_placement(
+            ft8, flows, class_of, [access_sfc(3), application_sfc(3)]
+        )
+        assert result.cost == pytest.approx(sum(result.class_costs))
+        recomputed = multi_sfc_cost(ft8, flows, class_of, result.placements)
+        assert result.cost == pytest.approx(recomputed)
+
+    def test_heaviest_class_first(self, ft8, setup):
+        flows, class_of = setup
+        result = multi_sfc_placement(
+            ft8, flows, class_of, [access_sfc(3), application_sfc(3)]
+        )
+        rates = [float(flows.rates[class_of == c].sum()) for c in (0, 1)]
+        expected_first = int(np.argmax(rates))
+        assert result.extra["placement_order"][0] == expected_first
+
+    def test_single_class_matches_dp(self, ft8, setup):
+        flows, _ = setup
+        class_of = np.zeros(flows.num_flows, dtype=np.int64)
+        result = multi_sfc_placement(ft8, flows, class_of, [access_sfc(4)])
+        dp = dp_placement(ft8, flows, 4)
+        assert result.cost == pytest.approx(dp.cost)
+
+    def test_too_many_vnfs(self, ft4):
+        flows = place_vm_pairs(ft4, 4, seed=0)
+        class_of = np.asarray([0, 0, 1, 1])
+        with pytest.raises(InfeasibleError):
+            multi_sfc_placement(ft4, flows, class_of, [12, 12])
+
+    def test_empty_class_rejected(self, ft8, setup):
+        flows, _ = setup
+        class_of = np.zeros(flows.num_flows, dtype=np.int64)
+        with pytest.raises(WorkloadError, match="no flows"):
+            multi_sfc_placement(ft8, flows, class_of, [3, 3])
+
+    def test_class_ids_validated(self, ft8, setup):
+        flows, _ = setup
+        bad = np.full(flows.num_flows, 7)
+        with pytest.raises(WorkloadError):
+            multi_sfc_placement(ft8, flows, bad, [3, 3])
+
+
+class TestMultiSfcMigration:
+    def test_migration_keeps_disjointness(self, ft8, setup):
+        flows, class_of = setup
+        current = multi_sfc_placement(ft8, flows, class_of, [3, 3])
+        new_flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=99))
+        migrated, results = multi_sfc_migration(
+            ft8, new_flows, class_of, current, mu=100.0
+        )
+        flat = np.concatenate(migrated.placements).tolist()
+        assert len(set(flat)) == len(flat)
+        assert len(results) == 2
+
+    def test_migration_never_worse_than_staying(self, ft8, setup):
+        flows, class_of = setup
+        current = multi_sfc_placement(ft8, flows, class_of, [3, 3])
+        new_flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=99))
+        stay = multi_sfc_cost(ft8, new_flows, class_of, current.placements)
+        migrated, results = multi_sfc_migration(
+            ft8, new_flows, class_of, current, mu=100.0
+        )
+        total = sum(r.cost for r in results)
+        assert total <= stay + 1e-6

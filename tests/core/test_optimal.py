@@ -1,0 +1,144 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.optimal import exact_chain_search, optimal_migration, optimal_placement
+from repro.core.placement import dp_placement
+from repro.errors import BudgetExceededError, InfeasibleError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+def brute_placement_cost(topology, flows, n):
+    ctx = CostContext(topology, flows)
+    return min(
+        ctx.communication_cost(np.asarray(tup))
+        for tup in itertools.permutations(topology.switches.tolist(), n)
+    )
+
+
+def brute_migration_cost(topology, flows, source, mu, n):
+    ctx = CostContext(topology, flows)
+    return min(
+        ctx.total_cost(source, np.asarray(tup), mu)
+        for tup in itertools.permutations(topology.switches.tolist(), n)
+    )
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=11)
+    return flows.with_rates(FacebookTrafficModel().sample(8, rng=11))
+
+
+class TestOptimalPlacement:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_matches_brute_force(self, ft4, workload, n):
+        result = optimal_placement(ft4, workload, n)
+        assert result.cost == pytest.approx(brute_placement_cost(ft4, workload, n))
+
+    def test_k2_example(self, ft2, example1_flows):
+        result = optimal_placement(ft2, example1_flows, 2)
+        assert result.cost == pytest.approx(410.0)
+
+    def test_never_above_dp(self, ft4, workload):
+        for n in (3, 4, 5):
+            opt = optimal_placement(ft4, workload, n)
+            dp = dp_placement(ft4, workload, n)
+            assert opt.cost <= dp.cost + 1e-9
+
+    def test_placement_distinct(self, ft4, workload):
+        result = optimal_placement(ft4, workload, 4)
+        assert len(set(result.placement.tolist())) == 4
+
+    def test_budget_guard(self, ft8):
+        flows = place_vm_pairs(ft8, 4, seed=0)
+        flows = flows.with_rates(FacebookTrafficModel().sample(4, rng=0))
+        # candidate restriction disables the warm start, so the search has
+        # no incumbent and a budget of 1 must trip the guard, not hang
+        with pytest.raises(BudgetExceededError):
+            optimal_placement(
+                ft8,
+                flows,
+                6,
+                node_budget=1,
+                candidate_switches=ft8.switches.tolist(),
+            )
+
+    def test_candidate_restriction(self, ft4, workload):
+        cands = ft4.switches[:6].tolist()
+        result = optimal_placement(ft4, workload, 3, candidate_switches=cands)
+        assert set(result.placement.tolist()) <= set(cands)
+
+    def test_bad_candidates_rejected(self, ft4, workload):
+        with pytest.raises(InfeasibleError):
+            optimal_placement(ft4, workload, 2, candidate_switches=[int(ft4.hosts[0])])
+
+    def test_infeasible_candidate_count(self, ft4, workload):
+        with pytest.raises(InfeasibleError):
+            optimal_placement(
+                ft4, workload, 3, candidate_switches=ft4.switches[:2].tolist()
+            )
+
+
+class TestOptimalMigration:
+    @pytest.mark.parametrize("mu", [0.0, 1.0, 100.0])
+    def test_matches_brute_force(self, ft4, workload, mu):
+        source = ft4.switches[[0, 5]]
+        result = optimal_migration(ft4, workload, source, mu)
+        brute = brute_migration_cost(ft4, workload, source, mu, 2)
+        assert result.cost == pytest.approx(brute)
+
+    def test_example1_migration(self, ft2, example1_flows):
+        """Example 1: after the rate flip, optimal total cost is 416."""
+        initial = optimal_placement(ft2, example1_flows, 2).placement
+        flipped = example1_flows.with_rates([1.0, 100.0])
+        result = optimal_migration(ft2, flipped, initial, mu=1.0)
+        assert result.cost == pytest.approx(416.0)
+        assert result.communication_cost == pytest.approx(410.0)
+        assert result.migration_cost == pytest.approx(6.0)
+
+    def test_huge_mu_stays_put(self, ft4, workload):
+        source = ft4.switches[[2, 7, 11]]
+        result = optimal_migration(ft4, workload, source, mu=1e12)
+        assert np.array_equal(result.migration, source)
+        assert result.migration_cost == 0.0
+
+    def test_mu_zero_reaches_optimal_placement(self, ft4, workload):
+        """Theorem 4: with μ=0, TOM degenerates to TOP."""
+        source = ft4.switches[[0, 1, 2]]
+        migration = optimal_migration(ft4, workload, source, mu=0.0)
+        placement = optimal_placement(ft4, workload, 3)
+        assert migration.communication_cost == pytest.approx(placement.cost)
+
+    def test_never_worse_than_staying(self, ft4, workload):
+        ctx = CostContext(ft4, workload)
+        source = ft4.switches[[3, 9, 14]]
+        result = optimal_migration(ft4, workload, source, mu=50.0)
+        assert result.cost <= ctx.communication_cost(source) + 1e-9
+
+
+class TestExactChainSearch:
+    def test_trivial_instance(self):
+        dist = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        scores = np.zeros((2, 2))
+        tup, cost, _ = exact_chain_search(
+            dist, 1.0, np.asarray([5.0, 0.0]), scores, np.inf, 1000
+        )
+        # start at node 1 (cheap start), chain to node 0
+        assert tup.tolist() == [1, 0]
+        assert cost == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_chain_search(
+                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((1, 3)), np.inf, 10
+            )
+
+    def test_infeasible_n(self):
+        with pytest.raises(InfeasibleError):
+            exact_chain_search(
+                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((3, 2)), np.inf, 10
+            )

@@ -1,0 +1,143 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.placement import chain_size, dp_placement, dp_placement_top1
+from repro.errors import InfeasibleError, PlacementError
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.sfc import sfc_of_size
+from repro.workload.traffic import FacebookTrafficModel
+
+
+def brute_force_placement(topology, flows, n):
+    """True TOP optimum by enumerating ordered distinct switch tuples."""
+    ctx = CostContext(topology, flows)
+    best_cost, best = np.inf, None
+    for tup in itertools.permutations(topology.switches.tolist(), n):
+        cost = ctx.communication_cost(np.asarray(tup))
+        if cost < best_cost:
+            best_cost, best = cost, tup
+    return np.asarray(best), best_cost
+
+
+class TestWorkedExample:
+    def test_example1_initial_placement(self, ft2, example1_flows):
+        """Fig. 3(a): optimal placement costs 410 with λ = <100, 1>."""
+        result = dp_placement(ft2, example1_flows, 2)
+        assert result.cost == pytest.approx(410.0)
+
+    def test_example1_flipped_rates(self, ft2, example1_flows):
+        """After the rate flip the fresh optimum is still 410 (mirrored)."""
+        flipped = example1_flows.with_rates([1.0, 100.0])
+        result = dp_placement(ft2, flipped, 2)
+        assert result.cost == pytest.approx(410.0)
+
+
+class TestSmallN:
+    def test_n1_exact(self, ft4, small_workload):
+        result = dp_placement(ft4, small_workload, 1)
+        brute, brute_cost = brute_force_placement(ft4, small_workload, 1)
+        assert result.cost == pytest.approx(brute_cost)
+
+    def test_n2_exact(self, ft4, small_workload):
+        result = dp_placement(ft4, small_workload, 2)
+        _, brute_cost = brute_force_placement(ft4, small_workload, 2)
+        assert result.cost == pytest.approx(brute_cost)
+
+    def test_accepts_sfc_object(self, ft4, small_workload):
+        result = dp_placement(ft4, small_workload, sfc_of_size(2))
+        assert result.num_vnfs == 2
+
+
+class TestDpPlacement:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_output_is_valid_distinct_placement(self, ft4, small_workload, n):
+        result = dp_placement(ft4, small_workload, n)
+        assert result.num_vnfs == n
+        assert len(set(result.placement.tolist())) == n
+        switch_set = set(ft4.switches.tolist())
+        assert all(int(s) in switch_set for s in result.placement)
+
+    def test_reported_cost_matches_cost_model(self, ft4, small_workload):
+        result = dp_placement(ft4, small_workload, 4)
+        ctx = CostContext(ft4, small_workload)
+        assert result.cost == pytest.approx(ctx.communication_cost(result.placement))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_close_to_brute_force_n3(self, ft4, seed):
+        """The paper reports DP within ~8% of Optimal; check n=3 on k=4."""
+        flows = place_vm_pairs(ft4, 8, seed=seed)
+        flows = flows.with_rates(FacebookTrafficModel().sample(8, rng=seed))
+        result = dp_placement(ft4, flows, 3)
+        _, brute_cost = brute_force_placement(ft4, flows, 3)
+        assert result.cost >= brute_cost - 1e-9
+        assert result.cost <= 1.15 * brute_cost
+
+    def test_zero_rates_supported(self, ft4, small_workload):
+        silent = small_workload.with_rates(np.zeros(small_workload.num_flows))
+        result = dp_placement(ft4, silent, 3)
+        assert result.cost == 0.0
+
+    def test_too_many_vnfs_rejected(self, ft4, small_workload):
+        with pytest.raises(InfeasibleError):
+            dp_placement(ft4, small_workload, ft4.num_switches + 1)
+
+    def test_bad_n_rejected(self, ft4, small_workload):
+        with pytest.raises(PlacementError):
+            dp_placement(ft4, small_workload, 0)
+
+    def test_paper_mode_not_better_than_default(self, ft4, small_workload):
+        default = dp_placement(ft4, small_workload, 4)
+        paper = dp_placement(ft4, small_workload, 4, mode="paper")
+        assert default.cost <= paper.cost + 1e-9
+
+    def test_chain_size_helper(self):
+        assert chain_size(5) == 5
+        assert chain_size(sfc_of_size(3)) == 3
+        with pytest.raises(PlacementError):
+            chain_size(-1)
+
+
+class TestDpPlacementTop1:
+    def test_single_flow_matches_general_dp(self, ft4):
+        """With l=1 the TOP-1 pipeline and Algorithm 3 attack the same
+        problem; neither should beat the other by much."""
+        flows = place_vm_pairs(ft4, 1, intra_rack_fraction=0.0, seed=5)
+        flows = flows.with_rates(np.asarray([100.0]))
+        top1 = dp_placement_top1(ft4, flows, 3)
+        general = dp_placement(ft4, flows, 3)
+        assert top1.cost == pytest.approx(general.cost, rel=0.25)
+
+    def test_cost_against_brute_force(self, ft4):
+        flows = FlowSet(
+            sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[9])], rates=[10.0]
+        )
+        result = dp_placement_top1(ft4, flows, 3)
+        _, brute_cost = brute_force_placement(ft4, flows, 3)
+        assert result.cost >= brute_cost - 1e-9
+        assert result.cost <= 1.2 * brute_cost
+
+    def test_tour_case_same_host(self, ft2):
+        """Fig. 5: both VMs on h1 — the stroll degenerates to a tour."""
+        h1 = int(ft2.hosts[0])
+        flows = FlowSet(sources=[h1], destinations=[h1], rates=[5.0])
+        result = dp_placement_top1(ft2, flows, 2)
+        assert result.num_vnfs == 2
+        # optimal tour: h1 -> s_edge -> s_agg -> back, cost 5 * 4
+        assert result.cost == pytest.approx(20.0)
+
+    def test_flow_index_selection(self, ft4, small_workload):
+        r0 = dp_placement_top1(ft4, small_workload, 2, flow_index=0)
+        r1 = dp_placement_top1(ft4, small_workload, 2, flow_index=1)
+        assert r0.num_vnfs == r1.num_vnfs == 2
+
+    def test_bad_flow_index(self, ft4, small_workload):
+        with pytest.raises(PlacementError):
+            dp_placement_top1(ft4, small_workload, 2, flow_index=99)
+
+    def test_placements_are_switches(self, ft4, small_workload):
+        result = dp_placement_top1(ft4, small_workload, 4)
+        switch_set = set(ft4.switches.tolist())
+        assert all(int(s) in switch_set for s in result.placement)

@@ -1,0 +1,105 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError, PlacementError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=101)
+    return flows.with_rates(FacebookTrafficModel().sample(8, rng=101))
+
+
+class TestCandidateRestriction:
+    def test_stays_within_candidates(self, ft4, workload):
+        cands = ft4.switches[:7].tolist()
+        for n in (1, 2, 3, 4):
+            result = dp_placement(ft4, workload, n, candidate_switches=cands)
+            assert set(result.placement.tolist()) <= set(cands)
+
+    def test_matches_restricted_brute_force(self, ft4, workload):
+        cands = ft4.switches[:6].tolist()
+        result = dp_placement(ft4, workload, 3, candidate_switches=cands)
+        ctx = CostContext(ft4, workload)
+        brute = min(
+            ctx.communication_cost(np.asarray(tup))
+            for tup in itertools.permutations(cands, 3)
+        )
+        # restricted DP is a heuristic; it must bracket the restricted optimum
+        assert result.cost >= brute - 1e-9
+        assert result.cost <= 1.2 * brute
+
+    def test_full_set_equals_default(self, ft4, workload):
+        full = dp_placement(ft4, workload, 4)
+        explicit = dp_placement(
+            ft4, workload, 4, candidate_switches=ft4.switches.tolist()
+        )
+        assert explicit.cost == pytest.approx(full.cost)
+
+    def test_small_n_restricted(self, ft4, workload):
+        cands = ft4.switches[5:9].tolist()
+        for n in (1, 2):
+            result = dp_placement(ft4, workload, n, candidate_switches=cands)
+            assert set(result.placement.tolist()) <= set(cands)
+            ctx = CostContext(ft4, workload)
+            brute = min(
+                ctx.communication_cost(np.asarray(tup))
+                for tup in itertools.permutations(cands, n)
+            )
+            assert result.cost == pytest.approx(brute)
+
+    def test_non_switch_candidates_rejected(self, ft4, workload):
+        with pytest.raises(PlacementError, match="not switches"):
+            dp_placement(ft4, workload, 2, candidate_switches=[int(ft4.hosts[0])])
+
+    def test_too_few_candidates(self, ft4, workload):
+        with pytest.raises(InfeasibleError):
+            dp_placement(ft4, workload, 5, candidate_switches=ft4.switches[:3].tolist())
+
+
+class TestStrollMatrixCache:
+    def test_rates_do_not_affect_cache_reuse(self, ft4, workload):
+        """Two calls with different rates must agree with fresh computation."""
+        from repro.core import placement as placement_mod
+
+        placement_mod._STROLL_CACHE.clear()
+        first = dp_placement(ft4, workload, 4)
+        other_rates = workload.with_rates(workload.rates[::-1].copy())
+        cached = dp_placement(ft4, other_rates, 4)
+        placement_mod._STROLL_CACHE.clear()
+        fresh = dp_placement(ft4, other_rates, 4)
+        assert cached.cost == pytest.approx(fresh.cost)
+        assert np.array_equal(cached.placement, fresh.placement)
+        assert first.num_vnfs == 4
+
+    def test_cache_entries_keyed_by_n_and_mode(self, ft4, workload):
+        from repro.core import placement as placement_mod
+
+        placement_mod._STROLL_CACHE.clear()
+        dp_placement(ft4, workload, 4)
+        dp_placement(ft4, workload, 5)
+        dp_placement(ft4, workload, 5, mode="paper")
+        entries = placement_mod._STROLL_CACHE[ft4]
+        assert len(entries) == 3
+
+    def test_cache_released_with_topology(self):
+        import gc
+
+        from repro.core import placement as placement_mod
+        from repro.topology.fattree import fat_tree
+        from repro.workload.flows import place_vm_pairs
+
+        placement_mod._STROLL_CACHE.clear()
+        topo = fat_tree(4)
+        flows = place_vm_pairs(topo, 4, seed=0)
+        dp_placement(topo, flows, 3)
+        assert len(placement_mod._STROLL_CACHE) == 1
+        del topo, flows
+        gc.collect()
+        assert len(placement_mod._STROLL_CACHE) == 0

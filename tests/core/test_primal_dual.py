@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.core.optimal import optimal_placement
+from repro.core.primal_dual import (
+    grow_prized_tree,
+    primal_dual_placement_top1,
+    primal_dual_stroll,
+)
+from repro.errors import InfeasibleError
+from repro.graphs.paths import count_distinct_intermediates
+from repro.workload.flows import FlowSet, place_vm_pairs
+
+
+class TestGrowPrizedTree:
+    def test_tree_connects_endpoints(self, ft4):
+        s, t = int(ft4.hosts[0]), int(ft4.hosts[10])
+        countable = set(ft4.switches.tolist())
+        tree = grow_prized_tree(ft4.graph, s, t, prize=1.0, countable=countable, required=3)
+        assert s in tree.nodes and t in tree.nodes
+        # tree edges form a connected acyclic graph over tree.nodes
+        assert len(tree.edges) == len(tree.nodes) - 1
+
+    def test_larger_prize_spans_more(self, ft4):
+        s, t = int(ft4.hosts[0]), int(ft4.hosts[10])
+        countable = set(ft4.switches.tolist())
+        small = grow_prized_tree(ft4.graph, s, t, 0.01, countable, required=3)
+        large = grow_prized_tree(ft4.graph, s, t, 100.0, countable, required=15)
+        assert len(large.nodes) >= len(small.nodes)
+
+
+class TestPrimalDualStroll:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_walk_validity(self, ft4, n):
+        s, t = int(ft4.hosts[0]), int(ft4.hosts[12])
+        countable = set(ft4.switches.tolist())
+        result = primal_dual_stroll(ft4.graph, s, t, n, countable=countable)
+        assert result.walk[0] == s and result.walk[-1] == t
+        visited = [int(v) for v in result.walk if int(v) in countable]
+        assert len(set(visited)) >= n
+        assert result.distinct.size == n
+
+    def test_cost_never_below_optimal(self, ft4):
+        """The 2+ε scheme can only be above the true optimum."""
+        flows = FlowSet(
+            sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[9])], rates=[1.0]
+        )
+        pd = primal_dual_placement_top1(ft4, flows, 3)
+        opt = optimal_placement(ft4, flows, 3)
+        assert pd.cost >= opt.cost - 1e-9
+
+    def test_within_approximation_band(self, ft4):
+        """Empirically the stroll stays within the 2+ε guarantee of optimal
+        (the guarantee bounds the stroll, which upper-bounds the chain)."""
+        for seed in range(3):
+            flows = place_vm_pairs(ft4, 1, intra_rack_fraction=0.0, seed=seed)
+            flows = flows.with_rates(np.asarray([10.0]))
+            pd = primal_dual_placement_top1(ft4, flows, 4)
+            opt = optimal_placement(ft4, flows, 4)
+            assert pd.cost <= 2.5 * opt.cost + 1e-9
+
+    def test_tour_case(self, ft4):
+        h = int(ft4.hosts[3])
+        countable = set(ft4.switches.tolist())
+        result = primal_dual_stroll(ft4.graph, h, h, 3, countable=countable)
+        assert result.walk[0] == h and result.walk[-1] == h
+        assert result.distinct.size == 3
+
+    def test_infeasible_n(self, ft4):
+        with pytest.raises(InfeasibleError):
+            primal_dual_stroll(
+                ft4.graph,
+                int(ft4.hosts[0]),
+                int(ft4.hosts[1]),
+                5,
+                countable=set(ft4.switches[:2].tolist()),
+            )
+
+
+class TestPrimalDualPlacement:
+    def test_valid_placement(self, ft4):
+        flows = FlowSet(
+            sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[15])], rates=[3.0]
+        )
+        result = primal_dual_placement_top1(ft4, flows, 5)
+        assert result.num_vnfs == 5
+        assert len(set(result.placement.tolist())) == 5
+        switch_set = set(ft4.switches.tolist())
+        assert all(int(s) in switch_set for s in result.placement)
+
+    def test_algorithm_tag(self, ft4):
+        flows = FlowSet(
+            sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[1])], rates=[1.0]
+        )
+        assert primal_dual_placement_top1(ft4, flows, 2).algorithm == "primal-dual"

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.placement import dp_placement
+from repro.core.replication import (
+    ReplicatedPlacement,
+    per_flow_copy_choice,
+    replicated_communication_cost,
+    replicated_placement,
+)
+from repro.errors import InfeasibleError, PlacementError
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft8):
+    flows = place_vm_pairs(ft8, 24, seed=71)
+    return flows.with_rates(FacebookTrafficModel().sample(24, rng=71))
+
+
+class TestReplicatedPlacementType:
+    def test_overlapping_copies_rejected(self, ft4):
+        copies = np.asarray([[16, 17], [17, 18]])
+        with pytest.raises(PlacementError, match="distinct"):
+            ReplicatedPlacement(copies=copies, cost=0.0)
+
+    def test_shape_accessors(self, ft4):
+        rp = ReplicatedPlacement(copies=np.asarray([[16, 17], [18, 19]]), cost=1.0)
+        assert rp.num_copies == 2
+        assert rp.num_vnfs == 2
+
+
+class TestReplicatedPlacement:
+    def test_single_copy_equals_dp(self, ft8, workload):
+        rp = replicated_placement(ft8, workload, n=4, num_copies=1)
+        dp = dp_placement(ft8, workload, 4)
+        assert rp.num_copies == 1
+        assert rp.cost == pytest.approx(dp.cost)
+
+    def test_more_copies_never_hurt(self, ft8, workload):
+        """Adding a chain copy can only lower the min-over-copies cost."""
+        costs = [
+            replicated_placement(ft8, workload, n=4, num_copies=r).cost
+            for r in (1, 2, 3)
+        ]
+        assert costs[1] <= costs[0] + 1e-6
+        assert costs[2] <= costs[1] + 1e-6
+
+    def test_copies_use_disjoint_switches(self, ft8, workload):
+        rp = replicated_placement(ft8, workload, n=4, num_copies=3)
+        flat = rp.copies.ravel().tolist()
+        assert len(set(flat)) == len(flat)
+
+    def test_cost_matches_cost_function(self, ft8, workload):
+        rp = replicated_placement(ft8, workload, n=3, num_copies=2)
+        recomputed = replicated_communication_cost(ft8, workload, rp.copies)
+        assert rp.cost == pytest.approx(recomputed)
+
+    def test_per_flow_choice_is_argmin(self, ft8, workload):
+        rp = replicated_placement(ft8, workload, n=3, num_copies=2)
+        ctx = CostContext(ft8, workload)
+        choice = per_flow_copy_choice(ctx, rp)
+        assert choice.shape == (workload.num_flows,)
+        assert set(np.unique(choice)) <= set(range(rp.num_copies))
+
+    def test_infeasible_copy_count(self, ft4, workload):
+        flows = place_vm_pairs(ft4, 4, seed=0)
+        with pytest.raises(InfeasibleError):
+            replicated_placement(ft4, flows, n=8, num_copies=3)
+
+    def test_bad_params(self, ft8, workload):
+        with pytest.raises(PlacementError):
+            replicated_placement(ft8, workload, n=3, num_copies=0)
+        with pytest.raises(PlacementError):
+            replicated_placement(ft8, workload, n=3, num_copies=1, residual_fraction=0.0)

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.core.types import MigrationResult, PlacementResult
+from repro.errors import PlacementError
+
+
+class TestPlacementResult:
+    def test_accessors(self):
+        r = PlacementResult(placement=[3, 5, 7], cost=12.5, algorithm="dp")
+        assert r.num_vnfs == 3
+        assert r.ingress == 3
+        assert r.egress == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementResult(placement=[], cost=0.0, algorithm="dp")
+
+    def test_nonfinite_cost_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementResult(placement=[1], cost=float("inf"), algorithm="dp")
+
+    def test_placement_immutable(self):
+        r = PlacementResult(placement=[1, 2], cost=1.0, algorithm="dp")
+        with pytest.raises(ValueError):
+            r.placement[0] = 9
+
+
+class TestMigrationResult:
+    def test_num_migrated(self):
+        r = MigrationResult(
+            source=[1, 2, 3],
+            migration=[1, 5, 6],
+            cost=10.0,
+            communication_cost=7.0,
+            migration_cost=3.0,
+            algorithm="mpareto",
+        )
+        assert r.num_migrated == 2
+
+    def test_cost_consistency_enforced(self):
+        with pytest.raises(PlacementError, match="cost"):
+            MigrationResult(
+                source=[1],
+                migration=[2],
+                cost=10.0,
+                communication_cost=1.0,
+                migration_cost=1.0,
+                algorithm="x",
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PlacementError):
+            MigrationResult(
+                source=[1, 2],
+                migration=[3],
+                cost=0.0,
+                communication_cost=0.0,
+                migration_cost=0.0,
+                algorithm="x",
+            )
+
+    def test_as_placement(self):
+        r = MigrationResult(
+            source=[1, 2],
+            migration=[3, 4],
+            cost=9.0,
+            communication_cost=6.0,
+            migration_cost=3.0,
+            algorithm="mpareto",
+        )
+        p = r.as_placement()
+        assert p.placement.tolist() == [3, 4]
+        assert p.cost == 6.0

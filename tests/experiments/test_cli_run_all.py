@@ -1,0 +1,41 @@
+import io
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments import common as experiments_common
+from repro.experiments.common import ExperimentResult
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    """Swap the global registry for a single instant experiment."""
+
+    def instant(scale: str) -> ExperimentResult:
+        return ExperimentResult(
+            experiment="instant",
+            description="an instant experiment",
+            rows=[{"x": 1, "scale": scale}],
+        )
+
+    monkeypatch.setattr(
+        experiments_common, "_REGISTRY", {"instant": ("instant demo", instant)}
+    )
+    yield
+
+
+class TestRunAll:
+    def test_runs_every_registered_experiment(self, tiny_registry, tmp_path):
+        out = io.StringIO()
+        code = cli.main(
+            ["run-all", "--scale", "smoke", "--json-dir", str(tmp_path)], out=out
+        )
+        assert code == 0
+        assert "instant" in out.getvalue()
+        payload = json.loads((tmp_path / "instant.json").read_text())
+        assert payload["rows"][0]["scale"] == "smoke"
+
+    def test_run_all_without_json_dir(self, tiny_registry):
+        out = io.StringIO()
+        assert cli.main(["run-all", "--scale", "smoke"], out=out) == 0

@@ -1,0 +1,99 @@
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.common import ExperimentResult, check_scale
+
+
+EXPECTED_EXPERIMENTS = {
+    "fig03_example",
+    "fig06_pareto",
+    "fig07_top1",
+    "fig08_diurnal",
+    "fig09_top",
+    "fig10_top_weighted",
+    "fig11a_hourly",
+    "fig11c_vary_l",
+    "fig11d_vary_n",
+    "table02_algorithms",
+    "scorecard",
+    "ext_replication",
+    "ext_multi_sfc",
+    "ext_schedules",
+    "ext_arrivals",
+    "val_link_utilization",
+    "val_gravity_dynamics",
+    "ablation_complete_graph",
+    "ablation_dp_backends",
+    "ablation_frontiers",
+    "ablation_mu",
+    "ablation_dynamics",
+}
+
+
+class TestRegistry:
+    def test_every_figure_is_registered(self):
+        assert EXPECTED_EXPERIMENTS <= set(list_experiments())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            get_experiment("fig99_bogus")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ReproError, match="scale"):
+            check_scale("enormous")
+
+
+class TestExperimentResult:
+    def test_table_and_json_round_trip(self):
+        result = ExperimentResult(
+            experiment="demo",
+            description="a demo",
+            rows=[{"x": 1, "y": 2.5}],
+            notes=["hello"],
+            params={"k": 4},
+        )
+        table = result.to_table()
+        assert "demo" in table and "hello" in table
+        payload = json.loads(result.to_json())
+        assert payload["rows"][0]["y"] == 2.5
+        assert result.column("x") == [1]
+
+
+class TestSmokeRuns:
+    """Every experiment must complete at smoke scale and keep its contract."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_EXPERIMENTS))
+    def test_runs_at_smoke_scale(self, name):
+        result = get_experiment(name)("smoke")
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, f"{name} produced no rows"
+        assert result.experiment == name
+
+
+class TestCli:
+    def test_list(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        assert "fig07_top1" in out.getvalue()
+
+    def test_run_writes_table_and_json(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "fig08.json"
+        code = main(
+            ["run", "fig08_diurnal", "--scale", "smoke", "--json", str(json_path)],
+            out=out,
+        )
+        assert code == 0
+        assert "tau_west" in out.getvalue()
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment"] == "fig08_diurnal"
+
+    def test_run_unknown_fails(self):
+        out = io.StringIO()
+        with pytest.raises(ReproError):
+            main(["run", "nonexistent"], out=out)

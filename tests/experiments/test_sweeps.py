@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.baselines.steering import steering_placement
+from repro.core.placement import dp_placement
+from repro.errors import ReproError
+from repro.experiments.sweeps import placement_sweep
+from repro.topology.leafspine import leaf_spine
+from repro.workload.traffic import FacebookTrafficModel
+
+
+class TestPlacementSweep:
+    def test_grid_shape_and_ordering(self, ft4):
+        rows = placement_sweep(
+            topologies={"ft4": ft4},
+            algorithms={"dp": dp_placement, "steering": steering_placement},
+            ls=(4, 8),
+            ns=(2, 3),
+            traffic_model=FacebookTrafficModel(),
+            replications=2,
+            seed=0,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row["dp"] is not None
+            assert row["dp"] <= row["steering"] + 1e-6
+            assert "dp_ci" in row
+
+    def test_multiple_topologies(self, ft4):
+        rows = placement_sweep(
+            topologies={"ft4": ft4, "leafspine": leaf_spine(4, 2, 4)},
+            algorithms={"dp": dp_placement},
+            ls=(4,),
+            ns=(2,),
+            traffic_model=FacebookTrafficModel(),
+            replications=2,
+        )
+        assert {row["topology"] for row in rows} == {"ft4", "leafspine"}
+
+    def test_failing_algorithm_reports_none(self, ft4):
+        def exploding(topology, flows, n):
+            raise RuntimeError("boom")
+
+        rows = placement_sweep(
+            topologies={"ft4": ft4},
+            algorithms={"dp": dp_placement, "boom": exploding},
+            ls=(4,),
+            ns=(2,),
+            traffic_model=FacebookTrafficModel(),
+            replications=2,
+        )
+        assert rows[0]["boom"] is None
+        assert rows[0]["dp"] is not None
+
+    def test_custom_workload(self, ft4):
+        from repro.workload.gravity import place_vm_pairs_gravity
+
+        def workload(topology, l, rng):
+            flows = place_vm_pairs_gravity(topology, l, skew=1.5, seed=rng)
+            return flows.with_rates(FacebookTrafficModel().sample(l, rng=rng))
+
+        rows = placement_sweep(
+            topologies={"ft4": ft4},
+            algorithms={"dp": dp_placement},
+            ls=(6,),
+            ns=(3,),
+            workload=workload,
+            replications=2,
+        )
+        assert rows[0]["dp"] > 0
+
+    def test_deterministic(self, ft4):
+        kwargs = dict(
+            topologies={"ft4": ft4},
+            algorithms={"dp": dp_placement},
+            ls=(4,),
+            ns=(2,),
+            traffic_model=FacebookTrafficModel(),
+            replications=3,
+            seed=7,
+        )
+        assert placement_sweep(**kwargs) == placement_sweep(**kwargs)
+
+    def test_validation(self, ft4):
+        with pytest.raises(ReproError):
+            placement_sweep({}, {"dp": dp_placement}, (1,), (1,), FacebookTrafficModel())
+        with pytest.raises(ReproError):
+            placement_sweep(
+                {"ft4": ft4}, {"dp": dp_placement}, (1,), (1,), replications=0,
+                traffic_model=FacebookTrafficModel(),
+            )
+        with pytest.raises(ReproError, match="traffic_model or workload"):
+            placement_sweep({"ft4": ft4}, {"dp": dp_placement}, (1,), (1,))

@@ -1,0 +1,94 @@
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.flow.maxflow import max_flow_min_cut
+
+
+class TestMaxFlow:
+    def test_simple_bottleneck(self):
+        arcs = [(0, 1, 3.0), (1, 2, 2.0)]
+        value, side = max_flow_min_cut(3, arcs, 0, 2)
+        assert value == pytest.approx(2.0)
+        assert side[0] and side[1] and not side[2]
+
+    def test_parallel_paths(self):
+        arcs = [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)]
+        value, _ = max_flow_min_cut(4, arcs, 0, 3)
+        assert value == pytest.approx(3.0)
+
+    def test_disconnected(self):
+        value, side = max_flow_min_cut(3, [(0, 1, 1.0)], 0, 2)
+        assert value == 0.0
+        assert not side[2]
+
+    def test_cut_separates(self):
+        arcs = [(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0)]
+        value, side = max_flow_min_cut(4, arcs, 0, 3)
+        assert value == pytest.approx(1.0)
+        assert side[0] and side[1]
+        assert not side[2] and not side[3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 9))
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        arcs = []
+        for u in range(n):
+            for v in range(n):
+                if u != v and rng.random() < 0.45:
+                    c = float(rng.integers(1, 8))
+                    arcs.append((u, v, c))
+                    g.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(g, 0, n - 1) if g.has_node(0) else 0.0
+        value, side = max_flow_min_cut(n, arcs, 0, n - 1)
+        assert value == pytest.approx(expected)
+        # the returned cut's capacity equals the flow value (duality)
+        cut_capacity = sum(c for u, v, c in arcs if side[u] and not side[v])
+        assert cut_capacity == pytest.approx(value)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            max_flow_min_cut(2, [], 0, 0)
+        with pytest.raises(SolverError):
+            max_flow_min_cut(2, [(0, 5, 1.0)], 0, 1)
+        with pytest.raises(SolverError):
+            max_flow_min_cut(2, [(0, 1, -1.0)], 0, 1)
+
+
+class TestCuttingPlaneBound:
+    def test_never_below_flow_relaxation(self, ft4):
+        from repro.core.lp_bound import top1_lp_lower_bound
+
+        src, dst = int(ft4.hosts[0]), int(ft4.hosts[9])
+        countable = set(ft4.switches.tolist())
+        for n in (2, 4):
+            weak = top1_lp_lower_bound(ft4.graph, src, dst, n, countable=countable)
+            strong = top1_lp_lower_bound(
+                ft4.graph, src, dst, n, countable=countable, cutting_planes=True
+            )
+            assert strong >= weak - 1e-6
+
+    def test_still_below_optimal(self, ft2):
+        """At n = |V_s| the x variables are forced to 1 and the cuts bind."""
+        from repro.core.lp_bound import top1_lp_lower_bound
+        from repro.core.optimal import optimal_placement
+        from repro.workload.flows import FlowSet
+
+        src, dst = int(ft2.hosts[0]), int(ft2.hosts[1])
+        countable = set(ft2.switches.tolist())
+        n = ft2.num_switches
+        strong = top1_lp_lower_bound(
+            ft2.graph, src, dst, n, countable=countable, cutting_planes=True
+        )
+        flows = FlowSet(sources=[src], destinations=[dst], rates=[1.0])
+        opt = optimal_placement(ft2, flows, n).cost
+        assert strong <= opt + 1e-6
+        # with every switch forced, the bound exceeds the bare s-t distance
+        assert strong > ft2.graph.cost(src, dst) - 1e-9

@@ -1,0 +1,112 @@
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, SolverError
+from repro.flow.mincostflow import Arc, min_cost_flow, solve_transportation
+
+
+class TestArc:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SolverError):
+            Arc(0, 1, -1, 1.0)
+
+    def test_nonfinite_cost_rejected(self):
+        with pytest.raises(SolverError):
+            Arc(0, 1, 1, float("inf"))
+
+
+class TestMinCostFlow:
+    def test_simple_two_path_network(self):
+        # cheap path has capacity 1, the rest must take the dear path
+        arcs = [Arc(0, 1, 1, 1.0), Arc(0, 1, 5, 10.0)]
+        result = min_cost_flow(2, arcs, [3, -3])
+        assert result.flows.tolist() == [1, 2]
+        assert result.total_cost == pytest.approx(21.0)
+
+    def test_multi_hop(self):
+        arcs = [Arc(0, 1, 2, 1.0), Arc(1, 2, 2, 1.0), Arc(0, 2, 1, 5.0)]
+        result = min_cost_flow(3, arcs, [3, 0, -3])
+        assert result.total_cost == pytest.approx(2 * 2.0 + 5.0)
+
+    def test_unbalanced_supplies_rejected(self):
+        with pytest.raises(InfeasibleError, match="balance"):
+            min_cost_flow(2, [Arc(0, 1, 1, 1.0)], [1, -2])
+
+    def test_insufficient_capacity(self):
+        with pytest.raises(InfeasibleError, match="route"):
+            min_cost_flow(2, [Arc(0, 1, 1, 1.0)], [5, -5])
+
+    def test_negative_costs_supported(self):
+        arcs = [Arc(0, 1, 2, -3.0), Arc(0, 1, 2, 1.0)]
+        result = min_cost_flow(2, arcs, [3, -3])
+        assert result.flows.tolist() == [2, 1]
+        assert result.total_cost == pytest.approx(-5.0)
+
+    def test_zero_supply_no_flow(self):
+        result = min_cost_flow(2, [Arc(0, 1, 5, 1.0)], [0, 0])
+        assert result.total_cost == 0.0
+        assert result.flows.tolist() == [0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_matches_networkx(self, seed):
+        """Cross-check cost against networkx's min-cost-flow on random DAG-ish nets."""
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(4, 8))
+        g = nx.DiGraph()
+        g.add_nodes_from(range(num_nodes))
+        arcs = []
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u != v and rng.random() < 0.5:
+                    cap = int(rng.integers(1, 5))
+                    cost = float(rng.integers(0, 10))
+                    arcs.append(Arc(u, v, cap, cost))
+                    g.add_edge(u, v, capacity=cap, weight=int(cost))
+        amount = int(rng.integers(1, 4))
+        supplies = np.zeros(num_nodes, dtype=np.int64)
+        supplies[0] = amount
+        supplies[num_nodes - 1] = -amount
+        g.nodes[0]["demand"] = -amount
+        g.nodes[num_nodes - 1]["demand"] = amount
+        try:
+            expected = nx.min_cost_flow_cost(g)
+        except nx.NetworkXUnfeasible:
+            with pytest.raises(InfeasibleError):
+                min_cost_flow(num_nodes, arcs, supplies)
+            return
+        result = min_cost_flow(num_nodes, arcs, supplies)
+        assert result.total_cost == pytest.approx(expected)
+
+
+class TestTransportation:
+    def test_prefers_cheap_columns(self):
+        cost = np.asarray([[1.0, 10.0], [10.0, 1.0]])
+        assignment, total = solve_transportation(cost, [1, 1], [2, 2])
+        assert assignment.tolist() == [[1, 0], [0, 1]]
+        assert total == pytest.approx(2.0)
+
+    def test_capacity_forces_spill(self):
+        cost = np.asarray([[1.0, 5.0], [1.0, 5.0]])
+        assignment, total = solve_transportation(cost, [1, 1], [1, 1])
+        assert assignment.sum(axis=0).tolist() == [1, 1]
+        assert total == pytest.approx(6.0)
+
+    def test_infeasible_supply(self):
+        with pytest.raises(InfeasibleError):
+            solve_transportation(np.ones((2, 1)), [1, 1], [1])
+
+    def test_row_supplies_respected(self):
+        cost = np.asarray([[1.0, 2.0]])
+        assignment, _ = solve_transportation(cost, [3], [2, 2])
+        assert assignment.sum() == 3
+        assert assignment[0, 0] == 2  # cheap column fills first
+
+    def test_shape_validation(self):
+        with pytest.raises(SolverError):
+            solve_transportation(np.ones((2, 2)), [1], [1, 1])
+        with pytest.raises(SolverError):
+            solve_transportation(np.ones(3), [1], [1])

@@ -1,0 +1,122 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import CostGraph, GraphBuilder
+from tests.conftest import random_cost_graph
+
+
+def triangle() -> CostGraph:
+    b = GraphBuilder()
+    b.add_nodes(["a", "b", "c"])
+    b.add_edge(0, 1, 1.0)
+    b.add_edge(1, 2, 2.0)
+    b.add_edge(0, 2, 10.0)
+    return b.build()
+
+
+class TestGraphBuilder:
+    def test_duplicate_label_rejected(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_node("x")
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        with pytest.raises(GraphError, match="self-loop"):
+            b.add_edge(0, 0)
+
+    def test_unknown_node_rejected(self):
+        b = GraphBuilder()
+        b.add_node("x")
+        with pytest.raises(GraphError, match="unknown"):
+            b.add_edge(0, 5)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_weight_rejected(self, weight):
+        b = GraphBuilder()
+        b.add_nodes(["x", "y"])
+        with pytest.raises(GraphError, match="weight"):
+            b.add_edge(0, 1, weight)
+
+
+class TestCostGraph:
+    def test_basic_accessors(self):
+        g = triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.label(0) == "a"
+        assert g.node("c") == 2
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 0)
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_unknown_label(self):
+        with pytest.raises(GraphError, match="unknown"):
+            triangle().node("zzz")
+
+    def test_parallel_edges_keep_minimum(self):
+        g = CostGraph(["a", "b"], [(0, 1, 5.0), (0, 1, 2.0)])
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            CostGraph([], [])
+
+    def test_neighbors_sorted(self):
+        g = triangle()
+        assert g.neighbors(1).tolist() == [0, 2]
+
+    def test_shortest_path_prefers_cheap_route(self):
+        g = triangle()
+        # a->c direct costs 10, via b costs 3
+        assert g.cost(0, 2) == 3.0
+        assert g.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_shortest_path_trivial(self):
+        assert triangle().shortest_path(1, 1) == [1]
+
+    def test_unreachable(self):
+        g = CostGraph(["a", "b", "c"], [(0, 1, 1.0)])
+        assert not g.is_connected()
+        with pytest.raises(GraphError, match="unreachable"):
+            g.shortest_path(0, 2)
+        with pytest.raises(GraphError):
+            g.diameter()
+
+    def test_diameter(self):
+        assert triangle().diameter() == 3.0
+
+    def test_distances_read_only(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            g.distances[0, 0] = 5.0
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            g = random_cost_graph(rng, 12)
+            nxg = g.to_networkx()
+            expected = dict(nx.all_pairs_dijkstra_path_length(nxg))
+            for u in range(g.num_nodes):
+                for v in range(g.num_nodes):
+                    assert g.cost(u, v) == pytest.approx(expected[u][v])
+
+    def test_shortest_path_is_valid_walk(self):
+        rng = np.random.default_rng(2)
+        g = random_cost_graph(rng, 10)
+        for u, v in [(0, 9), (3, 7), (9, 1)]:
+            path = g.shortest_path(u, v)
+            assert path[0] == u and path[-1] == v
+            cost = sum(g.edge_weight(a, b) for a, b in zip(path, path[1:]))
+            assert cost == pytest.approx(g.cost(u, v))
+
+    def test_reweighted(self):
+        g = triangle()
+        doubled = g.reweighted(lambda u, v, w: 2 * w)
+        assert doubled.edge_weight(0, 1) == 2.0
+        assert doubled.cost(0, 2) == 6.0
+        assert g.edge_weight(0, 1) == 1.0  # original untouched

@@ -1,0 +1,42 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.floyd_warshall import floyd_warshall, floyd_warshall_matrix
+from repro.graphs.generators import random_cost_graph
+
+
+class TestFloydWarshall:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2000), n=st.integers(3, 15))
+    def test_matches_dijkstra_backend(self, seed, n):
+        g = random_cost_graph(seed, n)
+        assert np.allclose(floyd_warshall(g), g.distances)
+
+    def test_matches_on_fat_tree(self, ft4):
+        assert np.allclose(floyd_warshall(ft4.graph), ft4.graph.distances)
+
+    def test_disconnected_stays_inf(self):
+        weights = np.full((3, 3), np.inf)
+        np.fill_diagonal(weights, 0.0)
+        weights[0, 1] = weights[1, 0] = 1.0
+        dist = floyd_warshall_matrix(weights)
+        assert np.isinf(dist[0, 2])
+        assert dist[0, 1] == 1.0
+
+    def test_input_not_modified(self):
+        weights = np.asarray([[0.0, 5.0], [5.0, 0.0]])
+        before = weights.copy()
+        floyd_warshall_matrix(weights)
+        assert np.array_equal(weights, before)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            floyd_warshall_matrix(np.ones((2, 3)))
+
+    def test_negative_cycle_rejected(self):
+        weights = np.asarray([[0.0, -2.0], [-2.0, 0.0]])
+        with pytest.raises(GraphError, match="negative cycle"):
+            floyd_warshall_matrix(weights)

@@ -1,0 +1,30 @@
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_cost_graph
+
+
+class TestRandomCostGraph:
+    def test_connected_by_construction(self):
+        for seed in range(5):
+            g = random_cost_graph(seed, 12, edge_prob=0.05)
+            assert g.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = random_cost_graph(3, 10)
+        b = random_cost_graph(3, 10)
+        assert a.edges == b.edges
+
+    def test_weight_range(self):
+        g = random_cost_graph(0, 15, weight_low=2.0, weight_high=3.0)
+        assert all(2.0 <= w < 3.0 for _, _, w in g.edges)
+
+    def test_edge_probability_scales_density(self):
+        sparse = random_cost_graph(1, 20, edge_prob=0.05)
+        dense = random_cost_graph(1, 20, edge_prob=0.8)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_generator_input(self):
+        rng = np.random.default_rng(5)
+        g = random_cost_graph(rng, 8)
+        assert g.num_nodes == 8

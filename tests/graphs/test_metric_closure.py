@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import CostGraph
+from repro.graphs.metric_closure import (
+    metric_closure,
+    restrict_closure,
+    satisfies_triangle_inequality,
+)
+from tests.conftest import random_cost_graph
+
+
+class TestMetricClosure:
+    def test_full_closure_is_distances(self, ft4):
+        closure = metric_closure(ft4.graph)
+        assert np.allclose(closure, ft4.graph.distances)
+
+    def test_subset_closure(self, ft4):
+        nodes = ft4.switches[:5]
+        closure = metric_closure(ft4.graph, nodes)
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                assert closure[i, j] == ft4.graph.cost(int(u), int(v))
+
+    def test_duplicates_rejected(self, ft4):
+        with pytest.raises(GraphError, match="duplicates"):
+            metric_closure(ft4.graph, [0, 0, 1])
+
+    def test_out_of_range_rejected(self, ft4):
+        with pytest.raises(GraphError, match="out-of-range"):
+            metric_closure(ft4.graph, [0, 10_000])
+
+    def test_disconnected_rejected(self):
+        g = CostGraph(["a", "b", "c"], [(0, 1, 1.0)])
+        with pytest.raises(GraphError, match="disconnected"):
+            metric_closure(g)
+
+    def test_writable_output(self, ft4):
+        closure = metric_closure(ft4.graph)
+        closure[0, 0] = 1.0  # must not raise: closures are caller-owned copies
+
+
+class TestRestrictClosure:
+    def test_restrict(self):
+        mat = np.arange(16, dtype=float).reshape(4, 4)
+        sub = restrict_closure(mat, [1, 3])
+        assert sub.tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+
+class TestTriangleInequality:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 12))
+    def test_closures_always_satisfy(self, seed, n):
+        rng = np.random.default_rng(seed)
+        g = random_cost_graph(rng, n)
+        assert satisfies_triangle_inequality(metric_closure(g))
+
+    def test_detects_violation(self):
+        mat = np.asarray([[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]])
+        assert not satisfies_triangle_inequality(mat)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            satisfies_triangle_inequality(np.ones((2, 3)))

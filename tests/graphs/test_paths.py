@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import GraphBuilder
+from repro.graphs.paths import (
+    closure_walk_cost,
+    count_distinct_intermediates,
+    has_immediate_backtrack,
+    is_walk,
+    walk_cost,
+)
+
+
+@pytest.fixture()
+def path_graph():
+    b = GraphBuilder()
+    b.add_nodes(["a", "b", "c", "d"])
+    b.add_edge(0, 1, 1.0)
+    b.add_edge(1, 2, 2.0)
+    b.add_edge(2, 3, 3.0)
+    return b.build()
+
+
+class TestIsWalk:
+    def test_valid_walk_with_revisit(self, path_graph):
+        assert is_walk(path_graph, [0, 1, 2, 1, 2, 3])
+
+    def test_missing_edge(self, path_graph):
+        assert not is_walk(path_graph, [0, 2])
+
+    def test_single_node(self, path_graph):
+        assert is_walk(path_graph, [2])
+        assert not is_walk(path_graph, [9])
+
+    def test_empty(self, path_graph):
+        assert not is_walk(path_graph, [])
+
+
+class TestWalkCost:
+    def test_cost_sums_edges(self, path_graph):
+        assert walk_cost(path_graph, [0, 1, 2, 3]) == 6.0
+
+    def test_revisits_counted(self, path_graph):
+        assert walk_cost(path_graph, [0, 1, 0, 1]) == 3.0
+
+    def test_invalid_walk_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            walk_cost(path_graph, [0, 3])
+
+    def test_single_node_zero(self, path_graph):
+        assert walk_cost(path_graph, [1]) == 0.0
+
+
+class TestClosureWalkCost:
+    def test_matches_matrix(self):
+        closure = np.asarray([[0.0, 2.0], [2.0, 0.0]])
+        assert closure_walk_cost(closure, [0, 1, 0]) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            closure_walk_cost(np.zeros((2, 2)), [])
+
+
+class TestCountDistinct:
+    def test_excludes_endpoints_everywhere(self):
+        # source 0 reappears mid-walk and must not count
+        assert count_distinct_intermediates([0, 1, 0, 2, 3], endpoints=[0, 3]) == 2
+
+    def test_repeats_counted_once(self):
+        assert count_distinct_intermediates([0, 1, 1, 1, 2], endpoints=[0, 2]) == 1
+
+    def test_tour_endpoints(self):
+        assert count_distinct_intermediates([0, 1, 2, 0], endpoints=[0, 0]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            count_distinct_intermediates([], endpoints=[0])
+
+
+class TestBacktrack:
+    def test_detects_aba(self):
+        assert has_immediate_backtrack([3, 5, 3])
+
+    def test_clean_walk(self):
+        assert not has_immediate_backtrack([0, 1, 2, 0, 1])
+
+    def test_short_walks(self):
+        assert not has_immediate_backtrack([0, 1])
+        assert not has_immediate_backtrack([0])

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import CostGraph
+from repro.graphs.shortest_paths import (
+    all_pairs_shortest_paths,
+    bfs_distances,
+    dijkstra,
+    reconstruct_path,
+)
+from tests.conftest import random_cost_graph
+
+
+class TestDijkstra:
+    def test_matches_cached_apsp(self):
+        rng = np.random.default_rng(3)
+        for _ in range(4):
+            g = random_cost_graph(rng, 14)
+            for source in (0, 5, 13):
+                dist, _ = dijkstra(g, source)
+                assert np.allclose(dist, g.distances[source])
+
+    def test_source_out_of_range(self):
+        g = CostGraph(["a"], [])
+        with pytest.raises(GraphError):
+            dijkstra(g, 4)
+
+    def test_predecessors_reconstruct(self):
+        rng = np.random.default_rng(4)
+        g = random_cost_graph(rng, 10)
+        dist, pred = dijkstra(g, 0)
+        for target in range(1, 10):
+            path = reconstruct_path(pred, 0, target)
+            cost = sum(g.edge_weight(a, b) for a, b in zip(path, path[1:]))
+            assert cost == pytest.approx(dist[target])
+
+    def test_unreachable_has_inf(self):
+        g = CostGraph(["a", "b", "c"], [(0, 1, 1.0)])
+        dist, pred = dijkstra(g, 0)
+        assert np.isinf(dist[2])
+        with pytest.raises(GraphError, match="unreachable"):
+            reconstruct_path(pred, 0, 2)
+
+
+class TestBfs:
+    def test_counts_hops_ignoring_weights(self):
+        g = CostGraph(["a", "b", "c"], [(0, 1, 100.0), (1, 2, 100.0), (0, 2, 1.0)])
+        dist, _ = bfs_distances(g, 0)
+        assert dist.tolist() == [0.0, 1.0, 1.0]
+
+    def test_matches_dijkstra_on_unit_weights(self, ft4):
+        bfs, _ = bfs_distances(ft4.graph, int(ft4.hosts[0]))
+        dij, _ = dijkstra(ft4.graph, int(ft4.hosts[0]))
+        assert np.allclose(bfs, dij)
+
+
+class TestAllPairs:
+    def test_matches_cached(self):
+        rng = np.random.default_rng(5)
+        g = random_cost_graph(rng, 9)
+        assert np.allclose(all_pairs_shortest_paths(g), g.distances)
+
+
+class TestReconstructPath:
+    def test_trivial(self):
+        assert reconstruct_path(np.asarray([-1]), 0, 0) == [0]

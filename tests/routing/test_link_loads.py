@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.placement import dp_placement
+from repro.errors import ReproError
+from repro.routing.link_loads import (
+    link_loads,
+    policy_preserving_link_loads,
+    utilization_report,
+)
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 10, seed=111)
+    return flows.with_rates(FacebookTrafficModel().sample(10, rng=111))
+
+
+class TestLinkLoads:
+    def test_single_segment_loads_its_path(self, ft4):
+        h1 = int(ft4.hosts[0])
+        sw = ft4.rack_of_host(h1)
+        loads = link_loads(ft4, [(h1, sw, 5.0)])
+        assert loads == {(min(h1, sw), max(h1, sw)): 5.0}
+
+    def test_zero_rate_and_self_segments_ignored(self, ft4):
+        h1 = int(ft4.hosts[0])
+        assert link_loads(ft4, [(h1, h1, 5.0), (h1, int(ft4.hosts[1]), 0.0)]) == {}
+
+    def test_loads_accumulate(self, ft4):
+        h1 = int(ft4.hosts[0])
+        sw = ft4.rack_of_host(h1)
+        loads = link_loads(ft4, [(h1, sw, 2.0), (h1, sw, 3.0)])
+        assert loads[(min(h1, sw), max(h1, sw))] == 5.0
+
+
+class TestPolicyPreservingLoads:
+    def test_volume_conservation(self, ft4, workload):
+        """Total link volume equals Σ λ_i × route length (the cost model)."""
+        placement = dp_placement(ft4, workload, 3).placement
+        loads = policy_preserving_link_loads(ft4, workload, placement)
+        ctx = CostContext(ft4, workload)
+        assert sum(loads.values()) == pytest.approx(
+            ctx.communication_cost(placement)
+        )
+
+    def test_host_links_carry_their_flows(self, ft4):
+        h1, h2 = int(ft4.hosts[0]), int(ft4.hosts[8])
+        flows = FlowSet(sources=[h1], destinations=[h2], rates=[7.0])
+        placement = ft4.switches[[0, 5]]
+        loads = policy_preserving_link_loads(ft4, flows, placement)
+        first_hop = (min(h1, ft4.rack_of_host(h1)), max(h1, ft4.rack_of_host(h1)))
+        assert loads[first_hop] == pytest.approx(7.0)
+
+    def test_empty_placement_rejected(self, ft4, workload):
+        with pytest.raises(ReproError):
+            policy_preserving_link_loads(ft4, workload, np.asarray([], dtype=np.int64))
+
+
+class TestUtilizationReport:
+    def test_derived_capacity_hits_target(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3).placement
+        report = utilization_report(ft4, workload, placement)
+        assert report.max_utilization == pytest.approx(0.4)
+        assert report.within_provisioning
+        assert 0.0 < report.mean_utilization <= report.max_utilization
+        assert report.num_loaded_links <= report.num_links
+
+    def test_explicit_capacity_flags_overload(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3).placement
+        report = utilization_report(ft4, workload, placement, capacity=1.0)
+        assert not report.within_provisioning
+        assert report.max_utilization > 1.0
+        assert len(report.overloaded) >= 1
+
+    def test_hottest_link_is_max(self, ft4, workload):
+        placement = dp_placement(ft4, workload, 3).placement
+        loads = policy_preserving_link_loads(ft4, workload, placement)
+        report = utilization_report(ft4, workload, placement)
+        assert report.hottest[1] == pytest.approx(max(loads.values()))
+
+    def test_silent_workload(self, ft4, workload):
+        silent = workload.with_rates(np.zeros(workload.num_flows))
+        report = utilization_report(ft4, silent, ft4.switches[:2], capacity=10.0)
+        assert report.max_utilization == 0.0
+        assert report.within_provisioning
+
+    def test_bad_target(self, ft4, workload):
+        with pytest.raises(ReproError):
+            utilization_report(ft4, workload, ft4.switches[:2], target_utilization=0.0)

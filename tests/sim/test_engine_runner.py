@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import DayResult, HourRecord, initial_placement, simulate_day
+from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+from repro.sim.runner import RunConfig, build_rate_process, run_replications
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import RedrawnRates, ScaledRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=66)
+    flows = flows.with_rates(FacebookTrafficModel().sample(8, rng=66))
+    diurnal = DiurnalModel()
+    process = ScaledRates(flows, diurnal, np.zeros(8))
+    return flows, diurnal, process
+
+
+class TestHourRecordsAndDayResult:
+    def test_day_aggregates(self):
+        records = (
+            HourRecord(1, 10.0, 2.0, 1),
+            HourRecord(2, 20.0, 0.0, 0),
+        )
+        day = DayResult(policy="x", records=records)
+        assert day.total_cost == 32.0
+        assert day.total_communication_cost == 30.0
+        assert day.total_migration_cost == 2.0
+        assert day.total_migrations == 1
+        assert day.hourly("communication_cost").tolist() == [10.0, 20.0]
+
+
+class TestSimulateDay:
+    def test_hours_covered(self, ft4, setup):
+        flows, diurnal, process = setup
+        placement = initial_placement(ft4, flows, 3, process)
+        policy = NoMigrationPolicy(ft4, mu=1.0)
+        day = simulate_day(ft4, flows, policy, process, placement)
+        assert [r.hour for r in day.records] == list(range(1, 13))
+
+    def test_noon_is_peak_for_no_migration(self, ft4, setup):
+        flows, diurnal, process = setup
+        placement = initial_placement(ft4, flows, 3, process)
+        policy = NoMigrationPolicy(ft4, mu=1.0)
+        day = simulate_day(ft4, flows, policy, process, placement)
+        series = day.hourly("communication_cost")
+        assert np.argmax(series) == 5  # hour 6 is index 5
+
+    def test_mpareto_never_worse_than_no_migration(self, ft4, setup):
+        flows, diurnal, process = setup
+        placement = initial_placement(ft4, flows, 3, process)
+        stay = simulate_day(ft4, flows, NoMigrationPolicy(ft4, 1.0), process, placement)
+        move = simulate_day(ft4, flows, MParetoPolicy(ft4, 1.0), process, placement)
+        assert move.total_cost <= stay.total_cost + 1e-6
+
+    def test_custom_hour_range(self, ft4, setup):
+        flows, diurnal, process = setup
+        placement = initial_placement(ft4, flows, 3, process)
+        day = simulate_day(
+            ft4, flows, NoMigrationPolicy(ft4, 1.0), process, placement, hours=range(5, 8)
+        )
+        assert len(day.records) == 3
+
+
+class TestInitialPlacement:
+    def test_silent_hour_falls_back_to_base_rates(self, ft4, setup):
+        flows, diurnal, _ = setup
+        process = ScaledRates(flows, diurnal, np.zeros(8))
+        p = initial_placement(ft4, flows, 3, process, hour=0)  # τ(0) = 0
+        assert p.size == 3
+
+
+class TestRunConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RunConfig(num_pairs=4, num_vnfs=2, mu=1.0, cohorts="bogus")
+        with pytest.raises(WorkloadError):
+            RunConfig(num_pairs=4, num_vnfs=2, mu=1.0, dynamics="bogus")
+
+
+class TestBuildRateProcess:
+    def test_modes(self, ft4, setup):
+        flows, _, _ = setup
+        model = FacebookTrafficModel()
+        scaled = build_rate_process(
+            ft4, flows, model, RunConfig(8, 3, 1.0, dynamics="scaled"), seed=0
+        )
+        assert isinstance(scaled, ScaledRates)
+        redrawn = build_rate_process(
+            ft4, flows, model, RunConfig(8, 3, 1.0, dynamics="redrawn"), seed=0
+        )
+        assert isinstance(redrawn, RedrawnRates)
+
+    def test_spatial_cohorts(self, ft4, setup):
+        flows, _, _ = setup
+        cfg = RunConfig(8, 3, 1.0, cohorts="spatial", dynamics="scaled")
+        process = build_rate_process(ft4, flows, FacebookTrafficModel(), cfg, seed=0)
+        assert set(np.unique(process.offsets)) <= {0.0, 3.0}
+
+
+class TestRunReplications:
+    def test_paired_design_and_summaries(self, ft4):
+        cfg = RunConfig(num_pairs=6, num_vnfs=3, mu=1.0, replications=3, seed=9)
+        factories = {
+            "mpareto": lambda t, mu: MParetoPolicy(t, mu),
+            "stay": lambda t, mu: NoMigrationPolicy(t, mu),
+        }
+        results, summaries = run_replications(
+            ft4, FacebookTrafficModel(), cfg, factories
+        )
+        assert len(results) == 3
+        assert set(summaries) == {"mpareto", "stay"}
+        for rep in results:
+            assert set(rep.days) == {"mpareto", "stay"}
+            # paired: both policies saw the same workload
+            assert rep.days["mpareto"].records[0].hour == 1
+        ci = summaries["stay"]["total_cost"]
+        assert ci.n == 3
+        # mPareto can only improve on staying (same paired workloads)
+        assert (
+            summaries["mpareto"]["total_cost"].mean
+            <= summaries["stay"]["total_cost"].mean + 1e-6
+        )
+
+    def test_deterministic_given_seed(self, ft4):
+        cfg = RunConfig(num_pairs=5, num_vnfs=2, mu=1.0, replications=2, seed=4)
+        factories = {"stay": lambda t, mu: NoMigrationPolicy(t, mu)}
+        _, s1 = run_replications(ft4, FacebookTrafficModel(), cfg, factories)
+        _, s2 = run_replications(ft4, FacebookTrafficModel(), cfg, factories)
+        assert s1["stay"]["total_cost"].mean == s2["stay"]["total_cost"].mean

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.engine import DayResult, HourRecord
+from repro.sim.metrics import analyze_gaps, hourly_table, migration_efficiency
+
+
+def make_day(policy: str, costs, migrations=None) -> DayResult:
+    migrations = migrations or [0] * len(costs)
+    records = tuple(
+        HourRecord(hour=h + 1, communication_cost=c, migration_cost=0.0, num_migrations=m)
+        for h, (c, m) in enumerate(zip(costs, migrations))
+    )
+    return DayResult(policy=policy, records=records)
+
+
+@pytest.fixture()
+def days():
+    return {
+        "optimal": make_day("optimal", [10.0, 20.0, 30.0]),
+        "mpareto": make_day("mpareto", [11.0, 22.0, 30.0], [1, 1, 0]),
+        "stay": make_day("stay", [20.0, 40.0, 60.0]),
+    }
+
+
+class TestAnalyzeGaps:
+    def test_gap_values(self, days):
+        gaps = analyze_gaps(days, reference="optimal")
+        assert set(gaps) == {"mpareto", "stay"}
+        assert gaps["mpareto"].hourly_gap[0] == pytest.approx(0.1)
+        assert gaps["mpareto"].hourly_gap[2] == pytest.approx(0.0)
+        assert gaps["stay"].total_gap == pytest.approx(1.0)
+
+    def test_worst_hour(self, days):
+        gaps = analyze_gaps(days, reference="optimal")
+        idx, value = gaps["mpareto"].worst_hour()
+        assert idx in (0, 1)
+        assert value == pytest.approx(0.1)
+
+    def test_unknown_reference(self, days):
+        with pytest.raises(ReproError):
+            analyze_gaps(days, reference="nope")
+
+    def test_mismatched_hours(self, days):
+        days = dict(days)
+        days["short"] = make_day("short", [5.0])
+        with pytest.raises(ReproError):
+            analyze_gaps(days, reference="optimal")
+
+    def test_zero_reference_hours_give_zero_gap(self):
+        days = {
+            "ref": make_day("ref", [0.0, 10.0]),
+            "other": make_day("other", [0.0, 20.0]),
+        }
+        gaps = analyze_gaps(days, reference="ref")
+        assert gaps["other"].hourly_gap[0] == 0.0
+
+
+class TestHourlyTable:
+    def test_renders_all_policies(self, days):
+        table = hourly_table(days)
+        for name in days:
+            assert name in table
+        assert "hour" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            hourly_table({})
+
+
+class TestMigrationEfficiency:
+    def test_saved_per_move(self, days):
+        eff = migration_efficiency(days, baseline="stay")
+        # mpareto saved 120 - 63 = 57 over 2 moves
+        assert eff["mpareto"] == pytest.approx((120.0 - 63.0) / 2)
+        # optimal never migrated: efficiency reported as 0
+        assert eff["optimal"] == 0.0
+
+    def test_unknown_baseline(self, days):
+        with pytest.raises(ReproError):
+            migration_efficiency(days, baseline="nope")

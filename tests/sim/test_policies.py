@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.placement import dp_placement
+from repro.errors import MigrationError
+from repro.sim.policies import (
+    McfVmPolicy,
+    MParetoPolicy,
+    NoMigrationPolicy,
+    OptimalVnfPolicy,
+    PlanVmPolicy,
+)
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=55)
+    flows = flows.with_rates(FacebookTrafficModel().sample(8, rng=55))
+    placement = dp_placement(ft4, flows, 3).placement
+    return flows, placement
+
+
+class TestLifecycle:
+    def test_step_before_initialize_fails(self, ft4, setup):
+        policy = NoMigrationPolicy(ft4, mu=1.0)
+        with pytest.raises(AssertionError):
+            policy.step(np.ones(8))
+
+    def test_negative_mu_rejected(self, ft4):
+        with pytest.raises(MigrationError):
+            NoMigrationPolicy(ft4, mu=-1.0)
+
+
+class TestNoMigrationPolicy:
+    def test_placement_never_changes(self, ft4, setup):
+        flows, placement = setup
+        policy = NoMigrationPolicy(ft4, mu=1.0)
+        policy.initialize(flows, placement)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            step = policy.step(rng.uniform(0, 100, 8))
+            assert step.num_migrations == 0
+            assert step.migration_cost == 0.0
+        assert np.array_equal(policy.placement, placement)
+
+    def test_cost_matches_context(self, ft4, setup):
+        flows, placement = setup
+        policy = NoMigrationPolicy(ft4, mu=1.0)
+        policy.initialize(flows, placement)
+        rates = flows.rates * 0.5
+        step = policy.step(rates)
+        ctx = CostContext(ft4, flows.with_rates(rates))
+        assert step.communication_cost == pytest.approx(
+            ctx.communication_cost(placement)
+        )
+
+
+class TestVnfPolicies:
+    @pytest.mark.parametrize("cls", [MParetoPolicy, OptimalVnfPolicy])
+    def test_state_tracks_migrations(self, ft4, setup, cls):
+        flows, placement = setup
+        policy = cls(ft4, mu=0.0)  # free migration: will chase the optimum
+        policy.initialize(flows, placement)
+        rng = np.random.default_rng(1)
+        step = policy.step(rng.uniform(0, 10000, 8))
+        moved = int(np.count_nonzero(policy.placement != placement))
+        assert step.num_migrations == moved
+
+    def test_mpareto_zero_mu_reaches_dp_cost(self, ft4, setup):
+        """With μ=0 mPareto lands exactly on the fresh DP placement."""
+        flows, placement = setup
+        policy = MParetoPolicy(ft4, mu=0.0)
+        policy.initialize(flows, placement)
+        rates = flows.rates
+        step = policy.step(rates)
+        fresh = dp_placement(ft4, flows, 3)
+        assert step.communication_cost <= fresh.cost + 1e-9
+
+    def test_optimal_policy_beats_mpareto(self, ft4, setup):
+        flows, placement = setup
+        rates = np.asarray(FacebookTrafficModel().sample(8, rng=99))
+        mp = MParetoPolicy(ft4, mu=10.0)
+        mp.initialize(flows, placement)
+        opt = OptimalVnfPolicy(ft4, mu=10.0)
+        opt.initialize(flows, placement)
+        assert opt.step(rates).total_cost <= mp.step(rates).total_cost + 1e-9
+
+    def test_optimal_policy_candidate_restriction(self, ft4, setup):
+        flows, placement = setup
+        cands = set(ft4.switches[:8].tolist()) | set(placement.tolist())
+        policy = OptimalVnfPolicy(ft4, mu=1.0, candidate_switches=sorted(cands))
+        policy.initialize(flows, placement)
+        policy.step(flows.rates)
+        assert set(policy.placement.tolist()) <= cands
+
+
+class TestVmPolicies:
+    @pytest.mark.parametrize("cls", [PlanVmPolicy, McfVmPolicy])
+    def test_vnfs_fixed_vms_move(self, ft4, setup, cls):
+        flows, placement = setup
+        policy = cls(ft4, mu=0.1, vm_size_ratio=1.0)
+        policy.initialize(flows, placement)
+        step = policy.step(flows.rates)
+        assert np.array_equal(policy.placement, placement)  # VNFs pinned
+        old = np.concatenate([flows.sources, flows.destinations])
+        new = np.concatenate([policy.flows.sources, policy.flows.destinations])
+        assert step.num_migrations == int((old != new).sum())
+
+    @pytest.mark.parametrize("cls", [PlanVmPolicy, McfVmPolicy])
+    def test_vm_size_ratio_scales_mu(self, ft4, setup, cls):
+        flows, placement = setup
+        cheap = cls(ft4, mu=0.1, vm_size_ratio=1.0)
+        cheap.initialize(flows, placement)
+        dear = cls(ft4, mu=0.1, vm_size_ratio=1e12)
+        dear.initialize(flows, placement)
+        assert dear.step(flows.rates).num_migrations == 0
+        assert cheap.step(flows.rates).num_migrations >= 0
+
+    @pytest.mark.parametrize("cls", [PlanVmPolicy, McfVmPolicy])
+    def test_capacity_frozen_at_initialize(self, ft4, setup, cls):
+        from repro.baselines.common import host_occupancy
+
+        flows, placement = setup
+        policy = cls(ft4, mu=0.01, vm_size_ratio=1.0, free_slots=1)
+        policy.initialize(flows, placement)
+        initial_cap = np.asarray(policy.host_capacity)
+        for _ in range(3):
+            policy.step(flows.rates)
+            occ = host_occupancy(ft4, policy.flows)
+            assert np.all(occ <= initial_cap)
+        assert np.array_equal(np.asarray(policy.host_capacity), initial_cap)

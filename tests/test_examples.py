@@ -1,0 +1,42 @@
+"""The shipped examples must run and print their headline numbers.
+
+Only the fast examples run in the suite (the day-long simulations are
+exercised through the benchmark harness instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestQuickstart:
+    def test_prints_published_numbers(self):
+        out = run_example("quickstart.py")
+        assert "410" in out
+        assert "1004" in out
+        assert "416" in out
+        assert "58.6%" in out
+
+
+class TestCustomTopology:
+    def test_covers_three_fabrics(self):
+        out = run_example("custom_topology.py")
+        assert "leaf-spine" in out
+        assert "bcube" in out
+        assert "jellyfish" in out
+        assert "frontier trace" in out

@@ -1,0 +1,101 @@
+"""Failure injection: corrupted inputs must fail loudly at the boundary.
+
+Every public entry point is fed adversarial inputs — NaN rates,
+disconnected fabrics, placements referencing the wrong topology — and
+must raise a :class:`~repro.errors.ReproError` subclass rather than
+return garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostContext
+from repro.core.migration import mpareto_migration
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement
+from repro.errors import GraphError, PlacementError, ReproError, WorkloadError
+from repro.graphs.adjacency import CostGraph
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def workload(ft4):
+    flows = place_vm_pairs(ft4, 8, seed=171)
+    return flows.with_rates(FacebookTrafficModel().sample(8, rng=171))
+
+
+class TestCorruptRates:
+    def test_negative_rates_rejected_at_construction(self, ft4, workload):
+        with pytest.raises(WorkloadError):
+            workload.with_rates(np.full(8, -1.0))
+
+    def test_nan_rates_surface_in_cost(self, ft4, workload):
+        """NaN rates pass FlowSet's sign check (NaN comparisons are False)
+        but must poison the cost visibly, not silently order placements."""
+        rates = workload.rates.copy()
+        rates[0] = float("nan")
+        nan_flows = workload.with_rates(rates)
+        ctx = CostContext(ft4, nan_flows)
+        cost = ctx.communication_cost(ft4.switches[:3])
+        assert np.isnan(cost)
+
+
+class TestWrongTopology:
+    def test_foreign_hosts_rejected(self, ft4, ft8, workload):
+        """Flows whose endpoints belong to another fabric are caught."""
+        foreign = FlowSet(
+            sources=[int(ft8.hosts[-1])],
+            destinations=[int(ft8.hosts[-2])],
+            rates=[1.0],
+        )
+        with pytest.raises((WorkloadError, IndexError)):
+            dp_placement(ft4, foreign, 2)
+
+    def test_placement_from_other_fabric_rejected(self, ft4, workload):
+        bogus = np.asarray([10_000, 10_001])
+        with pytest.raises(PlacementError):
+            mpareto_migration(ft4, workload, bogus, mu=1.0)
+
+
+class TestDisconnectedFabric:
+    def test_placement_on_disconnected_graph_fails(self):
+        graph = CostGraph(
+            ["h1", "h2", "s1", "s2"], [(0, 2, 1.0), (1, 3, 1.0)]
+        )
+        topo = Topology(
+            name="split",
+            graph=graph,
+            hosts=[0, 1],
+            switches=[2, 3],
+            host_edge_switch=[2, 3],
+        )
+        flows = FlowSet(sources=[0], destinations=[1], rates=[1.0])
+        with pytest.raises(ReproError):
+            dp_placement(topo, flows, 2)
+
+
+class TestBoundaryConditions:
+    def test_every_switch_used(self, ft2, workload):
+        """n == |V_s| exactly: the chain must use every switch once."""
+        flows = FlowSet(
+            sources=[int(ft2.hosts[0])], destinations=[int(ft2.hosts[1])], rates=[1.0]
+        )
+        result = dp_placement(ft2, flows, ft2.num_switches)
+        assert sorted(result.placement.tolist()) == sorted(ft2.switches.tolist())
+
+    def test_optimal_every_switch(self, ft2):
+        flows = FlowSet(
+            sources=[int(ft2.hosts[0])], destinations=[int(ft2.hosts[1])], rates=[1.0]
+        )
+        dp = dp_placement(ft2, flows, ft2.num_switches)
+        opt = optimal_placement(ft2, flows, ft2.num_switches)
+        assert opt.cost <= dp.cost + 1e-9
+
+    def test_single_flow_zero_rate(self, ft4):
+        flows = FlowSet(
+            sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[1])], rates=[0.0]
+        )
+        result = dp_placement(ft4, flows, 3)
+        assert result.cost == 0.0

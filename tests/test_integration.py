@@ -1,0 +1,114 @@
+"""Cross-module integration tests: the full pipeline on every fabric type.
+
+For each topology family the paper's workflow runs end to end — workload
+generation, TOP placement, a traffic change, TOM migration — and the
+framework-level invariants are asserted:
+
+* every algorithm returns valid distinct-switch placements;
+* Optimal <= DP <= baselines (placement) and
+  Optimal <= mPareto <= NoMigration (migration) under shared costs;
+* Eq. 8's scalarization identity C_t = C_a + C_b holds everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FacebookTrafficModel,
+    bcube,
+    fat_tree,
+    jellyfish,
+    leaf_spine,
+    linear_ppdc,
+    place_vm_pairs,
+    vl2,
+)
+from repro.baselines import greedy_liu_placement, steering_placement
+from repro.core import (
+    CostContext,
+    dp_placement,
+    mpareto_migration,
+    no_migration,
+    optimal_migration,
+    optimal_placement,
+)
+
+TOPOLOGIES = [
+    pytest.param(lambda: fat_tree(4), id="fat-tree"),
+    pytest.param(lambda: leaf_spine(4, 2, 4), id="leaf-spine"),
+    pytest.param(lambda: vl2(2, 4, 2, 2), id="vl2"),
+    pytest.param(lambda: bcube(4, 1), id="bcube"),
+    pytest.param(lambda: jellyfish(12, 4, 2, seed=0), id="jellyfish"),
+    pytest.param(lambda: linear_ppdc(6, hosts_per_end=3), id="linear"),
+]
+
+
+@pytest.mark.parametrize("make_topo", TOPOLOGIES)
+class TestFullPipeline:
+    def test_place_perturb_migrate(self, make_topo):
+        topo = make_topo()
+        model = FacebookTrafficModel()
+        n = 3
+        flows = place_vm_pairs(topo, 10, seed=7)
+        flows = flows.with_rates(model.sample(10, rng=7))
+
+        placed = dp_placement(topo, flows, n)
+        opt = optimal_placement(topo, flows, n, node_budget=500_000)
+        steering = steering_placement(topo, flows, n)
+        greedy = greedy_liu_placement(topo, flows, n)
+        assert opt.cost <= placed.cost + 1e-6
+        assert placed.cost <= steering.cost + 1e-6
+        assert placed.cost <= greedy.cost + 1e-6
+
+        new_flows = flows.with_rates(model.sample(10, rng=8))
+        ctx = CostContext(topo, new_flows)
+        stay = no_migration(topo, new_flows, placed.placement)
+        moved = mpareto_migration(topo, new_flows, placed.placement, mu=10.0)
+        exact = optimal_migration(
+            topo, new_flows, placed.placement, mu=10.0, node_budget=500_000
+        )
+        assert exact.cost <= moved.cost + 1e-6
+        assert moved.cost <= stay.cost + 1e-6
+        # Eq. 8 identity on every result
+        for result in (moved, exact, stay):
+            assert result.cost == pytest.approx(
+                result.communication_cost + result.migration_cost
+            )
+            assert result.communication_cost == pytest.approx(
+                ctx.communication_cost(result.migration)
+            )
+
+
+class TestScalarizationProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300), mu=st.floats(0.0, 1e4))
+    def test_eq8_identity(self, ft4, seed, mu):
+        """C_t(p, m) == C_b(p, m) + C_a(m) for arbitrary placements."""
+        model = FacebookTrafficModel()
+        flows = place_vm_pairs(ft4, 6, seed=seed)
+        flows = flows.with_rates(model.sample(6, rng=seed))
+        ctx = CostContext(ft4, flows)
+        rng = np.random.default_rng(seed)
+        p = rng.choice(ft4.switches, size=3, replace=False)
+        m = rng.choice(ft4.switches, size=3, replace=False)
+        assert ctx.total_cost(p, m, mu) == pytest.approx(
+            ctx.migration_cost(p, m, mu) + ctx.communication_cost(m)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_migration_sandwich(self, ft4, seed):
+        """Optimal <= mPareto <= NoMigration for random perturbations."""
+        model = FacebookTrafficModel()
+        flows = place_vm_pairs(ft4, 6, seed=seed)
+        flows = flows.with_rates(model.sample(6, rng=seed))
+        source = dp_placement(ft4, flows, 3).placement
+        new_flows = flows.with_rates(model.sample(6, rng=seed + 1))
+        mu = 50.0
+        opt = optimal_migration(ft4, new_flows, source, mu)
+        mp = mpareto_migration(ft4, new_flows, source, mu)
+        stay = no_migration(ft4, new_flows, source)
+        assert opt.cost <= mp.cost + 1e-6
+        assert mp.cost <= stay.cost + 1e-6

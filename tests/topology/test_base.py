@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import GraphBuilder
+from repro.topology.base import Topology
+
+
+def tiny_topology() -> Topology:
+    b = GraphBuilder()
+    h1, h2 = b.add_nodes(["h1", "h2"])
+    s1, s2 = b.add_nodes(["s1", "s2"])
+    b.add_edge(h1, s1).add_edge(s1, s2).add_edge(s2, h2)
+    return Topology(
+        name="tiny",
+        graph=b.build(),
+        hosts=[h1, h2],
+        switches=[s1, s2],
+        host_edge_switch=[s1, s2],
+    )
+
+
+class TestTopologyValidation:
+    def test_partition_enforced(self):
+        b = GraphBuilder()
+        nodes = b.add_nodes(["h1", "s1", "s2"])
+        b.add_edge(0, 1).add_edge(1, 2)
+        with pytest.raises(TopologyError, match="partition"):
+            Topology("bad", b.build(), hosts=[0], switches=[1], host_edge_switch=[1])
+
+    def test_rack_must_be_switch(self):
+        b = GraphBuilder()
+        b.add_nodes(["h1", "h2", "s1"])
+        b.add_edge(0, 2).add_edge(1, 2)
+        with pytest.raises(TopologyError, match="switch"):
+            Topology("bad", b.build(), hosts=[0, 1], switches=[2], host_edge_switch=[0, 2])
+
+    def test_rack_alignment(self):
+        b = GraphBuilder()
+        b.add_nodes(["h1", "s1"])
+        b.add_edge(0, 1)
+        with pytest.raises(TopologyError, match="align"):
+            Topology("bad", b.build(), hosts=[0], switches=[1], host_edge_switch=[1, 1])
+
+
+class TestTopologyViews:
+    def test_is_host_switch(self):
+        topo = tiny_topology()
+        assert topo.is_host(0)
+        assert topo.is_switch(2)
+        assert not topo.is_host(2)
+
+    def test_rack_of_host_rejects_switch(self):
+        with pytest.raises(TopologyError, match="not a host"):
+            tiny_topology().rack_of_host(2)
+
+    def test_hosts_in_rack(self):
+        topo = tiny_topology()
+        assert topo.hosts_in_rack(2).tolist() == [0]
+
+    def test_switch_distances(self):
+        topo = tiny_topology()
+        sdist = topo.switch_distances
+        assert sdist.shape == (2, 2)
+        assert sdist[0, 1] == 1.0
+
+    def test_host_to_switch_distances(self):
+        mat = tiny_topology().host_to_switch_distances()
+        assert mat.shape == (2, 2)
+        assert mat[0, 0] == 1.0
+        assert mat[0, 1] == 2.0
+
+    def test_with_graph_requires_same_size(self):
+        topo = tiny_topology()
+        b = GraphBuilder()
+        b.add_nodes(["x", "y"])
+        b.add_edge(0, 1)
+        with pytest.raises(TopologyError, match="node count"):
+            topo.with_graph(b.build())
+
+    def test_arrays_read_only(self):
+        topo = tiny_topology()
+        with pytest.raises(ValueError):
+            topo.hosts[0] = 5

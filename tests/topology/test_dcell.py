@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.dcell import dcell
+
+
+class TestDCell:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_counts(self, n):
+        topo = dcell(n)
+        assert topo.num_hosts == n * (n + 1)
+        assert topo.num_switches == n + 1
+        # host links: n per cell to the switch, plus n(n+1)/2 inter-cell
+        expected_edges = n * (n + 1) + n * (n + 1) // 2
+        assert topo.graph.num_edges == expected_edges
+
+    def test_connected(self):
+        assert dcell(3).graph.is_connected()
+
+    def test_hosts_have_two_links(self):
+        """Every DCell_1 host has one switch link and one inter-cell link."""
+        topo = dcell(3)
+        for h in topo.hosts:
+            assert topo.graph.neighbors(int(h)).size == 2
+
+    def test_switch_subgraph_disconnected(self):
+        topo = dcell(3)
+        induced, _ = topo.switch_only_graph()
+        assert induced.num_edges == 0
+
+    def test_pipeline_with_corridor_fallback(self):
+        """Placement + migration must work even though switch-only corridors
+        do not exist (the direct-jump fallback)."""
+        from repro.core.migration import mpareto_migration
+        from repro.core.placement import dp_placement
+        from repro.workload.flows import place_vm_pairs
+        from repro.workload.traffic import FacebookTrafficModel
+
+        topo = dcell(3)
+        model = FacebookTrafficModel()
+        flows = place_vm_pairs(topo, 8, seed=0)
+        flows = flows.with_rates(model.sample(8, rng=0))
+        placed = dp_placement(topo, flows, 2)
+        changed = flows.with_rates(model.sample(8, rng=1))
+        moved = mpareto_migration(topo, changed, placed.placement, mu=10.0)
+        assert moved.cost <= 1e18  # completed without error
+        assert len(set(moved.migration.tolist())) == 2
+
+    def test_bad_n(self):
+        with pytest.raises(TopologyError):
+            dcell(1)

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.fattree import fat_tree
+
+
+class TestFatTreeStructure:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_node_counts(self, k):
+        topo = fat_tree(k)
+        assert topo.num_hosts == k**3 // 4
+        assert topo.num_switches == 5 * k**2 // 4
+        assert topo.meta["core_switches"] == (k // 2) ** 2
+
+    def test_paper_scales(self):
+        # the paper's experiment fabrics: k=8 with 128 hosts, k=16 with 1024
+        assert fat_tree(8).num_hosts == 128
+        assert fat_tree(16).num_hosts == 1024
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_switch_degrees_are_k(self, k):
+        topo = fat_tree(k)
+        g = topo.graph
+        for sw in topo.switches:
+            assert g.neighbors(int(sw)).size == k
+
+    def test_hosts_are_leaves(self):
+        topo = fat_tree(4)
+        for h in topo.hosts:
+            nbrs = topo.graph.neighbors(int(h))
+            assert nbrs.size == 1
+            assert topo.rack_of_host(int(h)) == int(nbrs[0])
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_diameter_is_six(self, k):
+        # host -> edge -> agg -> core -> agg -> edge -> host
+        assert fat_tree(k).graph.diameter() == 6.0
+
+    def test_k2_is_the_linear_chain_of_fig1(self):
+        """The paper notes the k=2 fat tree equals the 5-switch linear PPDC."""
+        topo = fat_tree(2)
+        assert topo.num_hosts == 2
+        assert topo.num_switches == 5
+        # both hosts are 6 hops apart through the full chain
+        h1, h2 = topo.hosts
+        assert topo.graph.cost(int(h1), int(h2)) == 6.0
+        # every switch has degree <= 2 (it is a path)
+        degrees = sorted(topo.graph.neighbors(int(s)).size for s in topo.switches)
+        assert max(degrees) == 2
+
+    def test_intra_pod_edge_agg_distance(self):
+        topo = fat_tree(4)
+        edge0 = int(topo.switches[0])
+        # first agg switch of pod 0
+        agg0 = int(topo.switches[topo.meta["edge_switches"]])
+        assert topo.graph.cost(edge0, agg0) == 1.0
+
+    def test_rack_sizes(self):
+        topo = fat_tree(4)
+        racks = topo.racks()
+        assert len(racks) == topo.meta["edge_switches"]
+        assert all(r.size == 2 for r in racks)  # k/2 hosts per edge switch
+
+    def test_edge_weight_parameter(self):
+        topo = fat_tree(4, edge_weight=2.5)
+        assert topo.graph.diameter() == 15.0
+
+    @pytest.mark.parametrize("k", [0, 3, -2, 1])
+    def test_bad_k_rejected(self, k):
+        with pytest.raises(TopologyError):
+            fat_tree(k)

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.bcube import bcube
+from repro.topology.jellyfish import jellyfish
+from repro.topology.leafspine import leaf_spine
+from repro.topology.linear import linear_ppdc
+from repro.topology.vl2 import vl2
+
+
+class TestLinear:
+    def test_fig1_default_shape(self):
+        topo = linear_ppdc()
+        assert topo.num_hosts == 2
+        assert topo.num_switches == 5
+        h1, h2 = topo.hosts
+        assert topo.graph.cost(int(h1), int(h2)) == 6.0
+
+    def test_multiple_hosts_per_end(self):
+        topo = linear_ppdc(num_switches=3, hosts_per_end=2)
+        assert topo.num_hosts == 4
+        racks = topo.racks()
+        assert len(racks) == 2
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            linear_ppdc(num_switches=0)
+        with pytest.raises(TopologyError):
+            linear_ppdc(hosts_per_end=0)
+
+
+class TestLeafSpine:
+    def test_structure(self):
+        topo = leaf_spine(num_leaves=4, num_spines=2, hosts_per_leaf=3)
+        assert topo.num_hosts == 12
+        assert topo.num_switches == 6
+        # leaf-spine full mesh: any host-to-host across racks is 4 hops
+        h_a = int(topo.hosts[0])
+        h_b = int(topo.hosts[-1])
+        assert topo.graph.cost(h_a, h_b) == 4.0
+
+    def test_intra_rack_distance(self):
+        topo = leaf_spine(3, 2, 2)
+        h0, h1 = topo.hosts[0], topo.hosts[1]
+        assert topo.graph.cost(int(h0), int(h1)) == 2.0
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 1, 1)
+
+
+class TestVl2:
+    def test_structure(self):
+        topo = vl2(num_intermediate=2, num_aggregation=4, tors_per_agg_pair=2, hosts_per_tor=2)
+        assert topo.num_hosts == 8
+        # 4 tors + 4 aggs + 2 cores
+        assert topo.num_switches == 10
+        assert topo.graph.is_connected()
+
+    def test_tor_dual_homing(self):
+        topo = vl2(2, 4, 2, 2)
+        tor = int(topo.switches[0])
+        # 2 hosts + 2 aggregation uplinks
+        assert topo.graph.neighbors(tor).size == 4
+
+    def test_odd_aggregation_rejected(self):
+        with pytest.raises(TopologyError):
+            vl2(2, 3)
+
+
+class TestBCube:
+    def test_counts(self):
+        topo = bcube(n=2, levels=1)
+        assert topo.num_hosts == 4
+        assert topo.num_switches == 4  # 2 levels x 2 switches
+
+    def test_hosts_connect_to_every_level(self):
+        topo = bcube(n=3, levels=1)
+        for h in topo.hosts:
+            assert topo.graph.neighbors(int(h)).size == 2  # k+1 = 2 links
+
+    def test_connected(self):
+        assert bcube(n=3, levels=1).graph.is_connected()
+
+    def test_bad_params(self):
+        with pytest.raises(TopologyError):
+            bcube(n=1)
+        with pytest.raises(TopologyError):
+            bcube(n=2, levels=-1)
+
+
+class TestJellyfish:
+    def test_regularity_and_connectivity(self):
+        topo = jellyfish(num_switches=12, degree=3, hosts_per_switch=1, seed=0)
+        assert topo.num_hosts == 12
+        for sw in topo.switches:
+            # degree switch links + 1 host link
+            assert topo.graph.neighbors(int(sw)).size == 4
+        assert topo.graph.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = jellyfish(10, 3, seed=5)
+        b = jellyfish(10, 3, seed=5)
+        assert a.graph.edges == b.graph.edges
+
+    def test_parity_rejected(self):
+        with pytest.raises(TopologyError):
+            jellyfish(num_switches=9, degree=3)
+
+    def test_degree_bounds(self):
+        with pytest.raises(TopologyError):
+            jellyfish(num_switches=10, degree=10)

@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.topology.bcube import bcube
+from repro.topology.fattree import fat_tree
+from repro.topology.weights import apply_uniform_delays
+
+
+class TestSwitchOnlyGraph:
+    def test_fat_tree_switch_paths_avoid_hosts(self, ft4):
+        induced, position_of = ft4.switch_only_graph()
+        assert induced.num_nodes == ft4.num_switches
+        # every full-graph switch-to-switch distance is achieved without hosts
+        s0, s1 = int(ft4.switches[0]), int(ft4.switches[-1])
+        assert induced.cost(position_of[s0], position_of[s1]) == ft4.graph.cost(s0, s1)
+
+    def test_cached(self, ft4):
+        a = ft4.switch_only_graph()
+        b = ft4.switch_only_graph()
+        assert a[0] is b[0]
+
+    def test_bcube_switches_are_isolated(self):
+        """BCube is server-centric: switches interconnect only via hosts, so
+        the induced switch graph has no edges at all."""
+        topo = bcube(n=3, levels=1)
+        induced, _ = topo.switch_only_graph()
+        assert induced.num_edges == 0
+
+    def test_cache_not_leaked_through_reweighting(self):
+        base = fat_tree(4)
+        base.switch_only_graph()  # populate the cache
+        weighted = apply_uniform_delays(base, seed=0)
+        induced, position_of = weighted.switch_only_graph()
+        s0, s1 = int(weighted.switches[0]), int(weighted.switches[1])
+        # the reweighted topology must rebuild its own induced graph
+        assert induced.cost(position_of[s0], position_of[s1]) == pytest.approx(
+            weighted.graph.cost(s0, s1)
+        )
+
+    def test_weights_preserved(self, ft4):
+        induced, position_of = ft4.switch_only_graph()
+        for u, v, w in induced.edges:
+            full_u = int(ft4.switches[u])
+            full_v = int(ft4.switches[v])
+            assert ft4.graph.edge_weight(full_u, full_v) == pytest.approx(
+                induced.edge_weight(u, v)
+            )

@@ -1,0 +1,49 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.fattree import fat_tree
+from repro.topology.weights import apply_uniform_delays, unit_weights
+
+
+class TestUniformDelays:
+    def test_weights_within_support(self):
+        topo = apply_uniform_delays(fat_tree(4), mean=1.5, variance=0.5, seed=0)
+        half = math.sqrt(3 * 0.5)
+        weights = [w for _, _, w in topo.graph.edges]
+        assert all(1.5 - half - 1e-9 <= w <= 1.5 + half + 1e-9 for w in weights)
+
+    def test_sample_moments(self):
+        # k=8 has 768 links: enough to check mean/variance statistically
+        topo = apply_uniform_delays(fat_tree(8), mean=1.5, variance=0.5, seed=1)
+        weights = np.asarray([w for _, _, w in topo.graph.edges])
+        assert weights.mean() == pytest.approx(1.5, abs=0.1)
+        assert weights.var() == pytest.approx(0.5, abs=0.12)
+
+    def test_structure_preserved(self):
+        base = fat_tree(4)
+        weighted = apply_uniform_delays(base, seed=0)
+        assert weighted.num_hosts == base.num_hosts
+        assert len(weighted.graph.edges) == len(base.graph.edges)
+        assert weighted.graph.is_connected()
+
+    def test_deterministic(self):
+        a = apply_uniform_delays(fat_tree(4), seed=3)
+        b = apply_uniform_delays(fat_tree(4), seed=3)
+        assert a.graph.edges == b.graph.edges
+
+    def test_invalid_params(self):
+        with pytest.raises(TopologyError):
+            apply_uniform_delays(fat_tree(4), mean=0.0)
+        with pytest.raises(TopologyError):
+            apply_uniform_delays(fat_tree(4), variance=-1.0)
+
+
+class TestUnitWeights:
+    def test_resets_to_one(self):
+        weighted = apply_uniform_delays(fat_tree(4), seed=0)
+        unit = unit_weights(weighted)
+        assert all(w == 1.0 for _, _, w in unit.graph.edges)
+        assert unit.graph.diameter() == 6.0

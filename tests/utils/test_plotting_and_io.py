@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.utils.plotting import series_chart, sparkline
+from repro.utils.results_io import read_rows_csv, write_result_files, write_rows_csv
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        spark = sparkline([1, 2, 3, 4])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 4
+
+    def test_constant_series_mid_height(self):
+        spark = sparkline([5.0, 5.0, 5.0])
+        assert len(set(spark)) == 1
+
+    def test_nan_becomes_space(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSeriesChart:
+    def test_labels_and_legends(self):
+        chart = series_chart({"dp": [1, 2, 3], "steering": [2, 4, 6]}, x_labels=[3, 5, 7])
+        assert "dp" in chart and "steering" in chart
+        assert "3 .. 7" in chart
+        assert "[1 .. 3]" in chart
+
+    def test_empty(self):
+        assert series_chart({}) == "(no series)"
+
+
+class TestResultChart:
+    def test_numeric_columns_only(self):
+        result = ExperimentResult(
+            experiment="demo",
+            description="",
+            rows=[
+                {"n": 3, "cost": 10.0, "label": "a"},
+                {"n": 5, "cost": 20.0, "label": "b"},
+            ],
+        )
+        chart = result.to_chart()
+        assert "cost" in chart
+        assert "label" not in chart
+
+    def test_none_cells_render_as_gaps(self):
+        result = ExperimentResult(
+            experiment="demo",
+            description="",
+            rows=[{"n": 1, "opt": 5.0}, {"n": 2, "opt": None}],
+        )
+        assert "opt" in result.to_chart()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_types(self, tmp_path):
+        rows = [
+            {"n": 3, "cost": 12.5, "ok": True, "note": "x"},
+            {"n": 5, "cost": None, "ok": False, "note": ""},
+        ]
+        path = tmp_path / "rows.csv"
+        write_rows_csv(path, rows)
+        back = read_rows_csv(path)
+        assert back[0]["n"] == 3
+        assert back[0]["cost"] == 12.5
+        assert back[0]["ok"] is True
+        assert back[1]["cost"] is None
+        assert back[1]["ok"] is False
+
+    def test_union_of_keys(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = tmp_path / "rows.csv"
+        write_rows_csv(path, rows)
+        back = read_rows_csv(path)
+        assert back[0]["b"] is None
+        assert back[1]["b"] == 3
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_rows_csv(tmp_path / "x.csv", [])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_rows_csv(tmp_path / "nope.csv")
+
+    def test_write_result_files(self, tmp_path):
+        result = ExperimentResult(
+            experiment="demo", description="", rows=[{"x": 1}]
+        )
+        paths = write_result_files(result, tmp_path / "out")
+        assert paths["csv"].exists()
+        assert paths["json"].exists()
+        assert read_rows_csv(paths["csv"]) == [{"x": 1}]

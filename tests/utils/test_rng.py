@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngStream, as_generator, spawn_rngs
+
+
+class TestSpawnRngs:
+    def test_deterministic(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga.random(5), gb.random(5))
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_seed_changes_streams(self):
+        a = spawn_rngs(7, 1)[0]
+        b = spawn_rngs(8, 1)[0]
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_count_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        assert np.array_equal(as_generator(3).random(4), as_generator(3).random(4))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestRngStream:
+    def test_restart_reproduces(self):
+        stream = RngStream(seed=5, name="test")
+        first = stream.rng.random(6)
+        stream.restart()
+        assert np.array_equal(stream.rng.random(6), first)
+
+    def test_fork_is_independent(self):
+        stream = RngStream(seed=5, name="test")
+        fork = stream.fork("child")
+        assert fork.name == "test/child"
+        assert not np.array_equal(stream.rng.random(6), fork.rng.random(6))
+
+    def test_same_name_same_sequence(self):
+        a = RngStream(seed=5, name="x")
+        b = RngStream(seed=5, name="x")
+        assert np.array_equal(a.rng.random(6), b.rng.random(6))

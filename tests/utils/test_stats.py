@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.utils.stats import ConfidenceInterval, mean_ci, summarize_runs
+
+
+class TestMeanCi:
+    def test_constant_samples_zero_halfwidth(self):
+        ci = mean_ci([4.0, 4.0, 4.0, 4.0])
+        assert ci.mean == 4.0
+        assert ci.halfwidth == 0.0
+
+    def test_single_sample(self):
+        ci = mean_ci([2.5])
+        assert ci.mean == 2.5
+        assert ci.halfwidth == 0.0
+        assert ci.n == 1
+
+    def test_matches_scipy_t_interval(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=20)
+        ci = mean_ci(samples, confidence=0.95)
+        low, high = scipy_stats.t.interval(
+            0.95, df=19, loc=samples.mean(), scale=scipy_stats.sem(samples)
+        )
+        assert ci.low == pytest.approx(low)
+        assert ci.high == pytest.approx(high)
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mean_ci(samples, 0.99).halfwidth > mean_ci(samples, 0.9).halfwidth
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.ones((2, 2)))
+
+    def test_bounds(self):
+        ci = ConfidenceInterval(mean=5.0, halfwidth=1.5, n=10)
+        assert ci.low == 3.5
+        assert ci.high == 6.5
+
+
+class TestSummarizeRuns:
+    def test_aggregates_per_key(self):
+        runs = [{"cost": 10.0, "migs": 1.0}, {"cost": 14.0, "migs": 3.0}]
+        out = summarize_runs(runs)
+        assert set(out) == {"cost", "migs"}
+        assert out["cost"].mean == 12.0
+        assert out["migs"].mean == 2.0
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            summarize_runs([{"a": 1.0}, {"b": 2.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.utils.tables import ascii_table, format_float, rows_to_table
+
+
+class TestFormatFloat:
+    def test_none_is_dash(self):
+        assert format_float(None) == "-"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_large_numbers_compact(self):
+        assert "e" in format_float(1.23456e9) or "E" in format_float(1.23456e9)
+
+    def test_regular_float(self):
+        assert format_float(3.14159, precision=3) == "3.14"
+
+    def test_str_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestAsciiTable:
+    def test_renders_all_cells(self):
+        out = ascii_table(["x", "cost"], [[1, 2.5], [2, 7.25]], title="demo")
+        assert "demo" in out
+        assert "cost" in out
+        assert "7.25" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = ascii_table(["name"], [["a"], ["longer"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+
+class TestRowsToTable:
+    def test_uses_first_row_keys(self):
+        out = rows_to_table([{"n": 3, "cost": 10.0}, {"n": 5, "cost": 20.0}])
+        header = [l for l in out.splitlines() if "n" in l][0]
+        assert "cost" in header
+
+    def test_explicit_columns(self):
+        out = rows_to_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a |" not in out
+
+    def test_missing_cell_is_dash(self):
+        out = rows_to_table([{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"])
+        assert "-" in out
+
+    def test_empty_rows(self):
+        assert rows_to_table([], title="empty") == "empty"

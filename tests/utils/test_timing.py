@@ -1,0 +1,22 @@
+import time
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert len(timer.laps) == 2
+        assert timer.total >= 0.02
+        assert timer.total == sum(timer.laps)
+
+    def test_last_lap(self):
+        timer = Timer()
+        assert timer.last == 0.0
+        with timer:
+            pass
+        assert timer.last == timer.laps[-1]

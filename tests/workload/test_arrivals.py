@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import ArrivalDepartureRates
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def setup(ft4):
+    flows = place_vm_pairs(ft4, 20, seed=131)
+    flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=131))
+    return flows, DiurnalModel(), np.zeros(20)
+
+
+class TestArrivalDepartureRates:
+    def test_inactive_flows_are_silent(self, setup):
+        flows, diurnal, offsets = setup
+        proc = ArrivalDepartureRates(flows, diurnal, offsets, seed=1)
+        for hour in range(diurnal.num_hours + 1):
+            rates = proc.rates_at(hour)
+            active = proc.active_at(hour)
+            assert np.all(rates[~active] == 0.0)
+
+    def test_active_flows_follow_diurnal(self, setup):
+        flows, diurnal, offsets = setup
+        proc = ArrivalDepartureRates(flows, diurnal, offsets, seed=1)
+        hour = 6
+        active = proc.active_at(hour)
+        expected = flows.rates * diurnal.scale(hour)
+        assert np.allclose(proc.rates_at(hour)[active], expected[active])
+
+    def test_always_on_flows_span_day(self, setup):
+        flows, diurnal, offsets = setup
+        proc = ArrivalDepartureRates(
+            flows, diurnal, offsets, always_on_fraction=1.0, seed=2
+        )
+        for hour in range(1, diurnal.num_hours + 1):
+            assert proc.active_at(hour).all()
+
+    def test_sessions_arrive_and_depart(self, setup):
+        flows, diurnal, offsets = setup
+        proc = ArrivalDepartureRates(
+            flows, diurnal, offsets, always_on_fraction=0.0, mean_holding_hours=2.0, seed=3
+        )
+        activity = np.stack([proc.active_at(h) for h in range(13)])
+        # at least one flow switches on during the day (rate 0 -> positive:
+        # the paper's "new users join" TOM case)
+        switched_on = np.any(~activity[:-1] & activity[1:])
+        assert switched_on
+        assert proc.churn_between(0, diurnal.num_hours) > 0
+
+    def test_deterministic(self, setup):
+        flows, diurnal, offsets = setup
+        a = ArrivalDepartureRates(flows, diurnal, offsets, seed=7)
+        b = ArrivalDepartureRates(flows, diurnal, offsets, seed=7)
+        for hour in (2, 5, 9):
+            assert np.array_equal(a.rates_at(hour), b.rates_at(hour))
+
+    def test_usable_in_simulator(self, ft4, setup):
+        from repro.sim.engine import initial_placement, simulate_day
+        from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+
+        flows, diurnal, offsets = setup
+        proc = ArrivalDepartureRates(flows, diurnal, offsets, seed=4)
+        placement = initial_placement(ft4, flows, 3, proc)
+        stay = simulate_day(ft4, flows, NoMigrationPolicy(ft4, 1.0), proc, placement)
+        move = simulate_day(ft4, flows, MParetoPolicy(ft4, 1.0), proc, placement)
+        assert move.total_cost <= stay.total_cost + 1e-6
+
+    def test_validation(self, setup):
+        flows, diurnal, offsets = setup
+        with pytest.raises(WorkloadError):
+            ArrivalDepartureRates(flows, diurnal, offsets[:3])
+        with pytest.raises(WorkloadError):
+            ArrivalDepartureRates(flows, diurnal, offsets, mean_holding_hours=0.0)
+        with pytest.raises(WorkloadError):
+            ArrivalDepartureRates(flows, diurnal, offsets, always_on_fraction=2.0)
+        proc = ArrivalDepartureRates(flows, diurnal, offsets)
+        with pytest.raises(WorkloadError):
+            proc.churn_between(5, 2)

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.diurnal import DiurnalModel, assign_cohorts, assign_cohorts_spatial
+from repro.workload.flows import place_vm_pairs
+
+
+class TestDiurnalModel:
+    def test_eq9_exact_values(self):
+        """Spot-check Eq. 9 with N=12, tau_min=0.2 at hand-computed hours."""
+        model = DiurnalModel()
+        assert model.scale(0) == 0.0
+        assert model.scale(1) == pytest.approx(2 * (1 / 12) * 0.8)
+        assert model.scale(6) == pytest.approx(0.8)  # peak = 1 - tau_min
+        assert model.scale(9) == pytest.approx(2 * (3 / 12) * 0.8)
+        assert model.scale(12) == 0.0
+
+    def test_pattern_symmetric_around_noon(self):
+        pattern = DiurnalModel().pattern()
+        assert len(pattern) == 13
+        assert np.allclose(pattern, pattern[::-1])
+
+    def test_outside_day_is_zero(self):
+        model = DiurnalModel()
+        assert model.scale(-1) == 0.0
+        assert model.scale(13) == 0.0
+
+    def test_floored_variant(self):
+        literal = DiurnalModel(variant="literal")
+        floored = DiurnalModel(variant="floored")
+        assert floored.scale(6) == pytest.approx(1.0)
+        assert floored.scale(1) == pytest.approx(literal.scale(1) + 0.2)
+        assert floored.scale(0) == 0.0  # outside the working day stays silent
+
+    def test_flow_scales_applies_offsets(self):
+        model = DiurnalModel()
+        offsets = np.asarray([0.0, 3.0])
+        scales = model.flow_scales(3, offsets)
+        assert scales[0] == pytest.approx(model.scale(3))
+        assert scales[1] == pytest.approx(model.scale(6))
+
+    def test_peak_hour(self):
+        assert DiurnalModel().peak_hour() == 6
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            DiurnalModel(num_hours=7)
+        with pytest.raises(WorkloadError):
+            DiurnalModel(tau_min=1.0)
+        with pytest.raises(WorkloadError):
+            DiurnalModel(variant="bogus")
+
+
+class TestAssignCohorts:
+    def test_exact_split(self):
+        offsets = assign_cohorts(10, fraction_early=0.5, seed=0)
+        assert np.count_nonzero(offsets == 3.0) == 5
+        assert np.count_nonzero(offsets == 0.0) == 5
+
+    def test_rounding(self):
+        offsets = assign_cohorts(5, fraction_early=0.5, seed=0)
+        assert np.count_nonzero(offsets > 0) in (2, 3)
+
+    def test_deterministic(self):
+        assert np.array_equal(assign_cohorts(20, seed=4), assign_cohorts(20, seed=4))
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            assign_cohorts(0)
+        with pytest.raises(WorkloadError):
+            assign_cohorts(5, fraction_early=2.0)
+
+
+class TestAssignCohortsSpatial:
+    def test_offsets_follow_source_rack(self, ft4):
+        flows = place_vm_pairs(ft4, 40, seed=1)
+        offsets = assign_cohorts_spatial(ft4, flows)
+        racks = sorted({ft4.rack_of_host(int(h)) for h in ft4.hosts})
+        early = set(racks[: len(racks) // 2])
+        for i, src in enumerate(flows.sources):
+            expected = 3.0 if ft4.rack_of_host(int(src)) in early else 0.0
+            assert offsets[i] == expected
+
+    def test_custom_offset(self, ft4):
+        flows = place_vm_pairs(ft4, 10, seed=1)
+        offsets = assign_cohorts_spatial(ft4, flows, offset_hours=5.0)
+        assert set(np.unique(offsets)) <= {0.0, 5.0}

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.diurnal import DiurnalModel, assign_cohorts
+from repro.workload.dynamics import RedrawnRates, ScaledRates
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+@pytest.fixture()
+def flows(ft4):
+    fs = place_vm_pairs(ft4, 10, seed=0)
+    return fs.with_rates(FacebookTrafficModel().sample(10, rng=0))
+
+
+@pytest.fixture()
+def diurnal():
+    return DiurnalModel()
+
+
+class TestScaledRates:
+    def test_scales_track_diurnal(self, flows, diurnal):
+        offsets = np.zeros(10)
+        proc = ScaledRates(flows, diurnal, offsets)
+        assert np.allclose(proc.rates_at(6), flows.rates * diurnal.scale(6))
+        assert np.allclose(proc.rates_at(0), 0.0)
+
+    def test_cohort_offsets(self, flows, diurnal):
+        offsets = np.asarray([3.0] * 5 + [0.0] * 5)
+        proc = ScaledRates(flows, diurnal, offsets)
+        rates = proc.rates_at(3)
+        assert np.allclose(rates[:5], flows.rates[:5] * diurnal.scale(6))
+        assert np.allclose(rates[5:], flows.rates[5:] * diurnal.scale(3))
+
+    def test_shape_mismatch(self, flows, diurnal):
+        with pytest.raises(WorkloadError):
+            ScaledRates(flows, diurnal, np.zeros(3))
+
+
+class TestRedrawnRates:
+    def test_deterministic(self, flows, diurnal):
+        offsets = assign_cohorts(10, seed=1)
+        model = FacebookTrafficModel()
+        a = RedrawnRates(flows, diurnal, offsets, model, seed=9)
+        b = RedrawnRates(flows, diurnal, offsets, model, seed=9)
+        for hour in range(13):
+            assert np.array_equal(a.rates_at(hour), b.rates_at(hour))
+
+    def test_rates_change_between_hours(self, flows, diurnal):
+        offsets = np.zeros(10)
+        proc = RedrawnRates(flows, diurnal, offsets, FacebookTrafficModel(), seed=2)
+        # base rates differ hour to hour (full churn), beyond mere scaling
+        r5, r6 = proc.rates_at(5), proc.rates_at(6)
+        ratio = r6[r5 > 0] / r5[r5 > 0]
+        assert np.std(ratio) > 0.01
+
+    def test_zero_hours_silent(self, flows, diurnal):
+        offsets = np.zeros(10)
+        proc = RedrawnRates(flows, diurnal, offsets, FacebookTrafficModel(), seed=2)
+        assert np.allclose(proc.rates_at(0), 0.0)
+        assert np.allclose(proc.rates_at(12), 0.0)
+
+    def test_partial_churn_keeps_some_rates(self, flows, diurnal):
+        offsets = np.zeros(10)
+        proc = RedrawnRates(
+            flows, diurnal, offsets, FacebookTrafficModel(), seed=3, churn=0.2
+        )
+        # with 20% churn most base rates persist between consecutive hours
+        base5 = proc.rates_at(5) / diurnal.scale(5)
+        base6 = proc.rates_at(6) / diurnal.scale(6)
+        unchanged = np.isclose(base5, base6).mean()
+        assert unchanged >= 0.5
+
+    def test_horizon_guard(self, flows, diurnal):
+        proc = RedrawnRates(flows, diurnal, np.zeros(10), FacebookTrafficModel(), seed=4)
+        with pytest.raises(WorkloadError, match="horizon"):
+            proc.rates_at(99)
+
+    def test_churn_validation(self, flows, diurnal):
+        with pytest.raises(WorkloadError):
+            RedrawnRates(flows, diurnal, np.zeros(10), FacebookTrafficModel(), seed=0, churn=0.0)

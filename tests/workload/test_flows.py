@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.flows import FlowSet, place_vm_pairs
+
+
+class TestFlowSet:
+    def test_basic_properties(self):
+        fs = FlowSet(sources=[0, 1], destinations=[2, 3], rates=[5.0, 7.0])
+        assert fs.num_flows == 2
+        assert fs.total_rate == 12.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(WorkloadError, match="misaligned"):
+            FlowSet(sources=[0, 1], destinations=[2], rates=[1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            FlowSet(sources=[], destinations=[], rates=[])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(WorkloadError, match="non-negative"):
+            FlowSet(sources=[0], destinations=[1], rates=[-1.0])
+
+    def test_with_rates(self):
+        fs = FlowSet(sources=[0], destinations=[1], rates=[1.0])
+        fs2 = fs.with_rates([9.0])
+        assert fs2.total_rate == 9.0
+        assert fs.total_rate == 1.0
+        with pytest.raises(WorkloadError, match="shape"):
+            fs.with_rates([1.0, 2.0])
+
+    def test_with_endpoints(self):
+        fs = FlowSet(sources=[0], destinations=[1], rates=[2.0])
+        fs2 = fs.with_endpoints(np.asarray([3]), np.asarray([4]))
+        assert fs2.sources.tolist() == [3]
+        assert fs2.rates.tolist() == [2.0]
+
+    def test_subset(self):
+        fs = FlowSet(sources=[0, 1, 2], destinations=[3, 4, 5], rates=[1.0, 2.0, 3.0])
+        sub = fs.subset(np.asarray([2, 0]))
+        assert sub.sources.tolist() == [2, 0]
+        assert sub.rates.tolist() == [3.0, 1.0]
+
+    def test_arrays_immutable(self):
+        fs = FlowSet(sources=[0], destinations=[1], rates=[1.0])
+        with pytest.raises(ValueError):
+            fs.rates[0] = 5.0
+
+    def test_validate_against(self, ft4):
+        good = FlowSet(sources=[int(ft4.hosts[0])], destinations=[int(ft4.hosts[1])], rates=[1.0])
+        good.validate_against(ft4)
+        bad = FlowSet(sources=[int(ft4.switches[0])], destinations=[int(ft4.hosts[0])], rates=[1.0])
+        with pytest.raises(WorkloadError, match="not hosts"):
+            bad.validate_against(ft4)
+
+
+class TestPlaceVmPairs:
+    def test_all_endpoints_are_hosts(self, ft4):
+        flows = place_vm_pairs(ft4, 50, seed=0)
+        flows.validate_against(ft4)
+
+    def test_locality_fraction_statistical(self, ft8):
+        flows = place_vm_pairs(ft8, 2000, intra_rack_fraction=0.8, seed=1)
+        assert flows.intra_rack_fraction(ft8) == pytest.approx(0.8, abs=0.03)
+
+    def test_full_intra_rack(self, ft4):
+        flows = place_vm_pairs(ft4, 30, intra_rack_fraction=1.0, seed=2)
+        assert flows.intra_rack_fraction(ft4) == 1.0
+
+    def test_zero_intra_rack(self, ft4):
+        flows = place_vm_pairs(ft4, 30, intra_rack_fraction=0.0, seed=3)
+        assert flows.intra_rack_fraction(ft4) == 0.0
+
+    def test_deterministic(self, ft4):
+        a = place_vm_pairs(ft4, 10, seed=7)
+        b = place_vm_pairs(ft4, 10, seed=7)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.destinations, b.destinations)
+
+    def test_bad_params(self, ft4):
+        with pytest.raises(WorkloadError):
+            place_vm_pairs(ft4, 0)
+        with pytest.raises(WorkloadError):
+            place_vm_pairs(ft4, 5, intra_rack_fraction=1.5)
+
+    def test_single_rack_topology_needs_full_locality(self):
+        from repro.topology.leafspine import leaf_spine
+
+        topo = leaf_spine(1, 1, 4)
+        flows = place_vm_pairs(topo, 5, intra_rack_fraction=1.0, seed=0)
+        assert flows.num_flows == 5
+        with pytest.raises(WorkloadError, match="single rack"):
+            place_vm_pairs(topo, 5, intra_rack_fraction=0.5, seed=0)

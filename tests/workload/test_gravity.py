@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.gravity import gravity_rack_masses, place_vm_pairs_gravity
+
+
+class TestGravityMasses:
+    def test_normalized(self):
+        masses = gravity_rack_masses(16, skew=1.2, rng=0)
+        assert masses.sum() == pytest.approx(1.0)
+        assert np.all(masses > 0)
+
+    def test_zero_skew_uniform(self):
+        masses = gravity_rack_masses(8, skew=0.0, rng=0)
+        assert np.allclose(masses, 1.0 / 8)
+
+    def test_higher_skew_more_concentrated(self):
+        flat = gravity_rack_masses(32, skew=0.5, rng=1)
+        steep = gravity_rack_masses(32, skew=2.0, rng=1)
+        assert steep.max() > flat.max()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            gravity_rack_masses(0)
+        with pytest.raises(WorkloadError):
+            gravity_rack_masses(4, skew=-1.0)
+
+
+class TestGravityPlacement:
+    def test_endpoints_are_hosts(self, ft8):
+        flows = place_vm_pairs_gravity(ft8, 60, seed=2)
+        flows.validate_against(ft8)
+
+    def test_locality_fraction_held(self, ft8):
+        flows = place_vm_pairs_gravity(ft8, 1500, intra_rack_fraction=0.8, seed=3)
+        assert flows.intra_rack_fraction(ft8) == pytest.approx(0.8, abs=0.04)
+
+    def test_skew_concentrates_racks(self, ft8):
+        """High skew puts most sources into few racks; uniform does not."""
+
+        def top4_share(flows):
+            racks = np.asarray([ft8.rack_of_host(int(h)) for h in flows.sources])
+            counts = np.bincount(racks - racks.min())
+            counts.sort()
+            return counts[-4:].sum() / racks.size
+
+        skewed = place_vm_pairs_gravity(ft8, 600, skew=2.0, seed=4)
+        uniform = place_vm_pairs_gravity(ft8, 600, skew=0.0, seed=4)
+        assert top4_share(skewed) > top4_share(uniform) + 0.1
+
+    def test_inter_rack_pairs_differ(self, ft8):
+        flows = place_vm_pairs_gravity(ft8, 200, intra_rack_fraction=0.0, seed=5)
+        racks_src = [ft8.rack_of_host(int(h)) for h in flows.sources]
+        racks_dst = [ft8.rack_of_host(int(h)) for h in flows.destinations]
+        assert all(a != b for a, b in zip(racks_src, racks_dst))
+
+    def test_deterministic(self, ft8):
+        a = place_vm_pairs_gravity(ft8, 20, seed=6)
+        b = place_vm_pairs_gravity(ft8, 20, seed=6)
+        assert np.array_equal(a.sources, b.sources)
+
+    def test_validation(self, ft8):
+        with pytest.raises(WorkloadError):
+            place_vm_pairs_gravity(ft8, 0)
+        with pytest.raises(WorkloadError):
+            place_vm_pairs_gravity(ft8, 5, intra_rack_fraction=1.5)
+
+    def test_pipeline_integration(self, ft8):
+        from repro.core.placement import dp_placement
+        from repro.workload.traffic import FacebookTrafficModel
+
+        flows = place_vm_pairs_gravity(ft8, 24, skew=1.5, seed=7)
+        flows = flows.with_rates(FacebookTrafficModel().sample(24, rng=7))
+        result = dp_placement(ft8, flows, 4)
+        assert result.num_vnfs == 4

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.sfc import (
+    ACCESS_FUNCTIONS,
+    APPLICATION_FUNCTIONS,
+    SFC,
+    access_sfc,
+    application_sfc,
+    full_sfc,
+    sfc_of_size,
+)
+
+
+class TestSFC:
+    def test_basic(self):
+        chain = SFC(("fw", "cache"))
+        assert chain.size == 2
+        assert chain.ingress == "fw"
+        assert chain.egress == "cache"
+        assert list(chain) == ["fw", "cache"]
+        assert len(chain) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            SFC(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            SFC(("fw", "fw"))
+
+
+class TestCatalogs:
+    def test_access_typical_sizes(self):
+        # the IETF draft: 5-6 access functions per chain
+        assert access_sfc(5).size == 5
+        assert access_sfc(6).size == 6
+
+    def test_application_typical_sizes(self):
+        assert application_sfc(4).size == 4
+        assert application_sfc(5).size == 5
+
+    def test_full_sfc_is_13(self):
+        """The paper considers up to 13 VNFs in an SFC."""
+        assert full_sfc().size == 13
+
+    def test_sfc_of_size_range(self):
+        for n in (1, 7, 13):
+            assert sfc_of_size(n).size == n
+        with pytest.raises(WorkloadError):
+            sfc_of_size(14)
+        with pytest.raises(WorkloadError):
+            sfc_of_size(0)
+
+    def test_catalogs_disjoint(self):
+        assert not set(ACCESS_FUNCTIONS) & set(APPLICATION_FUNCTIONS)
+
+    def test_out_of_catalog_rejected(self):
+        with pytest.raises(WorkloadError):
+            access_sfc(len(ACCESS_FUNCTIONS) + 1)

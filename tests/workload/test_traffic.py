@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.traffic import FacebookTrafficModel, RateBand, UniformTrafficModel
+
+
+class TestRateBand:
+    def test_invalid_share(self):
+        with pytest.raises(WorkloadError):
+            RateBand("x", 1.5, 0.0, 1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            RateBand("x", 0.5, 5.0, 1.0)
+
+
+class TestFacebookTrafficModel:
+    def test_rates_in_range(self):
+        rates = FacebookTrafficModel().sample(5000, rng=0)
+        assert rates.min() >= 0.0
+        assert rates.max() <= 10000.0
+
+    def test_band_shares_match_paper(self):
+        """25% light [0,3000), 70% medium [3000,7000], 5% heavy (7000,10000]."""
+        rates = FacebookTrafficModel().sample(20000, rng=1)
+        light = np.mean(rates < 3000)
+        medium = np.mean((rates >= 3000) & (rates < 7000))
+        heavy = np.mean(rates >= 7000)
+        assert light == pytest.approx(0.25, abs=0.02)
+        assert medium == pytest.approx(0.70, abs=0.02)
+        assert heavy == pytest.approx(0.05, abs=0.01)
+
+    def test_deterministic(self):
+        model = FacebookTrafficModel()
+        assert np.array_equal(model.sample(10, rng=5), model.sample(10, rng=5))
+
+    def test_band_of(self):
+        model = FacebookTrafficModel()
+        assert model.band_of(100.0).name == "light"
+        assert model.band_of(3000.0).name == "medium"
+        assert model.band_of(9000.0).name == "heavy"
+        assert model.band_of(10000.0).name == "heavy"  # closed right edge
+        with pytest.raises(WorkloadError):
+            model.band_of(20000.0)
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(WorkloadError, match="sum to 1"):
+            FacebookTrafficModel(
+                bands=(RateBand("a", 0.5, 0, 1), RateBand("b", 0.4, 1, 2))
+            )
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            FacebookTrafficModel().sample(0)
+
+
+class TestUniformTrafficModel:
+    def test_range(self):
+        rates = UniformTrafficModel(10.0, 20.0).sample(1000, rng=0)
+        assert rates.min() >= 10.0
+        assert rates.max() < 20.0
+
+    def test_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            UniformTrafficModel(5.0, 5.0)

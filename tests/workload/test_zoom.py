@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.zoom import ZoomTrafficModel
+
+
+class TestZoomTrafficModel:
+    def test_rates_within_cap(self):
+        rates = ZoomTrafficModel().sample(500, rng=0)
+        assert rates.min() >= 0.0
+        assert rates.max() <= 10000.0
+
+    def test_heavy_tail(self):
+        """The Zoom model should be more skewed than uniform: a small share
+        of connectors carries a large share of traffic."""
+        rates = ZoomTrafficModel().sample(3000, rng=1)
+        top_decile_share = np.sort(rates)[-300:].sum() / rates.sum()
+        assert top_decile_share > 0.2
+
+    def test_deterministic(self):
+        model = ZoomTrafficModel()
+        assert np.array_equal(model.sample(50, rng=9), model.sample(50, rng=9))
+
+    def test_positive_rates(self):
+        rates = ZoomTrafficModel().sample(200, rng=2)
+        assert np.all(rates > 0)
+
+    def test_usable_as_traffic_model(self, ft4):
+        """Drop-in replacement for the Facebook model in the pipeline."""
+        from repro.core.placement import dp_placement
+        from repro.workload.flows import place_vm_pairs
+
+        flows = place_vm_pairs(ft4, 8, seed=3)
+        flows = flows.with_rates(ZoomTrafficModel().sample(8, rng=3))
+        result = dp_placement(ft4, flows, 3)
+        assert result.num_vnfs == 3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZoomTrafficModel(max_meetings=0)
+        with pytest.raises(WorkloadError):
+            ZoomTrafficModel(participant_zipf_a=1.0)
+        with pytest.raises(WorkloadError):
+            ZoomTrafficModel(mean_meetings=0.0)
+        with pytest.raises(WorkloadError):
+            ZoomTrafficModel().sample(0)
+
+    def test_describe(self):
+        assert "ZoomTrafficModel" in ZoomTrafficModel().describe()
