@@ -1,0 +1,59 @@
+"""Benchmark: parallel-executor scaling of the replication runner.
+
+Times the Fig. 11(a) experiment (the heaviest per-replication work in the
+suite) at ``workers=1`` and ``workers=4`` and records the measured wall
+times, the instrumented task seconds and the speedup in ``extra_info``.
+On a multi-core machine the parallel run should approach the worker
+count; on a single-core CI box it degrades gracefully to ~1x (plus pool
+overhead) while still exercising the fan-out path.
+
+Also usable standalone, without pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_scaling.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.common import run_experiment
+
+#: the experiment whose replications are fanned out
+EXPERIMENT = "fig11a_hourly"
+PARALLEL_WORKERS = 4
+
+
+def _timed_run(workers: int, scale: str = "smoke"):
+    start = time.perf_counter()
+    result = run_experiment(EXPERIMENT, scale, workers=workers)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def test_runtime_scaling(benchmark):
+    serial_s, serial = benchmark.pedantic(
+        _timed_run, args=(1,), iterations=1, rounds=1
+    )
+    parallel_s, parallel = _timed_run(PARALLEL_WORKERS)
+    # the scaling benchmark is only meaningful if both paths agree exactly
+    assert serial.rows == parallel.rows
+    benchmark.extra_info["serial_seconds"] = serial_s
+    benchmark.extra_info["parallel_seconds"] = parallel_s
+    benchmark.extra_info["parallel_workers"] = PARALLEL_WORKERS
+    benchmark.extra_info["observed_speedup"] = serial_s / parallel_s
+    benchmark.extra_info["serial_runtime"] = serial.params["runtime"]
+    benchmark.extra_info["parallel_runtime"] = parallel.params["runtime"]
+
+
+def main() -> None:
+    from repro.runtime.instrument import format_report
+
+    for workers in (1, PARALLEL_WORKERS):
+        elapsed, result = _timed_run(workers)
+        print(f"== {EXPERIMENT} @ smoke, workers={workers}: {elapsed:.2f}s ==")
+        print(format_report(result.params["runtime"]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@ Examples
 
     repro list
     repro run fig07_top1
+    repro run fig11a_hourly --workers 4 --profile
     repro run fig11c_vary_l --scale paper --json results/fig11c.json
     repro run-all --scale smoke
 """
@@ -17,7 +18,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.experiments import SCALES, get_experiment, list_experiments
+from repro.experiments import SCALES, list_experiments, run_experiment
+from repro.runtime.instrument import format_report
 
 __all__ = ["main", "build_parser"]
 
@@ -43,6 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--plot", action="store_true", help="also render a sparkline chart"
     )
+    _add_runtime_args(run)
 
     run_all = sub.add_parser("run-all", help="run every registered experiment")
     run_all.add_argument(
@@ -51,20 +54,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--json-dir", type=Path, default=None, help="directory for per-experiment JSON"
     )
+    _add_runtime_args(run_all)
     return parser
 
 
+def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for replication/sweep fan-out (default: 1, serial)",
+    )
+    sub.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the runtime report (phase timers, cache hit rates, speedup)",
+    )
+
+
 def _run_one(
-    name: str, scale: str, json_path: Path | None, out, plot: bool = False
+    name: str,
+    scale: str,
+    json_path: Path | None,
+    out,
+    plot: bool = False,
+    workers: int = 1,
+    profile: bool = False,
 ) -> None:
-    experiment = get_experiment(name)
     start = time.perf_counter()
-    result = experiment(scale)
+    result = run_experiment(name, scale, workers=workers)
     elapsed = time.perf_counter() - start
     print(result.to_table(), file=out)
     if plot:
         print(file=out)
         print(result.to_chart(), file=out)
+    if profile:
+        print(file=out)
+        print(format_report(result.params["runtime"]), file=out)
     print(f"[{name} @ {scale}: {elapsed:.1f}s]", file=out)
     if json_path is not None:
         json_path.parent.mkdir(parents=True, exist_ok=True)
@@ -86,14 +113,29 @@ def _dispatch(args, out) -> int:
             print(f"{name:28s} {description}", file=out)
         return 0
     if args.command == "run":
-        _run_one(args.experiment, args.scale, args.json, out, plot=args.plot)
+        _run_one(
+            args.experiment,
+            args.scale,
+            args.json,
+            out,
+            plot=args.plot,
+            workers=args.workers,
+            profile=args.profile,
+        )
         return 0
     if args.command == "run-all":
         for name in list_experiments():
             json_path = (
                 args.json_dir / f"{name}.json" if args.json_dir is not None else None
             )
-            _run_one(name, args.scale, json_path, out)
+            _run_one(
+                name,
+                args.scale,
+                json_path,
+                out,
+                workers=args.workers,
+                profile=args.profile,
+            )
             print(file=out)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PlacementError, WorkloadError
+from repro.runtime.cache import ComputeCache, get_compute_cache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
@@ -62,12 +63,22 @@ class CostContext:
         Arrays over *all graph nodes*: ``a_in[u]`` / ``a_out[u]`` as in the
         module docstring.  Indexing by node id (rather than switch
         position) keeps every algorithm free of position bookkeeping.
+    cache:
+        The :class:`~repro.runtime.cache.ComputeCache` the algorithms
+        pricing through this context should reuse (defaults to the
+        process-global one, so each worker process warms its own).
     """
 
-    def __init__(self, topology: Topology, flows: FlowSet) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        flows: FlowSet,
+        cache: ComputeCache | None = None,
+    ) -> None:
         flows.validate_against(topology)
         self.topology = topology
         self.flows = flows
+        self.cache = cache if cache is not None else get_compute_cache()
         dist = topology.graph.distances
         self._dist = dist
         rates = flows.rates
@@ -130,11 +141,11 @@ class CostContext:
 
     def with_rates(self, rates: np.ndarray) -> "CostContext":
         """New context for the same pairs under a new traffic-rate vector."""
-        return CostContext(self.topology, self.flows.with_rates(rates))
+        return CostContext(self.topology, self.flows.with_rates(rates), cache=self.cache)
 
     def with_flows(self, flows: FlowSet) -> "CostContext":
         """New context for different flows (e.g. after VM migration)."""
-        return CostContext(self.topology, flows)
+        return CostContext(self.topology, flows, cache=self.cache)
 
     # -- convenience views -----------------------------------------------------
 

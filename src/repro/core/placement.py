@@ -14,8 +14,6 @@ ingresses against it at once — ``O(n·|V|^3)`` overall.
 
 from __future__ import annotations
 
-import weakref
-
 import numpy as np
 
 from repro.core.costs import CostContext, validate_placement
@@ -23,7 +21,10 @@ from repro.core.stroll import StrollEngine, dp_stroll
 from repro.core.types import PlacementResult
 from repro.errors import InfeasibleError, PlacementError
 from repro.graphs.metric_closure import metric_closure
+from repro.runtime.cache import ComputeCache, get_compute_cache
+from repro.runtime.instrument import count
 from repro.topology.base import Topology
+from repro.utils.timing import Timer
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
 
@@ -75,6 +76,7 @@ def dp_placement(
     extra_edge_slack: int = 16,
     mode: str = "second-best",
     candidate_switches: np.ndarray | list | None = None,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """Algorithm 3: traffic-aware DP placement for TOP (any ``l``).
 
@@ -84,10 +86,28 @@ def dp_placement(
     ``mode`` selects the stroll DP variant (see :mod:`repro.core.stroll`).
     ``candidate_switches`` restricts the placement to a subset of switches
     (used by multi-SFC placement, where chains must not share switches).
+    ``cache`` overrides the process-global :class:`ComputeCache` holding
+    the stroll-cost matrices.
     """
+    count("dp_solves")
+    with Timer.timed("dp_placement"):
+        return _dp_placement(
+            topology, flows, sfc, extra_edge_slack, mode, candidate_switches, cache
+        )
+
+
+def _dp_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    extra_edge_slack: int,
+    mode: str,
+    candidate_switches: np.ndarray | list | None,
+    cache: ComputeCache | None,
+) -> PlacementResult:
     n = chain_size(sfc)
     _check_feasible(topology, n)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     if candidate_switches is None:
         if n <= 2:
             return _solve_small_n(ctx, n)
@@ -117,7 +137,7 @@ def dp_placement(
     # simulator Algorithm 3 runs every hour and reuses the DP wholesale.
     max_edges = interior + 1 + extra_edge_slack
     closure, b_cost, b_edges = _stroll_matrix(
-        topology, sw, interior, mode, max_edges
+        topology, sw, interior, mode, max_edges, cache=ctx.cache
     )
 
     # nan-safe: at all-zero rates (e.g. the silent first/last diurnal hour)
@@ -152,39 +172,48 @@ def dp_placement(
     )
 
 
-#: per-topology cache of stroll-cost matrices; keys are
-#: (candidate-set bytes, interior, mode, max_edges).  Weak keys let
-#: topologies be garbage-collected normally.
-_STROLL_CACHE: "weakref.WeakKeyDictionary[Topology, dict]" = weakref.WeakKeyDictionary()
-
-
 def _stroll_matrix(
     topology: Topology,
     sw: np.ndarray,
     interior: int,
     mode: str,
     max_edges: int,
+    cache: ComputeCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Cached ``(closure, b_cost, b_edges)`` for Algorithm 3's inner DP."""
-    key = (sw.tobytes(), interior, mode, max_edges)
-    per_topo = _STROLL_CACHE.setdefault(topology, {})
-    cached = per_topo.get(key)
-    if cached is not None:
-        return cached
+    """Cached ``(closure, b_cost, b_edges)`` for Algorithm 3's inner DP.
 
+    The matrix depends only on (topology weights, candidate set, n, mode)
+    — not on traffic rates — so it lives in the :class:`ComputeCache`
+    keyed weakly by the topology: in the dynamic simulator Algorithm 3
+    runs every hour and reuses the DP wholesale.
+    """
+    cache = cache if cache is not None else get_compute_cache()
+    key = ("stroll_matrix", sw.tobytes(), interior, mode, max_edges)
+    return cache.get_or_compute(
+        topology, key, lambda: _build_stroll_matrix(topology, sw, interior, mode, max_edges)
+    )
+
+
+def _build_stroll_matrix(
+    topology: Topology,
+    sw: np.ndarray,
+    interior: int,
+    mode: str,
+    max_edges: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     num_sw = sw.size
-    closure = metric_closure(topology.graph, sw)
-    b_cost = np.full((num_sw, num_sw), np.inf)
-    b_edges = np.zeros((num_sw, num_sw), dtype=np.int64)
-    for t in range(num_sw):
-        engine = StrollEngine(closure, t, mode=mode, max_edges=max_edges)
-        costs, edges = engine.batch_solve(interior)
-        b_cost[:, t] = costs
-        b_edges[:, t] = edges
-    np.fill_diagonal(b_cost, np.inf)  # ingress and egress must differ
-    for arr in (closure, b_cost, b_edges):
-        arr.setflags(write=False)
-    per_topo[key] = (closure, b_cost, b_edges)
+    with Timer.timed("stroll_matrix"):
+        closure = metric_closure(topology.graph, sw)
+        b_cost = np.full((num_sw, num_sw), np.inf)
+        b_edges = np.zeros((num_sw, num_sw), dtype=np.int64)
+        for t in range(num_sw):
+            engine = StrollEngine(closure, t, mode=mode, max_edges=max_edges)
+            costs, edges = engine.batch_solve(interior)
+            b_cost[:, t] = costs
+            b_edges[:, t] = edges
+        np.fill_diagonal(b_cost, np.inf)  # ingress and egress must differ
+        for arr in (closure, b_cost, b_edges):
+            arr.setflags(write=False)
     return closure, b_cost, b_edges
 
 
@@ -224,6 +253,7 @@ def dp_placement_top1(
     distinct switches of the resulting stroll.  This is the "DP-Stroll"
     series of Fig. 7.
     """
+    count("dp_stroll_solves")
     n = chain_size(sfc)
     _check_feasible(topology, n)
     if not (0 <= flow_index < flows.num_flows):

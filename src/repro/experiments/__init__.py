@@ -14,7 +14,9 @@ from repro.experiments.common import (
     ExperimentResult,
     get_experiment,
     list_experiments,
+    map_points,
     register,
+    run_experiment,
 )
 
 # importing the modules populates the registry
@@ -38,5 +40,7 @@ __all__ = [
     "ExperimentResult",
     "get_experiment",
     "list_experiments",
+    "map_points",
     "register",
+    "run_experiment",
 ]

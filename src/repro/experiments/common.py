@@ -16,12 +16,16 @@ Three scales are supported everywhere:
 
 from __future__ import annotations
 
+import inspect
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.runtime import instrument
+from repro.runtime.executor import get_executor
 from repro.utils.tables import rows_to_table
+from repro.utils.timing import Timer
 
 __all__ = [
     "SCALES",
@@ -29,6 +33,9 @@ __all__ = [
     "register",
     "get_experiment",
     "list_experiments",
+    "map_points",
+    "accepts_workers",
+    "run_experiment",
 ]
 
 SCALES = ("smoke", "default", "paper")
@@ -47,9 +54,12 @@ class ExperimentResult:
 
     def to_table(self) -> str:
         header = f"{self.experiment}: {self.description}"
-        if self.params:
+        # dict-valued params (e.g. the runtime report) would swamp the
+        # header; they stay in to_json and are rendered by --profile
+        flat = {k: v for k, v in self.params.items() if not isinstance(v, dict)}
+        if flat:
             header += "\nparams: " + ", ".join(
-                f"{k}={v}" for k, v in sorted(self.params.items())
+                f"{k}={v}" for k, v in sorted(flat.items())
             )
         body = rows_to_table(self.rows, columns=self.columns, title=header)
         if self.notes:
@@ -87,8 +97,12 @@ class ExperimentResult:
         series = {}
         for name in columns[1:]:
             values = [row.get(name) for row in self.rows]
+            # bool is an int subclass but True/False columns are flags,
+            # not series — exclude them explicitly
             numeric = [
-                float(v) if isinstance(v, (int, float)) and v is not None else float("nan")
+                float(v)
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+                else float("nan")
                 for v in values
             ]
             if any(v == v for v in numeric):  # at least one non-NaN
@@ -130,3 +144,52 @@ def check_scale(scale: str) -> str:
     if scale not in SCALES:
         raise ReproError(f"scale must be one of {SCALES}, got {scale!r}")
     return scale
+
+
+def map_points(
+    fn: Callable[[Any], Any], points: Sequence[Any], workers: int = 1
+) -> list[Any]:
+    """Map a sweep function over its points, optionally across processes.
+
+    The shared fan-out helper for experiment modules: ``fn`` receives one
+    point spec and returns that point's result; results come back in
+    point order regardless of ``workers``, and for ``workers > 1`` both
+    ``fn`` and every point must be picklable (module-level function,
+    tuple/dataclass specs).  Each point must be self-contained — sweeps
+    that thread state between points cannot fan out.
+    """
+    return get_executor(workers).map(fn, list(points))
+
+
+def accepts_workers(fn: Callable) -> bool:
+    """Whether an experiment function takes a ``workers`` keyword."""
+    try:
+        return "workers" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+
+
+def run_experiment(name: str, scale: str = "default", workers: int = 1) -> ExperimentResult:
+    """Run a registered experiment with instrumentation.
+
+    Resets the process instrumentation (counters, phase timers, cache
+    statistics), runs the experiment — passing ``workers`` through when
+    the experiment supports it — and attaches the runtime report (worker
+    count, per-phase wall time, cache hit rates, DP solve counts,
+    speedup) as ``result.params["runtime"]``.  This is what ``repro run``
+    executes; ``--profile`` prints the attached report.
+    """
+    fn = get_experiment(name)
+    # experiments that haven't adopted the executor yet just run serially
+    effective_workers = workers if accepts_workers(fn) else 1
+    instrument.reset()
+    timer = Timer()
+    with timer:
+        if accepts_workers(fn):
+            result = fn(scale, workers=effective_workers)
+        else:
+            result = fn(scale)
+    result.params["runtime"] = instrument.report(
+        workers=effective_workers, elapsed=timer.last
+    )
+    return result

@@ -25,14 +25,14 @@ from repro.core.optimal import optimal_placement
 from repro.core.placement import dp_placement_top1
 from repro.core.primal_dual import primal_dual_placement_top1
 from repro.errors import BudgetExceededError
-from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.experiments.common import ExperimentResult, check_scale, map_points, register
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
 from repro.workload.flows import place_vm_pairs
 from repro.workload.traffic import FacebookTrafficModel
 
-__all__ = ["run"]
+__all__ = ["run", "top1_point"]
 
 _SCALE_PARAMS = {
     "smoke": {"k": 4, "ns": (2, 3), "replications": 2, "seed": 5},
@@ -41,46 +41,61 @@ _SCALE_PARAMS = {
 }
 
 
+def top1_point(task: tuple) -> dict:
+    """One x-axis point (fixed ``n``) of the Fig. 7 sweep.
+
+    ``task`` is ``(topology, model, n, seed, replications)`` — a
+    self-contained, picklable spec so points can fan out across worker
+    processes via :func:`map_points`.
+    """
+    topo, model, n, seed, replications = task
+    dp_costs, paper_costs, opt_costs, pd_costs = [], [], [], []
+    optimal_ok = True
+    for rng in spawn_rngs(seed, replications):
+        flows = place_vm_pairs(topo, 1, intra_rack_fraction=0.0, seed=rng)
+        flows = flows.with_rates(model.sample(1, rng=rng))
+        dp_costs.append(dp_placement_top1(topo, flows, n).cost)
+        paper_costs.append(dp_placement_top1(topo, flows, n, mode="paper").cost)
+        pd_costs.append(primal_dual_placement_top1(topo, flows, n).cost)
+        if optimal_ok:
+            try:
+                opt_costs.append(
+                    optimal_placement(topo, flows, n, node_budget=400_000).cost
+                )
+            except BudgetExceededError:
+                optimal_ok = False
+    dp = mean_ci(dp_costs)
+    paper_dp = mean_ci(paper_costs)
+    pd = mean_ci(pd_costs)
+    opt = mean_ci(opt_costs) if optimal_ok and opt_costs else None
+    return {
+        "n": n,
+        "dp_stroll": dp.mean,
+        "dp_ci": dp.halfwidth,
+        "dp_stroll_paper_mode": paper_dp.mean,
+        "optimal": opt.mean if opt else None,
+        "primaldual_guarantee": 2.0 * opt.mean if opt else None,
+        "primal_dual_actual": pd.mean,
+    }
+
+
 @register("fig07_top1", "TOP-1: DP-Stroll vs Optimal vs the 2+eps guarantee")
-def run(scale: str = "default") -> ExperimentResult:
+def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _SCALE_PARAMS[check_scale(scale)]
     topo = fat_tree(params["k"])
     model = FacebookTrafficModel()
-    rows = []
+    rows = map_points(
+        top1_point,
+        [
+            (topo, model, n, params["seed"] * 1000 + n, params["replications"])
+            for n in params["ns"]
+        ],
+        workers=workers,
+    )
     notes = []
-    gaps = []
-    for n in params["ns"]:
-        dp_costs, paper_costs, opt_costs, pd_costs = [], [], [], []
-        optimal_ok = True
-        for rng in spawn_rngs(params["seed"] * 1000 + n, params["replications"]):
-            flows = place_vm_pairs(topo, 1, intra_rack_fraction=0.0, seed=rng)
-            flows = flows.with_rates(model.sample(1, rng=rng))
-            dp_costs.append(dp_placement_top1(topo, flows, n).cost)
-            paper_costs.append(dp_placement_top1(topo, flows, n, mode="paper").cost)
-            pd_costs.append(primal_dual_placement_top1(topo, flows, n).cost)
-            if optimal_ok:
-                try:
-                    opt_costs.append(
-                        optimal_placement(topo, flows, n, node_budget=400_000).cost
-                    )
-                except BudgetExceededError:
-                    optimal_ok = False
-        dp = mean_ci(dp_costs)
-        paper_dp = mean_ci(paper_costs)
-        pd = mean_ci(pd_costs)
-        opt = mean_ci(opt_costs) if optimal_ok and opt_costs else None
-        row = {
-            "n": n,
-            "dp_stroll": dp.mean,
-            "dp_ci": dp.halfwidth,
-            "dp_stroll_paper_mode": paper_dp.mean,
-            "optimal": opt.mean if opt else None,
-            "primaldual_guarantee": 2.0 * opt.mean if opt else None,
-            "primal_dual_actual": pd.mean,
-        }
-        rows.append(row)
-        if opt:
-            gaps.append(dp.mean / opt.mean - 1.0)
+    gaps = [
+        row["dp_stroll"] / row["optimal"] - 1.0 for row in rows if row["optimal"]
+    ]
     if gaps:
         notes.append(
             f"DP-Stroll over Optimal: mean gap {np.mean(gaps):.1%}, "

@@ -21,14 +21,14 @@ from repro.baselines.steering import steering_placement
 from repro.core.optimal import optimal_placement
 from repro.core.placement import dp_placement
 from repro.errors import BudgetExceededError
-from repro.experiments.common import ExperimentResult, check_scale, register
+from repro.experiments.common import ExperimentResult, check_scale, map_points, register
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
 from repro.workload.flows import place_vm_pairs
 from repro.workload.traffic import FacebookTrafficModel
 
-__all__ = ["run", "sweep_placements"]
+__all__ = ["run", "sweep_placements", "sweep_cell"]
 
 _SCALE_PARAMS = {
     "smoke": {
@@ -97,24 +97,40 @@ def sweep_placements(topology, model, l, n, replications, seed, node_budget):
     return row
 
 
+def sweep_cell(task: tuple) -> dict:
+    """Picklable per-point adapter for :func:`map_points` fan-out.
+
+    ``task`` is ``(topology, model, l, n, replications, seed,
+    node_budget)`` — self-contained, so cells can run in any process.
+    Also used by the Fig. 10 weighted sweep.
+    """
+    return sweep_placements(*task)
+
+
 @register("fig09_top", "TOP placement vs l and vs n (unweighted k=8)")
-def run(scale: str = "default") -> ExperimentResult:
+def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _SCALE_PARAMS[check_scale(scale)]
     topo = fat_tree(params["k"])
     model = FacebookTrafficModel()
-    rows = []
-    for l in params["ls"]:
-        cell = sweep_placements(
-            topo, model, l, params["fixed_n"], params["replications"],
-            params["seed"] * 100 + l, params["node_budget"],
-        )
-        rows.append({"sweep": "vary_l", "l": l, "n": params["fixed_n"], **cell})
-    for n in params["ns"]:
-        cell = sweep_placements(
-            topo, model, params["fixed_l"], n, params["replications"],
-            params["seed"] * 1000 + n, params["node_budget"],
-        )
-        rows.append({"sweep": "vary_n", "l": params["fixed_l"], "n": n, **cell})
+    points = [
+        ("vary_l", l, params["fixed_n"], params["seed"] * 100 + l)
+        for l in params["ls"]
+    ] + [
+        ("vary_n", params["fixed_l"], n, params["seed"] * 1000 + n)
+        for n in params["ns"]
+    ]
+    cells = map_points(
+        sweep_cell,
+        [
+            (topo, model, l, n, params["replications"], seed, params["node_budget"])
+            for _sweep, l, n, seed in points
+        ],
+        workers=workers,
+    )
+    rows = [
+        {"sweep": sweep, "l": l, "n": n, **cell}
+        for (sweep, l, n, _seed), cell in zip(points, cells)
+    ]
 
     notes = []
     dp_vs_opt = [

@@ -8,10 +8,8 @@ below Steering and Greedy on this setting.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.experiments.common import ExperimentResult, check_scale, register
-from repro.experiments.fig09_top import sweep_placements
+from repro.experiments.common import ExperimentResult, check_scale, map_points, register
+from repro.experiments.fig09_top import sweep_cell
 from repro.topology.fattree import fat_tree
 from repro.topology.weights import apply_uniform_delays
 from repro.workload.traffic import FacebookTrafficModel
@@ -29,19 +27,24 @@ _SCALE_PARAMS = {
 
 
 @register("fig10_top_weighted", "TOP placement on delay-weighted PPDCs vs n")
-def run(scale: str = "default") -> ExperimentResult:
+def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _SCALE_PARAMS[check_scale(scale)]
     topo = apply_uniform_delays(
         fat_tree(params["k"]), mean=1.5, variance=0.5, seed=params["seed"]
     )
     model = FacebookTrafficModel()
-    rows = []
-    for n in params["ns"]:
-        cell = sweep_placements(
-            topo, model, params["l"], n, params["replications"],
-            params["seed"] * 1000 + n, params["node_budget"],
-        )
-        rows.append({"n": n, "l": params["l"], **cell})
+    cells = map_points(
+        sweep_cell,
+        [
+            (topo, model, params["l"], n, params["replications"],
+             params["seed"] * 1000 + n, params["node_budget"])
+            for n in params["ns"]
+        ],
+        workers=workers,
+    )
+    rows = [
+        {"n": n, "l": params["l"], **cell} for n, cell in zip(params["ns"], cells)
+    ]
 
     notes = []
     dp_vs_opt = [r["dp"] / r["optimal"] - 1.0 for r in rows if r.get("optimal")]

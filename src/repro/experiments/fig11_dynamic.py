@@ -31,6 +31,8 @@ Experimental regime (see EXPERIMENTS.md for the full rationale):
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, check_scale, register
@@ -93,24 +95,30 @@ def _config(params, l, n, mu, replications=None):
 
 
 @register("fig11a_hourly", "Hourly costs and migration counts of all policies")
-def run_hourly(scale: str = "default") -> ExperimentResult:
+def run_hourly(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _BASE[check_scale(scale)]
     topo = fat_tree(params["k"])
     cands = _optimal_candidates(topo, scale)
+    # factories are partials of module-level classes (never lambdas) so the
+    # replication tasks stay picklable for the parallel executor
     factories = {
-        "mpareto": lambda t, mu: MParetoPolicy(t, mu),
-        "optimal": lambda t, mu: OptimalVnfPolicy(
-            t, mu, node_budget=params["node_budget"], candidate_switches=cands
+        "mpareto": MParetoPolicy,
+        "optimal": partial(
+            OptimalVnfPolicy,
+            node_budget=params["node_budget"],
+            candidate_switches=cands,
         ),
-        "plan": lambda t, mu: PlanVmPolicy(
-            t, mu, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
+        "plan": partial(
+            PlanVmPolicy, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
         ),
-        "mcf": lambda t, mu: McfVmPolicy(
-            t, mu, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
+        "mcf": partial(
+            McfVmPolicy, vm_size_ratio=VM_SIZE_RATIO, free_slots=FREE_SLOTS
         ),
     }
     config = _config(params, params["l"], params["n"], mu=1e4)
-    results, summaries = run_replications(topo, FacebookTrafficModel(), config, factories)
+    results, summaries = run_replications(
+        topo, FacebookTrafficModel(), config, factories, workers=workers
+    )
 
     hours = [r.hour for r in results[0].days["mpareto"].records]
     rows = []
@@ -153,7 +161,7 @@ def run_hourly(scale: str = "default") -> ExperimentResult:
 
 
 @register("fig11c_vary_l", "Day cost vs number of VM pairs (exp scale)")
-def run_vary_l(scale: str = "default") -> ExperimentResult:
+def run_vary_l(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _BASE[check_scale(scale)]
     topo = fat_tree(params["k"])
     cands = _optimal_candidates(topo, scale)
@@ -164,14 +172,20 @@ def run_vary_l(scale: str = "default") -> ExperimentResult:
         row = {"l": l, "n": params["n"], "optimal_restricted": restricted}
         for mu in (1e4, 1e5):
             factories = {
-                "mpareto": lambda t, m: MParetoPolicy(t, m),
-                "optimal": lambda t, m: OptimalVnfPolicy(
-                    t, m, node_budget=params["node_budget"], candidate_switches=cands
+                "mpareto": MParetoPolicy,
+                "optimal": partial(
+                    OptimalVnfPolicy,
+                    node_budget=params["node_budget"],
+                    candidate_switches=cands,
                 ),
-                "nomig": lambda t, m: NoMigrationPolicy(t, m),
+                "nomig": NoMigrationPolicy,
             }
             _, summaries = run_replications(
-                topo, FacebookTrafficModel(), _config(params, l, params["n"], mu), factories
+                topo,
+                FacebookTrafficModel(),
+                _config(params, l, params["n"], mu),
+                factories,
+                workers=workers,
             )
             tag = f"mu{mu:.0e}".replace("e+0", "e")
             row[f"mpareto_{tag}"] = summaries["mpareto"]["total_cost"].mean
@@ -196,18 +210,22 @@ def run_vary_l(scale: str = "default") -> ExperimentResult:
 
 
 @register("fig11d_vary_n", "Day cost vs SFC length: mPareto vs NoMigration")
-def run_vary_n(scale: str = "default") -> ExperimentResult:
+def run_vary_n(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _BASE[check_scale(scale)]
     topo = fat_tree(params["k"])
     rows = []
     reductions = []
     for n in params["ns"]:
         factories = {
-            "mpareto": lambda t, m: MParetoPolicy(t, m),
-            "nomig": lambda t, m: NoMigrationPolicy(t, m),
+            "mpareto": MParetoPolicy,
+            "nomig": NoMigrationPolicy,
         }
         _, summaries = run_replications(
-            topo, FacebookTrafficModel(), _config(params, params["l"], n, 1e4), factories
+            topo,
+            FacebookTrafficModel(),
+            _config(params, params["l"], n, 1e4),
+            factories,
+            workers=workers,
         )
         mp = summaries["mpareto"]["total_cost"].mean
         stay = summaries["nomig"]["total_cost"].mean

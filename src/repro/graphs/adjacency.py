@@ -17,6 +17,8 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
 from repro.errors import GraphError
+from repro.runtime.cache import get_compute_cache
+from repro.utils.timing import Timer
 
 __all__ = ["GraphBuilder", "CostGraph"]
 
@@ -107,8 +109,6 @@ class CostGraph:
         self._adj: list[np.ndarray] = [
             np.flatnonzero(np.isfinite(weights[i]) & (np.arange(n) != i)) for i in range(n)
         ]
-        self._dist: np.ndarray | None = None
-        self._pred: np.ndarray | None = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -163,9 +163,18 @@ class CostGraph:
 
     # -- shortest-path metrics ---------------------------------------------
 
-    def _ensure_apsp(self) -> None:
-        if self._dist is None:
-            n = self.num_nodes
+    def _apsp(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(dist, pred)``, memoized in the process compute cache.
+
+        The cache holds this graph weakly, so the tables die with the
+        graph; worker processes each warm their own copy (Dijkstra is
+        deterministic, so every copy is bit-identical).
+        """
+        return get_compute_cache().get_or_compute(self, "apsp", self._compute_apsp)
+
+    def _compute_apsp(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.num_nodes
+        with Timer.timed("apsp"):
             rows, cols, data = [], [], []
             for u, v, w in self._edges:
                 # only the collapsed (minimum) weight participates
@@ -178,15 +187,12 @@ class CostGraph:
                 sparse, method="D", directed=False, return_predecessors=True
             )
             dist.setflags(write=False)
-            self._dist = dist
-            self._pred = pred
+        return dist, pred
 
     @property
     def distances(self) -> np.ndarray:
         """All-pairs shortest-path cost matrix ``c(u, v)`` (read-only)."""
-        self._ensure_apsp()
-        assert self._dist is not None
-        return self._dist
+        return self._apsp()[0]
 
     def cost(self, u: int, v: int) -> float:
         """Topology-aware cost ``c(u, v)`` between two nodes."""
@@ -197,16 +203,15 @@ class CostGraph:
 
         Raises :class:`GraphError` when ``v`` is unreachable from ``u``.
         """
-        self._ensure_apsp()
-        assert self._pred is not None
+        dist, pred = self._apsp()
         if u == v:
             return [u]
-        if not np.isfinite(self.distances[u, v]):
+        if not np.isfinite(dist[u, v]):
             raise GraphError(f"node {v} is unreachable from node {u}")
         path = [v]
         node = v
         while node != u:
-            node = int(self._pred[u, node])
+            node = int(pred[u, node])
             path.append(node)
         path.reverse()
         return path

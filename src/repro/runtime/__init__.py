@@ -1,0 +1,56 @@
+"""The execution layer: executors, compute caches, instrumentation.
+
+This package is how the harness runs "as fast as the hardware allows"
+without giving up reproducibility:
+
+* :mod:`repro.runtime.executor` — serial / process-parallel mapping of
+  picklable task specs (``workers`` argument, order-preserving,
+  bit-identical to the serial path);
+* :mod:`repro.runtime.cache` — the bounded, observable
+  :class:`~repro.runtime.cache.ComputeCache` behind Algorithm 3's stroll
+  matrices and the graphs' all-pairs shortest-path tables;
+* :mod:`repro.runtime.instrument` — counters and phase timers whose
+  report lands in ``ExperimentResult.params["runtime"]`` and prints via
+  ``repro run --profile``.
+"""
+
+from repro.runtime.cache import ComputeCache, get_compute_cache, set_compute_cache
+from repro.runtime.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+    map_tasks,
+)
+from repro.runtime.instrument import (
+    count,
+    counters,
+    format_report,
+    merge_snapshot,
+    report,
+    reset,
+    snapshot,
+    snapshot_delta,
+)
+
+__all__ = [
+    # cache
+    "ComputeCache",
+    "get_compute_cache",
+    "set_compute_cache",
+    # executor
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "map_tasks",
+    # instrumentation
+    "count",
+    "counters",
+    "reset",
+    "snapshot",
+    "snapshot_delta",
+    "merge_snapshot",
+    "report",
+    "format_report",
+]

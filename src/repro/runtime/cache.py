@@ -1,0 +1,164 @@
+"""An explicit, bounded, observable compute cache.
+
+Historically the library's cross-call reuse was scattered: Algorithm 3's
+stroll-cost matrices lived in a hidden module-global weak-dict in
+:mod:`repro.core.placement`, and the all-pairs shortest-path tables were
+memoized privately on each :class:`~repro.graphs.adjacency.CostGraph`.
+:class:`ComputeCache` replaces both with one object that
+
+* keys every entry by an *owner* object (a topology, a graph) held
+  **weakly**, so caches die with the objects they describe;
+* bounds the total number of entries with LRU eviction; and
+* counts hits / misses / evictions, so the instrumentation layer
+  (:mod:`repro.runtime.instrument`) can report cache effectiveness.
+
+One process-global default cache exists per interpreter; worker processes
+spawned by :mod:`repro.runtime.executor` therefore warm their own caches
+independently and deterministically — cached and freshly-computed values
+are bit-identical by construction, since the cache only ever stores the
+result of a pure ``compute()`` call.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.errors import ReproError
+
+__all__ = ["ComputeCache", "get_compute_cache", "set_compute_cache"]
+
+#: default bound on the total number of cached entries per cache
+DEFAULT_MAX_ENTRIES = 512
+
+_MISSING = object()
+
+
+class ComputeCache:
+    """Bounded LRU cache of pure computations, keyed by (owner, key).
+
+    ``owner`` is held weakly: all of an owner's entries vanish when the
+    owner is garbage-collected (matching the old per-topology weak-dict
+    semantics).  ``key`` must be hashable and should encode *every* input
+    of the computation other than the owner itself.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ReproError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._store: "weakref.WeakKeyDictionary[Any, dict[Hashable, Any]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: LRU bookkeeping: (id(owner), key) -> weakref to the owner.  Dead
+        #: refs are skipped (their entries are already gone from _store).
+        self._recency: "OrderedDict[tuple[int, Hashable], weakref.ref]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core API -----------------------------------------------------------
+
+    def get_or_compute(
+        self, owner: Any, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for ``(owner, key)``, computing on miss."""
+        entries = self._store.get(owner)
+        if entries is not None:
+            value = entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                self._recency.move_to_end((id(owner), key))
+                return value
+        self.misses += 1
+        value = compute()
+        if entries is None:
+            entries = self._store.setdefault(owner, {})
+        entries[key] = value
+        self._recency[(id(owner), key)] = weakref.ref(owner)
+        self._evict()
+        return value
+
+    def _evict(self) -> None:
+        while len(self._recency) > self.max_entries:
+            (owner_id, key), ref = self._recency.popitem(last=False)
+            owner = ref()
+            if owner is None:
+                continue  # died with its owner; not an eviction
+            entries = self._store.get(owner)
+            if entries is not None and key in entries:
+                del entries[key]
+                if not entries:
+                    del self._store[owner]
+                self.evictions += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of live cached entries across all owners."""
+        return sum(len(entries) for entries in self._store.values())
+
+    @property
+    def num_owners(self) -> int:
+        return len(self._store)
+
+    def owner_entries(self, owner: Any) -> int:
+        """Number of live entries cached for ``owner``."""
+        entries = self._store.get(owner)
+        return len(entries) if entries is not None else 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Counters and occupancy as a plain dict (JSON-friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "entries": len(self),
+            "owners": self.num_owners,
+            "max_entries": self.max_entries,
+        }
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        self._store.clear()
+        self._recency.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComputeCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+#: the process-global default cache; each worker process gets its own
+_DEFAULT_CACHE = ComputeCache()
+
+
+def get_compute_cache() -> ComputeCache:
+    """The active process-global :class:`ComputeCache`."""
+    return _DEFAULT_CACHE
+
+
+def set_compute_cache(cache: ComputeCache) -> ComputeCache:
+    """Swap the process-global cache; returns the previous one."""
+    global _DEFAULT_CACHE
+    if not isinstance(cache, ComputeCache):
+        raise ReproError(f"expected a ComputeCache, got {type(cache).__name__}")
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous

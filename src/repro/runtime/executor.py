@@ -1,0 +1,116 @@
+"""Serial / process-parallel execution of picklable task specs.
+
+The harness fans two shapes of work out across cores: the per-replication
+work of :func:`repro.sim.runner.run_replications` (workload draw → initial
+TOP placement → every policy's day) and the per-point work of experiment
+sweeps (:func:`repro.experiments.common.map_points`).  Both route through
+one :class:`Executor`:
+
+* :class:`SerialExecutor` — a plain ordered loop in this process; and
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out preserving task order.
+
+Tasks must be *self-contained and picklable* — a task carries everything
+its computation needs (topology, config, seeds), never shared mutable
+state — which is what makes the two executors bit-identical: the same
+seeds go in, so the same results come out regardless of ``workers``.
+
+Each worker process has its own compute cache and instrumentation; the
+parallel executor wraps every task to capture an instrumentation snapshot
+delta (counters, phase timers, cache hits/misses) and merges it back into
+the parent, so profiling reports see all work wherever it ran.  Both
+executors also time every task under the shared ``tasks`` timer, from
+which the report derives its speedup estimate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.runtime import instrument
+from repro.utils.timing import Timer
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "get_executor"]
+
+
+class Executor(ABC):
+    """Maps a picklable function over task specs, preserving order."""
+
+    #: number of worker processes this executor uses (1 = in-process)
+    workers: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        """Apply ``fn`` to every task, returning results in task order."""
+
+
+class SerialExecutor(Executor):
+    """In-process ordered execution (the ``workers=1`` reference path)."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        results = []
+        for task in tasks:
+            with Timer.timed("tasks"):
+                results.append(fn(task))
+        return results
+
+
+def _instrumented_call(payload: tuple[Callable[[Any], Any], Any]) -> tuple[Any, dict]:
+    """Worker-side shim: run one task and report what it cost.
+
+    Returns ``(result, snapshot_delta)`` so the parent can fold the
+    worker's counters, timers and cache statistics into its own.
+    """
+    fn, task = payload
+    before = instrument.snapshot()
+    with Timer.timed("tasks"):
+        result = fn(task)
+    return result, instrument.snapshot_delta(instrument.snapshot(), before)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool fan-out; results keep task order, stats merge back."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ReproError(
+                f"ParallelExecutor needs at least 2 workers, got {workers}"
+            )
+        self.workers = int(workers)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        max_workers = min(self.workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pairs = list(
+                pool.map(_instrumented_call, [(fn, task) for task in tasks])
+            )
+        results = []
+        for result, delta in pairs:
+            instrument.merge_snapshot(delta)
+            results.append(result)
+        return results
+
+
+def get_executor(workers: int | None = 1) -> Executor:
+    """Select the executor for a ``workers`` argument (``None``/1 = serial)."""
+    workers = 1 if workers is None else int(workers)
+    if workers < 1:
+        raise ReproError(f"workers must be a positive integer, got {workers}")
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)
+
+
+def map_tasks(
+    fn: Callable[[Any], Any], tasks: Sequence[Any], workers: int | None = 1
+) -> list[Any]:
+    """One-shot convenience: ``get_executor(workers).map(fn, tasks)``."""
+    return get_executor(workers).map(fn, tasks)

@@ -1,0 +1,187 @@
+"""Counters and phase timers for the execution layer.
+
+The library's hot paths report two kinds of signal here:
+
+* **counters** — monotone event counts (``dp_solves``, ``hours_simulated``,
+  …) via :func:`count`;
+* **phase timers** — accumulated wall-clock per named phase, via
+  ``Timer.timed(name)`` (see :mod:`repro.utils.timing`).
+
+Both are process-global and cheap (a dict increment / a perf-counter
+read), so they are always on.  Worker processes accumulate their own
+counters, timers and cache statistics; the executor captures a
+:func:`snapshot` delta around each task and the parent merges it back
+with :func:`merge_snapshot`, so a :func:`report` in the parent reflects
+work done *everywhere*, regardless of ``workers``.
+
+The report dict lands in ``ExperimentResult.params["runtime"]`` (see
+:func:`repro.experiments.common.run_experiment`) and is rendered by
+``repro run --profile`` via :func:`format_report`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.runtime.cache import get_compute_cache
+from repro.utils.timing import Timer, named_timers, reset_named_timers
+
+__all__ = [
+    "count",
+    "counters",
+    "reset",
+    "snapshot",
+    "snapshot_delta",
+    "merge_snapshot",
+    "report",
+    "format_report",
+]
+
+#: keys under which cache statistics travel inside snapshot counters
+_CACHE_KEYS = ("cache_hits", "cache_misses", "cache_evictions")
+
+_COUNTERS: Counter = Counter()
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment the process-global counter ``name`` by ``n``."""
+    _COUNTERS[name] += n
+
+
+def counters() -> dict[str, int]:
+    """Snapshot of the plain counters (cache stats not included)."""
+    return dict(_COUNTERS)
+
+
+def reset() -> None:
+    """Zero all counters, named timers, and the active cache's statistics."""
+    _COUNTERS.clear()
+    reset_named_timers()
+    get_compute_cache().reset_stats()
+
+
+# -- cross-process aggregation ----------------------------------------------
+
+
+def snapshot() -> dict:
+    """Cumulative view of this process's counters, timers and cache stats."""
+    cache = get_compute_cache()
+    merged = Counter(_COUNTERS)
+    merged["cache_hits"] += cache.hits
+    merged["cache_misses"] += cache.misses
+    merged["cache_evictions"] += cache.evictions
+    return {
+        "counters": dict(merged),
+        "timers": {name: (t.total, len(t.laps)) for name, t in named_timers().items()},
+    }
+
+
+def snapshot_delta(after: Mapping, before: Mapping) -> dict:
+    """What happened between two :func:`snapshot` calls in one process."""
+    d_counters = {
+        name: value - before["counters"].get(name, 0)
+        for name, value in after["counters"].items()
+        if value - before["counters"].get(name, 0)
+    }
+    d_timers = {}
+    for name, (total, laps) in after["timers"].items():
+        b_total, b_laps = before["timers"].get(name, (0.0, 0))
+        if total - b_total or laps - b_laps:
+            d_timers[name] = (total - b_total, laps - b_laps)
+    return {"counters": d_counters, "timers": d_timers}
+
+
+def merge_snapshot(delta: Mapping) -> None:
+    """Fold a worker's :func:`snapshot_delta` into this process's totals.
+
+    Counter deltas (including the worker's cache hits/misses) are added to
+    the local counters; timer deltas are added to the same-named local
+    timers as one synthetic lap per worker-side task batch.
+    """
+    _COUNTERS.update(delta.get("counters", {}))
+    for name, (total, _laps) in delta.get("timers", {}).items():
+        timer = Timer.timed(name)
+        timer.total += total
+        timer.laps.append(total)
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def report(workers: int | None = None, elapsed: float | None = None) -> dict:
+    """Assemble the instrumentation report as a JSON-friendly dict.
+
+    Combines local counters/timers with everything previously merged from
+    workers, plus the live statistics of this process's compute cache.
+    ``elapsed`` (the observed wall time) enables the speedup estimate:
+    total task seconds (the ``tasks`` timer, summed across processes)
+    divided by wall seconds.
+    """
+    snap = snapshot()
+    all_counters = dict(snap["counters"])
+    hits = all_counters.pop("cache_hits", 0)
+    misses = all_counters.pop("cache_misses", 0)
+    evictions = all_counters.pop("cache_evictions", 0)
+    lookups = hits + misses
+    out: dict = {
+        "counters": all_counters,
+        "timers": {
+            name: {"seconds": total, "laps": laps}
+            for name, (total, laps) in sorted(snap["timers"].items())
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "entries": len(get_compute_cache()),
+        },
+    }
+    if workers is not None:
+        out["workers"] = int(workers)
+    if elapsed is not None:
+        out["wall_seconds"] = float(elapsed)
+        task_seconds = snap["timers"].get("tasks", (0.0, 0))[0]
+        if task_seconds and elapsed > 0:
+            out["task_seconds"] = task_seconds
+            out["speedup"] = task_seconds / elapsed
+    return out
+
+
+def format_report(rep: Mapping) -> str:
+    """Human-readable rendering of :func:`report` for ``--profile``."""
+    lines = ["runtime profile:"]
+    if "workers" in rep:
+        lines.append(f"  workers:      {rep['workers']}")
+    if "wall_seconds" in rep:
+        wall = f"  wall time:    {rep['wall_seconds']:.2f}s"
+        if "speedup" in rep:
+            wall += (
+                f"  (task time {rep['task_seconds']:.2f}s, "
+                f"speedup {rep['speedup']:.2f}x)"
+            )
+        lines.append(wall)
+    cache = rep.get("cache", {})
+    if cache:
+        lines.append(
+            "  cache:        "
+            f"{cache['hit_rate']:.1%} hit rate "
+            f"({cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['evictions']} evictions, {cache['entries']} entries)"
+        )
+    timers = rep.get("timers", {})
+    if timers:
+        lines.append("  phases:")
+        width = max(len(name) for name in timers)
+        for name, t in timers.items():
+            lines.append(
+                f"    {name:<{width}}  {t['seconds']:9.3f}s  ({t['laps']} laps)"
+            )
+    counters_ = rep.get("counters", {})
+    if counters_:
+        lines.append(
+            "  counters:     "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counters_.items()))
+        )
+    return "\n".join(lines)

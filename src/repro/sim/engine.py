@@ -7,8 +7,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.placement import dp_placement
+from repro.runtime.instrument import count
 from repro.sim.policies import MigrationPolicy
 from repro.topology.base import Topology
+from repro.utils.timing import Timer
 from repro.workload.dynamics import RateProcess
 from repro.workload.flows import FlowSet
 
@@ -70,12 +72,13 @@ def initial_placement(
     Matches the paper's framework: TOP runs once up front, TOM (or a
     baseline) reacts from then on.
     """
-    rates = rate_process.rates_at(hour)
-    if not np.any(rates > 0):
-        # a completely silent starting hour gives TOP no signal; fall back
-        # to the base rates so the initial placement is still meaningful
-        rates = flows.rates
-    return dp_placement(topology, flows.with_rates(rates), n).placement
+    with Timer.timed("initial_placement"):
+        rates = rate_process.rates_at(hour)
+        if not np.any(rates > 0):
+            # a completely silent starting hour gives TOP no signal; fall back
+            # to the base rates so the initial placement is still meaningful
+            rates = flows.rates
+        return dp_placement(topology, flows.with_rates(rates), n).placement
 
 
 def simulate_day(
@@ -94,17 +97,19 @@ def simulate_day(
     """
     if hours is None:
         hours = range(1, rate_process.diurnal.num_hours + 1)
-    policy.initialize(flows, placement)
-    records = []
-    for hour in hours:
-        rates = rate_process.rates_at(hour)
-        step = policy.step(rates)
-        records.append(
-            HourRecord(
-                hour=hour,
-                communication_cost=step.communication_cost,
-                migration_cost=step.migration_cost,
-                num_migrations=step.num_migrations,
+    with Timer.timed("simulate_day"):
+        policy.initialize(flows, placement)
+        records = []
+        for hour in hours:
+            rates = rate_process.rates_at(hour)
+            step = policy.step(rates)
+            count("hours_simulated")
+            records.append(
+                HourRecord(
+                    hour=hour,
+                    communication_cost=step.communication_cost,
+                    migration_cost=step.migration_cost,
+                    num_migrations=step.num_migrations,
+                )
             )
-        )
     return DayResult(policy=policy.name, records=tuple(records))

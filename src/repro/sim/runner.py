@@ -5,6 +5,24 @@ cohort split, per-hour rate sequence) from an independent RNG stream,
 computes one shared initial TOP placement, then runs *every* policy on
 identical inputs — a paired design, so policy differences are never
 workload noise.
+
+Replications are independent by construction — each one's task spec
+carries everything it needs (topology, traffic model, config, its
+replication index) and derives its own random streams from the root seed
+— so :func:`run_replications` fans them out across worker processes via
+:mod:`repro.runtime.executor` when ``workers > 1``.  Serial and parallel
+runs are bit-identical: same seed in, same :class:`ReplicationResult` s
+out, regardless of ``workers``.  For parallel runs the policy factories
+must be picklable (classes, ``functools.partial`` of classes, or
+module-level functions — not lambdas).
+
+Seed derivation (changed in PR 1, shifting figure outputs vs the seed
+release): each replication's workload generator and its rate-process seed
+are *separate spawned children* of the root
+:class:`~numpy.random.SeedSequence` — previously the rate process reused
+the ad-hoc ``seed * 100003 + rep``, which also seeded the cohort
+assignment, so streams could collide across configurations.  See
+:func:`repro.utils.rng.spawn_seed_sequences`.
 """
 
 from __future__ import annotations
@@ -15,11 +33,14 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.runtime.executor import get_executor
+from repro.runtime.instrument import count
 from repro.sim.engine import DayResult, initial_placement, simulate_day
 from repro.sim.policies import MigrationPolicy
 from repro.topology.base import Topology
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawn_seed_sequences, spawn_seeds
 from repro.utils.stats import ConfidenceInterval, summarize_runs
+from repro.utils.timing import Timer
 from repro.workload.diurnal import DiurnalModel, assign_cohorts, assign_cohorts_spatial
 from repro.workload.dynamics import RateProcess, RedrawnRates, ScaledRates
 from repro.workload.flows import FlowSet, place_vm_pairs
@@ -90,7 +111,12 @@ def build_rate_process(
     config: RunConfig,
     seed: int,
 ) -> RateProcess:
-    """Assemble the configured rate process for one replication."""
+    """Assemble the configured rate process for one replication.
+
+    ``seed`` is split into independent child seeds for the cohort
+    assignment and the rate redraws, so the two streams never correlate.
+    """
+    cohort_seed, rates_seed = spawn_seeds(seed, 2)
     if config.cohorts == "spatial":
         offsets = assign_cohorts_spatial(
             topology, flows, offset_hours=config.cohort_offset_hours
@@ -99,7 +125,7 @@ def build_rate_process(
         offsets = assign_cohorts(
             flows.num_flows,
             offset_hours=config.cohort_offset_hours,
-            seed=seed,
+            seed=cohort_seed,
         )
     if config.dynamics == "scaled":
         return ScaledRates(flows, config.diurnal, offsets)
@@ -108,35 +134,46 @@ def build_rate_process(
         config.diurnal,
         offsets,
         traffic_model,
-        seed=seed,
+        seed=rates_seed,
         churn=config.churn,
     )
 
 
-def run_replications(
-    topology: Topology,
-    traffic_model: TrafficModel,
-    config: RunConfig,
-    policy_factories: Mapping[str, PolicyFactory],
-) -> tuple[list[ReplicationResult], dict[str, dict[str, ConfidenceInterval]]]:
-    """Run all policies over ``config.replications`` paired workloads.
+@dataclass(frozen=True)
+class _ReplicationTask:
+    """Self-contained, picklable spec of one replication's work."""
 
-    Returns the raw per-replication results and, per policy, confidence
-    intervals over total cost, communication cost, migration cost and
-    migration count.
-    """
-    rngs = spawn_rngs(config.seed, config.replications)
-    results: list[ReplicationResult] = []
-    for rep, rng in enumerate(rngs):
+    topology: Topology
+    traffic_model: TrafficModel
+    config: RunConfig
+    rep: int
+    policies: tuple[tuple[str, PolicyFactory], ...]
+
+
+def _run_replication(task: _ReplicationTask) -> ReplicationResult:
+    """Execute one replication (runs in the parent or a worker process)."""
+    config = task.config
+    topology = task.topology
+    rep_seq = spawn_seed_sequences(config.seed, config.replications)[task.rep]
+    workload_seq, process_seq = rep_seq.spawn(2)
+    rng = np.random.default_rng(workload_seq)
+    count("replications")
+    with Timer.timed("replication"):
         flows = place_vm_pairs(
             topology,
             config.num_pairs,
             intra_rack_fraction=config.intra_rack_fraction,
             seed=rng,
         )
-        flows = flows.with_rates(traffic_model.sample(config.num_pairs, rng=rng))
+        flows = flows.with_rates(
+            task.traffic_model.sample(config.num_pairs, rng=rng)
+        )
         process = build_rate_process(
-            topology, flows, traffic_model, config, seed=config.seed * 100003 + rep
+            topology,
+            flows,
+            task.traffic_model,
+            config,
+            seed=spawn_seeds(process_seq, 1)[0],
         )
         if config.initial_placement == "hour0":
             # τ_0 = 0: every placement is TOP-optimal at hour zero, so the
@@ -147,10 +184,33 @@ def run_replications(
         else:
             placement = initial_placement(topology, flows, config.num_vnfs, process)
         days: dict[str, DayResult] = {}
-        for name, factory in policy_factories.items():
+        for name, factory in task.policies:
             policy = factory(topology, config.mu)
             days[name] = simulate_day(topology, flows, policy, process, placement)
-        results.append(ReplicationResult(flows=flows, placement=placement, days=days))
+    return ReplicationResult(flows=flows, placement=placement, days=days)
+
+
+def run_replications(
+    topology: Topology,
+    traffic_model: TrafficModel,
+    config: RunConfig,
+    policy_factories: Mapping[str, PolicyFactory],
+    workers: int = 1,
+) -> tuple[list[ReplicationResult], dict[str, dict[str, ConfidenceInterval]]]:
+    """Run all policies over ``config.replications`` paired workloads.
+
+    ``workers > 1`` fans the replications out across processes (factories
+    must then be picklable); results are bit-identical to ``workers=1``.
+    Returns the raw per-replication results and, per policy, confidence
+    intervals over total cost, communication cost, migration cost and
+    migration count.
+    """
+    policies = tuple(policy_factories.items())
+    tasks = [
+        _ReplicationTask(topology, traffic_model, config, rep, policies)
+        for rep in range(config.replications)
+    ]
+    results = get_executor(workers).map(_run_replication, tasks)
 
     summaries: dict[str, dict[str, ConfidenceInterval]] = {}
     for name in policy_factories:

@@ -1,21 +1,25 @@
 """Shared utilities: seeded RNG streams, statistics, tables and timing."""
 
-from repro.utils.rng import RngStream, spawn_rngs
+from repro.utils.rng import RngStream, spawn_rngs, spawn_seed_sequences, spawn_seeds
 from repro.utils.stats import ConfidenceInterval, mean_ci, summarize_runs
 from repro.utils.tables import ascii_table, format_float
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, named_timers, reset_named_timers
 from repro.utils.plotting import series_chart, sparkline
 from repro.utils.results_io import read_rows_csv, write_result_files, write_rows_csv
 
 __all__ = [
     "RngStream",
     "spawn_rngs",
+    "spawn_seed_sequences",
+    "spawn_seeds",
     "ConfidenceInterval",
     "mean_ci",
     "summarize_runs",
     "ascii_table",
     "format_float",
     "Timer",
+    "named_timers",
+    "reset_named_timers",
     "sparkline",
     "series_chart",
     "write_rows_csv",

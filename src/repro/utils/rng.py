@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RngStream", "spawn_rngs", "as_generator"]
+__all__ = [
+    "RngStream",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "spawn_seeds",
+    "as_generator",
+]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -28,12 +34,44 @@ def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` independent generators from a single root ``seed``."""
+def spawn_seed_sequences(
+    seed: int | np.random.SeedSequence, count: int
+) -> list[np.random.SeedSequence]:
+    """``count`` independent child :class:`~numpy.random.SeedSequence` s.
+
+    Children are derived by :meth:`SeedSequence.spawn`, so they are
+    statistically independent of each other *and* of any generator seeded
+    from the root itself.  Pass a child back in to derive grandchildren —
+    this is how the replication runner splits one root seed into
+    per-replication, per-purpose streams that cannot collide or correlate
+    (one child per (replication, purpose), never the same child twice).
+    """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return root.spawn(count)
+
+
+def spawn_seeds(seed: int | np.random.SeedSequence, count: int) -> list[int]:
+    """``count`` independent *integer* child seeds from a root seed.
+
+    For components that take a plain ``int`` seed (e.g. the rate
+    processes): each child sequence is collapsed to one 64-bit integer of
+    its generated state, preserving spawn independence.
+    """
+    return [
+        int(child.generate_state(1, np.uint64)[0])
+        for child in spawn_seed_sequences(seed, count)
+    ]
+
+
+def spawn_rngs(
+    seed: int | np.random.SeedSequence, count: int
+) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single root ``seed``."""
+    return [
+        np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)
+    ]
 
 
 @dataclass

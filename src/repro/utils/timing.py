@@ -1,11 +1,20 @@
-"""A minimal wall-clock timer used by the experiment harness."""
+"""Wall-clock timers used by the experiment harness and the runtime layer.
+
+Besides the plain context-manager :class:`Timer`, a process-global registry
+of *named* timers backs the instrumentation module: ``Timer.timed("dp")``
+returns the shared timer registered under ``"dp"`` (creating it on first
+use), so hot paths can time themselves with one line and the report can
+enumerate every phase afterwards via :func:`named_timers`.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Timer"]
+from repro.errors import ReproError
+
+__all__ = ["Timer", "named_timers", "reset_named_timers"]
 
 
 @dataclass
@@ -13,19 +22,29 @@ class Timer:
     """Context-manager stopwatch accumulating elapsed wall-clock seconds.
 
     A single instance can be re-entered; :attr:`total` accumulates across
-    uses and :attr:`laps` records each individual duration.
+    uses and :attr:`laps` records each individual duration.  Nested entry
+    of the *same* instance (e.g. an executor task that itself runs an
+    executor) is re-entrant: only the outermost enter/exit pair records a
+    lap, so nested spans are never double-counted.
     """
 
     total: float = 0.0
     laps: list[float] = field(default_factory=list)
     _start: float | None = field(default=None, repr=False)
+    _depth: int = field(default=0, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None, "Timer exited without entering"
+        if self._depth == 0 or self._start is None:
+            raise ReproError("Timer exited without entering")
+        self._depth -= 1
+        if self._depth:
+            return
         lap = time.perf_counter() - self._start
         self._start = None
         self.laps.append(lap)
@@ -35,3 +54,31 @@ class Timer:
     def last(self) -> float:
         """Duration of the most recent lap (0.0 before any lap)."""
         return self.laps[-1] if self.laps else 0.0
+
+    @classmethod
+    def timed(cls, name: str) -> "Timer":
+        """The process-global named timer ``name`` (created on first use).
+
+        Usage::
+
+            with Timer.timed("dp_placement"):
+                ...  # accumulated under one shared timer
+        """
+        timer = _NAMED.get(name)
+        if timer is None:
+            timer = _NAMED[name] = cls()
+        return timer
+
+
+#: process-global registry behind :meth:`Timer.timed`
+_NAMED: dict[str, Timer] = {}
+
+
+def named_timers() -> dict[str, Timer]:
+    """Snapshot of the named-timer registry (name -> shared Timer)."""
+    return dict(_NAMED)
+
+
+def reset_named_timers() -> None:
+    """Drop every named timer (used between instrumented runs)."""
+    _NAMED.clear()

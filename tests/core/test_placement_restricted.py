@@ -66,40 +66,50 @@ class TestCandidateRestriction:
 class TestStrollMatrixCache:
     def test_rates_do_not_affect_cache_reuse(self, ft4, workload):
         """Two calls with different rates must agree with fresh computation."""
-        from repro.core import placement as placement_mod
+        from repro.runtime.cache import ComputeCache
 
-        placement_mod._STROLL_CACHE.clear()
-        first = dp_placement(ft4, workload, 4)
+        cache = ComputeCache()
+        first = dp_placement(ft4, workload, 4, cache=cache)
         other_rates = workload.with_rates(workload.rates[::-1].copy())
-        cached = dp_placement(ft4, other_rates, 4)
-        placement_mod._STROLL_CACHE.clear()
-        fresh = dp_placement(ft4, other_rates, 4)
+        cached = dp_placement(ft4, other_rates, 4, cache=cache)
+        fresh = dp_placement(ft4, other_rates, 4, cache=ComputeCache())
         assert cached.cost == pytest.approx(fresh.cost)
         assert np.array_equal(cached.placement, fresh.placement)
         assert first.num_vnfs == 4
 
     def test_cache_entries_keyed_by_n_and_mode(self, ft4, workload):
-        from repro.core import placement as placement_mod
+        from repro.runtime.cache import ComputeCache
 
-        placement_mod._STROLL_CACHE.clear()
+        cache = ComputeCache()
+        dp_placement(ft4, workload, 4, cache=cache)
+        dp_placement(ft4, workload, 5, cache=cache)
+        dp_placement(ft4, workload, 5, mode="paper", cache=cache)
+        assert cache.owner_entries(ft4) == 3
+
+    def test_default_cache_hits_across_calls(self, ft4, workload):
+        from repro.runtime.cache import get_compute_cache
+
+        cache = get_compute_cache()
+        cache.clear()
+        cache.reset_stats()
         dp_placement(ft4, workload, 4)
-        dp_placement(ft4, workload, 5)
-        dp_placement(ft4, workload, 5, mode="paper")
-        entries = placement_mod._STROLL_CACHE[ft4]
-        assert len(entries) == 3
+        misses = cache.misses
+        dp_placement(ft4, workload, 4)
+        assert cache.misses == misses  # second solve served from cache
+        assert cache.hits > 0
 
     def test_cache_released_with_topology(self):
         import gc
 
-        from repro.core import placement as placement_mod
+        from repro.runtime.cache import ComputeCache
         from repro.topology.fattree import fat_tree
         from repro.workload.flows import place_vm_pairs
 
-        placement_mod._STROLL_CACHE.clear()
+        cache = ComputeCache()
         topo = fat_tree(4)
         flows = place_vm_pairs(topo, 4, seed=0)
-        dp_placement(topo, flows, 3)
-        assert len(placement_mod._STROLL_CACHE) == 1
+        dp_placement(topo, flows, 3, cache=cache)
+        assert cache.num_owners == 1
         del topo, flows
         gc.collect()
-        assert len(placement_mod._STROLL_CACHE) == 0
+        assert cache.num_owners == 0

@@ -1,0 +1,117 @@
+"""The experiment harness's runtime integration: map_points, run_experiment,
+the CLI's --workers/--profile flags, and the to_chart numeric filter."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments.common import (
+    ExperimentResult,
+    accepts_workers,
+    map_points,
+    run_experiment,
+)
+
+
+def double(x):
+    return 2 * x
+
+
+class TestMapPoints:
+    def test_preserves_point_order(self):
+        points = [5, 1, 4, 2, 3]
+        assert map_points(double, points) == [10, 2, 8, 4, 6]
+        assert map_points(double, points, workers=2) == [10, 2, 8, 4, 6]
+
+    def test_accepts_any_iterable(self):
+        assert map_points(double, range(3)) == [0, 2, 4]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            map_points(double, [1], workers=0)
+
+
+class TestAcceptsWorkers:
+    def test_detects_keyword(self):
+        def with_workers(scale, workers=1):
+            return None
+
+        def without(scale):
+            return None
+
+        assert accepts_workers(with_workers)
+        assert not accepts_workers(without)
+        assert not accepts_workers(len)  # C builtin without a signature
+
+
+class TestRunExperiment:
+    def test_attaches_runtime_report(self):
+        result = run_experiment("fig07_top1", "smoke")
+        runtime = result.params["runtime"]
+        assert runtime["workers"] == 1
+        assert runtime["counters"]["dp_stroll_solves"] > 0
+        assert "hit_rate" in runtime["cache"]
+        assert runtime["wall_seconds"] > 0
+
+    def test_parallel_matches_serial_rows(self):
+        serial = run_experiment("fig07_top1", "smoke", workers=1)
+        parallel = run_experiment("fig07_top1", "smoke", workers=2)
+        assert serial.rows == parallel.rows
+        assert parallel.params["runtime"]["workers"] == 2
+
+    def test_workers_ignored_by_serial_only_experiments(self):
+        # fig03_example has no workers parameter; the harness quietly runs
+        # it serially instead of failing
+        result = run_experiment("fig03_example", "smoke", workers=4)
+        assert result.params["runtime"]["workers"] == 1
+
+
+class TestCliRuntimeFlags:
+    def test_profile_prints_report(self):
+        out = io.StringIO()
+        code = main(
+            ["run", "fig07_top1", "--scale", "smoke", "--workers", "2", "--profile"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "runtime profile:" in text
+        assert "workers:      2" in text
+        assert "hit rate" in text
+
+    def test_runtime_report_in_json(self, tmp_path):
+        import json
+
+        out = io.StringIO()
+        json_path = tmp_path / "fig07.json"
+        main(
+            ["run", "fig07_top1", "--scale", "smoke", "--json", str(json_path)],
+            out=out,
+        )
+        payload = json.loads(json_path.read_text())
+        assert "runtime" in payload["params"]
+        assert payload["params"]["runtime"]["workers"] == 1
+        # the runtime dict must not leak into the table header
+        assert "runtime" not in out.getvalue().split("\n")[1]
+
+
+class TestToChartNumericFilter:
+    def _result(self, rows):
+        return ExperimentResult(experiment="demo", description="d", rows=rows)
+
+    def test_bool_columns_excluded(self):
+        result = self._result(
+            [
+                {"x": 1, "y": 2.0, "flag": True},
+                {"x": 2, "y": 3.0, "flag": False},
+            ]
+        )
+        chart = result.to_chart()
+        assert "y" in chart
+        assert "flag" not in chart
+
+    def test_numeric_columns_survive(self):
+        result = self._result([{"x": 1, "y": 2}, {"x": 2, "y": 4}])
+        assert "y" in result.to_chart()

@@ -1,0 +1,139 @@
+import gc
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.cache import ComputeCache, get_compute_cache, set_compute_cache
+
+
+class Owner:
+    """A plain weakref-able owner object."""
+
+
+class TestGetOrCompute:
+    def test_computes_on_miss_and_serves_hits(self):
+        cache = ComputeCache()
+        owner = Owner()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute(owner, "k", compute) == 42
+        assert cache.get_or_compute(owner, "k", compute) == 42
+        assert len(calls) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_distinct_keys_distinct_entries(self):
+        cache = ComputeCache()
+        owner = Owner()
+        assert cache.get_or_compute(owner, "a", lambda: 1) == 1
+        assert cache.get_or_compute(owner, "b", lambda: 2) == 2
+        assert len(cache) == 2
+        assert cache.owner_entries(owner) == 2
+
+    def test_distinct_owners_do_not_collide(self):
+        cache = ComputeCache()
+        a, b = Owner(), Owner()
+        cache.get_or_compute(a, "k", lambda: "a-value")
+        assert cache.get_or_compute(b, "k", lambda: "b-value") == "b-value"
+        assert cache.num_owners == 2
+
+
+class TestBounds:
+    def test_lru_eviction_at_capacity(self):
+        cache = ComputeCache(max_entries=3)
+        owner = Owner()
+        for i in range(5):
+            cache.get_or_compute(owner, i, lambda i=i: i)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        # oldest two were evicted: re-asking recomputes (miss), newest hit
+        misses = cache.misses
+        cache.get_or_compute(owner, 0, lambda: 0)
+        assert cache.misses == misses + 1
+        hits = cache.hits
+        cache.get_or_compute(owner, 4, lambda: 4)
+        assert cache.hits == hits + 1
+
+    def test_recent_use_protects_from_eviction(self):
+        cache = ComputeCache(max_entries=2)
+        owner = Owner()
+        cache.get_or_compute(owner, "a", lambda: 1)
+        cache.get_or_compute(owner, "b", lambda: 2)
+        cache.get_or_compute(owner, "a", lambda: 1)  # refresh "a"
+        cache.get_or_compute(owner, "c", lambda: 3)  # evicts "b", not "a"
+        hits = cache.hits
+        cache.get_or_compute(owner, "a", lambda: 1)
+        assert cache.hits == hits + 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ReproError):
+            ComputeCache(max_entries=0)
+
+
+class TestWeakOwnership:
+    def test_entries_die_with_owner(self):
+        cache = ComputeCache()
+        owner = Owner()
+        cache.get_or_compute(owner, "k", lambda: 1)
+        assert cache.num_owners == 1
+        del owner
+        gc.collect()
+        assert cache.num_owners == 0
+        assert len(cache) == 0
+
+    def test_dead_owner_not_counted_as_eviction(self):
+        cache = ComputeCache(max_entries=2)
+        owner = Owner()
+        cache.get_or_compute(owner, "k", lambda: 1)
+        del owner
+        gc.collect()
+        survivor = Owner()
+        for i in range(3):
+            cache.get_or_compute(survivor, i, lambda i=i: i)
+        # the dead owner's stale recency slot is skipped silently
+        assert cache.evictions == 1
+
+
+class TestMaintenance:
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = ComputeCache()
+        owner = Owner()
+        cache.get_or_compute(owner, "k", lambda: 1)
+        cache.get_or_compute(owner, "k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.misses == 1
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0 and cache.evictions == 0
+
+    def test_stats_dict(self):
+        cache = ComputeCache(max_entries=7)
+        owner = Owner()
+        cache.get_or_compute(owner, "k", lambda: 1)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["owners"] == 1
+        assert stats["max_entries"] == 7
+
+
+class TestGlobalCache:
+    def test_default_cache_is_process_global(self):
+        assert get_compute_cache() is get_compute_cache()
+
+    def test_set_compute_cache_swaps_and_returns_previous(self):
+        fresh = ComputeCache()
+        previous = set_compute_cache(fresh)
+        try:
+            assert get_compute_cache() is fresh
+        finally:
+            assert set_compute_cache(previous) is fresh
+
+    def test_set_compute_cache_type_checked(self):
+        with pytest.raises(ReproError):
+            set_compute_cache(object())

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import instrument
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+    map_tasks,
+)
+
+
+def square(x):
+    return x * x
+
+
+def count_and_square(x):
+    instrument.count("squares")
+    return x * x
+
+
+class TestGetExecutor:
+    def test_serial_for_one_or_none(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    def test_parallel_for_many(self):
+        executor = get_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ReproError):
+            get_executor(0)
+        with pytest.raises(ReproError):
+            get_executor(-2)
+
+    def test_parallel_executor_needs_two(self):
+        with pytest.raises(ReproError):
+            ParallelExecutor(1)
+
+
+class TestOrdering:
+    def test_serial_preserves_order(self):
+        assert SerialExecutor().map(square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_preserves_order(self):
+        assert ParallelExecutor(2).map(square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_serial_equals_parallel(self):
+        tasks = list(range(10))
+        assert SerialExecutor().map(square, tasks) == ParallelExecutor(3).map(
+            square, tasks
+        )
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(square, []) == []
+        assert ParallelExecutor(2).map(square, []) == []
+
+    def test_map_tasks_convenience(self):
+        assert map_tasks(square, [2, 3], workers=1) == [4, 9]
+        assert map_tasks(square, [2, 3], workers=2) == [4, 9]
+
+
+class TestInstrumentationMerge:
+    def test_serial_counts_locally(self):
+        instrument.reset()
+        SerialExecutor().map(count_and_square, range(4))
+        assert instrument.counters()["squares"] == 4
+
+    def test_parallel_counts_merge_back(self):
+        instrument.reset()
+        ParallelExecutor(2).map(count_and_square, range(4))
+        assert instrument.counters()["squares"] == 4
+
+    def test_task_timer_recorded_both_paths(self):
+        from repro.utils.timing import named_timers
+
+        instrument.reset()
+        SerialExecutor().map(square, range(3))
+        assert len(named_timers()["tasks"].laps) == 3
+        instrument.reset()
+        ParallelExecutor(2).map(square, range(3))
+        assert named_timers()["tasks"].total > 0.0

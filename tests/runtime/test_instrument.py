@@ -1,0 +1,98 @@
+import pytest
+
+from repro.runtime import instrument
+from repro.runtime.cache import ComputeCache, get_compute_cache, set_compute_cache
+from repro.utils.timing import Timer, named_timers
+
+
+@pytest.fixture(autouse=True)
+def _clean_instrumentation():
+    instrument.reset()
+    yield
+    instrument.reset()
+
+
+class Owner:
+    """A weakref-able cache owner (plain ``object()`` is not)."""
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        instrument.count("x")
+        instrument.count("x", 4)
+        assert instrument.counters() == {"x": 5}
+
+    def test_reset_zeroes_everything(self):
+        instrument.count("x")
+        with Timer.timed("phase"):
+            pass
+        get_compute_cache().get_or_compute(Owner(), "k", lambda: 1)
+        instrument.reset()
+        assert instrument.counters() == {}
+        assert named_timers() == {}
+        assert get_compute_cache().misses == 0
+
+
+class TestSnapshots:
+    def test_snapshot_folds_cache_stats(self):
+        cache = ComputeCache()
+        previous = set_compute_cache(cache)
+        try:
+            owner = Owner()
+            cache.get_or_compute(owner, "k", lambda: 1)
+            cache.get_or_compute(owner, "k", lambda: 1)
+            snap = instrument.snapshot()
+        finally:
+            set_compute_cache(previous)
+        assert snap["counters"]["cache_hits"] == 1
+        assert snap["counters"]["cache_misses"] == 1
+
+    def test_delta_and_merge_round_trip(self):
+        before = instrument.snapshot()
+        instrument.count("solves", 3)
+        with Timer.timed("phase"):
+            pass
+        delta = instrument.snapshot_delta(instrument.snapshot(), before)
+        assert delta["counters"]["solves"] == 3
+        assert delta["timers"]["phase"][1] == 1
+
+        instrument.reset()
+        instrument.merge_snapshot(delta)
+        assert instrument.counters()["solves"] == 3
+        assert named_timers()["phase"].total == pytest.approx(
+            delta["timers"]["phase"][0]
+        )
+
+    def test_delta_omits_unchanged(self):
+        instrument.count("stable")
+        before = instrument.snapshot()
+        delta = instrument.snapshot_delta(instrument.snapshot(), before)
+        assert "stable" not in delta["counters"]
+        assert delta["timers"] == {}
+
+
+class TestReport:
+    def test_report_structure(self):
+        instrument.count("dp_solves", 2)
+        with Timer.timed("tasks"):
+            pass
+        rep = instrument.report(workers=2, elapsed=0.5)
+        assert rep["workers"] == 2
+        assert rep["wall_seconds"] == 0.5
+        assert rep["counters"]["dp_solves"] == 2
+        assert "cache_hits" not in rep["counters"]  # folded into rep["cache"]
+        assert set(rep["cache"]) >= {"hits", "misses", "hit_rate", "entries"}
+        assert rep["timers"]["tasks"]["laps"] == 1
+        if "speedup" in rep:
+            assert rep["speedup"] == pytest.approx(rep["task_seconds"] / 0.5)
+
+    def test_format_report_mentions_key_signals(self):
+        instrument.count("dp_solves", 2)
+        with Timer.timed("tasks"):
+            pass
+        text = instrument.format_report(instrument.report(workers=2, elapsed=0.5))
+        assert "runtime profile:" in text
+        assert "workers" in text
+        assert "hit rate" in text
+        assert "dp_solves=2" in text
+        assert "tasks" in text

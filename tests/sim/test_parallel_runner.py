@@ -1,0 +1,61 @@
+"""Serial/parallel equivalence of the replication runner.
+
+The contract of :mod:`repro.runtime.executor`: the same seeds go in, so
+the same results come out regardless of ``workers``.  These tests pin the
+bit-identical guarantee at the runner level — summaries AND per-hour
+placements must match exactly, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+from repro.sim.runner import RunConfig, run_replications
+from repro.workload.traffic import FacebookTrafficModel
+
+FACTORIES = {"mpareto": MParetoPolicy, "stay": NoMigrationPolicy}
+
+
+def _run(ft4, workers):
+    cfg = RunConfig(
+        num_pairs=6, num_vnfs=3, mu=1.0, dynamics="redrawn", replications=3, seed=42
+    )
+    return run_replications(
+        ft4, FacebookTrafficModel(), cfg, FACTORIES, workers=workers
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_summaries_bit_identical(self, ft4):
+        _, serial = _run(ft4, workers=1)
+        _, parallel = _run(ft4, workers=2)
+        for name in FACTORIES:
+            for metric in serial[name]:
+                assert serial[name][metric].mean == parallel[name][metric].mean
+                assert (
+                    serial[name][metric].halfwidth == parallel[name][metric].halfwidth
+                )
+
+    def test_hourly_records_and_placements_identical(self, ft4):
+        serial, _ = _run(ft4, workers=1)
+        parallel, _ = _run(ft4, workers=2)
+        assert len(serial) == len(parallel)
+        for rep_s, rep_p in zip(serial, parallel):
+            assert np.array_equal(rep_s.placement, rep_p.placement)
+            assert np.array_equal(rep_s.flows.rates, rep_p.flows.rates)
+            for name in FACTORIES:
+                day_s, day_p = rep_s.days[name], rep_p.days[name]
+                for rec_s, rec_p in zip(day_s.records, day_p.records):
+                    assert rec_s.hour == rec_p.hour
+                    assert rec_s.communication_cost == rec_p.communication_cost
+                    assert rec_s.migration_cost == rec_p.migration_cost
+                    assert rec_s.num_migrations == rec_p.num_migrations
+
+    def test_replication_count_independent_of_workers(self, ft4):
+        results, _ = _run(ft4, workers=3)  # more workers than useful
+        assert len(results) == 3
+
+    def test_invalid_workers_rejected(self, ft4):
+        with pytest.raises(ReproError):
+            _run(ft4, workers=0)

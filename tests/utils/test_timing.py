@@ -1,6 +1,9 @@
 import time
 
-from repro.utils.timing import Timer
+import pytest
+
+from repro.errors import ReproError
+from repro.utils.timing import Timer, named_timers, reset_named_timers
 
 
 class TestTimer:
@@ -20,3 +23,50 @@ class TestTimer:
         with timer:
             pass
         assert timer.last == timer.laps[-1]
+
+    def test_exit_without_enter_raises(self):
+        timer = Timer()
+        with pytest.raises(ReproError):
+            timer.__exit__(None, None, None)
+
+    def test_nested_entry_records_one_lap(self):
+        timer = Timer()
+        with timer:
+            with timer:
+                time.sleep(0.01)
+        assert len(timer.laps) == 1
+        assert timer.total >= 0.01
+
+    def test_exception_still_records_lap(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer:
+                raise RuntimeError("boom")
+        assert len(timer.laps) == 1
+
+
+class TestNamedTimers:
+    def test_timed_returns_shared_instance(self):
+        reset_named_timers()
+        try:
+            assert Timer.timed("phase") is Timer.timed("phase")
+            assert Timer.timed("phase") is not Timer.timed("other")
+        finally:
+            reset_named_timers()
+
+    def test_timed_accumulates_in_registry(self):
+        reset_named_timers()
+        try:
+            with Timer.timed("phase"):
+                time.sleep(0.01)
+            registry = named_timers()
+            assert registry["phase"].total >= 0.01
+            assert len(registry["phase"].laps) == 1
+        finally:
+            reset_named_timers()
+
+    def test_reset_clears_registry(self):
+        with Timer.timed("phase"):
+            pass
+        reset_named_timers()
+        assert named_timers() == {}
