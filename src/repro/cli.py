@@ -8,7 +8,17 @@ Examples
     repro run fig07_top1
     repro run fig11a_hourly --workers 4 --profile
     repro run fig11c_vary_l --scale paper --json results/fig11c.json
+    repro run fig11a_hourly --workers 8 --max-retries 2 --task-timeout 600
+    repro run fig09_top --resume            # checkpoint to .repro/journal.jsonl
     repro run-all --scale smoke
+
+Resilience flags (``--max-retries``, ``--task-timeout``, ``--on-failure``,
+``--resume``) configure the execution policy of
+:mod:`repro.runtime.resilience`: failed replications/sweep points are
+retried with deterministic backoff, hung or dead workers lose only the
+work in flight, and with ``--resume`` completed tasks are checkpointed to
+an append-only journal so a killed run picks up where it stopped — with
+output bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -20,8 +30,15 @@ from pathlib import Path
 
 from repro.experiments import SCALES, list_experiments, run_experiment
 from repro.runtime.instrument import format_report
+from repro.runtime.journal import Journal
+from repro.runtime.resilience import ON_FAILURE, ResilienceConfig
+from repro.utils.results_io import write_text_atomic
 
 __all__ = ["main", "build_parser"]
+
+#: default checkpoint journal for ``--resume`` without an explicit path;
+#: fingerprints are scoped per experiment@scale, so one file serves all runs
+DEFAULT_JOURNAL = Path(".repro") / "journal.jsonl"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +88,50 @@ def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the runtime report (phase timers, cache hit rates, speedup)",
     )
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts per failed replication/sweep point (default: 0)",
+    )
+    sub.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any single task running longer than this",
+    )
+    sub.add_argument(
+        "--on-failure",
+        choices=ON_FAILURE,
+        default="fail",
+        help=(
+            "what to do when a task exhausts its retries: abort the run "
+            "('fail', default) or record it and keep going ('skip')"
+        ),
+    )
+    sub.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "checkpoint completed tasks to an append-only journal and skip "
+            f"tasks already journalled (default file: {DEFAULT_JOURNAL})"
+        ),
+    )
+
+
+def _resilience_from_args(args, journal: Journal | None) -> ResilienceConfig:
+    return ResilienceConfig(
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        on_failure=args.on_failure,
+        journal=journal,
+    )
 
 
 def _run_one(
@@ -81,9 +142,10 @@ def _run_one(
     plot: bool = False,
     workers: int = 1,
     profile: bool = False,
+    resilience: ResilienceConfig | None = None,
 ) -> None:
     start = time.perf_counter()
-    result = run_experiment(name, scale, workers=workers)
+    result = run_experiment(name, scale, workers=workers, resilience=resilience)
     elapsed = time.perf_counter() - start
     print(result.to_table(), file=out)
     if plot:
@@ -94,8 +156,9 @@ def _run_one(
         print(format_report(result.params["runtime"]), file=out)
     print(f"[{name} @ {scale}: {elapsed:.1f}s]", file=out)
     if json_path is not None:
-        json_path.parent.mkdir(parents=True, exist_ok=True)
-        json_path.write_text(result.to_json())
+        # temp-file + os.replace: a crash mid-write can never leave a
+        # truncated JSON where a previous good result used to be
+        write_text_atomic(json_path, result.to_json())
         print(f"wrote {json_path}", file=out)
 
 
@@ -112,32 +175,46 @@ def _dispatch(args, out) -> int:
         for name, description in list_experiments().items():
             print(f"{name:28s} {description}", file=out)
         return 0
-    if args.command == "run":
-        _run_one(
-            args.experiment,
-            args.scale,
-            args.json,
-            out,
-            plot=args.plot,
-            workers=args.workers,
-            profile=args.profile,
-        )
-        return 0
-    if args.command == "run-all":
-        for name in list_experiments():
-            json_path = (
-                args.json_dir / f"{name}.json" if args.json_dir is not None else None
-            )
+    journal = Journal(args.resume) if getattr(args, "resume", None) else None
+    try:
+        if args.command == "run":
+            if journal is not None and len(journal):
+                print(
+                    f"resuming from {journal.path} ({len(journal)} tasks journalled)",
+                    file=out,
+                )
             _run_one(
-                name,
+                args.experiment,
                 args.scale,
-                json_path,
+                args.json,
                 out,
+                plot=args.plot,
                 workers=args.workers,
                 profile=args.profile,
+                resilience=_resilience_from_args(args, journal),
             )
-            print(file=out)
-        return 0
+            return 0
+        if args.command == "run-all":
+            for name in list_experiments():
+                json_path = (
+                    args.json_dir / f"{name}.json"
+                    if args.json_dir is not None
+                    else None
+                )
+                _run_one(
+                    name,
+                    args.scale,
+                    json_path,
+                    out,
+                    workers=args.workers,
+                    profile=args.profile,
+                    resilience=_resilience_from_args(args, journal),
+                )
+                print(file=out)
+            return 0
+    finally:
+        if journal is not None:
+            journal.close()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

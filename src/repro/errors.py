@@ -8,6 +8,8 @@ infeasible problem instances.
 
 from __future__ import annotations
 
+import builtins
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -52,3 +54,40 @@ class BudgetExceededError(ReproError):
 
 class SolverError(ReproError):
     """An internal solver reached an inconsistent state (library bug)."""
+
+
+class TaskError(ReproError):
+    """A task failed inside an executor after exhausting its retry budget.
+
+    Raised by the :mod:`repro.runtime.executor` layer when a mapped task
+    keeps failing (or its worker process keeps dying) beyond the configured
+    ``max_retries`` and the failure policy is ``"fail"``.  Unlike a plain
+    re-raise, it carries the *worker-side* traceback text across the
+    process boundary, plus which task failed and how many attempts it got.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: int | None = None,
+        attempts: int | None = None,
+        worker_traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        #: position of the failed task in the mapped sequence
+        self.index = index
+        #: how many attempts the task was given before giving up
+        self.attempts = attempts
+        #: formatted traceback captured in the worker process ("" if none)
+        self.worker_traceback = worker_traceback
+
+
+class TimeoutError(TaskError, builtins.TimeoutError):
+    """A task exceeded its configured ``task_timeout``.
+
+    Also derives from the builtin :class:`TimeoutError` so generic
+    ``except TimeoutError`` handlers and the executor's timeout
+    classification both catch it, whether the timeout was enforced by the
+    parent (a hung worker) or injected by the chaos layer.
+    """

@@ -12,11 +12,13 @@ or from the command line: ``python -m repro.cli run fig07_top1``.
 from repro.experiments.common import (
     SCALES,
     ExperimentResult,
+    completed_only,
     get_experiment,
     list_experiments,
     map_points,
     register,
     run_experiment,
+    zip_completed,
 )
 
 # importing the modules populates the registry
@@ -38,9 +40,11 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
 __all__ = [
     "SCALES",
     "ExperimentResult",
+    "completed_only",
     "get_experiment",
     "list_experiments",
     "map_points",
     "register",
     "run_experiment",
+    "zip_completed",
 ]

@@ -24,6 +24,13 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.errors import ReproError
 from repro.runtime import instrument
 from repro.runtime.executor import get_executor
+from repro.runtime.resilience import (
+    ResilienceConfig,
+    TaskFailure,
+    drain_failures,
+    get_resilience,
+    use_resilience,
+)
 from repro.utils.tables import rows_to_table
 from repro.utils.timing import Timer
 
@@ -34,6 +41,8 @@ __all__ = [
     "get_experiment",
     "list_experiments",
     "map_points",
+    "completed_only",
+    "zip_completed",
     "accepts_workers",
     "run_experiment",
 ]
@@ -147,7 +156,10 @@ def check_scale(scale: str) -> str:
 
 
 def map_points(
-    fn: Callable[[Any], Any], points: Sequence[Any], workers: int = 1
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    workers: int = 1,
+    resilience: ResilienceConfig | None = None,
 ) -> list[Any]:
     """Map a sweep function over its points, optionally across processes.
 
@@ -157,8 +169,35 @@ def map_points(
     ``fn`` and every point must be picklable (module-level function,
     tuple/dataclass specs).  Each point must be self-contained — sweeps
     that thread state between points cannot fan out.
+
+    ``resilience`` overrides the active execution policy (retries,
+    timeouts, journal, chaos).  Under its ``skip`` failure policy a point
+    that exhausts its retries yields its
+    :class:`~repro.runtime.resilience.TaskFailure` in place of a result —
+    use :func:`completed_only` / :func:`zip_completed` to degrade
+    gracefully while keeping point alignment.
     """
-    return get_executor(workers).map(fn, list(points))
+    return get_executor(workers, resilience).map(fn, list(points))
+
+
+def completed_only(results: Sequence[Any]) -> list[Any]:
+    """Results with skipped :class:`TaskFailure` placeholders removed."""
+    return [result for result in results if not isinstance(result, TaskFailure)]
+
+
+def zip_completed(points: Sequence[Any], results: Sequence[Any]) -> list[tuple]:
+    """Pair each sweep point with its result, dropping skipped failures.
+
+    Keeps point/result alignment intact under ``--on-failure=skip``:
+    because :func:`map_points` preserves positions (a failed point holds
+    a placeholder rather than vanishing), zipping then filtering can
+    never mispair a point with a neighbouring point's result.
+    """
+    return [
+        (point, result)
+        for point, result in zip(points, results)
+        if not isinstance(result, TaskFailure)
+    ]
 
 
 def accepts_workers(fn: Callable) -> bool:
@@ -169,27 +208,38 @@ def accepts_workers(fn: Callable) -> bool:
         return False
 
 
-def run_experiment(name: str, scale: str = "default", workers: int = 1) -> ExperimentResult:
-    """Run a registered experiment with instrumentation.
+def run_experiment(
+    name: str,
+    scale: str = "default",
+    workers: int = 1,
+    resilience: ResilienceConfig | None = None,
+) -> ExperimentResult:
+    """Run a registered experiment with instrumentation and resilience.
 
     Resets the process instrumentation (counters, phase timers, cache
-    statistics), runs the experiment — passing ``workers`` through when
-    the experiment supports it — and attaches the runtime report (worker
-    count, per-phase wall time, cache hit rates, DP solve counts,
-    speedup) as ``result.params["runtime"]``.  This is what ``repro run``
-    executes; ``--profile`` prints the attached report.
+    statistics), installs the execution policy (``resilience`` or the
+    active one) scoped to ``name@scale`` — so an attached checkpoint
+    journal keys its fingerprints to this run — runs the experiment,
+    passing ``workers`` through when the experiment supports it, and
+    attaches the runtime report (worker count, per-phase wall time, cache
+    hit rates, retry/salvage/resume counters, speedup, and any skipped
+    tasks under ``"failures"``) as ``result.params["runtime"]``.  This is
+    what ``repro run`` executes; ``--profile`` prints the attached report.
     """
     fn = get_experiment(name)
     # experiments that haven't adopted the executor yet just run serially
     effective_workers = workers if accepts_workers(fn) else 1
     instrument.reset()
+    drain_failures()  # drop leftovers from any earlier, unreported run
+    policy = resilience if resilience is not None else get_resilience()
     timer = Timer()
-    with timer:
-        if accepts_workers(fn):
-            result = fn(scale, workers=effective_workers)
-        else:
-            result = fn(scale)
-    result.params["runtime"] = instrument.report(
-        workers=effective_workers, elapsed=timer.last
-    )
+    with use_resilience(policy.scoped(f"{name}@{scale}")):
+        with timer:
+            if accepts_workers(fn):
+                result = fn(scale, workers=effective_workers)
+            else:
+                result = fn(scale)
+    report = instrument.report(workers=effective_workers, elapsed=timer.last)
+    report["failures"] = [failure.to_dict() for failure in drain_failures()]
+    result.params["runtime"] = report
     return result

@@ -25,7 +25,13 @@ from repro.core.optimal import optimal_placement
 from repro.core.placement import dp_placement_top1
 from repro.core.primal_dual import primal_dual_placement_top1
 from repro.errors import BudgetExceededError
-from repro.experiments.common import ExperimentResult, check_scale, map_points, register
+from repro.experiments.common import (
+    ExperimentResult,
+    check_scale,
+    completed_only,
+    map_points,
+    register,
+)
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
@@ -84,13 +90,15 @@ def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
     params = _SCALE_PARAMS[check_scale(scale)]
     topo = fat_tree(params["k"])
     model = FacebookTrafficModel()
-    rows = map_points(
-        top1_point,
-        [
-            (topo, model, n, params["seed"] * 1000 + n, params["replications"])
-            for n in params["ns"]
-        ],
-        workers=workers,
+    rows = completed_only(
+        map_points(
+            top1_point,
+            [
+                (topo, model, n, params["seed"] * 1000 + n, params["replications"])
+                for n in params["ns"]
+            ],
+            workers=workers,
+        )
     )
     notes = []
     gaps = [

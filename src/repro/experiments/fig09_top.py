@@ -21,7 +21,13 @@ from repro.baselines.steering import steering_placement
 from repro.core.optimal import optimal_placement
 from repro.core.placement import dp_placement
 from repro.errors import BudgetExceededError
-from repro.experiments.common import ExperimentResult, check_scale, map_points, register
+from repro.experiments.common import (
+    ExperimentResult,
+    check_scale,
+    map_points,
+    register,
+    zip_completed,
+)
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
@@ -127,9 +133,11 @@ def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
         ],
         workers=workers,
     )
+    # zip_completed drops points skipped under --on-failure=skip while
+    # keeping every surviving cell aligned with its point spec
     rows = [
         {"sweep": sweep, "l": l, "n": n, **cell}
-        for (sweep, l, n, _seed), cell in zip(points, cells)
+        for (sweep, l, n, _seed), cell in zip_completed(points, cells)
     ]
 
     notes = []

@@ -8,7 +8,13 @@ below Steering and Greedy on this setting.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, check_scale, map_points, register
+from repro.experiments.common import (
+    ExperimentResult,
+    check_scale,
+    map_points,
+    register,
+    zip_completed,
+)
 from repro.experiments.fig09_top import sweep_cell
 from repro.topology.fattree import fat_tree
 from repro.topology.weights import apply_uniform_delays
@@ -43,7 +49,8 @@ def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
         workers=workers,
     )
     rows = [
-        {"n": n, "l": params["l"], **cell} for n, cell in zip(params["ns"], cells)
+        {"n": n, "l": params["l"], **cell}
+        for n, cell in zip_completed(params["ns"], cells)
     ]
 
     notes = []

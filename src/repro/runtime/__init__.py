@@ -1,11 +1,18 @@
-"""The execution layer: executors, compute caches, instrumentation.
+"""The execution layer: executors, resilience, caches, instrumentation.
 
 This package is how the harness runs "as fast as the hardware allows"
-without giving up reproducibility:
+without giving up reproducibility — or results — when things break:
 
 * :mod:`repro.runtime.executor` — serial / process-parallel mapping of
   picklable task specs (``workers`` argument, order-preserving,
-  bit-identical to the serial path);
+  bit-identical to the serial path), plus the fault-injecting
+  :class:`~repro.runtime.executor.ChaosExecutor`;
+* :mod:`repro.runtime.resilience` — the failure policy the executors
+  apply: bounded retries with deterministic backoff, per-task timeouts,
+  broken-pool salvage, ``fail``/``skip`` failure handling, and seeded
+  chaos injection;
+* :mod:`repro.runtime.journal` — the append-only checkpoint journal
+  behind ``repro run --resume``;
 * :mod:`repro.runtime.cache` — the bounded, observable
   :class:`~repro.runtime.cache.ComputeCache` behind Algorithm 3's stroll
   matrices and the graphs' all-pairs shortest-path tables;
@@ -16,6 +23,7 @@ without giving up reproducibility:
 
 from repro.runtime.cache import ComputeCache, get_compute_cache, set_compute_cache
 from repro.runtime.executor import (
+    ChaosExecutor,
     Executor,
     ParallelExecutor,
     SerialExecutor,
@@ -32,6 +40,18 @@ from repro.runtime.instrument import (
     snapshot,
     snapshot_delta,
 )
+from repro.runtime.journal import Journal, task_fingerprint
+from repro.runtime.resilience import (
+    ChaosConfig,
+    ChaosError,
+    ResilienceConfig,
+    TaskFailure,
+    backoff_delay,
+    drain_failures,
+    get_resilience,
+    record_failure,
+    use_resilience,
+)
 
 __all__ = [
     # cache
@@ -39,11 +59,25 @@ __all__ = [
     "get_compute_cache",
     "set_compute_cache",
     # executor
+    "ChaosExecutor",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
     "get_executor",
     "map_tasks",
+    # resilience
+    "ChaosConfig",
+    "ChaosError",
+    "ResilienceConfig",
+    "TaskFailure",
+    "backoff_delay",
+    "drain_failures",
+    "get_resilience",
+    "record_failure",
+    "use_resilience",
+    # journal
+    "Journal",
+    "task_fingerprint",
     # instrumentation
     "count",
     "counters",

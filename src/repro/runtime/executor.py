@@ -6,34 +6,88 @@ TOP placement → every policy's day) and the per-point work of experiment
 sweeps (:func:`repro.experiments.common.map_points`).  Both route through
 one :class:`Executor`:
 
-* :class:`SerialExecutor` — a plain ordered loop in this process; and
-* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
-  fan-out preserving task order.
+* :class:`SerialExecutor` — a plain ordered loop in this process;
+* :class:`ParallelExecutor` — submit-based dispatch onto a
+  :class:`concurrent.futures.ProcessPoolExecutor`, preserving task order;
+* :class:`ChaosExecutor` — a fault-injecting wrapper around either, used
+  by the test suite to prove the resilience machinery keeps results
+  bit-identical under crashes, delays and timeouts.
 
 Tasks must be *self-contained and picklable* — a task carries everything
 its computation needs (topology, config, seeds), never shared mutable
-state — which is what makes the two executors bit-identical: the same
-seeds go in, so the same results come out regardless of ``workers``.
+state — which is what makes the executors bit-identical: the same seeds
+go in, so the same results come out regardless of ``workers``, retries,
+or worker deaths.
+
+Every ``map`` resolves the active
+:class:`~repro.runtime.resilience.ResilienceConfig` (or one passed
+explicitly) and applies its policy:
+
+* failed tasks are retried up to ``max_retries`` with exponential backoff
+  and deterministic jitter (:func:`~repro.runtime.resilience.backoff_delay`);
+* a worker death (``BrokenProcessPool``) loses only the tasks in flight —
+  completed results are kept, the pool is rebuilt, and each in-flight
+  task is charged one attempt and re-submitted (so a task that keeps
+  killing its worker still exhausts its budget and terminates the loop);
+* a task exceeding ``task_timeout`` has its (hung) pool killed and is
+  charged one timed-out attempt; innocent in-flight neighbours re-run
+  free of charge.  Serial execution cannot preempt a running task, so
+  there timeouts only classify injected/organic ``TimeoutError`` s;
+* tasks that exhaust their budget either abort the map with
+  :class:`~repro.errors.TaskError` (policy ``fail``) or leave a
+  structured :class:`~repro.runtime.resilience.TaskFailure` in their
+  result slot (policy ``skip``);
+* when a journal is attached, finished tasks are checkpointed and
+  journalled tasks are skipped on resume (counted as ``journal_hits``).
+
+The function is shipped to each worker process *once* via the pool
+initializer (not pickled per task), and tasks are submitted individually
+— at most ``workers`` in flight — so submission time approximates start
+time, which is what makes the parent-side deadline enforcement honest.
 
 Each worker process has its own compute cache and instrumentation; the
-parallel executor wraps every task to capture an instrumentation snapshot
-delta (counters, phase timers, cache hits/misses) and merges it back into
-the parent, so profiling reports see all work wherever it ran.  Both
-executors also time every task under the shared ``tasks`` timer, from
-which the report derives its speedup estimate.
+worker-side shim captures an instrumentation snapshot delta (counters,
+phase timers, cache hits/misses) per task and the parent merges it back,
+so profiling reports see all work wherever it ran.  Both executors also
+time every task under the shared ``tasks`` timer, from which the report
+derives its speedup estimate.
 """
 
 from __future__ import annotations
 
+import builtins
+import heapq
+import time
+import traceback as traceback_module
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TaskError
 from repro.runtime import instrument
+from repro.runtime.instrument import count
+from repro.runtime.journal import task_fingerprint
+from repro.runtime.resilience import (
+    ResilienceConfig,
+    TaskFailure,
+    backoff_delay,
+    chaos_wrap,
+    get_resilience,
+    record_failure,
+)
 from repro.utils.timing import Timer
 
-__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "get_executor"]
+__all__ = [
+    "ChaosExecutor",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "get_executor",
+    "map_tasks",
+]
 
 
 class Executor(ABC):
@@ -42,9 +96,27 @@ class Executor(ABC):
     #: number of worker processes this executor uses (1 = in-process)
     workers: int = 1
 
+    #: explicit policy override; ``None`` resolves the active one per map
+    resilience: ResilienceConfig | None = None
+
     @abstractmethod
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every task, returning results in task order."""
+
+    def _config(self) -> ResilienceConfig:
+        return self.resilience if self.resilience is not None else get_resilience()
+
+
+def _call_fn(fn: Callable[[Any], Any], task: Any, attempt: int) -> Any:
+    """Invoke a task function, passing the attempt number when supported.
+
+    Attempt-aware callables (``accepts_attempt = True``, e.g. the chaos
+    wrapper) receive which attempt this is, so transient fault injection
+    can clear on retry; plain functions keep the one-argument contract.
+    """
+    if getattr(fn, "accepts_attempt", False):
+        return fn(task, attempt)
+    return fn(task)
 
 
 class SerialExecutor(Executor):
@@ -52,65 +124,385 @@ class SerialExecutor(Executor):
 
     workers = 1
 
+    def __init__(self, resilience: ResilienceConfig | None = None) -> None:
+        self.resilience = resilience
+
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
-        results = []
-        for task in tasks:
-            with Timer.timed("tasks"):
-                results.append(fn(task))
+        config = self._config()
+        fn = chaos_wrap(fn, config.chaos)
+        results: list[Any] = []
+        for index, task in enumerate(tasks):
+            if config.journal is not None:
+                fingerprint = task_fingerprint(config.scope, index, task)
+                hit, value = config.journal.lookup(fingerprint)
+                if hit:
+                    count("journal_hits")
+                    results.append(value)
+                    continue
+            else:
+                fingerprint = None
+            results.append(self._run_one(fn, index, task, config, fingerprint))
         return results
 
+    def _run_one(
+        self,
+        fn: Callable[[Any], Any],
+        index: int,
+        task: Any,
+        config: ResilienceConfig,
+        fingerprint: str | None,
+    ) -> Any:
+        failed_attempts = 0
+        while True:
+            try:
+                with Timer.timed("tasks"):
+                    result = _call_fn(fn, task, failed_attempts)
+            except Exception as exc:
+                is_timeout = isinstance(exc, builtins.TimeoutError)
+                if is_timeout:
+                    count("task_timeouts")
+                failed_attempts += 1
+                if failed_attempts <= config.max_retries:
+                    count("task_retries")
+                    delay = backoff_delay(config, index, failed_attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                failure = TaskFailure(
+                    index=index,
+                    attempts=failed_attempts,
+                    error=repr(exc),
+                    traceback=traceback_module.format_exc(),
+                    timeout=is_timeout,
+                )
+                if config.on_failure == "skip":
+                    count("tasks_skipped")
+                    record_failure(failure)
+                    return failure
+                raise TaskError(
+                    f"task {index} failed after {failed_attempts} attempt(s): "
+                    f"{failure.error}",
+                    index=index,
+                    attempts=failed_attempts,
+                    worker_traceback=failure.traceback,
+                ) from exc
+            if fingerprint is not None:
+                config.journal.record(fingerprint, result)
+            return result
 
-def _instrumented_call(payload: tuple[Callable[[Any], Any], Any]) -> tuple[Any, dict]:
-    """Worker-side shim: run one task and report what it cost.
 
-    Returns ``(result, snapshot_delta)`` so the parent can fold the
-    worker's counters, timers and cache statistics into its own.
+# -- worker-side shims --------------------------------------------------------
+
+#: the mapped function, shipped once per worker process by the initializer
+#: instead of being pickled into every task payload
+_WORKER_FN: Callable[[Any], Any] | None = None
+
+
+def _init_worker(fn: Callable[[Any], Any]) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _run_task(index: int, attempt: int, task: Any) -> tuple:
+    """Worker-side shim: run one task and report what happened and what it cost.
+
+    Exceptions are caught *here*, in the worker, so the formatted
+    traceback (which does not survive pickling on an exception object)
+    crosses the process boundary as text.  Returns either
+    ``("ok", index, result, delta)`` or
+    ``("err", index, (error_repr, traceback_text, is_timeout), delta)``
+    where ``delta`` is the instrumentation snapshot to merge back.
     """
-    fn, task = payload
     before = instrument.snapshot()
-    with Timer.timed("tasks"):
-        result = fn(task)
-    return result, instrument.snapshot_delta(instrument.snapshot(), before)
+    try:
+        with Timer.timed("tasks"):
+            result = _call_fn(_WORKER_FN, task, attempt)
+    except Exception as exc:
+        delta = instrument.snapshot_delta(instrument.snapshot(), before)
+        detail = (
+            repr(exc),
+            traceback_module.format_exc(),
+            isinstance(exc, builtins.TimeoutError),
+        )
+        return ("err", index, detail, delta)
+    delta = instrument.snapshot_delta(instrument.snapshot(), before)
+    return ("ok", index, result, delta)
 
 
 class ParallelExecutor(Executor):
-    """Process-pool fan-out; results keep task order, stats merge back."""
+    """Process-pool fan-out; results keep task order, stats merge back.
 
-    def __init__(self, workers: int) -> None:
+    Dispatch is submit-based (never a single ``pool.map``), so one dead
+    worker forfeits only the tasks in flight; everything already
+    completed is salvaged and the pool is rebuilt (see module docstring
+    for the full failure semantics).
+    """
+
+    def __init__(
+        self, workers: int, resilience: ResilienceConfig | None = None
+    ) -> None:
         if workers < 2:
             raise ReproError(
                 f"ParallelExecutor needs at least 2 workers, got {workers}"
             )
         self.workers = int(workers)
+        self.resilience = resilience
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    @staticmethod
+    def _new_pool(fn: Callable[[Any], Any], max_workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_init_worker, initargs=(fn,)
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # already dead / being reaped
+                pass
+
+    # -- the dispatch loop --------------------------------------------------
 
     def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        config = self._config()
+        fn = chaos_wrap(fn, config.chaos)
         tasks = list(tasks)
         if not tasks:
             return []
-        max_workers = min(self.workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pairs = list(
-                pool.map(_instrumented_call, [(fn, task) for task in tasks])
+        n = len(tasks)
+        results: list[Any] = [None] * n
+        attempts = [0] * n  # failed attempts so far, per task
+
+        fingerprints: list[str] | None = None
+        remaining = list(range(n))
+        if config.journal is not None:
+            fingerprints = [
+                task_fingerprint(config.scope, i, task) for i, task in enumerate(tasks)
+            ]
+            remaining = []
+            for i in range(n):
+                hit, value = config.journal.lookup(fingerprints[i])
+                if hit:
+                    count("journal_hits")
+                    results[i] = value
+                else:
+                    remaining.append(i)
+            if not remaining:
+                return results
+
+        max_workers = min(self.workers, len(remaining))
+        pending: deque[int] = deque(remaining)
+        retry_heap: list[tuple[float, int]] = []  # (ready time, task index)
+        inflight: dict[Future, int] = {}
+        deadlines: dict[int, float] = {}
+        pool = self._new_pool(fn, max_workers)
+
+        def finish(index: int, result: Any) -> None:
+            results[index] = result
+            if fingerprints is not None:
+                config.journal.record(fingerprints[index], result)
+
+        def fail_or_retry(index: int, failure: TaskFailure) -> None:
+            """Schedule a retry if budget remains, else apply the policy."""
+            if attempts[index] <= config.max_retries:
+                count("task_retries")
+                delay = backoff_delay(config, index, attempts[index])
+                heapq.heappush(retry_heap, (time.monotonic() + delay, index))
+                return
+            if config.on_failure == "skip":
+                count("tasks_skipped")
+                record_failure(failure)
+                results[index] = failure
+                return
+            raise TaskError(
+                f"task {index} failed after {failure.attempts} attempt(s): "
+                f"{failure.error}",
+                index=index,
+                attempts=failure.attempts,
+                worker_traceback=failure.traceback,
             )
-        results = []
-        for result, delta in pairs:
-            instrument.merge_snapshot(delta)
-            results.append(result)
+
+        def crash_failure(index: int) -> TaskFailure:
+            return TaskFailure(
+                index=index,
+                attempts=attempts[index],
+                error="worker process died (BrokenProcessPool)",
+            )
+
+        def rebuild_after_crash() -> None:
+            """Salvage a broken pool: charge the in-flight tasks, restart."""
+            nonlocal pool
+            count("pool_restarts")
+            for index in sorted(inflight.values()):
+                deadlines.pop(index, None)
+                attempts[index] += 1
+                fail_or_retry(index, crash_failure(index))
+            inflight.clear()
+            self._kill_pool(pool)
+            pool = self._new_pool(fn, max_workers)
+
+        try:
+            while pending or inflight or retry_heap:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    pending.append(heapq.heappop(retry_heap)[1])
+                while pending and len(inflight) < max_workers:
+                    index = pending.popleft()
+                    try:
+                        future = pool.submit(
+                            _run_task, index, attempts[index], tasks[index]
+                        )
+                    except BrokenProcessPool:
+                        pending.appendleft(index)
+                        rebuild_after_crash()
+                        continue
+                    inflight[future] = index
+                    if config.task_timeout is not None:
+                        deadlines[index] = time.monotonic() + config.task_timeout
+                if not inflight:
+                    if retry_heap:  # only backoff waits remain
+                        time.sleep(
+                            max(0.0, retry_heap[0][0] - time.monotonic())
+                        )
+                    continue
+
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+                if retry_heap:
+                    until_retry = max(0.0, retry_heap[0][0] - time.monotonic())
+                    wait_timeout = (
+                        until_retry
+                        if wait_timeout is None
+                        else min(wait_timeout, until_retry)
+                    )
+                completed, _ = futures_wait(
+                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                for future in completed:
+                    index = inflight.pop(future)
+                    deadlines.pop(index, None)
+                    try:
+                        status, _, value, delta = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        attempts[index] += 1
+                        fail_or_retry(index, crash_failure(index))
+                        continue
+                    instrument.merge_snapshot(delta)
+                    if status == "ok":
+                        finish(index, value)
+                        continue
+                    error_repr, traceback_text, is_timeout = value
+                    if is_timeout:
+                        count("task_timeouts")
+                    attempts[index] += 1
+                    fail_or_retry(
+                        index,
+                        TaskFailure(
+                            index=index,
+                            attempts=attempts[index],
+                            error=error_repr,
+                            traceback=traceback_text,
+                            timeout=is_timeout,
+                        ),
+                    )
+                if broken:
+                    rebuild_after_crash()
+                    continue
+
+                # parent-side deadline enforcement: a worker stuck past its
+                # task's deadline cannot be reclaimed, so the pool goes too
+                now = time.monotonic()
+                expired = sorted(
+                    index for index, deadline in deadlines.items() if deadline <= now
+                )
+                if expired:
+                    count("pool_restarts")
+                    survivors = sorted(
+                        index for index in inflight.values() if index not in expired
+                    )
+                    for index in expired:
+                        count("task_timeouts")
+                        attempts[index] += 1
+                        fail_or_retry(
+                            index,
+                            TaskFailure(
+                                index=index,
+                                attempts=attempts[index],
+                                error=(
+                                    "task exceeded task_timeout="
+                                    f"{config.task_timeout}s"
+                                ),
+                                timeout=True,
+                            ),
+                        )
+                    # innocents killed alongside the hung worker re-run
+                    # without being charged an attempt
+                    pending.extendleft(reversed(survivors))
+                    inflight.clear()
+                    deadlines.clear()
+                    self._kill_pool(pool)
+                    pool = self._new_pool(fn, max_workers)
+        except BaseException:
+            self._kill_pool(pool)
+            raise
+        pool.shutdown(wait=True)
         return results
 
 
-def get_executor(workers: int | None = 1) -> Executor:
-    """Select the executor for a ``workers`` argument (``None``/1 = serial)."""
+class ChaosExecutor(Executor):
+    """Fault-injecting wrapper: delegate to ``inner`` with chaos applied.
+
+    Wraps the mapped function in the seeded
+    :class:`~repro.runtime.resilience.ChaosConfig` injection before
+    handing it to the wrapped executor, whose retry/salvage machinery
+    must then recover.  Purely a test/validation instrument — production
+    runs get their chaos for free.
+    """
+
+    def __init__(self, inner: Executor, chaos) -> None:
+        self.inner = inner
+        self.chaos = chaos
+
+    @property
+    def workers(self) -> int:  # type: ignore[override]
+        return self.inner.workers
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        return self.inner.map(chaos_wrap(fn, self.chaos), tasks)
+
+
+def get_executor(
+    workers: int | None = 1, resilience: ResilienceConfig | None = None
+) -> Executor:
+    """Select the executor for a ``workers`` argument (``None``/1 = serial).
+
+    ``resilience`` overrides the process-wide active policy for this
+    executor's maps (retries, timeouts, journal, chaos — see
+    :mod:`repro.runtime.resilience`).
+    """
     workers = 1 if workers is None else int(workers)
     if workers < 1:
         raise ReproError(f"workers must be a positive integer, got {workers}")
     if workers == 1:
-        return SerialExecutor()
-    return ParallelExecutor(workers)
+        return SerialExecutor(resilience)
+    return ParallelExecutor(workers, resilience)
 
 
 def map_tasks(
-    fn: Callable[[Any], Any], tasks: Sequence[Any], workers: int | None = 1
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: int | None = 1,
+    resilience: ResilienceConfig | None = None,
 ) -> list[Any]:
-    """One-shot convenience: ``get_executor(workers).map(fn, tasks)``."""
-    return get_executor(workers).map(fn, tasks)
+    """One-shot convenience: ``get_executor(workers, resilience).map(fn, tasks)``."""
+    return get_executor(workers, resilience).map(fn, tasks)

@@ -41,6 +41,15 @@ __all__ = [
 #: keys under which cache statistics travel inside snapshot counters
 _CACHE_KEYS = ("cache_hits", "cache_misses", "cache_evictions")
 
+#: resilience counters (counted by the executors) -> report field names
+_RESILIENCE_KEYS = {
+    "task_retries": "retries",
+    "task_timeouts": "timeouts",
+    "pool_restarts": "pool_restarts",
+    "tasks_skipped": "skipped",
+    "journal_hits": "resumed",
+}
+
 _COUNTERS: Counter = Counter()
 
 
@@ -124,8 +133,13 @@ def report(workers: int | None = None, elapsed: float | None = None) -> dict:
     misses = all_counters.pop("cache_misses", 0)
     evictions = all_counters.pop("cache_evictions", 0)
     lookups = hits + misses
+    resilience = {
+        field: all_counters.pop(counter, 0)
+        for counter, field in _RESILIENCE_KEYS.items()
+    }
     out: dict = {
         "counters": all_counters,
+        "resilience": resilience,
         "timers": {
             name: {"seconds": total, "laps": laps}
             for name, (total, laps) in sorted(snap["timers"].items())
@@ -170,6 +184,25 @@ def format_report(rep: Mapping) -> str:
             f"({cache['hits']} hits / {cache['misses']} misses, "
             f"{cache['evictions']} evictions, {cache['entries']} entries)"
         )
+    resilience = rep.get("resilience", {})
+    if any(resilience.get(field, 0) for field in resilience if field != "failures"):
+        lines.append(
+            "  resilience:   "
+            f"{resilience.get('retries', 0)} retries, "
+            f"{resilience.get('timeouts', 0)} timeouts, "
+            f"{resilience.get('pool_restarts', 0)} pool restarts, "
+            f"{resilience.get('skipped', 0)} skipped, "
+            f"{resilience.get('resumed', 0)} resumed from journal"
+        )
+    failures = rep.get("failures", ())
+    if failures:
+        lines.append(f"  failures:     {len(failures)} task(s) skipped:")
+        for failure in failures:
+            kind = "timeout" if failure.get("timeout") else "error"
+            lines.append(
+                f"    task {failure['index']}: {kind} after "
+                f"{failure['attempts']} attempt(s) — {failure['error']}"
+            )
     timers = rep.get("timers", {})
     if timers:
         lines.append("  phases:")

@@ -1,0 +1,172 @@
+"""Append-only on-disk journal of completed task results (checkpoint/resume).
+
+The executors checkpoint every finished task here when a journal is
+attached to the active :class:`~repro.runtime.resilience.ResilienceConfig`.
+Each record is keyed by a *content fingerprint* of the task — a SHA-256
+over the run scope (experiment name + scale), the task's position in its
+mapped sequence, and the pickled task spec itself (which carries the
+config and seeds).  Resuming a run therefore skips exactly those tasks
+whose inputs are bit-for-bit what they were, and nothing else: change the
+seed, the scale or the config and every fingerprint changes with it.
+
+The file format is deliberately boring — one JSON object per line with a
+base64-pickled payload::
+
+    {"fp": "<64 hex chars>", "data": "<base64(pickle(result))>"}
+
+Appends are flushed per record, so a killed run leaves at most one
+partial trailing line; :meth:`Journal.load` tolerates (and discards) a
+truncated or corrupt tail instead of failing, which is what makes the
+journal itself crash-safe.  Records are trusted pickles: only resume from
+journal files you wrote.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, IO
+
+from repro.errors import ReproError
+
+__all__ = ["Journal", "task_fingerprint"]
+
+#: pickle protocol pinned so fingerprints are stable across interpreters
+#: of the same major version
+_PICKLE_PROTOCOL = 4
+
+#: sentinel distinguishing "no entry" from a journalled ``None`` result
+_MISSING = object()
+
+
+def task_fingerprint(scope: str, index: int, task: Any) -> str:
+    """Content fingerprint of one task: sha256(scope, index, pickle(task)).
+
+    ``scope`` identifies the run (e.g. ``"fig11a_hourly@smoke"``),
+    ``index`` the task's position in its mapped sequence, and the pickled
+    task spec contributes everything the computation depends on
+    (topology, config, seeds).  Pickling is deterministic for the
+    dataclass/ndarray task specs this harness uses (no sets, no unordered
+    containers) — but raw pickle *bytes* are not a pure function of the
+    value: string interning and shared-reference accidents of the
+    producing process change how pickle's memo deduplicates, so a task
+    built in the parent and the same task unpickled in a worker can
+    serialize to different byte streams.  One dump→load→dump round-trip
+    canonicalizes that (a freshly unpickled object graph always re-pickles
+    the same way, verified idempotent), so every process computes the same
+    fingerprint for the same task value.
+    """
+    digest = hashlib.sha256()
+    digest.update(scope.encode())
+    digest.update(b"\x00")
+    digest.update(str(index).encode())
+    digest.update(b"\x00")
+    try:
+        payload = pickle.dumps(task, protocol=_PICKLE_PROTOCOL)
+        payload = pickle.dumps(pickle.loads(payload), protocol=_PICKLE_PROTOCOL)
+    except Exception as exc:  # unpicklable task specs cannot be journalled
+        raise ReproError(f"cannot fingerprint unpicklable task: {exc!r}") from exc
+    digest.update(payload)
+    return digest.hexdigest()
+
+
+class Journal:
+    """Append-only map of task fingerprint -> pickled result, on disk.
+
+    Opening a journal loads every valid record already present (the
+    resume set); :meth:`record` appends-and-flushes one record per
+    completed task.  A journal is single-writer — the parent process
+    records results as they come back from workers — so no locking is
+    needed.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, Any] = {}
+        self._handle: IO[str] | None = None
+        self.load()
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> int:
+        """(Re)load all valid records from disk; returns how many survive.
+
+        A truncated or corrupt record — the signature of a run killed
+        mid-append — is silently skipped rather than fatal.  Skipping is
+        safe because each line decodes independently: a damaged line can
+        only lose its own record (which simply re-runs), never corrupt a
+        neighbouring one.
+        """
+        self._entries.clear()
+        if not self.path.exists():
+            return 0
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                fingerprint = record["fp"]
+                value = pickle.loads(base64.b64decode(record["data"]))
+            except Exception:
+                continue  # partial/corrupt line from a crash mid-append
+            self._entries[fingerprint] = value
+        return len(self._entries)
+
+    def lookup(self, fingerprint: str) -> tuple[bool, Any]:
+        """``(hit, value)`` for a fingerprint; ``(False, None)`` on miss."""
+        value = self._entries.get(fingerprint, _MISSING)
+        if value is _MISSING:
+            return False, None
+        return True, value
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, fingerprint: str, value: Any) -> None:
+        """Append one completed task's result and flush it to disk."""
+        if fingerprint in self._entries:
+            return  # already journalled (e.g. a resumed hit) — keep append-only
+        try:
+            blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        except Exception as exc:
+            raise ReproError(f"cannot journal unpicklable result: {exc!r}") from exc
+        if self._handle is None:
+            self._open_for_append()
+        line = json.dumps({"fp": fingerprint, "data": base64.b64encode(blob).decode()})
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._entries[fingerprint] = value
+
+    def _open_for_append(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # a run killed mid-append leaves a partial line with no trailing
+        # newline; terminate it first so new records never concatenate
+        # onto (and get lost with) the corrupt tail
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size:
+            with self.path.open("rb") as existing:
+                existing.seek(-1, os.SEEK_END)
+                needs_newline = existing.read(1) != b"\n"
+        self._handle = self.path.open("a")
+        if needs_newline:
+            self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -32,9 +32,10 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.errors import WorkloadError
+from repro.errors import TaskError, WorkloadError
 from repro.runtime.executor import get_executor
 from repro.runtime.instrument import count
+from repro.runtime.resilience import ResilienceConfig, TaskFailure
 from repro.sim.engine import DayResult, initial_placement, simulate_day
 from repro.sim.policies import MigrationPolicy
 from repro.topology.base import Topology
@@ -196,11 +197,18 @@ def run_replications(
     config: RunConfig,
     policy_factories: Mapping[str, PolicyFactory],
     workers: int = 1,
+    resilience: ResilienceConfig | None = None,
 ) -> tuple[list[ReplicationResult], dict[str, dict[str, ConfidenceInterval]]]:
     """Run all policies over ``config.replications`` paired workloads.
 
     ``workers > 1`` fans the replications out across processes (factories
     must then be picklable); results are bit-identical to ``workers=1``.
+    ``resilience`` overrides the active execution policy (retries,
+    timeouts, checkpoint journal, chaos — see
+    :mod:`repro.runtime.resilience`); under its ``skip`` failure policy a
+    replication that exhausts its retry budget stays in the returned list
+    as its :class:`~repro.runtime.resilience.TaskFailure` record, and the
+    confidence intervals summarize the surviving replications only.
     Returns the raw per-replication results and, per policy, confidence
     intervals over total cost, communication cost, migration cost and
     migration count.
@@ -210,7 +218,13 @@ def run_replications(
         _ReplicationTask(topology, traffic_model, config, rep, policies)
         for rep in range(config.replications)
     ]
-    results = get_executor(workers).map(_run_replication, tasks)
+    results = get_executor(workers, resilience).map(_run_replication, tasks)
+    completed = [rep for rep in results if not isinstance(rep, TaskFailure)]
+    if not completed:
+        raise TaskError(
+            f"all {config.replications} replications failed; "
+            "nothing to summarize (see the recorded failures)"
+        )
 
     summaries: dict[str, dict[str, ConfidenceInterval]] = {}
     for name in policy_factories:
@@ -221,7 +235,7 @@ def run_replications(
                 "migration_cost": rep.days[name].total_migration_cost,
                 "migrations": float(rep.days[name].total_migrations),
             }
-            for rep in results
+            for rep in completed
         ]
         summaries[name] = summarize_runs(runs)
     return results, summaries

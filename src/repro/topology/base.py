@@ -136,6 +136,26 @@ class Topology:
         self.meta["_switch_graph"] = (induced, position_of)
         return induced, position_of
 
+    def __getstate__(self) -> dict:
+        """Pickle without the underscore-prefixed memo caches in ``meta``.
+
+        Entries like ``_switch_graph`` are per-process memoizations of
+        derived structure — cheap to rebuild, and *mutable over a run*.
+        Excluding them keeps a topology's pickled bytes a pure function of
+        its defining structure, which two layers rely on: worker payloads
+        stay small, and the resilience journal's content fingerprints
+        (sha256 over pickled task specs) stay identical no matter what was
+        computed on the shared topology object beforehand.
+        """
+        state = self.__dict__.copy()
+        state["meta"] = {
+            k: v for k, v in self.meta.items() if not k.startswith("_")
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def with_graph(self, graph: CostGraph, name: str | None = None) -> "Topology":
         """Same structure over a reweighted graph (see ``topology.weights``)."""
         if graph.num_nodes != self.graph.num_nodes:

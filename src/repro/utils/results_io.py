@@ -10,12 +10,48 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Sequence
 
 from repro.errors import ReproError
 
-__all__ = ["write_rows_csv", "read_rows_csv", "write_result_files"]
+__all__ = [
+    "write_rows_csv",
+    "read_rows_csv",
+    "write_result_files",
+    "write_text_atomic",
+]
+
+
+def write_text_atomic(path: Path | str, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically, creating parent directories.
+
+    The content lands in a temporary file in the destination directory
+    (same filesystem, so the final :func:`os.replace` is atomic), is
+    flushed and fsynced, then renamed over the target — a reader, or a
+    crash mid-write, can therefore never observe a truncated file, only
+    the old content or the new.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def write_rows_csv(path: Path | str, rows: Sequence[dict]) -> None:
@@ -84,5 +120,5 @@ def write_result_files(result, directory: Path | str) -> dict[str, Path]:
     csv_path = directory / f"{result.experiment}.csv"
     json_path = directory / f"{result.experiment}.json"
     write_rows_csv(csv_path, result.rows)
-    json_path.write_text(result.to_json())
+    write_text_atomic(json_path, result.to_json())
     return {"csv": csv_path, "json": json_path}

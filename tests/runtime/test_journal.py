@@ -1,0 +1,136 @@
+"""The checkpoint journal: fingerprints, persistence, crash-tolerant loads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.journal import Journal, task_fingerprint
+
+
+class TestTaskFingerprint:
+    def test_deterministic(self):
+        task = {"seed": 7, "rates": (1.0, 2.0)}
+        assert task_fingerprint("fig@smoke", 3, task) == task_fingerprint(
+            "fig@smoke", 3, task
+        )
+
+    def test_sensitive_to_scope_index_and_content(self):
+        base = task_fingerprint("fig@smoke", 0, (1, 2))
+        assert task_fingerprint("fig@paper", 0, (1, 2)) != base
+        assert task_fingerprint("fig@smoke", 1, (1, 2)) != base
+        assert task_fingerprint("fig@smoke", 0, (1, 3)) != base
+
+    def test_ndarray_content_hashes(self):
+        a = task_fingerprint("s", 0, np.arange(4))
+        b = task_fingerprint("s", 0, np.arange(4))
+        c = task_fingerprint("s", 0, np.arange(5))
+        assert a == b != c
+
+    def test_unpicklable_task_rejected(self):
+        with pytest.raises(ReproError):
+            task_fingerprint("s", 0, lambda: None)
+
+    def test_hex_sha256_shape(self):
+        assert len(task_fingerprint("s", 0, "task")) == 64
+
+    def test_topology_memo_caches_do_not_shift_fingerprints(self):
+        """Using a topology must not change how tasks containing it hash.
+
+        ``Topology.switch_only_graph`` memoizes into ``meta["_switch_graph"]``;
+        if that cache leaked into pickles, a journal written early in a
+        run would never match fingerprints computed later (or by a
+        resumed process) — so resume would silently re-run everything.
+        """
+        from repro import fat_tree
+
+        topology = fat_tree(2)
+        before = task_fingerprint("s", 0, (topology, 3))
+        topology.switch_only_graph()  # populate the per-process memo
+        assert task_fingerprint("s", 0, (topology, 3)) == before
+
+
+class TestJournalRoundTrip:
+    def test_record_and_lookup(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        fingerprint = task_fingerprint("s", 0, "task")
+        assert journal.lookup(fingerprint) == (False, None)
+        journal.record(fingerprint, {"cost": 1.5, "placement": [1, 2]})
+        hit, value = journal.lookup(fingerprint)
+        assert hit and value == {"cost": 1.5, "placement": [1, 2]}
+
+    def test_none_result_distinguished_from_miss(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.record("fp", None)
+        assert journal.lookup("fp") == (True, None)
+        assert "fp" in journal
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record("a", np.arange(3))
+            journal.record("b", "second")
+        reopened = Journal(path)
+        assert len(reopened) == 2
+        hit, value = reopened.lookup("a")
+        assert hit and np.array_equal(value, np.arange(3))
+
+    def test_append_only_ignores_rerecord(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.record("fp", "first")
+        size = path.stat().st_size
+        journal.record("fp", "second")  # silently kept as the original
+        assert path.stat().st_size == size
+        assert journal.lookup("fp") == (True, "first")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = Journal(tmp_path / "does-not-exist.jsonl")
+        assert len(journal) == 0
+
+
+class TestCrashTolerance:
+    def test_truncated_tail_discarded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record("a", 1)
+            journal.record("b", 2)
+        # simulate a run killed mid-append: a partial trailing line
+        with path.open("a") as handle:
+            handle.write('{"fp": "c", "data": "QUJD')
+        reopened = Journal(path)
+        assert len(reopened) == 2
+        assert "c" not in reopened
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record("a", 1)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"fp": "bad-pickle", "data": "???"}\n')
+        journal = Journal(path)
+        journal.record("b", 2)
+        journal.close()
+        reopened = Journal(path)
+        assert len(reopened) == 2  # a damaged line loses only its own record
+        assert "bad-pickle" not in reopened
+
+    def test_can_append_after_truncated_tail(self, tmp_path):
+        """A record appended after a crash's partial line must not merge
+        into it — the journal newline-terminates the tail first."""
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record("a", 1)
+        with path.open("a") as handle:
+            handle.write('{"fp": "partial')
+        journal = Journal(path)
+        journal.record("b", 2)
+        journal.close()
+        reopened = Journal(path)
+        assert reopened.lookup("a") == (True, 1)
+        assert reopened.lookup("b") == (True, 2)
+
+    def test_unpicklable_result_rejected(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        with pytest.raises(ReproError):
+            journal.record("fp", lambda: None)

@@ -1,20 +1,34 @@
-"""Failure injection: corrupted inputs must fail loudly at the boundary.
+"""Failure injection: corrupted inputs and injected runtime faults.
 
-Every public entry point is fed adversarial inputs — NaN rates,
-disconnected fabrics, placements referencing the wrong topology — and
-must raise a :class:`~repro.errors.ReproError` subclass rather than
-return garbage.
+Two layers of injection live here:
+
+* **data faults** — every public entry point is fed adversarial inputs
+  (NaN rates, disconnected fabrics, placements referencing the wrong
+  topology) and must raise a :class:`~repro.errors.ReproError` subclass
+  rather than return garbage;
+* **runtime faults** — a seeded :class:`~repro.runtime.resilience.ChaosConfig`
+  injects crashes, delays, timeouts and worker kills into real experiment
+  entry points (:func:`run_replications`, :func:`map_points`, the CLI),
+  and the recovered outputs must be *bit-identical* to a fault-free
+  serial run.
 """
+
+import json
 
 import numpy as np
 import pytest
 
+from repro.cli import main as cli_main
 from repro.core.costs import CostContext
 from repro.core.migration import mpareto_migration
 from repro.core.optimal import optimal_placement
 from repro.core.placement import dp_placement
 from repro.errors import GraphError, PlacementError, ReproError, WorkloadError
 from repro.graphs.adjacency import CostGraph
+from repro.runtime import instrument
+from repro.runtime.resilience import ChaosConfig, ResilienceConfig
+from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+from repro.sim.runner import RunConfig, run_replications
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet, place_vm_pairs
 from repro.workload.traffic import FacebookTrafficModel
@@ -99,3 +113,204 @@ class TestBoundaryConditions:
         )
         result = dp_placement(ft4, flows, 3)
         assert result.cost == 0.0
+
+
+# -- runtime fault injection --------------------------------------------------
+
+#: ≤30 % of tasks get a fault: crashes, slow-downs, injected timeouts and
+#: hard worker kills, all drawn deterministically from the task content
+CHAOS = ChaosConfig(
+    seed=6,
+    crash_rate=0.10,
+    delay_rate=0.05,
+    timeout_rate=0.05,
+    kill_rate=0.10,
+    delay_seconds=0.001,
+)
+
+_POLICY_FACTORIES = {"mpareto": MParetoPolicy, "stay": NoMigrationPolicy}
+
+
+def _sweep_point(point):
+    """Cheap but real sweep work: a DP placement on a tiny instance."""
+    topology, num_vnfs, seed = point
+    flows = place_vm_pairs(topology, 4, seed=seed)
+    flows = flows.with_rates(FacebookTrafficModel().sample(4, rng=seed))
+    result = dp_placement(topology, flows, num_vnfs)
+    return (result.cost, result.placement.tolist())
+
+
+def _day_fingerprint(rep):
+    """Everything a replication computed, as comparable primitives."""
+    return (
+        rep.placement.tolist(),
+        rep.flows.rates.tolist(),
+        {
+            name: [
+                (r.hour, r.communication_cost, r.migration_cost, r.num_migrations)
+                for r in day.records
+            ]
+            for name, day in rep.days.items()
+        },
+    )
+
+
+class TestChaosBitIdentity:
+    """Injected faults may change *when* work runs, never *what* it computes."""
+
+    def _replications(self, ft4, workers, resilience=None):
+        config = RunConfig(
+            num_pairs=6,
+            num_vnfs=3,
+            mu=1.0,
+            dynamics="redrawn",
+            replications=4,
+            seed=42,
+        )
+        return run_replications(
+            ft4,
+            FacebookTrafficModel(),
+            config,
+            _POLICY_FACTORIES,
+            workers=workers,
+            resilience=resilience,
+        )
+
+    def test_run_replications_identical_under_chaos(self, ft4):
+        instrument.reset()
+        clean_reps, clean_summaries = self._replications(ft4, workers=1)
+        chaos_policy = ResilienceConfig(max_retries=4, backoff_base=0.0, chaos=CHAOS)
+        instrument.reset()
+        chaos_reps, chaos_summaries = self._replications(
+            ft4, workers=2, resilience=chaos_policy
+        )
+        counters = instrument.counters()
+        # chaos actually fired: retried errors/timeouts or a killed worker
+        faults_seen = (
+            counters.get("task_retries", 0)
+            + counters.get("task_timeouts", 0)
+            + counters.get("pool_restarts", 0)
+        )
+        assert faults_seen >= 1
+        assert [_day_fingerprint(r) for r in chaos_reps] == [
+            _day_fingerprint(r) for r in clean_reps
+        ]
+        for name in _POLICY_FACTORIES:
+            for metric in clean_summaries[name]:
+                assert (
+                    chaos_summaries[name][metric].mean
+                    == clean_summaries[name][metric].mean
+                )
+                assert (
+                    chaos_summaries[name][metric].halfwidth
+                    == clean_summaries[name][metric].halfwidth
+                )
+
+    def test_map_points_identical_under_chaos(self, ft4):
+        from repro.experiments.common import map_points
+
+        points = [(ft4, n, seed) for n in (2, 3) for seed in range(5)]
+        clean = map_points(_sweep_point, points)
+        chaos_policy = ResilienceConfig(max_retries=4, backoff_base=0.0, chaos=CHAOS)
+        instrument.reset()
+        chaotic = map_points(_sweep_point, points, workers=2, resilience=chaos_policy)
+        counters = instrument.counters()
+        faults_seen = (
+            counters.get("task_retries", 0)
+            + counters.get("task_timeouts", 0)
+            + counters.get("pool_restarts", 0)
+        )
+        assert faults_seen >= 1
+        assert chaotic == clean
+
+
+class TestCliResumeByteIdentity:
+    """A run killed mid-experiment, resumed with ``--resume``, must emit the
+    same ``--json`` payload as an uninterrupted run.
+
+    The comparison strips ``params["runtime"]`` first: that block is the
+    observability report (wall-clock phase timings, speedup, how many
+    tasks were resumed from the journal) and is *intentionally* volatile
+    across runs.  Everything scientific — rows, notes, every other param —
+    must match byte-for-byte after JSON re-serialization.
+    """
+
+    @staticmethod
+    def _run_cli(argv) -> int:
+        import io
+
+        out = io.StringIO()
+        code = cli_main(argv, out=out)
+        return code, out.getvalue()
+
+    @staticmethod
+    def _payload_bytes(path):
+        data = json.loads(path.read_text())
+        data["params"].pop("runtime")
+        return json.dumps(data, sort_keys=True).encode()
+
+    def test_killed_then_resumed_run_matches_uninterrupted(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        reference = tmp_path / "reference.json"
+        resumed = tmp_path / "resumed.json"
+
+        code, _ = self._run_cli(
+            ["run", "fig07_top1", "--scale", "smoke", "--json", str(reference)]
+        )
+        assert code == 0
+
+        # a full journalled run, then simulate a kill mid-append: keep the
+        # first few records and leave a partial trailing line
+        code, _ = self._run_cli(
+            [
+                "run",
+                "fig07_top1",
+                "--scale",
+                "smoke",
+                "--json",
+                str(tmp_path / "scratch.json"),
+                "--resume",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        lines = journal.read_text().splitlines(keepends=True)
+        assert len(lines) >= 2
+        journal.write_text("".join(lines[:-1]) + '{"fp": "killed-mid')
+
+        code, output = self._run_cli(
+            [
+                "run",
+                "fig07_top1",
+                "--scale",
+                "smoke",
+                "--json",
+                str(resumed),
+                "--resume",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        assert "resuming from" in output
+        assert self._payload_bytes(resumed) == self._payload_bytes(reference)
+
+    def test_resume_reruns_nothing_on_second_pass(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        args = [
+            "run",
+            "fig07_top1",
+            "--scale",
+            "smoke",
+            "--json",
+            str(tmp_path / "out.json"),
+            "--resume",
+            str(journal),
+        ]
+        self._run_cli(args)
+        size_after_first = journal.stat().st_size
+        code, _ = self._run_cli(args + ["--profile"])
+        assert code == 0
+        # fully journalled: the second pass appends nothing new
+        assert journal.stat().st_size == size_after_first
+        report = json.loads((tmp_path / "out.json").read_text())["params"]["runtime"]
+        assert report["resilience"]["resumed"] >= 1
