@@ -1,0 +1,172 @@
+"""Benchmark: amortized SolverSession queries vs cold per-call solves.
+
+The fig11 shape — one topology, the same VM pairs re-rated every hour,
+Algorithm 3 run per hour — is the workload the session API exists for.
+This script times three ways of answering ``--queries`` such queries:
+
+* **cold**  — ``dp_placement`` with a fresh :class:`ComputeCache` per
+  call: every query pays for APSP, the metric closure and the stroll
+  matrix from scratch (the pre-session behaviour of a fresh process per
+  query);
+* **session** — ``session.place`` per query on one
+  :class:`~repro.session.SolverSession`;
+* **place_many** — one ``session.place_many`` batch over all queries.
+
+All three must produce bit-identical placements and costs; the script
+asserts that before reporting.  In full mode it also asserts the
+headline contract: session queries at least ``--min-speedup`` (default
+3×) faster than cold calls.  ``--smoke`` shrinks the workload for CI and
+skips the speedup floor (shared CI machines make wall-clock floors
+flaky) while still checking bit-identity end to end.
+
+Optionally ``--workers N`` times the fig11 replication runner serially
+vs in parallel (with the shared-memory artifact hand-off) on a small
+dynamic run, checking bit-identity between the two.
+
+Usage::
+
+    python benchmarks/bench_session.py            # full: k=8, 64 pairs, 50 queries
+    python benchmarks/bench_session.py --smoke    # CI-sized, no speedup floor
+    python benchmarks/bench_session.py --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.placement import dp_placement
+from repro.runtime.cache import ComputeCache
+from repro.session import SolverSession
+from repro.topology.fattree import fat_tree
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+
+def _fig11_queries(topology, num_pairs, queries, seed):
+    """The fig11 shape: fixed VM pairs, a fresh rate vector per hour."""
+    model = FacebookTrafficModel()
+    base = place_vm_pairs(topology, num_pairs, seed=seed)
+    base = base.with_rates(model.sample(num_pairs, rng=seed))
+    return [
+        base.with_rates(model.sample(num_pairs, rng=seed * 1000 + h))
+        for h in range(queries)
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def bench(k, num_pairs, n, queries, seed, min_speedup, smoke):
+    topo = fat_tree(k)
+    flowsets = _fig11_queries(topo, num_pairs, queries, seed)
+    print(
+        f"fig11-shaped workload: fat-tree(k={k}), l={num_pairs}, n={n}, "
+        f"{queries} queries"
+    )
+
+    cold_results, cold_s = _timed(
+        lambda: [dp_placement(topo, f, n, cache=ComputeCache()) for f in flowsets]
+    )
+
+    session = SolverSession(topo, cache=ComputeCache())
+    session_results, session_s = _timed(
+        lambda: [session.place(f, n) for f in flowsets]
+    )
+
+    batch_session = SolverSession(topo, cache=ComputeCache())
+    batch_results, batch_s = _timed(lambda: batch_session.place_many(flowsets, n))
+
+    for name, results in (("session", session_results), ("place_many", batch_results)):
+        for got, want in zip(results, cold_results):
+            assert np.array_equal(got.placement, want.placement), (
+                f"{name} placement diverged from the cold per-call path"
+            )
+            assert got.cost == want.cost, (
+                f"{name} cost diverged from the cold per-call path"
+            )
+    print("bit-identity: session == place_many == cold per-call  OK")
+
+    per = lambda s: 1000.0 * s / queries  # noqa: E731
+    speedup = cold_s / session_s if session_s else float("inf")
+    batch_speedup = cold_s / batch_s if batch_s else float("inf")
+    print(f"cold per-call : {cold_s:8.3f}s  ({per(cold_s):7.2f} ms/query)")
+    print(
+        f"session       : {session_s:8.3f}s  ({per(session_s):7.2f} ms/query)"
+        f"  {speedup:5.1f}x vs cold"
+    )
+    print(
+        f"place_many    : {batch_s:8.3f}s  ({per(batch_s):7.2f} ms/query)"
+        f"  {batch_speedup:5.1f}x vs cold"
+    )
+    if not smoke:
+        assert speedup >= min_speedup, (
+            f"session speedup {speedup:.1f}x below the {min_speedup:.1f}x floor"
+        )
+        print(f"speedup floor ({min_speedup:.1f}x): OK")
+    return 0
+
+
+def bench_workers(workers, smoke):
+    from repro.sim.policies import MParetoPolicy, NoMigrationPolicy
+    from repro.sim.runner import RunConfig, run_replications
+    from repro.workload.diurnal import DiurnalModel
+
+    topo = fat_tree(4)
+    model = FacebookTrafficModel()
+    config = RunConfig(
+        num_pairs=4 if smoke else 16,
+        num_vnfs=3,
+        mu=1e4,
+        diurnal=DiurnalModel(num_hours=4 if smoke else 12),
+        replications=2 if smoke else 4,
+        seed=7,
+    )
+    factories = {"mpareto": MParetoPolicy, "nomig": NoMigrationPolicy}
+    serial, serial_s = _timed(
+        lambda: run_replications(topo, model, config, factories, workers=1)
+    )
+    parallel, parallel_s = _timed(
+        lambda: run_replications(topo, model, config, factories, workers=workers)
+    )
+    for a, b in zip(serial[0], parallel[0]):
+        for name in factories:
+            assert a.days[name].total_cost == b.days[name].total_cost, (
+                "parallel day diverged from serial"
+            )
+    print(f"replications  : serial {serial_s:.3f}s, workers={workers} {parallel_s:.3f}s")
+    print("bit-identity: serial == parallel (shared artifacts)  OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--pairs", type=int, default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument(
+        "--workers", type=int, default=0, help="also bench the parallel runner"
+    )
+    args = parser.parse_args(argv)
+    k = args.k or (4 if args.smoke else 8)
+    pairs = args.pairs or (8 if args.smoke else 64)
+    n = args.n or (3 if args.smoke else 7)
+    queries = args.queries or (10 if args.smoke else 50)
+    rc = bench(k, pairs, n, queries, args.seed, args.min_speedup, args.smoke)
+    if args.workers > 1:
+        rc = rc or bench_workers(args.workers, args.smoke)
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ def main() -> None:
     rows = []
     for n in (3, 5, 7, 9):
         dp = dp_placement(topo, flows, n)
-        opt = optimal_placement(topo, flows, n, node_budget=500_000)
+        opt = optimal_placement(topo, flows, n, budget=500_000)
         steering = steering_placement(topo, flows, n)
         greedy = greedy_liu_placement(topo, flows, n)
         # the single-flow algorithms, driven by the heaviest flow; their

@@ -8,18 +8,38 @@ mPareto migration, exact solvers), all published baselines (Steering,
 Greedy, PLAN, MCF), and a benchmark harness regenerating every figure of
 the paper's evaluation section.
 
-Quick start::
+Quick start — one topology, many queries, via a solver session::
 
-    from repro import fat_tree, place_vm_pairs, FacebookTrafficModel
-    from repro import dp_placement, sfc_of_size
+    from repro import SolverSession, fat_tree, place_vm_pairs
+    from repro import FacebookTrafficModel, sfc_of_size
 
     topo = fat_tree(k=4)
+    session = SolverSession(topo)          # APSP etc. computed once
     flows = place_vm_pairs(topo, num_pairs=20, seed=1)
     flows = flows.with_rates(FacebookTrafficModel().sample(20, rng=1))
-    result = dp_placement(topo, flows, sfc_of_size(3))
-    print(result.placement, result.cost)
+    result = session.place(flows, sfc_of_size(3))        # Algorithm 3
+    print(result.placement, result.cost, result.meta)
+    shifted = flows.with_rates(FacebookTrafficModel().sample(20, rng=2))
+    moved = session.migrate(result.placement, shifted, mu=1e4)  # Algorithm 5
+    print(moved.placement, moved.cost)
+
+Every solver is also callable directly (``dp_placement(topo, flows,
+sfc)`` …) with the keyword-only convention ``(topology, flows, sfc, *,
+seed=..., cache=..., budget=...)``; a session just amortizes the
+per-topology precomputation across calls.  All results share the
+``cost`` / ``placement`` / ``meta`` / ``to_dict()`` surface.
 """
 
+from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.baselines.mcf_migration import mcf_vm_migration
+from repro.baselines.plan import plan_vm_migration
+from repro.baselines.random_placement import random_placement, random_placement_quantiles
+from repro.baselines.steering import steering_placement
+from repro.core.migration import FrontierTrace, mpareto_migration, no_migration
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.placement import dp_placement, dp_placement_top1
+from repro.core.primal_dual import primal_dual_placement_top1
+from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import (
     BudgetExceededError,
     GraphError,
@@ -32,6 +52,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.graphs import CostGraph, GraphBuilder
+from repro.session import SolverSession
 from repro.topology import (
     Topology,
     bcube,
@@ -74,6 +95,24 @@ __all__ = [
     # graphs
     "CostGraph",
     "GraphBuilder",
+    # solver facade
+    "SolverSession",
+    "PlacementResult",
+    "MigrationResult",
+    "FrontierTrace",
+    "dp_placement",
+    "dp_placement_top1",
+    "primal_dual_placement_top1",
+    "optimal_placement",
+    "optimal_migration",
+    "mpareto_migration",
+    "no_migration",
+    "steering_placement",
+    "greedy_liu_placement",
+    "random_placement",
+    "random_placement_quantiles",
+    "plan_vm_migration",
+    "mcf_vm_migration",
     # topology
     "Topology",
     "fat_tree",

@@ -1,0 +1,96 @@
+"""Deprecation shims for the pre-session solver signatures.
+
+The solver entry points (``dp_placement``, ``optimal_placement``, the
+baselines, …) were unified behind one keyword-only calling convention::
+
+    solver(topology, flows, sfc, *, seed=..., cache=..., budget=...)
+
+Old call styles keep working for one release: trailing positional
+arguments beyond the lead block, and the legacy parameter names
+(``node_budget`` → ``budget``, ``rng`` → ``seed``), are remapped here and
+emit exactly one :class:`DeprecationWarning` per call.  Internal code
+never goes through this shim — CI runs the compat tests under
+``-W error::DeprecationWarning`` to prove it.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Callable, Mapping
+
+__all__ = ["legacy_signature"]
+
+
+def legacy_signature(
+    *legacy_order: str, renames: Mapping[str, str] | None = None
+) -> Callable:
+    """Adapt legacy positional/keyword calls onto a keyword-only signature.
+
+    Parameters
+    ----------
+    legacy_order:
+        The *new* names of the formerly-positional parameters, in the
+        order the old signature accepted them after the lead positional
+        block.  A call passing extra positional arguments has them bound
+        to these names.
+    renames:
+        Map of legacy keyword name -> new keyword name (e.g.
+        ``{"node_budget": "budget"}``).
+
+    The wrapped function must take its lead parameters as plain
+    positional-or-keyword parameters and everything else keyword-only;
+    the lead block's size is read off its signature.  Any legacy usage —
+    extra positionals, renamed keywords, or both — triggers exactly one
+    :class:`DeprecationWarning` per call and is then forwarded to the new
+    signature unchanged, so legacy and new-style calls return identical
+    results.
+    """
+    renames = dict(renames or {})
+
+    def decorate(fn: Callable) -> Callable:
+        parameters = inspect.signature(fn).parameters.values()
+        lead = sum(1 for p in parameters if p.kind is p.POSITIONAL_OR_KEYWORD)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            legacy_used: list[str] = []
+            if len(args) > lead:
+                extra = args[lead:]
+                if len(extra) > len(legacy_order):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most "
+                        f"{lead + len(legacy_order)} positional arguments "
+                        f"({lead + len(extra)} given)"
+                    )
+                for name, value in zip(legacy_order, extra):
+                    if name in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got multiple values for argument {name!r}"
+                        )
+                    kwargs[name] = value
+                    legacy_used.append(f"positional {name!r}")
+                args = args[:lead]
+            for old, new in renames.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got values for both {old!r} and {new!r}"
+                        )
+                    kwargs[new] = kwargs.pop(old)
+                    legacy_used.append(f"{old!r} (now {new!r})")
+            if legacy_used:
+                warnings.warn(
+                    f"{fn.__name__}(): legacy call style "
+                    f"({', '.join(legacy_used)}) is deprecated; pass "
+                    "parameters by their new keyword names "
+                    "(see repro._compat)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

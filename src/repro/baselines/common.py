@@ -59,6 +59,30 @@ class VMMigrationResult:
                 f"({self.communication_cost} + {self.migration_cost} != {self.cost})"
             )
 
+    @property
+    def placement(self) -> np.ndarray:
+        """The (unchanged) VNF placement (common result surface)."""
+        return self.vnf_placement
+
+    @property
+    def meta(self) -> dict:
+        """Algorithm id, cost breakdown, and diagnostics in one dict."""
+        return {
+            "algorithm": self.algorithm,
+            "communication_cost": float(self.communication_cost),
+            "migration_cost": float(self.migration_cost),
+            "num_migrated": int(self.num_migrated),
+            **self.extra,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view: ``{placement, cost, meta}``."""
+        return {
+            "placement": self.vnf_placement.tolist(),
+            "cost": float(self.cost),
+            "meta": self.meta,
+        }
+
 
 def vm_table(
     flows: FlowSet, ingress: int, egress: int

@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import chain_size
 from repro.core.types import PlacementResult
 from repro.errors import InfeasibleError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
@@ -43,11 +45,14 @@ from repro.workload.sfc import SFC
 __all__ = ["greedy_liu_placement"]
 
 
+@legacy_signature("chain_aware")
 def greedy_liu_placement(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     chain_aware: bool = False,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """Place the chain with Liu et al.'s cost-score greedy."""
     n = chain_size(sfc)
@@ -55,7 +60,7 @@ def greedy_liu_placement(
         raise InfeasibleError(
             f"SFC of {n} VNFs cannot be placed on {topology.num_switches} switches"
         )
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     sw = ctx.switches
     a_in = ctx.ingress_attraction[sw]
     a_out = ctx.egress_attraction[sw]

@@ -33,8 +33,10 @@ from repro.baselines.common import (
     resolve_host_capacity,
     vm_table,
 )
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.errors import InfeasibleError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
@@ -66,17 +68,20 @@ def _assign_with_slots(cost_matrix: np.ndarray, capacity: np.ndarray) -> np.ndar
     return chosen
 
 
+@legacy_signature("host_capacity", "top_k")
 def mcf_vm_migration(
     topology: Topology,
     flows: FlowSet,
     vnf_placement: np.ndarray,
     mu_vm: float,
+    *,
     host_capacity: int | np.ndarray | None = None,
     top_k: int = 8,
+    cache: ComputeCache | None = None,
 ) -> VMMigrationResult:
     """One MCF migration round under the new traffic rates in ``flows``."""
     placement = validate_placement(topology, vnf_placement)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     hosts_arr = topology.hosts
     dist = ctx.distances
     capacity = resolve_host_capacity(topology, flows, host_capacity)

@@ -25,23 +25,28 @@ from repro.baselines.common import (
     resolve_host_capacity,
     vm_table,
 )
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
 __all__ = ["plan_vm_migration"]
 
 
+@legacy_signature("host_capacity")
 def plan_vm_migration(
     topology: Topology,
     flows: FlowSet,
     vnf_placement: np.ndarray,
     mu_vm: float,
+    *,
     host_capacity: int | np.ndarray | None = None,
+    cache: ComputeCache | None = None,
 ) -> VMMigrationResult:
     """One PLAN migration round under the new traffic rates in ``flows``."""
     placement = validate_placement(topology, vnf_placement)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     hosts_arr = topology.hosts
     dist = ctx.distances
     capacity = resolve_host_capacity(topology, flows, host_capacity)

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import chain_size
 from repro.core.types import PlacementResult
 from repro.errors import InfeasibleError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.utils.rng import as_generator
 from repro.workload.flows import FlowSet
@@ -22,11 +24,14 @@ from repro.workload.sfc import SFC
 __all__ = ["random_placement", "random_placement_quantiles"]
 
 
+@legacy_signature("seed", renames={"rng": "seed"})
 def random_placement(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     seed: int | np.random.Generator | None = 0,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """A uniformly random distinct placement, priced like every algorithm."""
     n = chain_size(sfc)
@@ -37,7 +42,7 @@ def random_placement(
     gen = as_generator(seed)
     placement = gen.choice(topology.switches, size=n, replace=False)
     validate_placement(topology, placement, n)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     return PlacementResult(
         placement=placement,
         cost=ctx.communication_cost(placement),
@@ -45,12 +50,15 @@ def random_placement(
     )
 
 
+@legacy_signature("samples", "seed", renames={"rng": "seed"})
 def random_placement_quantiles(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     samples: int = 200,
     seed: int = 0,
+    cache: ComputeCache | None = None,
 ) -> dict[str, float]:
     """Cost distribution of random placements: min / median / mean / max.
 
@@ -62,7 +70,10 @@ def random_placement_quantiles(
         raise InfeasibleError(f"samples must be positive, got {samples}")
     gen = as_generator(seed)
     costs = np.asarray(
-        [random_placement(topology, flows, sfc, seed=gen).cost for _ in range(samples)]
+        [
+            random_placement(topology, flows, sfc, seed=gen, cache=cache).cost
+            for _ in range(samples)
+        ]
     )
     return {
         "min": float(costs.min()),

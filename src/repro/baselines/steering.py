@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import chain_size
 from repro.core.types import PlacementResult
 from repro.errors import InfeasibleError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
@@ -39,11 +41,14 @@ from repro.workload.sfc import SFC
 __all__ = ["steering_placement"]
 
 
+@legacy_signature("chain_aware")
 def steering_placement(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     chain_aware: bool = False,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """Place the chain with Steering's greedy rule (see module docstring)."""
     n = chain_size(sfc)
@@ -51,7 +56,7 @@ def steering_placement(
         raise InfeasibleError(
             f"SFC of {n} VNFs cannot be placed on {topology.num_switches} switches"
         )
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     sw = ctx.switches
     a_in = ctx.ingress_attraction[sw]
     a_out = ctx.egress_attraction[sw]

@@ -32,6 +32,7 @@ from repro.experiments import SCALES, list_experiments, run_experiment
 from repro.runtime.instrument import format_report
 from repro.runtime.journal import Journal
 from repro.runtime.resilience import ON_FAILURE, ResilienceConfig
+from repro.runtime.shm import set_artifact_sharing
 from repro.utils.results_io import write_text_atomic
 
 __all__ = ["main", "build_parser"]
@@ -112,6 +113,15 @@ def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
         ),
     )
     sub.add_argument(
+        "--no-shared-artifacts",
+        action="store_true",
+        help=(
+            "do not ship precomputed per-topology artifacts (APSP, stroll "
+            "matrices) to worker processes via shared memory; each worker "
+            "re-derives them (results are identical either way)"
+        ),
+    )
+    sub.add_argument(
         "--resume",
         nargs="?",
         type=Path,
@@ -175,6 +185,8 @@ def _dispatch(args, out) -> int:
         for name, description in list_experiments().items():
             print(f"{name:28s} {description}", file=out)
         return 0
+    if getattr(args, "no_shared_artifacts", False):
+        set_artifact_sharing(False)
     journal = Journal(args.resume) if getattr(args, "resume", None) else None
     try:
         if args.command == "run":

@@ -83,11 +83,28 @@ class CostContext:
         self._dist = dist
         rates = flows.rates
         self.total_rate = float(rates.sum())
-        # a_in[u] = Σ_i λ_i c(s(v_i), u): rows of dist indexed by source hosts
-        self.ingress_attraction = rates @ dist[flows.sources, :]
-        self.egress_attraction = rates @ dist[flows.destinations, :]
+        # a_in[u] = Σ_i λ_i c(s(v_i), u): rows of dist indexed by source
+        # hosts.  The gathered row blocks depend only on (topology,
+        # endpoint set) — in the dynamic simulator the same endpoints are
+        # re-rated every hour — so they are cached per topology; the
+        # per-rate matvec over the cached block is bit-identical to the
+        # uncached expression (the gather materializes the same
+        # C-contiguous array either way).
+        self.ingress_attraction = rates @ self._endpoint_rows(flows.sources)
+        self.egress_attraction = rates @ self._endpoint_rows(flows.destinations)
         for arr in (self.ingress_attraction, self.egress_attraction):
             arr.setflags(write=False)
+
+    def _endpoint_rows(self, endpoints: np.ndarray) -> np.ndarray:
+        """Cached ``dist[endpoints, :]`` gather for one endpoint array."""
+        key = ("dist_rows", endpoints.tobytes())
+
+        def gather() -> np.ndarray:
+            rows = self._dist[endpoints, :]
+            rows.setflags(write=False)
+            return rows
+
+        return self.cache.get_or_compute(self.topology, key, gather)
 
     # -- Eq. 1 ---------------------------------------------------------------
 

@@ -24,10 +24,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import dp_placement
 from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import GraphError, MigrationError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
@@ -205,6 +207,38 @@ class FrontierTrace:
             totals[~self.distinct] = np.inf
         return int(np.argmin(totals))
 
+    @property
+    def cost(self) -> float:
+        """Total cost at the best distinct frontier (common result surface)."""
+        return float(self.total_costs[self.best_index(require_distinct=True)])
+
+    @property
+    def placement(self) -> np.ndarray:
+        """The best distinct frontier's placement (common result surface)."""
+        best = self.best_index(require_distinct=True)
+        return np.asarray(self.frontiers[best], dtype=np.int64)
+
+    @property
+    def meta(self) -> dict:
+        return {
+            "algorithm": "mpareto-trace",
+            "num_frontiers": self.num_frontiers,
+            "best_index": self.best_index(require_distinct=True),
+            **self.extra,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view of the whole front plus the common surface."""
+        return {
+            "placement": self.placement.tolist(),
+            "cost": self.cost,
+            "meta": self.meta,
+            "frontiers": [np.asarray(fr).tolist() for fr in self.frontiers],
+            "migration_costs": self.migration_costs.tolist(),
+            "communication_costs": self.communication_costs.tolist(),
+            "distinct": self.distinct.tolist(),
+        }
+
 
 def frontier_trace(
     ctx: CostContext,
@@ -232,14 +266,17 @@ def frontier_trace(
     )
 
 
+@legacy_signature("placement_algorithm", "require_distinct", "coherent")
 def mpareto_migration(
     topology: Topology,
     flows: FlowSet,
     source_placement: np.ndarray,
     mu: float,
+    *,
     placement_algorithm: PlacementAlgorithm = dp_placement,
     require_distinct: bool = True,
     coherent: bool = False,
+    cache: ComputeCache | None = None,
 ) -> MigrationResult:
     """Algorithm 5: migrate to the minimum-cost parallel frontier.
 
@@ -254,8 +291,13 @@ def mpareto_migration(
     ``require_distinct=False`` for the bit-faithful pseudocode behaviour.
     """
     src = validate_placement(topology, source_placement)
-    ctx = CostContext(topology, flows)
-    fresh = placement_algorithm(topology, flows, src.size)
+    ctx = CostContext(topology, flows, cache=cache)
+    # arbitrary placement callables need not accept cache=; only forward
+    # it to the default Algorithm-3 path, which is known to
+    if placement_algorithm is dp_placement:
+        fresh = dp_placement(topology, flows, src.size, cache=ctx.cache)
+    else:
+        fresh = placement_algorithm(topology, flows, src.size)
     trace = frontier_trace(ctx, src, fresh.placement, mu, coherent=coherent)
     best = trace.best_index(require_distinct=require_distinct)
     migration = np.asarray(trace.frontiers[best], dtype=np.int64)
@@ -282,10 +324,12 @@ def no_migration(
     flows: FlowSet,
     source_placement: np.ndarray,
     mu: float = 0.0,
+    *,
+    cache: ComputeCache | None = None,
 ) -> MigrationResult:
     """The NoMigration baseline: stay at ``p`` and pay ``C_a(p)`` only."""
     src = validate_placement(topology, source_placement)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
     comm = ctx.communication_cost(src)
     return MigrationResult(
         source=src,

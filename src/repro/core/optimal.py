@@ -16,7 +16,7 @@ this module instead runs a depth-first branch-and-bound:
   DP sweep (``O(n·C^2)``) and prunes most of the tree;
 * the search is warm-started with the DP heuristic's solution, so pruning
   is effective from the first node;
-* an explicit ``node_budget`` guard raises
+* an explicit ``budget`` guard raises
   :class:`~repro.errors.BudgetExceededError` instead of running forever
   on instances where exactness is genuinely out of reach (the search is
   still ``O(C^n)`` worst-case — exactly the wall the paper acknowledges).
@@ -33,10 +33,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import chain_size, dp_placement
 from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import BudgetExceededError, InfeasibleError
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
@@ -44,13 +46,15 @@ from repro.workload.sfc import SFC
 __all__ = ["optimal_placement", "optimal_migration", "exact_chain_search"]
 
 
+@legacy_signature("upper_bound", "budget", renames={"node_budget": "budget"})
 def exact_chain_search(
     distances: np.ndarray,
     chain_rate: float,
     start_scores: np.ndarray,
     position_scores: np.ndarray,
-    upper_bound: float,
-    node_budget: int,
+    *,
+    upper_bound: float = np.inf,
+    budget: int = 5_000_000,
 ) -> tuple[np.ndarray, float, int]:
     """Exact min-cost ordered distinct tuple via branch-and-bound.
 
@@ -102,10 +106,10 @@ def exact_chain_search(
     def _search(pos: int, prev: int, partial: float) -> None:
         nonlocal best_cost, best_tuple, explored
         explored += 1
-        if explored > node_budget:
+        if explored > budget:
             raise BudgetExceededError(
-                f"exact search explored more than {node_budget} nodes; "
-                "reduce n, restrict candidates, or raise node_budget"
+                f"exact search explored more than {budget} nodes; "
+                "reduce n, restrict candidates, or raise budget"
             )
         if pos == n:
             if partial < best_cost - eps:
@@ -155,19 +159,22 @@ def _resolve_candidates(
     return cand
 
 
+@legacy_signature("budget", "candidate_switches", renames={"node_budget": "budget"})
 def optimal_placement(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
-    node_budget: int = 5_000_000,
+    *,
+    budget: int = 5_000_000,
     candidate_switches: Sequence[int] | None = None,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """Algorithm 4: exact TOP via warm-started branch-and-bound."""
     n = chain_size(sfc)
     cand = _resolve_candidates(topology, candidate_switches)
     if n > cand.size:
         raise InfeasibleError(f"cannot place {n} VNFs on {cand.size} candidate switches")
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
 
     dist = ctx.distances[np.ix_(cand, cand)]
     a_in = ctx.ingress_attraction[cand]
@@ -178,11 +185,11 @@ def optimal_placement(
     warm: PlacementResult | None = None
     warm_cost = np.inf
     if candidate_switches is None and n <= topology.num_switches:
-        warm = dp_placement(topology, flows, n)
+        warm = dp_placement(topology, flows, n, cache=ctx.cache)
         warm_cost = warm.cost
 
     tup, cost, explored = exact_chain_search(
-        dist, ctx.total_rate, a_in, position_scores, warm_cost, node_budget
+        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost, budget=budget
     )
     if tup.size == 0:
         assert warm is not None, "no warm start and no solution found"
@@ -203,13 +210,16 @@ def optimal_placement(
     )
 
 
+@legacy_signature("budget", "candidate_switches", renames={"node_budget": "budget"})
 def optimal_migration(
     topology: Topology,
     flows: FlowSet,
     source_placement: np.ndarray,
     mu: float,
-    node_budget: int = 5_000_000,
+    *,
+    budget: int = 5_000_000,
     candidate_switches: Sequence[int] | None = None,
+    cache: ComputeCache | None = None,
 ) -> MigrationResult:
     """Algorithm 6: exact TOM via the same branch-and-bound engine.
 
@@ -221,7 +231,7 @@ def optimal_migration(
     cand = _resolve_candidates(topology, candidate_switches)
     # the stay-put solution must be expressible in the candidate set
     cand = np.asarray(sorted(set(cand.tolist()) | set(src.tolist())), dtype=np.int64)
-    ctx = CostContext(topology, flows)
+    ctx = CostContext(topology, flows, cache=cache)
 
     dist = ctx.distances[np.ix_(cand, cand)]
     a_in = ctx.ingress_attraction[cand]
@@ -235,14 +245,14 @@ def optimal_migration(
     warm_m = src
     warm_cost = stay_cost
     if candidate_switches is None:
-        fresh = dp_placement(topology, flows, n)
+        fresh = dp_placement(topology, flows, n, cache=ctx.cache)
         fresh_cost = ctx.total_cost(src, fresh.placement, mu)
         if fresh_cost < warm_cost:
             warm_m = fresh.placement
             warm_cost = fresh_cost
 
     tup, cost, explored = exact_chain_search(
-        dist, ctx.total_rate, a_in, position_scores, warm_cost, node_budget
+        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost, budget=budget
     )
     migration = cand[tup] if tup.size else warm_m
     validate_placement(topology, migration, n)

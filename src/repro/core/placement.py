@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.stroll import StrollEngine, dp_stroll
 from repro.core.types import PlacementResult
@@ -69,10 +70,12 @@ def _solve_small_n(ctx: CostContext, n: int) -> PlacementResult:
     )
 
 
+@legacy_signature("extra_edge_slack", "mode", "candidate_switches", "cache")
 def dp_placement(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     extra_edge_slack: int = 16,
     mode: str = "second-best",
     candidate_switches: np.ndarray | list | None = None,
@@ -151,7 +154,9 @@ def _dp_placement(
     if not np.isfinite(score[s_pos, t_pos]):
         raise InfeasibleError("no feasible (ingress, egress) stroll found")
 
-    winner_engine = StrollEngine(closure, t_pos, mode=mode, max_edges=max_edges)
+    winner_engine = _stroll_engine(
+        topology, closure, sw, t_pos, mode, max_edges, cache=ctx.cache
+    )
     stroll = winner_engine.solve(s_pos, interior)
     distinct = stroll.distinct
     if distinct.size < interior:
@@ -194,6 +199,31 @@ def _stroll_matrix(
     )
 
 
+def _stroll_engine(
+    topology: Topology,
+    closure: np.ndarray,
+    sw: np.ndarray,
+    t_pos: int,
+    mode: str,
+    max_edges: int,
+    cache: ComputeCache | None = None,
+) -> StrollEngine:
+    """Cached winner-reconstruction engine for one egress position.
+
+    ``StrollEngine`` layers are deterministic and history-independent (a
+    layer's contents depend only on (closure, target, mode, max_edges),
+    never on which queries grew it first), so memoizing the engine per
+    (candidate set, egress) is bit-identical to rebuilding it — and in
+    repeated-query workloads the winner egress barely changes, making
+    this the dominant per-call saving after the stroll matrix itself.
+    """
+    cache = cache if cache is not None else get_compute_cache()
+    key = ("stroll_engine", sw.tobytes(), int(t_pos), mode, max_edges)
+    return cache.get_or_compute(
+        topology, key, lambda: StrollEngine(closure, t_pos, mode=mode, max_edges=max_edges)
+    )
+
+
 def _build_stroll_matrix(
     topology: Topology,
     sw: np.ndarray,
@@ -202,6 +232,7 @@ def _build_stroll_matrix(
     max_edges: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     num_sw = sw.size
+    count("stroll_matrix_builds")
     with Timer.timed("stroll_matrix"):
         closure = metric_closure(topology.graph, sw)
         b_cost = np.full((num_sw, num_sw), np.inf)
@@ -239,12 +270,15 @@ def _solve_small_n_restricted(ctx: CostContext, n: int, sw: np.ndarray) -> Place
     )
 
 
+@legacy_signature("flow_index", "mode")
 def dp_placement_top1(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     flow_index: int = 0,
     mode: str = "second-best",
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """Algorithm 2 applied end-to-end to a single flow (TOP-1 / DP-Stroll).
 
@@ -259,7 +293,7 @@ def dp_placement_top1(
     if not (0 <= flow_index < flows.num_flows):
         raise PlacementError(f"flow_index {flow_index} out of range")
     single = flows.subset(np.asarray([flow_index]))
-    ctx = CostContext(topology, single)
+    ctx = CostContext(topology, single, cache=cache)
 
     src_host = int(single.sources[0])
     dst_host = int(single.destinations[0])
@@ -276,7 +310,14 @@ def dp_placement_top1(
         nodes = np.concatenate(([src_host, dst_host], sw))
         s_idx, t_idx = 0, 1
         sw_offset = 2
-    closure = metric_closure(topology.graph, nodes) * max(rate, 1.0e-300)
+    # The unscaled closure depends only on (topology, node set); the
+    # per-call rate scaling is an elementwise product over it either way.
+    base = ctx.cache.get_or_compute(
+        topology,
+        ("top1_closure", nodes.tobytes()),
+        lambda: metric_closure(topology.graph, nodes),
+    )
+    closure = base * max(rate, 1.0e-300)
 
     result = dp_stroll(closure, s_idx, t_idx, n, mode=mode)
     placement = nodes[result.distinct]

@@ -35,11 +35,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._compat import legacy_signature
 from repro.core.costs import CostContext, validate_placement
 from repro.core.stroll import StrollResult, _collect_distinct
 from repro.core.types import PlacementResult
 from repro.errors import InfeasibleError, PlacementError, SolverError
 from repro.graphs.adjacency import CostGraph
+from repro.runtime.cache import ComputeCache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
@@ -369,12 +371,15 @@ def primal_dual_stroll(
     )
 
 
+@legacy_signature("flow_index", "bisection_steps")
 def primal_dual_placement_top1(
     topology: Topology,
     flows: FlowSet,
     sfc: SFC | int,
+    *,
     flow_index: int = 0,
     bisection_steps: int = 24,
+    cache: ComputeCache | None = None,
 ) -> PlacementResult:
     """TOP-1 via Algorithm 1: place the SFC along the primal-dual stroll."""
     n = sfc.size if isinstance(sfc, SFC) else int(sfc)
@@ -385,7 +390,7 @@ def primal_dual_placement_top1(
     if not (0 <= flow_index < flows.num_flows):
         raise PlacementError(f"flow_index {flow_index} out of range")
     single = flows.subset(np.asarray([flow_index]))
-    ctx = CostContext(topology, single)
+    ctx = CostContext(topology, single, cache=cache)
 
     source = int(single.sources[0])
     target = int(single.destinations[0])

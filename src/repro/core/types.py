@@ -3,6 +3,12 @@
 All algorithms — ours and the baselines — return the same
 :class:`PlacementResult` / :class:`MigrationResult` shapes so the
 experiment harness can evaluate and tabulate them uniformly.
+
+Every result type (including :class:`~repro.baselines.common.VMMigrationResult`
+and :class:`~repro.core.migration.FrontierTrace`) exposes the same minimal
+surface — ``cost``, ``placement``, ``meta`` (a plain dict of the algorithm
+id plus diagnostics), and ``to_dict()`` — so callers can treat any solver
+output uniformly without isinstance checks.
 """
 
 from __future__ import annotations
@@ -59,6 +65,19 @@ class PlacementResult:
     def egress(self) -> int:
         return int(self.placement[-1])
 
+    @property
+    def meta(self) -> dict:
+        """Algorithm id plus free-form diagnostics (common result surface)."""
+        return {"algorithm": self.algorithm, **self.extra}
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view: ``{placement, cost, meta}``."""
+        return {
+            "placement": self.placement.tolist(),
+            "cost": float(self.cost),
+            "meta": self.meta,
+        }
+
 
 @dataclass(frozen=True)
 class MigrationResult:
@@ -99,6 +118,31 @@ class MigrationResult:
     def num_migrated(self) -> int:
         """How many VNFs actually moved (``m(j) != p(j)``)."""
         return int(np.count_nonzero(self.source != self.migration))
+
+    @property
+    def placement(self) -> np.ndarray:
+        """The post-migration placement ``m`` (common result surface)."""
+        return self.migration
+
+    @property
+    def meta(self) -> dict:
+        """Algorithm id, cost breakdown, and diagnostics in one dict."""
+        return {
+            "algorithm": self.algorithm,
+            "communication_cost": float(self.communication_cost),
+            "migration_cost": float(self.migration_cost),
+            "num_migrated": self.num_migrated,
+            **self.extra,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view: ``{placement, source, cost, meta}``."""
+        return {
+            "placement": self.migration.tolist(),
+            "source": self.source.tolist(),
+            "cost": float(self.cost),
+            "meta": self.meta,
+        }
 
     def as_placement(self) -> PlacementResult:
         """The post-migration placement viewed as a plain placement result."""

@@ -21,9 +21,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.optimal import optimal_placement
-from repro.core.placement import dp_placement_top1
-from repro.core.primal_dual import primal_dual_placement_top1
 from repro.errors import BudgetExceededError
 from repro.experiments.common import (
     ExperimentResult,
@@ -32,6 +29,7 @@ from repro.experiments.common import (
     map_points,
     register,
 )
+from repro.session import SolverSession
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
@@ -55,18 +53,19 @@ def top1_point(task: tuple) -> dict:
     processes via :func:`map_points`.
     """
     topo, model, n, seed, replications = task
+    session = SolverSession(topo)
     dp_costs, paper_costs, opt_costs, pd_costs = [], [], [], []
     optimal_ok = True
     for rng in spawn_rngs(seed, replications):
         flows = place_vm_pairs(topo, 1, intra_rack_fraction=0.0, seed=rng)
         flows = flows.with_rates(model.sample(1, rng=rng))
-        dp_costs.append(dp_placement_top1(topo, flows, n).cost)
-        paper_costs.append(dp_placement_top1(topo, flows, n, mode="paper").cost)
-        pd_costs.append(primal_dual_placement_top1(topo, flows, n).cost)
+        dp_costs.append(session.place(flows, n, algo="top1").cost)
+        paper_costs.append(session.place(flows, n, algo="top1", mode="paper").cost)
+        pd_costs.append(session.place(flows, n, algo="primal-dual").cost)
         if optimal_ok:
             try:
                 opt_costs.append(
-                    optimal_placement(topo, flows, n, node_budget=400_000).cost
+                    session.place(flows, n, algo="optimal", budget=400_000).cost
                 )
             except BudgetExceededError:
                 optimal_ok = False

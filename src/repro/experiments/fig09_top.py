@@ -16,10 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.greedy_liu import greedy_liu_placement
-from repro.baselines.steering import steering_placement
-from repro.core.optimal import optimal_placement
-from repro.core.placement import dp_placement
 from repro.errors import BudgetExceededError
 from repro.experiments.common import (
     ExperimentResult,
@@ -28,6 +24,7 @@ from repro.experiments.common import (
     register,
     zip_completed,
 )
+from repro.session import SolverSession
 from repro.topology.fattree import fat_tree
 from repro.utils.rng import spawn_rngs
 from repro.utils.stats import mean_ci
@@ -45,7 +42,7 @@ _SCALE_PARAMS = {
         "fixed_l": 8,
         "replications": 2,
         "seed": 9,
-        "node_budget": 100_000,
+        "budget": 100_000,
     },
     "default": {
         "k": 8,
@@ -55,7 +52,7 @@ _SCALE_PARAMS = {
         "fixed_l": 32,
         "replications": 5,
         "seed": 9,
-        "node_budget": 400_000,
+        "budget": 400_000,
     },
     "paper": {
         "k": 8,
@@ -65,31 +62,33 @@ _SCALE_PARAMS = {
         "fixed_l": 128,
         "replications": 20,
         "seed": 9,
-        "node_budget": 2_000_000,
+        "budget": 2_000_000,
     },
 }
 
-_ALGORITHMS = {
-    "dp": dp_placement,
-    "greedy": greedy_liu_placement,
-    "steering": steering_placement,
-}
+_ALGORITHMS = ("dp", "greedy", "steering")
 
 
-def sweep_placements(topology, model, l, n, replications, seed, node_budget):
-    """One (l, n) cell: mean cost per algorithm over paired workloads."""
+def sweep_placements(topology, model, l, n, replications, seed, budget):
+    """One (l, n) cell: mean cost per algorithm over paired workloads.
+
+    All replications share one :class:`~repro.session.SolverSession`, so
+    the per-topology artifacts (APSP, stroll matrices) are derived once
+    for the whole cell.
+    """
+    session = SolverSession(topology)
     costs: dict[str, list[float]] = {name: [] for name in _ALGORITHMS}
     costs["optimal"] = []
     optimal_ok = True
     for rng in spawn_rngs(seed, replications):
         flows = place_vm_pairs(topology, l, seed=rng)
         flows = flows.with_rates(model.sample(l, rng=rng))
-        for name, algorithm in _ALGORITHMS.items():
-            costs[name].append(algorithm(topology, flows, n).cost)
+        for name in _ALGORITHMS:
+            costs[name].append(session.place(flows, n, algo=name).cost)
         if optimal_ok:
             try:
                 costs["optimal"].append(
-                    optimal_placement(topology, flows, n, node_budget=node_budget).cost
+                    session.place(flows, n, algo="optimal", budget=budget).cost
                 )
             except BudgetExceededError:
                 optimal_ok = False
@@ -107,7 +106,7 @@ def sweep_cell(task: tuple) -> dict:
     """Picklable per-point adapter for :func:`map_points` fan-out.
 
     ``task`` is ``(topology, model, l, n, replications, seed,
-    node_budget)`` — self-contained, so cells can run in any process.
+    budget)`` — self-contained, so cells can run in any process.
     Also used by the Fig. 10 weighted sweep.
     """
     return sweep_placements(*task)
@@ -128,7 +127,7 @@ def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
     cells = map_points(
         sweep_cell,
         [
-            (topo, model, l, n, params["replications"], seed, params["node_budget"])
+            (topo, model, l, n, params["replications"], seed, params["budget"])
             for _sweep, l, n, seed in points
         ],
         workers=workers,

@@ -24,11 +24,11 @@ __all__ = ["run"]
 
 _SCALE_PARAMS = {
     "smoke": {"k": 4, "ns": (3, 4), "l": 8, "replications": 2, "seed": 13,
-              "node_budget": 100_000},
+              "budget": 100_000},
     "default": {"k": 8, "ns": (3, 5, 9, 13), "l": 64, "replications": 5, "seed": 13,
-                "node_budget": 400_000},
+                "budget": 400_000},
     "paper": {"k": 8, "ns": tuple(range(3, 14)), "l": 128, "replications": 20,
-              "seed": 13, "node_budget": 2_000_000},
+              "seed": 13, "budget": 2_000_000},
 }
 
 
@@ -43,7 +43,7 @@ def run(scale: str = "default", workers: int = 1) -> ExperimentResult:
         sweep_cell,
         [
             (topo, model, params["l"], n, params["replications"],
-             params["seed"] * 1000 + n, params["node_budget"])
+             params["seed"] * 1000 + n, params["budget"])
             for n in params["ns"]
         ],
         workers=workers,

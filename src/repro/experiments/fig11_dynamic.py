@@ -51,13 +51,13 @@ __all__ = ["run_hourly", "run_vary_l", "run_vary_n"]
 
 _BASE = {
     "smoke": {"k": 4, "l": 8, "n": 3, "replications": 2, "seed": 17,
-              "ls": (4, 8), "ns": (2, 3), "node_budget": 50_000},
+              "ls": (4, 8), "ns": (2, 3), "budget": 50_000},
     "default": {"k": 8, "l": 64, "n": 7, "replications": 3, "seed": 17,
                 "ls": (8, 16, 32, 64, 128), "ns": (3, 5, 7, 9),
-                "node_budget": 400_000},
+                "budget": 400_000},
     "paper": {"k": 16, "l": 256, "n": 7, "replications": 20, "seed": 17,
               "ls": (16, 32, 64, 128, 256, 512, 1024), "ns": (3, 5, 7, 9, 11, 13),
-              "node_budget": 400_000},
+              "budget": 400_000},
 }
 
 #: deliberately favorable to the VM baselines — see module docstring.
@@ -105,7 +105,7 @@ def run_hourly(scale: str = "default", workers: int = 1) -> ExperimentResult:
         "mpareto": MParetoPolicy,
         "optimal": partial(
             OptimalVnfPolicy,
-            node_budget=params["node_budget"],
+            budget=params["budget"],
             candidate_switches=cands,
         ),
         "plan": partial(
@@ -175,7 +175,7 @@ def run_vary_l(scale: str = "default", workers: int = 1) -> ExperimentResult:
                 "mpareto": MParetoPolicy,
                 "optimal": partial(
                     OptimalVnfPolicy,
-                    node_budget=params["node_budget"],
+                    budget=params["budget"],
                     candidate_switches=cands,
                 ),
                 "nomig": NoMigrationPolicy,

@@ -74,7 +74,7 @@ def run(scale: str = "default") -> ExperimentResult:
         flows = place_vm_pairs(topo, 1, intra_rack_fraction=0.0, seed=rng)
         flows = flows.with_rates(model.sample(1, rng=rng))
         stroll = dp_placement_top1(topo, flows, params["n"])
-        opt = optimal_placement(topo, flows, params["n"], node_budget=300_000)
+        opt = optimal_placement(topo, flows, params["n"], budget=300_000)
         gaps.append(stroll.cost / opt.cost - 1.0)
         guarded.append(stroll.cost <= 2.0 * opt.cost + 1e-9)
     claim(
@@ -91,7 +91,7 @@ def run(scale: str = "default") -> ExperimentResult:
         flows = flows.with_rates(model.sample(params["l"], rng=rng))
         dp_total += dp_placement(topo, flows, params["n"]).cost
         opt_total += optimal_placement(
-            topo, flows, params["n"], node_budget=300_000
+            topo, flows, params["n"], budget=300_000
         ).cost
         steering_total += steering_placement(topo, flows, params["n"]).cost
         greedy_total += greedy_liu_placement(topo, flows, params["n"]).cost
@@ -115,7 +115,7 @@ def run(scale: str = "default") -> ExperimentResult:
         new_flows = flows.with_rates(model.sample(params["l"], rng=rng))
         mp_sum += mpareto_migration(topo, new_flows, stale_p, 1e4).cost
         opt_sum += optimal_migration(
-            topo, new_flows, stale_p, 1e4, node_budget=300_000
+            topo, new_flows, stale_p, 1e4, budget=300_000
         ).cost
         stay_sum += no_migration(topo, new_flows, stale_p).cost
     claim(

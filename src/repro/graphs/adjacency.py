@@ -18,6 +18,7 @@ from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
 from repro.errors import GraphError
 from repro.runtime.cache import get_compute_cache
+from repro.runtime.instrument import count
 from repro.utils.timing import Timer
 
 __all__ = ["GraphBuilder", "CostGraph"]
@@ -174,6 +175,7 @@ class CostGraph:
 
     def _compute_apsp(self) -> tuple[np.ndarray, np.ndarray]:
         n = self.num_nodes
+        count("apsp_computes")
         with Timer.timed("apsp"):
             rows, cols, data = [], [], []
             for u, v, w in self._edges:

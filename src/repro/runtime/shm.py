@@ -1,0 +1,299 @@
+"""Ship per-topology solver artifacts to worker processes via shared memory.
+
+Parallel runs historically re-derived the per-topology artifacts —
+the APSP tables and Algorithm 3's stroll-cost matrices — once per worker
+process, because every worker warms its own :class:`ComputeCache`.  The
+artifacts are pure functions of the topology, so the parent can compute
+them once, copy them into :mod:`multiprocessing.shared_memory` segments,
+and hand every worker read-only NumPy views instead.
+
+The hand-off is content-addressed: :func:`content_fingerprint` hashes the
+canonical pickle of the topology (the same dump→load→dump trick the
+resilience journal uses), and a worker only adopts artifacts whose
+fingerprint matches the topology a task actually carries.  Adopted
+arrays are byte-copies of what the worker would have computed itself
+(Dijkstra and the stroll DP are deterministic), so journal resume and
+serial/parallel bit-identity are preserved by construction.
+
+Lifetime: the parent owns the segments (created in
+:func:`export_session_artifacts`, unlinked by
+:meth:`ArtifactExport.close`); workers attach without taking ownership —
+:func:`_attach_array` unregisters the attachment from the
+``resource_tracker`` so worker exits do not double-unlink the parent's
+segments.  Sharing can be disabled wholesale (``--no-shared-artifacts``)
+via :func:`set_artifact_sharing`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.runtime.cache import get_compute_cache
+from repro.runtime.instrument import count
+
+__all__ = [
+    "ShmArrayRef",
+    "SharedArtifacts",
+    "ArtifactExport",
+    "SharedArtifactRunner",
+    "content_fingerprint",
+    "export_session_artifacts",
+    "adopt_artifacts",
+    "set_artifact_sharing",
+    "sharing_enabled",
+]
+
+#: pickle protocol pinned to match the resilience journal's fingerprints
+_PICKLE_PROTOCOL = 4
+
+#: process-global switch; the CLI's --no-shared-artifacts clears it
+_SHARING_ENABLED = True
+
+#: pid at import time — in a *forked* worker this still names the parent
+#: (inherited memory), while a *spawned* worker re-imports and stamps its
+#: own pid; see :func:`_owns_resource_tracker`
+_IMPORT_PID = os.getpid()
+
+
+def _owns_resource_tracker() -> bool:
+    """True iff this process runs its own resource-tracker daemon.
+
+    Forked workers inherit the parent's tracker, so attach-time
+    registrations deduplicate against the parent's create-time one and
+    must NOT be unregistered (that would strip the parent's own cleanup
+    registration).  Spawned workers start a fresh tracker whose
+    registration would unlink the parent's segment on worker exit — there
+    the unregister is required.
+    """
+    return (
+        multiprocessing.parent_process() is not None and _IMPORT_PID == os.getpid()
+    )
+
+
+def set_artifact_sharing(enabled: bool) -> bool:
+    """Enable/disable shared-memory artifact hand-off; returns the old value."""
+    global _SHARING_ENABLED
+    previous = _SHARING_ENABLED
+    _SHARING_ENABLED = bool(enabled)
+    return previous
+
+
+def sharing_enabled() -> bool:
+    return _SHARING_ENABLED
+
+
+def content_fingerprint(obj: Any) -> str:
+    """sha256 of the canonical pickle of ``obj``.
+
+    One dump→load→dump round-trip canonicalizes pickle's memo accidents
+    (see :func:`repro.runtime.journal.task_fingerprint`), so parent and
+    worker compute the same fingerprint for equal-valued objects.
+    """
+    try:
+        payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        payload = pickle.dumps(pickle.loads(payload), protocol=_PICKLE_PROTOCOL)
+    except Exception as exc:
+        raise ReproError(f"cannot fingerprint unpicklable object: {exc!r}") from exc
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Picklable pointer to one ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedArtifacts:
+    """Picklable manifest of one topology's shared solver artifacts.
+
+    ``strolls`` pairs each :class:`ComputeCache` key (the exact tuple
+    :func:`repro.core.placement._stroll_matrix` would use) with the refs
+    of its ``(closure, b_cost, b_edges)`` arrays.
+    """
+
+    fingerprint: str
+    apsp_dist: ShmArrayRef
+    apsp_pred: ShmArrayRef
+    strolls: tuple
+
+
+class ArtifactExport:
+    """Parent-side handle owning the segments; ``close()`` unlinks them."""
+
+    def __init__(
+        self, shared: SharedArtifacts, segments: list[shared_memory.SharedMemory]
+    ) -> None:
+        self.shared = shared
+        self._segments = segments
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+
+    def __enter__(self) -> "ArtifactExport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _export_array(arr: np.ndarray) -> tuple[ShmArrayRef, shared_memory.SharedMemory]:
+    arr = np.ascontiguousarray(arr)
+    segment = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+    view[...] = arr
+    return ShmArrayRef(segment.name, tuple(arr.shape), str(arr.dtype)), segment
+
+
+def export_session_artifacts(
+    topology,
+    chain_sizes: Iterable[int] = (),
+    *,
+    mode: str = "second-best",
+    extra_edge_slack: int = 16,
+) -> ArtifactExport:
+    """Compute a topology's artifacts once and copy them into shared memory.
+
+    ``chain_sizes`` lists the SFC lengths whose stroll matrices should
+    ship alongside the APSP tables (lengths ≤ 2 are solved exactly
+    without a matrix and are skipped).
+    """
+    count("shm_exports")
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        dist, pred = topology.graph._apsp()
+        dist_ref, segment = _export_array(dist)
+        segments.append(segment)
+        pred_ref, segment = _export_array(pred)
+        segments.append(segment)
+
+        from repro.core.placement import _stroll_matrix
+
+        sw = topology.switches
+        strolls = []
+        for n in sorted(set(int(x) for x in chain_sizes)):
+            interior = n - 2
+            if interior < 1:
+                continue
+            max_edges = interior + 1 + extra_edge_slack
+            arrays = _stroll_matrix(topology, sw, interior, mode, max_edges)
+            key = ("stroll_matrix", sw.tobytes(), interior, mode, max_edges)
+            refs = []
+            for arr in arrays:
+                ref, segment = _export_array(arr)
+                segments.append(segment)
+                refs.append(ref)
+            strolls.append((key, tuple(refs)))
+        shared = SharedArtifacts(
+            fingerprint=content_fingerprint(topology),
+            apsp_dist=dist_ref,
+            apsp_pred=pred_ref,
+            strolls=tuple(strolls),
+        )
+    except BaseException:
+        ArtifactExport(None, segments).close()
+        raise
+    return ArtifactExport(shared, segments)
+
+
+# -- worker side --------------------------------------------------------------
+
+#: fingerprint -> (canonical topology, attached segments kept alive for the
+#: process, since the adopted ndarray views borrow their buffers)
+_ADOPTED: dict[str, tuple[Any, list[shared_memory.SharedMemory]]] = {}
+
+
+def _attach_array(ref: ShmArrayRef) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    segment = shared_memory.SharedMemory(name=ref.name)
+    # Attaching registers the segment with this process's resource tracker
+    # as if we owned it, so a spawned worker's exit would unlink (and warn
+    # about) the parent's segments.  The parent owns lifetime; drop the
+    # registration — but only where this process has its own tracker (a
+    # forked worker shares the parent's, whose registration must survive).
+    if _owns_resource_tracker():
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    arr.setflags(write=False)
+    return arr, segment
+
+
+def adopt_artifacts(shared: SharedArtifacts, topology) -> Any:
+    """Attach the shared arrays and seed this process's compute cache.
+
+    The first adoption of a fingerprint makes its ``topology`` the
+    process-canonical instance for that content: later tasks carrying an
+    equal-valued (but identity-distinct, freshly unpickled) topology are
+    rewritten onto the canonical one so the per-owner cache entries —
+    APSP, stroll matrices, attraction gathers — actually hit.  Returns
+    the canonical topology.
+    """
+    entry = _ADOPTED.get(shared.fingerprint)
+    if entry is not None:
+        return entry[0]
+    segments: list[shared_memory.SharedMemory] = []
+    dist, segment = _attach_array(shared.apsp_dist)
+    segments.append(segment)
+    pred, segment = _attach_array(shared.apsp_pred)
+    segments.append(segment)
+    cache = get_compute_cache()
+    cache.get_or_compute(topology.graph, "apsp", lambda: (dist, pred))
+    for key, refs in shared.strolls:
+        arrays = []
+        for ref in refs:
+            arr, segment = _attach_array(ref)
+            segments.append(segment)
+            arrays.append(arr)
+        value = tuple(arrays)
+        cache.get_or_compute(topology, key, lambda value=value: value)
+    count("shm_adoptions")
+    _ADOPTED[shared.fingerprint] = (topology, segments)
+    return topology
+
+
+@dataclass(frozen=True)
+class SharedArtifactRunner:
+    """Picklable task-fn wrapper shipping artifacts to workers once.
+
+    Shipped through the pool *initializer* (like any mapped fn), never
+    inside task payloads — so the tasks the resilience journal
+    fingerprints are byte-for-byte the same with or without sharing, and
+    resume stays bit-identical.  Tasks whose topology fingerprint does
+    not match are run unchanged.
+    """
+
+    fn: Callable[[Any], Any]
+    shared: SharedArtifacts
+
+    def __call__(self, task: Any) -> Any:
+        topology = getattr(task, "topology", None)
+        if (
+            topology is not None
+            and content_fingerprint(topology) == self.shared.fingerprint
+        ):
+            canonical = adopt_artifacts(self.shared, topology)
+            if canonical is not topology:
+                task = dataclasses.replace(task, topology=canonical)
+        return self.fn(task)

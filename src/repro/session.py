@@ -1,0 +1,400 @@
+"""Solver sessions: one topology, many queries, artifacts computed once.
+
+Theorem 1 reduces TOP to an (n−2)-stroll over the metric closure of the
+switch set — so the expensive structure (APSP tables, stroll-cost
+matrices, candidate sets) is a property of the *topology*, not of any
+single query.  :class:`SolverSession` binds that structure to one
+:class:`~repro.topology.base.Topology` and answers many placement and
+migration queries against it:
+
+>>> session = SolverSession(topology)
+>>> result = session.place(flows, sfc=3)                    # Algorithm 3
+>>> results = session.place_many([flows_h1, flows_h2], 3)   # batched
+>>> step = session.migrate(result.placement, flows_h2, mu=0.5)
+
+Every query routes through the same solver functions as the per-call API
+(``dp_placement`` & co.) with the session's :class:`ComputeCache`
+threaded in, so results are bit-identical to cold calls — the session
+only changes *when* artifacts get computed (eagerly, once), never what
+is computed.
+
+``place_many`` additionally offers a one-matmul path for the attraction
+terms ``a_in = Σ_i λ_i · c(s(v_i), ·)``: flow sets sharing endpoints
+stack their rate vectors into one ``R @ D`` product.  BLAS dgemm kernels
+are *not* guaranteed to produce bitwise-identical rows to the dgemv the
+single-query path uses, so the matmul path is gated behind a runtime
+probe (:func:`_matmul_rows_bitwise`) and falls back to mapping single
+queries over the shared cache — same asymptotic win, guaranteed
+bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.baselines.mcf_migration import mcf_vm_migration
+from repro.baselines.plan import plan_vm_migration
+from repro.baselines.random_placement import random_placement
+from repro.baselines.steering import steering_placement
+from repro.core.migration import mpareto_migration, no_migration
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.placement import (
+    _stroll_engine,
+    _stroll_matrix,
+    chain_size,
+    dp_placement,
+    dp_placement_top1,
+)
+from repro.core.primal_dual import primal_dual_placement_top1
+from repro.core.types import PlacementResult
+from repro.errors import InfeasibleError, PlacementError, ReproError
+from repro.runtime.cache import ComputeCache, get_compute_cache
+from repro.runtime.instrument import count
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = ["SolverSession"]
+
+#: memoized result of the dgemm-rows-vs-dgemv bitwise probe
+_MATMUL_BITWISE: bool | None = None
+
+
+def _matmul_rows_bitwise() -> bool:
+    """True iff ``(R @ D)[k]`` is bitwise equal to ``R[k] @ D`` here.
+
+    BLAS implementations are free to (and commonly do) use different
+    kernels, blockings and accumulation orders for matrix-matrix and
+    matrix-vector products, so the stacked attraction product is only
+    usable where this probe passes — bit-identity to the per-call path is
+    a hard contract of the session API.
+    """
+    global _MATMUL_BITWISE
+    if _MATMUL_BITWISE is None:
+        rng = np.random.default_rng(12345)
+        ok = True
+        for rows, inner, cols in ((3, 40, 37), (5, 96, 80)):
+            r = rng.standard_normal((rows, inner))
+            d = rng.standard_normal((inner, cols))
+            product = r @ d
+            if any(not np.array_equal(product[k], r[k] @ d) for k in range(rows)):
+                ok = False
+                break
+        _MATMUL_BITWISE = ok
+    return _MATMUL_BITWISE
+
+
+class SolverSession:
+    """Amortized query interface for one topology (see module docstring).
+
+    Parameters
+    ----------
+    topology:
+        The PPDC every query runs against.
+    cache:
+        The :class:`ComputeCache` holding the session's artifacts;
+        defaults to the process-global cache, which is what makes
+        session answers bit-identical to warm per-call answers.
+    mode / extra_edge_slack:
+        Session-wide defaults for Algorithm 3's stroll DP (overridable
+        per query).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        cache: ComputeCache | None = None,
+        mode: str = "second-best",
+        extra_edge_slack: int = 16,
+    ) -> None:
+        self.topology = topology
+        self.cache = cache if cache is not None else get_compute_cache()
+        self.mode = mode
+        self.extra_edge_slack = extra_edge_slack
+        count("sessions_created")
+        # the APSP tables underlie every query; pay for them now, once
+        topology.graph.distances
+
+    # -- per-topology artifacts ----------------------------------------------
+
+    @property
+    def distances(self) -> np.ndarray:
+        """The APSP cost matrix ``c(u, v)`` (read-only)."""
+        return self.topology.graph.distances
+
+    @property
+    def edge_switches(self) -> np.ndarray:
+        """Distinct top-of-rack switches, cached per session topology."""
+        return self.cache.get_or_compute(
+            self.topology,
+            ("session", "edge_switches"),
+            lambda: np.unique(self.topology.host_edge_switch),
+        )
+
+    @property
+    def host_edge_map(self) -> dict:
+        """host node -> its edge (top-of-rack) switch, cached."""
+        return self.cache.get_or_compute(
+            self.topology,
+            ("session", "host_edge_map"),
+            lambda: {
+                int(h): int(s)
+                for h, s in zip(self.topology.hosts, self.topology.host_edge_switch)
+            },
+        )
+
+    def warm(self, sfc: SFC | int, *, candidate_switches=None) -> "SolverSession":
+        """Precompute the stroll matrix for one chain length; returns self."""
+        n = chain_size(sfc)
+        interior = n - 2
+        if interior >= 1:
+            if candidate_switches is None:
+                sw = self.topology.switches
+            else:
+                sw = np.asarray(
+                    sorted(set(int(c) for c in candidate_switches)), dtype=np.int64
+                )
+            max_edges = interior + 1 + self.extra_edge_slack
+            _stroll_matrix(
+                self.topology, sw, interior, self.mode, max_edges, cache=self.cache
+            )
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    _PLACERS: dict = {
+        "dp": dp_placement,
+        "top1": dp_placement_top1,
+        "dp-stroll": dp_placement_top1,
+        "primal-dual": primal_dual_placement_top1,
+        "optimal": optimal_placement,
+        "steering": steering_placement,
+        "greedy": greedy_liu_placement,
+        "random": random_placement,
+    }
+
+    _MIGRATORS: dict = {
+        "mpareto": mpareto_migration,
+        "optimal": optimal_migration,
+        "none": no_migration,
+        "no-migration": no_migration,
+        "plan": plan_vm_migration,
+        "mcf": mcf_vm_migration,
+    }
+
+    def place(
+        self, flows: FlowSet, sfc: SFC | int, *, algo: str = "dp", **options
+    ) -> PlacementResult:
+        """Place ``sfc`` for ``flows`` with ``algo``, reusing session artifacts.
+
+        ``algo`` is one of ``dp`` (Algorithm 3), ``top1``/``dp-stroll``
+        (Algorithm 2 on one flow), ``primal-dual``, ``optimal``
+        (Algorithm 4), ``steering``, ``greedy`` or ``random``; extra
+        keyword options go to the solver (e.g. ``budget=`` for
+        ``optimal``, ``seed=`` for ``random``).
+        """
+        try:
+            solver = self._PLACERS[algo]
+        except KeyError:
+            raise ReproError(
+                f"unknown placement algo {algo!r}; "
+                f"choose from {sorted(self._PLACERS)}"
+            ) from None
+        count("session_queries")
+        options.setdefault("cache", self.cache)
+        if algo == "dp":
+            options.setdefault("mode", self.mode)
+            options.setdefault("extra_edge_slack", self.extra_edge_slack)
+        return solver(self.topology, flows, sfc, **options)
+
+    def migrate(
+        self,
+        prev: np.ndarray,
+        flows: FlowSet,
+        *,
+        mu: float,
+        algo: str = "mpareto",
+        **options,
+    ):
+        """Migrate from placement ``prev`` under the new rates in ``flows``.
+
+        ``algo`` is one of ``mpareto`` (Algorithm 5), ``optimal``
+        (Algorithm 6), ``none`` (stay put), or the VM baselines ``plan``
+        / ``mcf`` (which keep the VNF placement fixed and move VMs; for
+        those ``mu`` is the per-VM coefficient).
+        """
+        try:
+            solver = self._MIGRATORS[algo]
+        except KeyError:
+            raise ReproError(
+                f"unknown migration algo {algo!r}; "
+                f"choose from {sorted(self._MIGRATORS)}"
+            ) from None
+        count("session_queries")
+        options.setdefault("cache", self.cache)
+        # all migrators share the lead signature (topology, flows, prev, mu)
+        return solver(self.topology, flows, prev, mu, **options)
+
+    def solve(
+        self,
+        flows: FlowSet,
+        sfc: SFC | int,
+        *,
+        prev: np.ndarray | None = None,
+        mu: float = 0.0,
+        algo: str | None = None,
+        **options,
+    ):
+        """Unified facade: placement when ``prev is None``, else migration."""
+        if prev is None:
+            return self.place(flows, sfc, algo=algo or "dp", **options)
+        return self.migrate(prev, flows, mu=mu, algo=algo or "mpareto", **options)
+
+    # -- batching ------------------------------------------------------------
+
+    def place_many(
+        self,
+        flowsets: Iterable[FlowSet],
+        sfc: SFC | int,
+        *,
+        algo: str = "dp",
+        batch: str = "auto",
+        **options,
+    ) -> list[PlacementResult]:
+        """Place one chain for many flow sets on the shared artifacts.
+
+        ``batch="auto"`` takes the stacked-matmul attraction path only
+        when this BLAS passes the bitwise probe (see module docstring);
+        ``"map"`` forces per-set queries, ``"matmul"`` forces the stacked
+        path (results then match the per-call path to rounding, not
+        necessarily bitwise).  Results are in input order and — on the
+        ``auto``/``map`` paths — bit-identical to ``[self.place(f, sfc)
+        for f in flowsets]``.
+        """
+        flowsets = list(flowsets)
+        if batch not in ("auto", "map", "matmul"):
+            raise ReproError(f"unknown batch mode {batch!r}")
+        if batch == "auto":
+            batch = (
+                "matmul"
+                if algo == "dp" and _matmul_rows_bitwise()
+                else "map"
+            )
+        if batch == "matmul" and algo == "dp":
+            return self._place_many_matmul(flowsets, sfc, **options)
+        return [self.place(f, sfc, algo=algo, **options) for f in flowsets]
+
+    def _place_many_matmul(
+        self,
+        flowsets: Sequence[FlowSet],
+        sfc: SFC | int,
+        *,
+        extra_edge_slack: int | None = None,
+        mode: str | None = None,
+        candidate_switches=None,
+        cache: ComputeCache | None = None,
+    ) -> list[PlacementResult]:
+        """Algorithm 3 over many flow sets with stacked attraction matmuls.
+
+        Flow sets sharing endpoint arrays (the fig11 shape: the same VM
+        pairs re-rated every hour) contribute rows of one
+        ``R @ dist[endpoints, :]`` product; everything after the
+        attraction terms — the cached stroll matrix, the score argmin,
+        the winner-stroll reconstruction — is shared with the per-call
+        path.  Small chains (n ≤ 2) and restricted candidate sets fall
+        back to per-set queries.
+        """
+        n = chain_size(sfc)
+        mode = self.mode if mode is None else mode
+        slack = self.extra_edge_slack if extra_edge_slack is None else extra_edge_slack
+        if n <= 2 or candidate_switches is not None:
+            return [
+                self.place(
+                    f,
+                    sfc,
+                    algo="dp",
+                    mode=mode,
+                    extra_edge_slack=slack,
+                    candidate_switches=candidate_switches,
+                    cache=cache,
+                )
+                for f in flowsets
+            ]
+        topology = self.topology
+        if n > topology.num_switches:
+            raise InfeasibleError(
+                f"SFC of {n} VNFs cannot be placed on {topology.num_switches} switches"
+            )
+        cache = cache if cache is not None else self.cache
+        dist = topology.graph.distances
+        sw = topology.switches
+        interior = n - 2
+        max_edges = interior + 1 + slack
+        closure, b_cost, b_edges = _stroll_matrix(
+            topology, sw, interior, mode, max_edges, cache=cache
+        )
+
+        # group flow sets by endpoint content; each group's attractions
+        # are rows of one rates-matrix product over the shared gathers
+        groups: dict[tuple, list[int]] = {}
+        for i, flows in enumerate(flowsets):
+            flows.validate_against(topology)
+            key = (flows.sources.tobytes(), flows.destinations.tobytes())
+            groups.setdefault(key, []).append(i)
+
+        results: list[PlacementResult | None] = [None] * len(flowsets)
+        for members in groups.values():
+            first = flowsets[members[0]]
+            rates_matrix = np.stack([flowsets[i].rates for i in members])
+            a_in_all = rates_matrix @ dist[first.sources, :]
+            a_out_all = rates_matrix @ dist[first.destinations, :]
+            for row, i in enumerate(members):
+                count("session_queries")
+                count("dp_solves")
+                a_in_full = a_in_all[row]
+                a_out_full = a_out_all[row]
+                lam = float(flowsets[i].rates.sum())
+                a_in = a_in_full[sw]
+                a_out = a_out_full[sw]
+                chain_term = np.full_like(b_cost, np.inf)
+                finite = np.isfinite(b_cost)
+                chain_term[finite] = lam * b_cost[finite]
+                score = a_in[:, None] + chain_term + a_out[None, :]
+                flat = int(np.argmin(score))
+                s_pos, t_pos = divmod(flat, sw.size)
+                if not np.isfinite(score[s_pos, t_pos]):
+                    raise InfeasibleError("no feasible (ingress, egress) stroll found")
+                engine = _stroll_engine(
+                    topology, closure, sw, t_pos, mode, max_edges, cache=cache
+                )
+                stroll = engine.solve(s_pos, interior)
+                distinct = stroll.distinct
+                if distinct.size < interior:
+                    raise PlacementError(
+                        "winning stroll lost its distinct interior on reconstruction"
+                    )
+                positions = np.concatenate(([s_pos], distinct[:interior], [t_pos]))
+                placement = sw[positions]
+                chain = float(dist[placement[:-1], placement[1:]].sum())
+                cost = float(
+                    a_in_full[placement[0]] + lam * chain + a_out_full[placement[-1]]
+                )
+                results[i] = PlacementResult(
+                    placement=placement,
+                    cost=cost,
+                    algorithm="dp",
+                    extra={
+                        "score": float(score[s_pos, t_pos]),
+                        "stroll_edges": int(b_edges[s_pos, t_pos]),
+                        "stroll_cost": float(b_cost[s_pos, t_pos]),
+                        "batched": True,
+                    },
+                )
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolverSession({self.topology.name!r}, mode={self.mode!r})"

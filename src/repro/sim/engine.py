@@ -66,11 +66,15 @@ def initial_placement(
     n: int,
     rate_process: RateProcess,
     hour: int = 1,
+    *,
+    cache=None,
 ) -> np.ndarray:
     """The TOP placement the day starts from (Algorithm 3 at ``hour``'s rates).
 
     Matches the paper's framework: TOP runs once up front, TOM (or a
-    baseline) reacts from then on.
+    baseline) reacts from then on.  ``cache`` threads a
+    :class:`~repro.runtime.cache.ComputeCache` (e.g. a session's) into
+    Algorithm 3.
     """
     with Timer.timed("initial_placement"):
         rates = rate_process.rates_at(hour)
@@ -78,7 +82,7 @@ def initial_placement(
             # a completely silent starting hour gives TOP no signal; fall back
             # to the base rates so the initial placement is still meaningful
             rates = flows.rates
-        return dp_placement(topology, flows.with_rates(rates), n).placement
+        return dp_placement(topology, flows.with_rates(rates), n, cache=cache).placement
 
 
 def simulate_day(
@@ -88,16 +92,23 @@ def simulate_day(
     rate_process: RateProcess,
     placement: np.ndarray,
     hours: range | None = None,
+    *,
+    session=None,
 ) -> DayResult:
     """Run ``policy`` through the given ``hours`` of the traffic process.
 
     The policy is (re)initialized with ``placement`` and the flow set
     before the first hour; each hour it sees the process's effective
-    rate vector and books its costs.
+    rate vector and books its costs.  ``session`` attaches a
+    :class:`~repro.session.SolverSession` so every hour's solver call
+    reuses the session's precomputed artifacts (bit-identical to running
+    without one — the session routes through the same solver code).
     """
     if hours is None:
         hours = range(1, rate_process.diurnal.num_hours + 1)
     with Timer.timed("simulate_day"):
+        if session is not None:
+            policy.attach_session(session)
         policy.initialize(flows, placement)
         records = []
         for hour in hours:

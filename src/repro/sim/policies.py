@@ -62,8 +62,20 @@ class MigrationPolicy(ABC):
             raise MigrationError(f"mu must be non-negative, got {mu}")
         self.topology = topology
         self.mu = mu
+        self.session = None
         self._placement: np.ndarray | None = None
         self._flows: FlowSet | None = None
+
+    def attach_session(self, session) -> None:
+        """Route this policy's solver calls through a
+        :class:`~repro.session.SolverSession` (same answers, amortized
+        artifacts)."""
+        self.session = session
+
+    @property
+    def _cache(self):
+        """The compute cache solver calls should use (None = process-global)."""
+        return self.session.cache if self.session is not None else None
 
     def initialize(self, flows: FlowSet, placement: np.ndarray) -> None:
         """Install the initial TOP placement and VM locations."""
@@ -92,7 +104,10 @@ class MParetoPolicy(MigrationPolicy):
 
     def step(self, rates: np.ndarray) -> PolicyStep:
         flows = self.flows.with_rates(rates)
-        result = mpareto_migration(self.topology, flows, self.placement, self.mu)
+        if self.session is not None:
+            result = self.session.migrate(self.placement, flows, mu=self.mu)
+        else:
+            result = mpareto_migration(self.topology, flows, self.placement, self.mu)
         self._placement = result.migration
         self._flows = flows
         return PolicyStep(
@@ -116,11 +131,11 @@ class OptimalVnfPolicy(MigrationPolicy):
         self,
         topology: Topology,
         mu: float,
-        node_budget: int = 2_000_000,
+        budget: int = 2_000_000,
         candidate_switches: Sequence[int] | None = None,
     ) -> None:
         super().__init__(topology, mu)
-        self.node_budget = node_budget
+        self.budget = budget
         self.candidate_switches = candidate_switches
 
     def step(self, rates: np.ndarray) -> PolicyStep:
@@ -130,8 +145,9 @@ class OptimalVnfPolicy(MigrationPolicy):
             flows,
             self.placement,
             self.mu,
-            node_budget=self.node_budget,
+            budget=self.budget,
             candidate_switches=self.candidate_switches,
+            cache=self._cache,
         )
         self._placement = result.migration
         self._flows = flows
@@ -149,7 +165,7 @@ class NoMigrationPolicy(MigrationPolicy):
 
     def step(self, rates: np.ndarray) -> PolicyStep:
         flows = self.flows.with_rates(rates)
-        result = no_migration(self.topology, flows, self.placement)
+        result = no_migration(self.topology, flows, self.placement, cache=self._cache)
         self._flows = flows
         return PolicyStep(
             communication_cost=result.communication_cost,
@@ -198,7 +214,8 @@ class PlanVmPolicy(MigrationPolicy):
             flows,
             self.placement,
             self.mu * self.vm_size_ratio,
-            self.host_capacity,
+            host_capacity=self.host_capacity,
+            cache=self._cache,
         )
         self._flows = result.flows
         return PolicyStep(
@@ -247,6 +264,7 @@ class McfVmPolicy(MigrationPolicy):
             self.mu * self.vm_size_ratio,
             host_capacity=self.host_capacity,
             top_k=self.top_k,
+            cache=self._cache,
         )
         self._flows = result.flows
         return PolicyStep(

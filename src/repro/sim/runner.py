@@ -36,6 +36,12 @@ from repro.errors import TaskError, WorkloadError
 from repro.runtime.executor import get_executor
 from repro.runtime.instrument import count
 from repro.runtime.resilience import ResilienceConfig, TaskFailure
+from repro.runtime.shm import (
+    SharedArtifactRunner,
+    export_session_artifacts,
+    sharing_enabled,
+)
+from repro.session import SolverSession
 from repro.sim.engine import DayResult, initial_placement, simulate_day
 from repro.sim.policies import MigrationPolicy
 from repro.topology.base import Topology
@@ -176,6 +182,7 @@ def _run_replication(task: _ReplicationTask) -> ReplicationResult:
             config,
             seed=spawn_seeds(process_seq, 1)[0],
         )
+        session = SolverSession(topology)
         if config.initial_placement == "hour0":
             # τ_0 = 0: every placement is TOP-optimal at hour zero, so the
             # day starts from an arbitrary one (seeded for reproducibility)
@@ -183,11 +190,15 @@ def _run_replication(task: _ReplicationTask) -> ReplicationResult:
                 rng.choice(topology.switches, size=config.num_vnfs, replace=False)
             )
         else:
-            placement = initial_placement(topology, flows, config.num_vnfs, process)
+            placement = initial_placement(
+                topology, flows, config.num_vnfs, process, cache=session.cache
+            )
         days: dict[str, DayResult] = {}
         for name, factory in task.policies:
             policy = factory(topology, config.mu)
-            days[name] = simulate_day(topology, flows, policy, process, placement)
+            days[name] = simulate_day(
+                topology, flows, policy, process, placement, session=session
+            )
     return ReplicationResult(flows=flows, placement=placement, days=days)
 
 
@@ -218,7 +229,27 @@ def run_replications(
         _ReplicationTask(topology, traffic_model, config, rep, policies)
         for rep in range(config.replications)
     ]
-    results = get_executor(workers, resilience).map(_run_replication, tasks)
+    executor = get_executor(workers, resilience)
+    fn = _run_replication
+    export = None
+    if executor.workers > 1 and sharing_enabled():
+        # compute the per-topology artifacts once and hand workers
+        # read-only shared-memory views instead of having each worker
+        # re-derive them; tasks (and thus journal fingerprints) are
+        # untouched, so resume stays bit-identical
+        try:
+            export = export_session_artifacts(
+                topology, chain_sizes=(config.num_vnfs,)
+            )
+            fn = SharedArtifactRunner(_run_replication, export.shared)
+        except Exception:
+            export = None
+            fn = _run_replication
+    try:
+        results = executor.map(fn, tasks)
+    finally:
+        if export is not None:
+            export.close()
     completed = [rep for rep in results if not isinstance(rep, TaskFailure)]
     if not completed:
         raise TaskError(

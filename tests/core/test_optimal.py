@@ -63,7 +63,7 @@ class TestOptimalPlacement:
                 ft8,
                 flows,
                 6,
-                node_budget=1,
+                budget=1,
                 candidate_switches=ft8.switches.tolist(),
             )
 
@@ -125,7 +125,7 @@ class TestExactChainSearch:
         dist = np.asarray([[0.0, 1.0], [1.0, 0.0]])
         scores = np.zeros((2, 2))
         tup, cost, _ = exact_chain_search(
-            dist, 1.0, np.asarray([5.0, 0.0]), scores, np.inf, 1000
+            dist, 1.0, np.asarray([5.0, 0.0]), scores, upper_bound=np.inf, budget=1000
         )
         # start at node 1 (cheap start), chain to node 0
         assert tup.tolist() == [1, 0]
@@ -134,11 +134,11 @@ class TestExactChainSearch:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             exact_chain_search(
-                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((1, 3)), np.inf, 10
+                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((1, 3)), budget=10
             )
 
     def test_infeasible_n(self):
         with pytest.raises(InfeasibleError):
             exact_chain_search(
-                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((3, 2)), np.inf, 10
+                np.zeros((2, 2)), 1.0, np.zeros(2), np.zeros((3, 2)), budget=10
             )

@@ -82,9 +82,14 @@ class TestStrollMatrixCache:
 
         cache = ComputeCache()
         dp_placement(ft4, workload, 4, cache=cache)
+        first = cache.owner_entries(ft4)
+        dp_placement(ft4, workload, 4, cache=cache)
+        assert cache.owner_entries(ft4) == first  # repeat solves add nothing
         dp_placement(ft4, workload, 5, cache=cache)
+        second = cache.owner_entries(ft4)
+        assert second > first  # new n -> new stroll entries
         dp_placement(ft4, workload, 5, mode="paper", cache=cache)
-        assert cache.owner_entries(ft4) == 3
+        assert cache.owner_entries(ft4) > second  # new mode -> new entries
 
     def test_default_cache_hits_across_calls(self, ft4, workload):
         from repro.runtime.cache import get_compute_cache

@@ -1,0 +1,156 @@
+"""SolverSession: bit-identity to the per-call API, amortization guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FacebookTrafficModel, fat_tree, leaf_spine, place_vm_pairs
+from repro.core.migration import mpareto_migration
+from repro.core.placement import dp_placement
+from repro.errors import ReproError
+from repro.runtime.cache import ComputeCache
+from repro.runtime.instrument import counters
+from repro.session import SolverSession, _matmul_rows_bitwise
+
+
+def _workload(topology, num_pairs, seed):
+    flows = place_vm_pairs(topology, num_pairs, seed=seed)
+    return flows.with_rates(FacebookTrafficModel().sample(num_pairs, rng=seed))
+
+
+_TOPOLOGIES = {
+    "ft4": lambda: fat_tree(4),
+    "ls23": lambda: leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=3),
+}
+_TOPOLOGY_CACHE: dict = {}
+
+
+def _topology(name):
+    # hypothesis re-runs the test body many times; reuse one instance per
+    # name so the session caches are exercised across examples
+    if name not in _TOPOLOGY_CACHE:
+        _TOPOLOGY_CACHE[name] = _TOPOLOGIES[name]()
+    return _TOPOLOGY_CACHE[name]
+
+
+class TestSessionPlaceEquivalence:
+    @given(
+        name=st.sampled_from(sorted(_TOPOLOGIES)),
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_place_matches_dp_placement_bitwise(self, name, seed, n):
+        topo = _topology(name)
+        flows = _workload(topo, 6, seed)
+        session = SolverSession(topo)
+        via_session = session.place(flows, n)
+        cold = dp_placement(topo, flows, n, cache=ComputeCache())
+        assert np.array_equal(via_session.placement, cold.placement)
+        assert via_session.cost == cold.cost  # bitwise, not approx
+
+    def test_migrate_matches_mpareto_bitwise(self, ft4):
+        flows = _workload(ft4, 8, 3)
+        session = SolverSession(ft4)
+        prev = session.place(flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        via_session = session.migrate(prev, shifted, mu=10.0)
+        cold = mpareto_migration(ft4, shifted, prev, 10.0, cache=ComputeCache())
+        assert np.array_equal(via_session.migration, cold.migration)
+        assert via_session.cost == cold.cost
+
+    def test_solve_facade_dispatch(self, ft4):
+        flows = _workload(ft4, 6, 7)
+        session = SolverSession(ft4)
+        placed = session.solve(flows, 3)
+        assert placed.meta["algorithm"] == "dp"
+        moved = session.solve(flows, 3, prev=placed.placement, mu=1.0)
+        assert moved.meta["algorithm"] == "mpareto"
+
+    def test_unknown_algo_rejected(self, ft4):
+        session = SolverSession(ft4)
+        flows = _workload(ft4, 4, 0)
+        with pytest.raises(ReproError, match="unknown placement algo"):
+            session.place(flows, 3, algo="nope")
+        with pytest.raises(ReproError, match="unknown migration algo"):
+            session.migrate(np.array([0]), flows, mu=1.0, algo="nope")
+
+
+class TestPlaceMany:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=1, max_value=5),
+        hours=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_place_many_matches_mapped_singles(self, seed, n, hours):
+        topo = _topology("ft4")
+        base = _workload(topo, 6, seed)
+        model = FacebookTrafficModel()
+        flowsets = [
+            base.with_rates(model.sample(6, rng=seed * 31 + h)) for h in range(hours)
+        ]
+        session = SolverSession(topo)
+        batched = session.place_many(flowsets, n)
+        singles = [session.place(f, n) for f in flowsets]
+        for got, want in zip(batched, singles):
+            assert np.array_equal(got.placement, want.placement)
+            assert got.cost == want.cost
+
+    def test_auto_batch_respects_blas_probe(self, ft4):
+        flowsets = [_workload(ft4, 5, s) for s in (1, 2)]
+        session = SolverSession(ft4)
+        results = session.place_many(flowsets, 4, batch="auto")
+        batched_flags = [r.extra.get("batched", False) for r in results]
+        if _matmul_rows_bitwise():
+            assert all(batched_flags)
+        else:
+            assert not any(batched_flags)
+
+    def test_matmul_path_agrees_to_rounding(self, ft4):
+        flowsets = [_workload(ft4, 5, s) for s in (3, 4, 5)]
+        session = SolverSession(ft4)
+        forced = session.place_many(flowsets, 4, batch="matmul")
+        mapped = session.place_many(flowsets, 4, batch="map")
+        for got, want in zip(forced, mapped):
+            assert got.cost == pytest.approx(want.cost, rel=1e-12)
+
+    def test_bad_batch_mode(self, ft4):
+        session = SolverSession(ft4)
+        with pytest.raises(ReproError, match="batch mode"):
+            session.place_many([], 3, batch="bogus")
+
+
+class TestAmortization:
+    def test_zero_duplicate_apsp_per_session(self):
+        """Many queries against one session trigger exactly one APSP solve."""
+        topo = fat_tree(4)  # fresh topology: nothing cached for it yet
+        model = FacebookTrafficModel()
+        base = _workload(topo, 8, 11)
+        before = counters().get("apsp_computes", 0)
+        session = SolverSession(topo)
+        for n in (2, 3, 4):
+            for h in range(3):
+                session.place(base.with_rates(model.sample(8, rng=h)), n)
+        prev = session.place(base, 3).placement
+        session.migrate(prev, base, mu=10.0)
+        assert counters().get("apsp_computes", 0) - before == 1
+
+    def test_warm_precomputes_stroll_matrix(self):
+        topo = fat_tree(4)
+        session = SolverSession(topo).warm(4)
+        key_hits = session.cache.hits
+        session.place(_workload(topo, 5, 1), 4)
+        assert session.cache.hits > key_hits  # solve found the warmed matrix
+
+    def test_artifact_properties(self, ft4):
+        session = SolverSession(ft4)
+        num_nodes = ft4.num_hosts + ft4.num_switches
+        assert session.distances.shape == (num_nodes, num_nodes)
+        assert set(session.edge_switches) == set(ft4.host_edge_switch)
+        assert session.host_edge_map[int(ft4.hosts[0])] == int(
+            ft4.host_edge_switch[0]
+        )

@@ -1,0 +1,133 @@
+"""The one-release legacy-signature shims (see :mod:`repro._compat`).
+
+Each solver accepts its pre-redesign call style — extra positional
+arguments, ``node_budget=`` / ``rng=`` keywords — for one release,
+emitting exactly one :class:`DeprecationWarning` and returning results
+identical to the new keyword-only convention.  CI runs this module (and
+the rest of the suite) under ``-W error::DeprecationWarning`` to prove
+the library's own code never goes through a shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import FacebookTrafficModel, fat_tree, place_vm_pairs
+from repro._compat import legacy_signature
+from repro.baselines.random_placement import random_placement
+from repro.baselines.steering import steering_placement
+from repro.core.migration import mpareto_migration
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.placement import dp_placement, dp_placement_top1
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="module")
+def flows(topo):
+    fl = place_vm_pairs(topo, 6, seed=2)
+    return fl.with_rates(FacebookTrafficModel().sample(6, rng=2))
+
+
+def _one_deprecation(record):
+    deps = [w for w in record if issubclass(w.category, DeprecationWarning)]
+    assert len(deps) == 1, [str(w.message) for w in record]
+    return deps[0]
+
+
+def _legacy(call, *args, **kwargs):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        result = call(*args, **kwargs)
+    _one_deprecation(record)
+    return result
+
+
+class TestLegacyCallsMatchNewStyle:
+    def test_dp_placement_positional_slack_and_mode(self, topo, flows):
+        legacy = _legacy(dp_placement, topo, flows, 4, 16, "paper")
+        new = dp_placement(topo, flows, 4, extra_edge_slack=16, mode="paper")
+        assert np.array_equal(legacy.placement, new.placement)
+        assert legacy.cost == new.cost
+
+    def test_dp_placement_top1_positional_flow_index(self, topo, flows):
+        legacy = _legacy(dp_placement_top1, topo, flows, 3, 1)
+        new = dp_placement_top1(topo, flows, 3, flow_index=1)
+        assert np.array_equal(legacy.placement, new.placement)
+        assert legacy.cost == new.cost
+
+    def test_optimal_placement_node_budget_keyword(self, topo, flows):
+        legacy = _legacy(optimal_placement, topo, flows, 3, node_budget=200_000)
+        new = optimal_placement(topo, flows, 3, budget=200_000)
+        assert np.array_equal(legacy.placement, new.placement)
+        assert legacy.cost == new.cost
+
+    def test_optimal_migration_node_budget_keyword(self, topo, flows):
+        src = dp_placement(topo, flows, 3).placement
+        legacy = _legacy(
+            optimal_migration, topo, flows, src, 10.0, node_budget=200_000
+        )
+        new = optimal_migration(topo, flows, src, 10.0, budget=200_000)
+        assert np.array_equal(legacy.migration, new.migration)
+        assert legacy.cost == new.cost
+
+    def test_mpareto_positional_placement_algorithm(self, topo, flows):
+        src = dp_placement(topo, flows, 3).placement
+        legacy = _legacy(mpareto_migration, topo, flows, src, 10.0, dp_placement)
+        new = mpareto_migration(
+            topo, flows, src, 10.0, placement_algorithm=dp_placement
+        )
+        assert np.array_equal(legacy.migration, new.migration)
+        assert legacy.cost == new.cost
+
+    def test_random_placement_rng_keyword(self, topo, flows):
+        legacy = _legacy(random_placement, topo, flows, 3, rng=7)
+        new = random_placement(topo, flows, 3, seed=7)
+        assert np.array_equal(legacy.placement, new.placement)
+        assert legacy.cost == new.cost
+
+    def test_steering_positional_chain_aware(self, topo, flows):
+        legacy = _legacy(steering_placement, topo, flows, 3, True)
+        new = steering_placement(topo, flows, 3, chain_aware=True)
+        assert np.array_equal(legacy.placement, new.placement)
+        assert legacy.cost == new.cost
+
+
+class TestShimEdgeCases:
+    def test_new_style_emits_no_warning(self, topo, flows):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            dp_placement(topo, flows, 3, mode="paper")
+            optimal_placement(topo, flows, 3, budget=200_000)
+            random_placement(topo, flows, 3, seed=1)
+
+    def test_duplicate_binding_raises(self, topo, flows):
+        with pytest.raises(TypeError), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            dp_placement(topo, flows, 3, 16, extra_edge_slack=16)
+
+    def test_too_many_positionals_raises(self, topo, flows):
+        with pytest.raises(TypeError), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            dp_placement(topo, flows, 3, 16, "paper", None, None, "extra")
+
+    def test_old_and_new_keyword_together_raises(self, topo, flows):
+        with pytest.raises(TypeError), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            optimal_placement(topo, flows, 3, node_budget=1_000, budget=2_000)
+
+    def test_decorator_preserves_metadata(self):
+        @legacy_signature("alpha")
+        def solver(a, b, *, alpha=1):
+            """Doc."""
+            return a + b + alpha
+
+        assert solver.__name__ == "solver"
+        assert solver.__doc__ == "Doc."
+        assert solver(1, 2, alpha=3) == 6

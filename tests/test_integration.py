@@ -55,7 +55,7 @@ class TestFullPipeline:
         flows = flows.with_rates(model.sample(10, rng=7))
 
         placed = dp_placement(topo, flows, n)
-        opt = optimal_placement(topo, flows, n, node_budget=500_000)
+        opt = optimal_placement(topo, flows, n, budget=500_000)
         steering = steering_placement(topo, flows, n)
         greedy = greedy_liu_placement(topo, flows, n)
         assert opt.cost <= placed.cost + 1e-6
@@ -67,7 +67,7 @@ class TestFullPipeline:
         stay = no_migration(topo, new_flows, placed.placement)
         moved = mpareto_migration(topo, new_flows, placed.placement, mu=10.0)
         exact = optimal_migration(
-            topo, new_flows, placed.placement, mu=10.0, node_budget=500_000
+            topo, new_flows, placed.placement, mu=10.0, budget=500_000
         )
         assert exact.cost <= moved.cost + 1e-6
         assert moved.cost <= stay.cost + 1e-6
