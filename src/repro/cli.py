@@ -41,6 +41,10 @@ __all__ = ["main", "build_parser"]
 #: fingerprints are scoped per experiment@scale, so one file serves all runs
 DEFAULT_JOURNAL = Path(".repro") / "journal.jsonl"
 
+#: the verification campaign journals separately — its tasks are case
+#: specs, not experiment points (fingerprints are scoped per seed)
+DEFAULT_VERIFY_JOURNAL = Path(".repro") / "verify_journal.jsonl"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -73,6 +77,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-dir", type=Path, default=None, help="directory for per-experiment JSON"
     )
     _add_runtime_args(run_all)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the differential + metamorphic verification campaign",
+        description=(
+            "Seeded random scenarios across every topology family and solver "
+            "entry point, audited against invariants (Eq. 1 / Eq. 8 / "
+            "feasibility / LP floor), the size-gated exact oracles, "
+            "differential bit-identity and metamorphic cost relations.  Any "
+            "failing case is shrunk to a minimal repro.  Exits 1 on violations."
+        ),
+    )
+    verify.add_argument(
+        "--cases", type=int, default=100, metavar="N", help="scenarios to run"
+    )
+    verify.add_argument("--seed", type=int, default=0, help="campaign seed")
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for case fan-out (default: 1, serial)",
+    )
+    verify.add_argument(
+        "--json",
+        type=Path,
+        default=Path("verify_report.json"),
+        metavar="PATH",
+        help="where to write the JSON report (default: verify_report.json)",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as generated, without minimizing them",
+    )
+    verify.add_argument(
+        "--inject-case",
+        type=int,
+        default=None,
+        metavar="ID",
+        help=(
+            "deliberately corrupt this case's result (self-test: the campaign "
+            "must catch and shrink it)"
+        ),
+    )
+    verify.add_argument(
+        "--inject-kind",
+        choices=("cost", "duplicate"),
+        default="cost",
+        help="which corruption --inject-case applies",
+    )
+    verify.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_VERIFY_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal completed cases and skip them on re-run "
+            f"(default file: {DEFAULT_VERIFY_JOURNAL})"
+        ),
+    )
     return parser
 
 
@@ -180,11 +247,59 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return 0
 
 
+def _run_verify(args, out) -> int:
+    from repro.verify import CampaignConfig, run_campaign
+
+    if args.resume is not None and Path(args.resume).exists():
+        print(f"resuming from {args.resume}", file=out)
+    start = time.perf_counter()
+    report = run_campaign(
+        CampaignConfig(
+            cases=args.cases,
+            seed=args.seed,
+            workers=args.workers,
+            shrink=not args.no_shrink,
+            inject_case=args.inject_case,
+            inject_kind=args.inject_kind,
+            journal_path=args.resume,
+            report_path=args.json,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    hits = report["runtime"]["journal_hits"]
+    resumed = f", {hits} from journal" if hits else ""
+    print(
+        f"{report['cases']} cases, {report['checks']} checks, "
+        f"{report['violations']} violations{resumed} "
+        f"[seed {args.seed}, {elapsed:.1f}s]",
+        file=out,
+    )
+    for failure in report["failures"]:
+        shrunk = failure.get("shrunk")
+        where = (
+            f"shrunk to {shrunk['num_flows']} flow(s): {shrunk['spec']}"
+            if shrunk
+            else f"spec: {failure['spec']}"
+        )
+        print(
+            f"  case {failure['case_id']} ({failure['algo']}/{failure['entry']}/"
+            f"{failure['mode']} on {failure['family']}): "
+            f"{len(failure['violations'])} violation(s); {where}",
+            file=out,
+        )
+        for violation in failure["violations"][:3]:
+            print(f"    [{violation['invariant']}] {violation['message']}", file=out)
+    print(f"wrote {args.json}", file=out)
+    return 1 if report["violations"] else 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "list":
         for name, description in list_experiments().items():
             print(f"{name:28s} {description}", file=out)
         return 0
+    if args.command == "verify":
+        return _run_verify(args, out)
     if getattr(args, "no_shared_artifacts", False):
         set_artifact_sharing(False)
     journal = Journal(args.resume) if getattr(args, "resume", None) else None

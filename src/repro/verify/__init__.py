@@ -1,0 +1,109 @@
+"""repro.verify — differential + metamorphic verification of the solvers.
+
+Three layers, cheapest first:
+
+1. **Invariants** (:mod:`~repro.verify.invariants`): pure checks any
+   result must pass — Eq. 1 recomputed from scratch, distinct-switch
+   feasibility, Eq. 8's ``C_t = C_b + C_a`` split, triangle consistency
+   against the APSP metric, the TOP-1 LP floor.
+2. **Oracles** (:mod:`~repro.verify.oracles`): the exact solvers as
+   size-gated referees — no result may beat the optimum.
+3. **Metamorphic transforms** (:mod:`~repro.verify.metamorphic`):
+   scenario rewrites (relabel, scale, split, reverse, zero-flow) with a
+   known cost relation every sound solver must preserve.
+
+:mod:`~repro.verify.campaign` wires the three into a seeded fuzz
+campaign (``repro verify``) with journal resume and greedy shrinking of
+failures; :mod:`~repro.verify.diff` holds the bit-identity helpers the
+differential checks and the test suites share.
+"""
+
+from repro.verify.campaign import (
+    APPLICABLE,
+    CampaignConfig,
+    CheckOptions,
+    run_campaign,
+    run_case,
+    shrink_case,
+)
+from repro.verify.diff import assert_equivalent, check_differential, diff_results
+from repro.verify.invariants import (
+    DEFAULT_RTOL,
+    Violation,
+    check_cost_decomposition,
+    check_feasibility,
+    check_lp_floor,
+    check_metric,
+    check_migration_distance,
+    check_migration_result,
+    check_placement_result,
+    check_result,
+    check_total_split,
+    check_triangle_consistency,
+    check_vm_migration_result,
+    recompute_communication_cost,
+)
+from repro.verify.metamorphic import (
+    TRANSFORMS,
+    TransformResult,
+    relabel_topology,
+    relabel_transform,
+    reverse_transform,
+    scale_transform,
+    split_transform,
+    zero_flow_transform,
+)
+from repro.verify.oracles import (
+    OracleGate,
+    check_oracle_floor,
+    oracle_migration,
+    oracle_placement,
+)
+from repro.verify.scenarios import FAMILIES, CaseSpec, generate_cases, shrink_candidates
+
+__all__ = [
+    # invariants
+    "DEFAULT_RTOL",
+    "Violation",
+    "recompute_communication_cost",
+    "check_feasibility",
+    "check_cost_decomposition",
+    "check_total_split",
+    "check_migration_distance",
+    "check_triangle_consistency",
+    "check_metric",
+    "check_lp_floor",
+    "check_placement_result",
+    "check_migration_result",
+    "check_vm_migration_result",
+    "check_result",
+    # oracles
+    "OracleGate",
+    "oracle_placement",
+    "oracle_migration",
+    "check_oracle_floor",
+    # metamorphic
+    "TransformResult",
+    "TRANSFORMS",
+    "relabel_topology",
+    "relabel_transform",
+    "scale_transform",
+    "split_transform",
+    "reverse_transform",
+    "zero_flow_transform",
+    # differential
+    "diff_results",
+    "assert_equivalent",
+    "check_differential",
+    # scenarios + campaign
+    "FAMILIES",
+    "CaseSpec",
+    "generate_cases",
+    "shrink_candidates",
+    "APPLICABLE",
+    "CheckOptions",
+    "CampaignConfig",
+    "run_case",
+    "shrink_case",
+    "run_campaign",
+]

@@ -1,0 +1,79 @@
+"""Differential equivalence of solver results, to the bit.
+
+The session/runtime layers promise *bit-identity* with the cold per-call
+solvers — same placements, same float64 costs, no "approximately equal".
+These helpers state that contract once, so the campaign's differential
+checks and the test suites compare results the same way.
+
+Diagnostics fields (``extra``) are deliberately excluded: two paths may
+record different provenance (e.g. ``batched: True``) while returning the
+same answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.verify.invariants import Violation
+
+__all__ = ["diff_results", "assert_equivalent", "check_differential"]
+
+
+def _eq_array(a, b) -> bool:
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def _eq_float(a: float, b: float) -> bool:
+    # bitwise: == except it also equates nan with nan
+    return a == b or (np.isnan(a) and np.isnan(b))
+
+
+def diff_results(a, b) -> list[str]:
+    """Human-readable mismatches between two results; empty = equivalent."""
+    diffs: list[str] = []
+    if not _eq_array(a.placement, b.placement):
+        diffs.append(
+            f"placement {np.asarray(a.placement).tolist()} != "
+            f"{np.asarray(b.placement).tolist()}"
+        )
+    if not _eq_float(float(a.cost), float(b.cost)):
+        diffs.append(f"cost {float(a.cost)!r} != {float(b.cost)!r} (bitwise)")
+    for name in ("source", "communication_cost", "migration_cost", "num_migrated"):
+        va, vb = getattr(a, name, None), getattr(b, name, None)
+        if va is None or vb is None:
+            if (va is None) != (vb is None):
+                diffs.append(f"only one result has {name}")
+            continue
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not _eq_array(va, vb):
+                diffs.append(f"{name} {np.asarray(va).tolist()} != {np.asarray(vb).tolist()}")
+        elif not _eq_float(float(va), float(vb)):
+            diffs.append(f"{name} {va!r} != {vb!r} (bitwise)")
+    # VM baselines: the moved endpoints are part of the answer
+    fa, fb = getattr(a, "flows", None), getattr(b, "flows", None)
+    if fa is not None and fb is not None:
+        if not (_eq_array(fa.sources, fb.sources) and _eq_array(fa.destinations, fb.destinations)):
+            diffs.append("post-move VM endpoints differ")
+    return diffs
+
+
+def assert_equivalent(a, b, context: str = "") -> None:
+    """Raise :class:`AssertionError` with every mismatch listed."""
+    diffs = diff_results(a, b)
+    if diffs:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(prefix + "; ".join(diffs))
+
+
+def check_differential(got, want, *, label: str = "cold") -> list[Violation]:
+    """The campaign-facing form: mismatches as :class:`Violation` records."""
+    diffs = diff_results(got, want)
+    if not diffs:
+        return []
+    return [
+        Violation(
+            "differential",
+            f"result diverges from the {label} reference: " + "; ".join(diffs),
+            {"diffs": diffs, "reference": label},
+        )
+    ]

@@ -1,0 +1,523 @@
+"""Pure invariant checks for any solver result.
+
+Every solver in this repo — the TOP/TOM algorithms, the baselines, and
+the :class:`~repro.session.SolverSession` fast paths — reports a cost it
+claims for a placement it returns.  The paper's structural decomposition
+makes those claims cheap to audit from scratch:
+
+* Eq. 1: ``C_a(p) = a_in[p(1)] + Λ·Σ_j c(p(j), p(j+1)) + a_out[p(n)]``
+  with ``a_in[u] = Σ_i λ_i·c(s(v_i), u)`` — recomputable in O(l + n)
+  given the APSP table, independent of any solver's internal caches.
+* Feasibility: a placement is ``n`` *distinct switches* (the paper's
+  anti-affinity assumption), and every entry is a real switch.
+* Eq. 8: ``C_t(p, m) = C_b(p, m) + C_a(m)`` with
+  ``C_b = μ·Σ_j c(p(j), m(j))`` for migrations.
+* Metric consistency: APSP distances form a metric, so any reported
+  chain cost is bounded below by the direct ``c(p(1), p(n))`` distance.
+* The TOP-1 LP relaxation is a certified lower bound on any single-flow
+  placement cost.
+
+Checks are pure functions returning a list of :class:`Violation` — empty
+means the result passed.  Nothing here raises on a bad result; raising is
+the caller's policy (``assert not check_result(...)`` in tests, report
+aggregation in the campaign runner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.baselines.common import VMMigrationResult
+from repro.core.lp_bound import top1_lp_lower_bound
+from repro.core.types import MigrationResult, PlacementResult
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "DEFAULT_RTOL",
+    "Violation",
+    "recompute_communication_cost",
+    "check_feasibility",
+    "check_cost_decomposition",
+    "check_total_split",
+    "check_migration_distance",
+    "check_triangle_consistency",
+    "check_metric",
+    "check_lp_floor",
+    "check_placement_result",
+    "check_migration_result",
+    "check_vm_migration_result",
+    "check_result",
+]
+
+#: Eq. 1 recomputation agrees with reported costs to this relative tolerance;
+#: both sides are short sums over the same float64 APSP table, so anything
+#: looser would paper over a real pricing bug.
+DEFAULT_RTOL = 1e-9
+
+#: the LP relaxation is solved numerically (HiGHS); give its floor more slack
+LP_RTOL = 1e-6
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which check, what it saw, and the numbers."""
+
+    invariant: str
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "detail": _jsonable(self.detail),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] {self.message}"
+
+
+def _rel_err(got: float, want: float) -> float:
+    return abs(got - want) / max(1.0, abs(want))
+
+
+def recompute_communication_cost(
+    topology: Topology, flows: FlowSet, placement: Sequence[int] | np.ndarray
+) -> float:
+    """Eq. 1 from scratch: attraction terms + Λ·chain off the APSP table.
+
+    Deliberately bypasses :class:`~repro.core.costs.CostContext` (and its
+    caches) — this is the independent referee the solvers are audited
+    against, so it shares no code path with them beyond the APSP table
+    itself.
+    """
+    dist = topology.graph.distances
+    p = np.asarray(placement, dtype=np.int64)
+    rates = flows.rates
+    ingress = float(rates @ dist[flows.sources, p[0]])
+    egress = float(rates @ dist[p[-1], flows.destinations])
+    chain = float(dist[p[:-1], p[1:]].sum()) if p.size >= 2 else 0.0
+    return ingress + float(rates.sum()) * chain + egress
+
+
+def check_feasibility(
+    topology: Topology,
+    placement: Sequence[int] | np.ndarray,
+    n: int | None = None,
+    *,
+    label: str = "placement",
+) -> list[Violation]:
+    """The paper's feasibility rules: ``n`` distinct switch entries."""
+    violations: list[Violation] = []
+    arr = np.asarray(placement, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        return [
+            Violation(
+                "feasibility",
+                f"{label} must be non-empty 1-D, got shape {arr.shape}",
+                {"label": label, "shape": list(arr.shape)},
+            )
+        ]
+    if n is not None and arr.size != n:
+        violations.append(
+            Violation(
+                "feasibility",
+                f"{label} has {arr.size} VNFs, expected {n}",
+                {"label": label, "placement": arr, "n": n},
+            )
+        )
+    switch_set = set(topology.switches.tolist())
+    stray = [int(x) for x in arr if int(x) not in switch_set]
+    if stray:
+        violations.append(
+            Violation(
+                "feasibility",
+                f"{label} entries {stray[:5]} are not switches",
+                {"label": label, "placement": arr, "stray": stray[:5]},
+            )
+        )
+    if len(set(arr.tolist())) != arr.size:
+        violations.append(
+            Violation(
+                "feasibility",
+                f"{label} {arr.tolist()} repeats a switch",
+                {"label": label, "placement": arr},
+            )
+        )
+    return violations
+
+
+def check_cost_decomposition(
+    topology: Topology,
+    flows: FlowSet,
+    placement: Sequence[int] | np.ndarray,
+    reported: float,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    label: str = "cost",
+) -> list[Violation]:
+    """Reported C_a must equal the from-scratch Eq. 1 recomputation."""
+    recomputed = recompute_communication_cost(topology, flows, placement)
+    err = _rel_err(float(reported), recomputed)
+    if err > rtol:
+        return [
+            Violation(
+                "cost_decomposition",
+                f"reported {label} {reported!r} != Eq. 1 recomputation "
+                f"{recomputed!r} (rel err {err:.3e} > {rtol:.1e})",
+                {
+                    "label": label,
+                    "reported": float(reported),
+                    "recomputed": recomputed,
+                    "rel_err": err,
+                    "placement": np.asarray(placement, dtype=np.int64),
+                },
+            )
+        ]
+    return []
+
+
+def check_total_split(
+    cost: float,
+    communication_cost: float,
+    migration_cost: float,
+    *,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """Eq. 8: the reported total must be exactly C_b + C_a."""
+    err = _rel_err(float(cost), float(communication_cost) + float(migration_cost))
+    if err > rtol:
+        return [
+            Violation(
+                "total_split",
+                f"cost {cost!r} != communication {communication_cost!r} + "
+                f"migration {migration_cost!r} (rel err {err:.3e})",
+                {
+                    "cost": float(cost),
+                    "communication_cost": float(communication_cost),
+                    "migration_cost": float(migration_cost),
+                    "rel_err": err,
+                },
+            )
+        ]
+    return []
+
+
+def check_migration_distance(
+    topology: Topology,
+    source: np.ndarray,
+    migration: np.ndarray,
+    reported_migration_cost: float,
+    mu: float,
+    *,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """C_b(p, m) must equal μ·Σ_j c(p(j), m(j)) off the APSP table."""
+    src = np.asarray(source, dtype=np.int64)
+    dst = np.asarray(migration, dtype=np.int64)
+    if src.shape != dst.shape:
+        return [
+            Violation(
+                "migration_distance",
+                f"source shape {src.shape} != migration shape {dst.shape}",
+                {"source": src, "migration": dst},
+            )
+        ]
+    dist = topology.graph.distances
+    want = float(mu) * float(dist[src, dst].sum())
+    err = _rel_err(float(reported_migration_cost), want)
+    if err > rtol:
+        return [
+            Violation(
+                "migration_distance",
+                f"migration_cost {reported_migration_cost!r} != "
+                f"mu·Σ c(p(j), m(j)) = {want!r} (rel err {err:.3e})",
+                {
+                    "reported": float(reported_migration_cost),
+                    "recomputed": want,
+                    "mu": float(mu),
+                    "rel_err": err,
+                },
+            )
+        ]
+    return []
+
+
+def check_metric(dist: np.ndarray, *, rtol: float = DEFAULT_RTOL) -> list[Violation]:
+    """A distance matrix must be a (semi-)metric: APSP output or otherwise.
+
+    Checks symmetry, zero diagonal, non-negativity, and the triangle
+    inequality ``d(u, w) <= d(u, v) + d(v, w)`` for every triple.  Meant
+    for small matrices (the campaign's topologies); O(V³) like APSP
+    itself.
+    """
+    d = np.asarray(dist, dtype=float)
+    violations: list[Violation] = []
+    finite = np.isfinite(d)
+    if not finite.all():
+        bad = np.argwhere(~finite)[:5]
+        violations.append(
+            Violation(
+                "metric",
+                f"distance matrix has non-finite entries at {bad.tolist()}",
+                {"entries": bad},
+            )
+        )
+        return violations
+    if not np.allclose(d, d.T, rtol=rtol, atol=0.0):
+        violations.append(
+            Violation("metric", "distance matrix is not symmetric", {})
+        )
+    diag = np.abs(np.diagonal(d))
+    if diag.max(initial=0.0) > rtol:
+        violations.append(
+            Violation(
+                "metric",
+                f"diagonal is not zero (max {diag.max():.3e})",
+                {"max_diag": float(diag.max())},
+            )
+        )
+    if d.min(initial=0.0) < -rtol:
+        violations.append(
+            Violation(
+                "metric",
+                f"negative distances (min {d.min():.3e})",
+                {"min": float(d.min())},
+            )
+        )
+    # triangle: min over v of d[u,v] + d[v,w] must not beat d[u,w]
+    slack = (d[:, :, None] + d[None, :, :]).min(axis=1) - d
+    tol = rtol * np.maximum(1.0, np.abs(d))
+    if (slack < -tol).any():
+        u, w = np.unravel_index(int((slack + tol).argmin()), slack.shape)
+        violations.append(
+            Violation(
+                "metric",
+                f"triangle inequality violated at ({u}, {w}): "
+                f"d={d[u, w]!r} but a two-hop path costs {d[u, w] + slack[u, w]!r}",
+                {"u": int(u), "w": int(w), "direct": float(d[u, w])},
+            )
+        )
+    return violations
+
+
+def check_triangle_consistency(
+    topology: Topology,
+    placement: Sequence[int] | np.ndarray,
+    *,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """The chain's hop costs must respect the APSP metric.
+
+    Each hop is an APSP entry, so it must be non-negative and finite, and
+    the summed chain cost can never undercut the direct
+    ``c(p(1), p(n))`` distance (triangle inequality).
+    """
+    p = np.asarray(placement, dtype=np.int64)
+    if p.size < 2:
+        return []
+    dist = topology.graph.distances
+    hops = dist[p[:-1], p[1:]]
+    violations: list[Violation] = []
+    if not np.isfinite(hops).all() or (hops < 0).any():
+        violations.append(
+            Violation(
+                "triangle",
+                f"chain hops {hops.tolist()} contain negative or non-finite costs",
+                {"placement": p, "hops": hops},
+            )
+        )
+        return violations
+    chain = float(hops.sum())
+    direct = float(dist[p[0], p[-1]])
+    if chain < direct - rtol * max(1.0, direct):
+        violations.append(
+            Violation(
+                "triangle",
+                f"chain cost {chain!r} undercuts the direct distance "
+                f"c(p(1), p(n)) = {direct!r}",
+                {"placement": p, "chain": chain, "direct": direct},
+            )
+        )
+    return violations
+
+
+def check_lp_floor(
+    topology: Topology,
+    flows: FlowSet,
+    placement: Sequence[int] | np.ndarray,
+    reported: float,
+    *,
+    rtol: float = LP_RTOL,
+    max_nodes: int = 64,
+) -> list[Violation]:
+    """Single-flow results can never beat the TOP-1 LP relaxation.
+
+    Only meaningful when ``flows`` has exactly one flow (the LP is the
+    TOP-1 relaxation); silently skipped otherwise, and size-gated so the
+    campaign never stalls in a solver it is supposed to be auditing.
+    """
+    if flows.num_flows != 1 or topology.graph.num_nodes > max_nodes:
+        return []
+    p = np.asarray(placement, dtype=np.int64)
+    source = int(flows.sources[0])
+    target = int(flows.destinations[0])
+    rate = float(flows.rates[0])
+    countable = set(int(s) for s in topology.switches) - {source, target}
+    if len(countable) < p.size:
+        return []
+    bound = top1_lp_lower_bound(
+        topology.graph, source, target, int(p.size), countable, rate
+    )
+    if float(reported) < bound - rtol * max(1.0, abs(bound)):
+        return [
+            Violation(
+                "lp_floor",
+                f"reported cost {reported!r} beats the LP lower bound {bound!r}",
+                {"reported": float(reported), "lp_bound": bound},
+            )
+        ]
+    return []
+
+
+# -- result-level dispatchers -----------------------------------------------
+
+
+def check_placement_result(
+    topology: Topology,
+    flows: FlowSet,
+    result: PlacementResult,
+    *,
+    n: int | None = None,
+    lp: bool = False,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """All placement invariants on one :class:`PlacementResult`."""
+    violations = check_feasibility(topology, result.placement, n)
+    violations += check_cost_decomposition(
+        topology, flows, result.placement, result.cost, rtol=rtol
+    )
+    violations += check_triangle_consistency(topology, result.placement, rtol=rtol)
+    if lp:
+        violations += check_lp_floor(topology, flows, result.placement, result.cost)
+    return violations
+
+
+def check_migration_result(
+    topology: Topology,
+    flows: FlowSet,
+    result: MigrationResult,
+    *,
+    mu: float | None = None,
+    n: int | None = None,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """All migration invariants on one :class:`MigrationResult`."""
+    violations = check_feasibility(topology, result.source, n, label="source")
+    violations += check_feasibility(topology, result.migration, n, label="migration")
+    violations += check_cost_decomposition(
+        topology,
+        flows,
+        result.migration,
+        result.communication_cost,
+        rtol=rtol,
+        label="communication_cost",
+    )
+    violations += check_total_split(
+        result.cost, result.communication_cost, result.migration_cost, rtol=rtol
+    )
+    if mu is not None:
+        violations += check_migration_distance(
+            topology,
+            result.source,
+            result.migration,
+            result.migration_cost,
+            mu,
+            rtol=rtol,
+        )
+    violations += check_triangle_consistency(topology, result.migration, rtol=rtol)
+    return violations
+
+
+def check_vm_migration_result(
+    topology: Topology,
+    result: VMMigrationResult,
+    *,
+    n: int | None = None,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """Invariants on a VM-baseline round (PLAN / MCF).
+
+    The VNF placement is fixed; the *flows* moved, so the communication
+    cost must equal Eq. 1 priced under ``result.flows`` (the post-move
+    endpoints), and the total must still split per Eq. 8.
+    """
+    violations = check_feasibility(
+        topology, result.vnf_placement, n, label="vnf_placement"
+    )
+    violations += check_cost_decomposition(
+        topology,
+        result.flows,
+        result.vnf_placement,
+        result.communication_cost,
+        rtol=rtol,
+        label="communication_cost",
+    )
+    violations += check_total_split(
+        result.cost, result.communication_cost, result.migration_cost, rtol=rtol
+    )
+    violations += check_triangle_consistency(topology, result.vnf_placement, rtol=rtol)
+    return violations
+
+
+def check_result(
+    topology: Topology,
+    flows: FlowSet,
+    result,
+    *,
+    mu: float | None = None,
+    n: int | None = None,
+    lp: bool = False,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """Dispatch on the result type; the one entry point callers need.
+
+    ``flows`` must be the flow set the result's cost was priced under —
+    for the TOP-1 solvers that is the single-flow subset, and for the VM
+    baselines the post-move ``result.flows`` is used automatically.
+    """
+    if isinstance(result, VMMigrationResult):
+        return check_vm_migration_result(topology, result, n=n, rtol=rtol)
+    if isinstance(result, MigrationResult):
+        return check_migration_result(
+            topology, flows, result, mu=mu, n=n, rtol=rtol
+        )
+    if isinstance(result, PlacementResult):
+        return check_placement_result(
+            topology, flows, result, n=n, lp=lp, rtol=rtol
+        )
+    return [
+        Violation(
+            "dispatch",
+            f"unknown result type {type(result).__name__}",
+            {"type": type(result).__name__},
+        )
+    ]

@@ -1,0 +1,232 @@
+"""Metamorphic transforms: scenario rewrites with a known cost relation.
+
+Each transform rewrites a scenario ``(topology, flows, prev)`` into an
+equivalent one whose *optimal* cost relates to the original by a known
+factor — so running the same solver on both sides and comparing costs
+catches pricing and search bugs without needing any oracle:
+
+========  =============================================  ===========
+name      rewrite                                        cost factor
+========  =============================================  ===========
+relabel   permute node ids (graph isomorphism)           1
+scale     multiply every edge weight by ``f`` (2^k)      ``f``
+split     one flow λ → two copies at λ/2                 1
+reverse   swap every flow's source and destination       1
+zero      append a flow with rate 0                      1
+========  =============================================  ===========
+
+The factor is exact mathematically; in floating point the two sides may
+differ by accumulation-order noise, so comparisons should use a relative
+tolerance (the campaign uses Eq. 1's ``DEFAULT_RTOL``).  ``scale`` uses
+power-of-two factors, which scale IEEE-754 sums *exactly* — it is the
+one transform that is bitwise-safe for every solver, including the
+weight-oblivious ``random`` baseline.
+
+Which transform is sound for which solver is a property of the solver's
+*contract*, not of the transform: a greedy heuristic is only
+relabel-equivariant when it never breaks an exact tie (almost surely
+true on jittered weights, false on unit weights), and flow reversal only
+preserves the *optimal* cost, not a heuristic's choice.  The campaign's
+applicability matrix (:data:`repro.verify.campaign.APPLICABLE`) encodes
+those judgements; this module only provides the rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graphs.adjacency import CostGraph
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = [
+    "TransformResult",
+    "relabel_topology",
+    "relabel_transform",
+    "scale_transform",
+    "split_transform",
+    "reverse_transform",
+    "zero_flow_transform",
+    "TRANSFORMS",
+]
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """A rewritten scenario plus the cost relation it must satisfy."""
+
+    name: str
+    topology: Topology
+    flows: FlowSet
+    prev: np.ndarray | None
+    cost_factor: float
+    detail: dict = field(default_factory=dict)
+
+
+def relabel_topology(topology: Topology, perm: np.ndarray) -> Topology:
+    """Rebuild ``topology`` with node ``i`` renamed to ``perm[i]``.
+
+    The result is the same PPDC up to isomorphism: permuted labels and
+    edges, hosts/switches re-sorted into ascending id order with the
+    rack map realigned.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = topology.graph.num_nodes
+    if sorted(perm.tolist()) != list(range(n)):
+        raise ReproError(f"perm must be a permutation of 0..{n - 1}")
+    old_labels = topology.graph.labels
+    labels = [""] * n
+    for i in range(n):
+        labels[int(perm[i])] = old_labels[i]
+    edges = [
+        (int(perm[u]), int(perm[v]), w) for u, v, w in topology.graph.edges
+    ]
+    graph = CostGraph(labels, edges)
+    order = np.argsort(perm[topology.hosts], kind="stable")
+    hosts = perm[topology.hosts][order]
+    racks = perm[topology.host_edge_switch][order]
+    switches = np.sort(perm[topology.switches])
+    return Topology(
+        name=f"{topology.name}#relabel",
+        graph=graph,
+        hosts=hosts,
+        switches=switches,
+        host_edge_switch=racks,
+        meta={k: v for k, v in topology.meta.items() if not k.startswith("_")},
+    )
+
+
+def relabel_transform(
+    topology: Topology,
+    flows: FlowSet,
+    prev: np.ndarray | None = None,
+    *,
+    seed: int = 0,
+) -> TransformResult:
+    """Graph isomorphism: costs are label-independent (factor 1)."""
+    n = topology.graph.num_nodes
+    perm = np.random.default_rng(seed).permutation(n).astype(np.int64)
+    new_topology = relabel_topology(topology, perm)
+    new_flows = flows.with_endpoints(perm[flows.sources], perm[flows.destinations])
+    new_prev = perm[np.asarray(prev, dtype=np.int64)] if prev is not None else None
+    return TransformResult(
+        "relabel", new_topology, new_flows, new_prev, 1.0, {"seed": seed}
+    )
+
+
+def scale_transform(
+    topology: Topology,
+    flows: FlowSet,
+    prev: np.ndarray | None = None,
+    *,
+    factor: float = 4.0,
+) -> TransformResult:
+    """Uniform edge-weight scaling: every cost scales by ``factor``.
+
+    Power-of-two factors keep the scaling exact in floating point
+    (shortest paths, tie-breaks, and therefore every solver decision are
+    bit-identical); other factors are allowed but then the relation only
+    holds to rounding.
+    """
+    if not (factor > 0.0 and np.isfinite(factor)):
+        raise ReproError(f"scale factor must be positive finite, got {factor}")
+    graph = topology.graph.reweighted(lambda u, v, w: w * factor)
+    new_topology = topology.with_graph(graph, name=f"{topology.name}#scale{factor:g}")
+    new_prev = np.asarray(prev, dtype=np.int64) if prev is not None else None
+    return TransformResult(
+        "scale", new_topology, flows, new_prev, float(factor), {"factor": factor}
+    )
+
+
+def split_transform(
+    topology: Topology,
+    flows: FlowSet,
+    prev: np.ndarray | None = None,
+    *,
+    index: int | None = None,
+) -> TransformResult:
+    """Split one flow λ → λ/2 + λ/2 between the same endpoints (factor 1).
+
+    Eq. 1 is linear in the rates, so splitting a flow into two identical
+    halves changes nothing.  Defaults to splitting the highest-rate flow
+    (ties to the lowest index).
+    """
+    if index is None:
+        index = int(np.argmax(flows.rates))
+    if not (0 <= index < flows.num_flows):
+        raise ReproError(f"flow index {index} out of range")
+    half = flows.rates[index] / 2.0
+    rates = flows.rates.copy()
+    rates[index] = half
+    new_flows = FlowSet(
+        sources=np.concatenate([flows.sources, flows.sources[index : index + 1]]),
+        destinations=np.concatenate(
+            [flows.destinations, flows.destinations[index : index + 1]]
+        ),
+        rates=np.concatenate([rates, [half]]),
+        meta=dict(flows.meta),
+    )
+    new_prev = np.asarray(prev, dtype=np.int64) if prev is not None else None
+    return TransformResult(
+        "split", topology, new_flows, new_prev, 1.0, {"index": index}
+    )
+
+
+def reverse_transform(
+    topology: Topology,
+    flows: FlowSet,
+    prev: np.ndarray | None = None,
+) -> TransformResult:
+    """Swap every flow's source and destination (factor 1 for exact solvers).
+
+    Reversing all flows turns any placement ``p`` into an equally priced
+    ``reversed(p)`` — the undirected metric is symmetric — so the
+    *optimal* cost is unchanged.  A previous placement, if any, is
+    reversed alongside.
+    """
+    new_flows = flows.with_endpoints(flows.destinations, flows.sources)
+    new_prev = (
+        np.asarray(prev, dtype=np.int64)[::-1].copy() if prev is not None else None
+    )
+    return TransformResult("reverse", topology, new_flows, new_prev, 1.0, {})
+
+
+def zero_flow_transform(
+    topology: Topology,
+    flows: FlowSet,
+    prev: np.ndarray | None = None,
+    *,
+    seed: int = 0,
+) -> TransformResult:
+    """Append a zero-rate flow: it contributes nothing to any cost.
+
+    The phantom flow's endpoints are drawn from the hosts; it is appended
+    *after* the real flows so flow 0 (the TOP-1 solvers' subject) is
+    untouched.
+    """
+    gen = np.random.default_rng(seed)
+    s, d = gen.choice(topology.hosts, size=2)
+    new_flows = FlowSet(
+        sources=np.concatenate([flows.sources, [int(s)]]),
+        destinations=np.concatenate([flows.destinations, [int(d)]]),
+        rates=np.concatenate([flows.rates, [0.0]]),
+        meta=dict(flows.meta),
+    )
+    new_prev = np.asarray(prev, dtype=np.int64) if prev is not None else None
+    return TransformResult(
+        "zero", topology, new_flows, new_prev, 1.0, {"seed": seed}
+    )
+
+
+#: name -> transform callable, all sharing the (topology, flows, prev, **kw)
+#: signature; the campaign iterates this table
+TRANSFORMS = {
+    "relabel": relabel_transform,
+    "scale": scale_transform,
+    "split": split_transform,
+    "reverse": reverse_transform,
+    "zero": zero_flow_transform,
+}

@@ -1,0 +1,131 @@
+"""Size-gated exact oracles: ground truth where the instance is small.
+
+The exhaustive solvers (:func:`~repro.core.optimal.optimal_placement` /
+:func:`~repro.core.optimal.optimal_migration`, Algorithms 4 and 6) are
+exponential in the chain length, so they are only usable as referees on
+instances below a size gate.  :class:`OracleGate` encodes that gate; the
+``oracle_*`` wrappers return ``None`` instead of stalling when an
+instance is too big or the branch-and-bound budget runs out, and
+:func:`check_oracle_floor` turns the oracle's answer into violations:
+
+* no solver may report a cost *below* the exact optimum (an impossible
+  claim — either the cost is mispriced or the oracle is wrong), and
+* a solver claiming to *be* the exact algorithm must match the oracle's
+  cost outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.optimal import optimal_migration, optimal_placement
+from repro.core.placement import chain_size
+from repro.core.types import MigrationResult, PlacementResult
+from repro.errors import BudgetExceededError
+from repro.runtime.cache import ComputeCache
+from repro.topology.base import Topology
+from repro.verify.invariants import DEFAULT_RTOL, Violation, _rel_err
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = ["OracleGate", "oracle_placement", "oracle_migration", "check_oracle_floor"]
+
+
+@dataclass(frozen=True)
+class OracleGate:
+    """When is the exhaustive search a usable referee?
+
+    ``max_switches ** max_vnfs`` bounds the raw search space; ``budget``
+    additionally caps the branch-and-bound node count so an adversarial
+    weight pattern cannot stall a verification campaign.
+    """
+
+    max_switches: int = 12
+    max_vnfs: int = 4
+    budget: int = 300_000
+
+    def admits(self, topology: Topology, sfc: SFC | int) -> bool:
+        return (
+            topology.num_switches <= self.max_switches
+            and chain_size(sfc) <= self.max_vnfs
+        )
+
+
+def oracle_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    *,
+    gate: OracleGate | None = None,
+    cache: ComputeCache | None = None,
+) -> PlacementResult | None:
+    """Exact optimum, or ``None`` when the gate (or the budget) says no."""
+    gate = gate if gate is not None else OracleGate()
+    if not gate.admits(topology, sfc):
+        return None
+    try:
+        return optimal_placement(
+            topology, flows, sfc, budget=gate.budget, cache=cache
+        )
+    except BudgetExceededError:
+        return None
+
+
+def oracle_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float,
+    *,
+    gate: OracleGate | None = None,
+    cache: ComputeCache | None = None,
+) -> MigrationResult | None:
+    """Exact migration optimum, or ``None`` when gated/budget-exhausted."""
+    gate = gate if gate is not None else OracleGate()
+    n = int(np.asarray(source_placement).size)
+    if not gate.admits(topology, n):
+        return None
+    try:
+        return optimal_migration(
+            topology, flows, source_placement, mu, budget=gate.budget, cache=cache
+        )
+    except BudgetExceededError:
+        return None
+
+
+def check_oracle_floor(
+    result,
+    oracle,
+    *,
+    exact: bool = False,
+    rtol: float = DEFAULT_RTOL,
+) -> list[Violation]:
+    """``result.cost`` must be ≥ the oracle's optimum (== when ``exact``).
+
+    ``oracle is None`` (gated instance) yields no violations — the floor
+    simply was not computable.
+    """
+    if oracle is None:
+        return []
+    got, opt = float(result.cost), float(oracle.cost)
+    tol = rtol * max(1.0, abs(opt))
+    if got < opt - tol:
+        return [
+            Violation(
+                "oracle_floor",
+                f"cost {got!r} beats the exact optimum {opt!r} "
+                f"({result.meta.get('algorithm', '?')} vs {oracle.meta['algorithm']})",
+                {"reported": got, "optimum": opt, "gap": got - opt},
+            )
+        ]
+    if exact and _rel_err(got, opt) > rtol:
+        return [
+            Violation(
+                "oracle_exact",
+                f"an exact solver reported {got!r} but the oracle found {opt!r}",
+                {"reported": got, "optimum": opt, "gap": got - opt},
+            )
+        ]
+    return []

@@ -1,0 +1,282 @@
+"""Seeded random scenarios for the verification campaign.
+
+A :class:`CaseSpec` is a *generating description* of one verification
+case — topology family and parameters, weight jitter seed, workload
+shape, solver entry point — small, hashable, and picklable, so it can be
+journalled by the runtime layer (resume) and mutated field-wise by the
+shrinker.  :meth:`CaseSpec.build` deterministically materializes the
+actual ``(topology, flows, prev)`` scenario.
+
+The family ladders are ordered large → small; the shrinker walks down a
+ladder to find the smallest topology that still reproduces a failure.
+Every entry was chosen to have at least two racks (so any
+``intra_rack_fraction`` is buildable) and is small enough for the exact
+oracles to referee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.placement import dp_placement
+from repro.topology import (
+    bcube,
+    dcell,
+    fat_tree,
+    jellyfish,
+    leaf_spine,
+    linear_ppdc,
+    vl2,
+    apply_uniform_delays,
+)
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet, place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel, UniformTrafficModel
+
+__all__ = ["FAMILIES", "CaseSpec", "generate_cases"]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One topology family: builder + its shrink ladder (large → small)."""
+
+    builder: Callable[..., Topology]
+    #: ``(params, num_switches)`` pairs, strictly decreasing in size
+    ladder: tuple[tuple[tuple, int], ...]
+
+
+#: every topology family of the repo, with validated ≥2-rack ladders
+FAMILIES: dict[str, Family] = {
+    "fat_tree": Family(fat_tree, (((4,), 20), ((2,), 5))),
+    "linear": Family(linear_ppdc, (((6,), 6), ((5,), 5), ((4,), 4), ((3,), 3))),
+    "leaf_spine": Family(
+        leaf_spine, (((3, 2, 3), 5), ((3, 2, 2), 5), ((2, 2, 2), 4))
+    ),
+    "vl2": Family(vl2, (((2, 2, 2, 2), 6), ((1, 2, 2, 2), 5), ((1, 2, 2, 1), 5))),
+    "bcube": Family(bcube, (((3,), 6), ((2,), 4))),
+    "dcell": Family(dcell, (((3,), 4), ((2,), 3))),
+    "jellyfish": Family(
+        jellyfish, (((8, 3, 1), 8), ((6, 3, 1), 6), ((4, 3, 1), 4))
+    ),
+}
+
+PLACE_ENTRIES = ("cold", "session", "solve", "place_many")
+MIGRATE_ENTRIES = ("cold", "session", "solve")
+
+#: sampling weights lean toward the paper's headline algorithms
+_PLACE_ALGOS = (
+    "dp", "dp", "dp",
+    "top1", "dp-stroll", "primal-dual",
+    "steering", "greedy", "random",
+    "optimal",
+)
+_MIGRATE_ALGOS = ("mpareto", "mpareto", "optimal", "none", "plan", "mcf")
+
+#: the exact solvers stay fast below this many switches / VNFs
+_EXACT_MAX_SWITCHES = 10
+_EXACT_MAX_VNFS = 4
+
+RATE_MODELS = ("facebook", "uniform", "ones")
+
+
+def sample_rates(model: str, count: int, seed: int) -> np.ndarray:
+    """Deterministic traffic-rate vector for ``(model, count, seed)``."""
+    if model == "facebook":
+        return FacebookTrafficModel().sample(count, rng=seed)
+    if model == "uniform":
+        return UniformTrafficModel().sample(count, rng=seed)
+    if model == "ones":
+        return np.ones(count, dtype=np.float64)
+    raise ValueError(f"unknown rate model {model!r}")
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """Everything needed to rebuild one verification case, bit-for-bit."""
+
+    case_id: int
+    family: str
+    params: tuple
+    n: int
+    mode: str  # "place" | "migrate"
+    entry: str  # "cold" | "session" | "solve" | "place_many"
+    algo: str
+    num_flows: int
+    flow_seed: int
+    rate_model: str
+    rate_seed: int
+    intra_rack: float
+    mu: float = 0.0
+    prev_seed: int = 0
+    weight_seed: int | None = None
+    #: shrinker knob: round edge weights to this many decimals
+    weight_decimals: int | None = None
+    #: shrinker knob: keep only these flow indices (None = all)
+    flow_mask: tuple[int, ...] | None = None
+    #: corrupt the solver's result on purpose ("" = no); campaign/testing
+    inject: str = ""
+
+    @property
+    def effective_flows(self) -> int:
+        return len(self.flow_mask) if self.flow_mask is not None else self.num_flows
+
+    @property
+    def num_switches(self) -> int:
+        for params, switches in FAMILIES[self.family].ladder:
+            if params == self.params:
+                return switches
+        return FAMILIES[self.family].builder(*self.params).num_switches
+
+    def build(self) -> tuple[Topology, FlowSet, np.ndarray | None]:
+        """Materialize ``(topology, flows, prev)`` for this spec."""
+        topology = FAMILIES[self.family].builder(*self.params)
+        if self.weight_seed is not None:
+            topology = apply_uniform_delays(topology, seed=self.weight_seed)
+        if self.weight_decimals is not None:
+            d = self.weight_decimals
+            floor = 1.0 if d == 0 else 10.0 ** (-d)
+            graph = topology.graph.reweighted(
+                lambda u, v, w: max(round(w, d), floor)
+            )
+            topology = topology.with_graph(graph, name=f"{topology.name}#q{d}")
+        flows = place_vm_pairs(
+            topology, self.num_flows, self.intra_rack, seed=self.flow_seed
+        )
+        rates = sample_rates(self.rate_model, self.num_flows, self.rate_seed)
+        flows = flows.with_rates(rates)
+        prev_rates = sample_rates(self.rate_model, self.num_flows, self.prev_seed)
+        if self.flow_mask is not None:
+            mask = np.asarray(self.flow_mask, dtype=np.int64)
+            flows = flows.subset(mask)
+            prev_rates = prev_rates[mask]
+        prev = None
+        if self.mode == "migrate":
+            # previous epoch: same VM pairs under the previous rate draw
+            prev = dp_placement(
+                topology, flows.with_rates(prev_rates), self.n
+            ).placement
+        return topology, flows, prev
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "family": self.family,
+            "params": list(self.params),
+            "n": self.n,
+            "mode": self.mode,
+            "entry": self.entry,
+            "algo": self.algo,
+            "num_flows": self.num_flows,
+            "flow_seed": self.flow_seed,
+            "rate_model": self.rate_model,
+            "rate_seed": self.rate_seed,
+            "intra_rack": self.intra_rack,
+            "mu": self.mu,
+            "prev_seed": self.prev_seed,
+            "weight_seed": self.weight_seed,
+            "weight_decimals": self.weight_decimals,
+            "flow_mask": list(self.flow_mask) if self.flow_mask else None,
+            "inject": self.inject,
+        }
+
+
+def _spec_from_rng(case_id: int, rng: np.random.Generator) -> CaseSpec:
+    family = sorted(FAMILIES)[int(rng.integers(len(FAMILIES)))]
+    ladder = FAMILIES[family].ladder
+    params, num_switches = ladder[int(rng.integers(len(ladder)))]
+    weight_seed = int(rng.integers(2**31 - 1)) if rng.random() < 0.8 else None
+    num_flows = int(rng.integers(1, 9))
+    intra_rack = float(rng.choice([0.0, 0.5, 0.8, 1.0]))
+    rate_model = RATE_MODELS[int(rng.integers(len(RATE_MODELS)))]
+    n = int(rng.integers(1, min(5, num_switches) + 1))
+    mode = "migrate" if rng.random() < 0.35 else "place"
+    exact_ok = num_switches <= _EXACT_MAX_SWITCHES and n <= _EXACT_MAX_VNFS
+    if mode == "place":
+        algo = _PLACE_ALGOS[int(rng.integers(len(_PLACE_ALGOS)))]
+        if algo == "optimal" and not exact_ok:
+            algo = "dp"
+        entry = PLACE_ENTRIES[int(rng.integers(len(PLACE_ENTRIES)))]
+        if entry == "place_many" and algo != "dp":
+            entry = "session"
+        mu = 0.0
+    else:
+        algo = _MIGRATE_ALGOS[int(rng.integers(len(_MIGRATE_ALGOS)))]
+        if algo == "optimal" and not (exact_ok and n <= 3):
+            algo = "mpareto"
+        entry = MIGRATE_ENTRIES[int(rng.integers(len(MIGRATE_ENTRIES)))]
+        mu = float(rng.choice([0.0, 0.5, 5.0, 100.0]))
+    return CaseSpec(
+        case_id=case_id,
+        family=family,
+        params=params,
+        n=n,
+        mode=mode,
+        entry=entry,
+        algo=algo,
+        num_flows=num_flows,
+        flow_seed=int(rng.integers(2**31 - 1)),
+        rate_model=rate_model,
+        rate_seed=int(rng.integers(2**31 - 1)),
+        intra_rack=intra_rack,
+        mu=mu,
+        prev_seed=int(rng.integers(2**31 - 1)),
+        weight_seed=weight_seed,
+    )
+
+
+def generate_cases(seed: int, cases: int) -> list[CaseSpec]:
+    """``cases`` independent scenario specs from one campaign seed.
+
+    Each case gets its own :class:`~numpy.random.SeedSequence` child, so
+    case ``i`` is identical across runs (and across ``cases`` counts — a
+    resumed campaign with a larger ``--cases`` extends the same prefix).
+    """
+    root = np.random.SeedSequence(seed)
+    return [
+        _spec_from_rng(i, np.random.default_rng(child))
+        for i, child in enumerate(root.spawn(cases))
+    ]
+
+
+def shrink_candidates(spec: CaseSpec):
+    """Strictly-smaller mutations of ``spec``, most aggressive first.
+
+    Every candidate reduces a bounded quantity (flow count, ladder
+    position, chain length, weight complexity), so greedy descent over
+    these candidates terminates.
+    """
+    # drop one flow at a time (the classic delta-debugging move)
+    mask = (
+        spec.flow_mask
+        if spec.flow_mask is not None
+        else tuple(range(spec.num_flows))
+    )
+    if len(mask) > 1:
+        for drop in range(len(mask)):
+            yield replace(
+                spec, flow_mask=tuple(m for k, m in enumerate(mask) if k != drop)
+            )
+    # step down the topology ladder
+    ladder = FAMILIES[spec.family].ladder
+    position = next(
+        (k for k, (params, _) in enumerate(ladder) if params == spec.params), None
+    )
+    if position is not None and position + 1 < len(ladder):
+        params, switches = ladder[position + 1]
+        yield replace(spec, params=params, n=min(spec.n, switches))
+    # shorten the chain
+    if spec.n > 1:
+        yield replace(spec, n=spec.n - 1)
+    # simplify the weights: fewer decimals, then unit weights
+    if spec.weight_seed is not None:
+        if spec.weight_decimals is None:
+            yield replace(spec, weight_decimals=1)
+        elif spec.weight_decimals > 0:
+            yield replace(spec, weight_decimals=spec.weight_decimals - 1)
+        yield replace(spec, weight_seed=None, weight_decimals=None)
+    # drop the migration pressure
+    if spec.mu != 0.0:
+        yield replace(spec, mu=0.0)

@@ -39,4 +39,27 @@ def small_workload(ft4):
     return flows.with_rates(FacebookTrafficModel().sample(12, rng=42))
 
 
+@pytest.fixture(scope="session")
+def small_scenario():
+    """Factory for the suite's standard workload shape.
+
+    ``small_scenario(topology, num_pairs, seed)`` places VM pairs and
+    samples Facebook rates, both from ``seed`` — the one workload recipe
+    the suites used to copy as per-file ``_workload`` helpers.
+    Session-scoped (it is a pure factory), so hypothesis ``@given``
+    bodies may use it freely.
+    """
+
+    def make(topology, num_pairs, seed=0, *, intra_rack_fraction=None):
+        kwargs = {}
+        if intra_rack_fraction is not None:
+            kwargs["intra_rack_fraction"] = intra_rack_fraction
+        flows = place_vm_pairs(topology, num_pairs, seed=seed, **kwargs)
+        return flows.with_rates(
+            FacebookTrafficModel().sample(num_pairs, rng=seed)
+        )
+
+    return make
+
+
 from repro.graphs.generators import random_cost_graph  # noqa: E402  (re-export for tests)

@@ -7,18 +7,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import FacebookTrafficModel, fat_tree, leaf_spine, place_vm_pairs
+from repro import FacebookTrafficModel, fat_tree, leaf_spine
 from repro.core.migration import mpareto_migration
 from repro.core.placement import dp_placement
 from repro.errors import ReproError
 from repro.runtime.cache import ComputeCache
 from repro.runtime.instrument import counters
 from repro.session import SolverSession, _matmul_rows_bitwise
-
-
-def _workload(topology, num_pairs, seed):
-    flows = place_vm_pairs(topology, num_pairs, seed=seed)
-    return flows.with_rates(FacebookTrafficModel().sample(num_pairs, rng=seed))
+from repro.verify import assert_equivalent
 
 
 _TOPOLOGIES = {
@@ -43,36 +39,36 @@ class TestSessionPlaceEquivalence:
         n=st.integers(min_value=1, max_value=5),
     )
     @settings(max_examples=30, deadline=None)
-    def test_place_matches_dp_placement_bitwise(self, name, seed, n):
+    def test_place_matches_dp_placement_bitwise(self, small_scenario, name, seed, n):
         topo = _topology(name)
-        flows = _workload(topo, 6, seed)
+        flows = small_scenario(topo, 6, seed)
         session = SolverSession(topo)
         via_session = session.place(flows, n)
         cold = dp_placement(topo, flows, n, cache=ComputeCache())
-        assert np.array_equal(via_session.placement, cold.placement)
-        assert via_session.cost == cold.cost  # bitwise, not approx
+        assert_equivalent(via_session, cold, context="session.place vs dp_placement")
 
-    def test_migrate_matches_mpareto_bitwise(self, ft4):
-        flows = _workload(ft4, 8, 3)
+    def test_migrate_matches_mpareto_bitwise(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 8, 3)
         session = SolverSession(ft4)
         prev = session.place(flows, 3).placement
         shifted = flows.with_rates(flows.rates[::-1].copy())
         via_session = session.migrate(prev, shifted, mu=10.0)
         cold = mpareto_migration(ft4, shifted, prev, 10.0, cache=ComputeCache())
-        assert np.array_equal(via_session.migration, cold.migration)
-        assert via_session.cost == cold.cost
+        assert_equivalent(
+            via_session, cold, context="session.migrate vs mpareto_migration"
+        )
 
-    def test_solve_facade_dispatch(self, ft4):
-        flows = _workload(ft4, 6, 7)
+    def test_solve_facade_dispatch(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, 7)
         session = SolverSession(ft4)
         placed = session.solve(flows, 3)
         assert placed.meta["algorithm"] == "dp"
         moved = session.solve(flows, 3, prev=placed.placement, mu=1.0)
         assert moved.meta["algorithm"] == "mpareto"
 
-    def test_unknown_algo_rejected(self, ft4):
+    def test_unknown_algo_rejected(self, ft4, small_scenario):
         session = SolverSession(ft4)
-        flows = _workload(ft4, 4, 0)
+        flows = small_scenario(ft4, 4, 0)
         with pytest.raises(ReproError, match="unknown placement algo"):
             session.place(flows, 3, algo="nope")
         with pytest.raises(ReproError, match="unknown migration algo"):
@@ -86,9 +82,9 @@ class TestPlaceMany:
         hours=st.integers(min_value=1, max_value=4),
     )
     @settings(max_examples=20, deadline=None)
-    def test_place_many_matches_mapped_singles(self, seed, n, hours):
+    def test_place_many_matches_mapped_singles(self, small_scenario, seed, n, hours):
         topo = _topology("ft4")
-        base = _workload(topo, 6, seed)
+        base = small_scenario(topo, 6, seed)
         model = FacebookTrafficModel()
         flowsets = [
             base.with_rates(model.sample(6, rng=seed * 31 + h)) for h in range(hours)
@@ -96,12 +92,11 @@ class TestPlaceMany:
         session = SolverSession(topo)
         batched = session.place_many(flowsets, n)
         singles = [session.place(f, n) for f in flowsets]
-        for got, want in zip(batched, singles):
-            assert np.array_equal(got.placement, want.placement)
-            assert got.cost == want.cost
+        for i, (got, want) in enumerate(zip(batched, singles)):
+            assert_equivalent(got, want, context=f"place_many[{i}] vs place")
 
-    def test_auto_batch_respects_blas_probe(self, ft4):
-        flowsets = [_workload(ft4, 5, s) for s in (1, 2)]
+    def test_auto_batch_respects_blas_probe(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 5, s) for s in (1, 2)]
         session = SolverSession(ft4)
         results = session.place_many(flowsets, 4, batch="auto")
         batched_flags = [r.extra.get("batched", False) for r in results]
@@ -110,8 +105,8 @@ class TestPlaceMany:
         else:
             assert not any(batched_flags)
 
-    def test_matmul_path_agrees_to_rounding(self, ft4):
-        flowsets = [_workload(ft4, 5, s) for s in (3, 4, 5)]
+    def test_matmul_path_agrees_to_rounding(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 5, s) for s in (3, 4, 5)]
         session = SolverSession(ft4)
         forced = session.place_many(flowsets, 4, batch="matmul")
         mapped = session.place_many(flowsets, 4, batch="map")
@@ -125,11 +120,11 @@ class TestPlaceMany:
 
 
 class TestAmortization:
-    def test_zero_duplicate_apsp_per_session(self):
+    def test_zero_duplicate_apsp_per_session(self, small_scenario):
         """Many queries against one session trigger exactly one APSP solve."""
         topo = fat_tree(4)  # fresh topology: nothing cached for it yet
         model = FacebookTrafficModel()
-        base = _workload(topo, 8, 11)
+        base = small_scenario(topo, 8, 11)
         before = counters().get("apsp_computes", 0)
         session = SolverSession(topo)
         for n in (2, 3, 4):
@@ -139,11 +134,11 @@ class TestAmortization:
         session.migrate(prev, base, mu=10.0)
         assert counters().get("apsp_computes", 0) - before == 1
 
-    def test_warm_precomputes_stroll_matrix(self):
+    def test_warm_precomputes_stroll_matrix(self, small_scenario):
         topo = fat_tree(4)
         session = SolverSession(topo).warm(4)
         key_hits = session.cache.hits
-        session.place(_workload(topo, 5, 1), 4)
+        session.place(small_scenario(topo, 5, 1), 4)
         assert session.cache.hits > key_hits  # solve found the warmed matrix
 
     def test_artifact_properties(self, ft4):

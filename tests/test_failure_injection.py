@@ -18,6 +18,10 @@ import json
 import numpy as np
 import pytest
 
+# chaos runs kill worker processes and hang tasks on purpose; they stay
+# out of tier-1 and run in the dedicated `resilience` CI job
+pytestmark = pytest.mark.slow
+
 from repro.cli import main as cli_main
 from repro.core.costs import CostContext
 from repro.core.migration import mpareto_migration

@@ -1,0 +1,129 @@
+"""Differential regression on the paper's figure shapes.
+
+The fig07 shape (single VM pair, TOP-1 algorithms) and the fig09 shape
+(multi-pair TOP comparison + migration round) are the workloads the
+experiments actually run; here every solver entry point is pinned
+bit-identical to its cold per-call form with the shared
+:func:`repro.verify.assert_equivalent` helper, and every result is
+audited by the invariant layer — the same checks the ``repro verify``
+campaign applies to random scenarios, applied to the shapes the figures
+depend on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.baselines.mcf_migration import mcf_vm_migration
+from repro.baselines.plan import plan_vm_migration
+from repro.baselines.random_placement import random_placement
+from repro.baselines.steering import steering_placement
+from repro.core.migration import mpareto_migration
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement, dp_placement_top1
+from repro.core.primal_dual import primal_dual_placement_top1
+from repro.runtime.cache import ComputeCache
+from repro.session import SolverSession
+from repro.verify import assert_equivalent, check_result, diff_results
+
+#: the fig07 series: TOP-1 solvers on a single cross-rack VM pair
+FIG07_ALGOS = {
+    "dp": dp_placement,
+    "top1": dp_placement_top1,
+    "optimal": optimal_placement,
+    "primal-dual": primal_dual_placement_top1,
+}
+
+#: the fig09 series: multi-flow TOP comparison
+FIG09_ALGOS = {
+    "dp": dp_placement,
+    "steering": steering_placement,
+    "greedy": greedy_liu_placement,
+}
+
+
+class TestFig07Shape:
+    @pytest.mark.parametrize("n", [2, 3])
+    @pytest.mark.parametrize("algo", sorted(FIG07_ALGOS))
+    def test_session_matches_cold_bitwise(self, ft4, small_scenario, algo, n):
+        flows = small_scenario(ft4, 1, seed=5, intra_rack_fraction=0.0)
+        session = SolverSession(ft4)
+        got = session.place(flows, n, algo=algo)
+        cold = FIG07_ALGOS[algo](ft4, flows, n, cache=ComputeCache())
+        assert_equivalent(got, cold, context=f"fig07 {algo} n={n}")
+        assert check_result(ft4, flows, got, n=n, lp=True) == []
+
+    def test_solve_facade_matches_place(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 1, seed=5, intra_rack_fraction=0.0)
+        session = SolverSession(ft4)
+        assert diff_results(
+            session.solve(flows, 3), session.place(flows, 3)
+        ) == []
+
+
+class TestFig09Shape:
+    @pytest.mark.parametrize("algo", sorted(FIG09_ALGOS))
+    def test_session_matches_cold_bitwise(self, ft4, small_scenario, algo):
+        flows = small_scenario(ft4, 8, seed=9)
+        session = SolverSession(ft4)
+        got = session.place(flows, 3, algo=algo)
+        cold = FIG09_ALGOS[algo](ft4, flows, 3, cache=ComputeCache())
+        assert_equivalent(got, cold, context=f"fig09 {algo}")
+        assert check_result(ft4, flows, got, n=3) == []
+
+    def test_random_baseline_with_pinned_seed(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 8, seed=9)
+        session = SolverSession(ft4)
+        got = session.place(flows, 3, algo="random", seed=17)
+        cold = random_placement(ft4, flows, 3, seed=17, cache=ComputeCache())
+        assert_equivalent(got, cold, context="fig09 random")
+        assert check_result(ft4, flows, got, n=3) == []
+
+    def test_place_many_matches_singles(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 8, seed=s) for s in (1, 2, 3)]
+        session = SolverSession(ft4)
+        batched = session.place_many(flowsets, 3)
+        for i, (got, flows) in enumerate(zip(batched, flowsets)):
+            want = session.place(flows, 3)
+            assert_equivalent(got, want, context=f"place_many[{i}]")
+            assert check_result(ft4, flows, got, n=3) == []
+
+
+class TestMigrationRound:
+    @pytest.mark.parametrize("mu", [0.5, 10.0])
+    def test_mpareto_matches_cold_bitwise(self, ft4, small_scenario, mu):
+        flows = small_scenario(ft4, 8, seed=9)
+        session = SolverSession(ft4)
+        prev = session.place(flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        got = session.migrate(prev, shifted, mu=mu)
+        cold = mpareto_migration(ft4, shifted, prev, mu, cache=ComputeCache())
+        assert_equivalent(got, cold, context=f"mpareto mu={mu}")
+        assert check_result(ft4, shifted, got, mu=mu, n=3) == []
+
+    @pytest.mark.parametrize(
+        "algo,cold_fn", [("plan", plan_vm_migration), ("mcf", mcf_vm_migration)]
+    )
+    def test_vm_baselines_match_cold_bitwise(
+        self, ft4, small_scenario, algo, cold_fn
+    ):
+        flows = small_scenario(ft4, 8, seed=9)
+        session = SolverSession(ft4)
+        prev = session.place(flows, 3).placement
+        got = session.migrate(prev, flows, mu=1.0, algo=algo)
+        cold = cold_fn(ft4, flows, prev, 1.0, cache=ComputeCache())
+        assert_equivalent(got, cold, context=f"vm baseline {algo}")
+        assert check_result(ft4, flows, got, mu=1.0, n=3) == []
+
+
+class TestAssertEquivalent:
+    def test_mismatch_raises_with_every_diff(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 4, seed=1)
+        session = SolverSession(ft4)
+        a = session.place(flows, 2)
+        b = session.place(flows.with_rates(flows.rates * 3.0), 2)
+        if not diff_results(a, b):
+            pytest.skip("tripled rates happened to give the same answer")
+        with pytest.raises(AssertionError, match="fig-check"):
+            assert_equivalent(a, b, context="fig-check")

@@ -1,0 +1,243 @@
+"""Every invariant check: passes on real results, flags corrupted ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import VMMigrationResult
+from repro.baselines.plan import plan_vm_migration
+from repro.core.migration import mpareto_migration
+from repro.core.placement import dp_placement
+from repro.core.types import PlacementResult
+from repro.verify import (
+    check_cost_decomposition,
+    check_feasibility,
+    check_lp_floor,
+    check_metric,
+    check_migration_distance,
+    check_result,
+    check_total_split,
+    check_triangle_consistency,
+    recompute_communication_cost,
+)
+
+
+def _names(violations):
+    return sorted(v.invariant for v in violations)
+
+
+class TestRecomputation:
+    def test_matches_solver_pricing(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=1)
+        result = dp_placement(ft4, flows, 3)
+        recomputed = recompute_communication_cost(ft4, flows, result.placement)
+        assert recomputed == pytest.approx(result.cost, rel=1e-9)
+
+    def test_single_vnf_has_no_chain_term(self, ft2, example1_flows):
+        result = dp_placement(ft2, example1_flows, 1)
+        dist = ft2.graph.distances
+        u = int(result.placement[0])
+        want = sum(
+            float(r) * (dist[int(s), u] + dist[u, int(d)])
+            for s, d, r in zip(
+                example1_flows.sources,
+                example1_flows.destinations,
+                example1_flows.rates,
+            )
+        )
+        got = recompute_communication_cost(ft2, example1_flows, result.placement)
+        assert got == pytest.approx(want, rel=1e-12)
+
+
+class TestFeasibility:
+    def test_real_placement_passes(self, ft4, small_scenario):
+        result = dp_placement(ft4, small_scenario(ft4, 4, seed=2), 4)
+        assert check_feasibility(ft4, result.placement, 4) == []
+
+    def test_duplicate_switch_flagged(self, ft4):
+        s = int(ft4.switches[0])
+        violations = check_feasibility(ft4, [s, s], 2)
+        assert "feasibility" in _names(violations)
+
+    def test_host_entry_flagged(self, ft4):
+        violations = check_feasibility(ft4, [int(ft4.hosts[0])], 1)
+        assert "feasibility" in _names(violations)
+
+    def test_wrong_length_flagged(self, ft4):
+        placement = ft4.switches[:2]
+        assert check_feasibility(ft4, placement, 3) != []
+        assert check_feasibility(ft4, placement, 2) == []
+
+    def test_empty_flagged(self, ft4):
+        assert check_feasibility(ft4, np.array([], dtype=np.int64)) != []
+
+
+class TestCostDecomposition:
+    def test_honest_cost_passes(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 5, seed=3)
+        result = dp_placement(ft4, flows, 2)
+        assert check_cost_decomposition(ft4, flows, result.placement, result.cost) == []
+
+    def test_bumped_cost_flagged(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 5, seed=3)
+        result = dp_placement(ft4, flows, 2)
+        violations = check_cost_decomposition(
+            ft4, flows, result.placement, result.cost + 1.0
+        )
+        assert _names(violations) == ["cost_decomposition"]
+        assert violations[0].to_dict()["detail"]["rel_err"] > 1e-9
+
+
+class TestTotalSplit:
+    def test_exact_split_passes(self):
+        assert check_total_split(9.0, 4.0, 5.0) == []
+
+    def test_broken_split_flagged(self):
+        violations = check_total_split(10.0, 4.0, 5.0)
+        assert _names(violations) == ["total_split"]
+
+
+class TestMigrationDistance:
+    def test_honest_distance_passes(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=4)
+        prev = dp_placement(ft4, flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        result = mpareto_migration(ft4, shifted, prev, 2.0)
+        assert (
+            check_migration_distance(
+                ft4, result.source, result.migration, result.migration_cost, 2.0
+            )
+            == []
+        )
+
+    def test_wrong_mu_flagged(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=4)
+        prev = dp_placement(ft4, flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        result = mpareto_migration(ft4, shifted, prev, 2.0)
+        if result.num_migrated == 0:  # nothing moved: any mu prices to 0
+            pytest.skip("no migration under this workload")
+        violations = check_migration_distance(
+            ft4, result.source, result.migration, result.migration_cost, 7.0
+        )
+        assert _names(violations) == ["migration_distance"]
+
+    def test_shape_mismatch_flagged(self, ft4):
+        violations = check_migration_distance(
+            ft4, ft4.switches[:3], ft4.switches[:2], 0.0, 1.0
+        )
+        assert _names(violations) == ["migration_distance"]
+
+
+class TestMetric:
+    def test_apsp_table_is_a_metric(self, ft2):
+        assert check_metric(ft2.graph.distances) == []
+
+    def test_triangle_violation_flagged(self):
+        d = np.array([[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]])
+        violations = check_metric(d)
+        assert _names(violations) == ["metric"]
+        assert "triangle" in violations[0].message
+
+    def test_asymmetry_flagged(self):
+        d = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert check_metric(d) != []
+
+    def test_negative_and_diagonal_flagged(self):
+        d = np.array([[0.5, -1.0], [-1.0, 0.0]])
+        assert len(check_metric(d)) >= 2
+
+    def test_non_finite_flagged(self):
+        d = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        assert check_metric(d) != []
+
+
+class TestTriangleConsistency:
+    def test_real_chain_passes(self, ft4, small_scenario):
+        result = dp_placement(ft4, small_scenario(ft4, 4, seed=5), 4)
+        assert check_triangle_consistency(ft4, result.placement) == []
+
+    def test_single_vnf_trivially_passes(self, ft4):
+        assert check_triangle_consistency(ft4, ft4.switches[:1]) == []
+
+
+class TestLpFloor:
+    def test_real_cost_respects_floor(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 1, seed=6, intra_rack_fraction=0.0)
+        result = dp_placement(ft4, flows, 3)
+        assert check_lp_floor(ft4, flows, result.placement, result.cost) == []
+
+    def test_impossible_cost_flagged(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 1, seed=6, intra_rack_fraction=0.0)
+        result = dp_placement(ft4, flows, 3)
+        violations = check_lp_floor(ft4, flows, result.placement, 0.0)
+        assert _names(violations) == ["lp_floor"]
+
+    def test_multi_flow_is_skipped(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 3, seed=6)
+        # the LP is the TOP-1 relaxation: not a floor for multi-flow costs
+        assert check_lp_floor(ft4, flows, ft4.switches[:2], 0.0) == []
+
+
+class TestDispatch:
+    def test_placement_result(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 4, seed=7)
+        result = dp_placement(ft4, flows, 3)
+        assert check_result(ft4, flows, result, n=3, lp=True) == []
+
+    def test_corrupted_placement_result(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 4, seed=7)
+        result = dp_placement(ft4, flows, 3)
+        bad = PlacementResult(
+            placement=result.placement,
+            cost=result.cost * 1.5 + 1.0,
+            algorithm=result.algorithm,
+        )
+        assert "cost_decomposition" in _names(check_result(ft4, flows, bad, n=3))
+
+    def test_migration_result(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=8)
+        prev = dp_placement(ft4, flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        result = mpareto_migration(ft4, shifted, prev, 5.0)
+        assert check_result(ft4, shifted, result, mu=5.0, n=3) == []
+
+    def test_vm_migration_result(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=9)
+        prev = dp_placement(ft4, flows, 3).placement
+        result = plan_vm_migration(ft4, flows, prev, 1.0)
+        assert check_result(ft4, flows, result, mu=1.0, n=3) == []
+
+    def test_corrupted_vm_migration_result(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=9)
+        prev = dp_placement(ft4, flows, 3).placement
+        result = plan_vm_migration(ft4, flows, prev, 1.0)
+        bad = VMMigrationResult(
+            flows=result.flows,
+            vnf_placement=result.vnf_placement,
+            cost=result.cost + 2.0,
+            communication_cost=result.communication_cost + 2.0,
+            migration_cost=result.migration_cost,
+            num_migrated=result.num_migrated,
+            algorithm=result.algorithm,
+        )
+        assert "cost_decomposition" in _names(check_result(ft4, flows, bad, n=3))
+
+    def test_unknown_type_flagged(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 2, seed=0)
+        violations = check_result(ft4, flows, object())
+        assert _names(violations) == ["dispatch"]
+
+    def test_violations_are_json_friendly(self, ft4, small_scenario):
+        import json
+
+        flows = small_scenario(ft4, 4, seed=7)
+        result = dp_placement(ft4, flows, 3)
+        bad = PlacementResult(
+            placement=result.placement,
+            cost=result.cost + 1.0,
+            algorithm=result.algorithm,
+        )
+        payload = [v.to_dict() for v in check_result(ft4, flows, bad, n=3)]
+        json.dumps(payload)  # must not raise on ndarray/np scalar leftovers

@@ -1,0 +1,170 @@
+"""Each metamorphic transform: validity of the rewrite + its cost relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.steering import steering_placement
+from repro.core.optimal import optimal_placement
+from repro.core.placement import dp_placement, dp_placement_top1
+from repro.errors import ReproError
+from repro.topology import apply_uniform_delays, fat_tree, linear_ppdc
+from repro.verify import (
+    TRANSFORMS,
+    relabel_topology,
+    relabel_transform,
+    reverse_transform,
+    scale_transform,
+    split_transform,
+    zero_flow_transform,
+)
+
+
+@pytest.fixture(scope="module")
+def jittered_ft4(small_scenario):
+    """fat_tree(4) with jittered weights: no exact ties left to flip."""
+    topo = apply_uniform_delays(fat_tree(4), seed=99)
+    return topo, small_scenario(topo, 5, seed=21)
+
+
+class TestRelabel:
+    def test_relabel_topology_is_isomorphic(self, ft2):
+        perm = np.random.default_rng(0).permutation(ft2.graph.num_nodes)
+        new = relabel_topology(ft2, perm)
+        assert new.num_hosts == ft2.num_hosts
+        assert new.num_switches == ft2.num_switches
+        old_d, new_d = ft2.graph.distances, new.graph.distances
+        assert np.allclose(new_d[np.ix_(perm, perm)], old_d)
+        # host -> edge-switch adjacency survives the renaming
+        old_map = {int(perm[h]): int(perm[s]) for h, s in zip(ft2.hosts, ft2.host_edge_switch)}
+        new_map = dict(zip(new.hosts.tolist(), new.host_edge_switch.tolist()))
+        assert new_map == old_map
+
+    def test_bad_permutation_rejected(self, ft2):
+        with pytest.raises(ReproError, match="permutation"):
+            relabel_topology(ft2, np.zeros(ft2.graph.num_nodes, dtype=np.int64))
+
+    def test_dp_cost_is_label_independent(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        base = dp_placement(topo, flows, 3).cost
+        tr = relabel_transform(topo, flows, seed=5)
+        assert tr.cost_factor == 1.0
+        transformed = dp_placement(tr.topology, tr.flows, 3).cost
+        assert transformed == pytest.approx(base, rel=1e-9)
+
+    def test_prev_placement_is_mapped(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        prev = dp_placement(topo, flows, 3).placement
+        tr = relabel_transform(topo, flows, prev, seed=5)
+        perm_d = tr.topology.graph.distances
+        # the mapped prev spans the same pairwise distances as the original
+        assert np.allclose(
+            perm_d[tr.prev[:-1], tr.prev[1:]],
+            topo.graph.distances[prev[:-1], prev[1:]],
+        )
+
+
+class TestScale:
+    def test_power_of_two_scale_is_bitwise(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        base = dp_placement(topo, flows, 3)
+        tr = scale_transform(topo, flows, factor=4.0)
+        scaled = dp_placement(tr.topology, tr.flows, 3)
+        assert np.array_equal(scaled.placement, base.placement)
+        assert scaled.cost == 4.0 * base.cost  # exact, not approx
+
+    def test_scale_is_sound_for_heuristics(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        base = steering_placement(topo, flows, 3)
+        tr = scale_transform(topo, flows, factor=2.0)
+        scaled = steering_placement(tr.topology, tr.flows, 3)
+        assert scaled.cost == 2.0 * base.cost
+
+    def test_bad_factor_rejected(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 2, seed=0)
+        for factor in (0.0, -1.0, float("inf")):
+            with pytest.raises(ReproError, match="factor"):
+                scale_transform(ft4, flows, factor=factor)
+
+
+class TestSplit:
+    def test_split_preserves_dp_cost(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        base = dp_placement(topo, flows, 3).cost
+        tr = split_transform(topo, flows)
+        assert tr.flows.num_flows == flows.num_flows + 1
+        assert tr.flows.rates.sum() == pytest.approx(flows.rates.sum())
+        transformed = dp_placement(topo, tr.flows, 3).cost
+        assert transformed == pytest.approx(base, rel=1e-9)
+
+    def test_split_halves_the_chosen_flow(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 4, seed=11)
+        tr = split_transform(ft4, flows, index=2)
+        assert tr.flows.rates[2] == flows.rates[2] / 2.0
+        assert tr.flows.rates[-1] == flows.rates[2] / 2.0
+        assert int(tr.flows.sources[-1]) == int(flows.sources[2])
+
+    def test_bad_index_rejected(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 2, seed=0)
+        with pytest.raises(ReproError, match="out of range"):
+            split_transform(ft4, flows, index=5)
+
+
+class TestReverse:
+    def test_reverse_preserves_optimal_cost(self, small_scenario):
+        topo = apply_uniform_delays(linear_ppdc(4), seed=3)
+        flows = small_scenario(topo, 3, seed=13)
+        base = optimal_placement(topo, flows, 2).cost
+        tr = reverse_transform(topo, flows)
+        assert np.array_equal(tr.flows.sources, flows.destinations)
+        transformed = optimal_placement(topo, tr.flows, 2).cost
+        assert transformed == pytest.approx(base, rel=1e-9)
+
+    def test_prev_is_reversed(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 2, seed=0)
+        prev = np.array([1, 2, 3], dtype=np.int64)
+        tr = reverse_transform(ft4, flows, prev)
+        assert tr.prev.tolist() == [3, 2, 1]
+
+
+class TestZeroFlow:
+    def test_zero_flow_changes_nothing(self, jittered_ft4):
+        topo, flows = jittered_ft4
+        base = dp_placement(topo, flows, 3).cost
+        tr = zero_flow_transform(topo, flows, seed=7)
+        assert tr.flows.num_flows == flows.num_flows + 1
+        assert tr.flows.rates[-1] == 0.0
+        transformed = dp_placement(topo, tr.flows, 3).cost
+        assert transformed == pytest.approx(base, rel=1e-9)
+
+    def test_flow_zero_is_untouched(self, jittered_ft4):
+        """The phantom is appended last, so TOP-1 solvers never see it."""
+        topo, flows = jittered_ft4
+        tr = zero_flow_transform(topo, flows, seed=7)
+        assert int(tr.flows.sources[0]) == int(flows.sources[0])
+        base = dp_placement_top1(topo, flows, 3)
+        transformed = dp_placement_top1(topo, tr.flows, 3)
+        assert np.array_equal(transformed.placement, base.placement)
+        assert transformed.cost == base.cost
+
+
+class TestCatchesBugs:
+    def test_mispriced_solver_breaks_the_scale_relation(self, jittered_ft4):
+        """A solver whose cost drifts from its decisions fails `scale`."""
+        topo, flows = jittered_ft4
+
+        def buggy(topology, fl, n):  # reports an absolute offset
+            result = dp_placement(topology, fl, n)
+            return result.cost + 1.0
+
+        base = buggy(topo, flows, 3)
+        tr = scale_transform(topo, flows, factor=4.0)
+        transformed = buggy(tr.topology, tr.flows, 3)
+        rel_err = abs(transformed - tr.cost_factor * base) / abs(
+            tr.cost_factor * base
+        )
+        assert rel_err > 1e-9  # the campaign's comparison would flag this
+
+    def test_transform_table_is_complete(self):
+        assert sorted(TRANSFORMS) == ["relabel", "reverse", "scale", "split", "zero"]
