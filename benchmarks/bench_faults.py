@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 12 (survivability under fault injection)."""
+
+import numpy as np
+
+
+def test_fig12_survivability(run_experiment):
+    result = run_experiment("fig12_survivability")
+    zero = result.rows[0]
+    assert zero["switch_rate"] == 0.0
+    # a fault-free day books no repairs and drops nothing
+    for policy in ("mpareto", "nomig"):
+        assert zero[f"{policy}_repair_cost"] == 0.0
+        assert zero[f"{policy}_dropped_traffic"] == 0.0
+        assert zero[f"{policy}_infeasible"] == 0
+    for row in result.rows:
+        mp_drop = row["mpareto_dropped_traffic"]
+        stay_drop = row["nomig_dropped_traffic"]
+        if not (np.isnan(mp_drop) or np.isnan(stay_drop)):
+            # the drop mask depends only on the fault trace and the flow
+            # endpoints — never on the placement — so both policies drop
+            # exactly the same traffic under the same fault seed
+            np.testing.assert_allclose(mp_drop, stay_drop, rtol=1e-9)
+        mp = row["mpareto_total_cost"]
+        stay = row["nomig_total_cost"]
+        if not (np.isnan(mp) or np.isnan(stay)):
+            # hour-by-hour, staying put is always in mPareto's candidate
+            # set; path divergence keeps this empirical rather than exact
+            assert mp <= 1.05 * stay

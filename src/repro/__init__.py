@@ -42,6 +42,7 @@ from repro.core.primal_dual import primal_dual_placement_top1
 from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import (
     BudgetExceededError,
+    FaultError,
     GraphError,
     InfeasibleError,
     MigrationError,
@@ -50,6 +51,16 @@ from repro.errors import (
     SolverError,
     TopologyError,
     WorkloadError,
+)
+from repro.faults import (
+    ConnectivityAudit,
+    FaultConfig,
+    FaultEvent,
+    FaultProcess,
+    FaultState,
+    RepairPlan,
+    degrade,
+    evacuate,
 )
 from repro.graphs import CostGraph, GraphBuilder
 from repro.session import SolverSession
@@ -89,9 +100,19 @@ __all__ = [
     "WorkloadError",
     "PlacementError",
     "MigrationError",
+    "FaultError",
     "InfeasibleError",
     "BudgetExceededError",
     "SolverError",
+    # faults
+    "FaultConfig",
+    "FaultEvent",
+    "FaultState",
+    "FaultProcess",
+    "ConnectivityAudit",
+    "degrade",
+    "RepairPlan",
+    "evacuate",
     # graphs
     "CostGraph",
     "GraphBuilder",

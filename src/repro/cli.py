@@ -45,6 +45,9 @@ DEFAULT_JOURNAL = Path(".repro") / "journal.jsonl"
 #: specs, not experiment points (fingerprints are scoped per seed)
 DEFAULT_VERIFY_JOURNAL = Path(".repro") / "verify_journal.jsonl"
 
+#: the fault-injection campaign likewise journals its own case specs
+DEFAULT_FAULTS_JOURNAL = Path(".repro") / "faults_journal.jsonl"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -138,6 +141,51 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "journal completed cases and skip them on re-run "
             f"(default file: {DEFAULT_VERIFY_JOURNAL})"
+        ),
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the fault-injection survivability campaign",
+        description=(
+            "Seeded fault-aware simulated days (switch/host/link failures "
+            "with repair) across the larger topology families, audited "
+            "against the survivability invariants: no VNF ever on a failed "
+            "switch, every cost recomputed on the degraded APSP, dropped "
+            "traffic and repair pricing exact, byte-identical replay.  A "
+            "diagnosed mid-day InfeasibleError (fabric lost too many "
+            "switches) is a recorded outcome, not a failure.  Exits 1 on "
+            "violations."
+        ),
+    )
+    faults.add_argument(
+        "--cases", type=int, default=100, metavar="N", help="scenarios to run"
+    )
+    faults.add_argument("--seed", type=int, default=0, help="campaign seed")
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for case fan-out (default: 1, serial)",
+    )
+    faults.add_argument(
+        "--json",
+        type=Path,
+        default=Path("faults_report.json"),
+        metavar="PATH",
+        help="where to write the JSON report (default: faults_report.json)",
+    )
+    faults.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_FAULTS_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal completed cases and skip them on re-run "
+            f"(default file: {DEFAULT_FAULTS_JOURNAL})"
         ),
     )
     return parser
@@ -293,6 +341,46 @@ def _run_verify(args, out) -> int:
     return 1 if report["violations"] else 0
 
 
+def _run_faults(args, out) -> int:
+    from repro.verify import FaultCampaignConfig, run_fault_campaign
+
+    if args.resume is not None and Path(args.resume).exists():
+        print(f"resuming from {args.resume}", file=out)
+    start = time.perf_counter()
+    report = run_fault_campaign(
+        FaultCampaignConfig(
+            cases=args.cases,
+            seed=args.seed,
+            workers=args.workers,
+            journal_path=args.resume,
+            report_path=args.json,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    hits = report["runtime"]["journal_hits"]
+    resumed = f", {hits} from journal" if hits else ""
+    outcomes = report["coverage"]["by_outcome"]
+    print(
+        f"{report['cases']} cases ({outcomes.get('completed', 0)} completed, "
+        f"{outcomes.get('infeasible', 0)} infeasible), "
+        f"{report['checks']} checks, "
+        f"{report['violations']} violations{resumed} "
+        f"[seed {args.seed}, {elapsed:.1f}s]",
+        file=out,
+    )
+    for failure in report["failures"]:
+        print(
+            f"  case {failure['case_id']} ({failure['policy']} on "
+            f"{failure['family']}): {len(failure['violations'])} violation(s); "
+            f"spec: {failure['spec']}",
+            file=out,
+        )
+        for violation in failure["violations"][:3]:
+            print(f"    [{violation['invariant']}] {violation['message']}", file=out)
+    print(f"wrote {args.json}", file=out)
+    return 1 if report["violations"] else 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "list":
         for name, description in list_experiments().items():
@@ -300,6 +388,8 @@ def _dispatch(args, out) -> int:
         return 0
     if args.command == "verify":
         return _run_verify(args, out)
+    if args.command == "faults":
+        return _run_faults(args, out)
     if getattr(args, "no_shared_artifacts", False):
         set_artifact_sharing(False)
     journal = Journal(args.resume) if getattr(args, "resume", None) else None

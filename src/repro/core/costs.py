@@ -90,8 +90,15 @@ class CostContext:
         # per-rate matvec over the cached block is bit-identical to the
         # uncached expression (the gather materializes the same
         # C-contiguous array either way).
-        self.ingress_attraction = rates @ self._endpoint_rows(flows.sources)
-        self.egress_attraction = rates @ self._endpoint_rows(flows.destinations)
+        # on fault-degraded topologies the gathered rows contain inf in
+        # dead-node columns, and zero-rated (dropped, parked) flows then
+        # produce 0 × inf = NaN there.  Those columns are never read —
+        # every solver restricts its candidates to surviving switches,
+        # where distances are finite — so the NaN is expected, and if a
+        # dead column ever *is* read the NaN poisons the result loudly.
+        with np.errstate(invalid="ignore"):
+            self.ingress_attraction = rates @ self._endpoint_rows(flows.sources)
+            self.egress_attraction = rates @ self._endpoint_rows(flows.destinations)
         for arr in (self.ingress_attraction, self.egress_attraction):
             arr.setflags(write=False)
 

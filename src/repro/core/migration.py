@@ -276,6 +276,7 @@ def mpareto_migration(
     placement_algorithm: PlacementAlgorithm = dp_placement,
     require_distinct: bool = True,
     coherent: bool = False,
+    candidate_switches=None,
     cache: ComputeCache | None = None,
 ) -> MigrationResult:
     """Algorithm 5: migrate to the minimum-cost parallel frontier.
@@ -289,13 +290,26 @@ def mpareto_migration(
     pseudocode omits it.  Row 0 (stay put) and the last row (``p'``) are
     always collision-free, so a feasible frontier always exists.  Pass
     ``require_distinct=False`` for the bit-faithful pseudocode behaviour.
+
+    ``candidate_switches`` restricts the fresh target placement to that
+    switch subset (the fault-aware simulator passes the surviving
+    component so ``p'`` never lands on a dead or partitioned switch);
+    corridors between two surviving-component switches stay inside the
+    component by connectivity, so the restriction is complete.
     """
     src = validate_placement(topology, source_placement)
     ctx = CostContext(topology, flows, cache=cache)
     # arbitrary placement callables need not accept cache=; only forward
-    # it to the default Algorithm-3 path, which is known to
+    # it (and the candidate restriction) to the default Algorithm-3 path,
+    # which is known to
     if placement_algorithm is dp_placement:
-        fresh = dp_placement(topology, flows, src.size, cache=ctx.cache)
+        fresh = dp_placement(
+            topology,
+            flows,
+            src.size,
+            candidate_switches=candidate_switches,
+            cache=ctx.cache,
+        )
     else:
         fresh = placement_algorithm(topology, flows, src.size)
     trace = frontier_trace(ctx, src, fresh.placement, mu, coherent=coherent)

@@ -35,12 +35,32 @@ class MigrationError(ReproError):
     """A VNF/VM migration request cannot be satisfied."""
 
 
+class FaultError(ReproError):
+    """A fault-injection request is malformed or unsupported.
+
+    Raised by the :mod:`repro.faults` layer for invalid fault
+    configurations and by policies that cannot run under a fault-aware
+    simulation (the VM-migration baselines keep per-host capacity state
+    that has no defined semantics when hosts die mid-day).
+    """
+
+
 class InfeasibleError(ReproError):
     """The problem instance admits no feasible solution.
 
     Raised, for example, when an SFC has more VNFs than there are switches,
     or when a min-cost-flow instance cannot route the required amount.
+
+    ``diagnosis`` optionally carries a JSON-friendly dict explaining *why*
+    the instance is infeasible (the fault-aware simulator fills it with
+    the failed-switch set, surviving component and the hour it happened,
+    so an experiment sweep can report the event instead of crashing).
     """
+
+    def __init__(self, message: str, *, diagnosis: dict | None = None) -> None:
+        super().__init__(message)
+        #: structured explanation of the infeasibility (may be empty)
+        self.diagnosis: dict = diagnosis if diagnosis is not None else {}
 
 
 class BudgetExceededError(ReproError):

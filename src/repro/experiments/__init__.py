@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig09_top,
     fig10_top_weighted,
     fig11_dynamic,
+    fig12_survivability,
     scorecard,
     tables,
     validations,

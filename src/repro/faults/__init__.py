@@ -1,0 +1,33 @@
+"""repro.faults — fault injection, degraded views, and forced repair.
+
+The survivability layer's three pieces, cheapest first:
+
+1. :class:`FaultProcess` — a seeded, pre-drawn timeline of switch /
+   host / link failure-and-repair events (same seed ⇒ byte-identical
+   trace).
+2. :func:`degrade` — the fault state projected onto a topology: same
+   node set, edges incident to failures removed, plus a
+   :class:`ConnectivityAudit` naming the surviving component, detected
+   partitions and the flows that must be dropped.
+3. :func:`evacuate` — the forced TOM repair moving VNFs off dead or
+   stranded switches, priced on the healthy APSP (see
+   :mod:`repro.faults.repair` for the cost convention).
+
+The fault-aware day loop in :mod:`repro.sim.engine` wires the three
+together; :mod:`repro.verify.faults` fuzzes them under seeded campaigns.
+"""
+
+from repro.faults.degrade import ConnectivityAudit, degrade
+from repro.faults.process import FaultConfig, FaultEvent, FaultProcess, FaultState
+from repro.faults.repair import RepairPlan, evacuate
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultProcess",
+    "FaultState",
+    "ConnectivityAudit",
+    "degrade",
+    "RepairPlan",
+    "evacuate",
+]

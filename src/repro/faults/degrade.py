@@ -1,0 +1,213 @@
+"""Degraded topology views and the connectivity audit.
+
+:func:`degrade` projects a :class:`~repro.faults.process.FaultState`
+onto a topology: every edge incident to a failed switch/host and every
+failed link is removed, while the node set is kept intact (failed nodes
+become isolated, so placements, flow endpoints and APSP tables stay
+index-compatible with the healthy fabric — the contract
+``Topology.with_graph`` enforces).  The companion
+:class:`ConnectivityAudit` is computed from the same kept-edge set and
+answers the questions the fault-aware simulator asks every hour:
+
+* which connected components the *live* nodes form, and whether the
+  fabric is partitioned;
+* the **surviving component** — the component with the most live
+  switches (ties broken toward the component containing the smallest
+  switch index) — which is where VNFs are evacuated to and the only
+  region whose flows can still be served;
+* which flows must be dropped this hour (either endpoint failed or
+  stranded outside the surviving component).
+
+The degraded graph's shortest paths report ``inf`` for pairs separated
+by the failures (see ``graphs/shortest_paths`` and the disconnected-
+graph tests); the audit is what turns those ``inf`` s into explicit
+drop/evacuate decisions before any solver sees them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.process import FaultState
+from repro.graphs.adjacency import CostGraph
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = ["ConnectivityAudit", "degrade"]
+
+
+@dataclass(frozen=True)
+class ConnectivityAudit:
+    """Connectivity facts about one degraded topology view.
+
+    ``components`` lists the connected components of the *live* node set
+    (failed nodes excluded), each an ascending tuple of node indices,
+    ordered by (descending live-switch count, ascending smallest switch,
+    ascending smallest node) — so ``components[0]`` is the surviving
+    component whenever any live switch exists.
+    """
+
+    components: tuple[tuple[int, ...], ...]
+    surviving_switches: np.ndarray
+    surviving_hosts: np.ndarray
+    failed_switches: np.ndarray
+    failed_hosts: np.ndarray
+    #: live but unreachable from the surviving component
+    partitioned_switches: np.ndarray
+    partitioned_hosts: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in (
+            "surviving_switches",
+            "surviving_hosts",
+            "failed_switches",
+            "failed_hosts",
+            "partitioned_switches",
+            "partitioned_hosts",
+        ):
+            arr = np.asarray(getattr(self, name), dtype=np.int64)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    @property
+    def is_partitioned(self) -> bool:
+        """True iff some live node is cut off from the surviving component."""
+        return bool(self.partitioned_switches.size or self.partitioned_hosts.size)
+
+    @property
+    def num_live_switches(self) -> int:
+        """Live switches reachable within the surviving component."""
+        return int(self.surviving_switches.size)
+
+    def dropped_flow_mask(self, flows: FlowSet) -> np.ndarray:
+        """Boolean mask of flows that cannot be served this hour.
+
+        A flow is dropped iff its source or destination host is failed
+        or lies outside the surviving component — in either case no path
+        to any surviving-component VNF exists on the degraded fabric.
+        """
+        alive = set(self.surviving_hosts.tolist())
+        return np.asarray(
+            [
+                int(s) not in alive or int(d) not in alive
+                for s, d in zip(flows.sources, flows.destinations)
+            ],
+            dtype=bool,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "components": [list(c) for c in self.components],
+            "surviving_switches": self.surviving_switches.tolist(),
+            "surviving_hosts": self.surviving_hosts.tolist(),
+            "failed_switches": self.failed_switches.tolist(),
+            "failed_hosts": self.failed_hosts.tolist(),
+            "partitioned_switches": self.partitioned_switches.tolist(),
+            "partitioned_hosts": self.partitioned_hosts.tolist(),
+            "is_partitioned": self.is_partitioned,
+        }
+
+
+def _live_components(
+    num_nodes: int, dead: set[int], edges: list[tuple[int, int, float]]
+) -> list[tuple[int, ...]]:
+    """Connected components of the live nodes under the kept edges (BFS)."""
+    adjacency: dict[int, list[int]] = {
+        node: [] for node in range(num_nodes) if node not in dead
+    }
+    for u, v, _ in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    seen: set[int] = set()
+    components: list[tuple[int, ...]] = []
+    for start in sorted(adjacency):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        component = []
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for nbr in adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        components.append(tuple(sorted(component)))
+    return components
+
+
+def degrade(
+    topology: Topology, state: FaultState
+) -> tuple[Topology, ConnectivityAudit]:
+    """Project ``state`` onto ``topology``: degraded view + audit.
+
+    The returned topology has the same node set (failed nodes isolated)
+    and carries ``meta["faults"] = state.to_dict()`` so downstream
+    consumers (journals, reports) can see which view they priced against.
+    It is built with ``allow_disconnected=True`` — a degraded view is the
+    one legitimate producer of a disconnected switch layer, which
+    ``Topology.__post_init__`` otherwise rejects.
+    """
+    dead = set(state.failed_switches) | set(state.failed_hosts)
+    failed_links = set(state.failed_links)
+    kept = [
+        (u, v, w)
+        for u, v, w in topology.graph.edges
+        if u not in dead and v not in dead and (u, v) not in failed_links
+    ]
+    graph = CostGraph(topology.graph.labels, kept)
+    degraded = topology.with_graph(
+        graph,
+        name=f"{topology.name}/degraded",
+        allow_disconnected=True,
+    )
+    degraded.meta["faults"] = state.to_dict()
+
+    switch_set = set(int(s) for s in topology.switches)
+    components = _live_components(topology.graph.num_nodes, dead, kept)
+    # surviving component: most live switches; ties toward the component
+    # holding the smallest switch index, then the smallest node index
+    components.sort(
+        key=lambda c: (
+            -sum(1 for node in c if node in switch_set),
+            min((node for node in c if node in switch_set), default=np.inf),
+            c[0],
+        )
+    )
+    surviving = (
+        set(components[0])
+        if components and any(node in switch_set for node in components[0])
+        else set()
+    )
+    live = [node for node in range(topology.graph.num_nodes) if node not in dead]
+    audit = ConnectivityAudit(
+        components=tuple(components),
+        surviving_switches=np.asarray(
+            sorted(node for node in surviving if node in switch_set), dtype=np.int64
+        ),
+        surviving_hosts=np.asarray(
+            sorted(node for node in surviving if node not in switch_set),
+            dtype=np.int64,
+        ),
+        failed_switches=np.asarray(sorted(state.failed_switches), dtype=np.int64),
+        failed_hosts=np.asarray(sorted(state.failed_hosts), dtype=np.int64),
+        partitioned_switches=np.asarray(
+            sorted(
+                node for node in live if node in switch_set and node not in surviving
+            ),
+            dtype=np.int64,
+        ),
+        partitioned_hosts=np.asarray(
+            sorted(
+                node
+                for node in live
+                if node not in switch_set and node not in surviving
+            ),
+            dtype=np.int64,
+        ),
+    )
+    return degraded, audit

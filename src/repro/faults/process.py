@@ -1,0 +1,230 @@
+"""Seeded fault processes: timed failure-and-repair event streams.
+
+A :class:`FaultProcess` turns a :class:`FaultConfig` into a deterministic
+per-hour sequence of switch/host/link failures and repairs over one
+topology.  Every hour's draws are made from an independent
+``SeedSequence`` child (the :class:`~repro.workload.dynamics.RedrawnRates`
+pattern), and the full event trace plus the per-hour
+:class:`FaultState` s are materialized eagerly at construction — so the
+same ``(topology, config, seed)`` triple always yields a byte-identical
+trace no matter how often or in what order the process is queried.
+
+Model: a memoryless per-hour failure/repair chain.  Each hour, every
+*up* element of a category fails independently with that category's
+failure probability, and every *down* element repairs independently with
+probability ``1 / mean_repair_hours`` (so repair times are geometric
+with the configured mean).  Repairs are drawn before failures, so an
+element repaired at hour ``h`` can fail again at ``h + 1`` but not
+within the same hour.  Draws are fixed-size vectors per category per
+hour — one value per element whether it is up or down — so the stream
+layout is a pure function of the topology shape, never of the evolving
+fault state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.topology.base import Topology
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["FaultConfig", "FaultEvent", "FaultState", "FaultProcess"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-hour failure/repair probabilities for one simulated day.
+
+    ``switch_rate`` / ``host_rate`` / ``link_rate`` are the per-element,
+    per-hour failure probabilities; ``mean_repair_hours`` is the mean of
+    the geometric repair time (``<= 1`` repairs everything the next
+    hour).  ``max_failed_switches`` optionally caps how many switches may
+    be down at once — failures drawn past the cap are discarded that hour
+    (in ascending switch order, deterministically) so sweeps can explore
+    aggressive failure rates without trivially killing the whole fabric.
+    """
+
+    switch_rate: float = 0.02
+    host_rate: float = 0.0
+    link_rate: float = 0.0
+    mean_repair_hours: float = 4.0
+    max_failed_switches: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("switch_rate", "host_rate", "link_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0) or not np.isfinite(rate):
+                raise FaultError(
+                    f"{name} must be a probability in [0, 1], got {rate!r}"
+                )
+        if not (self.mean_repair_hours > 0) or not np.isfinite(self.mean_repair_hours):
+            raise FaultError(
+                "mean_repair_hours must be positive and finite, got "
+                f"{self.mean_repair_hours!r}"
+            )
+        if self.max_failed_switches is not None and self.max_failed_switches < 0:
+            raise FaultError(
+                "max_failed_switches must be non-negative or None, got "
+                f"{self.max_failed_switches!r}"
+            )
+
+    @property
+    def repair_probability(self) -> float:
+        return min(1.0, 1.0 / self.mean_repair_hours)
+
+    def to_dict(self) -> dict:
+        return {
+            "switch_rate": self.switch_rate,
+            "host_rate": self.host_rate,
+            "link_rate": self.link_rate,
+            "mean_repair_hours": self.mean_repair_hours,
+            "max_failed_switches": self.max_failed_switches,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed event: ``kind`` in {switch, host, link}, ``action`` in
+    {fail, repair}.  ``target`` is a node index for switches/hosts and a
+    ``(u, v)`` pair (``u < v``) for links."""
+
+    hour: int
+    kind: str
+    action: str
+    target: int | tuple[int, int]
+
+    def to_dict(self) -> dict:
+        target = (
+            list(self.target) if isinstance(self.target, tuple) else self.target
+        )
+        return {
+            "hour": self.hour,
+            "kind": self.kind,
+            "action": self.action,
+            "target": target,
+        }
+
+
+@dataclass(frozen=True)
+class FaultState:
+    """Which elements are down at one instant (hashable, canonical order)."""
+
+    failed_switches: tuple[int, ...] = ()
+    failed_hosts: tuple[int, ...] = ()
+    failed_links: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def is_healthy(self) -> bool:
+        return not (self.failed_switches or self.failed_hosts or self.failed_links)
+
+    def to_dict(self) -> dict:
+        return {
+            "failed_switches": list(self.failed_switches),
+            "failed_hosts": list(self.failed_hosts),
+            "failed_links": [list(link) for link in self.failed_links],
+        }
+
+
+class FaultProcess:
+    """Deterministic fault timeline for ``horizon`` hours of one topology.
+
+    Hour 0 is always healthy (the day starts from an intact fabric);
+    hours ``1..horizon`` carry the drawn events.  :meth:`state_at` clamps
+    beyond-horizon queries to the final state so a simulation loop can
+    safely run on any hour range within the horizon.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: FaultConfig,
+        *,
+        seed: int,
+        horizon: int,
+    ) -> None:
+        if horizon < 1:
+            raise FaultError(f"horizon must be at least 1 hour, got {horizon}")
+        self.topology = topology
+        self.config = config
+        self.seed = int(seed)
+        self.horizon = int(horizon)
+        self._events: list[tuple[FaultEvent, ...]] = [()]
+        self._states: list[FaultState] = [FaultState()]
+        self._draw()
+
+    # -- construction ---------------------------------------------------------
+
+    def _draw(self) -> None:
+        config = self.config
+        switches = [int(s) for s in self.topology.switches]
+        hosts = [int(h) for h in self.topology.hosts]
+        links = [(u, v) for u, v, _ in self.topology.graph.edges]
+        categories = (
+            ("switch", switches, config.switch_rate),
+            ("host", hosts, config.host_rate),
+            ("link", links, config.link_rate),
+        )
+        p_repair = config.repair_probability
+        down: dict[str, set] = {"switch": set(), "host": set(), "link": set()}
+        for hour, rng in enumerate(spawn_rngs(self.seed, self.horizon), start=1):
+            events: list[FaultEvent] = []
+            for kind, elements, rate in categories:
+                # fixed-size draws per category: the stream layout never
+                # depends on the evolving fault state
+                repair_draws = rng.random(len(elements))
+                fail_draws = rng.random(len(elements))
+                failed = down[kind]
+                for i, element in enumerate(elements):
+                    if element in failed and repair_draws[i] < p_repair:
+                        failed.discard(element)
+                        events.append(FaultEvent(hour, kind, "repair", element))
+                for i, element in enumerate(elements):
+                    if element in failed or fail_draws[i] >= rate:
+                        continue
+                    if (
+                        kind == "switch"
+                        and config.max_failed_switches is not None
+                        and len(failed) >= config.max_failed_switches
+                    ):
+                        continue
+                    failed.add(element)
+                    events.append(FaultEvent(hour, kind, "fail", element))
+            self._events.append(tuple(events))
+            self._states.append(
+                FaultState(
+                    failed_switches=tuple(sorted(down["switch"])),
+                    failed_hosts=tuple(sorted(down["host"])),
+                    failed_links=tuple(sorted(down["link"])),
+                )
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    def events_at(self, hour: int) -> tuple[FaultEvent, ...]:
+        """The events that took effect at ``hour`` (empty for hour 0)."""
+        if hour < 0:
+            raise FaultError(f"hour must be non-negative, got {hour}")
+        return self._events[min(hour, self.horizon)]
+
+    def state_at(self, hour: int) -> FaultState:
+        """The fault state in force during ``hour`` (clamped to horizon)."""
+        if hour < 0:
+            raise FaultError(f"hour must be non-negative, got {hour}")
+        return self._states[min(hour, self.horizon)]
+
+    def trace(self) -> tuple[FaultEvent, ...]:
+        """Every event of the timeline, in (hour, draw) order."""
+        return tuple(e for events in self._events for e in events)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly canonical form; equal dicts ⇔ identical timelines."""
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "config": self.config.to_dict(),
+            "events": [e.to_dict() for e in self.trace()],
+            "states": [s.to_dict() for s in self._states],
+        }

@@ -1,0 +1,105 @@
+"""Forced repair of placements stranded on failed or partitioned switches.
+
+Cost convention (documented for the survivability experiments): when a
+switch dies, the VNF instance on it is gone — what migrates is the VNF's
+*state*, restored from its last-known-good replica onto a surviving
+switch (the replication-aware framing of Carpio & Jukan).  The repair is
+booked as a TOM migration priced on the **healthy** topology's APSP
+distance ``c_healthy(from, to)``: the replica path existed before the
+failure, and pricing on the degraded fabric would be ``inf`` (the dead
+switch has no edges left).  The simulator multiplies the plan's summed
+distance by the policy's μ, exactly like Eq. 8's ``C_b``.
+
+Evacuation is deterministic: VNFs are processed in chain order, each
+moving to the nearest allowed, unoccupied switch (ties broken toward the
+smaller switch index).  VNFs already on an allowed switch stay put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+
+__all__ = ["RepairPlan", "evacuate"]
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """The outcome of one forced evacuation.
+
+    ``moves`` lists ``(vnf_index, from_switch, to_switch)`` in chain
+    order; ``distance`` is ``Σ c_healthy(from, to)`` over the moves (the
+    simulator books ``μ · distance`` as repair cost).
+    """
+
+    placement: np.ndarray
+    moves: tuple[tuple[int, int, int], ...]
+    distance: float
+
+    def __post_init__(self) -> None:
+        placement = np.asarray(self.placement, dtype=np.int64)
+        placement.setflags(write=False)
+        object.__setattr__(self, "placement", placement)
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+    def to_dict(self) -> dict:
+        return {
+            "placement": self.placement.tolist(),
+            "moves": [list(m) for m in self.moves],
+            "distance": self.distance,
+        }
+
+
+def evacuate(
+    placement: np.ndarray,
+    allowed_switches: np.ndarray,
+    healthy_distances: np.ndarray,
+    *,
+    diagnosis: dict | None = None,
+) -> RepairPlan:
+    """Move every VNF not on an ``allowed`` switch to the nearest free one.
+
+    ``healthy_distances`` is the intact fabric's APSP table (see the
+    module docstring for why repair is priced there).  Raises
+    :class:`InfeasibleError` (carrying ``diagnosis``) when the allowed
+    set cannot host all VNFs distinctly.
+    """
+    src = np.asarray(placement, dtype=np.int64)
+    allowed = [int(s) for s in allowed_switches]
+    allowed_set = set(allowed)
+    if len(allowed_set) < src.size:
+        raise InfeasibleError(
+            f"cannot evacuate {src.size} VNFs onto {len(allowed_set)} "
+            "surviving switches",
+            diagnosis={
+                "reason": "too_few_surviving_switches",
+                "num_vnfs": int(src.size),
+                "surviving_switches": sorted(allowed_set),
+                **(diagnosis or {}),
+            },
+        )
+    new = src.copy()
+    occupied = {int(p) for p in src if int(p) in allowed_set}
+    moves: list[tuple[int, int, int]] = []
+    distance = 0.0
+    for j in range(src.size):
+        origin = int(src[j])
+        if origin in allowed_set:
+            continue
+        candidates = sorted(
+            (s for s in allowed if s not in occupied),
+            key=lambda s: (float(healthy_distances[origin, s]), s),
+        )
+        # guaranteed non-empty: |allowed| >= n and each move occupies one
+        target = candidates[0]
+        occupied.add(target)
+        new[j] = target
+        moves.append((j, origin, target))
+        distance += float(healthy_distances[origin, target])
+    return RepairPlan(placement=new, moves=tuple(moves), distance=distance)

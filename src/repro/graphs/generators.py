@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import GraphError
 from repro.graphs.adjacency import CostGraph, GraphBuilder
 from repro.utils.rng import as_generator
 
@@ -23,6 +24,19 @@ def random_cost_graph(
     edge with probability ``edge_prob``.  Weights are uniform on
     ``[weight_low, weight_high)``.
     """
+    if num_nodes < 1:
+        raise GraphError(f"num_nodes must be at least 1, got {num_nodes}")
+    if not (0.0 <= edge_prob <= 1.0):
+        raise GraphError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    if not (np.isfinite(weight_low) and np.isfinite(weight_high)):
+        raise GraphError(
+            f"weight bounds must be finite, got [{weight_low}, {weight_high})"
+        )
+    if weight_low < 0 or weight_high < weight_low:
+        raise GraphError(
+            "weight bounds must satisfy 0 <= weight_low <= weight_high, "
+            f"got [{weight_low}, {weight_high})"
+        )
     gen = as_generator(rng)
     builder = GraphBuilder()
     builder.add_nodes(f"v{i}" for i in range(num_nodes))

@@ -50,7 +50,12 @@ from repro.core.placement import (
 )
 from repro.core.primal_dual import primal_dual_placement_top1
 from repro.core.types import PlacementResult
-from repro.errors import InfeasibleError, PlacementError, ReproError
+from repro.errors import (
+    BudgetExceededError,
+    InfeasibleError,
+    PlacementError,
+    ReproError,
+)
 from repro.runtime.cache import ComputeCache, get_compute_cache
 from repro.runtime.instrument import count
 from repro.topology.base import Topology
@@ -239,6 +244,12 @@ class SolverSession:
         # all migrators share the lead signature (topology, flows, prev, mu)
         return solver(self.topology, flows, prev, mu, **options)
 
+    #: graceful-degradation fallback chains for deadline-bounded solves;
+    #: later entries are strictly cheaper (greedy and stay-put are O(l·|V_s|)
+    #: one-shot scans that cannot time out in practice)
+    _PLACE_FALLBACK = ("dp", "greedy")
+    _MIGRATE_FALLBACK = ("mpareto", "none")
+
     def solve(
         self,
         flows: FlowSet,
@@ -247,12 +258,95 @@ class SolverSession:
         prev: np.ndarray | None = None,
         mu: float = 0.0,
         algo: str | None = None,
+        deadline: float | None = None,
         **options,
     ):
-        """Unified facade: placement when ``prev is None``, else migration."""
-        if prev is None:
-            return self.place(flows, sfc, algo=algo or "dp", **options)
-        return self.migrate(prev, flows, mu=mu, algo=algo or "mpareto", **options)
+        """Unified facade: placement when ``prev is None``, else migration.
+
+        ``deadline`` (seconds of wall clock for this solve) turns on
+        graceful degradation: the requested algorithm runs first, and if
+        it exceeds its search budget (:class:`BudgetExceededError`), times
+        out, or the deadline is already spent, the facade walks a fallback
+        chain of strictly cheaper solvers — ``optimal → dp → greedy`` for
+        placements, ``optimal → mpareto → none`` for migrations — and
+        returns the first stage that completes.  The result is flagged
+        ``meta["degraded"] = True`` whenever it did not come from the
+        requested algorithm; a timeout is *never* surfaced to the caller.
+        The final chain stage always runs regardless of remaining budget,
+        so ``solve`` with a deadline always returns a result.
+
+        Without ``deadline`` the behaviour (and every result bit) is
+        identical to the pre-deadline facade.
+        """
+        if deadline is None:
+            if prev is None:
+                return self.place(flows, sfc, algo=algo or "dp", **options)
+            return self.migrate(prev, flows, mu=mu, algo=algo or "mpareto", **options)
+        return self._solve_with_deadline(
+            flows, sfc, prev=prev, mu=mu, algo=algo, deadline=deadline, **options
+        )
+
+    def _solve_with_deadline(
+        self,
+        flows: FlowSet,
+        sfc: SFC | int,
+        *,
+        prev: np.ndarray | None,
+        mu: float,
+        algo: str | None,
+        deadline: float,
+        **options,
+    ):
+        import builtins
+        import time
+
+        if not (deadline >= 0.0) or not np.isfinite(deadline):
+            raise ReproError(
+                f"deadline must be a non-negative number of seconds, got {deadline!r}"
+            )
+        requested = algo or ("dp" if prev is None else "mpareto")
+        fallback = self._PLACE_FALLBACK if prev is None else self._MIGRATE_FALLBACK
+        chain = [requested] + [stage for stage in fallback if stage != requested]
+        start = time.perf_counter()
+        attempts: list[dict] = []
+        for position, stage in enumerate(chain):
+            final = position == len(chain) - 1
+            remaining = deadline - (time.perf_counter() - start)
+            if not final and remaining <= 0.0:
+                attempts.append({"algo": stage, "outcome": "skipped"})
+                continue
+            # solver-specific options (budget=, seed=, candidate_switches=,
+            # ...) only make sense for the requested algorithm; fallback
+            # stages run on their defaults with the session cache
+            if stage == requested:
+                stage_options = dict(options)
+            else:
+                stage_options = {k: v for k, v in options.items() if k == "cache"}
+            try:
+                if prev is None:
+                    result = self.place(flows, sfc, algo=stage, **stage_options)
+                else:
+                    result = self.migrate(
+                        prev, flows, mu=mu, algo=stage, **stage_options
+                    )
+            except (BudgetExceededError, builtins.TimeoutError) as exc:
+                if final:
+                    raise  # unreachable with the built-in chains; see below
+                attempts.append(
+                    {"algo": stage, "outcome": f"failed:{type(exc).__name__}"}
+                )
+                continue
+            attempts.append({"algo": stage, "outcome": "completed"})
+            result.extra["degraded"] = stage != requested
+            result.extra["deadline"] = {
+                "budget": deadline,
+                "requested": requested,
+                "selected": stage,
+                "attempts": attempts,
+            }
+            count("degraded_solves" if stage != requested else "deadline_solves")
+            return result
+        raise ReproError("deadline fallback chain exhausted")  # pragma: no cover
 
     # -- batching ------------------------------------------------------------
 

@@ -1,4 +1,30 @@
-"""The simulated day: hour loop, cost accounting, per-hour records."""
+"""The simulated day: hour loop, cost accounting, per-hour records.
+
+Two day loops share the :class:`HourRecord` / :class:`DayResult`
+surface:
+
+* the classic loop (``faults=None``) — unchanged behaviour, every hour
+  is one policy step at that hour's rates;
+* the fault-aware loop (``faults=`` a
+  :class:`~repro.faults.process.FaultProcess`) — each hour first applies
+  the fault state: the topology is degraded
+  (:func:`~repro.faults.degrade.degrade`), any VNF stranded on a failed
+  or partitioned switch is *forcibly repaired* onto the surviving
+  component (:func:`~repro.faults.repair.evacuate`, priced ``μ ×``
+  healthy-APSP distance into :attr:`HourRecord.repair_cost`), flows with
+  a dead or partitioned endpoint are dropped and their rates booked into
+  :attr:`HourRecord.dropped_traffic`, and only then does the policy take
+  its step — against the degraded APSP and restricted to surviving
+  switches.  Hours where the surviving component holds fewer live
+  switches than the chain needs raise a diagnosed
+  :class:`~repro.errors.InfeasibleError` instead of crashing deeper in a
+  solver.
+
+Dropped flows are *parked*: their endpoints are relocated to a surviving
+host and their rates zeroed, so they contribute exactly ``0`` to every
+attraction sum instead of the ``0 × inf = NaN`` that isolated endpoints
+would produce against a degraded distance table.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.placement import dp_placement
+from repro.errors import FaultError, InfeasibleError
 from repro.runtime.instrument import count
 from repro.sim.policies import MigrationPolicy
 from repro.topology.base import Topology
@@ -19,16 +46,37 @@ __all__ = ["HourRecord", "DayResult", "simulate_day", "initial_placement"]
 
 @dataclass(frozen=True)
 class HourRecord:
-    """Costs and migrations booked during one simulated hour."""
+    """Costs and migrations booked during one simulated hour.
+
+    ``repair_cost`` / ``num_repairs`` are the forced evacuations off
+    failed switches (fault-aware loop only; see the cost convention in
+    :mod:`repro.faults.repair`), and ``dropped_traffic`` is the summed
+    rate of flows that could not be served that hour.  All three stay 0
+    in the classic loop, so existing consumers see identical records.
+    """
 
     hour: int
     communication_cost: float
     migration_cost: float
     num_migrations: int
+    dropped_traffic: float = 0.0
+    repair_cost: float = 0.0
+    num_repairs: int = 0
 
     @property
     def total_cost(self) -> float:
-        return self.communication_cost + self.migration_cost
+        return self.communication_cost + self.migration_cost + self.repair_cost
+
+    def to_dict(self) -> dict:
+        return {
+            "hour": self.hour,
+            "communication_cost": self.communication_cost,
+            "migration_cost": self.migration_cost,
+            "num_migrations": self.num_migrations,
+            "dropped_traffic": self.dropped_traffic,
+            "repair_cost": self.repair_cost,
+            "num_repairs": self.num_repairs,
+        }
 
 
 @dataclass(frozen=True)
@@ -55,9 +103,29 @@ class DayResult:
     def total_migrations(self) -> int:
         return int(sum(r.num_migrations for r in self.records))
 
+    @property
+    def total_repair_cost(self) -> float:
+        return float(sum(r.repair_cost for r in self.records))
+
+    @property
+    def total_repairs(self) -> int:
+        return int(sum(r.num_repairs for r in self.records))
+
+    @property
+    def total_dropped_traffic(self) -> float:
+        return float(sum(r.dropped_traffic for r in self.records))
+
     def hourly(self, metric: str) -> np.ndarray:
         """Per-hour series of ``metric`` (an :class:`HourRecord` attribute)."""
         return np.asarray([getattr(r, metric) for r in self.records], dtype=float)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-friendly form (byte-identity comparisons)."""
+        return {
+            "policy": self.policy,
+            "records": [r.to_dict() for r in self.records],
+            "extra": self.extra,
+        }
 
 
 def initial_placement(
@@ -94,6 +162,7 @@ def simulate_day(
     hours: range | None = None,
     *,
     session=None,
+    faults=None,
 ) -> DayResult:
     """Run ``policy`` through the given ``hours`` of the traffic process.
 
@@ -103,9 +172,19 @@ def simulate_day(
     :class:`~repro.session.SolverSession` so every hour's solver call
     reuses the session's precomputed artifacts (bit-identical to running
     without one — the session routes through the same solver code).
+
+    ``faults`` switches to the fault-aware loop (see the module
+    docstring); it is deterministic given the fault process's seed —
+    rerunning the same inputs reproduces a byte-identical
+    :class:`DayResult`, including the per-hour fault log in ``extra``.
     """
     if hours is None:
         hours = range(1, rate_process.diurnal.num_hours + 1)
+    if faults is not None:
+        return _simulate_day_faulty(
+            topology, flows, policy, rate_process, placement, hours,
+            session=session, faults=faults,
+        )
     with Timer.timed("simulate_day"):
         if session is not None:
             policy.attach_session(session)
@@ -124,3 +203,178 @@ def simulate_day(
                 )
             )
     return DayResult(policy=policy.name, records=tuple(records))
+
+
+def _park_flows(flows: FlowSet, drop_mask: np.ndarray, park_host: int) -> FlowSet:
+    """Relocate dropped flows' endpoints onto one surviving host.
+
+    Their rates are zeroed by the caller, so the parked endpoints only
+    determine *which finite distances* get multiplied by zero — any
+    surviving host works, and the result is exactly 0 contribution
+    (never ``0 × inf``).
+    """
+    if not drop_mask.any():
+        return flows
+    sources = flows.sources.copy()
+    destinations = flows.destinations.copy()
+    sources[drop_mask] = park_host
+    destinations[drop_mask] = park_host
+    return flows.with_endpoints(sources, destinations)
+
+
+def _simulate_day_faulty(
+    topology: Topology,
+    flows: FlowSet,
+    policy: MigrationPolicy,
+    rate_process: RateProcess,
+    placement: np.ndarray,
+    hours: range,
+    *,
+    session,
+    faults,
+) -> DayResult:
+    from repro.faults.degrade import degrade
+    from repro.faults.repair import evacuate
+    from repro.session import SolverSession
+
+    if not policy.supports_faults:
+        raise FaultError(
+            f"policy {policy.name!r} does not support fault-aware simulation"
+        )
+    n = int(np.asarray(placement).size)
+    healthy_distances = topology.graph.distances
+    current = np.asarray(placement, dtype=np.int64).copy()
+    records: list[HourRecord] = []
+    fault_log: list[dict] = []
+    # one degraded view + session per distinct fault state; a healthy
+    # state reuses the caller's session (and topology) unchanged
+    views: dict = {}
+    with Timer.timed("simulate_day_faulty"):
+        policy.initialize(flows, current)
+        for hour in hours:
+            state = faults.state_at(hour)
+            if state not in views:
+                if state.is_healthy:
+                    healthy_session = (
+                        session if session is not None else SolverSession(topology)
+                    )
+                    views[state] = (topology, None, healthy_session)
+                else:
+                    degraded, audit = degrade(topology, state)
+                    views[state] = (degraded, audit, SolverSession(degraded))
+            view, audit, view_session = views[state]
+
+            live_switches = (
+                audit.surviving_switches if audit is not None else topology.switches
+            )
+            if live_switches.size < n:
+                raise InfeasibleError(
+                    f"hour {hour}: only {live_switches.size} surviving "
+                    f"switches for a chain of {n} VNFs",
+                    diagnosis={
+                        "reason": "too_few_surviving_switches",
+                        "hour": hour,
+                        "num_vnfs": n,
+                        "surviving_switches": live_switches.tolist(),
+                        "failed_switches": list(state.failed_switches),
+                        "components": [list(c) for c in audit.components]
+                        if audit is not None
+                        else [],
+                    },
+                )
+
+            # 1. forced repair: evacuate VNFs off failed/partitioned switches
+            plan = evacuate(
+                current,
+                live_switches,
+                healthy_distances,
+                diagnosis={"hour": hour},
+            )
+            current = np.asarray(plan.placement, dtype=np.int64)
+            repair_cost = policy.mu * plan.distance
+
+            # 2. drop flows with failed or partitioned endpoints
+            rates = rate_process.rates_at(hour)
+            if audit is not None:
+                drop_mask = audit.dropped_flow_mask(flows)
+            else:
+                drop_mask = np.zeros(flows.num_flows, dtype=bool)
+            dropped_traffic = float(rates[drop_mask].sum())
+            effective_rates = np.where(drop_mask, 0.0, rates)
+
+            live_hosts = (
+                audit.surviving_hosts if audit is not None else topology.hosts
+            )
+            if drop_mask.all() or live_hosts.size == 0:
+                # nothing can communicate this hour: the placement holds,
+                # no solver runs, and all offered traffic is dropped
+                count("hours_simulated")
+                records.append(
+                    HourRecord(
+                        hour=hour,
+                        communication_cost=0.0,
+                        migration_cost=0.0,
+                        num_migrations=0,
+                        dropped_traffic=float(rates.sum()),
+                        repair_cost=repair_cost,
+                        num_repairs=plan.num_moves,
+                    )
+                )
+                fault_log.append(
+                    _log_entry(hour, state, audit, drop_mask, plan, current)
+                )
+                continue
+
+            parked = _park_flows(flows, drop_mask, int(live_hosts[0]))
+
+            # 3. the policy's own step, anchored on the hour's fabric view
+            policy.refit(
+                view,
+                view_session,
+                parked,
+                current,
+                candidate_switches=live_switches if audit is not None else None,
+            )
+            step = policy.step(effective_rates)
+            current = np.asarray(policy.placement, dtype=np.int64)
+            count("hours_simulated")
+            records.append(
+                HourRecord(
+                    hour=hour,
+                    communication_cost=step.communication_cost,
+                    migration_cost=step.migration_cost,
+                    num_migrations=step.num_migrations,
+                    dropped_traffic=dropped_traffic,
+                    repair_cost=repair_cost,
+                    num_repairs=plan.num_moves,
+                )
+            )
+            fault_log.append(
+                _log_entry(hour, state, audit, drop_mask, plan, current)
+            )
+    return DayResult(
+        policy=policy.name,
+        records=tuple(records),
+        extra={
+            "faults": {
+                "seed": faults.seed,
+                "config": faults.config.to_dict(),
+                "trace": [e.to_dict() for e in faults.trace()],
+            },
+            "fault_log": fault_log,
+        },
+    )
+
+
+def _log_entry(hour, state, audit, drop_mask, plan, placement) -> dict:
+    return {
+        "hour": hour,
+        "failed_switches": list(state.failed_switches),
+        "failed_hosts": list(state.failed_hosts),
+        "failed_links": [list(link) for link in state.failed_links],
+        "partitioned": bool(audit.is_partitioned) if audit is not None else False,
+        "dropped_flows": np.flatnonzero(drop_mask).tolist(),
+        "repairs": [list(m) for m in plan.moves],
+        "repair_distance": plan.distance,
+        "placement": placement.tolist(),
+    }

@@ -24,7 +24,7 @@ from repro.baselines.mcf_migration import mcf_vm_migration
 from repro.baselines.plan import plan_vm_migration
 from repro.core.migration import mpareto_migration, no_migration
 from repro.core.optimal import optimal_migration
-from repro.errors import MigrationError
+from repro.errors import FaultError, MigrationError
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
@@ -57,6 +57,11 @@ class MigrationPolicy(ABC):
 
     name: str = "policy"
 
+    #: whether the policy has defined semantics under the fault-aware day
+    #: loop (the VM baselines do not: their frozen per-host capacity has
+    #: no meaning once hosts die mid-day)
+    supports_faults: bool = True
+
     def __init__(self, topology: Topology, mu: float) -> None:
         if mu < 0:
             raise MigrationError(f"mu must be non-negative, got {mu}")
@@ -65,6 +70,7 @@ class MigrationPolicy(ABC):
         self.session = None
         self._placement: np.ndarray | None = None
         self._flows: FlowSet | None = None
+        self._candidate_switches: np.ndarray | None = None
 
     def attach_session(self, session) -> None:
         """Route this policy's solver calls through a
@@ -92,6 +98,44 @@ class MigrationPolicy(ABC):
         assert self._flows is not None, "policy used before initialize()"
         return self._flows
 
+    def refit(
+        self,
+        topology: Topology,
+        session,
+        flows: FlowSet,
+        placement: np.ndarray,
+        *,
+        candidate_switches: np.ndarray | None = None,
+    ) -> None:
+        """Re-anchor the policy on a (degraded) fabric view mid-day.
+
+        The fault-aware simulator calls this whenever the fault state
+        changes: the policy's solver calls must price against the
+        degraded APSP, restrict their targets to the surviving component
+        (``candidate_switches``), and continue from the repaired
+        ``placement``.  ``flows`` is the parked flow set — dropped flows
+        relocated to a surviving host so their zero rates contribute
+        exactly zero instead of ``0 × inf``.
+        """
+        if not self.supports_faults:
+            raise FaultError(
+                f"policy {self.name!r} does not support fault-aware "
+                "simulation (see MigrationPolicy.supports_faults)"
+            )
+        self.topology = topology
+        self.session = session
+        self._flows = flows
+        self._placement = np.asarray(placement, dtype=np.int64)
+        self._candidate_switches = (
+            None
+            if candidate_switches is None
+            else np.asarray(candidate_switches, dtype=np.int64)
+        )
+
+    def force_placement(self, placement: np.ndarray) -> None:
+        """Install an externally repaired placement (forced evacuation)."""
+        self._placement = np.asarray(placement, dtype=np.int64)
+
     @abstractmethod
     def step(self, rates: np.ndarray) -> PolicyStep:
         """React to the new traffic-rate vector; mutate state; report costs."""
@@ -104,10 +148,15 @@ class MParetoPolicy(MigrationPolicy):
 
     def step(self, rates: np.ndarray) -> PolicyStep:
         flows = self.flows.with_rates(rates)
+        options = {}
+        if self._candidate_switches is not None:
+            options["candidate_switches"] = self._candidate_switches
         if self.session is not None:
-            result = self.session.migrate(self.placement, flows, mu=self.mu)
+            result = self.session.migrate(self.placement, flows, mu=self.mu, **options)
         else:
-            result = mpareto_migration(self.topology, flows, self.placement, self.mu)
+            result = mpareto_migration(
+                self.topology, flows, self.placement, self.mu, **options
+            )
         self._placement = result.migration
         self._flows = flows
         return PolicyStep(
@@ -140,13 +189,18 @@ class OptimalVnfPolicy(MigrationPolicy):
 
     def step(self, rates: np.ndarray) -> PolicyStep:
         flows = self.flows.with_rates(rates)
+        candidates = (
+            self._candidate_switches
+            if self._candidate_switches is not None
+            else self.candidate_switches
+        )
         result = optimal_migration(
             self.topology,
             flows,
             self.placement,
             self.mu,
             budget=self.budget,
-            candidate_switches=self.candidate_switches,
+            candidate_switches=candidates,
             cache=self._cache,
         )
         self._placement = result.migration
@@ -184,6 +238,7 @@ class PlanVmPolicy(MigrationPolicy):
     """
 
     name = "plan"
+    supports_faults = False
 
     def __init__(
         self,
@@ -232,6 +287,7 @@ class McfVmPolicy(MigrationPolicy):
     """
 
     name = "mcf"
+    supports_faults = False
 
     def __init__(
         self,

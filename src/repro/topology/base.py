@@ -72,6 +72,71 @@ class Topology:
             raise TopologyError("host_edge_switch entries must be switches")
         for mat in (hosts, switches, rack):
             mat.setflags(write=False)
+        self._validate_weights()
+        if not self.meta.get("allow_disconnected", False):
+            self._validate_switch_connectivity()
+
+    def _validate_weights(self) -> None:
+        """Reject NaN / negative / asymmetric weight matrices outright.
+
+        :class:`~repro.graphs.adjacency.GraphBuilder` cannot produce such
+        a matrix, but topologies can also be assembled around graphs from
+        other sources (deserialized matrices, test doubles, future
+        loaders); a bad ``c(u, v)`` table silently corrupts every cost
+        downstream, so it is rejected here with a named cause.
+        """
+        w = self.graph.weights
+        if np.isnan(w).any():
+            raise TopologyError(
+                f"topology {self.name!r}: edge-weight matrix contains NaN — "
+                "replace missing edges with inf, not NaN"
+            )
+        if (w < 0).any():
+            raise TopologyError(
+                f"topology {self.name!r}: edge weights must be non-negative "
+                "(the paper's c(u, v) is a metric; negative delays are "
+                "meaningless)"
+            )
+        if not np.array_equal(w, w.T):
+            u, v = np.argwhere(w != w.T)[0]
+            raise TopologyError(
+                f"topology {self.name!r}: edge-weight matrix is asymmetric at "
+                f"({u}, {v}): {w[u, v]} != {w[v, u]} — PPDC links are "
+                "undirected"
+            )
+
+    def _validate_switch_connectivity(self) -> None:
+        """Every switch must reach every other through the fabric.
+
+        Uses full-graph reachability (not the switch-induced subgraph:
+        server-centric fabrics like BCube legitimately relay switch-to-
+        switch traffic through hosts).  A disconnected switch layer makes
+        placement costs infinite and is almost always a builder bug; the
+        one legitimate producer — a fault-degraded view — opts out via
+        ``meta['allow_disconnected']`` (set by
+        :func:`repro.faults.degrade.degrade`).
+        """
+        if self.switches.size == 0:
+            return
+        start = int(self.switches[0])
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in self.graph.neighbors(node):
+                nbr = int(nbr)
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        unreachable = [int(s) for s in self.switches if int(s) not in seen]
+        if unreachable:
+            raise TopologyError(
+                f"topology {self.name!r}: switch layer is disconnected — "
+                f"switches {unreachable[:5]} cannot reach switch {start}; "
+                "fix the builder's link set, or pass "
+                "meta={'allow_disconnected': True} if a partitioned view is "
+                "intentional (fault-degraded topologies set this themselves)"
+            )
 
     # -- derived views --------------------------------------------------------
 
@@ -156,11 +221,25 @@ class Topology:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
 
-    def with_graph(self, graph: CostGraph, name: str | None = None) -> "Topology":
-        """Same structure over a reweighted graph (see ``topology.weights``)."""
+    def with_graph(
+        self,
+        graph: CostGraph,
+        name: str | None = None,
+        *,
+        allow_disconnected: bool = False,
+    ) -> "Topology":
+        """Same structure over a reweighted graph (see ``topology.weights``).
+
+        ``allow_disconnected=True`` marks the derived view as permitted
+        to have an unreachable switch layer (fault-degraded topologies);
+        the flag lands in public ``meta`` so it survives pickling to
+        worker processes.
+        """
         if graph.num_nodes != self.graph.num_nodes:
             raise TopologyError("replacement graph must have the same node count")
         public_meta = {k: v for k, v in self.meta.items() if not k.startswith("_")}
+        if allow_disconnected:
+            public_meta["allow_disconnected"] = True
         return Topology(
             name=name or self.name,
             graph=graph,

@@ -27,6 +27,15 @@ from repro.verify.campaign import (
     shrink_case,
 )
 from repro.verify.diff import assert_equivalent, check_differential, diff_results
+from repro.verify.faults import (
+    FAULT_FAMILIES,
+    FaultCampaignConfig,
+    FaultCaseSpec,
+    check_fault_day,
+    generate_fault_cases,
+    run_fault_campaign,
+    run_fault_case,
+)
 from repro.verify.invariants import (
     DEFAULT_RTOL,
     Violation,
@@ -106,4 +115,12 @@ __all__ = [
     "run_case",
     "shrink_case",
     "run_campaign",
+    # fault injection
+    "FAULT_FAMILIES",
+    "FaultCaseSpec",
+    "generate_fault_cases",
+    "check_fault_day",
+    "run_fault_case",
+    "FaultCampaignConfig",
+    "run_fault_campaign",
 ]

@@ -1,0 +1,130 @@
+"""Deadline-bounded solves: fallback chains and graceful degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError
+from repro.session import SolverSession
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture()
+def session(ft4):
+    return SolverSession(ft4)
+
+
+@pytest.fixture()
+def flows(ft4, small_scenario):
+    return small_scenario(ft4, 6, seed=7)
+
+
+class TestNoDeadlineIsIdentical:
+    def test_placement_bit_identical(self, session, flows):
+        plain = session.solve(flows, 3)
+        assert "deadline" not in plain.extra
+        assert "degraded" not in plain.extra
+
+    def test_generous_deadline_selects_requested(self, session, flows):
+        plain = session.solve(flows, 3)
+        bounded = session.solve(flows, 3, deadline=3600.0)
+        assert np.array_equal(bounded.placement, plain.placement)
+        assert bounded.cost == plain.cost
+        assert bounded.extra["degraded"] is False
+        assert bounded.extra["deadline"]["selected"] == "dp"
+        assert bounded.extra["deadline"]["requested"] == "dp"
+        assert bounded.extra["deadline"]["attempts"] == [
+            {"algo": "dp", "outcome": "completed"}
+        ]
+
+    def test_generous_deadline_migration(self, session, flows):
+        prev = session.solve(flows, 3).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        plain = session.solve(shifted, 3, prev=prev, mu=10.0)
+        bounded = session.solve(shifted, 3, prev=prev, mu=10.0, deadline=3600.0)
+        assert np.array_equal(bounded.placement, plain.placement)
+        assert bounded.extra["degraded"] is False
+        assert bounded.extra["deadline"]["selected"] == "mpareto"
+
+
+class TestExhaustedBudgetFallsBack:
+    def test_zero_deadline_placement_degrades_to_greedy(self, session, flows):
+        result = session.solve(flows, 3, deadline=0.0)
+        info = result.extra["deadline"]
+        assert result.extra["degraded"] is True
+        assert info["selected"] == "greedy"
+        assert info["attempts"] == [
+            {"algo": "dp", "outcome": "skipped"},
+            {"algo": "greedy", "outcome": "completed"},
+        ]
+        # the degraded result is still a valid placement
+        assert result.placement.size == 3
+
+    def test_zero_deadline_migration_degrades_to_stay_put(self, session, flows):
+        prev = session.solve(flows, 3).placement
+        result = session.solve(flows, 3, prev=prev, mu=10.0, deadline=0.0)
+        info = result.extra["deadline"]
+        assert result.extra["degraded"] is True
+        assert info["selected"] == "none"
+        assert np.array_equal(result.placement, prev)
+        assert result.migration_cost == 0.0
+
+    def test_final_stage_always_runs(self, session, flows):
+        # even with the budget spent before the first stage, solve()
+        # returns a result — a timeout is never surfaced to the caller
+        result = session.solve(flows, 3, deadline=0.0)
+        assert result is not None
+
+
+class TestBudgetExceededFallsThrough:
+    def test_exploding_requested_stage_falls_back(self, ft4, flows):
+        session = SolverSession(ft4)
+
+        def exploding(topology, fl, sfc, **options):
+            raise BudgetExceededError("search budget exhausted")
+
+        session._PLACERS = dict(SolverSession._PLACERS)
+        session._PLACERS["optimal"] = exploding
+        result = session.solve(flows, 3, algo="optimal", deadline=60.0)
+        info = result.extra["deadline"]
+        assert result.extra["degraded"] is True
+        assert info["requested"] == "optimal"
+        assert info["selected"] == "dp"
+        assert info["attempts"] == [
+            {"algo": "optimal", "outcome": "failed:BudgetExceededError"},
+            {"algo": "dp", "outcome": "completed"},
+        ]
+
+    def test_without_deadline_budget_error_propagates(self, ft4, flows):
+        session = SolverSession(ft4)
+
+        def exploding(topology, fl, sfc, **options):
+            raise BudgetExceededError("search budget exhausted")
+
+        session._PLACERS = dict(SolverSession._PLACERS)
+        session._PLACERS["optimal"] = exploding
+        with pytest.raises(BudgetExceededError):
+            session.solve(flows, 3, algo="optimal")
+
+    def test_solver_options_not_forwarded_to_fallbacks(self, ft4, flows):
+        # budget= is an optimal-only option; the dp fallback would crash
+        # on it, so the chain must strip it for non-requested stages
+        session = SolverSession(ft4)
+
+        def exploding(topology, fl, sfc, **options):
+            assert options.get("budget") == 123
+            raise BudgetExceededError("search budget exhausted")
+
+        session._PLACERS = dict(SolverSession._PLACERS)
+        session._PLACERS["optimal"] = exploding
+        result = session.solve(flows, 3, algo="optimal", deadline=60.0, budget=123)
+        assert result.extra["deadline"]["selected"] == "dp"
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", [-1.0, float("inf"), float("nan")])
+    def test_invalid_deadline_rejected(self, session, flows, bad):
+        with pytest.raises(ReproError, match="deadline"):
+            session.solve(flows, 3, deadline=bad)

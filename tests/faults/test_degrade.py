@@ -1,0 +1,103 @@
+"""Unit tests for degraded views and connectivity audits (repro.faults.degrade)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultState, degrade
+from repro.workload.flows import FlowSet
+
+pytestmark = pytest.mark.faults
+
+
+# fat_tree(2) layout: hosts 0, 1; edge switches 2, 3; aggregation 4, 5;
+# core 6; edges h0-s2, h1-s3, s2-s4, s3-s5, s4-s6, s5-s6.
+
+
+class TestDegradedView:
+    def test_healthy_state_is_identity(self, ft2):
+        view, audit = degrade(ft2, FaultState())
+        assert view.graph.num_nodes == ft2.graph.num_nodes
+        assert set(view.graph.edges) == set(ft2.graph.edges)
+        assert not audit.is_partitioned
+        assert audit.failed_switches.size == 0
+        assert list(audit.surviving_switches) == [int(s) for s in ft2.switches]
+        assert list(audit.surviving_hosts) == [int(h) for h in ft2.hosts]
+
+    def test_node_set_preserved_failed_nodes_isolated(self, ft2):
+        view, _ = degrade(ft2, FaultState(failed_switches=(4,)))
+        # index compatibility: same node count, same labels
+        assert view.graph.num_nodes == ft2.graph.num_nodes
+        assert view.graph.labels == ft2.graph.labels
+        assert all(4 not in (u, v) for u, v, _ in view.graph.edges)
+
+    def test_degraded_view_allows_disconnection_and_tags_meta(self, ft2):
+        view, _ = degrade(ft2, FaultState(failed_switches=(4,)))
+        assert view.meta["allow_disconnected"] is True
+        assert view.meta["faults"] == FaultState(failed_switches=(4,)).to_dict()
+        assert view.name.endswith("/degraded")
+
+    def test_degraded_distances_report_inf_for_cut_pairs(self, ft2):
+        # killing aggregation switch 4 cuts {0, 2} off from the rest
+        view, _ = degrade(ft2, FaultState(failed_switches=(4,)))
+        distances = view.graph.distances
+        assert np.isinf(distances[0, 1])
+        assert np.isinf(distances[2, 6])
+        assert np.isfinite(distances[0, 2])
+        assert np.isfinite(distances[1, 6])
+
+    def test_failed_link_removed_without_killing_nodes(self, ft2):
+        view, audit = degrade(ft2, FaultState(failed_links=((4, 6),)))
+        assert (4, 6, 1.0) not in view.graph.edges
+        assert audit.failed_switches.size == 0
+        # switch 4 (and edge switch 2, host 0) now only reach the rest
+        # via... nothing: 4's sole uplink is gone, so they are partitioned
+        assert audit.is_partitioned
+        assert 4 in audit.partitioned_switches.tolist()
+
+
+class TestConnectivityAudit:
+    def test_surviving_component_has_most_switches(self, ft2):
+        _, audit = degrade(ft2, FaultState(failed_switches=(4,)))
+        # live components: {0, 2} (one switch) vs {1, 3, 5, 6} (three)
+        assert audit.components[0] == (1, 3, 5, 6)
+        assert list(audit.surviving_switches) == [3, 5, 6]
+        assert list(audit.surviving_hosts) == [1]
+        assert list(audit.partitioned_switches) == [2]
+        assert list(audit.partitioned_hosts) == [0]
+        assert audit.is_partitioned
+        assert audit.num_live_switches == 3
+
+    def test_failed_hosts_recorded(self, ft2):
+        _, audit = degrade(ft2, FaultState(failed_hosts=(0,)))
+        assert list(audit.failed_hosts) == [0]
+        assert 0 not in audit.surviving_hosts.tolist()
+        assert not audit.is_partitioned
+
+    def test_audit_arrays_read_only(self, ft2):
+        _, audit = degrade(ft2, FaultState(failed_switches=(4,)))
+        with pytest.raises(ValueError):
+            audit.surviving_switches[0] = 99
+
+    def test_dropped_flow_mask(self, ft2):
+        _, audit = degrade(ft2, FaultState(failed_switches=(4,)))
+        # host 0 is partitioned: any flow touching it is dropped
+        flows = FlowSet(
+            sources=[0, 1, 0], destinations=[1, 1, 0], rates=[1.0, 2.0, 3.0]
+        )
+        mask = audit.dropped_flow_mask(flows)
+        assert mask.dtype == bool
+        assert mask.tolist() == [True, False, True]
+
+    def test_dropped_flow_mask_on_failed_host(self, ft2):
+        _, audit = degrade(ft2, FaultState(failed_hosts=(1,)))
+        flows = FlowSet(sources=[0, 1], destinations=[1, 0], rates=[1.0, 1.0])
+        assert audit.dropped_flow_mask(flows).tolist() == [True, True]
+
+    def test_to_dict_is_json_friendly(self, ft2):
+        import json
+
+        _, audit = degrade(ft2, FaultState(failed_switches=(4,), failed_hosts=(0,)))
+        payload = json.dumps(audit.to_dict(), sort_keys=True)
+        assert "surviving_switches" in payload

@@ -1,0 +1,174 @@
+"""Unit tests for the seeded fault process (repro.faults.process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultConfig, FaultProcess, FaultState
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultConfigValidation:
+    def test_defaults_are_valid(self):
+        config = FaultConfig()
+        assert config.switch_rate == 0.02
+        assert config.repair_probability == 0.25
+
+    @pytest.mark.parametrize("name", ["switch_rate", "host_rate", "link_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan"), float("inf")])
+    def test_rates_must_be_probabilities(self, name, bad):
+        with pytest.raises(FaultError, match="probability"):
+            FaultConfig(**{name: bad})
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_mean_repair_hours_positive_finite(self, bad):
+        with pytest.raises(FaultError, match="mean_repair_hours"):
+            FaultConfig(mean_repair_hours=bad)
+
+    def test_max_failed_switches_non_negative(self):
+        with pytest.raises(FaultError, match="max_failed_switches"):
+            FaultConfig(max_failed_switches=-1)
+        assert FaultConfig(max_failed_switches=0).max_failed_switches == 0
+
+    def test_repair_probability_capped_at_one(self):
+        assert FaultConfig(mean_repair_hours=0.5).repair_probability == 1.0
+
+    def test_to_dict_round_trips(self):
+        config = FaultConfig(switch_rate=0.1, max_failed_switches=2)
+        assert FaultConfig(**config.to_dict()) == config
+
+
+class TestFaultProcess:
+    def test_horizon_must_be_positive(self, ft2):
+        with pytest.raises(FaultError, match="horizon"):
+            FaultProcess(ft2, FaultConfig(), seed=0, horizon=0)
+
+    def test_hour_zero_is_always_healthy(self, ft2):
+        process = FaultProcess(
+            ft2, FaultConfig(switch_rate=1.0), seed=0, horizon=4
+        )
+        assert process.state_at(0).is_healthy
+        assert process.events_at(0) == ()
+
+    def test_negative_hour_rejected(self, ft2):
+        process = FaultProcess(ft2, FaultConfig(), seed=0, horizon=2)
+        with pytest.raises(FaultError, match="non-negative"):
+            process.state_at(-1)
+        with pytest.raises(FaultError, match="non-negative"):
+            process.events_at(-1)
+
+    def test_queries_clamp_beyond_horizon(self, ft2):
+        process = FaultProcess(
+            ft2, FaultConfig(switch_rate=0.5), seed=7, horizon=3
+        )
+        assert process.state_at(99) == process.state_at(3)
+        assert process.events_at(99) == process.events_at(3)
+
+    def test_zero_rates_stay_healthy(self, ft2):
+        process = FaultProcess(
+            ft2,
+            FaultConfig(switch_rate=0.0, host_rate=0.0, link_rate=0.0),
+            seed=3,
+            horizon=12,
+        )
+        for hour in range(13):
+            assert process.state_at(hour).is_healthy
+        assert process.trace() == ()
+
+    def test_same_seed_is_byte_identical(self, ft2):
+        make = lambda: FaultProcess(  # noqa: E731
+            ft2,
+            FaultConfig(switch_rate=0.3, host_rate=0.1, link_rate=0.05),
+            seed=11,
+            horizon=8,
+        )
+        a = json.dumps(make().to_dict(), sort_keys=True)
+        b = json.dumps(make().to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_different_seeds_diverge(self, ft2):
+        config = FaultConfig(switch_rate=0.5)
+        a = FaultProcess(ft2, config, seed=1, horizon=12)
+        b = FaultProcess(ft2, config, seed=2, horizon=12)
+        assert a.to_dict() != b.to_dict()
+
+    def test_max_failed_switches_cap_holds_every_hour(self, ft2):
+        process = FaultProcess(
+            ft2,
+            FaultConfig(
+                switch_rate=1.0, mean_repair_hours=100.0, max_failed_switches=2
+            ),
+            seed=5,
+            horizon=10,
+        )
+        for hour in range(11):
+            assert len(process.state_at(hour).failed_switches) <= 2
+
+    def test_certain_failure_fails_every_switch(self, ft2):
+        process = FaultProcess(
+            ft2,
+            FaultConfig(switch_rate=1.0, mean_repair_hours=1e9),
+            seed=0,
+            horizon=2,
+        )
+        assert process.state_at(1).failed_switches == tuple(
+            int(s) for s in ft2.switches
+        )
+
+    def test_repair_happens_before_failure_within_an_hour(self, ft2):
+        # certain failure + certain repair: every hour each switch is
+        # first repaired, then fails again — the state never goes healthy
+        # after hour 1, and every hour >= 2 carries repair AND fail events
+        process = FaultProcess(
+            ft2,
+            FaultConfig(switch_rate=1.0, mean_repair_hours=0.5),
+            seed=0,
+            horizon=4,
+        )
+        for hour in (2, 3, 4):
+            actions = [e.action for e in process.events_at(hour)]
+            assert "repair" in actions and "fail" in actions
+            # repairs for a switch precede its re-failure in the event list
+            first_fail = actions.index("fail")
+            assert "repair" not in actions[first_fail:]
+            assert not process.state_at(hour).is_healthy
+
+    def test_states_consistent_with_events(self, ft2):
+        process = FaultProcess(
+            ft2,
+            FaultConfig(switch_rate=0.4, host_rate=0.2, link_rate=0.1,
+                        mean_repair_hours=2.0),
+            seed=19,
+            horizon=12,
+        )
+        down = {"switch": set(), "host": set(), "link": set()}
+        for hour in range(1, 13):
+            for event in process.events_at(hour):
+                if event.action == "fail":
+                    assert event.target not in down[event.kind]
+                    down[event.kind].add(event.target)
+                else:
+                    assert event.target in down[event.kind]
+                    down[event.kind].discard(event.target)
+            state = process.state_at(hour)
+            assert set(state.failed_switches) == down["switch"]
+            assert set(state.failed_hosts) == down["host"]
+            assert set(state.failed_links) == down["link"]
+
+    def test_state_tuples_are_sorted(self, ft2):
+        process = FaultProcess(
+            ft2, FaultConfig(switch_rate=0.8), seed=2, horizon=6
+        )
+        for hour in range(7):
+            state = process.state_at(hour)
+            assert list(state.failed_switches) == sorted(state.failed_switches)
+
+    def test_fault_state_is_hashable(self):
+        a = FaultState(failed_switches=(2, 3))
+        b = FaultState(failed_switches=(2, 3))
+        assert a == b and hash(a) == hash(b)
+        assert not a.is_healthy

@@ -1,0 +1,95 @@
+"""Unit tests for forced evacuation plans (repro.faults.repair)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.faults import evacuate
+
+pytestmark = pytest.mark.faults
+
+
+def _distances(ft2):
+    return ft2.graph.distances
+
+
+class TestEvacuate:
+    def test_stay_put_when_all_allowed(self, ft2):
+        plan = evacuate([2, 3], np.array([2, 3, 4]), _distances(ft2))
+        assert plan.placement.tolist() == [2, 3]
+        assert plan.moves == ()
+        assert plan.num_moves == 0
+        assert plan.distance == 0.0
+
+    def test_moves_to_nearest_allowed_switch(self, ft2):
+        # VNF on dead switch 4; allowed {3, 5, 6}.  Healthy distances from
+        # 4: d(4,6)=1, d(4,5)=2, d(4,3)=3 — nearest free is 6.
+        plan = evacuate([4], np.array([3, 5, 6]), _distances(ft2))
+        assert plan.placement.tolist() == [6]
+        assert plan.moves == ((0, 4, 6),)
+        assert plan.distance == pytest.approx(
+            float(_distances(ft2)[4, 6])
+        )
+
+    def test_occupied_targets_are_skipped(self, ft2):
+        # both VNFs stranded on 2 and 4; allowed {5, 6}.  Chain order:
+        # VNF 0 (on 2) takes the nearer of {5, 6}; VNF 1 takes the rest.
+        distances = _distances(ft2)
+        plan = evacuate([2, 4], np.array([5, 6]), distances)
+        assert sorted(plan.placement.tolist()) == [5, 6]
+        assert len(plan.moves) == 2
+        assert len(set(p for _, _, p in plan.moves)) == 2
+        want = sum(distances[a, b] for _, a, b in plan.moves)
+        assert plan.distance == pytest.approx(float(want))
+
+    def test_surviving_occupants_block_their_switch(self, ft2):
+        # VNF 0 already sits on allowed switch 6 — the evacuee may not
+        # land there even if it is nearest
+        plan = evacuate([6, 4], np.array([5, 6]), _distances(ft2))
+        assert plan.placement.tolist() == [6, 5]
+        assert plan.moves == ((1, 4, 5),)
+
+    def test_tie_breaks_toward_smaller_switch_index(self, ft2):
+        # from switch 2 the healthy distances to 5 and 3 are both... use a
+        # uniform table instead to force an exact tie
+        uniform = np.ones_like(_distances(ft2))
+        plan = evacuate([2], np.array([6, 5, 3]), uniform)
+        assert plan.placement.tolist() == [3]
+
+    def test_distance_priced_on_given_table(self, ft2):
+        distances = _distances(ft2) * 10.0
+        plan = evacuate([4], np.array([6]), distances)
+        assert plan.distance == pytest.approx(float(distances[4, 6]))
+
+    def test_infeasible_when_too_few_switches(self, ft2):
+        with pytest.raises(InfeasibleError) as excinfo:
+            evacuate([2, 4, 5], np.array([6]), _distances(ft2))
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis["reason"] == "too_few_surviving_switches"
+        assert diagnosis["num_vnfs"] == 3
+        assert diagnosis["surviving_switches"] == [6]
+
+    def test_infeasible_diagnosis_merges_caller_context(self, ft2):
+        with pytest.raises(InfeasibleError) as excinfo:
+            evacuate(
+                [2, 4],
+                np.array([6]),
+                _distances(ft2),
+                diagnosis={"hour": 7},
+            )
+        assert excinfo.value.diagnosis["hour"] == 7
+        assert excinfo.value.diagnosis["reason"] == "too_few_surviving_switches"
+
+    def test_deterministic(self, ft2):
+        runs = [
+            evacuate([2, 4], np.array([3, 5, 6]), _distances(ft2)).to_dict()
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_plan_placement_read_only(self, ft2):
+        plan = evacuate([4], np.array([6]), _distances(ft2))
+        with pytest.raises(ValueError):
+            plan.placement[0] = 0

@@ -1,0 +1,88 @@
+"""Disconnected-graph behaviour: unreachable pairs are inf, paths fail loudly.
+
+The fault-degradation layer (:mod:`repro.faults.degrade`) produces
+disconnected graphs on purpose, so every all-pairs backend and path
+reconstruction must have well-defined semantics for unreachable pairs
+rather than garbage distances or silent empty paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import CostGraph
+from repro.graphs.floyd_warshall import floyd_warshall, floyd_warshall_matrix
+from repro.graphs.shortest_paths import (
+    all_pairs_shortest_paths,
+    bfs_distances,
+    dijkstra,
+    reconstruct_path,
+)
+
+
+def two_islands() -> CostGraph:
+    """Nodes {0,1} and {2,3} with no edge between the islands."""
+    return CostGraph(["a", "b", "c", "d"], [(0, 1, 1.0), (2, 3, 2.0)])
+
+
+class TestUnreachableDistances:
+    def test_dijkstra_reports_inf(self):
+        dist, pred = dijkstra(two_islands(), 0)
+        assert dist[1] == 1.0
+        assert np.isinf(dist[2]) and np.isinf(dist[3])
+        assert pred[2] == -1 and pred[3] == -1
+
+    def test_bfs_reports_inf(self):
+        dist, pred = bfs_distances(two_islands(), 2)
+        assert dist[3] == 1.0
+        assert np.isinf(dist[0]) and np.isinf(dist[1])
+        assert pred[0] == -1
+
+    def test_all_pairs_reference_reports_inf(self):
+        dist = all_pairs_shortest_paths(two_islands())
+        assert np.isinf(dist[0, 2]) and np.isinf(dist[3, 1])
+        assert dist[0, 1] == 1.0 and dist[2, 3] == 2.0
+
+    def test_cached_distances_report_inf(self):
+        g = two_islands()
+        assert np.isinf(g.distances[0, 3])
+        assert not g.is_connected()
+
+    def test_floyd_warshall_reports_inf(self):
+        g = two_islands()
+        dist = floyd_warshall(g)
+        assert np.isinf(dist[0, 2])
+        np.testing.assert_allclose(dist, g.distances)
+
+    def test_floyd_warshall_matrix_isolated_node(self):
+        w = np.full((3, 3), np.inf)
+        np.fill_diagonal(w, 0.0)
+        w[0, 1] = w[1, 0] = 4.0
+        dist = floyd_warshall_matrix(w)
+        assert dist[0, 1] == 4.0
+        assert np.isinf(dist[0, 2]) and np.isinf(dist[2, 1])
+
+    def test_backends_agree_on_disconnected(self):
+        g = two_islands()
+        np.testing.assert_allclose(all_pairs_shortest_paths(g), floyd_warshall(g))
+
+
+class TestPathReconstructionFailsLoudly:
+    def test_shortest_path_raises_on_unreachable(self):
+        with pytest.raises(GraphError, match="unreachable"):
+            two_islands().shortest_path(0, 3)
+
+    def test_reconstruct_path_raises_on_unreachable(self):
+        _, pred = dijkstra(two_islands(), 0)
+        with pytest.raises(GraphError, match="unreachable"):
+            reconstruct_path(pred, 0, 2)
+
+    def test_reachable_half_still_works(self):
+        g = two_islands()
+        assert g.shortest_path(2, 3) == [2, 3]
+        _, pred = dijkstra(g, 0)
+        assert reconstruct_path(pred, 0, 1) == [0, 1]
+
+    def test_diameter_raises_on_disconnected(self):
+        with pytest.raises(GraphError, match="disconnected"):
+            two_islands().diameter()

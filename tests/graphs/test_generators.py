@@ -1,6 +1,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import GraphError
 from repro.graphs.generators import random_cost_graph
 
 
@@ -28,3 +29,27 @@ class TestRandomCostGraph:
         rng = np.random.default_rng(5)
         g = random_cost_graph(rng, 8)
         assert g.num_nodes == 8
+
+
+class TestParameterValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(GraphError, match="num_nodes"):
+            random_cost_graph(0, 0)
+
+    def test_rejects_edge_prob_out_of_range(self):
+        with pytest.raises(GraphError, match="edge_prob"):
+            random_cost_graph(0, 5, edge_prob=1.5)
+        with pytest.raises(GraphError, match="edge_prob"):
+            random_cost_graph(0, 5, edge_prob=-0.1)
+
+    def test_rejects_non_finite_weight_bounds(self):
+        with pytest.raises(GraphError, match="finite"):
+            random_cost_graph(0, 5, weight_high=np.inf)
+        with pytest.raises(GraphError, match="finite"):
+            random_cost_graph(0, 5, weight_low=np.nan)
+
+    def test_rejects_inverted_or_negative_weight_bounds(self):
+        with pytest.raises(GraphError, match="weight_low"):
+            random_cost_graph(0, 5, weight_low=3.0, weight_high=1.0)
+        with pytest.raises(GraphError, match="weight_low"):
+            random_cost_graph(0, 5, weight_low=-1.0)

@@ -1,0 +1,227 @@
+"""Integration tests for the fault-aware day loop in repro.sim.engine."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.placement import dp_placement
+from repro.errors import FaultError, InfeasibleError
+from repro.faults import FaultConfig, FaultProcess, FaultState
+from repro.sim.engine import simulate_day
+from repro.sim.policies import MParetoPolicy, NoMigrationPolicy, PlanVmPolicy
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import ScaledRates
+
+pytestmark = pytest.mark.faults
+
+HOURS = 6
+
+
+class ScriptedFaults:
+    """Minimal FaultProcess stand-in with a hand-written state per hour."""
+
+    def __init__(self, states: dict[int, FaultState], horizon: int = HOURS):
+        self._states = states
+        self.seed = 0
+        self.horizon = horizon
+        self.config = FaultConfig()
+
+    def state_at(self, hour: int) -> FaultState:
+        return self._states.get(min(hour, self.horizon), FaultState())
+
+    def trace(self):
+        return ()
+
+
+@pytest.fixture()
+def setup(ft4, small_scenario):
+    flows = small_scenario(ft4, 8, seed=55)
+    placement = dp_placement(ft4, flows, 3).placement
+    rate_process = ScaledRates(
+        flows, DiurnalModel(num_hours=HOURS), np.zeros(flows.num_flows)
+    )
+    return flows, placement, rate_process
+
+
+def _run(ft4, setup, policy_cls, faults, *, mu=10.0):
+    flows, placement, rate_process = setup
+    policy = policy_cls(ft4, mu=mu)
+    return simulate_day(
+        ft4, flows, policy, rate_process, placement,
+        range(1, HOURS + 1), faults=faults,
+    )
+
+
+class TestZeroFaultEquivalence:
+    @pytest.mark.parametrize("policy_cls", [MParetoPolicy, NoMigrationPolicy])
+    def test_zero_rate_process_matches_classic_loop(self, ft4, setup, policy_cls):
+        flows, placement, rate_process = setup
+        quiet = FaultProcess(
+            ft4,
+            FaultConfig(switch_rate=0.0, host_rate=0.0, link_rate=0.0),
+            seed=0,
+            horizon=HOURS,
+        )
+        classic = simulate_day(
+            ft4, flows, policy_cls(ft4, mu=10.0), rate_process, placement,
+            range(1, HOURS + 1),
+        )
+        faulty = _run(ft4, setup, policy_cls, quiet)
+        assert [r.to_dict() for r in faulty.records] == [
+            r.to_dict() for r in classic.records
+        ]
+        assert faulty.total_repair_cost == 0.0
+        assert faulty.total_dropped_traffic == 0.0
+
+
+class TestForcedRepair:
+    def test_failure_evicts_placement_from_dead_switch(self, ft4, setup):
+        flows, placement, _ = setup
+        dead = int(placement[0])
+        faults = ScriptedFaults({
+            hour: FaultState(failed_switches=(dead,))
+            for hour in range(1, HOURS + 1)
+        })
+        day = _run(ft4, setup, NoMigrationPolicy, faults)
+        log = day.extra["fault_log"]
+        assert len(log) == HOURS
+        # the eviction happens once, at hour 1, and is priced mu * distance
+        first = log[0]
+        assert any(a == dead for _, a, _ in map(tuple, first["repairs"]))
+        assert day.records[0].num_repairs >= 1
+        assert day.records[0].repair_cost == pytest.approx(
+            10.0 * first["repair_distance"]
+        )
+        for entry in log:
+            assert dead not in entry["placement"]
+        # later hours see an already-clean placement: no further repairs
+        assert day.total_repairs == day.records[0].num_repairs
+
+    def test_placement_containment_every_hour(self, ft4, setup):
+        flows, placement, _ = setup
+        from repro.faults import degrade
+
+        dead = int(placement[0])
+        state = FaultState(failed_switches=(dead,))
+        faults = ScriptedFaults({h: state for h in range(1, HOURS + 1)})
+        day = _run(ft4, setup, MParetoPolicy, faults)
+        _, audit = degrade(ft4, state)
+        surviving = set(audit.surviving_switches.tolist())
+        for entry in day.extra["fault_log"]:
+            assert set(entry["placement"]) <= surviving
+
+    def test_repair_cost_scales_with_mu(self, ft4, setup):
+        flows, placement, _ = setup
+        dead = int(placement[0])
+        faults = ScriptedFaults({1: FaultState(failed_switches=(dead,))})
+        lo = _run(ft4, setup, NoMigrationPolicy, faults, mu=1.0)
+        hi = _run(ft4, setup, NoMigrationPolicy, faults, mu=7.0)
+        assert lo.records[0].repair_cost > 0
+        assert hi.records[0].repair_cost == pytest.approx(
+            7.0 * lo.records[0].repair_cost
+        )
+
+
+class TestDroppedTraffic:
+    def test_failed_host_drops_its_flows(self, ft4, setup):
+        flows, placement, rate_process = setup
+        victim = int(flows.sources[0])
+        state = FaultState(failed_hosts=(victim,))
+        faults = ScriptedFaults({h: state for h in range(1, HOURS + 1)})
+        day = _run(ft4, setup, MParetoPolicy, faults)
+        touches = (flows.sources == victim) | (flows.destinations == victim)
+        for hour, record in zip(range(1, HOURS + 1), day.records):
+            rates = rate_process.rates_at(hour)
+            assert record.dropped_traffic == pytest.approx(
+                float(rates[touches].sum())
+            )
+        assert day.total_dropped_traffic > 0
+
+    def test_all_hosts_down_short_circuits_the_hour(self, ft4, setup):
+        flows, placement, rate_process = setup
+        state = FaultState(failed_hosts=tuple(int(h) for h in ft4.hosts))
+        faults = ScriptedFaults({1: state})
+        day = _run(ft4, setup, MParetoPolicy, faults)
+        first = day.records[0]
+        assert first.communication_cost == 0.0
+        assert first.migration_cost == 0.0
+        assert first.dropped_traffic == pytest.approx(
+            float(rate_process.rates_at(1).sum())
+        )
+        # the day recovers at hour 2
+        assert day.records[1].communication_cost > 0.0
+
+
+class TestInfeasibility:
+    def test_too_few_surviving_switches_is_diagnosed(self, ft4, setup):
+        flows, placement, _ = setup
+        switches = [int(s) for s in ft4.switches]
+        # kill all but two switches: a 3-VNF chain cannot fit
+        state = FaultState(failed_switches=tuple(switches[:-2]))
+        faults = ScriptedFaults({3: state})
+        with pytest.raises(InfeasibleError) as excinfo:
+            _run(ft4, setup, MParetoPolicy, faults)
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis["reason"] == "too_few_surviving_switches"
+        assert diagnosis["hour"] == 3
+        assert diagnosis["num_vnfs"] == 3
+
+    def test_unsupported_policy_rejected_up_front(self, ft4, setup):
+        flows, placement, rate_process = setup
+        policy = PlanVmPolicy(ft4, mu=10.0)
+        quiet = ScriptedFaults({})
+        with pytest.raises(FaultError, match="does not support"):
+            simulate_day(
+                ft4, flows, policy, rate_process, placement,
+                range(1, HOURS + 1), faults=quiet,
+            )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy_cls", [MParetoPolicy, NoMigrationPolicy])
+    def test_same_seed_byte_identical_day(self, ft4, setup, policy_cls):
+        flows, placement, rate_process = setup
+        runs = []
+        for _ in range(2):
+            faults = FaultProcess(
+                ft4,
+                FaultConfig(switch_rate=0.15, mean_repair_hours=2.0),
+                seed=17,
+                horizon=HOURS,
+            )
+            day = simulate_day(
+                ft4, flows, policy_cls(ft4, mu=10.0), rate_process,
+                placement, range(1, HOURS + 1), faults=faults,
+            )
+            runs.append(json.dumps(day.to_dict(), sort_keys=True))
+        assert runs[0] == runs[1]
+
+    def test_fault_log_aligns_with_records(self, ft4, setup):
+        faults = FaultProcess(
+            ft4,
+            FaultConfig(switch_rate=0.15, mean_repair_hours=2.0),
+            seed=17,
+            horizon=HOURS,
+        )
+        day = _run(ft4, setup, MParetoPolicy, faults)
+        log = day.extra["fault_log"]
+        assert len(log) == len(day.records)
+        for record, entry in zip(day.records, log):
+            assert record.hour == entry["hour"]
+            assert record.num_repairs == len(entry["repairs"])
+
+    def test_drop_mask_is_policy_independent(self, ft4, setup):
+        make = lambda: FaultProcess(  # noqa: E731
+            ft4,
+            FaultConfig(switch_rate=0.2, host_rate=0.1, mean_repair_hours=2.0),
+            seed=29,
+            horizon=HOURS,
+        )
+        mp = _run(ft4, setup, MParetoPolicy, make())
+        stay = _run(ft4, setup, NoMigrationPolicy, make())
+        assert mp.hourly("dropped_traffic").tolist() == (
+            stay.hourly("dropped_traffic").tolist()
+        )

@@ -1,0 +1,144 @@
+"""Input hardening on :class:`Topology`: bad weight matrices and
+disconnected switch layers are rejected at construction with actionable
+errors, not discovered later as corrupted costs.
+
+``GraphBuilder`` cannot produce NaN/negative/asymmetric matrices, so
+those tests forge a :class:`CostGraph` around a hand-made matrix — the
+scenario the validation exists for (deserialized or doctored graphs).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.adjacency import CostGraph, GraphBuilder
+from repro.topology.base import Topology
+
+
+def forge_graph(base: CostGraph, weights: np.ndarray) -> CostGraph:
+    """A CostGraph whose weight matrix bypassed builder validation."""
+    g = object.__new__(CostGraph)
+    g.__dict__.update(base.__dict__)
+    g._weights = np.asarray(weights, dtype=np.float64)
+    return g
+
+
+def line_graph() -> CostGraph:
+    b = GraphBuilder()
+    b.add_nodes(["h1", "s1", "s2", "h2"])
+    b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3)
+    return b.build()
+
+
+def make_topology(graph: CostGraph, **kwargs) -> Topology:
+    return Topology(
+        name="forged",
+        graph=graph,
+        hosts=[0, 3],
+        switches=[1, 2],
+        host_edge_switch=[1, 2],
+        **kwargs,
+    )
+
+
+class TestWeightMatrixRejection:
+    def test_nan_rejected(self):
+        base = line_graph()
+        w = base.weights.copy()
+        w[0, 2] = w[2, 0] = np.nan
+        with pytest.raises(TopologyError, match="NaN"):
+            make_topology(forge_graph(base, w))
+
+    def test_negative_rejected(self):
+        base = line_graph()
+        w = base.weights.copy()
+        w[1, 2] = w[2, 1] = -1.0
+        with pytest.raises(TopologyError, match="non-negative"):
+            make_topology(forge_graph(base, w))
+
+    def test_asymmetric_rejected(self):
+        base = line_graph()
+        w = base.weights.copy()
+        w[1, 2] = 5.0  # leave w[2, 1] at the original weight
+        with pytest.raises(TopologyError, match="asymmetric"):
+            make_topology(forge_graph(base, w))
+
+    def test_valid_matrix_accepted(self):
+        topo = make_topology(line_graph())
+        assert topo.num_switches == 2
+
+
+class TestSwitchConnectivity:
+    def isolated_switch_graph(self) -> CostGraph:
+        b = GraphBuilder()
+        b.add_nodes(["h1", "h2", "s1", "s2"])
+        b.add_edge(0, 2).add_edge(1, 2)  # s2 has no links at all
+        return b.build()
+
+    def test_disconnected_switch_layer_rejected(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            Topology(
+                name="broken",
+                graph=self.isolated_switch_graph(),
+                hosts=[0, 1],
+                switches=[2, 3],
+                host_edge_switch=[2, 2],
+            )
+
+    def test_error_names_the_escape_hatch(self):
+        with pytest.raises(TopologyError, match="allow_disconnected"):
+            Topology(
+                name="broken",
+                graph=self.isolated_switch_graph(),
+                hosts=[0, 1],
+                switches=[2, 3],
+                host_edge_switch=[2, 2],
+            )
+
+    def test_allow_disconnected_opts_out(self):
+        topo = Topology(
+            name="degraded-view",
+            graph=self.isolated_switch_graph(),
+            hosts=[0, 1],
+            switches=[2, 3],
+            host_edge_switch=[2, 2],
+            meta={"allow_disconnected": True},
+        )
+        assert topo.num_switches == 2
+
+    def test_host_relay_counts_as_connected(self):
+        # server-centric fabrics (BCube) legitimately join switches only
+        # through hosts; full-graph reachability must accept that
+        b = GraphBuilder()
+        b.add_nodes(["s1", "h1", "s2"])
+        b.add_edge(0, 1).add_edge(1, 2)
+        topo = Topology(
+            name="relay",
+            graph=b.build(),
+            hosts=[1],
+            switches=[0, 2],
+            host_edge_switch=[0],
+        )
+        assert topo.num_switches == 2
+
+    def test_with_graph_allow_disconnected_survives_pickle(self):
+        topo = make_topology(line_graph())
+        # drop the s1-s2 link: switch layer splits
+        kept = [(u, v, w) for u, v, w in topo.graph.edges if (u, v) != (1, 2)]
+        degraded_graph = CostGraph(topo.graph.labels, kept)
+        view = topo.with_graph(
+            degraded_graph, name="forged/degraded", allow_disconnected=True
+        )
+        assert view.meta["allow_disconnected"] is True
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.meta["allow_disconnected"] is True
+        assert clone.num_switches == view.num_switches
+
+    def test_with_graph_still_validates_by_default(self):
+        topo = make_topology(line_graph())
+        kept = [(u, v, w) for u, v, w in topo.graph.edges if (u, v) != (1, 2)]
+        degraded_graph = CostGraph(topo.graph.labels, kept)
+        with pytest.raises(TopologyError, match="disconnected"):
+            topo.with_graph(degraded_graph, name="forged/degraded")
