@@ -1,0 +1,208 @@
+"""Benchmark: the incremental solver core on a fig12-shaped fault loop.
+
+Runs the same seeded survivability days twice — once through the cold
+path (every distinct fault state pays a from-scratch APSP + stroll
+build) and once through the incremental session path (delta-maintained
+:class:`~repro.graphs.incremental.DynamicAPSP` seeds every degraded
+view; content-identical stroll tables are adopted from the shared
+cache) — and reports
+
+* **bit-identity**: every ``DayResult`` must serialize to the same JSON
+  bytes on both paths (asserted, not just reported);
+* **solver effort**: ``apsp_computes`` / ``stroll_matrix_builds`` per
+  path, plus the incremental-only counters (seeded tables, row fix-ups,
+  full rebuilds, warm stroll hits);
+* **wall clock**: total loop time per path and the speedup.
+
+The JSON report (``--json``, default ``BENCH_incremental.json``) is
+persisted as a CI artifact by the verify-campaign workflow job.
+
+Usage::
+
+    python benchmarks/bench_incremental.py            # full: k=6, 3 days
+    python benchmarks/bench_incremental.py --smoke    # CI-sized
+    python benchmarks/bench_incremental.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.placement import dp_placement
+from repro.faults import FaultConfig, FaultProcess
+from repro.runtime.cache import ComputeCache, set_compute_cache
+from repro.runtime.instrument import snapshot, snapshot_delta
+from repro.sim.engine import simulate_day
+from repro.sim.policies import MParetoPolicy
+from repro.topology.fattree import fat_tree
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import RedrawnRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+EFFORT_COUNTERS = (
+    "apsp_computes",
+    "apsp_seeded",
+    "apsp_incremental_updates",
+    "apsp_rows_recomputed",
+    "apsp_full_rebuilds",
+    "stroll_matrix_builds",
+    "stroll_warm_hits",
+    "session_fault_views",
+    "session_rate_ticks",
+)
+
+
+def _build_days(k, num_pairs, n, horizon, seeds):
+    """fig12's point shape: one fabric, seeded fault days over redrawn rates."""
+    topology = fat_tree(k)
+    model = FacebookTrafficModel()
+    days = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        flows = place_vm_pairs(topology, num_pairs, seed=rng)
+        flows = flows.with_rates(model.sample(num_pairs, rng=rng))
+        rates = RedrawnRates(
+            flows, DiurnalModel(num_hours=horizon), np.zeros(flows.num_flows),
+            model, seed=seed,
+        )
+        faults = FaultProcess(
+            topology,
+            # sparse-fault regime: one or two element transitions per hour,
+            # so most deltas dirty only a handful of source rows and the
+            # row fix-up / leaf-patch paths (not the full-rebuild fallback)
+            # carry the loop — the regime the delta maintenance exists for.
+            # Denser mixes legitimately dirty most rows and degenerate to
+            # threshold rebuilds, which is correct but not interesting.
+            FaultConfig(switch_rate=0.005, link_rate=0.015, mean_repair_hours=3.0),
+            seed=seed,
+            horizon=horizon,
+        )
+        days.append((flows, rates, faults))
+    return topology, n, horizon, days
+
+
+def _run_path(topology, n, horizon, days, mu, *, incremental):
+    """One full pass over every day under a fresh cache; returns a record."""
+    previous = set_compute_cache(ComputeCache())
+    before = snapshot()
+    results = []
+    start = time.perf_counter()
+    try:
+        for flows, rates, faults in days:
+            placement = dp_placement(topology, flows, n).placement
+            day = simulate_day(
+                topology, flows, MParetoPolicy(topology, mu=mu), rates,
+                placement, range(1, horizon + 1), faults=faults,
+                incremental=incremental,
+            )
+            results.append(json.dumps(day.to_dict(), sort_keys=True))
+    finally:
+        elapsed = time.perf_counter() - start
+        set_compute_cache(previous)
+    delta = snapshot_delta(snapshot(), before)
+    counters = delta["counters"]
+    timers = {
+        name: total
+        for name, (total, _laps) in delta.get("timers", {}).items()
+        if name in ("apsp", "apsp_incremental")
+    }
+    return {
+        "seconds": elapsed,
+        "counters": {key: counters.get(key, 0) for key in EFFORT_COUNTERS},
+        "apsp_seconds": timers,
+    }, results
+
+
+def bench(k, num_pairs, n, horizon, num_days, mu, json_path, smoke):
+    topology, n, horizon, days = _build_days(
+        k, num_pairs, n, horizon, seeds=range(11, 11 + num_days)
+    )
+    print(
+        f"fig12-shaped loop: fat-tree(k={k}), l={num_pairs}, n={n}, "
+        f"{num_days} fault days x {horizon}h"
+    )
+    cold, cold_results = _run_path(
+        topology, n, horizon, days, mu, incremental=False
+    )
+    incremental, inc_results = _run_path(
+        topology, n, horizon, days, mu, incremental=True
+    )
+    assert inc_results == cold_results, (
+        "incremental DayResults diverged from the cold path"
+    )
+    print("bit-identity: incremental == cold on every DayResult  OK")
+
+    cold_apsp = cold["counters"]["apsp_computes"]
+    inc_apsp = incremental["counters"]["apsp_computes"]
+    assert inc_apsp < cold_apsp, (
+        f"incremental path must pay fewer cold APSP solves "
+        f"({inc_apsp} vs {cold_apsp})"
+    )
+    speedup = cold["seconds"] / incremental["seconds"] if incremental["seconds"] else 0.0
+    cold_apsp_s = sum(cold["apsp_seconds"].values())
+    inc_apsp_s = sum(incremental["apsp_seconds"].values())
+    apsp_speedup = cold_apsp_s / inc_apsp_s if inc_apsp_s else 0.0
+    for name, rec in (("cold", cold), ("incremental", incremental)):
+        c = rec["counters"]
+        print(
+            f"{name:12s}: {rec['seconds']:7.3f}s  apsp={c['apsp_computes']:4d} "
+            f"strolls={c['stroll_matrix_builds']:4d} seeded={c['apsp_seeded']:4d} "
+            f"rebuilds={c['apsp_full_rebuilds']:4d} warm={c['stroll_warm_hits']:4d}"
+        )
+    print(
+        f"speedup     : {speedup:5.2f}x wall  "
+        f"{apsp_speedup:5.2f}x apsp-kernel "
+        f"({1000 * cold_apsp_s:.1f}ms -> {1000 * inc_apsp_s:.1f}ms, "
+        f"solves {cold_apsp} -> {inc_apsp})"
+    )
+
+    report = {
+        "workload": {
+            "topology": f"fat_tree({k})",
+            "num_pairs": num_pairs,
+            "num_vnfs": n,
+            "horizon": horizon,
+            "num_days": num_days,
+            "mu": mu,
+            "smoke": smoke,
+        },
+        "cold": cold,
+        "incremental": incremental,
+        "bit_identical": True,
+        "speedup": speedup,
+        "apsp_kernel_speedup": apsp_speedup,
+        "apsp_reduction": {"cold": cold_apsp, "incremental": inc_apsp},
+    }
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {json_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--pairs", type=int, default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--horizon", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument("--mu", type=float, default=1e2)
+    parser.add_argument("--json", default="BENCH_incremental.json")
+    args = parser.parse_args(argv)
+    k = args.k or (4 if args.smoke else 6)
+    pairs = args.pairs or (6 if args.smoke else 24)
+    n = args.n or (2 if args.smoke else 3)
+    horizon = args.horizon or (6 if args.smoke else 12)
+    days = args.days or (2 if args.smoke else 3)
+    return bench(k, pairs, n, horizon, days, args.mu, args.json, args.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,9 @@ DEFAULT_VERIFY_JOURNAL = Path(".repro") / "verify_journal.jsonl"
 #: the fault-injection campaign likewise journals its own case specs
 DEFAULT_FAULTS_JOURNAL = Path(".repro") / "faults_journal.jsonl"
 
+#: and so does the incremental-vs-cold differential campaign
+DEFAULT_INCREMENTAL_JOURNAL = Path(".repro") / "incremental_journal.jsonl"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -188,6 +191,51 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default file: {DEFAULT_FAULTS_JOURNAL})"
         ),
     )
+
+    incremental = sub.add_parser(
+        "incremental",
+        help="run the incremental-vs-cold differential campaign",
+        description=(
+            "Seeded fault scenarios where the incremental solver core "
+            "(delta-maintained APSP, seeded degraded views, shared stroll "
+            "artifacts) is checked against the cold path as a differential "
+            "oracle: DynamicAPSP distances bit-identical to a cold recompute "
+            "after every fail/repair delta, the predecessor table a valid "
+            "shortest-path tree, simulated days byte-identical with strictly "
+            "fewer cold APSP solves on degraded traces.  Exits 1 on "
+            "violations."
+        ),
+    )
+    incremental.add_argument(
+        "--cases", type=int, default=200, metavar="N", help="scenarios to run"
+    )
+    incremental.add_argument("--seed", type=int, default=0, help="campaign seed")
+    incremental.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for case fan-out (default: 1, serial)",
+    )
+    incremental.add_argument(
+        "--json",
+        type=Path,
+        default=Path("incremental_report.json"),
+        metavar="PATH",
+        help="where to write the JSON report (default: incremental_report.json)",
+    )
+    incremental.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_INCREMENTAL_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal completed cases and skip them on re-run "
+            f"(default file: {DEFAULT_INCREMENTAL_JOURNAL})"
+        ),
+    )
     return parser
 
 
@@ -234,6 +282,25 @@ def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
             "do not ship precomputed per-topology artifacts (APSP, stroll "
             "matrices) to worker processes via shared memory; each worker "
             "re-derives them (results are identical either way)"
+        ),
+    )
+    sub.add_argument(
+        "--incremental",
+        dest="incremental",
+        action="store_true",
+        default=True,
+        help=(
+            "maintain solver artifacts incrementally across simulated hours "
+            "and fault events (default; results are bit-identical either way)"
+        ),
+    )
+    sub.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help=(
+            "rebuild every hour's APSP tables and degraded views from "
+            "scratch — the cold differential-oracle path"
         ),
     )
     sub.add_argument(
@@ -381,6 +448,46 @@ def _run_faults(args, out) -> int:
     return 1 if report["violations"] else 0
 
 
+def _run_incremental(args, out) -> int:
+    from repro.verify import IncrementalCampaignConfig, run_incremental_campaign
+
+    if args.resume is not None and Path(args.resume).exists():
+        print(f"resuming from {args.resume}", file=out)
+    start = time.perf_counter()
+    report = run_incremental_campaign(
+        IncrementalCampaignConfig(
+            cases=args.cases,
+            seed=args.seed,
+            workers=args.workers,
+            journal_path=args.resume,
+            report_path=args.json,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    hits = report["runtime"]["journal_hits"]
+    resumed = f", {hits} from journal" if hits else ""
+    outcomes = report["coverage"]["by_outcome"]
+    print(
+        f"{report['cases']} cases ({outcomes.get('completed', 0)} completed, "
+        f"{outcomes.get('infeasible', 0)} infeasible), "
+        f"{report['checks']} checks, "
+        f"{report['violations']} violations{resumed} "
+        f"[seed {args.seed}, {elapsed:.1f}s]",
+        file=out,
+    )
+    for failure in report["failures"]:
+        print(
+            f"  case {failure['case_id']} ({failure['policy']} on "
+            f"{failure['family']}): {len(failure['violations'])} violation(s); "
+            f"spec: {failure['spec']}",
+            file=out,
+        )
+        for violation in failure["violations"][:3]:
+            print(f"    [{violation['invariant']}] {violation['message']}", file=out)
+    print(f"wrote {args.json}", file=out)
+    return 1 if report["violations"] else 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "list":
         for name, description in list_experiments().items():
@@ -390,8 +497,14 @@ def _dispatch(args, out) -> int:
         return _run_verify(args, out)
     if args.command == "faults":
         return _run_faults(args, out)
+    if args.command == "incremental":
+        return _run_incremental(args, out)
     if getattr(args, "no_shared_artifacts", False):
         set_artifact_sharing(False)
+    if not getattr(args, "incremental", True):
+        from repro.sim.engine import set_incremental
+
+        set_incremental(False)
     journal = Journal(args.resume) if getattr(args, "resume", None) else None
     try:
         if args.command == "run":

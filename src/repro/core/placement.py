@@ -14,6 +14,8 @@ ingresses against it at once — ``O(n·|V|^3)`` overall.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro._compat import legacy_signature
@@ -191,12 +193,40 @@ def _stroll_matrix(
     — not on traffic rates — so it lives in the :class:`ComputeCache`
     keyed weakly by the topology: in the dynamic simulator Algorithm 3
     runs every hour and reuses the DP wholesale.
+
+    Beneath the per-topology key sits a *content-addressed* shared layer
+    keyed by a hash of the metric closure itself — the only input the DP
+    tables actually depend on besides ``(interior, mode, max_edges)``.
+    Two topologies with identical closures over the same candidate set
+    (e.g. a degraded view whose failures spared every switch-to-switch
+    shortest path, or hour *h* vs *h−1* of a fault episode that came and
+    went) therefore share one table — the warm start for the stroll DP.
+    Sharing is bit-identical by construction: the closure bytes *are* the
+    DP's input.
     """
     cache = cache if cache is not None else get_compute_cache()
     key = ("stroll_matrix", sw.tobytes(), interior, mode, max_edges)
-    return cache.get_or_compute(
-        topology, key, lambda: _build_stroll_matrix(topology, sw, interior, mode, max_edges)
-    )
+
+    def adopt() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        closure = metric_closure(topology.graph, sw)
+        shared_key = (
+            "stroll_matrix",
+            hashlib.sha256(closure.tobytes()).hexdigest(),
+            interior,
+            mode,
+            max_edges,
+        )
+        if cache.has_shared(shared_key, depends_on=("strolls",)):
+            count("stroll_warm_hits")
+        return cache.get_or_compute_shared(
+            shared_key,
+            lambda: _build_stroll_matrix(
+                topology, sw, interior, mode, max_edges, closure=closure
+            ),
+            depends_on=("strolls",),
+        )
+
+    return cache.get_or_compute(topology, key, adopt)
 
 
 def _stroll_engine(
@@ -216,12 +246,29 @@ def _stroll_engine(
     (candidate set, egress) is bit-identical to rebuilding it — and in
     repeated-query workloads the winner egress barely changes, making
     this the dominant per-call saving after the stroll matrix itself.
+
+    Like :func:`_stroll_matrix`, a content-addressed shared layer keyed
+    by the closure hash lets topology views with identical closures warm
+    each other's engines.
     """
     cache = cache if cache is not None else get_compute_cache()
     key = ("stroll_engine", sw.tobytes(), int(t_pos), mode, max_edges)
-    return cache.get_or_compute(
-        topology, key, lambda: StrollEngine(closure, t_pos, mode=mode, max_edges=max_edges)
-    )
+
+    def adopt() -> StrollEngine:
+        shared_key = (
+            "stroll_engine",
+            hashlib.sha256(closure.tobytes()).hexdigest(),
+            int(t_pos),
+            mode,
+            max_edges,
+        )
+        return cache.get_or_compute_shared(
+            shared_key,
+            lambda: StrollEngine(closure, t_pos, mode=mode, max_edges=max_edges),
+            depends_on=("strolls",),
+        )
+
+    return cache.get_or_compute(topology, key, adopt)
 
 
 def _build_stroll_matrix(
@@ -230,11 +277,13 @@ def _build_stroll_matrix(
     interior: int,
     mode: str,
     max_edges: int,
+    closure: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     num_sw = sw.size
     count("stroll_matrix_builds")
     with Timer.timed("stroll_matrix"):
-        closure = metric_closure(topology.graph, sw)
+        if closure is None:
+            closure = metric_closure(topology.graph, sw)
         b_cost = np.full((num_sw, num_sw), np.inf)
         b_edges = np.zeros((num_sw, num_sw), dtype=np.int64)
         for t in range(num_sw):

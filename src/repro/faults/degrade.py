@@ -141,7 +141,10 @@ def _live_components(
 
 
 def degrade(
-    topology: Topology, state: FaultState
+    topology: Topology,
+    state: FaultState,
+    *,
+    apsp_seed: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[Topology, ConnectivityAudit]:
     """Project ``state`` onto ``topology``: degraded view + audit.
 
@@ -151,6 +154,11 @@ def degrade(
     It is built with ``allow_disconnected=True`` — a degraded view is the
     one legitimate producer of a disconnected switch layer, which
     ``Topology.__post_init__`` otherwise rejects.
+
+    ``apsp_seed`` installs pre-maintained ``(dist, pred)`` tables on the
+    degraded graph (see :meth:`CostGraph.seed_apsp`) — the incremental
+    path hands over a :class:`~repro.graphs.incremental.DynamicAPSP`
+    snapshot here so the view never pays a cold APSP recompute.
     """
     dead = set(state.failed_switches) | set(state.failed_hosts)
     failed_links = set(state.failed_links)
@@ -160,6 +168,8 @@ def degrade(
         if u not in dead and v not in dead and (u, v) not in failed_links
     ]
     graph = CostGraph(topology.graph.labels, kept)
+    if apsp_seed is not None:
+        graph.seed_apsp(*apsp_seed)
     degraded = topology.with_graph(
         graph,
         name=f"{topology.name}/degraded",

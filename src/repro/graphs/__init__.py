@@ -7,6 +7,8 @@ operate on the metric closure (complete graph) derived from it.
 """
 
 from repro.graphs.adjacency import CostGraph, GraphBuilder
+from repro.graphs.apsp import APSP_METHODS, apsp
+from repro.graphs.incremental import DynamicAPSP, pairs_for_failures
 from repro.graphs.metric_closure import metric_closure, restrict_closure
 from repro.graphs.paths import (
     count_distinct_intermediates,
@@ -23,6 +25,10 @@ from repro.graphs.shortest_paths import (
 __all__ = [
     "CostGraph",
     "GraphBuilder",
+    "APSP_METHODS",
+    "apsp",
+    "DynamicAPSP",
+    "pairs_for_failures",
     "metric_closure",
     "restrict_closure",
     "all_pairs_shortest_paths",

@@ -13,10 +13,9 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
-from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
 from repro.errors import GraphError
+from repro.graphs.apsp import compute_tables
 from repro.runtime.cache import get_compute_cache
 from repro.runtime.instrument import count
 from repro.utils.timing import Timer
@@ -174,22 +173,44 @@ class CostGraph:
         return get_compute_cache().get_or_compute(self, "apsp", self._compute_apsp)
 
     def _compute_apsp(self) -> tuple[np.ndarray, np.ndarray]:
-        n = self.num_nodes
         count("apsp_computes")
         with Timer.timed("apsp"):
-            rows, cols, data = [], [], []
-            for u, v, w in self._edges:
-                # only the collapsed (minimum) weight participates
-                w_eff = self._weights[u, v]
-                rows.extend((u, v))
-                cols.extend((v, u))
-                data.extend((w_eff, w_eff))
-            sparse = csr_matrix((data, (rows, cols)), shape=(n, n))
-            dist, pred = _csgraph_shortest_path(
-                sparse, method="D", directed=False, return_predecessors=True
-            )
-            dist.setflags(write=False)
+            dist, pred = compute_tables(self)
         return dist, pred
+
+    def apsp(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ``(dist, pred)`` tables — the public APSP entry point.
+
+        ``dist[u, v]`` is the shortest-path cost and ``pred[u, v]`` the
+        predecessor of ``v`` on one shortest path from ``u`` (scipy's
+        ``-9999`` sentinel marks the source itself and unreachable
+        nodes).  See :mod:`repro.graphs.apsp` for the backend catalogue.
+        """
+        return self._apsp()
+
+    def seed_apsp(self, dist: np.ndarray, pred: np.ndarray) -> None:
+        """Install externally maintained APSP tables for this graph.
+
+        Used by the incremental solver core: a
+        :class:`~repro.graphs.incremental.DynamicAPSP` that has applied
+        this graph's edge deltas can seed the tables here, so
+        :attr:`distances` never pays a cold recompute.  The seeded
+        ``dist`` must be bit-identical to what :meth:`_compute_apsp`
+        would produce (the DynamicAPSP contract); ``pred`` must encode a
+        valid shortest-path tree for those distances.  A no-op if the
+        tables are already cached.
+        """
+        n = self.num_nodes
+        dist = np.asarray(dist, dtype=np.float64)
+        if dist.shape != (n, n):
+            raise GraphError(f"seeded dist has shape {dist.shape}, want {(n, n)}")
+        pred = np.asarray(pred)
+        if pred.shape != (n, n):
+            raise GraphError(f"seeded pred has shape {pred.shape}, want {(n, n)}")
+        dist.setflags(write=False)
+        pred.setflags(write=False)
+        count("apsp_seeded")
+        get_compute_cache().get_or_compute(self, "apsp", lambda: (dist, pred))
 
     @property
     def distances(self) -> np.ndarray:

@@ -1,0 +1,121 @@
+"""All-pairs shortest paths: the one entry point over three backends.
+
+The library historically had three APSP implementations with no single
+front door: :meth:`CostGraph._compute_apsp` (scipy Dijkstra, the
+production backend), :func:`repro.graphs.shortest_paths.
+all_pairs_shortest_paths` (pure-Python repeated Dijkstra, the readable
+reference) and :func:`repro.graphs.floyd_warshall.floyd_warshall` (a
+numpy min-plus implementation).  This module consolidates them:
+
+* :func:`apsp` is the documented entry point — ``method="dijkstra"``
+  (default) returns the production ``(dist, pred)`` tables through the
+  graph's compute cache; ``method="reference"`` re-derives distances
+  with the pure-Python Dijkstra; ``method="oracle"`` runs
+  Floyd–Warshall.  The latter two return ``pred=None``: they exist to
+  *check* the production tables, never to feed solvers.
+* :func:`edges_to_csr` / :func:`solve_csr` are the shared low-level
+  pieces: every scipy-backed computation in the library — the cold
+  :meth:`CostGraph._compute_apsp` and the delta fix-ups in
+  :class:`repro.graphs.incremental.DynamicAPSP` — builds its CSR matrix
+  and calls ``csgraph`` through these two functions, so their outputs
+  are bit-identical by construction (same matrix, same routine).
+
+Floyd–Warshall is deliberately *not* reachable from any production code
+path: it stays the independent verification oracle (different algorithm,
+different accumulation order), which is exactly what makes its
+cross-checks in :mod:`repro.verify` meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
+
+from repro.errors import GraphError
+
+__all__ = ["APSP_METHODS", "apsp", "edges_to_csr", "solve_csr", "compute_tables"]
+
+APSP_METHODS = ("dijkstra", "reference", "oracle")
+
+
+def edges_to_csr(
+    num_nodes: int,
+    edges,
+    collapsed_weights: np.ndarray,
+) -> csr_matrix:
+    """The canonical CSR construction shared by every scipy APSP call.
+
+    ``edges`` are ``(u, v, w)`` triples (``u < v``); each contributes two
+    symmetric entries carrying the *collapsed* pair weight
+    ``collapsed_weights[u, v]`` — exactly what
+    :meth:`CostGraph._compute_apsp` has always built, duplicate-summing
+    quirks included, so incremental recomputations see the identical
+    matrix a cold rebuild would.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for u, v, _w in edges:
+        # only the collapsed (minimum) weight participates
+        w_eff = collapsed_weights[u, v]
+        rows.extend((u, v))
+        cols.extend((v, u))
+        data.extend((w_eff, w_eff))
+    return csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+
+
+def solve_csr(
+    sparse: csr_matrix, *, indices: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dijkstra over a CSR matrix; ``indices`` restricts to those source rows.
+
+    scipy runs one independent single-source Dijkstra per requested
+    source, so the rows returned for ``indices=[s]`` are bit-identical
+    to rows ``s`` of the full ``indices=None`` solve — the property the
+    incremental fix-up in :class:`~repro.graphs.incremental.DynamicAPSP`
+    relies on (and that its test suite asserts).
+    """
+    return _csgraph_shortest_path(
+        sparse,
+        method="D",
+        directed=False,
+        return_predecessors=True,
+        indices=indices,
+    )
+
+
+def compute_tables(graph) -> tuple[np.ndarray, np.ndarray]:
+    """Cold ``(dist, pred)`` for a :class:`CostGraph`-like object.
+
+    This is the uncached production computation (``CostGraph._compute_
+    apsp`` delegates here); callers wanting the memoized tables should
+    use :func:`apsp` or :meth:`CostGraph.apsp` instead.
+    """
+    sparse = edges_to_csr(graph.num_nodes, graph.edges, graph.weights)
+    dist, pred = solve_csr(sparse)
+    dist.setflags(write=False)
+    return dist, pred
+
+
+def apsp(graph, *, method: str = "dijkstra") -> tuple[np.ndarray, np.ndarray | None]:
+    """The documented APSP entry point: ``(dist, pred)`` for ``graph``.
+
+    ``method="dijkstra"`` (default) returns the cached production tables
+    (predecessors included).  ``method="reference"`` recomputes distances
+    with the pure-Python repeated Dijkstra and ``method="oracle"`` with
+    Floyd–Warshall; both return ``(dist, None)`` and exist only for
+    cross-checking — the oracle in particular must stay independent of
+    the production backend to keep the verification campaign honest.
+    """
+    if method == "dijkstra":
+        return graph.apsp()
+    if method == "reference":
+        from repro.graphs.shortest_paths import all_pairs_shortest_paths
+
+        return all_pairs_shortest_paths(graph), None
+    if method == "oracle":
+        from repro.graphs.floyd_warshall import floyd_warshall
+
+        return floyd_warshall(graph), None
+    raise GraphError(f"unknown APSP method {method!r}; choose from {APSP_METHODS}")

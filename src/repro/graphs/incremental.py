@@ -1,0 +1,316 @@
+"""Delta-maintained all-pairs shortest paths (the incremental solver core).
+
+The dynamic setting changes only a few edges per hour — a switch dies,
+a link repairs — yet :func:`~repro.faults.degrade.degrade` historically
+paid a full scipy Dijkstra over every node pair for every distinct fault
+state.  :class:`DynamicAPSP` maintains the ``(dist, pred)`` tables under
+fail/repair **edge deltas** instead, Ramalingam–Reps style: identify the
+source rows whose shortest-path structure the delta can touch, and fix
+only those up with single-source recomputations.
+
+Bit-identity contract
+---------------------
+Distances are **bit-identical** to a cold
+:meth:`~repro.graphs.adjacency.CostGraph._compute_apsp` on the same
+surviving edge set.  Two facts make this exact rather than approximate:
+
+* *Row screening is lossless.*  Removing edge ``{u, v}`` can change row
+  ``s`` only if ``s``'s current shortest-path tree uses the edge
+  (``pred[s, u] == v`` or ``pred[s, v] == u``) — an unused edge only
+  deletes non-optimal paths, so every other row keeps its exact float
+  values.  Restoring ``{u, v}`` with effective weight ``w`` can change
+  row ``s`` only if ``dist[s, u] + w < dist[s, v]`` or the mirror test
+  holds: any path through the restored edge first reaches one endpoint,
+  and float addition of non-negative weights is monotone, so a path that
+  does not improve the endpoint cannot improve anything beyond it.
+* *Recomputed rows are the cold rows.*  Affected rows are re-solved by
+  scipy Dijkstra (``indices=rows``) over a CSR built by the same
+  :func:`~repro.graphs.apsp.edges_to_csr` a cold rebuild would use; each
+  source is an independent single-source run, so the returned rows are
+  byte-for-byte the cold result's rows.
+
+Predecessors of *unaffected* rows keep their previous tree.  That tree
+is still valid — none of its edges were removed and its distances are
+unchanged to the bit — but on ties it may differ from the tree a cold
+scipy run would pick (tie-breaking follows CSR layout).  Consumers that
+reconstruct paths therefore get *a* canonical shortest path, with
+``dist[s, pred[s, v]] + w == dist[s, v]`` holding exactly; consumers of
+distances (every cost in the paper) see bits indistinguishable from a
+cold rebuild.  The :mod:`repro.verify.incremental` campaign family and
+the hypothesis suite assert both properties after every step.
+
+When a delta dirties more than ``rebuild_threshold`` of the rows, the
+fix-up degenerates and a single full solve is cheaper — the fallback the
+issue calls the *dirty-fraction rebuild*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.adjacency import CostGraph
+from repro.graphs.apsp import edges_to_csr, solve_csr
+from repro.runtime.instrument import count
+from repro.utils.timing import Timer
+
+__all__ = ["DynamicAPSP", "pairs_for_failures"]
+
+#: default dirty-row fraction beyond which a full rebuild is cheaper
+DEFAULT_REBUILD_THRESHOLD = 0.5
+
+
+def _canonical_pairs(pairs: Iterable) -> frozenset[tuple[int, int]]:
+    out = set()
+    for u, v in pairs:
+        u, v = int(u), int(v)
+        out.add((u, v) if u < v else (v, u))
+    return frozenset(out)
+
+
+def pairs_for_failures(
+    graph: CostGraph,
+    *,
+    failed_nodes: Iterable[int] = (),
+    failed_links: Iterable[tuple[int, int]] = (),
+) -> frozenset[tuple[int, int]]:
+    """The edge pairs a fault state removes from ``graph``.
+
+    A failed node takes every incident edge down; failed links name
+    ``(u, v)`` pairs directly.  Links absent from the graph are ignored
+    (matching :func:`~repro.faults.degrade.degrade`'s kept-edge filter).
+    """
+    dead = {int(x) for x in failed_nodes}
+    links = _canonical_pairs(failed_links)
+    return frozenset(
+        (u, v)
+        for u, v, _w in graph.edges
+        if u in dead or v in dead or (u, v) in links
+    )
+
+
+class DynamicAPSP:
+    """APSP tables for one base graph, maintained under edge deltas.
+
+    The instance anchors on a healthy :class:`CostGraph` and tracks a
+    *removed pair set*; :meth:`update_to` transitions to any target set
+    by computing the fail/repair delta from the current one and fixing
+    up only the affected source rows (see the module docstring for the
+    soundness argument).  Tables for the current state are read through
+    :meth:`snapshot`.
+
+    Parameters
+    ----------
+    graph:
+        The healthy base graph.  Its cached tables seed the initial
+        state, so construction costs nothing when the graph's APSP has
+        already been computed.
+    rebuild_threshold:
+        Dirty-row fraction in ``(0, 1]`` beyond which the update runs
+        one full solve instead of per-row fix-ups.
+    """
+
+    def __init__(
+        self, graph: CostGraph, *, rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD
+    ) -> None:
+        if not (0.0 < rebuild_threshold <= 1.0):
+            raise GraphError(
+                f"rebuild_threshold must be in (0, 1], got {rebuild_threshold!r}"
+            )
+        self.graph = graph
+        self.rebuild_threshold = float(rebuild_threshold)
+        self._n = graph.num_nodes
+        self._base_edges = graph.edges
+        self._base_pairs = frozenset((u, v) for u, v, _w in graph.edges)
+        self._removed: frozenset[tuple[int, int]] = frozenset()
+        dist, pred = graph.apsp()
+        self._dist = np.array(dist, dtype=np.float64)
+        self._pred = np.array(pred)
+        #: per-instance effort accounting (process-wide counters also fire)
+        self.stats = {
+            "updates": 0,
+            "noop_updates": 0,
+            "rows_recomputed": 0,
+            "full_rebuilds": 0,
+            "leaf_patches": 0,
+        }
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def removed_pairs(self) -> frozenset[tuple[int, int]]:
+        """The edge pairs currently failed (canonical ``u < v`` order)."""
+        return self._removed
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only copies of the current ``(dist, pred)`` tables.
+
+        Copies, not views: the internal tables mutate on the next
+        :meth:`update_to`, while a snapshot seeded into a degraded
+        graph's cache must stay frozen with that view.
+        """
+        dist = self._dist.copy()
+        pred = self._pred.copy()
+        dist.setflags(write=False)
+        pred.setflags(write=False)
+        return dist, pred
+
+    # -- deltas --------------------------------------------------------------
+
+    def update_for_failures(
+        self,
+        *,
+        failed_nodes: Iterable[int] = (),
+        failed_links: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Transition to the state where exactly these failures are in force."""
+        self.update_to(
+            pairs_for_failures(
+                self.graph, failed_nodes=failed_nodes, failed_links=failed_links
+            )
+        )
+
+    def update_to(self, removed_pairs: Iterable[tuple[int, int]]) -> None:
+        """Apply the delta from the current removed set to ``removed_pairs``.
+
+        The target names *absolute* state (every pair that should be
+        down), not a relative delta — transitioning A→B→A restores the
+        healthy tables exactly.
+        """
+        target = _canonical_pairs(removed_pairs)
+        unknown = target - self._base_pairs
+        if unknown:
+            raise GraphError(
+                f"cannot remove edges absent from the base graph: "
+                f"{sorted(unknown)[:5]}"
+            )
+        if target == self._removed:
+            self.stats["noop_updates"] += 1
+            return
+        remove = target - self._removed
+        restore = self._removed - target
+        self._apply(remove, restore, target)
+
+    def _degrees(self, removed: frozenset[tuple[int, int]]) -> np.ndarray:
+        """Edge-triple degree of every node on the surviving edge set."""
+        deg = np.zeros(self._n, dtype=np.int64)
+        for u, v, _w in self._base_edges:
+            if (u, v) not in removed:
+                deg[u] += 1
+                deg[v] += 1
+        return deg
+
+    def _apply(
+        self,
+        remove: frozenset[tuple[int, int]],
+        restore: frozenset[tuple[int, int]],
+        target: frozenset[tuple[int, int]],
+    ) -> None:
+        n = self._n
+        count("apsp_incremental_updates")
+        self.stats["updates"] += 1
+        with Timer.timed("apsp_incremental"):
+            dist, pred = self._dist, self._pred
+            sentinel = int(pred[0, 0])  # scipy's self/unreachable marker
+            deg_prev = self._degrees(self._removed)
+            deg_target = self._degrees(target)
+
+            # Dying-node and leaf fast paths.  A node x whose *every*
+            # surviving edge this update removes (``deg_target[x] == 0``)
+            # only ever changes its own column and row — both become inf
+            # — so those are written directly instead of screened.  Rows
+            # that routed *through* x to a surviving node z are still
+            # caught: the removed edge {x, z} flags ``pred[s, z] == x``
+            # on z's (surviving) side; inductively, any broken tree path
+            # crosses such an edge before its first surviving node.  The
+            # mirror *attach* patch handles an isolated node v gaining
+            # its single edge {v, u}: a leaf is never an intermediate,
+            # so for every unaffected row the cold result is the
+            # one-addition patch ``dist[s, v] = dist[s, u] + w`` (the
+            # unique final hop), bit-identical by construction.  Host
+            # access links — the majority of edges on every fabric here
+            # — always hit these paths, which keeps host churn and the
+            # orphaned hosts of a switch failure from degrading every
+            # update to a full rebuild.
+            detach = sorted(
+                {x for pair in remove for x in pair if deg_target[x] == 0}
+            )
+            attach: list[tuple[int, int]] = []
+            screen_restore: list[tuple[int, int]] = []
+            for u, v in restore:
+                if deg_target[v] == 1 and deg_prev[v] == 0 and deg_target[u] > 1:
+                    attach.append((v, u))
+                elif deg_target[u] == 1 and deg_prev[u] == 0 and deg_target[v] > 1:
+                    attach.append((u, v))
+                else:
+                    screen_restore.append((u, v))
+
+            affected = np.zeros(n, dtype=bool)
+            # a removal touches row s iff s's tree routes through the edge
+            # into a *surviving* endpoint (dead endpoints are column writes)
+            for u, v in remove:
+                if deg_target[u] > 0:
+                    affected |= pred[:, u] == v
+                if deg_target[v] > 0:
+                    affected |= pred[:, v] == u
+            # the new CSR is needed for the fix-up anyway; building it first
+            # also yields the exact effective weights scipy will see for the
+            # restore screening (duplicate entries sum on CSR conversion)
+            kept = [e for e in self._base_edges if (e[0], e[1]) not in target]
+            sparse = edges_to_csr(n, kept, self.graph.weights)
+            for u, v in screen_restore:
+                w = float(sparse[u, v])
+                affected |= (dist[:, u] + w < dist[:, v]) | (
+                    dist[:, v] + w < dist[:, u]
+                )
+            # an attached leaf's own row needs a real single-source solve;
+            # a dying node's row is an all-inf write, never a solve
+            for v, _u in attach:
+                affected[v] = True
+            for x in detach:
+                affected[x] = False
+            rows = np.flatnonzero(affected)
+            if rows.size > self.rebuild_threshold * n:
+                # dirty fraction too high: one full solve beats n fix-ups
+                self.stats["full_rebuilds"] += 1
+                count("apsp_full_rebuilds")
+                full_dist, full_pred = solve_csr(sparse)
+                self._dist = np.asarray(full_dist, dtype=np.float64)
+                self._pred = np.asarray(full_pred)
+                self._removed = target
+                return
+            if rows.size:
+                self.stats["rows_recomputed"] += int(rows.size)
+                count("apsp_rows_recomputed", int(rows.size))
+                sub_dist, sub_pred = solve_csr(sparse, indices=rows)
+                dist[rows, :] = sub_dist
+                pred[rows, :] = sub_pred
+            # column patches for untouched rows (Dijkstra'd rows are
+            # already exact); detach writes run last so they clobber any
+            # stale values in rows about to become all-inf
+            others = ~affected
+            for v, u in attach:
+                self.stats["leaf_patches"] += 1
+                w = float(sparse[u, v])
+                reach = others & np.isfinite(dist[:, u])
+                dist[reach, v] = dist[reach, u] + w
+                pred[reach, v] = u
+                lost = others & ~reach
+                dist[lost, v] = np.inf
+                pred[lost, v] = sentinel
+            for x in detach:
+                self.stats["leaf_patches"] += 1
+                dist[:, x] = np.inf
+                pred[:, x] = sentinel
+                dist[x, :] = np.inf
+                pred[x, :] = sentinel
+                dist[x, x] = 0.0
+            self._removed = target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicAPSP(n={self._n}, removed={len(self._removed)}, "
+            f"updates={self.stats['updates']})"
+        )

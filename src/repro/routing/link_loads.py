@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import GraphError, ReproError
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
@@ -38,16 +38,29 @@ def link_loads(
 
     ``segments`` are ``(from_node, to_node, rate)`` triples; zero-rate and
     self segments contribute nothing.
+
+    Paths are reconstructed by walking the cached predecessor table once
+    per segment rather than materializing a node list per pair
+    (``graph.shortest_path`` re-derived the same walk and built a Python
+    list every call) — the table is the session-cached APSP artifact, so
+    at fig-scale flow counts this is one ``O(path length)`` walk per
+    segment with no per-pair solver work at all.
     """
     loads: dict[tuple[int, int], float] = {}
-    graph = topology.graph
+    dist, pred = topology.graph.apsp()
     for src, dst, rate in segments:
         if rate <= 0.0 or src == dst:
             continue
-        path = graph.shortest_path(int(src), int(dst))
-        for a, b in zip(path, path[1:]):
-            key = _edge_key(int(a), int(b))
-            loads[key] = loads.get(key, 0.0) + float(rate)
+        src, dst = int(src), int(dst)
+        if not np.isfinite(dist[src, dst]):
+            raise GraphError(f"node {dst} is unreachable from node {src}")
+        rate = float(rate)
+        node = dst
+        while node != src:
+            parent = int(pred[src, node])
+            key = _edge_key(parent, node)
+            loads[key] = loads.get(key, 0.0) + rate
+            node = parent
     return loads
 
 

@@ -17,6 +17,22 @@ spawned by :mod:`repro.runtime.executor` therefore warm their own caches
 independently and deterministically — cached and freshly-computed values
 are bit-identical by construction, since the cache only ever stores the
 result of a pure ``compute()`` call.
+
+Dependency versioning
+---------------------
+The incremental solver core adds a second axis: artifacts can *declare
+what they derive from* via named **epochs**.  ``depends_on=("strolls",)``
+stamps an entry's key with the current ``("strolls", epoch)`` pair, so
+one :meth:`bump` of the epoch orphans every stamped entry at once — no
+enumeration, no callbacks; the stale keys simply stop being asked for and
+age out through LRU.  :class:`~repro.session.SolverSession` uses this for
+``apply(events)`` / ``advance(rates)``: a fault hour bumps the epochs of
+the touched artifacts, a pure rate tick bumps nothing.
+
+A third axis is *shared* (owner-less) entries: content-addressed
+artifacts such as stroll tables keyed by a hash of their input closure,
+which any topology may adopt.  They live under an internal anchor owner
+so the same LRU bound and eviction machinery applies.
 """
 
 from __future__ import annotations
@@ -33,6 +49,12 @@ __all__ = ["ComputeCache", "get_compute_cache", "set_compute_cache"]
 DEFAULT_MAX_ENTRIES = 512
 
 _MISSING = object()
+
+
+class _SharedAnchor:
+    """Weak-referenceable stand-in owner for owner-less shared entries."""
+
+    __slots__ = ("__weakref__",)
 
 
 class ComputeCache:
@@ -54,6 +76,12 @@ class ComputeCache:
         #: LRU bookkeeping: (id(owner), key) -> weakref to the owner.  Dead
         #: refs are skipped (their entries are already gone from _store).
         self._recency: "OrderedDict[tuple[int, Hashable], weakref.ref]" = OrderedDict()
+        #: strongly-held owner for content-addressed shared entries; its
+        #: entries obey the same LRU bound as everyone else's
+        self._shared_anchor = _SharedAnchor()
+        #: named dependency epochs; monotonically increasing, never reset
+        #: (a cleared cache must not resurrect entries stamped pre-clear)
+        self._epochs: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -80,6 +108,69 @@ class ComputeCache:
         self._evict()
         return value
 
+    # -- dependency epochs ----------------------------------------------------
+
+    def epoch(self, name: str) -> int:
+        """Current epoch of dependency ``name`` (0 until first bump)."""
+        return self._epochs.get(name, 0)
+
+    def bump(self, name: str) -> int:
+        """Advance dependency ``name``'s epoch, orphaning stamped entries.
+
+        Every entry created with ``depends_on=(name, ...)`` was keyed
+        with the then-current epoch; after the bump those keys are never
+        generated again, so the stale entries age out through LRU while
+        fresh lookups recompute against the new epoch.  Returns the new
+        epoch value.
+        """
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+        return self._epochs[name]
+
+    def _stamp(self, key: Hashable, depends_on: tuple[str, ...]) -> Hashable:
+        if not depends_on:
+            return key
+        return (key, tuple((name, self.epoch(name)) for name in depends_on))
+
+    def get_or_compute_versioned(
+        self,
+        owner: Any,
+        key: Hashable,
+        compute: Callable[[], Any],
+        *,
+        depends_on: tuple[str, ...] = (),
+    ) -> Any:
+        """Like :meth:`get_or_compute`, with the key stamped by epochs.
+
+        ``depends_on`` names the dependency epochs this artifact derives
+        from; bumping any of them invalidates the entry.
+        """
+        return self.get_or_compute(owner, self._stamp(key, depends_on), compute)
+
+    # -- shared (owner-less) entries -----------------------------------------
+
+    def get_or_compute_shared(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        *,
+        depends_on: tuple[str, ...] = (),
+    ) -> Any:
+        """A content-addressed entry any caller may adopt.
+
+        ``key`` must encode *all* inputs of the computation (typically a
+        hash of the content it derives from); the entry is owned by the
+        cache itself, bounded by the usual LRU machinery, and optionally
+        stamped with dependency epochs.
+        """
+        return self.get_or_compute(
+            self._shared_anchor, self._stamp(key, depends_on), compute
+        )
+
+    def has_shared(self, key: Hashable, *, depends_on: tuple[str, ...] = ()) -> bool:
+        """Whether a shared entry for ``key`` is currently cached."""
+        entries = self._store.get(self._shared_anchor)
+        return entries is not None and self._stamp(key, depends_on) in entries
+
     def _evict(self) -> None:
         while len(self._recency) > self.max_entries:
             (owner_id, key), ref = self._recency.popitem(last=False)
@@ -101,7 +192,15 @@ class ComputeCache:
 
     @property
     def num_owners(self) -> int:
-        return len(self._store)
+        """External owners with live entries (the internal shared anchor
+        is bookkeeping, not an owner callers ever see)."""
+        return len(self._store) - (1 if self._shared_anchor in self._store else 0)
+
+    @property
+    def num_shared_entries(self) -> int:
+        """Live content-addressed shared entries (owner-less)."""
+        entries = self._store.get(self._shared_anchor)
+        return len(entries) if entries is not None else 0
 
     def owner_entries(self, owner: Any) -> int:
         """Number of live entries cached for ``owner``."""
@@ -123,7 +222,9 @@ class ComputeCache:
             "hit_rate": self.hit_rate,
             "entries": len(self),
             "owners": self.num_owners,
+            "shared_entries": self.num_shared_entries,
             "max_entries": self.max_entries,
+            "epochs": dict(self._epochs),
         }
 
     # -- maintenance --------------------------------------------------------

@@ -41,7 +41,33 @@ from repro.utils.timing import Timer
 from repro.workload.dynamics import RateProcess
 from repro.workload.flows import FlowSet
 
-__all__ = ["HourRecord", "DayResult", "simulate_day", "initial_placement"]
+__all__ = [
+    "HourRecord",
+    "DayResult",
+    "simulate_day",
+    "initial_placement",
+    "set_incremental",
+    "incremental_enabled",
+]
+
+#: process-wide default for the incremental solver path (fig11/fig12's
+#: ``--incremental/--no-incremental`` flag lands here); results are
+#: bit-identical either way — the cold path is kept as the differential
+#: oracle, see :mod:`repro.verify.incremental`
+_INCREMENTAL_ENABLED = True
+
+
+def set_incremental(enabled: bool) -> bool:
+    """Set the process-wide incremental-path default; returns the old value."""
+    global _INCREMENTAL_ENABLED
+    previous = _INCREMENTAL_ENABLED
+    _INCREMENTAL_ENABLED = bool(enabled)
+    return previous
+
+
+def incremental_enabled() -> bool:
+    """Whether ``simulate_day`` defaults to the incremental solver path."""
+    return _INCREMENTAL_ENABLED
 
 
 @dataclass(frozen=True)
@@ -163,6 +189,7 @@ def simulate_day(
     *,
     session=None,
     faults=None,
+    incremental: bool | None = None,
 ) -> DayResult:
     """Run ``policy`` through the given ``hours`` of the traffic process.
 
@@ -177,13 +204,25 @@ def simulate_day(
     docstring); it is deterministic given the fault process's seed —
     rerunning the same inputs reproduces a byte-identical
     :class:`DayResult`, including the per-hour fault log in ``extra``.
+
+    ``incremental`` selects the incremental solver path (``None`` reads
+    the :func:`set_incremental` process default, itself ``True``): fault
+    views come from :meth:`SolverSession.apply` — delta-maintained APSP
+    seeding, shared stroll artifacts, per-state memoization — and rate
+    ticks route through :meth:`SolverSession.advance`.  The cold path
+    (``incremental=False``) rebuilds every view from scratch and is kept
+    as the differential oracle; both paths produce bit-identical
+    :class:`DayResult`\\ s, a contract the ``verify.incremental``
+    campaign family enforces.
     """
     if hours is None:
         hours = range(1, rate_process.diurnal.num_hours + 1)
+    if incremental is None:
+        incremental = _INCREMENTAL_ENABLED
     if faults is not None:
         return _simulate_day_faulty(
             topology, flows, policy, rate_process, placement, hours,
-            session=session, faults=faults,
+            session=session, faults=faults, incremental=incremental,
         )
     with Timer.timed("simulate_day"):
         if session is not None:
@@ -192,6 +231,11 @@ def simulate_day(
         records = []
         for hour in hours:
             rates = rate_process.rates_at(hour)
+            if incremental and session is not None:
+                # a pure rate tick: nothing cached depends on rates, so
+                # this only bumps the session's rates epoch (observable
+                # proof that the hour invalidated no artifacts)
+                session.advance(rates)
             step = policy.step(rates)
             count("hours_simulated")
             records.append(
@@ -232,6 +276,7 @@ def _simulate_day_faulty(
     *,
     session,
     faults,
+    incremental,
 ) -> DayResult:
     from repro.faults.degrade import degrade
     from repro.faults.repair import evacuate
@@ -247,14 +292,21 @@ def _simulate_day_faulty(
     records: list[HourRecord] = []
     fault_log: list[dict] = []
     # one degraded view + session per distinct fault state; a healthy
-    # state reuses the caller's session (and topology) unchanged
+    # state reuses the caller's session (and topology) unchanged.  On
+    # the incremental path the base session derives (and memoizes) the
+    # views itself: delta-maintained APSP seeding instead of cold solves.
     views: dict = {}
+    base_session = session
+    if incremental and base_session is None:
+        base_session = SolverSession(topology)
     with Timer.timed("simulate_day_faulty"):
         policy.initialize(flows, current)
         for hour in hours:
             state = faults.state_at(hour)
             if state not in views:
-                if state.is_healthy:
+                if incremental:
+                    views[state] = base_session.apply(state)
+                elif state.is_healthy:
                     healthy_session = (
                         session if session is not None else SolverSession(topology)
                     )
@@ -263,6 +315,8 @@ def _simulate_day_faulty(
                     degraded, audit = degrade(topology, state)
                     views[state] = (degraded, audit, SolverSession(degraded))
             view, audit, view_session = views[state]
+            if incremental:
+                view_session.advance(rate_process.rates_at(hour))
 
             live_switches = (
                 audit.surviving_switches if audit is not None else topology.switches

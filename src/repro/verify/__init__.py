@@ -36,6 +36,14 @@ from repro.verify.faults import (
     run_fault_campaign,
     run_fault_case,
 )
+from repro.verify.incremental import (
+    IncrementalCampaignConfig,
+    check_dynamic_tables,
+    check_incremental_day,
+    generate_incremental_cases,
+    run_incremental_campaign,
+    run_incremental_case,
+)
 from repro.verify.invariants import (
     DEFAULT_RTOL,
     Violation,
@@ -123,4 +131,11 @@ __all__ = [
     "run_fault_case",
     "FaultCampaignConfig",
     "run_fault_campaign",
+    # incremental differential
+    "generate_incremental_cases",
+    "check_dynamic_tables",
+    "check_incremental_day",
+    "run_incremental_case",
+    "IncrementalCampaignConfig",
+    "run_incremental_campaign",
 ]

@@ -1,0 +1,118 @@
+"""SolverSession incremental surface: apply(events) / advance(rates).
+
+The invalidation contract (ISSUE 6): a fault hour invalidates the APSP
+tables and downstream stroll artifacts *of the touched view*; a pure
+rate tick invalidates nothing at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultState, degrade
+from repro.faults.process import FaultEvent
+from repro.session import SolverSession
+
+pytestmark = pytest.mark.faults
+
+
+class TestAdvance:
+    def test_rate_tick_invalidates_nothing(self, ft4, small_workload):
+        flows = small_workload
+        session = SolverSession(ft4)
+        first = session.place(flows, 3)
+        entries_before = len(session.cache)
+        misses_before = session.cache.misses
+        session.advance(flows.rates * 2.0)
+        again = session.place(flows, 3)
+        # every cached artifact survived the tick: no new misses, no new entries
+        assert session.cache.misses == misses_before
+        assert len(session.cache) == entries_before
+        assert np.array_equal(again.placement, first.placement)
+
+    def test_advance_bumps_rates_epoch_and_chains(self, ft4):
+        session = SolverSession(ft4)
+        assert session.epochs["rates"] == 0
+        assert session.advance() is session
+        assert session.advance() is session
+        assert session.epochs["rates"] == 2
+        assert session.epochs["topology"] == 0
+
+
+class TestApply:
+    def test_healthy_state_is_identity(self, ft4):
+        session = SolverSession(ft4)
+        topo, audit, view_session = session.apply(FaultState())
+        assert topo is ft4
+        assert audit is None
+        assert view_session is session
+        assert session.epochs["topology"] == 0
+
+    def test_degraded_view_matches_cold_degrade_bits(self, ft4):
+        state = FaultState(failed_switches=(int(ft4.switches[0]),))
+        session = SolverSession(ft4)
+        topo, audit, view_session = session.apply(state)
+        assert view_session is not session
+        assert view_session.cache is session.cache
+        cold_view, cold_audit = degrade(ft4, state)
+        dist, _ = topo.graph.apsp()
+        cold_dist, _ = cold_view.graph.apsp()
+        assert np.array_equal(dist, cold_dist)
+        assert audit.is_partitioned == cold_audit.is_partitioned
+        assert session.epochs["topology"] == 1
+
+    def test_views_are_memoized_per_state(self, ft4):
+        state = FaultState(failed_switches=(int(ft4.switches[1]),))
+        session = SolverSession(ft4)
+        first = session.apply(state)
+        healthy = session.apply(FaultState())
+        second = session.apply(state)
+        assert first[0] is second[0]
+        assert first[2] is second[2]
+        assert healthy[2] is session
+        # the revisit cost nothing: the topology epoch moved once, not twice
+        assert session.epochs["topology"] == 1
+
+    def test_event_deltas_fold_over_applied_state(self, ft4):
+        s0, s1 = int(ft4.switches[0]), int(ft4.switches[1])
+        session = SolverSession(ft4)
+        topo1, _, _ = session.apply([FaultEvent(1, "switch", "fail", s0)])
+        assert session._applied_state == FaultState(failed_switches=(s0,))
+        session.apply([FaultEvent(2, "switch", "fail", s1)])
+        assert session._applied_state == FaultState(failed_switches=(s0, s1))
+        topo3, audit3, sess3 = session.apply([
+            FaultEvent(3, "switch", "repair", s1),
+            FaultEvent(3, "switch", "repair", s0),
+        ])
+        assert topo3 is ft4
+        assert audit3 is None
+        assert sess3 is session
+
+    def test_event_state_equals_absolute_state_view(self, ft4):
+        s0 = int(ft4.switches[0])
+        session = SolverSession(ft4)
+        by_event = session.apply([FaultEvent(1, "switch", "fail", s0)])
+        by_state = session.apply(FaultState(failed_switches=(s0,)))
+        assert by_event[0] is by_state[0]
+
+    def test_unknown_kind_and_action_rejected(self, ft4):
+        session = SolverSession(ft4)
+        with pytest.raises(ReproError):
+            session.apply([FaultEvent(1, "router", "fail", 0)])
+        with pytest.raises(ReproError):
+            session.apply([FaultEvent(1, "switch", "flap", 0)])
+        with pytest.raises(ReproError):
+            session.apply(["not-an-event"])
+
+    def test_link_failure_round_trip(self, ft4):
+        u, v, _w = ft4.graph.edges[len(ft4.graph.edges) // 2]
+        link = (u, v) if u < v else (v, u)
+        state = FaultState(failed_links=(link,))
+        session = SolverSession(ft4)
+        topo, _, _ = session.apply(state)
+        cold_view, _ = degrade(ft4, state)
+        assert np.array_equal(topo.graph.apsp()[0], cold_view.graph.apsp()[0])
+        healthy_topo, _, _ = session.apply(FaultState())
+        assert healthy_topo is ft4

@@ -1,0 +1,234 @@
+"""Unit + hypothesis suite for delta-maintained APSP (repro.graphs.incremental).
+
+The contract under test (module docstring of :mod:`repro.graphs.incremental`):
+after *any* sequence of fail/repair deltas, distances are bit-identical to a
+cold recompute on the surviving edge set, and the predecessor table is a valid
+shortest-path tree for those exact distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import CostGraph, DynamicAPSP, pairs_for_failures
+from repro.graphs.apsp import edges_to_csr
+from repro.topology.fattree import fat_tree
+from repro.topology.jellyfish import jellyfish
+from repro.topology.leafspine import leaf_spine
+from repro.topology.linear import linear_ppdc
+
+
+def _cold_tables(base: CostGraph, removed: frozenset) -> tuple[np.ndarray, np.ndarray]:
+    """The oracle: a from-scratch solve on the surviving edge set."""
+    kept = [e for e in base.edges if (e[0], e[1]) not in removed]
+    view = CostGraph(base.labels, kept)
+    return view._compute_apsp()
+
+
+def _effective_weights(graph: CostGraph, removed: frozenset) -> np.ndarray:
+    kept = [e for e in graph.edges if (e[0], e[1]) not in removed]
+    dense = np.asarray(
+        edges_to_csr(graph.num_nodes, kept, graph.weights).todense(), dtype=np.float64
+    )
+    dense[dense == 0.0] = np.inf
+    np.fill_diagonal(dense, 0.0)
+    return dense
+
+
+def _assert_pred_tree(dist, pred, weights):
+    """pred must reconstruct paths achieving exactly these distances."""
+    n = dist.shape[0]
+    off = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(dist) & off
+    rows, cols = np.nonzero(finite)
+    parents = pred[rows, cols]
+    assert np.all(parents >= 0)
+    assert np.array_equal(
+        dist[rows, cols], dist[rows, parents] + weights[parents, cols]
+    )
+    # unreachable/self entries carry scipy's negative sentinel
+    assert np.all(pred[~finite & off] < 0)
+
+
+def _assert_matches_cold(dyn: DynamicAPSP, base: CostGraph):
+    dist, pred = dyn.snapshot()
+    cold_dist, _cold_pred = _cold_tables(base, dyn.removed_pairs)
+    assert np.array_equal(dist, cold_dist), "distances diverged from cold recompute"
+    _assert_pred_tree(dist, pred, _effective_weights(base, dyn.removed_pairs))
+
+
+TOPOLOGY_BUILDERS = (
+    lambda: fat_tree(4),
+    lambda: leaf_spine(3, 2, 3),
+    lambda: linear_ppdc(6),
+    lambda: jellyfish(8, 3, 1),
+)
+
+
+class TestDynamicAPSPRandomSequences:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        topo_idx=st.integers(0, len(TOPOLOGY_BUILDERS) - 1),
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 8),
+    )
+    def test_matches_cold_after_every_step(self, topo_idx, seed, steps):
+        """Random walks over removed-pair sets stay bit-identical to cold."""
+        graph = TOPOLOGY_BUILDERS[topo_idx]().graph
+        pairs = sorted((u, v) for u, v, _w in graph.edges)
+        rng = np.random.default_rng(seed)
+        dyn = DynamicAPSP(graph)
+        for _ in range(steps):
+            size = int(rng.integers(0, max(1, len(pairs) // 3) + 1))
+            idx = rng.choice(len(pairs), size=size, replace=False)
+            dyn.update_to(frozenset(pairs[i] for i in idx))
+            _assert_matches_cold(dyn, graph)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_fail_then_repair_restores_healthy_bits(self, seed):
+        """A→B→A returns the healthy tables exactly (dist AND pred)."""
+        graph = fat_tree(4).graph
+        healthy_dist, healthy_pred = graph.apsp()
+        pairs = sorted((u, v) for u, v, _w in graph.edges)
+        rng = np.random.default_rng(seed)
+        dyn = DynamicAPSP(graph)
+        idx = rng.choice(len(pairs), size=3, replace=False)
+        dyn.update_to(frozenset(pairs[i] for i in idx))
+        dyn.update_to(frozenset())
+        dist, pred = dyn.snapshot()
+        assert np.array_equal(dist, healthy_dist)
+        _assert_pred_tree(dist, pred, _effective_weights(graph, frozenset()))
+
+
+class TestDynamicAPSPEdgeCases:
+    def test_disconnection_goes_inf_and_repair_reconnects(self):
+        # linear(6): a path graph, cutting any interior edge partitions it
+        topo = linear_ppdc(6)
+        graph = topo.graph
+        edges = sorted((u, v) for u, v, _w in graph.edges)
+        cut = edges[len(edges) // 2]
+        dyn = DynamicAPSP(graph)
+        dyn.update_to({cut})
+        dist, _ = dyn.snapshot()
+        assert np.isinf(dist[cut[0], cut[1]])
+        _assert_matches_cold(dyn, graph)
+        dyn.update_to(frozenset())
+        dist, _ = dyn.snapshot()
+        assert np.all(np.isfinite(dist))
+        assert np.array_equal(dist, graph.apsp()[0])
+
+    def test_node_failure_via_pairs_for_failures(self, ft4):
+        graph = ft4.graph
+        dead = int(ft4.switches[0])
+        removed = pairs_for_failures(graph, failed_nodes=[dead])
+        assert removed and all(dead in pair for pair in removed)
+        dyn = DynamicAPSP(graph)
+        dyn.update_for_failures(failed_nodes=[dead])
+        assert dyn.removed_pairs == removed
+        dist, _ = dyn.snapshot()
+        others = [i for i in range(graph.num_nodes) if i != dead]
+        assert np.all(np.isinf(dist[dead, others]))
+        _assert_matches_cold(dyn, graph)
+
+    def test_absent_failed_link_is_ignored(self, ft4):
+        # degrade()'s kept-filter semantics: naming a non-edge is a no-op
+        assert pairs_for_failures(ft4.graph, failed_links=[(0, 99_999)]) == frozenset()
+
+    def test_unknown_removed_pair_rejected(self, ft4):
+        dyn = DynamicAPSP(ft4.graph)
+        with pytest.raises(GraphError):
+            dyn.update_to({(0, 99_999)})
+
+    def test_noop_update_costs_nothing(self, ft4):
+        dyn = DynamicAPSP(ft4.graph)
+        dyn.update_to(frozenset())
+        assert dyn.stats["updates"] == 0
+        assert dyn.stats["noop_updates"] == 1
+
+    def test_snapshot_is_frozen_copy(self, ft4):
+        dyn = DynamicAPSP(ft4.graph)
+        dist, pred = dyn.snapshot()
+        with pytest.raises(ValueError):
+            dist[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            pred[0, 0] = 1
+
+    def test_invalid_rebuild_threshold_rejected(self, ft4):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(GraphError):
+                DynamicAPSP(ft4.graph, rebuild_threshold=bad)
+
+
+class TestRebuildThreshold:
+    def test_low_threshold_forces_full_rebuilds(self, ft4):
+        graph = ft4.graph
+        core = int(ft4.switches[-1])
+        dyn = DynamicAPSP(graph, rebuild_threshold=1e-9)
+        dyn.update_for_failures(failed_nodes=[core])
+        assert dyn.stats["full_rebuilds"] == 1
+        assert dyn.stats["rows_recomputed"] == 0
+        _assert_matches_cold(dyn, graph)
+
+    def test_high_threshold_keeps_row_fixups(self, ft4):
+        # an interior switch-switch edge: real row fix-ups, no leaf patch
+        graph = ft4.graph
+        switches = set(int(s) for s in ft4.switches)
+        edge = next(
+            (u, v)
+            for u, v, _w in sorted(graph.edges)
+            if u in switches and v in switches
+        )
+        dyn = DynamicAPSP(graph, rebuild_threshold=1.0)
+        dyn.update_to({edge})
+        assert dyn.stats["full_rebuilds"] == 0
+        assert dyn.stats["rows_recomputed"] > 0
+        _assert_matches_cold(dyn, graph)
+
+    def test_leaf_detach_and_attach_are_column_patches(self, ft4):
+        # a host access link: detaching and re-attaching the leaf must
+        # never run a Dijkstra fix-up or a rebuild, just column writes
+        graph = ft4.graph
+        host = int(ft4.hosts[0])
+        edge = next(
+            (u, v) for u, v, _w in sorted(graph.edges) if host in (u, v)
+        )
+        dyn = DynamicAPSP(graph)
+        dyn.update_to({edge})
+        assert dyn.stats["leaf_patches"] == 1
+        assert dyn.stats["full_rebuilds"] == 0
+        dist, _ = dyn.snapshot()
+        others = [i for i in range(graph.num_nodes) if i != host]
+        assert np.all(np.isinf(dist[host, others]))
+        assert np.all(np.isinf(dist[others, host]))
+        _assert_matches_cold(dyn, graph)
+        dyn.update_to(frozenset())
+        # re-attach: one leaf patch plus the leaf's own single-row solve
+        assert dyn.stats["leaf_patches"] == 2
+        assert dyn.stats["full_rebuilds"] == 0
+        assert dyn.stats["rows_recomputed"] == 1
+        assert np.array_equal(dyn.snapshot()[0], graph.apsp()[0])
+        _assert_matches_cold(dyn, graph)
+
+    def test_switch_failure_orphans_hosts_without_rebuild(self, ft4):
+        # killing an edge switch isolates its hosts; the hosts go through
+        # the detach patch, so only the switch-switch removals screen rows
+        graph = ft4.graph
+        edge_switch = int(ft4.switches[0])
+        dyn = DynamicAPSP(graph)
+        dyn.update_for_failures(failed_nodes=[edge_switch])
+        assert dyn.stats["leaf_patches"] >= 1
+        _assert_matches_cold(dyn, graph)
+
+    def test_both_threshold_regimes_agree(self, ft4):
+        graph = ft4.graph
+        target = pairs_for_failures(graph, failed_nodes=[int(ft4.switches[2])])
+        eager = DynamicAPSP(graph, rebuild_threshold=1e-9)
+        lazy = DynamicAPSP(graph, rebuild_threshold=1.0)
+        for dyn in (eager, lazy):
+            dyn.update_to(target)
+        assert np.array_equal(eager.snapshot()[0], lazy.snapshot()[0])

@@ -91,3 +91,48 @@ class TestUtilizationReport:
     def test_bad_target(self, ft4, workload):
         with pytest.raises(ReproError):
             utilization_report(ft4, workload, ft4.switches[:2], target_utilization=0.0)
+
+
+class TestPredecessorWalk:
+    """link_loads now walks the cached APSP predecessor table directly."""
+
+    def test_matches_shortest_path_reconstruction(self, ft4):
+        rng = np.random.default_rng(17)
+        nodes = ft4.graph.num_nodes
+        segments = []
+        for _ in range(20):
+            u, v = rng.choice(nodes, size=2, replace=False)
+            segments.append((int(u), int(v), float(rng.uniform(0.5, 3.0))))
+        got = link_loads(ft4, segments)
+        want: dict[tuple[int, int], float] = {}
+        for src, dst, rate in segments:
+            path = ft4.graph.shortest_path(src, dst)
+            for a, b in zip(path, path[1:]):
+                key = (a, b) if a < b else (b, a)
+                want[key] = want.get(key, 0.0) + rate
+        assert set(got) == set(want)
+        for key in want:
+            assert got[key] == pytest.approx(want[key])
+
+    def test_unreachable_segment_raises_graph_error(self, ft4):
+        from repro.errors import GraphError
+        from repro.faults import FaultState, degrade
+
+        # killing aggregation uplinks partitions pod 0 from the core
+        view, audit = degrade(
+            ft4, FaultState(failed_switches=tuple(int(s) for s in ft4.switches[:4]))
+        )
+        assert audit.is_partitioned
+        dist = view.graph.distances
+        src, dst = -1, -1
+        n = view.graph.num_nodes
+        for a in range(n):
+            for b in range(n):
+                if a != b and not np.isfinite(dist[a, b]):
+                    src, dst = a, b
+                    break
+            if src >= 0:
+                break
+        assert src >= 0
+        with pytest.raises(GraphError, match="unreachable"):
+            link_loads(view, [(src, dst, 1.0)])

@@ -137,3 +137,96 @@ class TestGlobalCache:
     def test_set_compute_cache_type_checked(self):
         with pytest.raises(ReproError):
             set_compute_cache(object())
+
+
+class TestDependencyEpochs:
+    def test_epoch_defaults_to_zero_and_bump_is_monotone(self):
+        cache = ComputeCache()
+        assert cache.epoch("strolls") == 0
+        assert cache.bump("strolls") == 1
+        assert cache.bump("strolls") == 2
+        assert cache.epoch("strolls") == 2
+        assert cache.epoch("other") == 0
+
+    def test_bump_orphans_versioned_entries(self):
+        cache = ComputeCache()
+        owner = Owner()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        key = "artifact"
+        assert cache.get_or_compute_versioned(
+            owner, key, compute, depends_on=("strolls",)
+        ) == 1
+        assert cache.get_or_compute_versioned(
+            owner, key, compute, depends_on=("strolls",)
+        ) == 1
+        cache.bump("strolls")
+        assert cache.get_or_compute_versioned(
+            owner, key, compute, depends_on=("strolls",)
+        ) == 2
+
+    def test_unrelated_epoch_does_not_invalidate(self):
+        cache = ComputeCache()
+        owner = Owner()
+        cache.get_or_compute_versioned(owner, "k", lambda: 1, depends_on=("apsp",))
+        cache.bump("rates")
+        hits_before = cache.hits
+        cache.get_or_compute_versioned(owner, "k", lambda: 2, depends_on=("apsp",))
+        assert cache.hits == hits_before + 1
+
+    def test_no_depends_on_is_plain_key(self):
+        cache = ComputeCache()
+        owner = Owner()
+        cache.get_or_compute_versioned(owner, "k", lambda: 1)
+        assert cache.get_or_compute(owner, "k", lambda: 2) == 1
+
+    def test_epochs_survive_clear(self):
+        # a cleared cache must not resurrect entries stamped pre-clear
+        cache = ComputeCache()
+        cache.bump("strolls")
+        cache.clear()
+        assert cache.epoch("strolls") == 1
+        assert cache.stats()["epochs"] == {"strolls": 1}
+
+
+class TestSharedEntries:
+    def test_shared_entry_adopted_across_callers(self):
+        cache = ComputeCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "table"
+
+        assert cache.get_or_compute_shared("sha:abc", compute) == "table"
+        assert cache.get_or_compute_shared("sha:abc", compute) == "table"
+        assert len(calls) == 1
+        assert cache.num_shared_entries == 1
+
+    def test_has_shared_respects_epochs(self):
+        cache = ComputeCache()
+        assert not cache.has_shared("sha:abc", depends_on=("strolls",))
+        cache.get_or_compute_shared("sha:abc", lambda: 1, depends_on=("strolls",))
+        assert cache.has_shared("sha:abc", depends_on=("strolls",))
+        cache.bump("strolls")
+        assert not cache.has_shared("sha:abc", depends_on=("strolls",))
+
+    def test_anchor_is_not_a_visible_owner(self):
+        cache = ComputeCache()
+        cache.get_or_compute_shared("sha:abc", lambda: 1)
+        assert cache.num_owners == 0
+        assert cache.stats()["shared_entries"] == 1
+        owner = Owner()
+        cache.get_or_compute(owner, "k", lambda: 2)
+        assert cache.num_owners == 1
+
+    def test_shared_entries_obey_lru_bound(self):
+        cache = ComputeCache(max_entries=2)
+        for i in range(4):
+            cache.get_or_compute_shared(f"sha:{i}", lambda i=i: i)
+        assert cache.num_shared_entries == 2
+        assert cache.evictions == 2

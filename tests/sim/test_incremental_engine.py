@@ -1,0 +1,121 @@
+"""Incremental vs cold day loops: bit-identity and reduced solver effort.
+
+The acceptance bar of ISSUE 6: fig11/fig12-shaped days simulated through
+the incremental session path produce byte-identical ``DayResult`` s while
+paying strictly fewer cold APSP solves on fault days.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.placement import dp_placement
+from repro.faults import FaultConfig, FaultProcess
+from repro.runtime.cache import ComputeCache, set_compute_cache
+from repro.runtime.instrument import reset, snapshot, snapshot_delta
+from repro.sim.engine import incremental_enabled, set_incremental, simulate_day
+from repro.sim.policies import MParetoPolicy
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import ScaledRates
+
+pytestmark = pytest.mark.faults
+
+HOURS = 6
+
+
+@pytest.fixture()
+def setup(ft4, small_scenario):
+    flows = small_scenario(ft4, 8, seed=55)
+    placement = dp_placement(ft4, flows, 3).placement
+    rate_process = ScaledRates(
+        flows, DiurnalModel(num_hours=HOURS), np.zeros(flows.num_flows)
+    )
+    return flows, placement, rate_process
+
+
+def _faulty_day(ft4, setup, *, incremental, seed=3):
+    """One seeded fault day under a fresh cache; returns (json, counters)."""
+    flows, placement, rate_process = setup
+    faults = FaultProcess(
+        ft4,
+        FaultConfig(switch_rate=0.12, link_rate=0.05, mean_repair_hours=2.0),
+        seed=seed,
+        horizon=HOURS,
+    )
+    previous = set_compute_cache(ComputeCache())
+    before = snapshot()
+    try:
+        result = simulate_day(
+            ft4, flows, MParetoPolicy(ft4, mu=10.0), rate_process, placement,
+            range(1, HOURS + 1), faults=faults, incremental=incremental,
+        )
+    finally:
+        set_compute_cache(previous)
+    delta = snapshot_delta(snapshot(), before)["counters"]
+    return json.dumps(result.to_dict(), sort_keys=True), delta
+
+
+class TestFaultDayEquivalence:
+    def test_incremental_day_is_byte_identical_to_cold(self, ft4, setup):
+        cold_json, cold = _faulty_day(ft4, setup, incremental=False)
+        inc_json, inc = _faulty_day(ft4, setup, incremental=True)
+        assert inc_json == cold_json
+        # the seeded day (seed=3) has degraded hours; cold pays a full-fabric
+        # APSP per distinct state, the session seeds those from the delta
+        # tables (both still pay the switch-induced subgraph solves, which
+        # is why the incremental count is lower but not 1)
+        assert inc.get("apsp_computes", 0) < cold.get("apsp_computes", 0)
+        assert inc.get("apsp_seeded", 0) >= 1
+        assert inc.get("session_fault_views", 0) >= 1
+        assert inc.get("apsp_incremental_updates", 0) >= 1
+
+    def test_plain_day_unaffected_by_flag(self, ft4, setup):
+        flows, placement, rate_process = setup
+        days = []
+        for incremental in (False, True):
+            days.append(
+                simulate_day(
+                    ft4, flows, MParetoPolicy(ft4, mu=10.0), rate_process,
+                    placement, range(1, HOURS + 1), incremental=incremental,
+                )
+            )
+        assert json.dumps(days[0].to_dict(), sort_keys=True) == json.dumps(
+            days[1].to_dict(), sort_keys=True
+        )
+
+
+class TestIncrementalToggle:
+    def test_module_default_is_on(self):
+        assert incremental_enabled() is True
+
+    def test_set_incremental_round_trips(self):
+        assert set_incremental(False) is True
+        try:
+            assert incremental_enabled() is False
+        finally:
+            set_incremental(True)
+        assert incremental_enabled() is True
+
+    def test_none_resolves_to_module_default(self, ft4, setup):
+        # flipping the default off must steer simulate_day's fault loop
+        # down the cold branch: no session counters fire
+        set_incremental(False)
+        try:
+            reset()
+            cold_json, delta = _faulty_day(ft4, setup, incremental=None)
+        finally:
+            set_incremental(True)
+        assert delta.get("session_fault_views", 0) == 0
+        assert delta.get("apsp_seeded", 0) == 0
+
+
+def test_faulty_day_equivalence_across_seeds(ft4, setup):
+    """A couple more seeds so repair hours and noop transitions show up."""
+    for seed in (7, 11):
+        cold_json, cold = _faulty_day(ft4, setup, incremental=False, seed=seed)
+        inc_json, inc = _faulty_day(ft4, setup, incremental=True, seed=seed)
+        assert inc_json == cold_json
+        assert inc.get("apsp_computes", 0) <= cold.get("apsp_computes", 0)
