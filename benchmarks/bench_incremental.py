@@ -14,8 +14,8 @@ cache) — and reports
   full rebuilds, warm stroll hits);
 * **wall clock**: total loop time per path and the speedup.
 
-The JSON report (``--json``, default ``BENCH_incremental.json``) is
-persisted as a CI artifact by the verify-campaign workflow job.
+The JSON report (``--json``, default ``reports/BENCH_incremental.json``)
+is persisted as a CI artifact by the verify-campaign workflow job.
 
 Usage::
 
@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from repro.core.placement import dp_placement
+from repro.utils.results_io import write_text_atomic
 from repro.faults import FaultConfig, FaultProcess
 from repro.runtime.cache import ComputeCache, set_compute_cache
 from repro.runtime.instrument import snapshot, snapshot_delta
@@ -179,8 +180,7 @@ def bench(k, num_pairs, n, horizon, num_days, mu, json_path, smoke):
         "apsp_reduction": {"cold": cold_apsp, "incremental": inc_apsp},
     }
     if json_path:
-        with open(json_path, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+        write_text_atomic(json_path, json.dumps(report, indent=2, sort_keys=True))
         print(f"report written to {json_path}")
     return 0
 
@@ -194,7 +194,7 @@ def main(argv=None) -> int:
     parser.add_argument("--horizon", type=int, default=None)
     parser.add_argument("--days", type=int, default=None)
     parser.add_argument("--mu", type=float, default=1e2)
-    parser.add_argument("--json", default="BENCH_incremental.json")
+    parser.add_argument("--json", default="reports/BENCH_incremental.json")
     args = parser.parse_args(argv)
     k = args.k or (4 if args.smoke else 6)
     pairs = args.pairs or (6 if args.smoke else 24)

@@ -1,0 +1,144 @@
+"""Benchmark: the placement service under million-user flow churn.
+
+Drives :class:`~repro.serve.server.PlacementService` with the seeded
+churn workload from :mod:`repro.serve.driver`: redrawn tenant flowsets
+(each flow aggregating ``users_per_flow`` end users), periodic deadline
+pressure, switch fail/repair ingestion mid-traffic, and migrations off
+the last served placement.  The default (full) shape models over ten
+million users (``500 requests x 12 pairs x 2000 users``); ``--smoke`` is
+the CI-sized slice.
+
+Reported (and persisted to ``--json``, default
+``reports/BENCH_serve.json``, as a CI artifact next to
+``BENCH_incremental.json``):
+
+* **throughput** — requests/second actually served;
+* **latency** — p50/p95/p99/max end-to-end seconds plus p95 queue wait;
+* **shed rate** — the fraction of requests explicitly rejected by
+  admission control (never silently queued);
+* **degraded-solve fraction** — how many served answers rode a fallback
+  chain, every one flagged ``extra["degraded"]``;
+* **service health** — pool/breaker/admission counters and per-epoch
+  cache hit/miss/invalidation stats from the metrics endpoint.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full: ~12M modeled users
+    python benchmarks/bench_serve.py --smoke    # CI-sized
+    python benchmarks/bench_serve.py --rate-limit 200 --latency-budget 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from repro.serve import ChurnConfig, PlacementService, ServeConfig, run_churn
+from repro.utils.results_io import write_text_atomic
+
+
+def bench(args) -> int:
+    serve_config = ServeConfig(
+        max_queue=args.max_queue,
+        max_concurrency=args.solver_concurrency,
+        rate_limit=args.rate_limit,
+        latency_budget=args.latency_budget,
+    )
+    churn = ChurnConfig(
+        k=args.k,
+        num_pairs=args.pairs,
+        sfc_size=args.sfc,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        users_per_flow=args.users_per_flow,
+        seed=args.seed,
+        deadline_every=args.deadline_every,
+        tight_deadline=0.0,
+        fault_every=args.fault_every,
+        migrate_every=args.migrate_every,
+    )
+
+    async def run() -> dict:
+        async with PlacementService(serve_config) as service:
+            summary = await run_churn(service, churn)
+            summary["service"] = service.metrics()
+            return summary
+
+    summary = asyncio.run(run())
+
+    resolved = summary["completed"] + summary["shed_total"] + summary["failed"]
+    resolved += summary["infeasible"]
+    assert resolved == summary["requests"], "requests leaked: some never resolved"
+    assert summary["failed"] == 0, "unflagged failures under a healthy fabric"
+
+    latency = summary["latency"]
+    print(
+        f"churn: fat_tree({args.k}), {args.requests} requests x "
+        f"{args.pairs} pairs x {args.users_per_flow} users "
+        f"= {summary['users_modeled']:,} modeled users"
+    )
+    print(
+        f"served      : {summary['completed']}/{summary['requests']} "
+        f"at {summary['rps']:.0f} rps "
+        f"(shed rate {100 * summary['shed_rate']:.1f}%, "
+        f"degraded {100 * summary['degraded_fraction']:.1f}%, "
+        f"{summary['batched']} batched, {summary['retried']} retried)"
+    )
+    print(
+        f"latency     : p50 {1000 * latency['p50']:.1f}ms  "
+        f"p95 {1000 * latency['p95']:.1f}ms  "
+        f"p99 {1000 * latency['p99']:.1f}ms  "
+        f"max {1000 * latency['max']:.1f}ms  "
+        f"(queue-wait p95 {1000 * summary['queue_wait_p95']:.1f}ms)"
+    )
+    pool = summary["service"]["pool"]
+    print(
+        f"service     : {pool['sessions']} pooled session(s), "
+        f"{pool['quarantined']} quarantined, "
+        f"{summary['faults_ingested']} fault deltas ingested, "
+        f"breaker {summary['service']['breaker']['state']}"
+    )
+    if args.json:
+        write_text_atomic(args.json, json.dumps(summary, indent=2, sort_keys=True))
+        print(f"report written to {args.json}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--pairs", type=int, default=None)
+    parser.add_argument("--sfc", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--users-per-flow", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--max-queue", type=int, default=128)
+    parser.add_argument("--solver-concurrency", type=int, default=4)
+    parser.add_argument("--rate-limit", type=float, default=None)
+    parser.add_argument("--latency-budget", type=float, default=None)
+    parser.add_argument(
+        "--deadline-every", type=int, default=10,
+        help="every Nth request carries a zero deadline (0 disables)",
+    )
+    parser.add_argument(
+        "--fault-every", type=int, default=25,
+        help="ingest a switch fail/repair delta every N requests (0 disables)",
+    )
+    parser.add_argument(
+        "--migrate-every", type=int, default=8,
+        help="every Nth request migrates off the last placement (0 disables)",
+    )
+    parser.add_argument("--json", default="reports/BENCH_serve.json")
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 60 if args.smoke else 500
+    if args.pairs is None:
+        args.pairs = 8 if args.smoke else 12
+    return bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

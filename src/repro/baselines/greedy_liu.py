@@ -66,7 +66,17 @@ def greedy_liu_placement(
     a_out = ctx.egress_attraction[sw]
     sdist = ctx.distances[np.ix_(sw, sw)]
     lam = ctx.total_rate
-    mean_delay = sdist.mean(axis=1)  # average delay from each switch
+    # average delay from each switch, over *reachable* peers only: on a
+    # degraded view the failed switches' inf columns would otherwise push
+    # every row's mean to inf (and 0 * inf to nan on the last VNF, which
+    # argmin would then pick), collapsing the score to pure noise
+    finite = np.isfinite(sdist)
+    reachable = finite.any(axis=1)
+    mean_delay = np.where(
+        finite.all(axis=1),
+        np.where(finite, sdist, 0.0).mean(axis=1),
+        np.where(finite, sdist, 0.0).sum(axis=1) / np.maximum(finite.sum(axis=1), 1),
+    )
 
     used = np.zeros(sw.size, dtype=bool)
     chosen: list[int] = []
@@ -84,6 +94,7 @@ def greedy_liu_placement(
             increment = (a_in + a_out).astype(float).copy()
         lookahead = (n - 1 - j) * lam * mean_delay
         score = increment + lookahead
+        score[~reachable] = np.inf  # fully isolated switches are not candidates
         score[used] = np.inf
         pick = int(np.argmin(score))
         used[pick] = True

@@ -51,6 +51,10 @@ DEFAULT_FAULTS_JOURNAL = Path(".repro") / "faults_journal.jsonl"
 #: and so does the incremental-vs-cold differential campaign
 DEFAULT_INCREMENTAL_JOURNAL = Path(".repro") / "incremental_journal.jsonl"
 
+#: campaign/benchmark JSON reports land here (gitignored): generated
+#: artifacts never sit next to tracked sources
+DEFAULT_REPORTS_DIR = Path("reports")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -109,9 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json",
         type=Path,
-        default=Path("verify_report.json"),
+        default=DEFAULT_REPORTS_DIR / "verify_report.json",
         metavar="PATH",
-        help="where to write the JSON report (default: verify_report.json)",
+        help="where to write the JSON report (default: reports/verify_report.json)",
     )
     verify.add_argument(
         "--no-shrink",
@@ -175,9 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--json",
         type=Path,
-        default=Path("faults_report.json"),
+        default=DEFAULT_REPORTS_DIR / "faults_report.json",
         metavar="PATH",
-        help="where to write the JSON report (default: faults_report.json)",
+        help="where to write the JSON report (default: reports/faults_report.json)",
     )
     faults.add_argument(
         "--resume",
@@ -220,9 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     incremental.add_argument(
         "--json",
         type=Path,
-        default=Path("incremental_report.json"),
+        default=DEFAULT_REPORTS_DIR / "incremental_report.json",
         metavar="PATH",
-        help="where to write the JSON report (default: incremental_report.json)",
+        help="where to write the JSON report (default: reports/incremental_report.json)",
     )
     incremental.add_argument(
         "--resume",
@@ -235,6 +239,77 @@ def build_parser() -> argparse.ArgumentParser:
             "journal completed cases and skip them on re-run "
             f"(default file: {DEFAULT_INCREMENTAL_JOURNAL})"
         ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the hardened placement service against a churn workload",
+        description=(
+            "Stand up the long-lived placement service (pooled solver "
+            "sessions, admission control, deadline degradation, crash "
+            "quarantine; DESIGN.md §5h) and drive it with a seeded "
+            "flow-churn workload: redrawn tenant flowsets, optional "
+            "deadline pressure, fault-event ingestion and migrations.  "
+            "Prints throughput, latency percentiles, shed and degraded "
+            "counts; optionally serves /healthz /readyz /metrics probes "
+            "while the run is live."
+        ),
+    )
+    serve.add_argument("--k", type=int, default=4, help="fat-tree degree")
+    serve.add_argument(
+        "--pairs", type=int, default=12, metavar="L", help="VM pairs per request"
+    )
+    serve.add_argument("--sfc", type=int, default=2, metavar="N", help="SFC length")
+    serve.add_argument(
+        "--requests", type=int, default=200, metavar="N", help="requests to issue"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=16, metavar="N",
+        help="client-side concurrent submitters",
+    )
+    serve.add_argument("--seed", type=int, default=11, help="workload seed")
+    serve.add_argument(
+        "--max-queue", type=int, default=128, metavar="N",
+        help="outstanding-request bound (queued + in-flight)",
+    )
+    serve.add_argument(
+        "--solver-concurrency", type=int, default=4, metavar="N",
+        help="concurrent solver threads in the service",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-topology token-bucket refill (default: off)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="soft deadline carried by every request",
+    )
+    serve.add_argument(
+        "--deadline-every", type=int, default=0, metavar="N",
+        help="every Nth request carries a zero deadline (degradation pressure)",
+    )
+    serve.add_argument(
+        "--latency-budget", type=float, default=None, metavar="SECONDS",
+        help="p95 solve-latency budget for the circuit breaker (default: off)",
+    )
+    serve.add_argument(
+        "--fault-every", type=int, default=0, metavar="N",
+        help="ingest a switch fail/repair event every N requests",
+    )
+    serve.add_argument(
+        "--migrate-every", type=int, default=0, metavar="N",
+        help="every Nth request migrates from the last served placement",
+    )
+    serve.add_argument(
+        "--probe-port", type=int, default=None, metavar="PORT",
+        help="also serve /healthz /readyz /metrics on 127.0.0.1:PORT",
+    )
+    serve.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_REPORTS_DIR / "serve_report.json",
+        metavar="PATH",
+        help="where to write the JSON summary (default: reports/serve_report.json)",
     )
     return parser
 
@@ -488,11 +563,78 @@ def _run_incremental(args, out) -> int:
     return 1 if report["violations"] else 0
 
 
+def _run_serve(args, out) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ChurnConfig, PlacementService, ServeConfig, run_churn
+    from repro.serve.health import start_probe_server
+
+    config = ServeConfig(
+        max_queue=args.max_queue,
+        max_concurrency=args.solver_concurrency,
+        rate_limit=args.rate_limit,
+        latency_budget=args.latency_budget,
+    )
+    churn = ChurnConfig(
+        k=args.k,
+        num_pairs=args.pairs,
+        sfc_size=args.sfc,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        deadline=args.deadline,
+        deadline_every=args.deadline_every,
+        fault_every=args.fault_every,
+        migrate_every=args.migrate_every,
+    )
+
+    async def run() -> dict:
+        probe_server = None
+        async with PlacementService(config) as service:
+            if args.probe_port is not None:
+                probe_server = await start_probe_server(
+                    service, port=args.probe_port
+                )
+                port = probe_server.sockets[0].getsockname()[1]
+                print(f"probes on http://127.0.0.1:{port}/metrics", file=out)
+            try:
+                summary = await run_churn(service, churn)
+            finally:
+                if probe_server is not None:
+                    probe_server.close()
+                    await probe_server.wait_closed()
+            summary["service"] = service.metrics()
+        return summary
+
+    summary = asyncio.run(run())
+    latency = summary["latency"]
+    print(
+        f"{summary['completed']}/{summary['requests']} served "
+        f"({summary['shed_total']} shed, {summary['failed']} failed, "
+        f"{summary['degraded']} degraded, {summary['retried']} retried) "
+        f"at {summary['rps']:.0f} rps",
+        file=out,
+    )
+    print(
+        f"latency p50/p95/p99: {1000 * latency['p50']:.1f} / "
+        f"{1000 * latency['p95']:.1f} / {1000 * latency['p99']:.1f} ms; "
+        f"{summary['users_modeled']:,} users modeled",
+        file=out,
+    )
+    if args.json is not None:
+        write_text_atomic(args.json, json.dumps(summary, indent=2, sort_keys=True))
+        print(f"wrote {args.json}", file=out)
+    return 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "list":
         for name, description in list_experiments().items():
             print(f"{name:28s} {description}", file=out)
         return 0
+    if args.command == "serve":
+        return _run_serve(args, out)
     if args.command == "verify":
         return _run_verify(args, out)
     if args.command == "faults":

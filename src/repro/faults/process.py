@@ -107,6 +107,33 @@ class FaultEvent:
             "target": target,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (the serve layer's ingestion format).
+
+        Link targets arrive as 2-element lists (JSON has no tuples) and
+        are canonicalized back to ``(u, v)`` with ``u < v``.
+        """
+        try:
+            hour = int(data["hour"])
+            kind = str(data["kind"])
+            action = str(data["action"])
+            target = data["target"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault event {data!r}: {exc}") from None
+        if kind not in ("switch", "host", "link"):
+            raise FaultError(f"unknown fault kind {kind!r}")
+        if action not in ("fail", "repair"):
+            raise FaultError(f"unknown fault action {action!r}")
+        if kind == "link":
+            if not isinstance(target, (list, tuple)) or len(target) != 2:
+                raise FaultError(f"link target must be a (u, v) pair, got {target!r}")
+            u, v = int(target[0]), int(target[1])
+            target = (min(u, v), max(u, v))
+        else:
+            target = int(target)
+        return cls(hour=hour, kind=kind, action=action, target=target)
+
 
 @dataclass(frozen=True)
 class FaultState:

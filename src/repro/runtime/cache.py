@@ -33,10 +33,23 @@ A third axis is *shared* (owner-less) entries: content-addressed
 artifacts such as stroll tables keyed by a hash of their input closure,
 which any topology may adopt.  They live under an internal anchor owner
 so the same LRU bound and eviction machinery applies.
+
+Observability and concurrency
+-----------------------------
+Every dependency epoch carries its own hit/miss/invalidation counters
+(:meth:`epoch_stats`), reported through :func:`repro.runtime.instrument.report`
+and the serve layer's metrics endpoint — cache health per artifact family
+without anyone reaching into private state.  All mutating operations are
+guarded by an :class:`~threading.RLock`: lookups happen under the lock,
+``compute()`` runs outside it (a racing miss computes twice — both
+results are bit-identical by the purity contract, and the second store is
+idempotent), so the long-lived placement service can share one cache
+across solver threads without corruption.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
@@ -82,6 +95,10 @@ class ComputeCache:
         #: named dependency epochs; monotonically increasing, never reset
         #: (a cleared cache must not resurrect entries stamped pre-clear)
         self._epochs: dict[str, int] = {}
+        #: per-dependency hit/miss/invalidation counters (see epoch_stats)
+        self._epoch_stats: dict[str, dict[str, int]] = {}
+        #: guards every structural mutation; compute() runs outside it
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -92,21 +109,48 @@ class ComputeCache:
         self, owner: Any, key: Hashable, compute: Callable[[], Any]
     ) -> Any:
         """Return the cached value for ``(owner, key)``, computing on miss."""
-        entries = self._store.get(owner)
-        if entries is not None:
-            value = entries.get(key, _MISSING)
-            if value is not _MISSING:
-                self.hits += 1
-                self._recency.move_to_end((id(owner), key))
-                return value
-        self.misses += 1
+        return self._get_or_compute(owner, key, compute, ())
+
+    def _get_or_compute(
+        self,
+        owner: Any,
+        key: Hashable,
+        compute: Callable[[], Any],
+        depends_on: tuple[str, ...],
+    ) -> Any:
+        with self._lock:
+            entries = self._store.get(owner)
+            if entries is not None:
+                value = entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self.hits += 1
+                    self._attribute(depends_on, "hits")
+                    self._recency.move_to_end((id(owner), key))
+                    return value
+            self.misses += 1
+            self._attribute(depends_on, "misses")
+        # compute outside the lock: a racing miss computes twice, both
+        # bit-identical (purity contract); first store below wins
         value = compute()
-        if entries is None:
-            entries = self._store.setdefault(owner, {})
-        entries[key] = value
-        self._recency[(id(owner), key)] = weakref.ref(owner)
-        self._evict()
+        with self._lock:
+            entries = self._store.get(owner)
+            if entries is None:
+                entries = self._store.setdefault(owner, {})
+            stored = entries.get(key, _MISSING)
+            if stored is not _MISSING:
+                self._recency.move_to_end((id(owner), key))
+                return stored
+            entries[key] = value
+            self._recency[(id(owner), key)] = weakref.ref(owner)
+            self._evict()
         return value
+
+    def _attribute(self, depends_on: tuple[str, ...], field: str) -> None:
+        for name in depends_on:
+            stats = self._epoch_stats.setdefault(
+                name, {"hits": 0, "misses": 0, "invalidations": 0}
+            )
+            stats[field] += 1
 
     # -- dependency epochs ----------------------------------------------------
 
@@ -123,8 +167,26 @@ class ComputeCache:
         fresh lookups recompute against the new epoch.  Returns the new
         epoch value.
         """
-        self._epochs[name] = self._epochs.get(name, 0) + 1
-        return self._epochs[name]
+        with self._lock:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            self._attribute((name,), "invalidations")
+            return self._epochs[name]
+
+    def epoch_stats(self) -> dict[str, dict[str, int]]:
+        """Per-dependency cache health: hit/miss/invalidation counts.
+
+        Keys are dependency names that were ever stamped (via
+        ``depends_on=``) or bumped; each value carries the current
+        ``epoch`` plus ``hits`` / ``misses`` (lookups of entries stamped
+        with that dependency) and ``invalidations`` (:meth:`bump` calls).
+        This is the public surface the serve layer's metrics endpoint
+        reports — nobody needs to reach into private state.
+        """
+        with self._lock:
+            return {
+                name: {"epoch": self.epoch(name), **stats}
+                for name, stats in sorted(self._epoch_stats.items())
+            }
 
     def _stamp(self, key: Hashable, depends_on: tuple[str, ...]) -> Hashable:
         if not depends_on:
@@ -144,7 +206,9 @@ class ComputeCache:
         ``depends_on`` names the dependency epochs this artifact derives
         from; bumping any of them invalidates the entry.
         """
-        return self.get_or_compute(owner, self._stamp(key, depends_on), compute)
+        return self._get_or_compute(
+            owner, self._stamp(key, depends_on), compute, depends_on
+        )
 
     # -- shared (owner-less) entries -----------------------------------------
 
@@ -162,8 +226,8 @@ class ComputeCache:
         cache itself, bounded by the usual LRU machinery, and optionally
         stamped with dependency epochs.
         """
-        return self.get_or_compute(
-            self._shared_anchor, self._stamp(key, depends_on), compute
+        return self._get_or_compute(
+            self._shared_anchor, self._stamp(key, depends_on), compute, depends_on
         )
 
     def has_shared(self, key: Hashable, *, depends_on: tuple[str, ...] = ()) -> bool:
@@ -224,20 +288,23 @@ class ComputeCache:
             "owners": self.num_owners,
             "shared_entries": self.num_shared_entries,
             "max_entries": self.max_entries,
-            "epochs": dict(self._epochs),
+            "epochs": self.epoch_stats(),
         }
 
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
-        self._store.clear()
-        self._recency.clear()
+        with self._lock:
+            self._store.clear()
+            self._recency.clear()
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self._epoch_stats.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

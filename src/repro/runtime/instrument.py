@@ -41,6 +41,11 @@ __all__ = [
 #: keys under which cache statistics travel inside snapshot counters
 _CACHE_KEYS = ("cache_hits", "cache_misses", "cache_evictions")
 
+#: prefix under which per-dependency-epoch cache stats travel inside
+#: snapshot counters, e.g. ``cache_epoch[apsp].hits`` — flattened so the
+#: existing cross-process counter merge carries them for free
+_EPOCH_PREFIX = "cache_epoch["
+
 #: resilience counters (counted by the executors) -> report field names
 _RESILIENCE_KEYS = {
     "task_retries": "retries",
@@ -80,6 +85,9 @@ def snapshot() -> dict:
     merged["cache_hits"] += cache.hits
     merged["cache_misses"] += cache.misses
     merged["cache_evictions"] += cache.evictions
+    for name, stats in cache.epoch_stats().items():
+        for field in ("hits", "misses", "invalidations"):
+            merged[f"{_EPOCH_PREFIX}{name}].{field}"] += stats[field]
     return {
         "counters": dict(merged),
         "timers": {name: (t.total, len(t.laps)) for name, t in named_timers().items()},
@@ -133,6 +141,14 @@ def report(workers: int | None = None, elapsed: float | None = None) -> dict:
     misses = all_counters.pop("cache_misses", 0)
     evictions = all_counters.pop("cache_evictions", 0)
     lookups = hits + misses
+    epochs: dict[str, dict[str, int]] = {}
+    for key in [k for k in all_counters if k.startswith(_EPOCH_PREFIX)]:
+        name, _, field = key[len(_EPOCH_PREFIX):].partition("].")
+        epochs.setdefault(
+            name, {"hits": 0, "misses": 0, "invalidations": 0}
+        )[field] = all_counters.pop(key)
+    for name in epochs:
+        epochs[name]["epoch"] = get_compute_cache().epoch(name)
     resilience = {
         field: all_counters.pop(counter, 0)
         for counter, field in _RESILIENCE_KEYS.items()
@@ -150,6 +166,7 @@ def report(workers: int | None = None, elapsed: float | None = None) -> dict:
             "evictions": evictions,
             "hit_rate": hits / lookups if lookups else 0.0,
             "entries": len(get_compute_cache()),
+            "epochs": dict(sorted(epochs.items())),
         },
     }
     if workers is not None:
@@ -184,6 +201,12 @@ def format_report(rep: Mapping) -> str:
             f"({cache['hits']} hits / {cache['misses']} misses, "
             f"{cache['evictions']} evictions, {cache['entries']} entries)"
         )
+        for name, st in cache.get("epochs", {}).items():
+            lines.append(
+                f"    epoch {name}: {st.get('epoch', 0)} "
+                f"({st['hits']} hits / {st['misses']} misses, "
+                f"{st['invalidations']} invalidations)"
+            )
     resilience = rep.get("resilience", {})
     if any(resilience.get(field, 0) for field in resilience if field != "failures"):
         lines.append(

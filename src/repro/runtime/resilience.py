@@ -54,6 +54,7 @@ __all__ = [
     "backoff_delay",
     "chaos_wrap",
     "drain_failures",
+    "fault_decision",
     "get_resilience",
     "record_failure",
     "use_resilience",
@@ -236,6 +237,33 @@ def backoff_delay(config: ResilienceConfig, index: int, attempt: int) -> float:
 # -- chaos injection ----------------------------------------------------------
 
 
+def fault_decision(chaos: ChaosConfig, task: Any, attempt: int = 0) -> str | None:
+    """Which fault (if any) this task draws: a pure function of content.
+
+    Returns one of ``"crash"`` / ``"delay"`` / ``"timeout"`` / ``"kill"``
+    or ``None``, derived from ``sha256(seed, fingerprint(task))`` — never
+    a live RNG, so identical runs inject identical faults.  Faults fire
+    only while ``attempt < faulty_attempts``, which is what lets a retry
+    (the executor's, or the serve layer's quarantine-and-rebuild path)
+    always converge on the real result.  ``task`` must be picklable.
+    """
+    if attempt >= chaos.faulty_attempts:
+        return None
+    draw = _unit_hash(chaos.seed, task_fingerprint("chaos", 0, task), "fault")
+    edges = (
+        ("crash", chaos.crash_rate),
+        ("delay", chaos.delay_rate),
+        ("timeout", chaos.timeout_rate),
+        ("kill", chaos.kill_rate),
+    )
+    cumulative = 0.0
+    for kind, rate in edges:
+        cumulative += rate
+        if draw < cumulative:
+            return kind
+    return None
+
+
 class _ChaosFn:
     """Picklable fault-injecting wrapper around a task function.
 
@@ -252,37 +280,20 @@ class _ChaosFn:
         self.fn = fn
         self.chaos = chaos
 
-    def _fault_for(self, task: Any) -> str | None:
-        chaos = self.chaos
-        draw = _unit_hash(chaos.seed, task_fingerprint("chaos", 0, task), "fault")
-        edges = (
-            ("crash", chaos.crash_rate),
-            ("delay", chaos.delay_rate),
-            ("timeout", chaos.timeout_rate),
-            ("kill", chaos.kill_rate),
-        )
-        cumulative = 0.0
-        for kind, rate in edges:
-            cumulative += rate
-            if draw < cumulative:
-                return kind
-        return None
-
     def __call__(self, task: Any, attempt: int = 0) -> Any:
-        if attempt < self.chaos.faulty_attempts:
-            fault = self._fault_for(task)
-            if fault == "crash":
-                raise ChaosError(f"injected crash (attempt {attempt})")
-            if fault == "delay":
-                time.sleep(self.chaos.delay_seconds)
-            elif fault == "timeout":
-                raise TimeoutError(f"injected timeout (attempt {attempt})")
-            elif fault == "kill":
-                # hard worker death -> BrokenProcessPool salvage path; in
-                # the parent process (serial executor) degrade to a crash
-                if os.getpid() != _PARENT_PID:
-                    os._exit(17)
-                raise ChaosError(f"injected kill, serial fallback (attempt {attempt})")
+        fault = fault_decision(self.chaos, task, attempt)
+        if fault == "crash":
+            raise ChaosError(f"injected crash (attempt {attempt})")
+        if fault == "delay":
+            time.sleep(self.chaos.delay_seconds)
+        elif fault == "timeout":
+            raise TimeoutError(f"injected timeout (attempt {attempt})")
+        elif fault == "kill":
+            # hard worker death -> BrokenProcessPool salvage path; in
+            # the parent process (serial executor) degrade to a crash
+            if os.getpid() != _PARENT_PID:
+                os._exit(17)
+            raise ChaosError(f"injected kill, serial fallback (attempt {attempt})")
         return self.fn(task)
 
 

@@ -1,0 +1,35 @@
+"""repro.serve: a hardened long-lived placement service.
+
+The service layer (DESIGN.md §5h) turns the library's
+:class:`~repro.session.SolverSession` into an operable server: pooled
+per-topology sessions with crash quarantine and cold rebuild
+(:mod:`repro.serve.pool`), explicit admission control and backpressure
+(:mod:`repro.serve.admission`), deadline enforcement with a
+latency-budget circuit breaker and liveness probes
+(:mod:`repro.serve.health`), the asyncio request loop itself
+(:mod:`repro.serve.server`), and a seeded churn driver shared by the CLI
+and the serve benchmark (:mod:`repro.serve.driver`).
+"""
+
+from repro.serve.admission import AdmissionController, Overloaded, TokenBucket
+from repro.serve.driver import ChurnConfig, run_churn
+from repro.serve.health import CircuitBreaker, LatencyWindow, start_probe_server
+from repro.serve.pool import PooledSession, SessionPool
+from repro.serve.server import PlacementService, ServeConfig, ServeResult, ServiceError
+
+__all__ = [
+    "AdmissionController",
+    "ChurnConfig",
+    "CircuitBreaker",
+    "LatencyWindow",
+    "Overloaded",
+    "PlacementService",
+    "PooledSession",
+    "ServeConfig",
+    "ServeResult",
+    "ServiceError",
+    "SessionPool",
+    "TokenBucket",
+    "run_churn",
+    "start_probe_server",
+]

@@ -1,0 +1,234 @@
+"""Service health: latency quantiles, circuit breaker, liveness probes.
+
+* :class:`LatencyWindow` — a bounded ring of recent latencies with exact
+  quantiles over the window (numpy over at most ``window`` floats; cheap
+  enough for every request to record).
+* :class:`CircuitBreaker` — trips to *degraded-mode solving* when the
+  p95 of recent **solve** latencies exceeds the budget: while open, the
+  service answers every request through the zero-deadline fallback chain
+  (dp→greedy, mpareto→none; see DESIGN.md §5f) instead of letting tail
+  latency grow without bound.  After ``cooldown`` seconds the breaker
+  goes half-open and lets one full-path probe through; a probe within
+  budget closes it, a slow probe re-opens it.
+* :func:`start_probe_server` — ``/healthz`` (liveness), ``/readyz``
+  (readiness: started and not draining), ``/metrics`` (the service's
+  JSON metrics, including per-epoch cache health) over a minimal
+  dependency-free HTTP/1.0 handler on ``asyncio.start_server``.
+
+Clocks are injectable everywhere so the breaker's time arithmetic is
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CircuitBreaker",
+    "LatencyWindow",
+    "start_probe_server",
+]
+
+
+class LatencyWindow:
+    """Bounded window of recent latencies with exact quantiles."""
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ReproError(f"latency window must be positive, got {window}")
+        self._values: deque[float] = deque(maxlen=window)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        self._values.append(float(seconds))
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the current window (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return float(np.quantile(np.fromiter(self._values, dtype=np.float64), q))
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "window": len(self._values),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class CircuitBreaker:
+    """Latency-budget circuit breaker (see module docstring).
+
+    States: ``closed`` (full-path solving), ``open`` (every solve forced
+    through the degraded fallback chain), ``half-open`` (one probe
+    request allowed through the full path).  With ``budget=None`` the
+    breaker is inert and always closed.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        *,
+        budget: float | None = None,
+        window: int = 64,
+        min_samples: int = 16,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget is not None and budget <= 0:
+            raise ReproError(f"latency budget must be positive, got {budget!r}")
+        if min_samples < 1:
+            raise ReproError(f"min_samples must be positive, got {min_samples}")
+        if cooldown <= 0:
+            raise ReproError(f"cooldown must be positive, got {cooldown!r}")
+        self.budget = budget
+        self.min_samples = int(min_samples)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._window = LatencyWindow(window)
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half-open when cooldown elapsed."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow_full(self) -> bool:
+        """May the next solve take the full (non-degraded) path?
+
+        Closed: yes.  Open: no.  Half-open: yes for exactly one probe at
+        a time; concurrent requests degrade until the probe reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._probe_inflight = False
+        self.trips += 1
+
+    def record(self, solve_seconds: float) -> None:
+        """Feed one full-path solve latency into the breaker."""
+        if self.budget is None:
+            return
+        state = self.state
+        if state == self.HALF_OPEN:
+            # the probe decides alone: within budget closes the breaker
+            # (with a fresh window — pre-trip latencies are history),
+            # over budget re-opens it for another cooldown
+            if solve_seconds <= self.budget:
+                self._state = self.CLOSED
+                self._window = LatencyWindow(self._window._values.maxlen)
+                self._window.record(solve_seconds)
+            else:
+                self._trip()
+            return
+        self._window.record(solve_seconds)
+        if (
+            state == self.CLOSED
+            and len(self._window) >= self.min_samples
+            and self._window.quantile(0.95) > self.budget
+        ):
+            self._trip()
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "budget": self.budget,
+            "trips": self.trips,
+            "solve_latency": self._window.summary(),
+        }
+
+
+# -- probe endpoints ----------------------------------------------------------
+
+_RESPONSES = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+
+
+def _http_response(status: int, body: str, content_type: str = "text/plain") -> bytes:
+    payload = body.encode()
+    head = (
+        f"HTTP/1.0 {status} {_RESPONSES[status]}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode() + payload
+
+
+async def start_probe_server(service, host: str = "127.0.0.1", port: int = 0):
+    """Serve ``/healthz`` / ``/readyz`` / ``/metrics`` for ``service``.
+
+    ``service`` is a :class:`~repro.serve.server.PlacementService` (any
+    object with ``live``, ``ready`` and ``metrics()`` works).  Returns
+    the :class:`asyncio.Server`; its first socket's ``getsockname()``
+    carries the bound port when ``port=0``.  Close with
+    ``server.close(); await server.wait_closed()``.
+    """
+    import asyncio
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # drain (tiny) headers so the client sees a clean close
+            while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+                pass
+            if path == "/healthz":
+                response = (
+                    _http_response(200, "live\n")
+                    if service.live
+                    else _http_response(503, "dead\n")
+                )
+            elif path == "/readyz":
+                response = (
+                    _http_response(200, "ready\n")
+                    if service.ready
+                    else _http_response(503, "not ready\n")
+                )
+            elif path == "/metrics":
+                response = _http_response(
+                    200,
+                    json.dumps(service.metrics(), indent=2, sort_keys=True),
+                    content_type="application/json",
+                )
+            else:
+                response = _http_response(404, "unknown probe\n")
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

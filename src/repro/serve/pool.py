@@ -1,0 +1,223 @@
+"""A pool of long-lived solver sessions keyed by topology fingerprint.
+
+The service amortizes :class:`~repro.session.SolverSession` artifacts
+(APSP tables, stroll matrices) across requests; this module owns their
+lifecycle:
+
+* **keying** — topologies are identified by their content fingerprint
+  (:func:`~repro.runtime.shm.content_fingerprint`), memoized per object,
+  so equal-valued topologies arriving from different callers share one
+  pooled session;
+* **LRU eviction** — at most ``max_sessions`` live entries; the least
+  recently used is forgotten when a new topology arrives (requests
+  already holding the evicted entry keep it alive by reference);
+* **isolation** — every entry gets its *own* :class:`ComputeCache`, so a
+  poisoned cache (the quarantine trigger) can never leak artifacts into
+  another topology's solves, and discarding the entry genuinely discards
+  all suspect state;
+* **quarantine and cold rebuild** — an entry that raised an unexpected
+  solver exception, or whose dependency epochs regressed
+  (:meth:`PooledSession.poisoned_reason`), is dropped and rebuilt from
+  nothing; the rebuilt entry replays the quarantined one's applied
+  :class:`~repro.faults.process.FaultState` so its degraded view matches
+  the one that was lost.
+
+Pool methods are synchronous and must be called from the service's event
+loop (single dispatcher) — the expensive parts (session construction,
+fault-state replay) are meant to run via ``asyncio.to_thread`` on the
+:class:`PooledSession` the pool hands back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import weakref
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.faults.degrade import ConnectivityAudit
+from repro.faults.process import FaultEvent, FaultState
+from repro.runtime.cache import ComputeCache
+from repro.runtime.instrument import count
+from repro.runtime.shm import content_fingerprint
+from repro.session import SolverSession
+from repro.topology.base import Topology
+
+__all__ = ["PooledSession", "SessionPool"]
+
+
+class PooledSession:
+    """One pooled topology: a base session plus its current fault view.
+
+    ``lock`` serializes every solve and fault ingestion against this
+    entry — per-entry serial, cross-entry parallel — which is what makes
+    concurrent service results bit-identical to a serial replay (one
+    cache is only ever touched by one solve at a time, and every request
+    observes a well-defined fault state).
+    """
+
+    def __init__(
+        self, key: str, topology: Topology, *, generation: int = 0
+    ) -> None:
+        self.key = key
+        self.generation = generation
+        self.cache = ComputeCache()
+        self.base = SolverSession(topology, cache=self.cache)
+        self.lock = asyncio.Lock()
+        #: the session queries run against (the base, or a degraded view)
+        self.view: SolverSession = self.base
+        #: topology of the current view (degraded when faults are applied)
+        self.view_topology: Topology = topology
+        #: audit of the current degraded view (None while healthy)
+        self.audit: ConnectivityAudit | None = None
+        #: cumulative fault state the view reflects
+        self.state: FaultState = FaultState()
+        #: dependency-epoch watermark for poisoning detection
+        self._epoch_watermark: dict[str, int] = {}
+        self.solves = 0
+
+    @property
+    def topology(self) -> Topology:
+        return self.base.topology
+
+    def apply(
+        self, state_or_events: FaultState | Iterable[FaultEvent]
+    ) -> ConnectivityAudit | None:
+        """Fold a fault state / event delta into this entry's view."""
+        topology, audit, view = self.base.apply(state_or_events)
+        self.view_topology = topology
+        self.audit = audit
+        self.view = view
+        self.state = self.base.applied_state
+        return audit
+
+    def poisoned_reason(self) -> str | None:
+        """Self-check for corrupted cache state; None when healthy.
+
+        Dependency epochs are monotone by contract — :meth:`bump` only
+        increments.  An epoch observed *below* a previously recorded
+        watermark means the entry's cache was corrupted (a bug, a stray
+        writer, a chaos injection) and the entry must be quarantined:
+        stamped keys could resurrect stale artifacts.
+        """
+        for name, stats in self.cache.epoch_stats().items():
+            watermark = self._epoch_watermark.get(name, 0)
+            if stats["epoch"] < watermark:
+                return (
+                    f"cache epoch {name!r} regressed "
+                    f"({stats['epoch']} < watermark {watermark})"
+                )
+            self._epoch_watermark[name] = stats["epoch"]
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "key": self.key[:12],
+            "generation": self.generation,
+            "solves": self.solves,
+            "healthy": self.state.is_healthy,
+            "failed_switches": len(self.state.failed_switches),
+            "failed_hosts": len(self.state.failed_hosts),
+            "failed_links": len(self.state.failed_links),
+            "cache": self.cache.stats(),
+        }
+
+
+class SessionPool:
+    """LRU pool of :class:`PooledSession` entries (see module docstring)."""
+
+    def __init__(self, *, max_sessions: int = 8) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be positive, got {max_sessions}")
+        self.max_sessions = int(max_sessions)
+        self._entries: "OrderedDict[str, PooledSession]" = OrderedDict()
+        #: fingerprint memo per live topology object (weak: dies with it)
+        self._fingerprints: "weakref.WeakKeyDictionary[Topology, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.built = 0
+        self.evicted = 0
+        self.quarantined = 0
+
+    def fingerprint(self, topology: Topology) -> str:
+        """Content fingerprint of ``topology``, memoized per object."""
+        try:
+            return self._fingerprints[topology]
+        except KeyError:
+            pass
+        fp = content_fingerprint(topology)
+        self._fingerprints[topology] = fp
+        return fp
+
+    def get(self, key: str) -> PooledSession | None:
+        """The live entry for ``key`` (refreshing its recency), or None."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def build(self, key: str, topology: Topology, *, generation: int = 0) -> PooledSession:
+        """Construct, register and return a fresh entry for ``key``.
+
+        Session construction pays the APSP tables eagerly — call this
+        from a worker thread (``asyncio.to_thread``), then the entry is
+        safe to share.  Registering evicts the LRU entry beyond
+        ``max_sessions``.
+        """
+        entry = PooledSession(key, topology, generation=generation)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.built += 1
+        count("serve_sessions_built")
+        while len(self._entries) > self.max_sessions:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evicted += 1
+            count("serve_sessions_evicted")
+            if evicted_key == key:  # pragma: no cover - max_sessions >= 1
+                break
+        return entry
+
+    def quarantine(self, entry: PooledSession, *, reason: str) -> None:
+        """Drop a poisoned entry; its replacement must be built cold.
+
+        Only removes the entry if it is still the pool's current mapping
+        for its key (a racing rebuild may already have replaced it).
+        """
+        current = self._entries.get(entry.key)
+        if current is entry:
+            del self._entries[entry.key]
+        entry.last_quarantine_reason = reason
+        self.quarantined += 1
+        count("serve_sessions_quarantined")
+
+    def rebuild(self, entry: PooledSession) -> PooledSession:
+        """Cold replacement for a quarantined entry, fault state replayed.
+
+        Everything is rebuilt from the topology alone — fresh cache,
+        fresh base session — then the quarantined entry's cumulative
+        :class:`FaultState` is re-applied so the new view answers exactly
+        the queries the old one was serving.  Run in a worker thread.
+        """
+        fresh = self.build(
+            entry.key, entry.topology, generation=entry.generation + 1
+        )
+        if not entry.state.is_healthy:
+            fresh.apply(entry.state)
+        count("serve_sessions_rebuilt")
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[PooledSession]:
+        return list(self._entries.values())
+
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self._entries),
+            "max_sessions": self.max_sessions,
+            "built": self.built,
+            "evicted": self.evicted,
+            "quarantined": self.quarantined,
+            "entries": [entry.stats() for entry in self._entries.values()],
+        }

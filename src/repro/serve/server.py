@@ -1,0 +1,691 @@
+"""`repro.serve`: a hardened long-lived placement service.
+
+:class:`PlacementService` wraps pooled
+:class:`~repro.session.SolverSession` s behind an asyncio request loop:
+
+* **admission control / backpressure** — every ``submit`` passes the
+  :class:`~repro.serve.admission.AdmissionController` first; overload is
+  an explicit :class:`~repro.serve.admission.Overloaded` at submit time,
+  never unbounded queue growth or latency (the outstanding-request bound
+  covers queued *and* in-flight work);
+* **batching** — a short dispatch window coalesces concurrent compatible
+  TOP queries for one topology into a single
+  :meth:`~repro.session.SolverSession.place_many` call (the one-matmul
+  attraction path), bit-identical to per-request solves by the session
+  contract;
+* **deadlines and graceful degradation** — per-request ``deadline=``
+  budgets cover queue wait plus solve and reuse the session's fallback
+  chains (dp→greedy, mpareto→none); a
+  :class:`~repro.serve.health.CircuitBreaker` on p95 solve latency trips
+  the whole service into degraded-mode (zero-deadline) solving instead of
+  letting tails grow, and every degraded answer is flagged
+  ``extra["degraded"]`` — the service never silently serves a cheaper
+  result;
+* **crash recovery** — a poisoned session (unexpected solver exception,
+  injected chaos fault, regressed cache epoch) is quarantined, rebuilt
+  cold with its fault state replayed, and the affected requests retried
+  once with the deterministic :func:`~repro.runtime.resilience.backoff_delay`;
+* **fault ingestion** — :meth:`PlacementService.ingest` applies
+  :class:`~repro.faults.process.FaultEvent` deltas through the session's
+  incremental :meth:`~repro.session.SolverSession.apply` path, so
+  subsequent requests solve on the degraded view without a rebuild;
+* **drain on shutdown** — :meth:`PlacementService.stop` stops admitting,
+  lets in-flight requests complete (bounded by ``drain_timeout``), then
+  tears the loop down.
+
+Concurrency model: one dispatcher coroutine owns the queue and the pool;
+solves run in worker threads (``asyncio.to_thread``) bounded by a
+semaphore, serialized *per pooled session* by the entry lock — so each
+session's cache sees single-threaded access and results are bit-identical
+to a serial replay of the same requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import (
+    BudgetExceededError,
+    InfeasibleError,
+    PlacementError,
+    ReproError,
+    WorkloadError,
+)
+from repro.faults.degrade import ConnectivityAudit
+from repro.faults.process import FaultEvent, FaultState
+from repro.runtime.instrument import count
+from repro.runtime.resilience import ChaosConfig, ResilienceConfig, backoff_delay, fault_decision
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.health import CircuitBreaker, LatencyWindow
+from repro.serve.pool import PooledSession, SessionPool
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+
+__all__ = ["PlacementService", "ServeConfig", "ServeResult", "ServiceError"]
+
+#: distinguishes "caller passed no deadline" from an explicit None
+_UNSET = object()
+
+#: exception types that are request-level outcomes, not session poison
+_REQUEST_ERRORS = (InfeasibleError, PlacementError, WorkloadError, BudgetExceededError)
+
+
+class ServiceError(ReproError):
+    """A request failed even after quarantine, rebuild and retry."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for :class:`PlacementService` (validated eagerly)."""
+
+    #: bound on outstanding (queued + in-flight) requests
+    max_queue: int = 128
+    #: concurrent solver threads across all sessions
+    max_concurrency: int = 4
+    #: seconds the dispatcher waits to coalesce a batch (0 disables)
+    batch_window: float = 0.002
+    #: most requests coalesced into one dispatch round
+    batch_max: int = 32
+    #: per-topology token-bucket refill (requests/second; None = off)
+    rate_limit: float | None = None
+    #: token-bucket burst ceiling (defaults to max(1, rate_limit))
+    burst: float | None = None
+    #: deadline applied to requests that specify none (None = unbounded)
+    default_deadline: float | None = None
+    #: p95 solve-latency budget tripping the circuit breaker (None = off)
+    latency_budget: float | None = None
+    breaker_window: int = 64
+    breaker_min_samples: int = 16
+    breaker_cooldown: float = 1.0
+    #: LRU bound on pooled sessions
+    max_sessions: int = 8
+    #: quarantine-and-rebuild retries per request
+    retry_attempts: int = 1
+    #: seconds stop() waits for in-flight requests before hard teardown
+    drain_timeout: float = 30.0
+    #: deterministic fault injection into the solve path (tests only)
+    chaos: ChaosConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ReproError(f"max_queue must be positive, got {self.max_queue}")
+        if self.max_concurrency < 1:
+            raise ReproError(
+                f"max_concurrency must be positive, got {self.max_concurrency}"
+            )
+        if self.batch_window < 0:
+            raise ReproError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.batch_max < 1:
+            raise ReproError(f"batch_max must be positive, got {self.batch_max}")
+        if self.retry_attempts < 0:
+            raise ReproError(
+                f"retry_attempts must be >= 0, got {self.retry_attempts}"
+            )
+        if self.drain_timeout <= 0:
+            raise ReproError(
+                f"drain_timeout must be positive, got {self.drain_timeout}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: the solver result plus service diagnostics."""
+
+    #: the PlacementResult / MigrationResult, bit-identical to an offline
+    #: session solve of the same request against the same fault state
+    result: Any
+    #: monotone per-service request number (admission order)
+    seq: int
+    #: end-to-end seconds: submit to future resolution
+    latency: float
+    #: seconds spent queued before a solver thread picked the request up
+    queue_seconds: float
+    #: seconds inside the solver (batch members share their batch's cost)
+    solve_seconds: float
+    #: whether the request rode a coalesced place_many call
+    batched: bool
+    #: generation of the pooled session that answered (bumps on rebuild)
+    generation: int
+    #: fault state the answering session's view reflected
+    fault_state: FaultState = field(default_factory=FaultState)
+    #: solve attempts consumed (> 1 means quarantine-and-retry happened)
+    attempts: int = 1
+
+    @property
+    def degraded(self) -> bool:
+        """True iff the result came from a fallback stage (always flagged)."""
+        return bool(self.result.extra.get("degraded", False))
+
+
+class _Pending:
+    """Internal: one admitted request travelling through the queue."""
+
+    __slots__ = (
+        "seq", "key", "topology", "flows", "sfc", "prev", "mu", "algo",
+        "deadline", "options", "future", "submitted", "attempts", "entry",
+    )
+
+    def __init__(
+        self, seq, key, topology, flows, sfc, prev, mu, algo, deadline, options
+    ):
+        self.seq = seq
+        self.key = key
+        self.topology = topology
+        self.flows = flows
+        self.sfc = sfc
+        self.prev = prev
+        self.mu = mu
+        self.algo = algo
+        self.deadline = deadline
+        self.options = options
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.submitted = time.perf_counter()
+        self.attempts = 0
+        self.entry: PooledSession | None = None
+
+    def batchable(self, default_deadline) -> bool:
+        """Eligible for the coalesced place_many path?"""
+        return (
+            self.prev is None
+            and self.algo in (None, "dp")
+            and not self.options
+            and (self.deadline if self.deadline is not _UNSET else default_deadline)
+            is None
+        )
+
+
+class PlacementService:
+    """The long-lived placement service (see module docstring).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`
+    explicitly::
+
+        async with PlacementService(ServeConfig(max_queue=64)) as service:
+            served = await service.submit(topology, flows, sfc=3)
+    """
+
+    def __init__(
+        self, config: ServeConfig | None = None, *, clock=time.monotonic
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock
+        self.pool = SessionPool(max_sessions=self.config.max_sessions)
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            rate_limit=self.config.rate_limit,
+            burst=self.config.burst,
+            clock=clock,
+        )
+        self.breaker = CircuitBreaker(
+            budget=self.config.latency_budget,
+            window=self.config.breaker_window,
+            min_samples=self.config.breaker_min_samples,
+            cooldown=self.config.breaker_cooldown,
+            clock=clock,
+        )
+        self.latency = LatencyWindow(512)
+        self.counters: Counter = Counter()
+        #: reuses the runtime backoff machinery for the retry delay
+        self._resilience = ResilienceConfig(
+            max_retries=max(1, self.config.retry_attempts), scope="serve"
+        )
+        self._queue: asyncio.Queue | None = None
+        self._idle: asyncio.Event | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._build_lock: asyncio.Lock | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
+        self._started = False
+        self._seq = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "PlacementService":
+        """Bind loop primitives and launch the dispatcher."""
+        if self._started:
+            raise ReproError("service already started")
+        self._queue = asyncio.Queue()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
+        self._build_lock = asyncio.Lock()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatcher"
+        )
+        self._started = True
+        self._draining = False
+        count("serve_started")
+        return self
+
+    async def stop(self, *, drain: bool = True, timeout: float | None = None) -> dict:
+        """Drain and tear down; returns a summary of the shutdown.
+
+        With ``drain=True`` (default) the service stops admitting, waits
+        up to ``timeout`` (default ``drain_timeout``) for every
+        outstanding request to resolve, then stops the dispatcher.  Any
+        request still queued after the wait is failed with an explicit
+        :class:`Overloaded` rather than left hanging.
+        """
+        if not self._started:
+            return {"drained": True, "abandoned": 0}
+        self._draining = True
+        timeout = timeout if timeout is not None else self.config.drain_timeout
+        drained = True
+        if drain and self.admission.outstanding:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                drained = False
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        abandoned = 0
+        while self._queue is not None and not self._queue.empty():
+            pending = self._queue.get_nowait()
+            self._finish(
+                pending,
+                error=Overloaded("service stopped", reason="draining"),
+            )
+            abandoned += 1
+        for task in list(self._inflight):
+            task.cancel()
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        self._started = False
+        count("serve_stopped")
+        return {"drained": drained, "abandoned": abandoned}
+
+    async def __aenter__(self) -> "PlacementService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- probes --------------------------------------------------------------
+
+    @property
+    def live(self) -> bool:
+        """Liveness: the dispatcher exists and has not crashed."""
+        if not self._started or self._dispatcher is None:
+            return False
+        return not self._dispatcher.done() or self._dispatcher.cancelled()
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: admitting requests and below the outstanding bound."""
+        return (
+            self.live
+            and not self._draining
+            and self.admission.outstanding < self.admission.max_queue
+        )
+
+    def metrics(self) -> dict:
+        """JSON-friendly service metrics, including per-epoch cache health."""
+        return {
+            "live": self.live,
+            "ready": self.ready,
+            "draining": self._draining,
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
+            "latency": self.latency.summary(),
+            "pool": self.pool.stats(),
+            "counters": dict(self.counters),
+        }
+
+    # -- request path --------------------------------------------------------
+
+    async def submit(
+        self,
+        topology: Topology,
+        flows: FlowSet,
+        sfc,
+        *,
+        prev=None,
+        mu: float = 0.0,
+        algo: str | None = None,
+        deadline=_UNSET,
+        **options,
+    ) -> ServeResult:
+        """Admit, queue and await one placement/migration request.
+
+        Mirrors :meth:`SolverSession.solve`: placement when ``prev`` is
+        None, migration otherwise.  Raises
+        :class:`~repro.serve.admission.Overloaded` when shed (queue
+        bound, rate limit, draining) and :class:`ServiceError` when the
+        request failed even after quarantine-and-retry; solver-domain
+        errors (e.g. :class:`~repro.errors.InfeasibleError`) propagate
+        as-is.
+        """
+        if not self._started:
+            raise ReproError("service is not started (use `async with` or start())")
+        if self._draining:
+            self.admission.shed["draining"] += 1
+            raise Overloaded("service is draining", reason="draining")
+        key = self.pool.fingerprint(topology)
+        self.admission.admit(key)
+        pending = _Pending(
+            self._next_seq(), key, topology, flows, sfc, prev, mu, algo,
+            deadline, options,
+        )
+        self._idle.clear()
+        self._queue.put_nowait(pending)
+        return await pending.future
+
+    async def ingest(
+        self,
+        topology: Topology,
+        events: FaultState | Iterable[FaultEvent | dict],
+    ) -> ConnectivityAudit | None:
+        """Apply fault deltas to ``topology``'s pooled session.
+
+        Accepts an absolute :class:`FaultState`, or an iterable of
+        :class:`FaultEvent` / ``to_dict()``-shaped dicts (the wire
+        format).  Routed through the session's incremental
+        :meth:`~repro.session.SolverSession.apply` path under the entry
+        lock, so in-flight solves are never torn mid-update and every
+        subsequent request observes the new state.
+        """
+        if not self._started:
+            raise ReproError("service is not started")
+        if not isinstance(events, FaultState):
+            events = [
+                FaultEvent.from_dict(event) if isinstance(event, dict) else event
+                for event in events
+            ]
+        key = self.pool.fingerprint(topology)
+        entry = await self._ensure_entry(key, topology)
+        async with entry.lock:
+            audit = await asyncio.to_thread(entry.apply, events)
+        self.counters["faults_ingested"] += 1
+        count("serve_fault_ingests")
+        return audit
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    async def _ensure_entry(self, key: str, topology: Topology) -> PooledSession:
+        async with self._build_lock:
+            entry = self.pool.get(key)
+            if entry is None:
+                entry = await asyncio.to_thread(self.pool.build, key, topology)
+            return entry
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            pending = await self._queue.get()
+            batch = [pending]
+            if self.config.batch_window > 0 and self.config.batch_max > 1:
+                horizon = time.perf_counter() + self.config.batch_window
+                while len(batch) < self.config.batch_max:
+                    remaining = horizon - time.perf_counter()
+                    if remaining <= 0:
+                        try:
+                            batch.append(self._queue.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
+                        continue
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        break
+            by_key: dict[str, list[_Pending]] = {}
+            for member in batch:
+                by_key.setdefault(member.key, []).append(member)
+            for key, members in by_key.items():
+                try:
+                    entry = await self._ensure_entry(key, members[0].topology)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    for member in members:
+                        self._finish(member, error=exc)
+                    continue
+                task = asyncio.create_task(self._solve_members(entry, members))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    async def _solve_members(
+        self, entry: PooledSession, members: list[_Pending]
+    ) -> None:
+        # proactive poison check: regressed cache epochs quarantine the
+        # entry before it answers anything from suspect artifacts
+        reason = entry.poisoned_reason()
+        if reason is not None:
+            self.pool.quarantine(entry, reason=reason)
+            entry = await asyncio.to_thread(self.pool.rebuild, entry)
+        full_path = self.breaker.allow_full()
+        async with self._semaphore:
+            async with entry.lock:
+                outcomes = await asyncio.to_thread(
+                    self._solve_batch_sync, entry, members, full_path
+                )
+        retry: list[_Pending] = []
+        poison: BaseException | None = None
+        for member, (kind, value) in zip(members, outcomes):
+            if kind == "ok":
+                self._finish(member, served=value)
+            elif kind == "error":
+                self._finish(member, error=value)
+            else:  # "poisoned"
+                retry.append(member)
+                poison = value if value is not None else poison
+        if retry:
+            await self._quarantine_and_retry(entry, retry, poison)
+
+    def _solve_batch_sync(
+        self, entry: PooledSession, members: list[_Pending], full_path: bool
+    ) -> list[tuple]:
+        """Worker-thread body: solve every member on the entry's view.
+
+        Returns one ``(kind, value)`` outcome per member — ``"ok"`` with
+        a :class:`ServeResult`, ``"error"`` with a request-level
+        exception, or ``"poisoned"`` when the session must be quarantined
+        (the poisoning member carries the exception; members behind it in
+        the batch are retried without having touched the suspect cache).
+        """
+        chaos = self.config.chaos
+        results: dict[int, tuple] = {}
+        # coalesce compatible placement queries per sfc into one place_many
+        groups: dict[Any, list[_Pending]] = {}
+        if full_path and len(members) > 1:
+            for member in members:
+                if member.batchable(self.config.default_deadline):
+                    try:
+                        groups.setdefault(member.sfc, []).append(member)
+                    except TypeError:  # unhashable sfc: solve solo
+                        pass
+        poison: BaseException | None = None
+        for sfc, group in groups.items():
+            if len(group) < 2 or poison is not None:
+                continue
+            try:
+                if chaos is not None:
+                    self._maybe_inject(
+                        fault_decision(
+                            chaos, ("serve-batch", group[0].seq), group[0].attempts
+                        )
+                    )
+                started = time.perf_counter()
+                placed = entry.view.place_many(
+                    [member.flows for member in group], sfc
+                )
+                per_member = (time.perf_counter() - started) / len(group)
+            except _REQUEST_ERRORS as exc:
+                # request-level outcome for the whole batch: the session
+                # is fine, the queries were unservable
+                for member in group:
+                    results[id(member)] = ("error", exc)
+                continue
+            except Exception as exc:
+                poison = exc
+                continue
+            for member, result in zip(group, placed):
+                results[id(member)] = self._served(
+                    member, entry, result, per_member, batched=True
+                )
+            self.counters["batched_solves"] += 1
+            self.counters["batch_requests"] += len(group)
+            count("serve_batched_solves")
+        for member in members:
+            if id(member) in results or poison is not None:
+                continue
+            try:
+                if chaos is not None:
+                    self._maybe_inject(
+                        fault_decision(chaos, ("serve", member.seq), member.attempts)
+                    )
+                started = time.perf_counter()
+                result = self._solve_one(entry, member, full_path)
+            except _REQUEST_ERRORS as exc:
+                results[id(member)] = ("error", exc)
+                continue
+            except Exception as exc:
+                # unexpected: the session is suspect — this member and
+                # everything unanswered behind it go to quarantine-retry
+                poison = exc
+                continue
+            results[id(member)] = self._served(
+                member, entry, result, time.perf_counter() - started,
+                batched=False,
+            )
+        outcomes = [
+            results.get(id(member), ("poisoned", poison)) for member in members
+        ]
+        for outcome in outcomes:
+            if outcome[0] == "ok":
+                entry.solves += 1
+                if full_path:
+                    self.breaker.record(outcome[1].solve_seconds)
+        return outcomes
+
+    def _maybe_inject(self, fault: str | None) -> None:
+        if fault is None:
+            return
+        if fault == "delay":
+            time.sleep(self.config.chaos.delay_seconds)
+        elif fault == "timeout":
+            raise TimeoutError("injected solver hang")
+        elif fault in ("crash", "kill"):
+            from repro.runtime.resilience import ChaosError
+
+            raise ChaosError(f"injected solver crash ({fault})")
+
+    def _solve_one(self, entry: PooledSession, member: _Pending, full_path: bool):
+        deadline = (
+            member.deadline
+            if member.deadline is not _UNSET
+            else self.config.default_deadline
+        )
+        if not full_path:
+            # breaker open: force the zero-deadline fallback chain — the
+            # cheapest stage answers and the result is flagged degraded
+            result = entry.view.solve(
+                member.flows, member.sfc, prev=member.prev, mu=member.mu,
+                algo=member.algo, deadline=0.0, **member.options,
+            )
+            result.extra["breaker"] = "open"
+            self.counters["breaker_degraded"] += 1
+            count("serve_breaker_degraded")
+            return result
+        if deadline is not None:
+            # the budget covers queue wait too: a request that waited its
+            # whole deadline out in the queue gets the fallback chain
+            deadline = max(0.0, deadline - (time.perf_counter() - member.submitted))
+        return entry.view.solve(
+            member.flows, member.sfc, prev=member.prev, mu=member.mu,
+            algo=member.algo, deadline=deadline, **member.options,
+        )
+
+    def _served(self, member, entry, result, solve_seconds, *, batched) -> tuple:
+        now = time.perf_counter()
+        return (
+            "ok",
+            ServeResult(
+                result=result,
+                seq=member.seq,
+                latency=now - member.submitted,
+                queue_seconds=max(0.0, now - member.submitted - solve_seconds),
+                solve_seconds=solve_seconds,
+                batched=batched,
+                generation=entry.generation,
+                fault_state=entry.state,
+                attempts=member.attempts + 1,
+            ),
+        )
+
+    async def _quarantine_and_retry(
+        self,
+        entry: PooledSession,
+        members: list[_Pending],
+        exc: BaseException | None,
+    ) -> None:
+        reason = repr(exc) if exc is not None else "unknown solver failure"
+        self.pool.quarantine(entry, reason=reason)
+        give_up = [m for m in members if m.attempts >= self.config.retry_attempts]
+        retry = [m for m in members if m.attempts < self.config.retry_attempts]
+        for member in give_up:
+            self._finish(
+                member,
+                error=ServiceError(
+                    f"request {member.seq} failed after "
+                    f"{member.attempts + 1} attempt(s): {reason}"
+                ),
+            )
+        if not retry:
+            return
+        for member in retry:
+            member.attempts += 1
+        self.counters["retries"] += len(retry)
+        count("serve_requests_retried", len(retry))
+        await asyncio.sleep(
+            backoff_delay(self._resilience, retry[0].seq, retry[0].attempts)
+        )
+        try:
+            fresh = await asyncio.to_thread(self.pool.rebuild, entry)
+        except asyncio.CancelledError:
+            raise
+        except Exception as rebuild_exc:
+            for member in retry:
+                self._finish(
+                    member,
+                    error=ServiceError(f"session rebuild failed: {rebuild_exc!r}"),
+                )
+            return
+        await self._solve_members(fresh, retry)
+
+    def _finish(
+        self, pending: _Pending, *, served: ServeResult | None = None, error=None
+    ) -> None:
+        if not pending.future.done():
+            if error is not None:
+                pending.future.set_exception(error)
+            else:
+                pending.future.set_result(served)
+        if served is not None:
+            self.latency.record(served.latency)
+            self.counters["completed"] += 1
+            count("serve_requests_completed")
+            if served.degraded:
+                self.counters["degraded"] += 1
+                count("serve_requests_degraded")
+            if served.batched:
+                self.counters["batched"] += 1
+        else:
+            self.counters["failed"] += 1
+            count("serve_requests_failed")
+        self.admission.release()
+        if self.admission.outstanding == 0 and self._idle is not None:
+            self._idle.set()

@@ -132,11 +132,36 @@ class SolverSession:
         self._dynamic: DynamicAPSP | None = None
         #: last state handed to :meth:`apply` (events fold over this)
         self._applied_state = FaultState()
+        #: memoized content fingerprint of the bound topology
+        self._fingerprint: str | None = None
         count("sessions_created")
         # the APSP tables underlie every query; pay for them now, once
         topology.graph.distances
 
     # -- per-topology artifacts ----------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the bound topology (sha256 hex).
+
+        The serve layer keys its session pool by this — two topologies
+        that pickle to the same canonical bytes share one pooled session.
+        Computed once per session (the pickle round-trip is not free).
+        """
+        if self._fingerprint is None:
+            from repro.runtime.shm import content_fingerprint
+
+            self._fingerprint = content_fingerprint(self.topology)
+        return self._fingerprint
+
+    @property
+    def applied_state(self) -> FaultState:
+        """The last :class:`FaultState` handed to :meth:`apply`.
+
+        Event deltas fold over this; a quarantined session's replacement
+        replays it so the rebuilt view matches the one that was lost.
+        """
+        return self._applied_state
 
     @property
     def distances(self) -> np.ndarray:

@@ -190,7 +190,9 @@ class TestDependencyEpochs:
         cache.bump("strolls")
         cache.clear()
         assert cache.epoch("strolls") == 1
-        assert cache.stats()["epochs"] == {"strolls": 1}
+        assert cache.stats()["epochs"] == {
+            "strolls": {"epoch": 1, "hits": 0, "misses": 0, "invalidations": 1}
+        }
 
 
 class TestSharedEntries:

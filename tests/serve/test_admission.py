@@ -1,0 +1,108 @@
+"""Admission control: token bucket, outstanding bound, explicit sheds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.admission import AdmissionController, Overloaded, TokenBucket
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, 3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_is_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.retry_after == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ReproError):
+            TokenBucket(1.0, 0.5)
+
+
+class TestAdmissionController:
+    def test_queue_full_is_explicit_shed(self):
+        controller = AdmissionController(max_queue=2)
+        controller.admit("a")
+        controller.admit("a")
+        with pytest.raises(Overloaded) as info:
+            controller.admit("a")
+        assert info.value.reason == "queue_full"
+        assert controller.shed["queue_full"] == 1
+        # releasing opens a slot again
+        controller.release()
+        controller.admit("a")
+
+    def test_outstanding_covers_inflight_not_just_queued(self):
+        controller = AdmissionController(max_queue=3)
+        for _ in range(3):
+            controller.admit("a")
+        assert controller.outstanding == 3
+        assert controller.peak_outstanding == 3
+
+    def test_rate_limit_is_per_topology(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue=100, rate_limit=1.0, burst=1.0, clock=clock
+        )
+        controller.admit("topo-a")
+        with pytest.raises(Overloaded) as info:
+            controller.admit("topo-a")
+        assert info.value.reason == "rate_limited"
+        assert info.value.retry_after == pytest.approx(1.0)
+        # a different topology has its own bucket
+        controller.admit("topo-b")
+        clock.advance(1.0)
+        controller.admit("topo-a")
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController(max_queue=1)
+        with pytest.raises(ReproError):
+            controller.release()
+
+    def test_stats_shape(self):
+        controller = AdmissionController(max_queue=4, rate_limit=10.0)
+        controller.admit("a")
+        stats = controller.stats()
+        assert stats["outstanding"] == 1
+        assert stats["admitted"] == 1
+        assert stats["max_queue"] == 4
+        assert stats["shed"] == {}
+        assert stats["tracked_topologies"] == 1

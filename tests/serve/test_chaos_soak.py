@@ -1,0 +1,166 @@
+"""Chaos soak: crashes + deadline storms + fault bursts, then recovery.
+
+The acceptance test for the serve layer.  The service runs a three-phase
+soak under deterministic chaos injection (solver crashes and hangs via
+:class:`ChaosConfig`), a mid-run deadline storm (every request carries a
+zero budget), and fault-event bursts (switch fail/repair deltas ingested
+mid-traffic).  Asserted throughout:
+
+* **no deadlock** — the whole soak must finish inside a hard wall-clock
+  bound (``asyncio.wait_for``), with the queue drained and zero
+  outstanding admissions at the end;
+* **no silent wrong answers** — every served result is replayed offline
+  against a fresh session walked to the same
+  :class:`~repro.faults.process.FaultState`; exact requests must be
+  bit-identical to the exact solve and degraded ones to the
+  zero-deadline fallback, so a result can only differ by being
+  *explicitly flagged* degraded;
+* **recovery** — after the chaotic middle phase the service returns to
+  steady state: the closing phase completes every request and its
+  throughput stays within an order of magnitude of the opening phase's.
+
+Sized by ``REPRO_SOAK_REQUESTS`` (default 60; nightly CI raises it) and
+bounded by ``REPRO_SOAK_TIMEOUT`` seconds.  Marked ``slow``: the serve CI
+job opts in with ``-m serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime.resilience import ChaosConfig
+from repro.serve import Overloaded, PlacementService, ServeConfig
+from repro.session import SolverSession
+
+pytestmark = [pytest.mark.serve, pytest.mark.slow]
+
+SOAK_REQUESTS = int(os.environ.get("REPRO_SOAK_REQUESTS", "60"))
+SOAK_TIMEOUT = float(os.environ.get("REPRO_SOAK_TIMEOUT", "180"))
+
+
+def _safe_switches(topology):
+    edge = {int(s) for s in np.asarray(topology.host_edge_switch).ravel()}
+    return sorted(int(s) for s in topology.switches if int(s) not in edge)
+
+
+def _event(switch, action):
+    return {"hour": 1, "kind": "switch", "action": action, "target": switch}
+
+
+class TestChaosSoak:
+    def test_soak_survives_and_recovers(self, ft4, small_scenario):
+        per_phase = max(SOAK_REQUESTS // 3, 6)
+        flowsets = [
+            small_scenario(ft4, 4, seed=seed) for seed in range(3 * per_phase)
+        ]
+        safe = _safe_switches(ft4)
+        chaos = ChaosConfig(
+            seed=13, crash_rate=0.08, timeout_rate=0.04, faulty_attempts=1
+        )
+        config = ServeConfig(
+            max_queue=32,
+            max_concurrency=4,
+            retry_attempts=1,
+            chaos=chaos,
+        )
+        async def fire(service, flows, deadline, log):
+            try:
+                if deadline is None:
+                    result = await service.submit(ft4, flows, 2)
+                else:
+                    result = await service.submit(ft4, flows, 2, deadline=deadline)
+            except Overloaded:
+                log["shed"] += 1
+                return
+            log["served"].append((flows, deadline, result))
+
+        async def phase(service, flowsets, *, deadline=None, faults=False):
+            log = {"served": [], "shed": 0}
+            started = asyncio.get_running_loop().time()
+            tasks = []
+            failed_now: list[int] = []
+            for index, flows in enumerate(flowsets):
+                tasks.append(
+                    asyncio.ensure_future(fire(service, flows, deadline, log))
+                )
+                if faults and index % 5 == 2:
+                    # burst: fail a fresh switch, repairing the previous one
+                    if failed_now:
+                        await service.ingest(
+                            ft4, [_event(failed_now.pop(), "repair")]
+                        )
+                    switch = safe[(index // 5) % len(safe)]
+                    failed_now.append(switch)
+                    await service.ingest(ft4, [_event(switch, "fail")])
+            await asyncio.gather(*tasks)
+            for switch in failed_now:  # leave the phase healthy
+                await service.ingest(ft4, [_event(switch, "repair")])
+            log["seconds"] = asyncio.get_running_loop().time() - started
+            return log
+
+        async def soak():
+            async with PlacementService(config) as service:
+                opening = await phase(service, flowsets[:per_phase])
+                storm = await phase(
+                    service,
+                    flowsets[per_phase : 2 * per_phase],
+                    deadline=0.0,  # deadline storm
+                    faults=True,  # fault-event bursts
+                )
+                closing = await phase(service, flowsets[2 * per_phase :])
+                assert service.ready
+                assert service.admission.outstanding == 0
+                return opening, storm, closing, service.metrics()
+
+        opening, storm, closing, metrics = asyncio.run(
+            asyncio.wait_for(soak(), timeout=SOAK_TIMEOUT)  # deadlock guard
+        )
+        phases = (opening, storm, closing)
+
+        # every request resolved one way or the other; none hung or died
+        # with an unflagged failure (chaos faults stop after attempt 0, so
+        # one retry always converges)
+        resolved = sum(len(p["served"]) + p["shed"] for p in phases)
+        assert resolved == 3 * per_phase
+        assert metrics["counters"].get("failed", 0) == 0
+        assert metrics["admission"]["peak_outstanding"] <= config.max_queue
+
+        # the chaos actually bit: quarantines and retries happened
+        assert metrics["pool"]["quarantined"] >= 1
+        assert metrics["counters"].get("retries", 0) >= 1
+
+        # no silent wrong answers: replay every served result against an
+        # offline session walked to the same fault state
+        oracle = SolverSession(ft4)
+        views: dict = {}
+        for p in phases:
+            for flows, deadline, served in p["served"]:
+                state = served.fault_state
+                if state not in views:
+                    views[state] = (
+                        oracle if state.is_healthy else oracle.apply(state)[2]
+                    )
+                view = views[state]
+                if served.degraded:
+                    expected = view.solve(flows, 2, deadline=0.0)
+                    assert served.result.extra["degraded"]
+                else:
+                    expected = view.place(flows, 2)
+                assert np.array_equal(served.result.placement, expected.placement)
+                assert served.result.cost == expected.cost
+
+        # recovery: the closing phase served everything it admitted with
+        # no lingering degradation, at a throughput within an order of
+        # magnitude of the untroubled opening phase
+        assert closing["served"], "closing phase served nothing"
+        assert all(not served.degraded for _, _, served in closing["served"])
+        opening_rps = len(opening["served"]) / opening["seconds"]
+        closing_rps = len(closing["served"]) / closing["seconds"]
+        assert closing_rps >= opening_rps / 10.0, (
+            f"service did not recover: {closing_rps:.1f} rps after chaos vs "
+            f"{opening_rps:.1f} rps before"
+        )

@@ -1,0 +1,130 @@
+"""Concurrent deadline pressure: exact-or-flagged, no cache corruption.
+
+The robustness claim under test: hammering one pooled solver session from
+many concurrent tasks with tight deadlines never yields a *wrong* result
+— every answer is either the exact solver output or explicitly flagged
+``degraded`` — and the shared compute cache sees no cross-request
+corruption: a serial replay of the same requests on a fresh session is
+bit-identical, answer by answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.serve import PlacementService, ServeConfig
+from repro.session import SolverSession
+
+pytestmark = pytest.mark.serve
+
+
+def _requests(small_scenario, topology, count):
+    """Mixed-deadline request stream: exact, zero-budget, and hair-trigger."""
+    deadlines = [None, 0.0, 1e-6]
+    return [
+        (small_scenario(topology, 4, seed=seed), deadlines[seed % 3])
+        for seed in range(count)
+    ]
+
+
+class TestServiceUnderDeadlineStorm:
+    def test_every_answer_exact_or_flagged_and_replayable(
+        self, ft4, small_scenario
+    ):
+        requests = _requests(small_scenario, ft4, 24)
+
+        async def hammer():
+            config = ServeConfig(max_concurrency=4, batch_window=0.001)
+            async with PlacementService(config) as service:
+                results = await asyncio.gather(
+                    *(
+                        service.submit(ft4, flows, 2, deadline=deadline)
+                        if deadline is not None
+                        else service.submit(ft4, flows, 2)
+                        for flows, deadline in requests
+                    )
+                )
+                return results, service.metrics()
+
+        results, metrics = run_loop(hammer())
+        session = SolverSession(ft4)  # fresh: the serial-replay oracle
+        exact = {
+            seed: session.place(flows, 2)
+            for seed, (flows, _) in enumerate(requests)
+        }
+        fallback = {
+            seed: session.solve(flows, 2, deadline=0.0)
+            for seed, (flows, _) in enumerate(requests)
+        }
+        for seed, ((flows, deadline), served) in enumerate(zip(requests, results)):
+            if served.degraded:
+                oracle = fallback[seed]
+                assert served.result.extra["degraded"]
+            else:
+                oracle = exact[seed]
+            assert np.array_equal(served.result.placement, oracle.placement), (
+                f"request {seed} (deadline={deadline}) diverged from serial replay"
+            )
+            assert served.result.cost == oracle.cost
+        # deterministic stages: None never degrades, 0.0 always does
+        for seed, ((_, deadline), served) in enumerate(zip(requests, results)):
+            if deadline is None:
+                assert not served.degraded
+            elif deadline == 0.0:
+                assert served.degraded
+        assert metrics["counters"]["completed"] == len(requests)
+        assert metrics["counters"].get("failed", 0) == 0
+
+    def test_storm_leaves_cache_healthy(self, ft4, small_scenario):
+        requests = _requests(small_scenario, ft4, 12)
+
+        async def hammer():
+            async with PlacementService(ServeConfig(max_concurrency=4)) as service:
+                await asyncio.gather(
+                    *(
+                        service.submit(ft4, flows, 2, deadline=deadline)
+                        if deadline is not None
+                        else service.submit(ft4, flows, 2)
+                        for flows, deadline in requests
+                    )
+                )
+                (entry,) = service.pool.entries()
+                assert entry.poisoned_reason() is None
+                return service.metrics()
+
+        metrics = run_loop(hammer())
+        assert metrics["pool"]["quarantined"] == 0
+
+
+class TestSharedSessionFromThreads:
+    """The raw-session variant: the cache itself is the shared state."""
+
+    def test_threaded_deadline_solves_match_serial(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(16)]
+        shared = SolverSession(ft4)
+
+        def solve(indexed):
+            index, flows = indexed
+            deadline = 0.0 if index % 2 else None
+            return shared.solve(flows, 2, deadline=deadline)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(pool.map(solve, enumerate(flowsets)))
+
+        serial_session = SolverSession(ft4)
+        for index, (flows, result) in enumerate(zip(flowsets, concurrent)):
+            deadline = 0.0 if index % 2 else None
+            oracle = serial_session.solve(flows, 2, deadline=deadline)
+            assert np.array_equal(result.placement, oracle.placement)
+            assert result.cost == oracle.cost
+            assert bool(result.extra.get("degraded")) == bool(
+                oracle.extra.get("degraded")
+            )
+
+
+def run_loop(coro):
+    return asyncio.run(coro)

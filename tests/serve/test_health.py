@@ -1,0 +1,151 @@
+"""Latency windows, the circuit breaker's state machine, and HTTP probes."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.health import CircuitBreaker, LatencyWindow, start_probe_server
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLatencyWindow:
+    def test_quantiles_over_window(self):
+        window = LatencyWindow(window=100)
+        for value in range(1, 101):
+            window.record(value / 100.0)
+        assert window.quantile(0.5) == pytest.approx(0.505)
+        assert window.quantile(0.95) == pytest.approx(0.9505)
+
+    def test_bounded_eviction(self):
+        window = LatencyWindow(window=4)
+        for value in (10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            window.record(value)
+        assert window.quantile(0.99) == pytest.approx(1.0)
+        assert window.count == 7
+        assert len(window) == 4
+
+    def test_empty_summary(self):
+        assert LatencyWindow().summary() == {
+            "count": 0, "window": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        defaults = dict(
+            budget=1.0, window=16, min_samples=4, cooldown=5.0, clock=clock
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_trips_on_p95_over_budget(self):
+        breaker, _ = self.make()
+        for _ in range(4):
+            assert breaker.allow_full()
+            breaker.record(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow_full()
+
+    def test_stays_closed_within_budget(self):
+        breaker, _ = self.make()
+        for _ in range(50):
+            breaker.record(0.5)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_full()
+
+    def test_half_open_probe_closes_on_fast_solve(self):
+        breaker, clock = self.make()
+        for _ in range(4):
+            breaker.record(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # exactly one probe allowed through at a time
+        assert breaker.allow_full()
+        assert not breaker.allow_full()
+        breaker.record(0.1)
+        assert breaker.state == CircuitBreaker.CLOSED
+        # the window restarted: old slow samples cannot immediately re-trip
+        breaker.record(0.1)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_retrips_on_slow_solve(self):
+        breaker, clock = self.make()
+        for _ in range(4):
+            breaker.record(2.0)
+        clock.advance(5.0)
+        assert breaker.allow_full()
+        breaker.record(3.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_none_budget_is_inert(self):
+        breaker = CircuitBreaker(budget=None)
+        for _ in range(100):
+            breaker.record(1e9)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_full()
+
+
+class FakeService:
+    """Just enough surface for the probe endpoints."""
+
+    def __init__(self) -> None:
+        self.live = True
+        self.ready = True
+
+    def metrics(self) -> dict:
+        return {"counters": {"completed": 7}}
+
+
+async def _get(port: int, path: str) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body
+
+
+class TestProbeServer:
+    def test_probe_endpoints(self):
+        async def run():
+            service = FakeService()
+            server = await start_probe_server(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                assert await _get(port, "/healthz") == (200, b"live\n")
+                assert await _get(port, "/readyz") == (200, b"ready\n")
+                status, body = await _get(port, "/metrics")
+                assert status == 200
+                assert json.loads(body) == {"counters": {"completed": 7}}
+                status, _ = await _get(port, "/nope")
+                assert status == 404
+                service.ready = False
+                assert (await _get(port, "/readyz"))[0] == 503
+                service.live = False
+                assert (await _get(port, "/healthz"))[0] == 503
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())

@@ -1,0 +1,136 @@
+"""Session pool: fingerprint keying, LRU eviction, quarantine and rebuild."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fat_tree
+from repro.faults.process import FaultState
+from repro.serve.pool import SessionPool
+
+pytestmark = pytest.mark.serve
+
+
+def _safe_switch(topology):
+    """A non-edge switch whose failure keeps the fabric connected."""
+    import numpy as np
+
+    edge = {int(s) for s in np.asarray(topology.host_edge_switch).ravel()}
+    return sorted(int(s) for s in topology.switches if int(s) not in edge)[0]
+
+
+class TestFingerprint:
+    def test_equal_topologies_share_a_key(self, ft4):
+        pool = SessionPool()
+        assert pool.fingerprint(ft4) == pool.fingerprint(fat_tree(4))
+
+    def test_distinct_topologies_differ(self, ft2, ft4):
+        pool = SessionPool()
+        assert pool.fingerprint(ft2) != pool.fingerprint(ft4)
+
+    def test_memoized_per_object(self, ft4):
+        pool = SessionPool()
+        first = pool.fingerprint(ft4)
+        assert pool.fingerprint(ft4) is first  # memo returns the same str
+
+
+class TestLifecycle:
+    def test_build_and_get(self, ft2):
+        pool = SessionPool(max_sessions=2)
+        key = pool.fingerprint(ft2)
+        entry = pool.build(key, ft2)
+        assert pool.get(key) is entry
+        assert len(pool) == 1
+
+    def test_lru_eviction(self, ft2, ft4, ft8):
+        pool = SessionPool(max_sessions=2)
+        keys = [pool.fingerprint(t) for t in (ft2, ft4, ft8)]
+        entries = [
+            pool.build(key, t) for key, t in zip(keys, (ft2, ft4, ft8))
+        ]
+        assert len(pool) == 2
+        assert pool.get(keys[0]) is None  # oldest evicted
+        assert pool.get(keys[1]) is entries[1]
+        assert pool.get(keys[2]) is entries[2]
+        assert pool.evicted == 1
+
+    def test_get_refreshes_recency(self, ft2, ft4, ft8):
+        pool = SessionPool(max_sessions=2)
+        keys = [pool.fingerprint(t) for t in (ft2, ft4, ft8)]
+        pool.build(keys[0], ft2)
+        pool.build(keys[1], ft4)
+        pool.get(keys[0])  # touch: ft2 becomes most recent
+        pool.build(keys[2], ft8)
+        assert pool.get(keys[1]) is None  # ft4 was the LRU
+        assert pool.get(keys[0]) is not None
+
+
+class TestQuarantine:
+    def test_quarantine_removes_current_entry(self, ft2):
+        pool = SessionPool()
+        key = pool.fingerprint(ft2)
+        entry = pool.build(key, ft2)
+        pool.quarantine(entry, reason="test poison")
+        assert pool.get(key) is None
+        assert pool.quarantined == 1
+        assert entry.last_quarantine_reason == "test poison"
+
+    def test_quarantine_spares_a_newer_mapping(self, ft2):
+        pool = SessionPool()
+        key = pool.fingerprint(ft2)
+        old = pool.build(key, ft2)
+        new = pool.build(key, ft2)  # replaces the mapping
+        pool.quarantine(old, reason="stale")
+        assert pool.get(key) is new
+
+    def test_rebuild_bumps_generation_and_replays_faults(self, ft4):
+        pool = SessionPool()
+        key = pool.fingerprint(ft4)
+        entry = pool.build(key, ft4)
+        state = FaultState(failed_switches=(_safe_switch(ft4),))
+        entry.apply(state)
+        assert not entry.state.is_healthy
+        pool.quarantine(entry, reason="poison")
+        fresh = pool.rebuild(entry)
+        assert fresh.generation == entry.generation + 1
+        assert fresh is pool.get(key)
+        assert fresh.cache is not entry.cache  # genuinely cold
+        assert fresh.state == state  # degraded view replayed
+        assert fresh.view is not fresh.base
+
+    def test_rebuild_of_healthy_entry_skips_replay(self, ft2):
+        pool = SessionPool()
+        key = pool.fingerprint(ft2)
+        entry = pool.build(key, ft2)
+        fresh = pool.rebuild(entry)
+        assert fresh.state.is_healthy
+        assert fresh.view is fresh.base
+
+
+class TestPoisonDetection:
+    def test_healthy_entry_reports_none(self, ft2, small_scenario):
+        pool = SessionPool()
+        key = pool.fingerprint(ft2)
+        entry = pool.build(key, ft2)
+        entry.base.place(small_scenario(ft2, 2, seed=1), 1)
+        assert entry.poisoned_reason() is None
+
+    def test_epoch_regression_is_poison(self, ft2):
+        pool = SessionPool()
+        entry = pool.build(pool.fingerprint(ft2), ft2)
+        entry.cache.bump("rates")
+        entry.cache.bump("rates")
+        assert entry.poisoned_reason() is None  # watermark now 2
+        # simulate corruption: a stray writer rewinding the epoch counter
+        entry.cache._epochs["rates"] = 1
+        reason = entry.poisoned_reason()
+        assert reason is not None and "regressed" in reason
+
+    def test_stats_expose_cache_epochs(self, ft2, small_scenario):
+        pool = SessionPool()
+        entry = pool.build(pool.fingerprint(ft2), ft2)
+        entry.base.place(small_scenario(ft2, 2, seed=3), 1)
+        stats = pool.stats()
+        assert stats["sessions"] == 1
+        (entry_stats,) = stats["entries"]
+        assert "epochs" in entry_stats["cache"]

@@ -1,0 +1,355 @@
+"""PlacementService: request path, backpressure, degradation, recovery."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.resilience import ChaosConfig
+from repro.serve import (
+    Overloaded,
+    PlacementService,
+    ServeConfig,
+    ServiceError,
+)
+from repro.session import SolverSession
+
+pytestmark = pytest.mark.serve
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _events(switch, action="fail"):
+    return [{"hour": 1, "kind": "switch", "action": action, "target": switch}]
+
+
+def _safe_switch(topology):
+    edge = {int(s) for s in np.asarray(topology.host_edge_switch).ravel()}
+    return sorted(int(s) for s in topology.switches if int(s) not in edge)[0]
+
+
+class TestRequestPath:
+    def test_served_result_matches_offline_session(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=5)
+
+        async def serve():
+            async with PlacementService() as service:
+                return await service.submit(ft2, flows, 1)
+
+        served = run(serve())
+        offline = SolverSession(ft2).place(flows, 1)
+        assert np.array_equal(served.result.placement, offline.placement)
+        assert served.result.cost == offline.cost  # bit-identical, not approx
+        assert served.result.algorithm == offline.algorithm
+        assert not served.degraded
+        assert served.attempts == 1
+        assert served.generation == 0
+        assert served.fault_state.is_healthy
+
+    def test_concurrent_requests_all_bit_identical_to_serial(
+        self, ft4, small_scenario
+    ):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(8)]
+
+        async def serve():
+            async with PlacementService(ServeConfig(max_concurrency=4)) as service:
+                return await asyncio.gather(
+                    *(service.submit(ft4, flows, 2) for flows in flowsets)
+                )
+
+        served = run(serve())
+        session = SolverSession(ft4)
+        for flows, result in zip(flowsets, served):
+            offline = session.place(flows, 2)
+            assert np.array_equal(result.result.placement, offline.placement)
+            assert result.result.cost == offline.cost
+
+    def test_batching_coalesces_compatible_requests(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(6)]
+
+        async def serve():
+            # one solver thread and a generous window: the queue must
+            # coalesce while the first solve holds the only slot
+            config = ServeConfig(max_concurrency=1, batch_window=0.05)
+            async with PlacementService(config) as service:
+                results = await asyncio.gather(
+                    *(service.submit(ft4, flows, 2) for flows in flowsets)
+                )
+                return results, service.metrics()
+
+        results, metrics = run(serve())
+        assert any(r.batched for r in results)
+        assert metrics["counters"]["batched_solves"] >= 1
+
+    def test_migration_requests_are_served(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=9)
+
+        async def serve():
+            async with PlacementService() as service:
+                placed = await service.submit(ft2, flows, 1)
+                return placed, await service.submit(
+                    ft2, flows, 1, prev=placed.result.placement, mu=10.0
+                )
+
+        placed, migrated = run(serve())
+        offline = SolverSession(ft2).migrate(
+            placed.result.placement, flows, mu=10.0
+        )
+        assert np.array_equal(migrated.result.migration, offline.migration)
+        assert migrated.result.cost == offline.cost
+
+    def test_submit_before_start_raises(self, ft2, small_scenario):
+        service = PlacementService()
+
+        async def submit():
+            await service.submit(ft2, small_scenario(ft2, 2, seed=0), 1)
+
+        with pytest.raises(ReproError):
+            run(submit())
+
+
+class TestBackpressure:
+    def test_queue_bound_sheds_explicitly(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(30)]
+
+        async def serve():
+            config = ServeConfig(max_queue=2, max_concurrency=1)
+            async with PlacementService(config) as service:
+                outcomes = await asyncio.gather(
+                    *(service.submit(ft4, flows, 2) for flows in flowsets),
+                    return_exceptions=True,
+                )
+                return outcomes, service.metrics()
+
+        outcomes, metrics = run(serve())
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert shed, "30 concurrent submits against max_queue=2 must shed"
+        assert all(o.reason == "queue_full" for o in shed)
+        assert len(shed) + len(served) == 30
+        # the bound held: outstanding never exceeded max_queue
+        assert metrics["admission"]["peak_outstanding"] <= 2
+
+    def test_rate_limit_sheds_with_retry_after(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 2, seed=1)
+
+        async def serve():
+            config = ServeConfig(rate_limit=1.0, burst=1.0)
+            async with PlacementService(config) as service:
+                first = await service.submit(ft2, flows, 1)
+                with pytest.raises(Overloaded) as info:
+                    await service.submit(ft2, flows, 1)
+                return first, info.value
+
+        first, overloaded = run(serve())
+        assert first.result is not None
+        assert overloaded.reason == "rate_limited"
+        assert overloaded.retry_after > 0
+
+    def test_draining_service_sheds(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 2, seed=2)
+
+        async def serve():
+            async with PlacementService() as service:
+                service._draining = True
+                with pytest.raises(Overloaded) as info:
+                    await service.submit(ft2, flows, 1)
+                service._draining = False
+                return info.value
+
+        assert run(serve()).reason == "draining"
+
+
+class TestDegradation:
+    def test_zero_deadline_serves_flagged_fallback(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=7)
+
+        async def serve():
+            async with PlacementService() as service:
+                return await service.submit(ft2, flows, 1, deadline=0.0)
+
+        served = run(serve())
+        assert served.degraded
+        offline = SolverSession(ft2).solve(flows, 1, deadline=0.0)
+        assert np.array_equal(served.result.placement, offline.placement)
+        assert served.result.cost == offline.cost
+        assert served.result.extra["deadline"]["requested"] == "dp"
+
+    def test_default_deadline_applies_when_unspecified(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=7)
+
+        async def serve():
+            config = ServeConfig(default_deadline=0.0)
+            async with PlacementService(config) as service:
+                return await service.submit(ft2, flows, 1)
+
+        assert run(serve()).degraded
+
+    def test_breaker_trips_to_degraded_mode(self, ft2, small_scenario):
+        flowsets = [small_scenario(ft2, 3, seed=s) for s in range(8)]
+
+        async def serve():
+            config = ServeConfig(
+                latency_budget=1e-9,  # every real solve violates it
+                breaker_min_samples=2,
+                breaker_window=4,
+                breaker_cooldown=60.0,
+                batch_window=0.0,  # solo solves: each feeds the breaker
+            )
+            async with PlacementService(config) as service:
+                results = []
+                for flows in flowsets:
+                    results.append(await service.submit(ft2, flows, 1))
+                return results, service.metrics()
+
+        results, metrics = run(serve())
+        assert metrics["breaker"]["trips"] >= 1
+        tripped = [r for r in results if r.result.extra.get("breaker") == "open"]
+        assert tripped, "breaker must force requests onto the degraded path"
+        assert all(r.degraded for r in tripped)
+        assert metrics["counters"]["breaker_degraded"] == len(tripped)
+
+
+class TestCrashRecovery:
+    def test_injected_crash_is_retried_transparently(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=4)
+
+        async def serve():
+            config = ServeConfig(
+                chaos=ChaosConfig(seed=3, crash_rate=1.0, faulty_attempts=1),
+                retry_attempts=1,
+                batch_window=0.0,
+            )
+            async with PlacementService(config) as service:
+                served = await service.submit(ft2, flows, 1)
+                return served, service.metrics()
+
+        served, metrics = run(serve())
+        assert served.attempts == 2
+        assert served.generation >= 1  # answered by a rebuilt session
+        offline = SolverSession(ft2).place(flows, 1)
+        assert np.array_equal(served.result.placement, offline.placement)
+        assert served.result.cost == offline.cost
+        assert metrics["pool"]["quarantined"] >= 1
+        assert metrics["counters"]["retries"] >= 1
+
+    def test_exhausted_retries_surface_service_error(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=4)
+
+        async def serve():
+            config = ServeConfig(
+                # faults on every attempt: retry cannot converge
+                chaos=ChaosConfig(seed=3, crash_rate=1.0, faulty_attempts=99),
+                retry_attempts=1,
+                batch_window=0.0,
+            )
+            async with PlacementService(config) as service:
+                with pytest.raises(ServiceError):
+                    await service.submit(ft2, flows, 1)
+
+        run(serve())
+
+    def test_injected_timeout_also_quarantines(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=4)
+
+        async def serve():
+            config = ServeConfig(
+                chaos=ChaosConfig(seed=5, timeout_rate=1.0, faulty_attempts=1),
+                retry_attempts=1,
+                batch_window=0.0,
+            )
+            async with PlacementService(config) as service:
+                return await service.submit(ft2, flows, 1)
+
+        assert run(serve()).attempts == 2
+
+
+class TestFaultIngestion:
+    def test_events_change_subsequent_answers(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=8)
+        switch = _safe_switch(ft4)
+
+        async def serve():
+            async with PlacementService() as service:
+                healthy = await service.submit(ft4, flows, 2)
+                await service.ingest(ft4, _events(switch))
+                degraded = await service.submit(ft4, flows, 2)
+                await service.ingest(ft4, _events(switch, "repair"))
+                repaired = await service.submit(ft4, flows, 2)
+                return healthy, degraded, repaired
+
+        healthy, degraded, repaired = run(serve())
+        assert healthy.fault_state.is_healthy
+        assert degraded.fault_state.failed_switches == (switch,)
+        assert repaired.fault_state.is_healthy
+        assert switch not in set(int(s) for s in degraded.result.placement)
+        # bit-identity against an offline session walked through the
+        # same fault deltas
+        session = SolverSession(ft4)
+        _, _, view = session.apply(degraded.fault_state)
+        offline = view.place(flows, 2)
+        assert np.array_equal(degraded.result.placement, offline.placement)
+        assert degraded.result.cost == offline.cost
+        assert repaired.result.cost == healthy.result.cost
+
+    def test_malformed_event_is_rejected(self, ft2):
+        async def serve():
+            async with PlacementService() as service:
+                with pytest.raises(ReproError):
+                    await service.ingest(
+                        ft2, [{"hour": 1, "kind": "router", "action": "fail",
+                               "target": 3}]
+                    )
+
+        run(serve())
+
+
+class TestLifecycle:
+    def test_stop_drains_inflight_requests(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(6)]
+
+        async def serve():
+            service = await PlacementService(
+                ServeConfig(max_concurrency=1)
+            ).start()
+            futures = [
+                asyncio.ensure_future(service.submit(ft4, flows, 2))
+                for flows in flowsets
+            ]
+            await asyncio.sleep(0)  # let submits enqueue
+            summary = await service.stop(drain=True)
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            return summary, results
+
+        summary, results = run(serve())
+        assert summary["drained"]
+        assert all(not isinstance(r, BaseException) for r in results)
+
+    def test_probes_reflect_lifecycle(self, ft2):
+        async def serve():
+            service = PlacementService()
+            assert not service.live and not service.ready
+            await service.start()
+            assert service.live and service.ready
+            await service.stop()
+            assert not service.live and not service.ready
+
+        run(serve())
+
+    def test_metrics_shape(self, ft2, small_scenario):
+        async def serve():
+            async with PlacementService() as service:
+                await service.submit(ft2, small_scenario(ft2, 2, seed=0), 1)
+                return service.metrics()
+
+        metrics = run(serve())
+        for key in ("admission", "breaker", "latency", "pool", "counters"):
+            assert key in metrics
+        assert metrics["counters"]["completed"] == 1
+        (entry,) = metrics["pool"]["entries"]
+        assert "epochs" in entry["cache"]  # cache health without private state
