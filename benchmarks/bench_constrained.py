@@ -1,0 +1,165 @@
+"""Benchmark: constrained solve throughput (MSG vs constrained exact).
+
+Times the constrained placement family on one topology across constraint
+regimes — unconstrained MSG, capacity-pruned, delay-bounded, and the
+multi-SFC contention loop — and compares against the constrained exact
+solver where the instance is gate-sized.  The interesting ratios:
+
+* MSG under active constraints should stay within a small factor of the
+  unconstrained MSG solve (pruning pays for the label bookkeeping);
+* the constrained exact solve is the cost ceiling MSG is amortizing
+  away — the speedup column is why the beam family exists.
+
+The JSON report (``--json``, default ``reports/BENCH_constrained.json``)
+is persisted as a CI artifact next to ``BENCH_incremental.json``.
+
+Usage::
+
+    python benchmarks/bench_constrained.py            # default sizes
+    python benchmarks/bench_constrained.py --smoke    # CI-sized
+    python benchmarks/bench_constrained.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import (
+    Constraints,
+    FacebookTrafficModel,
+    fat_tree,
+    msg_placement,
+    optimal_placement,
+    place_chains,
+    place_vm_pairs,
+)
+from repro.constraints import chain_delay
+from repro.core.placement import dp_placement
+from repro.utils.results_io import write_text_atomic
+
+
+def _timed(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench(k, num_pairs, n, num_chains, repeats, json_path, smoke):
+    topology = fat_tree(k)
+    flows = place_vm_pairs(topology, num_pairs, seed=3)
+    flows = flows.with_rates(FacebookTrafficModel().sample(num_pairs, rng=3))
+    reference = chain_delay(topology, dp_placement(topology, flows, n).placement)
+    regimes = {
+        "unconstrained": None,
+        "capacity": Constraints(
+            vnf_capacity=1,
+            occupancy={int(s): 1 for s in topology.switches[: k]},
+        ),
+        "delay": Constraints(max_delay=1.2 * reference) if reference else None,
+        "combined": Constraints(
+            vnf_capacity=2,
+            max_delay=1.5 * reference if reference else None,
+            bandwidth=4.0 * float(flows.total_rate),
+        ),
+    }
+
+    report = {"k": k, "num_pairs": num_pairs, "n": n, "smoke": smoke,
+              "regimes": {}}
+    baseline = None
+    for name, constraints in regimes.items():
+        seconds, result = _timed(
+            lambda c=constraints: msg_placement(
+                topology, flows, n, constraints=c
+            ),
+            repeats,
+        )
+        if baseline is None:
+            baseline = seconds
+        row = {
+            "seconds": seconds,
+            "cost": float(result.cost),
+            "vs_unconstrained": seconds / baseline if baseline else None,
+        }
+        exact_ok = topology.num_switches <= 12 and n <= 4
+        if exact_ok:
+            exact_seconds, exact = _timed(
+                lambda c=constraints: optimal_placement(
+                    topology, flows, n, constraints=c
+                ),
+                repeats,
+            )
+            row["exact_seconds"] = exact_seconds
+            row["msg_speedup_vs_exact"] = exact_seconds / max(seconds, 1e-12)
+            row["optimality_gap"] = float(result.cost) / max(
+                float(exact.cost), 1e-12
+            ) - 1.0
+        report["regimes"][name] = row
+        print(
+            f"{name:14s} {seconds * 1e3:8.2f} ms  cost {row['cost']:.4g}"
+            + (
+                f"  exact {row['exact_seconds'] * 1e3:8.2f} ms "
+                f"(speedup {row['msg_speedup_vs_exact']:.1f}x, "
+                f"gap {row['optimality_gap']:+.2%})"
+                if "exact_seconds" in row
+                else ""
+            )
+        )
+
+    chains = []
+    for i in range(num_chains):
+        fl = place_vm_pairs(topology, num_pairs, seed=100 + i)
+        chains.append(
+            (fl.with_rates(FacebookTrafficModel().sample(num_pairs, rng=100 + i)), n)
+        )
+    for order in ("first-fit", "contention-aware"):
+        seconds, result = _timed(
+            lambda o=order: place_chains(
+                topology, chains,
+                constraints=Constraints(vnf_capacity=1), order=o,
+            ),
+            repeats,
+        )
+        report["regimes"][f"contention:{order}"] = {
+            "seconds": seconds,
+            "accepted": result.accepted,
+            "offered": num_chains,
+            "chains_per_second": num_chains / max(seconds, 1e-12),
+        }
+        print(
+            f"contention:{order:17s} {seconds * 1e3:8.2f} ms  "
+            f"admitted {result.accepted}/{num_chains}"
+        )
+
+    if json_path:
+        write_text_atomic(json_path, json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {json_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    parser.add_argument("--pairs", type=int, default=12)
+    parser.add_argument("--n", type=int, default=3, help="chain length")
+    parser.add_argument("--chains", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (k=2, 1 repeat)"
+    )
+    parser.add_argument("--json", default="reports/BENCH_constrained.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return bench(2, 6, 3, 4, 1, args.json, True)
+    return bench(
+        args.k, args.pairs, args.n, args.chains, args.repeats, args.json, False
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,9 +28,23 @@ sfc)`` …) with the keyword-only convention ``(topology, flows, sfc, *,
 seed=..., cache=..., budget=...)``; a session just amortizes the
 per-topology precomputation across calls.  All results share the
 ``cost`` / ``placement`` / ``meta`` / ``to_dict()`` surface.
+
+Constrained queries thread one typed :class:`~repro.constraints.
+Constraints` object through the same entry points::
+
+    from repro import Constraints
+    capped = session.place(
+        flows, sfc_of_size(3),
+        constraints=Constraints(vnf_capacity=1, max_delay=12.0),
+    )          # solved by the MSG stage-graph family; a diagnosed
+               # InfeasibleError means no placement satisfies the bounds
+
+``Constraints.none()`` (or ``constraints=None``) is bit-identical to the
+unconstrained path.
 """
 
 from repro.baselines.greedy_liu import greedy_liu_placement
+from repro.constraints import Constraints, active_constraints, chain_delay
 from repro.baselines.mcf_migration import mcf_vm_migration
 from repro.baselines.plan import plan_vm_migration
 from repro.baselines.random_placement import random_placement, random_placement_quantiles
@@ -42,6 +56,7 @@ from repro.core.primal_dual import primal_dual_placement_top1
 from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import (
     BudgetExceededError,
+    ConstraintError,
     FaultError,
     GraphError,
     InfeasibleError,
@@ -64,6 +79,14 @@ from repro.faults import (
 )
 from repro.graphs import CostGraph, GraphBuilder
 from repro.session import SolverSession
+from repro.solvers import (
+    ContentionResult,
+    msg_greedy_migration,
+    msg_greedy_placement,
+    msg_migration,
+    msg_placement,
+    place_chains,
+)
 from repro.topology import (
     Topology,
     bcube,
@@ -104,6 +127,11 @@ __all__ = [
     "InfeasibleError",
     "BudgetExceededError",
     "SolverError",
+    "ConstraintError",
+    # constraints
+    "Constraints",
+    "chain_delay",
+    "active_constraints",
     # faults
     "FaultConfig",
     "FaultEvent",
@@ -134,6 +162,13 @@ __all__ = [
     "random_placement_quantiles",
     "plan_vm_migration",
     "mcf_vm_migration",
+    # constrained family
+    "msg_placement",
+    "msg_greedy_placement",
+    "msg_migration",
+    "msg_greedy_migration",
+    "place_chains",
+    "ContentionResult",
     # topology
     "Topology",
     "fat_tree",

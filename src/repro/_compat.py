@@ -1,23 +1,24 @@
-"""Deprecation shims for the pre-session solver signatures.
+"""Tombstones for the retired pre-session solver signatures.
 
 The solver entry points (``dp_placement``, ``optimal_placement``, the
 baselines, …) were unified behind one keyword-only calling convention::
 
     solver(topology, flows, sfc, *, seed=..., cache=..., budget=...)
 
-Old call styles keep working for one release: trailing positional
-arguments beyond the lead block, and the legacy parameter names
-(``node_budget`` → ``budget``, ``rng`` → ``seed``), are remapped here and
-emit exactly one :class:`DeprecationWarning` per call.  Internal code
-never goes through this shim — CI runs the compat tests under
-``-W error::DeprecationWarning`` to prove it.
+For one release the old call styles — trailing positional arguments
+beyond the lead block, and the legacy parameter names (``node_budget`` →
+``budget``, ``rng`` → ``seed``) — were remapped here with a
+:class:`DeprecationWarning`.  That release has shipped; the shims are
+retired.  Legacy calls now raise :class:`TypeError` with a message that
+names the keyword to use, so a stale call site fails loudly at the call,
+not three frames deep inside a solver.  CI runs the suite under
+``-W error::DeprecationWarning`` to prove no deprecation path remains.
 """
 
 from __future__ import annotations
 
 import functools
 import inspect
-import warnings
 from typing import Callable, Mapping
 
 __all__ = ["legacy_signature"]
@@ -26,26 +27,23 @@ __all__ = ["legacy_signature"]
 def legacy_signature(
     *legacy_order: str, renames: Mapping[str, str] | None = None
 ) -> Callable:
-    """Adapt legacy positional/keyword calls onto a keyword-only signature.
+    """Reject legacy positional/keyword calls with a pointed ``TypeError``.
 
     Parameters
     ----------
     legacy_order:
         The *new* names of the formerly-positional parameters, in the
         order the old signature accepted them after the lead positional
-        block.  A call passing extra positional arguments has them bound
-        to these names.
+        block — used to tell the caller which keyword each stray
+        positional argument should become.
     renames:
-        Map of legacy keyword name -> new keyword name (e.g.
+        Map of retired keyword name -> current name (e.g.
         ``{"node_budget": "budget"}``).
 
     The wrapped function must take its lead parameters as plain
     positional-or-keyword parameters and everything else keyword-only;
-    the lead block's size is read off its signature.  Any legacy usage —
-    extra positionals, renamed keywords, or both — triggers exactly one
-    :class:`DeprecationWarning` per call and is then forwarded to the new
-    signature unchanged, so legacy and new-style calls return identical
-    results.
+    the lead block's size is read off its signature.  New-style calls
+    pass through untouched (the wrapper adds no per-call remapping).
     """
     renames = dict(renames or {})
 
@@ -55,40 +53,24 @@ def legacy_signature(
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            legacy_used: list[str] = []
             if len(args) > lead:
                 extra = args[lead:]
-                if len(extra) > len(legacy_order):
-                    raise TypeError(
-                        f"{fn.__name__}() takes at most "
-                        f"{lead + len(legacy_order)} positional arguments "
-                        f"({lead + len(extra)} given)"
-                    )
-                for name, value in zip(legacy_order, extra):
-                    if name in kwargs:
-                        raise TypeError(
-                            f"{fn.__name__}() got multiple values for argument {name!r}"
-                        )
-                    kwargs[name] = value
-                    legacy_used.append(f"positional {name!r}")
-                args = args[:lead]
+                hints = ", ".join(
+                    f"{name}={value!r}"
+                    for name, value in zip(legacy_order, extra)
+                )
+                hint = f" — pass {hints} by keyword" if hints else ""
+                raise TypeError(
+                    f"{fn.__name__}() takes {lead} positional arguments but "
+                    f"{len(args)} were given; the pre-1.0 positional call "
+                    f"style was removed{hint}"
+                )
             for old, new in renames.items():
                 if old in kwargs:
-                    if new in kwargs:
-                        raise TypeError(
-                            f"{fn.__name__}() got values for both {old!r} and {new!r}"
-                        )
-                    kwargs[new] = kwargs.pop(old)
-                    legacy_used.append(f"{old!r} (now {new!r})")
-            if legacy_used:
-                warnings.warn(
-                    f"{fn.__name__}(): legacy call style "
-                    f"({', '.join(legacy_used)}) is deprecated; pass "
-                    "parameters by their new keyword names "
-                    "(see repro._compat)",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
+                    raise TypeError(
+                        f"{fn.__name__}() got the retired keyword {old!r}; "
+                        f"it was renamed to {new!r}"
+                    )
             return fn(*args, **kwargs)
 
         return wrapper

@@ -1,0 +1,333 @@
+"""Typed placement constraints: capacity, delay and bandwidth in one object.
+
+The paper's TOP/TOM formulation places VNFs purely by traffic cost;
+realistic fabrics add what it does not model — per-switch capacity,
+end-to-end delay SLOs, and per-chain bandwidth demands (Sallam et al.'s
+SFC-constrained routing, Sang et al.'s joint placement-and-allocation
+coupling; see PAPERS.md).  :class:`Constraints` is the one typed object
+the whole query surface threads through — ``SolverSession.place /
+migrate / solve / place_many``, the constrained solvers, the serve
+layer's requests, and the CLI — replacing ad-hoc kwargs.
+
+Semantics (for one chain with total traffic rate ``Λ = Σ_i λ_i`` placed
+at ``p = (p_1 … p_n)``):
+
+* **vnf_capacity** — at most this many VNFs may be co-resident on one
+  switch, counting the pre-existing ``occupancy``; a single chain uses
+  distinct switches (the paper's anti-affinity rule), so the cap binds
+  when chains *compete* for the fabric (multi-SFC contention).
+* **max_delay** — the shared SFC path delay ``Σ_j c(p_j, p_{j+1})`` must
+  not exceed this bound.  The chain segment is the part every flow
+  traverses; per-flow host-to-ingress stretches vary per flow and are
+  priced (Eq. 1) but not bounded.
+* **bandwidth** — per-switch processing bandwidth: the summed traffic of
+  chains crossing a switch (its pre-existing ``load`` plus this chain's
+  ``Λ``) must fit.  Every VNF of a chain sees the chain's full traffic,
+  so one chain charges ``Λ`` to each switch it uses.
+
+``Constraints.none()`` is the explicit "no constraints" value; every
+solver treats it exactly like passing nothing, so results on that path
+are bit-identical to the unconstrained code (an acceptance criterion of
+the constrained family, pinned by tests).
+
+Feasibility failures are *outcomes*, not crashes: helpers here build the
+diagnosis dicts :class:`~repro.errors.InfeasibleError` carries, so a
+rejected chain can be reported (which constraint, by how much) instead
+of silently dropped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConstraintError
+from repro.topology.base import Topology
+
+__all__ = ["Constraints", "chain_delay", "active_constraints"]
+
+#: slack for re-checking a solver's delay against the bound: both sides
+#: sum the same float64 APSP entries, possibly in different orders
+DELAY_RTOL = 1e-9
+
+
+def chain_delay(topology: Topology, placement: Sequence[int] | np.ndarray) -> float:
+    """``Σ_j c(p_j, p_{j+1})`` — the shared SFC path delay, from the APSP."""
+    p = np.asarray(placement, dtype=np.int64)
+    if p.size < 2:
+        return 0.0
+    return float(topology.graph.distances[p[:-1], p[1:]].sum())
+
+
+def _canonical_pairs(value, *, kind: str, integral: bool):
+    """Normalize a Mapping / pair-iterable into a sorted tuple of pairs."""
+    if value is None:
+        return ()
+    items = value.items() if isinstance(value, Mapping) else value
+    out = {}
+    for pair in items:
+        try:
+            switch, amount = pair
+        except (TypeError, ValueError):
+            raise ConstraintError(
+                f"{kind} entries must be (switch, amount) pairs, got {pair!r}"
+            ) from None
+        switch = int(switch)
+        amount = int(amount) if integral else float(amount)
+        if amount < 0 or (not integral and not math.isfinite(amount)):
+            raise ConstraintError(
+                f"{kind}[{switch}] must be a finite non-negative amount, got {amount!r}"
+            )
+        if switch in out:
+            raise ConstraintError(f"{kind} lists switch {switch} twice")
+        if amount:
+            out[switch] = amount
+    return tuple(sorted(out.items()))
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Capacity/delay/bandwidth bounds for one placement query (frozen).
+
+    Attributes
+    ----------
+    vnf_capacity:
+        Max VNFs co-resident on one switch (``None`` = unbounded).
+    max_delay:
+        Bound on the chain path delay ``Σ_j c(p_j, p_{j+1})``.
+    bandwidth:
+        Per-switch processing bandwidth in traffic-rate units.
+    occupancy:
+        Pre-existing VNF counts per switch, as sorted ``(switch, count)``
+        pairs (a mapping is accepted and canonicalized).  Zero entries
+        are dropped, so two ways of writing "empty" compare equal.
+    load:
+        Pre-existing per-switch traffic load, same canonical shape.
+    """
+
+    vnf_capacity: int | None = None
+    max_delay: float | None = None
+    bandwidth: float | None = None
+    occupancy: tuple[tuple[int, int], ...] = field(default=())
+    load: tuple[tuple[int, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.vnf_capacity is not None:
+            capacity = self.vnf_capacity
+            if not isinstance(capacity, (int, np.integer)) or isinstance(capacity, bool):
+                raise ConstraintError(
+                    f"vnf_capacity must be an int >= 1 or None, got {capacity!r}"
+                )
+            if capacity < 1:
+                raise ConstraintError(
+                    f"vnf_capacity must be >= 1 (a zero-capacity switch set is a "
+                    f"misconfiguration, not a constraint), got {capacity}"
+                )
+            object.__setattr__(self, "vnf_capacity", int(capacity))
+        for name in ("max_delay", "bandwidth"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            value = float(value)
+            if not math.isfinite(value) or value <= 0.0:
+                raise ConstraintError(
+                    f"{name} must be a finite positive number or None, got {value!r}"
+                )
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self, "occupancy",
+            _canonical_pairs(self.occupancy, kind="occupancy", integral=True),
+        )
+        object.__setattr__(
+            self, "load", _canonical_pairs(self.load, kind="load", integral=False)
+        )
+
+    # -- the explicit no-constraints value ------------------------------------
+
+    @classmethod
+    def none(cls) -> "Constraints":
+        """The explicit "unconstrained" value (compares equal to the default)."""
+        return _NONE
+
+    @property
+    def is_none(self) -> bool:
+        """True iff no field constrains anything (the bit-identity path)."""
+        return (
+            self.vnf_capacity is None
+            and self.max_delay is None
+            and self.bandwidth is None
+            and not self.occupancy
+            and not self.load
+        )
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def occupancy_of(self, switch: int) -> int:
+        for sw, count in self.occupancy:
+            if sw == switch:
+                return count
+        return 0
+
+    def load_of(self, switch: int) -> float:
+        for sw, amount in self.load:
+            if sw == switch:
+                return amount
+        return 0.0
+
+    # -- feasibility -----------------------------------------------------------
+
+    def admissible_switches(
+        self, topology: Topology, chain_rate: float
+    ) -> np.ndarray:
+        """Switches with a free VNF slot *and* bandwidth headroom for ``Λ``.
+
+        The capacity/bandwidth pruning every constrained solver starts
+        from — a switch outside this set can host no VNF of the chain.
+        """
+        switches = topology.switches
+        if self.is_none:
+            return switches
+        occupancy = dict(self.occupancy)
+        load = dict(self.load)
+        keep = []
+        for sw in switches.tolist():
+            if (
+                self.vnf_capacity is not None
+                and occupancy.get(sw, 0) + 1 > self.vnf_capacity
+            ):
+                continue
+            if (
+                self.bandwidth is not None
+                and load.get(sw, 0.0) + chain_rate > self.bandwidth
+            ):
+                continue
+            keep.append(sw)
+        return np.asarray(keep, dtype=np.int64)
+
+    def check_placement(
+        self,
+        topology: Topology,
+        placement: Sequence[int] | np.ndarray,
+        chain_rate: float,
+        *,
+        rtol: float = DELAY_RTOL,
+    ) -> list[str]:
+        """Every constraint this placement violates, as plain sentences.
+
+        Recomputes capacity, bandwidth and delay from scratch (APSP table
+        plus the occupancy/load pairs) — the independent check the verify
+        layer and the solvers' own post-conditions share.  Empty list
+        means feasible.
+        """
+        if self.is_none:
+            return []
+        p = np.asarray(placement, dtype=np.int64)
+        problems: list[str] = []
+        for sw in p.tolist():
+            used = self.occupancy_of(sw) + int(np.count_nonzero(p == sw))
+            if self.vnf_capacity is not None and used > self.vnf_capacity:
+                problems.append(
+                    f"switch {sw} would host {used} VNFs "
+                    f"(vnf_capacity={self.vnf_capacity})"
+                )
+            if self.bandwidth is not None:
+                carried = self.load_of(sw) + chain_rate
+                if carried > self.bandwidth * (1.0 + rtol) + rtol:
+                    problems.append(
+                        f"switch {sw} would carry {carried!r} traffic "
+                        f"(bandwidth={self.bandwidth!r})"
+                    )
+        if self.max_delay is not None:
+            delay = chain_delay(topology, p)
+            if delay > self.max_delay * (1.0 + rtol) + rtol:
+                problems.append(
+                    f"chain delay {delay!r} exceeds max_delay {self.max_delay!r}"
+                )
+        # each violated switch is reported once even if listed twice above
+        return sorted(set(problems))
+
+    def diagnosis(
+        self, reason: str, **detail
+    ) -> dict:
+        """A JSON-friendly diagnosis dict for :class:`InfeasibleError`."""
+        return {"reason": reason, "constraints": self.to_dict(), **detail}
+
+    # -- contention threading --------------------------------------------------
+
+    def after_placement(
+        self, placement: Sequence[int] | np.ndarray, chain_rate: float
+    ) -> "Constraints":
+        """Constraints as seen by the *next* chain once this one is placed.
+
+        Adds one occupied slot and ``Λ`` of load to every switch the
+        placement uses — the sequential-contention bookkeeping of
+        :func:`repro.solvers.contention.place_chains`.
+        """
+        p = np.asarray(placement, dtype=np.int64)
+        occupancy = dict(self.occupancy)
+        load = dict(self.load)
+        for sw in p.tolist():
+            occupancy[sw] = occupancy.get(sw, 0) + 1
+            load[sw] = load.get(sw, 0.0) + float(chain_rate)
+        return Constraints(
+            vnf_capacity=self.vnf_capacity,
+            max_delay=self.max_delay,
+            bandwidth=self.bandwidth,
+            occupancy=tuple(sorted(occupancy.items())),
+            load=tuple(sorted(load.items())),
+        )
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (the serve layer's wire format)."""
+        return {
+            "vnf_capacity": self.vnf_capacity,
+            "max_delay": self.max_delay,
+            "bandwidth": self.bandwidth,
+            "occupancy": [list(pair) for pair in self.occupancy],
+            "load": [list(pair) for pair in self.load],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Constraints":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {"vnf_capacity", "max_delay", "bandwidth", "occupancy", "load"}
+        stray = sorted(set(data) - known)
+        if stray:
+            raise ConstraintError(f"unknown Constraints fields {stray}")
+        return cls(
+            vnf_capacity=data.get("vnf_capacity"),
+            max_delay=data.get("max_delay"),
+            bandwidth=data.get("bandwidth"),
+            occupancy=tuple(
+                (int(sw), int(count)) for sw, count in data.get("occupancy", ())
+            ),
+            load=tuple(
+                (int(sw), float(amount)) for sw, amount in data.get("load", ())
+            ),
+        )
+
+
+#: the module-level "no constraints" singleton ``Constraints.none()`` returns
+_NONE = Constraints()
+
+
+def active_constraints(constraints: Constraints | None) -> Constraints | None:
+    """``None`` for both ``None`` and ``Constraints.none()``; typed otherwise.
+
+    The single normalization every entry point applies first, so the
+    unconstrained path is one identity check away from today's code —
+    the structural guarantee behind the bit-identity criterion.
+    """
+    if constraints is None:
+        return None
+    if not isinstance(constraints, Constraints):
+        raise ConstraintError(
+            f"constraints must be a Constraints instance or None, "
+            f"got {type(constraints).__name__}"
+        )
+    return None if constraints.is_none else constraints

@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro._compat import legacy_signature
+from repro.constraints import Constraints, active_constraints
 from repro.core.costs import CostContext, validate_placement
 from repro.core.placement import chain_size, dp_placement
 from repro.core.types import MigrationResult, PlacementResult
@@ -55,6 +56,8 @@ def exact_chain_search(
     *,
     upper_bound: float = np.inf,
     budget: int = 5_000_000,
+    delay_matrix: np.ndarray | None = None,
+    max_delay: float | None = None,
 ) -> tuple[np.ndarray, float, int]:
     """Exact min-cost ordered distinct tuple via branch-and-bound.
 
@@ -75,6 +78,13 @@ def exact_chain_search(
         the caller).
     upper_bound:
         Warm-start incumbent (cost of a known feasible solution).
+    delay_matrix, max_delay:
+        When both given, only tuples whose hop-summed delay
+        ``Σ_j delay_matrix[q_j, q_{j+1}]`` stays within ``max_delay`` are
+        eligible.  Delay is accumulated left-to-right along the tuple and
+        pruned with the admissible remaining-hops × cheapest-hop bound —
+        the *same* arithmetic the MSG beam search uses, so the two
+        solvers can never disagree on a borderline instance.
 
     Returns ``(tuple_positions, cost, explored)``.
     """
@@ -83,6 +93,15 @@ def exact_chain_search(
         raise ValueError("distances and position_scores disagree on candidate count")
     if n > num_c:
         raise InfeasibleError(f"cannot choose {n} distinct switches from {num_c}")
+    if max_delay is not None and delay_matrix is None:
+        raise ValueError("max_delay requires a delay_matrix")
+    delay = delay_matrix if max_delay is not None else None
+    min_hop = 0.0
+    if delay is not None and num_c >= 2:
+        min_hop = float(delay[~np.eye(num_c, dtype=bool)].min())
+    if delay is not None and (n - 1) * min_hop > max_delay:
+        # even the cheapest-hops relaxation cannot finish inside the bound
+        return np.empty(0, dtype=np.int64), float(upper_bound), 0
 
     # g[j][u]: relaxed completion cost from position j at candidate u
     g = np.zeros((n, num_c))
@@ -103,7 +122,7 @@ def exact_chain_search(
     # iterative DFS with explicit stack of (position, candidate-order, index)
     eps = 1e-12
 
-    def _search(pos: int, prev: int, partial: float) -> None:
+    def _search(pos: int, prev: int, partial: float, partial_delay: float) -> None:
         nonlocal best_cost, best_tuple, explored
         explored += 1
         if explored > budget:
@@ -119,15 +138,23 @@ def exact_chain_search(
         step = chain_rate * distances[prev] + position_scores[pos]
         totals = partial + step + g[pos]
         order = np.argsort(totals)
+        hop_delay = delay[prev] if delay is not None else None
+        remaining = (n - 1 - pos) * min_hop
         for cand in order:
             cand = int(cand)
             if used[cand]:
                 continue
             if totals[cand] >= best_cost - eps:
                 break  # sorted: nothing later can improve
+            new_delay = partial_delay
+            if hop_delay is not None:
+                # delay-sorted it is not, so skip rather than break
+                new_delay = partial_delay + float(hop_delay[cand])
+                if new_delay + remaining > max_delay:
+                    continue
             used[cand] = True
             chosen[pos] = cand
-            _search(pos + 1, cand, partial + float(step[cand]))
+            _search(pos + 1, cand, partial + float(step[cand]), new_delay)
             used[cand] = False
 
     for cand in order0:
@@ -136,7 +163,7 @@ def exact_chain_search(
             break
         used[cand] = True
         chosen[0] = cand
-        _search(1, cand, float(start_scores[cand] + position_scores[0][cand]))
+        _search(1, cand, float(start_scores[cand] + position_scores[0][cand]), 0.0)
         used[cand] = False
         explored += 1
 
@@ -159,6 +186,40 @@ def _resolve_candidates(
     return cand
 
 
+def _constrain_candidates(
+    topology: Topology,
+    constraints: Constraints,
+    cand: np.ndarray,
+    chain_rate: float,
+    n: int,
+) -> np.ndarray:
+    """Intersect the candidate set with the constraint-admissible switches."""
+    admissible = set(
+        constraints.admissible_switches(topology, chain_rate).tolist()
+    )
+    cand = np.asarray(
+        [c for c in cand.tolist() if c in admissible], dtype=np.int64
+    )
+    if n > cand.size:
+        raise InfeasibleError(
+            f"only {cand.size} candidate switches have capacity/bandwidth "
+            f"headroom; {n} are required",
+            diagnosis=constraints.diagnosis(
+                "capacity", admissible=int(cand.size), required=int(n)
+            ),
+        )
+    return cand
+
+
+def _min_feasible_delay(dist: np.ndarray, n: int, budget: int) -> float:
+    """Exact minimum chain delay over distinct tuples (for diagnoses)."""
+    _tup, best, _explored = exact_chain_search(
+        dist, 1.0, np.zeros(dist.shape[0]), np.zeros((n, dist.shape[0])),
+        budget=budget,
+    )
+    return float(best)
+
+
 @legacy_signature("budget", "candidate_switches", renames={"node_budget": "budget"})
 def optimal_placement(
     topology: Topology,
@@ -167,14 +228,25 @@ def optimal_placement(
     *,
     budget: int = 5_000_000,
     candidate_switches: Sequence[int] | None = None,
+    constraints: Constraints | None = None,
     cache: ComputeCache | None = None,
 ) -> PlacementResult:
-    """Algorithm 4: exact TOP via warm-started branch-and-bound."""
+    """Algorithm 4: exact TOP via warm-started branch-and-bound.
+
+    ``constraints`` (a :class:`~repro.constraints.Constraints`) restricts
+    the search to capacity/bandwidth-admissible switches and to tuples
+    within the delay bound, making this the size-gated *oracle* for the
+    MSG heuristic family.  ``None`` / ``Constraints.none()`` leaves every
+    code path bit-identical to the unconstrained solver.
+    """
     n = chain_size(sfc)
+    active = active_constraints(constraints)
     cand = _resolve_candidates(topology, candidate_switches)
-    if n > cand.size:
+    if active is None and n > cand.size:
         raise InfeasibleError(f"cannot place {n} VNFs on {cand.size} candidate switches")
     ctx = CostContext(topology, flows, cache=cache)
+    if active is not None:
+        cand = _constrain_candidates(topology, active, cand, ctx.total_rate, n)
 
     dist = ctx.distances[np.ix_(cand, cand)]
     a_in = ctx.ingress_attraction[cand]
@@ -185,14 +257,31 @@ def optimal_placement(
     warm: PlacementResult | None = None
     warm_cost = np.inf
     if candidate_switches is None and n <= topology.num_switches:
-        warm = dp_placement(topology, flows, n, cache=ctx.cache)
-        warm_cost = warm.cost
+        candidate_warm = dp_placement(topology, flows, n, cache=ctx.cache)
+        if active is None or not active.check_placement(
+            topology, candidate_warm.placement, ctx.total_rate
+        ):
+            warm = candidate_warm
+            warm_cost = warm.cost
 
+    delay_kwargs: dict = {}
+    if active is not None and active.max_delay is not None:
+        delay_kwargs = {"delay_matrix": dist, "max_delay": active.max_delay}
     tup, cost, explored = exact_chain_search(
-        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost, budget=budget
+        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost,
+        budget=budget, **delay_kwargs,
     )
     if tup.size == 0:
-        assert warm is not None, "no warm start and no solution found"
+        if warm is None:
+            assert active is not None and active.max_delay is not None
+            min_delay = _min_feasible_delay(dist, n, budget)
+            raise InfeasibleError(
+                f"no placement of {n} distinct switches meets the delay "
+                f"bound {active.max_delay!r}",
+                diagnosis=active.diagnosis(
+                    "delay", max_delay=active.max_delay, min_delay=min_delay
+                ),
+            )
         return PlacementResult(
             placement=warm.placement,
             cost=warm.cost,
@@ -219,19 +308,26 @@ def optimal_migration(
     *,
     budget: int = 5_000_000,
     candidate_switches: Sequence[int] | None = None,
+    constraints: Constraints | None = None,
     cache: ComputeCache | None = None,
 ) -> MigrationResult:
     """Algorithm 6: exact TOM via the same branch-and-bound engine.
 
     ``flows`` must carry the *new* traffic rates; ``source_placement`` is
-    the placement ``p`` the VNFs currently occupy.
+    the placement ``p`` the VNFs currently occupy.  ``constraints``
+    bounds the *target* placement (the source is history); inadmissible
+    source switches are dropped from the candidate set, so "stay put" is
+    only on the table where staying is feasible.
     """
     src = validate_placement(topology, source_placement)
     n = src.size
+    active = active_constraints(constraints)
     cand = _resolve_candidates(topology, candidate_switches)
     # the stay-put solution must be expressible in the candidate set
     cand = np.asarray(sorted(set(cand.tolist()) | set(src.tolist())), dtype=np.int64)
     ctx = CostContext(topology, flows, cache=cache)
+    if active is not None:
+        cand = _constrain_candidates(topology, active, cand, ctx.total_rate, n)
 
     dist = ctx.distances[np.ix_(cand, cand)]
     a_in = ctx.ingress_attraction[cand]
@@ -241,19 +337,39 @@ def optimal_migration(
     position_scores[n - 1] += a_out
 
     # warm starts: stay put, or jump wholesale to the fresh DP placement
-    stay_cost = ctx.total_cost(src, src, mu)
-    warm_m = src
-    warm_cost = stay_cost
+    # (each only where it is feasible under the constraints)
+    warm_m: np.ndarray | None = None
+    warm_cost = np.inf
+    if active is None or not active.check_placement(topology, src, ctx.total_rate):
+        warm_m = src
+        warm_cost = ctx.total_cost(src, src, mu)
     if candidate_switches is None:
         fresh = dp_placement(topology, flows, n, cache=ctx.cache)
-        fresh_cost = ctx.total_cost(src, fresh.placement, mu)
-        if fresh_cost < warm_cost:
-            warm_m = fresh.placement
-            warm_cost = fresh_cost
+        if active is None or not active.check_placement(
+            topology, fresh.placement, ctx.total_rate
+        ):
+            fresh_cost = ctx.total_cost(src, fresh.placement, mu)
+            if fresh_cost < warm_cost:
+                warm_m = fresh.placement
+                warm_cost = fresh_cost
 
+    delay_kwargs: dict = {}
+    if active is not None and active.max_delay is not None:
+        delay_kwargs = {"delay_matrix": dist, "max_delay": active.max_delay}
     tup, cost, explored = exact_chain_search(
-        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost, budget=budget
+        dist, ctx.total_rate, a_in, position_scores, upper_bound=warm_cost,
+        budget=budget, **delay_kwargs,
     )
+    if tup.size == 0 and warm_m is None:
+        assert active is not None and active.max_delay is not None
+        min_delay = _min_feasible_delay(dist, n, budget)
+        raise InfeasibleError(
+            f"no migration target of {n} distinct switches meets the delay "
+            f"bound {active.max_delay!r}",
+            diagnosis=active.diagnosis(
+                "delay", max_delay=active.max_delay, min_delay=min_delay
+            ),
+        )
     migration = cand[tup] if tup.size else warm_m
     validate_placement(topology, migration, n)
     comm = ctx.communication_cost(migration)

@@ -45,6 +45,16 @@ class FaultError(ReproError):
     """
 
 
+class ConstraintError(ReproError):
+    """A :class:`~repro.constraints.Constraints` object is malformed.
+
+    Raised eagerly at construction time (zero or negative capacities,
+    non-finite bounds, negative occupancy) — a malformed constraint set
+    is a configuration mistake, distinct from a well-formed but
+    unsatisfiable instance (:class:`InfeasibleError`).
+    """
+
+
 class InfeasibleError(ReproError):
     """The problem instance admits no feasible solution.
 

@@ -33,6 +33,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig10_top_weighted,
     fig11_dynamic,
     fig12_survivability,
+    fig13_constrained,
     scorecard,
     tables,
     validations,

@@ -75,18 +75,36 @@ class ExperimentResult:
             body += "\n" + "\n".join(f"note: {note}" for note in self.notes)
         return body
 
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "experiment": self.experiment,
-                "description": self.description,
-                "params": self.params,
-                "rows": self.rows,
-                "notes": self.notes,
-            },
-            indent=2,
-            default=str,
+    def to_dict(self) -> dict:
+        """JSON-friendly view; inverse of :meth:`from_dict`.
+
+        Nested solver results and fault states inside ``rows`` / ``params``
+        are expected to already be in their own ``to_dict`` shapes
+        (``{placement, cost, meta}`` / ``{failed_switches, ...}`` — the
+        same schema :class:`~repro.serve.server.ServeResult` serializes),
+        so experiment artifacts and serve traces share one reader.
+        """
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "params": self.params,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (columns are derived, not stored)."""
+        return cls(
+            experiment=str(data["experiment"]),
+            description=str(data["description"]),
+            rows=list(data["rows"]),
+            notes=list(data.get("notes", [])),
+            params=dict(data.get("params", {})),
         )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, default=str)
 
     def column(self, name: str) -> list[Any]:
         return [row.get(name) for row in self.rows]

@@ -154,6 +154,17 @@ class FaultState:
             "failed_links": [list(link) for link in self.failed_links],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultState":
+        """Inverse of :meth:`to_dict` (re-canonicalizes ordering)."""
+        return cls(
+            failed_switches=tuple(sorted(int(s) for s in data.get("failed_switches", ()))),
+            failed_hosts=tuple(sorted(int(h) for h in data.get("failed_hosts", ()))),
+            failed_links=tuple(
+                sorted((int(u), int(v)) for u, v in data.get("failed_links", ()))
+            ),
+        )
+
 
 class FaultProcess:
     """Deterministic fault timeline for ``horizon`` hours of one topology.

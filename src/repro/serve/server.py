@@ -48,6 +48,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.constraints import Constraints, active_constraints
+from repro.core.types import MigrationResult, PlacementResult
 from repro.errors import (
     BudgetExceededError,
     InfeasibleError,
@@ -160,17 +162,79 @@ class ServeResult:
         """True iff the result came from a fallback stage (always flagged)."""
         return bool(self.result.extra.get("degraded", False))
 
+    def to_dict(self) -> dict:
+        """JSON-friendly wire view; inverse of :meth:`from_dict`.
+
+        The nested ``result`` uses the solver results' own ``to_dict``
+        schema (``{placement, [source,] cost, meta}``) and ``fault_state``
+        the :meth:`FaultState.to_dict` schema — the same shapes the
+        experiment layer serializes, so one reader handles both.
+        """
+        return {
+            "result": self.result.to_dict(),
+            "seq": int(self.seq),
+            "latency": float(self.latency),
+            "queue_seconds": float(self.queue_seconds),
+            "solve_seconds": float(self.solve_seconds),
+            "batched": bool(self.batched),
+            "generation": int(self.generation),
+            "fault_state": self.fault_state.to_dict(),
+            "attempts": int(self.attempts),
+        }
+
+    @staticmethod
+    def _result_from_dict(data: dict):
+        """Rebuild a Placement/MigrationResult from its ``to_dict`` view."""
+        meta = dict(data["meta"])
+        algorithm = meta.pop("algorithm")
+        if "source" in data:
+            communication = float(meta.pop("communication_cost"))
+            migration = float(meta.pop("migration_cost"))
+            meta.pop("num_migrated", None)  # derived, not stored state
+            return MigrationResult(
+                source=data["source"],
+                migration=data["placement"],
+                cost=float(data["cost"]),
+                communication_cost=communication,
+                migration_cost=migration,
+                algorithm=algorithm,
+                extra=meta,
+            )
+        return PlacementResult(
+            placement=data["placement"],
+            cost=float(data["cost"]),
+            algorithm=algorithm,
+            extra=meta,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeResult":
+        """Inverse of :meth:`to_dict` (round-trips bit-exactly on floats)."""
+        return cls(
+            result=cls._result_from_dict(data["result"]),
+            seq=int(data["seq"]),
+            latency=float(data["latency"]),
+            queue_seconds=float(data["queue_seconds"]),
+            solve_seconds=float(data["solve_seconds"]),
+            batched=bool(data["batched"]),
+            generation=int(data["generation"]),
+            fault_state=FaultState.from_dict(data["fault_state"]),
+            attempts=int(data["attempts"]),
+        )
+
 
 class _Pending:
     """Internal: one admitted request travelling through the queue."""
 
     __slots__ = (
         "seq", "key", "topology", "flows", "sfc", "prev", "mu", "algo",
-        "deadline", "options", "future", "submitted", "attempts", "entry",
+        "deadline", "constraints", "options", "future", "submitted",
+        "attempts", "entry",
     )
 
     def __init__(
-        self, seq, key, topology, flows, sfc, prev, mu, algo, deadline, options
+        self, seq, key, topology, flows, sfc, prev, mu, algo, deadline,
+        constraints, options,
     ):
         self.seq = seq
         self.key = key
@@ -181,6 +245,7 @@ class _Pending:
         self.mu = mu
         self.algo = algo
         self.deadline = deadline
+        self.constraints = constraints
         self.options = options
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
         self.submitted = time.perf_counter()
@@ -188,10 +253,16 @@ class _Pending:
         self.entry: PooledSession | None = None
 
     def batchable(self, default_deadline) -> bool:
-        """Eligible for the coalesced place_many path?"""
+        """Eligible for the coalesced place_many path?
+
+        Constrained requests never batch: the matmul fast path is a
+        ``dp``-only optimization, and a bound must not be dropped for
+        throughput.
+        """
         return (
             self.prev is None
             and self.algo in (None, "dp")
+            and active_constraints(self.constraints) is None
             and not self.options
             and (self.deadline if self.deadline is not _UNSET else default_deadline)
             is None
@@ -352,17 +423,20 @@ class PlacementService:
         mu: float = 0.0,
         algo: str | None = None,
         deadline=_UNSET,
+        constraints: Constraints | None = None,
         **options,
     ) -> ServeResult:
         """Admit, queue and await one placement/migration request.
 
         Mirrors :meth:`SolverSession.solve`: placement when ``prev`` is
-        None, migration otherwise.  Raises
+        None, migration otherwise; ``constraints`` is the same typed
+        :class:`~repro.constraints.Constraints` object the session API
+        takes (an infeasible instance propagates as a diagnosed
+        :class:`~repro.errors.InfeasibleError` outcome).  Raises
         :class:`~repro.serve.admission.Overloaded` when shed (queue
         bound, rate limit, draining) and :class:`ServiceError` when the
         request failed even after quarantine-and-retry; solver-domain
-        errors (e.g. :class:`~repro.errors.InfeasibleError`) propagate
-        as-is.
+        errors propagate as-is.
         """
         if not self._started:
             raise ReproError("service is not started (use `async with` or start())")
@@ -373,7 +447,7 @@ class PlacementService:
         self.admission.admit(key)
         pending = _Pending(
             self._next_seq(), key, topology, flows, sfc, prev, mu, algo,
-            deadline, options,
+            deadline, constraints, options,
         )
         self._idle.clear()
         self._queue.put_nowait(pending)
@@ -594,7 +668,8 @@ class PlacementService:
             # cheapest stage answers and the result is flagged degraded
             result = entry.view.solve(
                 member.flows, member.sfc, prev=member.prev, mu=member.mu,
-                algo=member.algo, deadline=0.0, **member.options,
+                algo=member.algo, deadline=0.0,
+                constraints=member.constraints, **member.options,
             )
             result.extra["breaker"] = "open"
             self.counters["breaker_degraded"] += 1
@@ -606,7 +681,8 @@ class PlacementService:
             deadline = max(0.0, deadline - (time.perf_counter() - member.submitted))
         return entry.view.solve(
             member.flows, member.sfc, prev=member.prev, mu=member.mu,
-            algo=member.algo, deadline=deadline, **member.options,
+            algo=member.algo, deadline=deadline,
+            constraints=member.constraints, **member.options,
         )
 
     def _served(self, member, entry, result, solve_seconds, *, batched) -> tuple:

@@ -39,6 +39,7 @@ from repro.baselines.mcf_migration import mcf_vm_migration
 from repro.baselines.plan import plan_vm_migration
 from repro.baselines.random_placement import random_placement
 from repro.baselines.steering import steering_placement
+from repro.constraints import Constraints, active_constraints
 from repro.core.migration import mpareto_migration, no_migration
 from repro.core.optimal import optimal_migration, optimal_placement
 from repro.core.placement import (
@@ -61,6 +62,12 @@ from repro.faults.process import FaultEvent, FaultState
 from repro.graphs.incremental import DynamicAPSP
 from repro.runtime.cache import ComputeCache, get_compute_cache
 from repro.runtime.instrument import count
+from repro.solvers.msg_stage_graph import (
+    msg_greedy_migration,
+    msg_greedy_placement,
+    msg_migration,
+    msg_placement,
+)
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 from repro.workload.sfc import SFC
@@ -315,6 +322,8 @@ class SolverSession:
         "steering": steering_placement,
         "greedy": greedy_liu_placement,
         "random": random_placement,
+        "msg": msg_placement,
+        "msg-greedy": msg_greedy_placement,
     }
 
     _MIGRATORS: dict = {
@@ -324,19 +333,40 @@ class SolverSession:
         "no-migration": no_migration,
         "plan": plan_vm_migration,
         "mcf": mcf_vm_migration,
+        "msg": msg_migration,
+        "msg-greedy": msg_greedy_migration,
     }
 
+    #: algorithms that understand the typed ``constraints=`` object; every
+    #: other solver optimizes pure traffic cost and must not silently
+    #: ignore a capacity or delay bound
+    _CONSTRAINED_PLACERS = frozenset({"msg", "msg-greedy", "optimal"})
+    _CONSTRAINED_MIGRATORS = frozenset({"msg", "msg-greedy", "optimal"})
+
     def place(
-        self, flows: FlowSet, sfc: SFC | int, *, algo: str = "dp", **options
+        self,
+        flows: FlowSet,
+        sfc: SFC | int,
+        *,
+        algo: str | None = None,
+        constraints: Constraints | None = None,
+        **options,
     ) -> PlacementResult:
         """Place ``sfc`` for ``flows`` with ``algo``, reusing session artifacts.
 
         ``algo`` is one of ``dp`` (Algorithm 3), ``top1``/``dp-stroll``
         (Algorithm 2 on one flow), ``primal-dual``, ``optimal``
-        (Algorithm 4), ``steering``, ``greedy`` or ``random``; extra
-        keyword options go to the solver (e.g. ``budget=`` for
-        ``optimal``, ``seed=`` for ``random``).
+        (Algorithm 4), ``msg``/``msg-greedy`` (the constrained
+        stage-graph family), ``steering``, ``greedy`` or ``random``;
+        extra keyword options go to the solver (e.g. ``budget=`` for
+        ``optimal``, ``seed=`` for ``random``).  ``algo=None`` picks
+        ``dp`` unconstrained and ``msg`` when ``constraints`` bind; an
+        algorithm that cannot honor active constraints is refused rather
+        than allowed to ignore them.
         """
+        active = active_constraints(constraints)
+        if algo is None:
+            algo = "dp" if active is None else "msg"
         try:
             solver = self._PLACERS[algo]
         except KeyError:
@@ -344,6 +374,13 @@ class SolverSession:
                 f"unknown placement algo {algo!r}; "
                 f"choose from {sorted(self._PLACERS)}"
             ) from None
+        if active is not None:
+            if algo not in self._CONSTRAINED_PLACERS:
+                raise ReproError(
+                    f"placement algo {algo!r} does not support constraints; "
+                    f"choose from {sorted(self._CONSTRAINED_PLACERS)}"
+                )
+            options["constraints"] = active
         count("session_queries")
         options.setdefault("cache", self.cache)
         if algo == "dp":
@@ -357,16 +394,22 @@ class SolverSession:
         flows: FlowSet,
         *,
         mu: float,
-        algo: str = "mpareto",
+        algo: str | None = None,
+        constraints: Constraints | None = None,
         **options,
     ):
         """Migrate from placement ``prev`` under the new rates in ``flows``.
 
         ``algo`` is one of ``mpareto`` (Algorithm 5), ``optimal``
-        (Algorithm 6), ``none`` (stay put), or the VM baselines ``plan``
-        / ``mcf`` (which keep the VNF placement fixed and move VMs; for
-        those ``mu`` is the per-VM coefficient).
+        (Algorithm 6), ``msg``/``msg-greedy`` (constrained), ``none``
+        (stay put), or the VM baselines ``plan`` / ``mcf`` (which keep
+        the VNF placement fixed and move VMs; for those ``mu`` is the
+        per-VM coefficient).  ``algo=None`` picks ``mpareto``
+        unconstrained and ``msg`` when ``constraints`` bind.
         """
+        active = active_constraints(constraints)
+        if algo is None:
+            algo = "mpareto" if active is None else "msg"
         try:
             solver = self._MIGRATORS[algo]
         except KeyError:
@@ -374,6 +417,13 @@ class SolverSession:
                 f"unknown migration algo {algo!r}; "
                 f"choose from {sorted(self._MIGRATORS)}"
             ) from None
+        if active is not None:
+            if algo not in self._CONSTRAINED_MIGRATORS:
+                raise ReproError(
+                    f"migration algo {algo!r} does not support constraints; "
+                    f"choose from {sorted(self._CONSTRAINED_MIGRATORS)}"
+                )
+            options["constraints"] = active
         count("session_queries")
         options.setdefault("cache", self.cache)
         # all migrators share the lead signature (topology, flows, prev, mu)
@@ -381,9 +431,14 @@ class SolverSession:
 
     #: graceful-degradation fallback chains for deadline-bounded solves;
     #: later entries are strictly cheaper (greedy and stay-put are O(l·|V_s|)
-    #: one-shot scans that cannot time out in practice)
+    #: one-shot scans that cannot time out in practice).  Constrained
+    #: solves fall back inside the constrained family — a capacity or
+    #: delay bound must never be dropped to meet a deadline, so the last
+    #: resort is the beam-width-1 stage-graph sweep, not ``greedy``.
     _PLACE_FALLBACK = ("dp", "greedy")
     _MIGRATE_FALLBACK = ("mpareto", "none")
+    _PLACE_FALLBACK_CONSTRAINED = ("msg", "msg-greedy")
+    _MIGRATE_FALLBACK_CONSTRAINED = ("msg", "msg-greedy")
 
     def solve(
         self,
@@ -394,6 +449,7 @@ class SolverSession:
         mu: float = 0.0,
         algo: str | None = None,
         deadline: float | None = None,
+        constraints: Constraints | None = None,
         **options,
     ):
         """Unified facade: placement when ``prev is None``, else migration.
@@ -410,15 +466,28 @@ class SolverSession:
         The final chain stage always runs regardless of remaining budget,
         so ``solve`` with a deadline always returns a result.
 
+        ``constraints`` (one typed :class:`~repro.constraints.Constraints`
+        object) rides through to every stage; under a deadline the
+        fallback chain becomes ``optimal → msg → msg-greedy``, staying
+        inside the constraint-honoring family.  An
+        :class:`~repro.errors.InfeasibleError` is an *answer*, not a
+        timeout, and propagates from any stage.
+
         Without ``deadline`` the behaviour (and every result bit) is
-        identical to the pre-deadline facade.
+        identical to the pre-deadline facade; ``Constraints.none()`` is
+        indistinguishable from passing no constraints at all.
         """
         if deadline is None:
             if prev is None:
-                return self.place(flows, sfc, algo=algo or "dp", **options)
-            return self.migrate(prev, flows, mu=mu, algo=algo or "mpareto", **options)
+                return self.place(
+                    flows, sfc, algo=algo, constraints=constraints, **options
+                )
+            return self.migrate(
+                prev, flows, mu=mu, algo=algo, constraints=constraints, **options
+            )
         return self._solve_with_deadline(
-            flows, sfc, prev=prev, mu=mu, algo=algo, deadline=deadline, **options
+            flows, sfc, prev=prev, mu=mu, algo=algo, deadline=deadline,
+            constraints=constraints, **options,
         )
 
     def _solve_with_deadline(
@@ -430,6 +499,7 @@ class SolverSession:
         mu: float,
         algo: str | None,
         deadline: float,
+        constraints: Constraints | None = None,
         **options,
     ):
         import builtins
@@ -439,8 +509,22 @@ class SolverSession:
             raise ReproError(
                 f"deadline must be a non-negative number of seconds, got {deadline!r}"
             )
-        requested = algo or ("dp" if prev is None else "mpareto")
-        fallback = self._PLACE_FALLBACK if prev is None else self._MIGRATE_FALLBACK
+        active = active_constraints(constraints)
+        if prev is None:
+            default = "dp" if active is None else "msg"
+            fallback = (
+                self._PLACE_FALLBACK
+                if active is None
+                else self._PLACE_FALLBACK_CONSTRAINED
+            )
+        else:
+            default = "mpareto" if active is None else "msg"
+            fallback = (
+                self._MIGRATE_FALLBACK
+                if active is None
+                else self._MIGRATE_FALLBACK_CONSTRAINED
+            )
+        requested = algo or default
         chain = [requested] + [stage for stage in fallback if stage != requested]
         start = time.perf_counter()
         attempts: list[dict] = []
@@ -452,17 +536,23 @@ class SolverSession:
                 continue
             # solver-specific options (budget=, seed=, candidate_switches=,
             # ...) only make sense for the requested algorithm; fallback
-            # stages run on their defaults with the session cache
+            # stages run on their defaults with the session cache — and
+            # the constraints, which are a property of the query, not of
+            # any one solver
             if stage == requested:
                 stage_options = dict(options)
             else:
                 stage_options = {k: v for k, v in options.items() if k == "cache"}
             try:
                 if prev is None:
-                    result = self.place(flows, sfc, algo=stage, **stage_options)
+                    result = self.place(
+                        flows, sfc, algo=stage, constraints=constraints,
+                        **stage_options,
+                    )
                 else:
                     result = self.migrate(
-                        prev, flows, mu=mu, algo=stage, **stage_options
+                        prev, flows, mu=mu, algo=stage, constraints=constraints,
+                        **stage_options,
                     )
             except (BudgetExceededError, builtins.TimeoutError) as exc:
                 if final:
@@ -490,8 +580,9 @@ class SolverSession:
         flowsets: Iterable[FlowSet],
         sfc: SFC | int,
         *,
-        algo: str = "dp",
+        algo: str | None = None,
         batch: str = "auto",
+        constraints: Constraints | None = None,
         **options,
     ) -> list[PlacementResult]:
         """Place one chain for many flow sets on the shared artifacts.
@@ -503,19 +594,35 @@ class SolverSession:
         necessarily bitwise).  Results are in input order and — on the
         ``auto``/``map`` paths — bit-identical to ``[self.place(f, sfc)
         for f in flowsets]``.
+
+        Active ``constraints`` route every set through the constrained
+        family (``algo=None`` resolves to ``msg``), which means the map
+        path — the matmul fast path is a ``dp``-only optimization and
+        refuses to drop a bound silently.
         """
         flowsets = list(flowsets)
+        active = active_constraints(constraints)
+        if algo is None:
+            algo = "dp" if active is None else "msg"
         if batch not in ("auto", "map", "matmul"):
             raise ReproError(f"unknown batch mode {batch!r}")
         if batch == "auto":
             batch = (
                 "matmul"
-                if algo == "dp" and _matmul_rows_bitwise()
+                if algo == "dp" and active is None and _matmul_rows_bitwise()
                 else "map"
             )
         if batch == "matmul" and algo == "dp":
+            if active is not None:
+                raise ReproError(
+                    "the matmul batch path cannot honor constraints; "
+                    "use batch='map' (or algo='msg')"
+                )
             return self._place_many_matmul(flowsets, sfc, **options)
-        return [self.place(f, sfc, algo=algo, **options) for f in flowsets]
+        return [
+            self.place(f, sfc, algo=algo, constraints=constraints, **options)
+            for f in flowsets
+        ]
 
     def _place_many_matmul(
         self,

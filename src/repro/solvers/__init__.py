@@ -1,0 +1,35 @@
+"""Constrained solver family: MSG stage-graph heuristics + contention.
+
+The :mod:`repro.core` solvers optimize pure traffic cost; this package
+holds the *constrained* placement family behind the typed
+:class:`~repro.constraints.Constraints` object:
+
+* :mod:`~repro.solvers.msg_stage_graph` — a multi-stage-graph (layered
+  DAG) beam search over ``(stage, switch)`` nodes pruned by capacity and
+  delay, for TOP and TOM, with an exact min-delay witness search backing
+  its infeasibility claims;
+* :mod:`~repro.solvers.contention` — many chains competing for one
+  fabric under shared constraints (first-fit vs. contention-aware
+  ordering).
+
+The exact solvers (:func:`~repro.core.optimal.optimal_placement` /
+``optimal_migration``) accept the same ``constraints=`` object and act
+as size-gated oracles for this family in ``repro.verify.constrained``.
+"""
+
+from repro.solvers.contention import ContentionResult, place_chains
+from repro.solvers.msg_stage_graph import (
+    msg_greedy_migration,
+    msg_greedy_placement,
+    msg_migration,
+    msg_placement,
+)
+
+__all__ = [
+    "msg_placement",
+    "msg_migration",
+    "msg_greedy_placement",
+    "msg_greedy_migration",
+    "ContentionResult",
+    "place_chains",
+]

@@ -1,0 +1,160 @@
+"""Multi-SFC contention: many chains competing for one fabric.
+
+The single-chain solvers answer "where does *this* chain go?"; a data
+center admits chains one after another, and every accepted chain leaves
+the fabric a little fuller — one occupied VNF slot and ``Λ`` of carried
+traffic per switch it uses.  :func:`place_chains` runs that admission
+sequence: each chain is solved by the MSG stage-graph solver under the
+*current* constraint state, and on success the state advances via
+:meth:`Constraints.after_placement` before the next chain is tried.
+
+Two admission orders expose the contention axis the ``fig13_constrained``
+experiment sweeps:
+
+* ``"first-fit"`` — chains are admitted in arrival order, the naive
+  baseline;
+* ``"contention-aware"`` — heaviest chains (largest total rate ``Λ``)
+  first, so the chains that are hardest to fit later pick their switches
+  while the fabric is empty (the classic decreasing-first-fit heuristic
+  from bin packing, cf. Sang et al.'s allocation ordering).
+
+A chain the solver proves infeasible under the accumulated state is a
+*rejection*, recorded with its :class:`~repro.errors.InfeasibleError`
+diagnosis — an outcome of the experiment, never an exception out of this
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints import Constraints, active_constraints
+from repro.core.types import PlacementResult
+from repro.errors import InfeasibleError, SolverError
+from repro.runtime.cache import ComputeCache
+from repro.runtime.instrument import count
+from repro.solvers.msg_stage_graph import DEFAULT_BEAM_WIDTH, msg_placement
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = ["ContentionResult", "place_chains", "ORDERS"]
+
+#: admission orders :func:`place_chains` understands
+ORDERS = ("first-fit", "contention-aware")
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of admitting many chains onto one fabric.
+
+    ``placements[i]`` is the :class:`PlacementResult` for input chain
+    ``i`` (input order, not admission order) or ``None`` if it was
+    rejected; ``rejections[i]`` then holds the diagnosis dict.
+    """
+
+    #: per-input-chain results, ``None`` where rejected
+    placements: tuple[PlacementResult | None, ...]
+    #: input index → infeasibility diagnosis, for rejected chains only
+    rejections: tuple[tuple[int, dict], ...]
+    #: the admission order actually used (input indices)
+    order: tuple[int, ...]
+    #: which ordering policy produced it
+    policy: str
+    #: constraint state after all admissions (occupancy/load filled in)
+    constraints: Constraints
+
+    def __post_init__(self) -> None:
+        rejected = {idx for idx, _ in self.rejections}
+        placed = {i for i, r in enumerate(self.placements) if r is not None}
+        if placed & rejected or placed | rejected != set(range(len(self.placements))):
+            raise SolverError("ContentionResult placements/rejections disagree")
+
+    @property
+    def accepted(self) -> int:
+        return len(self.placements) - len(self.rejections)
+
+    @property
+    def total_cost(self) -> float:
+        """Summed communication cost of the accepted chains."""
+        return float(
+            sum(r.cost for r in self.placements if r is not None)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "order": list(self.order),
+            "accepted": self.accepted,
+            "total_cost": self.total_cost,
+            "placements": [
+                r.to_dict() if r is not None else None for r in self.placements
+            ],
+            "rejections": [[idx, dict(diag)] for idx, diag in self.rejections],
+            "constraints": self.constraints.to_dict(),
+        }
+
+
+def _admission_order(
+    chains: Sequence[tuple[FlowSet, SFC | int]], policy: str
+) -> list[int]:
+    if policy == "first-fit":
+        return list(range(len(chains)))
+    if policy == "contention-aware":
+        # heaviest traffic first; ties broken by input order for determinism
+        return sorted(
+            range(len(chains)), key=lambda i: (-chains[i][0].total_rate, i)
+        )
+    raise SolverError(f"unknown admission order {policy!r}; expected one of {ORDERS}")
+
+
+def place_chains(
+    topology: Topology,
+    chains: Sequence[tuple[FlowSet, SFC | int]],
+    *,
+    constraints: Constraints | None = None,
+    order: str = "first-fit",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    cache: ComputeCache | None = None,
+) -> ContentionResult:
+    """Admit ``chains`` (``(flows, sfc)`` pairs) sequentially onto ``topology``.
+
+    Constraint state accumulates across admissions; rejections are
+    recorded with their diagnoses rather than raised.  With no
+    constraints every chain is accepted and each placement equals the
+    single-chain MSG answer (no coupling without capacity to contend
+    for).
+    """
+    active = active_constraints(constraints)
+    state = Constraints.none() if active is None else active
+    placements: list[PlacementResult | None] = [None] * len(chains)
+    rejections: list[tuple[int, dict]] = []
+    admission = _admission_order(chains, order)
+    for idx in admission:
+        flows, sfc = chains[idx]
+        try:
+            result = msg_placement(
+                topology, flows, sfc,
+                constraints=state, beam_width=beam_width, cache=cache,
+            )
+        except InfeasibleError as exc:
+            count("contention_rejected")
+            diagnosis = dict(exc.diagnosis) if exc.diagnosis else {
+                "reason": "infeasible", "message": str(exc)
+            }
+            rejections.append((idx, diagnosis))
+            continue
+        placements[idx] = result
+        if active is not None:
+            state = state.after_placement(result.placement, flows.total_rate)
+    count("contention_runs")
+    return ContentionResult(
+        placements=tuple(placements),
+        rejections=tuple(sorted(rejections)),
+        order=tuple(admission),
+        policy=order,
+        constraints=state,
+    )

@@ -1,0 +1,391 @@
+"""MSG solver: constrained TOP/TOM over a multi-stage graph of labels.
+
+Model the chain as a layered DAG: stage ``j`` holds one node per
+admissible switch (capacity/bandwidth pruning picks the switch set), and
+an edge ``(j, u) → (j+1, v)`` costs ``Λ·c(u, v)`` in the objective and
+``c(u, v)`` in delay.  A placement is a stage-0 → stage-(n−1) path whose
+switches are distinct; the constrained optimum is the cheapest such path
+with total delay within ``max_delay`` (the ParallelSFCplacements /
+Sallam-et-al. layered-graph construction, adapted to the paper's
+attraction decomposition: ``a_in`` folds into stage 0, ``a_out`` into
+stage n−1, and TOM adds ``μ·c(p_j, ·)`` per stage).
+
+Distinctness makes the exact problem exponential, so the solver is a
+**beam search over Pareto labels**: each ``(stage, switch)`` node keeps
+up to ``beam_width`` non-dominated ``(cost, delay, path)`` labels
+(dominated = worse on both), extensions enforce distinctness exactly,
+and an admissible delay-to-go bound (remaining hops × cheapest hop)
+prunes branches that cannot finish inside the bound.
+
+Soundness (argued in DESIGN.md §5i):
+
+* **never infeasible-when-feasible** — if the beam drowns every label,
+  the solver does not give up: an exact branch-and-bound *min-delay*
+  search (:func:`~repro.core.optimal.exact_chain_search` on the delay
+  metric) either produces a feasible witness placement (returned, at
+  whatever cost it prices to) or proves no distinct tuple meets the
+  bound, and only then is :class:`~repro.errors.InfeasibleError` raised
+  — with the shortest achievable delay in the diagnosis;
+* **never infeasible results** — every returned placement is re-checked
+  against the constraints from scratch before it leaves the solver;
+* **never better than exact** — cost optimality is heuristic only; the
+  constrained exact solvers referee it in ``repro.verify.constrained``.
+
+``beam_width=1`` degenerates to a cheap greedy sweep — the
+capacity-aware fallback stage of the session's deadline chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import Constraints, active_constraints
+from repro.core.costs import CostContext, validate_placement
+from repro.core.optimal import exact_chain_search
+from repro.core.placement import chain_size
+from repro.core.types import MigrationResult, PlacementResult
+from repro.errors import InfeasibleError, SolverError
+from repro.runtime.cache import ComputeCache
+from repro.runtime.instrument import count
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.sfc import SFC
+
+__all__ = [
+    "msg_placement",
+    "msg_migration",
+    "msg_greedy_placement",
+    "msg_greedy_migration",
+]
+
+#: beam width of the full solver (the greedy fallback uses 1)
+DEFAULT_BEAM_WIDTH = 8
+
+#: node budget for the exact min-delay witness search (small instances;
+#: the witness only runs when the beam found nothing, i.e. rarely)
+WITNESS_BUDGET = 2_000_000
+
+
+def _min_hop(delay: np.ndarray) -> float:
+    """Cheapest off-diagonal hop — the admissible per-hop delay bound."""
+    if delay.shape[0] < 2:
+        return 0.0
+    off = delay[~np.eye(delay.shape[0], dtype=bool)]
+    return float(off.min())
+
+
+def _prune_labels(labels: list, beam_width: int) -> list:
+    """Cost-sorted Pareto frontier of ``(cost, delay, path)``, truncated.
+
+    After sorting by cost, a label earns its place only by strictly
+    improving the best delay seen so far — anything else is dominated.
+    The path tuple joins the sort key so ties break deterministically.
+    """
+    labels.sort()
+    kept: list = []
+    best_delay = np.inf
+    for label in labels:
+        if label[1] < best_delay:
+            kept.append(label)
+            best_delay = label[1]
+            if len(kept) >= beam_width:
+                break
+    return kept
+
+
+def _beam_search(
+    delay: np.ndarray,
+    chain_rate: float,
+    position_scores: np.ndarray,
+    *,
+    max_delay: float | None,
+    beam_width: int,
+) -> tuple[tuple | None, dict]:
+    """Best complete label ``(cost, delay, path)`` or None, plus stats.
+
+    ``position_scores[j][v]`` is the additive node score of hosting VNF
+    ``j`` at candidate ``v`` (attractions and migration pulls pre-folded
+    by the caller); edges add ``chain_rate·delay[u, v]`` to cost and
+    ``delay[u, v]`` to delay.
+    """
+    n, num_c = position_scores.shape
+    min_hop = _min_hop(delay)
+    labels_total = 0
+    pruned_delay = 0
+
+    current: dict[int, list] = {}
+    lb0 = (n - 1) * min_hop
+    if max_delay is None or lb0 <= max_delay:
+        for u in range(num_c):
+            current[u] = [(float(position_scores[0, u]), 0.0, (u,))]
+            labels_total += 1
+    else:
+        pruned_delay += num_c
+
+    for j in range(1, n):
+        remaining = (n - 1 - j) * min_hop
+        incoming: dict[int, list] = {}
+        for u, labels in current.items():
+            hop_delay = delay[u]
+            hop_cost = chain_rate * hop_delay + position_scores[j]
+            for cost, used_delay, path in labels:
+                for v in range(num_c):
+                    if v == u or v in path:
+                        continue
+                    new_delay = used_delay + float(hop_delay[v])
+                    if max_delay is not None and new_delay + remaining > max_delay:
+                        pruned_delay += 1
+                        continue
+                    incoming.setdefault(v, []).append(
+                        (cost + float(hop_cost[v]), new_delay, path + (v,))
+                    )
+        current = {
+            v: _prune_labels(labels, beam_width)
+            for v, labels in sorted(incoming.items())
+        }
+        labels_total += sum(len(labels) for labels in current.values())
+
+    finished = [label for labels in current.values() for label in labels]
+    stats = {"labels": labels_total, "pruned_delay": pruned_delay}
+    if not finished:
+        return None, stats
+    return min(finished), stats
+
+
+def _delay_witness(
+    delay: np.ndarray, n: int, max_delay: float, *, budget: int = WITNESS_BUDGET
+) -> tuple[np.ndarray | None, float]:
+    """Exact min-delay distinct tuple: ``(witness, min_delay)``.
+
+    Runs the branch-and-bound engine on the pure delay metric (unit
+    chain rate, zero node scores).  Returns the minimizing tuple and the
+    minimum achievable delay; the tuple is ``None`` only when *no*
+    distinct tuple exists at all (``n`` exceeds the candidate count —
+    guarded by callers).  Whether ``min_delay`` fits ``max_delay`` is
+    the caller's feasibility verdict, so solver and verifier share one
+    arithmetic for the infeasibility claim.
+    """
+    num_c = delay.shape[0]
+    zeros = np.zeros((n, num_c))
+    tup, best, _explored = exact_chain_search(
+        delay, 1.0, np.zeros(num_c), zeros, budget=budget
+    )
+    if tup.size == 0:
+        return None, float(best)
+    # re-accumulate in path order: the exact engine's partial sums are
+    # already path-ordered, but recomputing keeps the contract explicit
+    path_delay = float(delay[tup[:-1], tup[1:]].sum()) if n >= 2 else 0.0
+    return tup, path_delay
+
+
+def _admissible(
+    topology: Topology,
+    constraints: Constraints | None,
+    chain_rate: float,
+    n: int,
+) -> np.ndarray:
+    cand = (
+        topology.switches
+        if constraints is None
+        else constraints.admissible_switches(topology, chain_rate)
+    )
+    if n > cand.size:
+        detail = {
+            "admissible": int(cand.size),
+            "required": int(n),
+            "switches": int(topology.num_switches),
+        }
+        if constraints is not None:
+            raise InfeasibleError(
+                f"only {cand.size} switches have capacity/bandwidth headroom "
+                f"for this chain; {n} are required",
+                diagnosis=constraints.diagnosis("capacity", **detail),
+            )
+        raise InfeasibleError(
+            f"SFC of {n} VNFs cannot be placed on {cand.size} switches"
+        )
+    return cand
+
+
+def _postcondition(
+    topology: Topology,
+    constraints: Constraints | None,
+    placement: np.ndarray,
+    chain_rate: float,
+) -> None:
+    if constraints is None:
+        return
+    problems = constraints.check_placement(topology, placement, chain_rate)
+    if problems:  # pragma: no cover - internal soundness guard
+        raise SolverError(
+            "msg solver produced a constraint-violating placement: "
+            + "; ".join(problems)
+        )
+
+
+def _solve_stage_graph(
+    topology: Topology,
+    ctx: CostContext,
+    constraints: Constraints | None,
+    position_scores: np.ndarray,
+    cand: np.ndarray,
+    *,
+    beam_width: int,
+) -> tuple[np.ndarray, dict]:
+    """Shared TOP/TOM body: beam search, then the min-delay escape hatch."""
+    n = position_scores.shape[0]
+    delay = ctx.distances[np.ix_(cand, cand)]
+    max_delay = constraints.max_delay if constraints is not None else None
+    best, stats = _beam_search(
+        delay,
+        ctx.total_rate,
+        position_scores,
+        max_delay=max_delay,
+        beam_width=beam_width,
+    )
+    extra = {"beam_width": int(beam_width), "candidates": int(cand.size), **stats}
+    if best is not None:
+        positions = np.asarray(best[2], dtype=np.int64)
+        extra["chain_delay"] = float(best[1])
+        return cand[positions], extra
+    # the beam found nothing: decide feasibility exactly on the delay
+    # metric and return the witness if one exists (completeness)
+    assert max_delay is not None, "beam exhausted without a delay bound"
+    witness, min_delay = _delay_witness(delay, n, max_delay)
+    if witness is None or min_delay > max_delay:
+        count("msg_infeasible")
+        raise InfeasibleError(
+            f"no placement of {n} distinct switches meets the delay bound "
+            f"{max_delay!r} (shortest feasible stroll has delay {min_delay!r})",
+            diagnosis=constraints.diagnosis(
+                "delay", max_delay=max_delay, min_delay=min_delay
+            ),
+        )
+    count("msg_delay_witness")
+    extra["fallback"] = "min-delay-witness"
+    extra["chain_delay"] = float(min_delay)
+    return cand[witness], extra
+
+
+def msg_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    *,
+    constraints: Constraints | None = None,
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    cache: ComputeCache | None = None,
+) -> PlacementResult:
+    """Constrained TOP via the multi-stage-graph beam search."""
+    if beam_width < 1:
+        raise SolverError(f"beam_width must be >= 1, got {beam_width}")
+    constraints = active_constraints(constraints)
+    n = chain_size(sfc)
+    ctx = CostContext(topology, flows, cache=cache)
+    cand = _admissible(topology, constraints, ctx.total_rate, n)
+    position_scores = np.zeros((n, cand.size))
+    position_scores[0] += ctx.ingress_attraction[cand]
+    position_scores[n - 1] += ctx.egress_attraction[cand]
+    count("msg_solves")
+    placement, extra = _solve_stage_graph(
+        topology, ctx, constraints, position_scores, cand, beam_width=beam_width
+    )
+    validate_placement(topology, placement, n)
+    _postcondition(topology, constraints, placement, ctx.total_rate)
+    return PlacementResult(
+        placement=placement,
+        cost=ctx.communication_cost(placement),
+        algorithm="msg",
+        extra=extra,
+    )
+
+
+def msg_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float,
+    *,
+    constraints: Constraints | None = None,
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    cache: ComputeCache | None = None,
+) -> MigrationResult:
+    """Constrained TOM: the same stage graph with per-stage migration pull.
+
+    Stage ``j``'s node score gains ``μ·c(p_j, ·)`` (Eq. 8's ``C_b``
+    term), so the beam trades communication against migration exactly
+    like the exact solver's search — under the same capacity, bandwidth
+    and delay pruning on the *target* placement.
+    """
+    if beam_width < 1:
+        raise SolverError(f"beam_width must be >= 1, got {beam_width}")
+    constraints = active_constraints(constraints)
+    src = validate_placement(topology, source_placement)
+    n = src.size
+    ctx = CostContext(topology, flows, cache=cache)
+    cand = _admissible(topology, constraints, ctx.total_rate, n)
+    position_scores = mu * ctx.distances[np.ix_(src, cand)]
+    position_scores[0] += ctx.ingress_attraction[cand]
+    position_scores[n - 1] += ctx.egress_attraction[cand]
+    count("msg_solves")
+    migration, extra = _solve_stage_graph(
+        topology, ctx, constraints, position_scores, cand, beam_width=beam_width
+    )
+    validate_placement(topology, migration, n)
+    _postcondition(topology, constraints, migration, ctx.total_rate)
+    comm = ctx.communication_cost(migration)
+    move = ctx.migration_cost(src, migration, mu)
+    return MigrationResult(
+        source=src,
+        migration=migration,
+        cost=comm + move,
+        communication_cost=comm,
+        migration_cost=move,
+        algorithm="msg",
+        extra=extra,
+    )
+
+
+def msg_greedy_placement(
+    topology: Topology,
+    flows: FlowSet,
+    sfc: SFC | int,
+    *,
+    constraints: Constraints | None = None,
+    cache: ComputeCache | None = None,
+) -> PlacementResult:
+    """Beam-width-1 MSG: the capacity-aware deadline-chain fallback."""
+    result = msg_placement(
+        topology, flows, sfc, constraints=constraints, beam_width=1, cache=cache
+    )
+    return PlacementResult(
+        placement=result.placement,
+        cost=result.cost,
+        algorithm="msg-greedy",
+        extra=result.extra,
+    )
+
+
+def msg_greedy_migration(
+    topology: Topology,
+    flows: FlowSet,
+    source_placement: np.ndarray,
+    mu: float,
+    *,
+    constraints: Constraints | None = None,
+    cache: ComputeCache | None = None,
+) -> MigrationResult:
+    """Beam-width-1 MSG migration: the constrained migrate fallback."""
+    result = msg_migration(
+        topology, flows, source_placement, mu,
+        constraints=constraints, beam_width=1, cache=cache,
+    )
+    return MigrationResult(
+        source=result.source,
+        migration=result.migration,
+        cost=result.cost,
+        communication_cost=result.communication_cost,
+        migration_cost=result.migration_cost,
+        algorithm="msg-greedy",
+        extra=result.extra,
+    )

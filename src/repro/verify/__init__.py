@@ -26,6 +26,14 @@ from repro.verify.campaign import (
     run_case,
     shrink_case,
 )
+from repro.verify.constrained import (
+    CONSTRAINED_FAMILIES,
+    ConstrainedCampaignConfig,
+    ConstrainedCaseSpec,
+    generate_constrained_cases,
+    run_constrained_campaign,
+    run_constrained_case,
+)
 from repro.verify.diff import assert_equivalent, check_differential, diff_results
 from repro.verify.faults import (
     FAULT_FAMILIES,
@@ -131,6 +139,13 @@ __all__ = [
     "run_fault_case",
     "FaultCampaignConfig",
     "run_fault_campaign",
+    # constrained placement
+    "CONSTRAINED_FAMILIES",
+    "ConstrainedCaseSpec",
+    "generate_constrained_cases",
+    "run_constrained_case",
+    "ConstrainedCampaignConfig",
+    "run_constrained_campaign",
     # incremental differential
     "generate_incremental_cases",
     "check_dynamic_tables",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constraints import Constraints
 from repro.core.optimal import optimal_migration, optimal_placement
 from repro.core.placement import chain_size
 from repro.core.types import MigrationResult, PlacementResult
@@ -59,15 +60,22 @@ def oracle_placement(
     sfc: SFC | int,
     *,
     gate: OracleGate | None = None,
+    constraints: Constraints | None = None,
     cache: ComputeCache | None = None,
 ) -> PlacementResult | None:
-    """Exact optimum, or ``None`` when the gate (or the budget) says no."""
+    """Exact optimum, or ``None`` when the gate (or the budget) says no.
+
+    Active ``constraints`` make this the *constrained* exact referee; a
+    diagnosed :class:`~repro.errors.InfeasibleError` propagates — for the
+    oracle "no feasible placement exists" is an answer, not a failure.
+    """
     gate = gate if gate is not None else OracleGate()
     if not gate.admits(topology, sfc):
         return None
     try:
         return optimal_placement(
-            topology, flows, sfc, budget=gate.budget, cache=cache
+            topology, flows, sfc,
+            budget=gate.budget, constraints=constraints, cache=cache,
         )
     except BudgetExceededError:
         return None
@@ -80,16 +88,22 @@ def oracle_migration(
     mu: float,
     *,
     gate: OracleGate | None = None,
+    constraints: Constraints | None = None,
     cache: ComputeCache | None = None,
 ) -> MigrationResult | None:
-    """Exact migration optimum, or ``None`` when gated/budget-exhausted."""
+    """Exact migration optimum, or ``None`` when gated/budget-exhausted.
+
+    As with :func:`oracle_placement`, active ``constraints`` turn this
+    into the constrained referee and infeasibility propagates.
+    """
     gate = gate if gate is not None else OracleGate()
     n = int(np.asarray(source_placement).size)
     if not gate.admits(topology, n):
         return None
     try:
         return optimal_migration(
-            topology, flows, source_placement, mu, budget=gate.budget, cache=cache
+            topology, flows, source_placement, mu,
+            budget=gate.budget, constraints=constraints, cache=cache,
         )
     except BudgetExceededError:
         return None

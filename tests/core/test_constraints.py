@@ -1,0 +1,200 @@
+"""The typed constraint object: validation, feasibility, bit-identity."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import (
+    Constraints,
+    ConstraintError,
+    InfeasibleError,
+    SolverSession,
+    active_constraints,
+    chain_delay,
+    fat_tree,
+)
+from repro.topology import apply_uniform_delays
+
+pytestmark = pytest.mark.constrained
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConstraintError, match="vnf_capacity"):
+            Constraints(vnf_capacity=0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConstraintError, match="vnf_capacity"):
+            Constraints(vnf_capacity=-1)
+
+    def test_bool_capacity_rejected(self):
+        with pytest.raises(ConstraintError, match="vnf_capacity"):
+            Constraints(vnf_capacity=True)
+
+    @pytest.mark.parametrize("field", ["max_delay", "bandwidth"])
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_nonpositive_bounds_rejected(self, field, value):
+        with pytest.raises(ConstraintError, match=field):
+            Constraints(**{field: value})
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ConstraintError, match="occupancy"):
+            Constraints(occupancy={3: -1})
+
+    def test_duplicate_occupancy_rejected(self):
+        with pytest.raises(ConstraintError, match="twice"):
+            Constraints(occupancy=[(3, 1), (3, 2)])
+
+    def test_zero_entries_canonicalized_away(self):
+        assert Constraints(occupancy={3: 0}, load={4: 0.0}) == Constraints()
+        assert Constraints(occupancy={3: 0}).is_none
+
+    def test_mapping_and_pairs_canonicalize_equal(self):
+        a = Constraints(occupancy={5: 1, 3: 2})
+        b = Constraints(occupancy=[(3, 2), (5, 1)])
+        assert a == b
+        assert a.occupancy == ((3, 2), (5, 1))
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConstraintError, match="unknown"):
+            Constraints.from_dict({"vnf_capacity": 1, "cpu": 4})
+
+    def test_roundtrip(self):
+        c = Constraints(
+            vnf_capacity=2, max_delay=9.5, bandwidth=100.0,
+            occupancy={1: 1}, load={2: 3.0},
+        )
+        assert Constraints.from_dict(c.to_dict()) == c
+
+    def test_active_constraints_normalizes(self):
+        assert active_constraints(None) is None
+        assert active_constraints(Constraints.none()) is None
+        c = Constraints(vnf_capacity=1)
+        assert active_constraints(c) is c
+        with pytest.raises(ConstraintError, match="Constraints instance"):
+            active_constraints({"vnf_capacity": 1})
+
+
+class TestFeasibility:
+    def test_admissible_switches_drop_full_and_saturated(self, ft2):
+        switches = ft2.switches.tolist()
+        c = Constraints(
+            vnf_capacity=1,
+            bandwidth=10.0,
+            occupancy={switches[0]: 1},
+            load={switches[1]: 8.0},
+        )
+        admissible = c.admissible_switches(ft2, chain_rate=5.0).tolist()
+        assert switches[0] not in admissible  # slot-full
+        assert switches[1] not in admissible  # 8 + 5 > 10
+        assert set(admissible) == set(switches[2:])
+
+    def test_check_placement_names_each_problem(self, ft2):
+        switches = ft2.switches.tolist()
+        c = Constraints(vnf_capacity=1, occupancy={switches[0]: 1})
+        problems = c.check_placement(ft2, [switches[0], switches[1]], 1.0)
+        assert len(problems) == 1 and "vnf_capacity" in problems[0]
+        assert c.check_placement(ft2, [switches[1], switches[2]], 1.0) == []
+
+    def test_after_placement_accumulates(self, ft2):
+        switches = ft2.switches.tolist()
+        c = Constraints(vnf_capacity=2, bandwidth=10.0)
+        nxt = c.after_placement([switches[0], switches[1]], 4.0)
+        assert nxt.occupancy_of(switches[0]) == 1
+        assert nxt.load_of(switches[1]) == 4.0
+        again = nxt.after_placement([switches[0]], 4.0)
+        assert again.occupancy_of(switches[0]) == 2
+        assert again.load_of(switches[0]) == 8.0
+
+
+def _min_chain_delay(topology, n):
+    """Brute-force minimum of Σ c(p_j, p_{j+1}) over distinct placements."""
+    switches = topology.switches.tolist()
+    return min(
+        chain_delay(topology, p)
+        for p in itertools.permutations(switches, n)
+    )
+
+
+class TestDelayBound:
+    def test_unsatisfiable_delay_is_diagnosed(self, small_scenario):
+        topo = apply_uniform_delays(fat_tree(2), seed=3)
+        flows = small_scenario(topo, 4, seed=3)
+        floor = _min_chain_delay(topo, 3)
+        session = SolverSession(topo)
+        with pytest.raises(InfeasibleError) as err:
+            session.place(
+                flows, 3, constraints=Constraints(max_delay=0.5 * floor)
+            )
+        diagnosis = err.value.diagnosis
+        assert diagnosis["reason"] == "delay"
+        assert diagnosis["constraints"]["max_delay"] == pytest.approx(0.5 * floor)
+
+    def test_exact_delay_floor_is_feasible(self, small_scenario):
+        # the bound equals the brute-force minimum: only the min-delay
+        # stroll(s) qualify, and the solver must still find one
+        topo = apply_uniform_delays(fat_tree(2), seed=3)
+        flows = small_scenario(topo, 4, seed=3)
+        floor = _min_chain_delay(topo, 3)
+        result = SolverSession(topo).place(
+            flows, 3, constraints=Constraints(max_delay=floor)
+        )
+        assert chain_delay(topo, result.placement) <= floor * (1 + 1e-9) + 1e-9
+
+
+class TestBitIdentity:
+    def test_place_is_bit_identical_under_none(self, ft4, small_workload):
+        session = SolverSession(ft4)
+        plain = session.place(small_workload, 3)
+        explicit = session.place(
+            small_workload, 3, constraints=Constraints.none()
+        )
+        assert np.array_equal(plain.placement, explicit.placement)
+        assert plain.cost == explicit.cost
+        assert plain.meta == explicit.meta
+
+    def test_migrate_is_bit_identical_under_none(self, ft4, small_workload):
+        session = SolverSession(ft4)
+        prev = session.place(small_workload, 3).placement
+        shifted = small_workload.with_rates(small_workload.rates[::-1].copy())
+        plain = session.migrate(prev, shifted, mu=10.0)
+        explicit = session.migrate(
+            prev, shifted, mu=10.0, constraints=Constraints.none()
+        )
+        assert np.array_equal(plain.placement, explicit.placement)
+        assert plain.cost == explicit.cost
+
+    def test_place_many_is_bit_identical_under_none(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(4)]
+        session = SolverSession(ft4)
+        plain = session.place_many(flowsets, 2)
+        explicit = session.place_many(
+            flowsets, 2, constraints=Constraints.none()
+        )
+        for a, b in zip(plain, explicit):
+            assert np.array_equal(a.placement, b.placement)
+            assert a.cost == b.cost
+
+    def test_fig11a_rows_unchanged_when_sessions_pass_none(self, monkeypatch):
+        # the dynamic-day experiment re-run with every session query
+        # explicitly carrying Constraints.none() must reproduce the
+        # exact same rows — the structural bit-identity guarantee
+        from repro.experiments import run_experiment
+        import repro.session as session_module
+
+        base = run_experiment("fig11a_hourly", "smoke")
+
+        for name in ("place", "migrate"):
+            original = getattr(session_module.SolverSession, name)
+
+            def wrapped(self, *args, _original=original, **kwargs):
+                kwargs.setdefault("constraints", Constraints.none())
+                return _original(self, *args, **kwargs)
+
+            monkeypatch.setattr(session_module.SolverSession, name, wrapped)
+
+        again = run_experiment("fig11a_hourly", "smoke")
+        assert base.rows == again.rows

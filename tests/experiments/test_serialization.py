@@ -1,0 +1,52 @@
+"""ExperimentResult wire format: one schema shared with the serve layer."""
+
+from __future__ import annotations
+
+import json
+
+from repro import SolverSession
+from repro.experiments.common import ExperimentResult
+
+
+def test_to_dict_from_dict_roundtrip():
+    result = ExperimentResult(
+        experiment="fig99_example",
+        description="round-trip fixture",
+        rows=[{"x": 1, "cost": 2.5}, {"x": 2, "cost": 3.5}],
+        notes=["a note"],
+        params={"scale": "smoke", "seed": 7},
+    )
+    back = ExperimentResult.from_dict(result.to_dict())
+    assert back.experiment == result.experiment
+    assert back.description == result.description
+    assert back.rows == result.rows
+    assert back.notes == result.notes
+    assert back.params == result.params
+    assert back.to_dict() == result.to_dict()
+
+
+def test_to_json_is_the_to_dict_schema():
+    result = ExperimentResult(
+        experiment="fig99_example",
+        description="json fixture",
+        rows=[{"x": 1}],
+    )
+    assert json.loads(result.to_json()) == result.to_dict()
+
+
+def test_nested_solver_results_share_the_serve_schema(ft2, small_scenario):
+    # rows may embed solver results in their own to_dict shape — the
+    # same {placement, cost, meta} dict the serve layer's wire format
+    # nests, so one reader handles experiment artifacts and serve traces
+    flows = small_scenario(ft2, 3, seed=1)
+    solved = SolverSession(ft2).place(flows, 2)
+    result = ExperimentResult(
+        experiment="fig99_example",
+        description="nested fixture",
+        rows=[{"x": 1, "solution": solved.to_dict()}],
+    )
+    back = ExperimentResult.from_dict(json.loads(result.to_json()))
+    nested = back.rows[0]["solution"]
+    assert nested["placement"] == solved.placement.tolist()
+    assert nested["cost"] == solved.cost
+    assert nested["meta"]["algorithm"] == solved.algorithm

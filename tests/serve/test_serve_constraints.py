@@ -1,0 +1,126 @@
+"""Serve layer: constrained requests and the unified result wire format."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import Constraints, InfeasibleError
+from repro.serve import PlacementService, ServeConfig
+from repro.serve.server import ServeResult
+from repro.session import SolverSession
+
+pytestmark = [pytest.mark.serve, pytest.mark.constrained]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConstrainedRequests:
+    def test_constrained_submit_matches_offline_session(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=5)
+        constraints = Constraints(vnf_capacity=1)
+
+        async def serve():
+            async with PlacementService() as service:
+                return await service.submit(
+                    ft2, flows, 2, constraints=constraints
+                )
+
+        served = run(serve())
+        offline = SolverSession(ft2).place(flows, 2, constraints=constraints)
+        assert np.array_equal(served.result.placement, offline.placement)
+        assert served.result.cost == offline.cost
+        assert served.result.algorithm == "msg"
+
+    def test_none_constraints_bit_identical_to_plain_submit(
+        self, ft2, small_scenario
+    ):
+        flows = small_scenario(ft2, 3, seed=6)
+
+        async def serve():
+            async with PlacementService() as service:
+                plain = await service.submit(ft2, flows, 2)
+                explicit = await service.submit(
+                    ft2, flows, 2, constraints=Constraints.none()
+                )
+                return plain, explicit
+
+        plain, explicit = run(serve())
+        assert np.array_equal(plain.result.placement, explicit.result.placement)
+        assert plain.result.cost == explicit.result.cost
+        assert plain.result.algorithm == explicit.result.algorithm
+
+    def test_constrained_requests_never_batch(self, ft4, small_scenario):
+        flowsets = [small_scenario(ft4, 4, seed=s) for s in range(6)]
+        constraints = Constraints(vnf_capacity=2)
+
+        async def serve():
+            config = ServeConfig(max_concurrency=1, batch_window=0.05)
+            async with PlacementService(config) as service:
+                return await asyncio.gather(
+                    *(
+                        service.submit(ft4, flows, 2, constraints=constraints)
+                        for flows in flowsets
+                    )
+                )
+
+        served = run(serve())
+        assert all(not r.batched for r in served)
+        session = SolverSession(ft4)
+        for flows, r in zip(flowsets, served):
+            offline = session.place(flows, 2, constraints=constraints)
+            assert np.array_equal(r.result.placement, offline.placement)
+            assert r.result.cost == offline.cost
+
+    def test_infeasible_request_raises_with_diagnosis(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=7)
+        switches = [int(s) for s in ft2.switches]
+        constraints = Constraints(
+            vnf_capacity=1, occupancy={s: 1 for s in switches[:-1]}
+        )
+
+        async def serve():
+            async with PlacementService() as service:
+                return await service.submit(
+                    ft2, flows, 2, constraints=constraints
+                )
+
+        with pytest.raises(InfeasibleError) as err:
+            run(serve())
+        assert err.value.diagnosis["reason"] == "capacity"
+
+
+class TestWireFormat:
+    def _served(self, topology, flows, sfc, **kwargs):
+        async def serve():
+            async with PlacementService() as service:
+                return await service.submit(topology, flows, sfc, **kwargs)
+
+        return run(serve())
+
+    def test_placement_roundtrip_is_bit_exact(self, ft2, small_scenario):
+        served = self._served(ft2, small_scenario(ft2, 3, seed=8), 2)
+        back = ServeResult.from_dict(served.to_dict())
+        assert np.array_equal(back.result.placement, served.result.placement)
+        assert back.result.cost == served.result.cost
+        assert back.result.algorithm == served.result.algorithm
+        assert back.seq == served.seq
+        assert back.batched == served.batched
+        assert back.fault_state == served.fault_state
+        assert back.to_dict() == served.to_dict()
+
+    def test_migration_roundtrip_keeps_cost_split(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 3, seed=9)
+        prev = SolverSession(ft2).place(flows, 2).placement
+        shifted = flows.with_rates(flows.rates[::-1].copy())
+        served = self._served(ft2, shifted, 2, prev=prev, mu=10.0)
+        back = ServeResult.from_dict(served.to_dict())
+        assert np.array_equal(back.result.source, served.result.source)
+        assert np.array_equal(back.result.migration, served.result.migration)
+        assert back.result.communication_cost == served.result.communication_cost
+        assert back.result.migration_cost == served.result.migration_cost
+        assert back.to_dict() == served.to_dict()

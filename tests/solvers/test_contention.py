@@ -1,0 +1,105 @@
+"""Multi-SFC contention: sequential admission under shared constraints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Constraints, place_chains
+from repro.solvers.contention import ORDERS
+
+pytestmark = pytest.mark.constrained
+
+
+def _chains(topology, small_scenario, count, n, base_seed=0):
+    return [(small_scenario(topology, 4, seed=base_seed + i), n) for i in range(count)]
+
+
+class TestAdmission:
+    def test_unconstrained_admits_everything(self, ft2, small_scenario):
+        chains = _chains(ft2, small_scenario, 3, 2)
+        result = place_chains(ft2, chains)
+        assert result.accepted == 3
+        assert result.rejections == ()
+        assert all(p is not None for p in result.placements)
+
+    def test_capacity_pressure_rejects_with_diagnosis(self, ft2, small_scenario):
+        # 5 switches x 1 slot, 3 chains x 2 VNFs = 6 slots wanted: at
+        # least one chain must be turned away, with a structured reason
+        chains = _chains(ft2, small_scenario, 3, 2)
+        result = place_chains(
+            ft2, chains, constraints=Constraints(vnf_capacity=1)
+        )
+        assert result.accepted == 2
+        assert len(result.rejections) == 1
+        (idx, diagnosis), = result.rejections
+        assert diagnosis["reason"] == "capacity"
+        assert result.placements[idx] is None
+
+    def test_accepted_chains_respect_accumulated_state(self, ft2, small_scenario):
+        chains = _chains(ft2, small_scenario, 3, 2)
+        constraints = Constraints(vnf_capacity=1)
+        result = place_chains(ft2, chains, constraints=constraints)
+        state = constraints
+        for (flows, _n), placed in zip(chains, result.placements):
+            if placed is None:
+                continue
+            rate = float(flows.total_rate)
+            assert state.check_placement(ft2, placed.placement, rate) == []
+            state = state.after_placement(placed.placement, rate)
+
+    def test_contention_aware_places_heaviest_first(self, ft2, small_scenario):
+        chains = _chains(ft2, small_scenario, 3, 2)
+        rates = [float(flows.total_rate) for flows, _ in chains]
+        heaviest = rates.index(max(rates))
+        result = place_chains(
+            ft2, chains,
+            constraints=Constraints(vnf_capacity=1),
+            order="contention-aware",
+        )
+        # the heaviest chain saw an empty fabric: it can never be rejected
+        assert result.placements[heaviest] is not None
+        served = sum(
+            rate
+            for rate, placed in zip(rates, result.placements)
+            if placed is not None
+        )
+        first_fit = place_chains(
+            ft2, chains, constraints=Constraints(vnf_capacity=1)
+        )
+        first_fit_served = sum(
+            rate
+            for rate, placed in zip(rates, first_fit.placements)
+            if placed is not None
+        )
+        assert served >= first_fit_served - 1e-9
+
+    def test_unknown_order_rejected(self, ft2, small_scenario):
+        with pytest.raises(Exception, match="order"):
+            place_chains(
+                ft2, _chains(ft2, small_scenario, 2, 2), order="lightest-first"
+            )
+
+
+class TestResultSurface:
+    def test_orders_tuple_is_the_public_contract(self):
+        assert ORDERS == ("first-fit", "contention-aware")
+
+    def test_to_dict_roundtrips_as_json(self, ft2, small_scenario):
+        chains = _chains(ft2, small_scenario, 3, 2)
+        result = place_chains(
+            ft2, chains, constraints=Constraints(vnf_capacity=1)
+        )
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["accepted"] == result.accepted
+        assert len(data["placements"]) == 3
+
+    def test_deterministic_replay(self, ft2, small_scenario):
+        chains = _chains(ft2, small_scenario, 4, 2)
+        constraints = Constraints(vnf_capacity=1, bandwidth=1e9)
+        a = place_chains(ft2, chains, constraints=constraints)
+        b = place_chains(ft2, chains, constraints=constraints)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )

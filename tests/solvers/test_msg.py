@@ -1,0 +1,156 @@
+"""MSG stage-graph solvers: constraints honored, never below the oracle."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import (
+    Constraints,
+    InfeasibleError,
+    fat_tree,
+    msg_greedy_migration,
+    msg_greedy_placement,
+    msg_migration,
+    msg_placement,
+    optimal_migration,
+    optimal_placement,
+)
+from repro.constraints import chain_delay
+from repro.core.placement import dp_placement
+from repro.topology import apply_uniform_delays
+
+pytestmark = pytest.mark.constrained
+
+
+def _floor_delay(topology, n):
+    return min(
+        chain_delay(topology, p)
+        for p in itertools.permutations(topology.switches.tolist(), n)
+    )
+
+
+class TestUnconstrained:
+    def test_matches_placement_surface(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=1)
+        result = msg_placement(ft2, flows, 3)
+        assert result.meta["algorithm"] == "msg"
+        assert len(set(result.placement.tolist())) == 3
+        # never below the exact optimum
+        oracle = optimal_placement(ft2, flows, 3)
+        assert result.cost >= oracle.cost - 1e-9 * max(1.0, oracle.cost)
+
+    def test_greedy_is_beam_one(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=2)
+        greedy = msg_greedy_placement(ft2, flows, 3)
+        assert greedy.meta["algorithm"] == "msg-greedy"
+        assert greedy.meta["beam_width"] == 1
+        wide = msg_placement(ft2, flows, 3)
+        assert wide.cost <= greedy.cost + 1e-9 * max(1.0, greedy.cost)
+
+
+class TestCapacity:
+    def test_occupied_switches_avoided(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=3)
+        full = [int(s) for s in ft2.switches[:2]]
+        constraints = Constraints(
+            vnf_capacity=1, occupancy={s: 1 for s in full}
+        )
+        result = msg_placement(ft2, flows, 3, constraints=constraints)
+        assert not set(result.placement.tolist()) & set(full)
+        assert constraints.check_placement(
+            ft2, result.placement, float(flows.total_rate)
+        ) == []
+
+    def test_too_few_free_slots_is_diagnosed(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=3)
+        switches = [int(s) for s in ft2.switches]
+        constraints = Constraints(
+            vnf_capacity=1, occupancy={s: 1 for s in switches[:-2]}
+        )
+        with pytest.raises(InfeasibleError) as err:
+            msg_placement(ft2, flows, 3, constraints=constraints)
+        assert err.value.diagnosis["reason"] == "capacity"
+
+    def test_saturated_bandwidth_avoided(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=4)
+        rate = float(flows.total_rate)
+        hot = [int(s) for s in ft2.switches[:2]]
+        constraints = Constraints(
+            bandwidth=2.0 * rate, load={s: 1.5 * rate for s in hot}
+        )
+        result = msg_placement(ft2, flows, 3, constraints=constraints)
+        assert not set(result.placement.tolist()) & set(hot)
+
+
+class TestDelay:
+    def test_bound_honored_and_oracle_agrees(self, small_scenario):
+        topo = apply_uniform_delays(fat_tree(2), seed=7)
+        flows = small_scenario(topo, 4, seed=7)
+        bound = 1.2 * _floor_delay(topo, 3)
+        constraints = Constraints(max_delay=bound)
+        result = msg_placement(topo, flows, 3, constraints=constraints)
+        assert chain_delay(topo, result.placement) <= bound * (1 + 1e-9) + 1e-9
+        oracle = optimal_placement(topo, flows, 3, constraints=constraints)
+        assert result.cost >= oracle.cost - 1e-9 * max(1.0, oracle.cost)
+
+    def test_witness_fallback_rescues_a_failed_beam(self, small_scenario):
+        # seed found by scanning: the cost-greedy beam (width 1) dead-ends
+        # under the exact min-delay bound and the solver must fall back to
+        # the exact min-delay witness instead of claiming infeasibility
+        topo = apply_uniform_delays(fat_tree(2), seed=9)
+        flows = small_scenario(topo, 4, seed=9)
+        floor = _floor_delay(topo, 4)
+        result = msg_greedy_placement(
+            topo, flows, 4, constraints=Constraints(max_delay=floor)
+        )
+        assert result.meta["fallback"] == "min-delay-witness"
+        assert chain_delay(topo, result.placement) <= floor * (1 + 1e-9) + 1e-9
+
+    def test_unsatisfiable_bound_reports_min_delay(self, small_scenario):
+        topo = apply_uniform_delays(fat_tree(2), seed=11)
+        flows = small_scenario(topo, 4, seed=11)
+        floor = _floor_delay(topo, 3)
+        with pytest.raises(InfeasibleError) as err:
+            msg_placement(
+                topo, flows, 3, constraints=Constraints(max_delay=0.5 * floor)
+            )
+        diagnosis = err.value.diagnosis
+        assert diagnosis["reason"] == "delay"
+        assert diagnosis["min_delay"] == pytest.approx(floor)
+
+
+class TestMigration:
+    def test_constrained_migration_honors_bounds(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=5)
+        prev = dp_placement(ft2, flows, 3).placement
+        full = [int(s) for s in ft2.switches[:1]]
+        constraints = Constraints(vnf_capacity=1, occupancy={s: 1 for s in full})
+        result = msg_migration(ft2, flows, prev, 10.0, constraints=constraints)
+        assert not set(result.placement.tolist()) & set(full)
+        oracle = optimal_migration(
+            ft2, flows, prev, 10.0, constraints=constraints
+        )
+        assert result.cost >= oracle.cost - 1e-9 * max(1.0, oracle.cost)
+
+    def test_greedy_migration_algorithm_tag(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=6)
+        prev = dp_placement(ft2, flows, 3).placement
+        result = msg_greedy_migration(ft2, flows, prev, 5.0)
+        assert result.meta["algorithm"] == "msg-greedy"
+        assert result.cost == pytest.approx(
+            result.communication_cost + result.migration_cost
+        )
+
+
+class TestDeterminism:
+    def test_repeat_solves_bit_identical(self, ft2, small_scenario):
+        flows = small_scenario(ft2, 4, seed=8)
+        constraints = Constraints(vnf_capacity=2, bandwidth=1e9)
+        a = msg_placement(ft2, flows, 3, constraints=constraints)
+        b = msg_placement(ft2, flows, 3, constraints=constraints)
+        assert np.array_equal(a.placement, b.placement)
+        assert a.cost == b.cost
+        assert a.meta == b.meta

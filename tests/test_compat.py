@@ -1,18 +1,18 @@
-"""The one-release legacy-signature shims (see :mod:`repro._compat`).
+"""The retired legacy-signature shims (see :mod:`repro._compat`).
 
-Each solver accepts its pre-redesign call style — extra positional
-arguments, ``node_budget=`` / ``rng=`` keywords — for one release,
-emitting exactly one :class:`DeprecationWarning` and returning results
-identical to the new keyword-only convention.  CI runs this module (and
-the rest of the suite) under ``-W error::DeprecationWarning`` to prove
-the library's own code never goes through a shim.
+The one-release :class:`DeprecationWarning` grace period for the
+pre-redesign call styles — extra positional arguments, ``node_budget=``
+/ ``rng=`` keywords — is over.  Legacy calls must raise
+:class:`TypeError` with a message naming the keyword to use, new-style
+calls must pass through warning-free, and no ``DeprecationWarning`` may
+be emitted anywhere on these paths (CI runs this module under
+``-W error::DeprecationWarning`` to prove it).
 """
 
 from __future__ import annotations
 
 import warnings
 
-import numpy as np
 import pytest
 
 from repro import FacebookTrafficModel, fat_tree, place_vm_pairs
@@ -35,93 +35,66 @@ def flows(topo):
     return fl.with_rates(FacebookTrafficModel().sample(6, rng=2))
 
 
-def _one_deprecation(record):
-    deps = [w for w in record if issubclass(w.category, DeprecationWarning)]
-    assert len(deps) == 1, [str(w.message) for w in record]
-    return deps[0]
-
-
-def _legacy(call, *args, **kwargs):
-    with warnings.catch_warnings(record=True) as record:
-        warnings.simplefilter("always")
-        result = call(*args, **kwargs)
-    _one_deprecation(record)
-    return result
-
-
-class TestLegacyCallsMatchNewStyle:
+class TestLegacyCallsRaise:
     def test_dp_placement_positional_slack_and_mode(self, topo, flows):
-        legacy = _legacy(dp_placement, topo, flows, 4, 16, "paper")
-        new = dp_placement(topo, flows, 4, extra_edge_slack=16, mode="paper")
-        assert np.array_equal(legacy.placement, new.placement)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="extra_edge_slack=16"):
+            dp_placement(topo, flows, 4, 16, "paper")
 
     def test_dp_placement_top1_positional_flow_index(self, topo, flows):
-        legacy = _legacy(dp_placement_top1, topo, flows, 3, 1)
-        new = dp_placement_top1(topo, flows, 3, flow_index=1)
-        assert np.array_equal(legacy.placement, new.placement)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="flow_index=1"):
+            dp_placement_top1(topo, flows, 3, 1)
 
     def test_optimal_placement_node_budget_keyword(self, topo, flows):
-        legacy = _legacy(optimal_placement, topo, flows, 3, node_budget=200_000)
-        new = optimal_placement(topo, flows, 3, budget=200_000)
-        assert np.array_equal(legacy.placement, new.placement)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="renamed to 'budget'"):
+            optimal_placement(topo, flows, 3, node_budget=200_000)
 
     def test_optimal_migration_node_budget_keyword(self, topo, flows):
         src = dp_placement(topo, flows, 3).placement
-        legacy = _legacy(
-            optimal_migration, topo, flows, src, 10.0, node_budget=200_000
-        )
-        new = optimal_migration(topo, flows, src, 10.0, budget=200_000)
-        assert np.array_equal(legacy.migration, new.migration)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="renamed to 'budget'"):
+            optimal_migration(topo, flows, src, 10.0, node_budget=200_000)
 
     def test_mpareto_positional_placement_algorithm(self, topo, flows):
         src = dp_placement(topo, flows, 3).placement
-        legacy = _legacy(mpareto_migration, topo, flows, src, 10.0, dp_placement)
-        new = mpareto_migration(
-            topo, flows, src, 10.0, placement_algorithm=dp_placement
-        )
-        assert np.array_equal(legacy.migration, new.migration)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="placement_algorithm"):
+            mpareto_migration(topo, flows, src, 10.0, dp_placement)
 
     def test_random_placement_rng_keyword(self, topo, flows):
-        legacy = _legacy(random_placement, topo, flows, 3, rng=7)
-        new = random_placement(topo, flows, 3, seed=7)
-        assert np.array_equal(legacy.placement, new.placement)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="renamed to 'seed'"):
+            random_placement(topo, flows, 3, rng=7)
 
     def test_steering_positional_chain_aware(self, topo, flows):
-        legacy = _legacy(steering_placement, topo, flows, 3, True)
-        new = steering_placement(topo, flows, 3, chain_aware=True)
-        assert np.array_equal(legacy.placement, new.placement)
-        assert legacy.cost == new.cost
+        with pytest.raises(TypeError, match="chain_aware=True"):
+            steering_placement(topo, flows, 3, True)
+
+    def test_legacy_calls_do_not_run_the_solver(self, topo, flows):
+        # the tombstone must reject before any work happens: an otherwise
+        # invalid instance (n larger than the fabric) still raises the
+        # signature TypeError, not a solver error
+        with pytest.raises(TypeError):
+            dp_placement(topo, flows, 10_000, 16, "paper")
 
 
-class TestShimEdgeCases:
+class TestNewStyleCalls:
     def test_new_style_emits_no_warning(self, topo, flows):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             dp_placement(topo, flows, 3, mode="paper")
             optimal_placement(topo, flows, 3, budget=200_000)
             random_placement(topo, flows, 3, seed=1)
 
-    def test_duplicate_binding_raises(self, topo, flows):
-        with pytest.raises(TypeError), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            dp_placement(topo, flows, 3, 16, extra_edge_slack=16)
+    def test_legacy_rejection_is_not_a_warning(self, topo, flows):
+        # the shims are gone: rejection must never come with a
+        # DeprecationWarning attached
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(TypeError):
+                random_placement(topo, flows, 3, rng=7)
+        assert not [
+            w for w in record if issubclass(w.category, DeprecationWarning)
+        ]
 
-    def test_too_many_positionals_raises(self, topo, flows):
-        with pytest.raises(TypeError), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            dp_placement(topo, flows, 3, 16, "paper", None, None, "extra")
 
-    def test_old_and_new_keyword_together_raises(self, topo, flows):
-        with pytest.raises(TypeError), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            optimal_placement(topo, flows, 3, node_budget=1_000, budget=2_000)
-
+class TestDecorator:
     def test_decorator_preserves_metadata(self):
         @legacy_signature("alpha")
         def solver(a, b, *, alpha=1):
@@ -131,3 +104,27 @@ class TestShimEdgeCases:
         assert solver.__name__ == "solver"
         assert solver.__doc__ == "Doc."
         assert solver(1, 2, alpha=3) == 6
+
+    def test_extra_positional_names_the_keyword(self):
+        @legacy_signature("alpha", "beta")
+        def solver(a, *, alpha=1, beta=2):
+            return a + alpha + beta
+
+        with pytest.raises(TypeError, match=r"alpha=10, beta=20"):
+            solver(0, 10, 20)
+
+    def test_unnamed_extra_positional_still_rejected(self):
+        @legacy_signature()
+        def solver(a, *, alpha=1):
+            return a + alpha
+
+        with pytest.raises(TypeError, match="positional call"):
+            solver(0, 10)
+
+    def test_renamed_keyword_names_the_replacement(self):
+        @legacy_signature(renames={"old": "new"})
+        def solver(a, *, new=1):
+            return a + new
+
+        with pytest.raises(TypeError, match="renamed to 'new'"):
+            solver(0, old=5)

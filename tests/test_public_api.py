@@ -1,0 +1,162 @@
+"""Snapshot of the public API surface.
+
+Locks two things the redesign promises downstream code:
+
+* the ``repro`` top-level re-export set — a name silently vanishing
+  from (or leaking into) ``repro.__all__`` is an API break and must be
+  an explicit decision, made by editing this snapshot;
+* the keyword-only calling convention of the query surface —
+  ``SolverSession.place / migrate / solve / place_many`` and
+  ``PlacementService.submit`` accept their options (including
+  ``constraints``) by keyword only, so adding one can never reorder a
+  positional call site.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+from repro.serve import PlacementService
+from repro.session import SolverSession
+
+#: the exported surface, sorted.  Editing this list IS the API review.
+EXPECTED_EXPORTS = [
+    "BudgetExceededError",
+    "ConnectivityAudit",
+    "ConstraintError",
+    "Constraints",
+    "ContentionResult",
+    "CostGraph",
+    "DiurnalModel",
+    "FacebookTrafficModel",
+    "FaultConfig",
+    "FaultError",
+    "FaultEvent",
+    "FaultProcess",
+    "FaultState",
+    "FlowSet",
+    "FrontierTrace",
+    "GraphBuilder",
+    "GraphError",
+    "InfeasibleError",
+    "MigrationError",
+    "MigrationResult",
+    "PlacementError",
+    "PlacementResult",
+    "RepairPlan",
+    "ReproError",
+    "SFC",
+    "SolverError",
+    "SolverSession",
+    "Topology",
+    "TopologyError",
+    "UniformTrafficModel",
+    "WorkloadError",
+    "__version__",
+    "access_sfc",
+    "active_constraints",
+    "application_sfc",
+    "apply_uniform_delays",
+    "assign_cohorts",
+    "assign_cohorts_spatial",
+    "bcube",
+    "chain_delay",
+    "dcell",
+    "degrade",
+    "dp_placement",
+    "dp_placement_top1",
+    "evacuate",
+    "fat_tree",
+    "full_sfc",
+    "greedy_liu_placement",
+    "jellyfish",
+    "leaf_spine",
+    "linear_ppdc",
+    "mcf_vm_migration",
+    "mpareto_migration",
+    "msg_greedy_migration",
+    "msg_greedy_placement",
+    "msg_migration",
+    "msg_placement",
+    "no_migration",
+    "optimal_migration",
+    "optimal_placement",
+    "place_chains",
+    "place_vm_pairs",
+    "plan_vm_migration",
+    "primal_dual_placement_top1",
+    "random_placement",
+    "random_placement_quantiles",
+    "sfc_of_size",
+    "steering_placement",
+    "vl2",
+]
+
+
+def _shape(fn):
+    """(positional-or-keyword, keyword-only, has **kwargs) of a callable."""
+    params = inspect.signature(fn).parameters.values()
+    return (
+        tuple(p.name for p in params if p.kind is p.POSITIONAL_OR_KEYWORD),
+        tuple(p.name for p in params if p.kind is p.KEYWORD_ONLY),
+        any(p.kind is p.VAR_KEYWORD for p in params),
+    )
+
+
+def test_top_level_exports_match_snapshot():
+    assert sorted(repro.__all__) == EXPECTED_EXPORTS
+
+
+def test_every_export_resolves():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize(
+    "fn, lead, keyword_only",
+    [
+        (
+            SolverSession.place,
+            ("self", "flows", "sfc"),
+            ("algo", "constraints"),
+        ),
+        (
+            SolverSession.migrate,
+            ("self", "prev", "flows"),
+            ("mu", "algo", "constraints"),
+        ),
+        (
+            SolverSession.solve,
+            ("self", "flows", "sfc"),
+            ("prev", "mu", "algo", "deadline", "constraints"),
+        ),
+        (
+            SolverSession.place_many,
+            ("self", "flowsets", "sfc"),
+            ("algo", "batch", "constraints"),
+        ),
+        (
+            PlacementService.submit,
+            ("self", "topology", "flows", "sfc"),
+            ("prev", "mu", "algo", "deadline", "constraints"),
+        ),
+    ],
+    ids=lambda v: getattr(v, "__qualname__", None),
+)
+def test_query_surface_signatures(fn, lead, keyword_only):
+    got_lead, got_kw, has_var_kw = _shape(fn)
+    assert got_lead == lead
+    assert got_kw == keyword_only
+    assert has_var_kw  # solver pass-through options stay open
+
+
+def test_constraints_is_keyword_constructible_only_by_field():
+    _, kw, _ = _shape(repro.Constraints.__init__)
+    # frozen dataclass: every field addressable by name
+    params = inspect.signature(repro.Constraints.__init__).parameters
+    assert set(params) - {"self"} == {
+        "vnf_capacity", "max_delay", "bandwidth", "occupancy", "load",
+    }
