@@ -1,0 +1,218 @@
+"""Benchmark: migrate-vs-replicate cost deltas over the sync ratio ρ.
+
+Runs seeded ``tom-replication`` days against the plain-TOM (mPareto)
+baseline on identical workloads and reports, per ρ:
+
+* the **day-cost delta** (serving + migration + replication + sync)
+  against the baseline, with the replica activity that produced it;
+* the **fault-block delta** on an identical seeded fault stream —
+  dropped traffic must stay byte-equal (endpoint-determined) while free
+  failovers cut the repair bill (both asserted, not just reported);
+* **wall clock** per day for the lattice pricing overhead.
+
+The JSON report (``--json``, default ``reports/BENCH_replication.json``)
+is persisted as a CI artifact by the verify-campaign workflow job.
+
+Usage::
+
+    python benchmarks/bench_replication.py            # full: k=6, 3 days
+    python benchmarks/bench_replication.py --smoke    # CI-sized
+    python benchmarks/bench_replication.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError
+from repro.faults import FaultConfig, FaultProcess
+from repro.runtime.cache import ComputeCache, set_compute_cache
+from repro.sim.engine import simulate_day
+from repro.sim.metrics import replication_summary
+from repro.sim.policies import MParetoPolicy, TomReplicationPolicy
+from repro.topology.fattree import fat_tree
+from repro.utils.results_io import write_text_atomic
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import RedrawnRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+MU = 1e2
+SYNC_FRACTION = 1e-3
+MAX_REPLICAS = 2
+SWITCH_RATE = 0.1
+
+
+def _build_days(k, num_pairs, horizon, seeds):
+    topology = fat_tree(k)
+    model = FacebookTrafficModel()
+    days = []
+    for seed in seeds:
+        flows = place_vm_pairs(topology, num_pairs, seed=seed)
+        flows = flows.with_rates(model.sample(num_pairs, rng=seed))
+        rates = RedrawnRates(
+            flows, DiurnalModel(num_hours=horizon), np.zeros(flows.num_flows),
+            model, seed=seed,
+        )
+        faults = FaultProcess(
+            topology,
+            FaultConfig(switch_rate=SWITCH_RATE, mean_repair_hours=4.0),
+            seed=seed,
+            horizon=horizon,
+        )
+        days.append((flows, rates, faults))
+    return topology, days
+
+
+def _run_day(topology, flows, rates, faults, policy, n, horizon):
+    previous = set_compute_cache(ComputeCache())
+    try:
+        placement = dp_placement(topology, flows, n).placement
+        start = time.perf_counter()
+        try:
+            day = simulate_day(
+                topology, flows, policy, rates, placement,
+                range(1, horizon + 1), faults=faults,
+            )
+        except InfeasibleError:
+            return time.perf_counter() - start, None
+        return time.perf_counter() - start, day
+    finally:
+        set_compute_cache(previous)
+
+
+def bench(k, num_pairs, n, horizon, num_days, rhos, json_path, smoke) -> int:
+    topology, days = _build_days(
+        k, num_pairs, horizon, seeds=range(31, 31 + num_days)
+    )
+    print(
+        f"replication sweep: fat-tree(k={k}), l={num_pairs}, n={n}, "
+        f"{num_days} days x {horizon}h, rho in {rhos}"
+    )
+
+    def run_all(policy_factory, *, faulty):
+        elapsed_total, results = 0.0, []
+        for flows, rates, faults in days:
+            elapsed, day = _run_day(
+                topology, flows, rates, faults if faulty else None,
+                policy_factory(), n, horizon,
+            )
+            elapsed_total += elapsed
+            results.append(day)
+        return elapsed_total, results
+
+    rows = []
+    base_time, base_days = run_all(
+        lambda: MParetoPolicy(topology, mu=MU), faulty=False
+    )
+    base_fault_time, base_fault_days = run_all(
+        lambda: MParetoPolicy(topology, mu=MU), faulty=True
+    )
+    base_cost = float(
+        np.mean([d.total_cost for d in base_days if d is not None])
+    )
+    for rho in rhos:
+        factory = lambda: TomReplicationPolicy(  # noqa: B023, E731
+            topology, mu=MU, rho=rho, sync_fraction=SYNC_FRACTION,
+            max_replicas=MAX_REPLICAS,
+        )
+        repl_time, repl_days = run_all(factory, faulty=False)
+        fault_time, fault_days = run_all(factory, faulty=True)
+
+        done = [d for d in repl_days if d is not None]
+        summaries = [replication_summary(d) for d in done]
+        repair_repl, repair_base, failovers = [], [], 0
+        for mine, theirs in zip(fault_days, base_fault_days):
+            if mine is None or theirs is None:
+                continue
+            # dropped traffic is endpoint-determined: replicas must not
+            # change what is dropped, only what repair costs
+            assert [r.dropped_traffic for r in mine.records] == [
+                r.dropped_traffic for r in theirs.records
+            ], f"dropped-traffic series diverged at rho={rho}"
+            repair_repl.append(mine.total_repair_cost)
+            repair_base.append(theirs.total_repair_cost)
+            failovers += mine.total_failovers
+        assert repair_repl and sum(repair_repl) <= sum(repair_base), (
+            f"replicas must never raise the repair bill (rho={rho}: "
+            f"{sum(repair_repl)} vs {sum(repair_base)})"
+        )
+        row = {
+            "rho": rho,
+            "day_seconds": repl_time / max(len(days), 1),
+            "baseline_day_seconds": base_time / max(len(days), 1),
+            "total_cost": float(np.mean([s["total_cost"] for s in summaries])),
+            "baseline_total_cost": base_cost,
+            "cost_delta": float(
+                np.mean([s["total_cost"] for s in summaries]) - base_cost
+            ),
+            "replications": float(
+                np.mean([s["replications"] for s in summaries])
+            ),
+            "peak_replicas": float(
+                np.mean([s["peak_replicas"] for s in summaries])
+            ),
+            "fault_repair_cost": float(np.mean(repair_repl)),
+            "fault_baseline_repair_cost": float(np.mean(repair_base)),
+            "fault_failovers": failovers,
+            "fault_day_seconds": fault_time / max(len(days), 1),
+            "fault_baseline_day_seconds": base_fault_time / max(len(days), 1),
+        }
+        rows.append(row)
+        print(
+            f"rho={rho:<4}: cost {row['total_cost']:12.0f} "
+            f"({row['cost_delta']:+12.0f} vs TOM, "
+            f"{row['replications']:.1f} repl/day) | fault repair "
+            f"{row['fault_repair_cost']:8.0f} vs "
+            f"{row['fault_baseline_repair_cost']:8.0f} "
+            f"({failovers} failovers) | {row['day_seconds']:.3f}s/day"
+        )
+    print("invariants: dropped-traffic byte-equal, repair bill never raised  OK")
+
+    report = {
+        "workload": {
+            "topology": f"fat_tree({k})",
+            "num_pairs": num_pairs,
+            "num_vnfs": n,
+            "horizon": horizon,
+            "num_days": num_days,
+            "mu": MU,
+            "sync_fraction": SYNC_FRACTION,
+            "max_replicas": MAX_REPLICAS,
+            "switch_rate": SWITCH_RATE,
+            "smoke": smoke,
+        },
+        "rows": rows,
+    }
+    if json_path:
+        write_text_atomic(json_path, json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {json_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--pairs", type=int, default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--horizon", type=int, default=None)
+    parser.add_argument("--days", type=int, default=None)
+    parser.add_argument("--json", default="reports/BENCH_replication.json")
+    args = parser.parse_args(argv)
+    k = args.k or 4
+    pairs = args.pairs or (8 if args.smoke else 16)
+    n = args.n or 3
+    horizon = args.horizon or (8 if args.smoke else 12)
+    days = args.days or (2 if args.smoke else 3)
+    rhos = (0.2, 0.9) if args.smoke else (0.05, 0.2, 0.5, 0.9)
+    return bench(k, pairs, n, horizon, days, rhos, args.json, args.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

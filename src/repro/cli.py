@@ -54,6 +54,9 @@ DEFAULT_INCREMENTAL_JOURNAL = Path(".repro") / "incremental_journal.jsonl"
 #: and the constrained-placement campaign
 DEFAULT_CONSTRAINED_JOURNAL = Path(".repro") / "constrained_journal.jsonl"
 
+#: and the replication (migrate-vs-replicate lattice) campaign
+DEFAULT_REPLICATION_JOURNAL = Path(".repro") / "replication_journal.jsonl"
+
 #: campaign/benchmark JSON reports land here (gitignored): generated
 #: artifacts never sit next to tracked sources
 DEFAULT_REPORTS_DIR = Path("reports")
@@ -287,6 +290,53 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "journal completed cases and skip them on re-run "
             f"(default file: {DEFAULT_CONSTRAINED_JOURNAL})"
+        ),
+    )
+
+    replication = sub.add_parser(
+        "replication",
+        help="run the migrate-vs-replicate lattice verification campaign",
+        description=(
+            "Seeded simulated days (half fault-free, half with seeded "
+            "failures) under the tom-replication policy, audited from "
+            "scratch: serving cost as Eq. 1 with a per-flow min over chain "
+            "copies, sync and C_r accounting exact, the C_r <= C_b "
+            "dominance gate respected, the chosen action the minimum of "
+            "the priced option menu, failovers only to live replicas with "
+            "repairs priced from paid moves, the exact lattice oracle "
+            "never beaten, rho=0 byte-identical to plain TOM and rho→∞ "
+            "replication-free, byte-identical replay.  Exits 1 on "
+            "violations."
+        ),
+    )
+    replication.add_argument(
+        "--cases", type=int, default=100, metavar="N", help="scenarios to run"
+    )
+    replication.add_argument("--seed", type=int, default=0, help="campaign seed")
+    replication.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for case fan-out (default: 1, serial)",
+    )
+    replication.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_REPORTS_DIR / "replication_report.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: reports/replication_report.json)",
+    )
+    replication.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_REPLICATION_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal completed cases and skip them on re-run "
+            f"(default file: {DEFAULT_REPLICATION_JOURNAL})"
         ),
     )
 
@@ -652,6 +702,47 @@ def _run_constrained(args, out) -> int:
     return 1 if report["violations"] else 0
 
 
+def _run_replication(args, out) -> int:
+    from repro.verify import ReplicationCampaignConfig, run_replication_campaign
+
+    if args.resume is not None and Path(args.resume).exists():
+        print(f"resuming from {args.resume}", file=out)
+    start = time.perf_counter()
+    report = run_replication_campaign(
+        ReplicationCampaignConfig(
+            cases=args.cases,
+            seed=args.seed,
+            workers=args.workers,
+            journal_path=args.resume,
+            report_path=args.json,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    hits = report["runtime"]["journal_hits"]
+    resumed = f", {hits} from journal" if hits else ""
+    outcomes = report["coverage"]["by_outcome"]
+    print(
+        f"{report['cases']} cases ({outcomes.get('completed', 0)} completed, "
+        f"{outcomes.get('infeasible', 0)} infeasible), "
+        f"{report['checks']} checks, "
+        f"{report['violations']} violations{resumed} "
+        f"[seed {args.seed}, {elapsed:.1f}s]",
+        file=out,
+    )
+    for failure in report["failures"]:
+        mode = "faulty" if failure["faulty"] else "fault-free"
+        print(
+            f"  case {failure['case_id']} ({mode} on "
+            f"{failure['family']}): {len(failure['violations'])} violation(s); "
+            f"spec: {failure['spec']}",
+            file=out,
+        )
+        for violation in failure["violations"][:3]:
+            print(f"    [{violation['invariant']}] {violation['message']}", file=out)
+    print(f"wrote {args.json}", file=out)
+    return 1 if report["violations"] else 0
+
+
 def _run_serve(args, out) -> int:
     import asyncio
     import json
@@ -732,6 +823,8 @@ def _dispatch(args, out) -> int:
         return _run_incremental(args, out)
     if args.command == "constrained":
         return _run_constrained(args, out)
+    if args.command == "replication":
+        return _run_replication(args, out)
     if getattr(args, "no_shared_artifacts", False):
         set_artifact_sharing(False)
     if not getattr(args, "incremental", True):

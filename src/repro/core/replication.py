@@ -46,6 +46,12 @@ __all__ = [
     "replicated_communication_cost",
     "per_flow_copy_choice",
     "replicated_placement",
+    "ReplicaSet",
+    "ReplicationStep",
+    "replica_sync_volume",
+    "serving_cost",
+    "replication_step",
+    "exact_replication_step",
 ]
 
 
@@ -203,4 +209,507 @@ def replicated_placement(
         copies=stack,
         cost=cost,
         extra={"requested_copies": num_copies, "built_copies": stack.shape[0]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dynamic replication: the migrate-vs-replicate hour lattice (Carpio & Jukan)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """The tom-replication hour state: a serving primary chain + live copies.
+
+    ``primary`` is the chain the TOM would carry alone; ``replicas`` is an
+    ``(r, n)`` matrix of complete chain copies left behind by earlier
+    replicate actions.  All ``(1 + r) · n`` switches are globally
+    distinct (one instance per switch, same invariant as
+    :class:`ReplicatedPlacement`).  Traffic is served by the nearest
+    complete copy per flow (:func:`serving_cost`).
+    """
+
+    primary: np.ndarray  # (n,)
+    replicas: np.ndarray  # (r, n), r >= 0
+
+    def __post_init__(self) -> None:
+        primary = np.asarray(self.primary, dtype=np.int64).reshape(-1)
+        if primary.size == 0:
+            raise PlacementError("ReplicaSet primary must be a non-empty chain")
+        replicas = np.asarray(self.replicas, dtype=np.int64)
+        if replicas.size == 0:
+            replicas = replicas.reshape(0, primary.size)
+        if replicas.ndim != 2 or replicas.shape[1] != primary.size:
+            raise PlacementError(
+                f"replicas must be (r, {primary.size}), got {replicas.shape}"
+            )
+        flat = primary.tolist() + replicas.ravel().tolist()
+        if len(set(flat)) != len(flat):
+            raise PlacementError(
+                "primary and replica copies must use globally distinct switches"
+            )
+        primary.setflags(write=False)
+        replicas.setflags(write=False)
+        object.__setattr__(self, "primary", primary)
+        object.__setattr__(self, "replicas", replicas)
+
+    @property
+    def num_vnfs(self) -> int:
+        return int(self.primary.size)
+
+    @property
+    def num_replicas(self) -> int:
+        return int(self.replicas.shape[0])
+
+    @property
+    def copies(self) -> np.ndarray:
+        """``(1 + r, n)`` stack with the primary as row 0."""
+        return np.vstack([self.primary[None, :], self.replicas])
+
+    def switches(self) -> set[int]:
+        return {int(s) for s in self.primary} | {
+            int(s) for s in self.replicas.ravel()
+        }
+
+    def with_primary(self, primary: np.ndarray) -> "ReplicaSet":
+        return ReplicaSet(primary=np.asarray(primary, dtype=np.int64),
+                          replicas=self.replicas)
+
+    def add_replica(self, row: np.ndarray) -> "ReplicaSet":
+        row = np.asarray(row, dtype=np.int64).reshape(1, -1)
+        return ReplicaSet(
+            primary=self.primary, replicas=np.vstack([self.replicas, row])
+        )
+
+    def drop_replica(self, index: int) -> "ReplicaSet":
+        keep = [i for i in range(self.num_replicas) if i != index]
+        return ReplicaSet(primary=self.primary, replicas=self.replicas[keep])
+
+    def prune(self, live_switches: set[int]) -> tuple["ReplicaSet", list[list[int]]]:
+        """Drop replica copies with any instance on a dead switch.
+
+        Returns ``(pruned_set, lost_rows)``; the primary is left to the
+        repair machinery (:func:`repro.faults.repair.evacuate`), which can
+        fail over onto the surviving copies returned here.
+        """
+        kept, lost = [], []
+        for row in self.replicas:
+            if all(int(s) in live_switches for s in row):
+                kept.append(row)
+            else:
+                lost.append([int(s) for s in row])
+        replicas = (
+            np.vstack(kept) if kept else np.empty((0, self.num_vnfs), dtype=np.int64)
+        )
+        return ReplicaSet(primary=self.primary, replicas=replicas), lost
+
+    def to_dict(self) -> dict:
+        return {
+            "primary": self.primary.tolist(),
+            "replicas": self.replicas.tolist(),
+        }
+
+
+def serving_cost(ctx: CostContext, copies: np.ndarray) -> float:
+    """``C_a^rep`` for a copy stack: every flow takes its cheapest copy."""
+    return float(_per_copy_flow_costs(ctx, np.asarray(copies, dtype=np.int64))
+                 .min(axis=0).sum())
+
+
+def replica_sync_volume(
+    distances: np.ndarray, primary: np.ndarray, replicas: np.ndarray
+) -> float:
+    """``Σ_r Σ_j c(p_j, q_{r,j})``: the primary→replica state-sync distance."""
+    replicas = np.asarray(replicas, dtype=np.int64)
+    if replicas.size == 0:
+        return 0.0
+    primary = np.asarray(primary, dtype=np.int64)
+    return float(distances[primary[None, :], replicas].sum())
+
+
+@dataclass(frozen=True)
+class ReplicationStep:
+    """One hour's keep/migrate/replicate/release decision, fully priced.
+
+    ``options`` records the total each admissible action would have cost
+    (``None`` = inadmissible this hour) so audits can recheck that the
+    chosen action was the lattice minimum without re-running the solver.
+    """
+
+    action: str  # "keep" | "migrate" | "replicate" | "release"
+    replica_set: ReplicaSet
+    communication_cost: float
+    migration_cost: float
+    replication_cost: float
+    sync_cost: float
+    num_migrations: int
+    options: dict = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return (
+            self.communication_cost
+            + self.migration_cost
+            + self.replication_cost
+            + self.sync_cost
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "replica_set": self.replica_set.to_dict(),
+            "communication_cost": self.communication_cost,
+            "migration_cost": self.migration_cost,
+            "replication_cost": self.replication_cost,
+            "sync_cost": self.sync_cost,
+            "num_migrations": self.num_migrations,
+            "options": dict(self.options),
+        }
+
+
+def _priced_option(
+    ctx: CostContext,
+    action: str,
+    replica_set: ReplicaSet,
+    *,
+    migration_cost: float = 0.0,
+    replication_cost: float = 0.0,
+    num_migrations: int = 0,
+    total_rate: float,
+    sync_fraction: float,
+) -> ReplicationStep:
+    comm = serving_cost(ctx, replica_set.copies)
+    sync = sync_fraction * total_rate * replica_sync_volume(
+        ctx.distances, replica_set.primary, replica_set.replicas
+    )
+    return ReplicationStep(
+        action=action,
+        replica_set=replica_set,
+        communication_cost=comm,
+        migration_cost=migration_cost,
+        replication_cost=replication_cost,
+        sync_cost=sync,
+        num_migrations=num_migrations,
+    )
+
+
+def _finish(chosen: ReplicationStep, candidates: list[ReplicationStep]) -> ReplicationStep:
+    options = {c.action: c.total_cost for c in candidates}
+    return ReplicationStep(
+        action=chosen.action,
+        replica_set=chosen.replica_set,
+        communication_cost=chosen.communication_cost,
+        migration_cost=chosen.migration_cost,
+        replication_cost=chosen.replication_cost,
+        sync_cost=chosen.sync_cost,
+        num_migrations=chosen.num_migrations,
+        options=options,
+    )
+
+
+def _replica_target(
+    topology: Topology,
+    flows: FlowSet,
+    replica_set: ReplicaSet,
+    *,
+    candidate_switches=None,
+    cache=None,
+) -> np.ndarray | None:
+    """The best *disjoint* chain location: restricted Algorithm 3.
+
+    A replica must coexist with every live instance (one instance per
+    switch), so the fresh mPareto target — which usually shares switches
+    with the primary it was derived from — is rarely admissible.  The
+    natural replicate target is instead Algorithm 3 over the switches
+    not already holding an instance; ``None`` when no complete disjoint
+    chain fits.
+    """
+    used = replica_set.switches()
+    base = topology.switches if candidate_switches is None else candidate_switches
+    free = np.asarray(
+        [int(s) for s in base if int(s) not in used], dtype=np.int64
+    )
+    if free.size < replica_set.num_vnfs:
+        return None
+    try:
+        return dp_placement(
+            topology, flows, replica_set.num_vnfs,
+            candidate_switches=free, cache=cache,
+        ).placement
+    except (InfeasibleError, PlacementError):
+        return None
+
+
+def _replicate_option(
+    ctx: CostContext,
+    replica_set: ReplicaSet,
+    target: np.ndarray | None,
+    mu: float,
+    rho: float,
+    *,
+    total_rate: float,
+    sync_fraction: float,
+    max_replicas: int,
+) -> ReplicationStep | None:
+    """The replicate action at ``target``, or ``None`` when inadmissible.
+
+    Admissibility (the ``C_r <= C_b`` dominance gate, see DESIGN.md §5j):
+    a replica is the state-*sharing* shortcut, so it is only on the menu
+    when copying state to ``target`` is no dearer than bulk-moving there
+    (``ρ·μ·Σc <= μ·Σc``).  With ``ρ > 1`` the gate never opens, which is
+    what makes ρ→∞ structurally replication-free.
+    """
+    if target is None or replica_set.num_replicas >= max_replicas:
+        return None
+    target = np.asarray(target, dtype=np.int64).reshape(-1)
+    if len(set(target.tolist())) != target.size:
+        return None
+    if set(int(s) for s in target) & replica_set.switches():
+        return None
+    # dominance gate on the ratio itself: ρ > 1 means copying state is
+    # dearer than bulk-moving it, per unit μ — checked on ρ (not the
+    # products) so the gate stays closed even at μ = 0, where both
+    # C_r and C_b collapse to zero and the products can't tell
+    if rho > 1:
+        return None
+    volume = float(ctx.distances[replica_set.primary, target].sum())
+    c_r = rho * mu * volume
+    return _priced_option(
+        ctx,
+        "replicate",
+        replica_set.add_replica(target),
+        replication_cost=c_r,
+        total_rate=total_rate,
+        sync_fraction=sync_fraction,
+    )
+
+
+def replication_step(
+    topology: Topology,
+    flows: FlowSet,
+    replica_set: ReplicaSet,
+    mu: float,
+    *,
+    rho: float,
+    sync_fraction: float,
+    max_replicas: int,
+    migrate_result,
+    candidate_switches=None,
+    cache=None,
+) -> ReplicationStep:
+    """Greedy keep/migrate/replicate/release decision for one hour.
+
+    ``migrate_result`` is the hour's Algorithm 5 answer (computed by the
+    caller — directly or through a session — against ``replica_set``'s
+    primary, with the fresh target restricted away from replica-held
+    switches).  With **no** live replicas the migrate option adopts that
+    result wholesale — mPareto's frontier 0 *is* keep — so the booked
+    costs are mPareto's own floats and a never-replicating run is
+    byte-identical to :class:`~repro.sim.policies.MParetoPolicy`.  With
+    live replicas every option is re-priced replica-aware: serving is the
+    per-flow min over copies, plus the consistency-sync term
+    ``sync_fraction · Λ · Σc(p, q_r)``.  The replicate target is the
+    best disjoint chain location (:func:`_replica_target`);
+    ``candidate_switches`` restricts it to the surviving component under
+    faults.
+    """
+    ctx = CostContext(topology, flows, cache=cache)
+    total_rate = float(flows.rates.sum())
+    fresh_target = None
+    if not rho > 1:  # the dominance gate could never open
+        fresh_target = _replica_target(
+            topology, flows, replica_set,
+            candidate_switches=candidate_switches, cache=ctx.cache,
+        )
+
+    if replica_set.num_replicas == 0:
+        adopt = ReplicationStep(
+            action="migrate" if migrate_result.num_migrated else "keep",
+            replica_set=ReplicaSet(
+                primary=migrate_result.migration, replicas=replica_set.replicas
+            ),
+            communication_cost=float(migrate_result.communication_cost),
+            migration_cost=float(migrate_result.migration_cost),
+            replication_cost=0.0,
+            sync_cost=0.0,
+            num_migrations=int(migrate_result.num_migrated),
+        )
+        candidates = [adopt]
+        rep = _replicate_option(
+            ctx, replica_set, fresh_target, mu, rho,
+            total_rate=total_rate, sync_fraction=sync_fraction,
+            max_replicas=max_replicas,
+        )
+        if rep is not None:
+            candidates.append(rep)
+        # strict-improvement gate: replicate only when it beats adopting
+        # the plain TOM answer, so ties preserve the mPareto behaviour
+        chosen = adopt
+        if rep is not None and rep.total_cost < adopt.total_cost:
+            chosen = rep
+        return _finish(chosen, candidates)
+
+    candidates = [
+        _priced_option(
+            ctx, "keep", replica_set,
+            total_rate=total_rate, sync_fraction=sync_fraction,
+        )
+    ]
+    migration = np.asarray(migrate_result.migration, dtype=np.int64)
+    if not (set(int(s) for s in migration)
+            & {int(s) for s in replica_set.replicas.ravel()}):
+        candidates.append(
+            _priced_option(
+                ctx,
+                "migrate",
+                replica_set.with_primary(migration),
+                migration_cost=float(migrate_result.migration_cost),
+                num_migrations=int(migrate_result.num_migrated),
+                total_rate=total_rate,
+                sync_fraction=sync_fraction,
+            )
+        )
+    rep = _replicate_option(
+        ctx, replica_set, fresh_target, mu, rho,
+        total_rate=total_rate, sync_fraction=sync_fraction,
+        max_replicas=max_replicas,
+    )
+    if rep is not None:
+        candidates.append(rep)
+    for index in range(replica_set.num_replicas):
+        # releasing a copy is free: its instances are decommissioned and
+        # the hour simply stops paying its serving/sync contribution
+        candidates.append(
+            _priced_option(
+                ctx, "release", replica_set.drop_replica(index),
+                total_rate=total_rate, sync_fraction=sync_fraction,
+            )
+        )
+    chosen = candidates[0]
+    for option in candidates[1:]:
+        if option.total_cost < chosen.total_cost:
+            chosen = option
+    return _finish(chosen, candidates)
+
+
+def exact_replication_step(
+    topology: Topology,
+    flows: FlowSet,
+    replica_set: ReplicaSet,
+    mu: float,
+    *,
+    rho: float,
+    sync_fraction: float,
+    max_replicas: int,
+    migrate_result=None,
+    candidate_switches=None,
+    cache=None,
+) -> ReplicationStep:
+    """Exact minimization over the hour's keep/migrate/replicate lattice.
+
+    Enumerates *every* parallel migration frontier between the primary
+    and the fresh Algorithm 3 target — each frontier both as a migrate
+    stop and as a replicate target — plus keep and every single-copy
+    release, all priced replica-aware.  A strict superset of
+    :func:`replication_step`'s menu, so its total is a floor for the
+    greedy's (the ``verify.replication`` oracle check).  Exponential in
+    nothing: the menu is ``O(h_max + r)`` options, each ``O((r+2)·l)``
+    to price, so this is exact *and* cheap — it is "small-case" only in
+    that its per-hour answer is one DP target's corridor lattice, not a
+    global search over all placements.
+    """
+    from repro.core.migration import migration_frontiers
+
+    ctx = CostContext(topology, flows, cache=cache)
+    total_rate = float(flows.rates.sum())
+    primary = replica_set.primary
+    replica_switches = {int(s) for s in replica_set.replicas.ravel()}
+    if migrate_result is None:
+        candidates_opt = candidate_switches
+        if replica_switches:
+            base = (
+                topology.switches if candidates_opt is None else candidates_opt
+            )
+            candidates_opt = np.asarray(
+                [int(s) for s in base if int(s) not in replica_switches],
+                dtype=np.int64,
+            )
+        fresh = dp_placement(
+            topology, flows, primary.size,
+            candidate_switches=candidates_opt, cache=ctx.cache,
+        ).placement
+    else:
+        fresh = np.asarray(
+            migrate_result.extra.get("target_placement", migrate_result.migration),
+            dtype=np.int64,
+        )
+
+    candidates = [
+        _priced_option(
+            ctx, "keep", replica_set,
+            total_rate=total_rate, sync_fraction=sync_fraction,
+        )
+    ]
+    for frontier in migration_frontiers(topology, primary, fresh):
+        distinct = len(set(frontier.tolist())) == frontier.size
+        if distinct and not (set(int(s) for s in frontier) & replica_switches):
+            moved = int((frontier != primary).sum())
+            if moved:
+                candidates.append(
+                    _priced_option(
+                        ctx,
+                        "migrate",
+                        replica_set.with_primary(frontier),
+                        migration_cost=ctx.migration_cost(primary, frontier, mu),
+                        num_migrations=moved,
+                        total_rate=total_rate,
+                        sync_fraction=sync_fraction,
+                    )
+                )
+        rep = _replicate_option(
+            ctx, replica_set, frontier, mu, rho,
+            total_rate=total_rate, sync_fraction=sync_fraction,
+            max_replicas=max_replicas,
+        )
+        if rep is not None:
+            candidates.append(rep)
+    if not (rho > 1 and mu > 0):
+        # the greedy's replicate target (best disjoint chain) is part of
+        # the exact menu too, so exact <= greedy holds action for action
+        disjoint = _replica_target(
+            topology, flows, replica_set,
+            candidate_switches=candidate_switches, cache=ctx.cache,
+        )
+        rep = _replicate_option(
+            ctx, replica_set, disjoint, mu, rho,
+            total_rate=total_rate, sync_fraction=sync_fraction,
+            max_replicas=max_replicas,
+        )
+        if rep is not None:
+            candidates.append(rep)
+    for index in range(replica_set.num_replicas):
+        candidates.append(
+            _priced_option(
+                ctx, "release", replica_set.drop_replica(index),
+                total_rate=total_rate, sync_fraction=sync_fraction,
+            )
+        )
+    chosen = candidates[0]
+    for option in candidates[1:]:
+        if option.total_cost < chosen.total_cost:
+            chosen = option
+    best_by_action: dict[str, float] = {}
+    for option in candidates:
+        prev = best_by_action.get(option.action)
+        if prev is None or option.total_cost < prev:
+            best_by_action[option.action] = option.total_cost
+    return ReplicationStep(
+        action=chosen.action,
+        replica_set=chosen.replica_set,
+        communication_cost=chosen.communication_cost,
+        migration_cost=chosen.migration_cost,
+        replication_cost=chosen.replication_cost,
+        sync_cost=chosen.sync_cost,
+        num_migrations=chosen.num_migrations,
+        options=best_by_action,
     )

@@ -34,6 +34,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig11_dynamic,
     fig12_survivability,
     fig13_constrained,
+    fig14_replication,
     scorecard,
     tables,
     validations,

@@ -1,0 +1,206 @@
+"""Fig. 14 (extension): migrate-vs-replicate frontiers over the sync ratio ρ.
+
+Not a figure of the source paper — the replication extension (DESIGN.md
+§5j, after Carpio & Jukan's replica-placement line of work): the
+``tom-replication`` policy prices a third per-hour action, *replicate*
+(pay ``C_r = ρ·μ·Σc`` once plus an ongoing consistency-sync stream),
+against the paper's keep/migrate pair, and this experiment sweeps ρ to
+trace the resulting cost frontier:
+
+* the **fault-free block** reports the mean day-cost split
+  (communication / migration / replication / sync) and replica activity
+  per ρ, against the plain-TOM (mPareto) baseline — at small ρ replicas
+  are near-free and serving cost drops (per-flow min over chain copies);
+  as ρ grows the one-off copy plus the sync stream crowd the action out,
+  and past the ``C_r <= C_b`` dominance gate (ρ > 1) the policy is
+  structurally identical to plain TOM;
+* the **fault block** re-runs each replication on an identical seeded
+  fault stream: a live replica on a surviving switch turns a would-be
+  paid evacuation into a *free failover*, so dropped traffic stays
+  byte-equal (endpoint-determined) while repair cost falls.
+
+A replication whose day hits a diagnosed :class:`~repro.errors.
+InfeasibleError` lands in the ``infeasible`` counters rather than
+crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError
+from repro.experiments.common import ExperimentResult, check_scale, map_points, register
+from repro.faults import FaultConfig, FaultProcess
+from repro.sim.engine import simulate_day
+from repro.sim.metrics import replication_summary
+from repro.sim.policies import MParetoPolicy, TomReplicationPolicy
+from repro.topology.fattree import fat_tree
+from repro.utils.rng import spawn_seeds
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import RedrawnRates
+from repro.workload.flows import place_vm_pairs
+from repro.workload.traffic import FacebookTrafficModel
+
+__all__ = ["run_replication_sweep"]
+
+_BASE = {
+    "smoke": {"k": 4, "l": 6, "n": 2, "replications": 2, "seed": 29,
+              "horizon": 6, "rhos": (0.1, 0.5)},
+    "default": {"k": 4, "l": 16, "n": 3, "replications": 3, "seed": 29,
+                "horizon": 12, "rhos": (0.05, 0.1, 0.2, 0.5, 0.9)},
+    "paper": {"k": 8, "l": 64, "n": 5, "replications": 10, "seed": 29,
+              "horizon": 24, "rhos": (0.02, 0.05, 0.1, 0.2, 0.5, 0.9)},
+}
+
+MU = 1e2
+SYNC_FRACTION = 1e-3
+MAX_REPLICAS = 2
+SWITCH_RATE = 0.1
+MEAN_REPAIR_HOURS = 4.0
+
+_SUMMARY_METRICS = (
+    "total_cost",
+    "communication_cost",
+    "migration_cost",
+    "replication_cost",
+    "sync_cost",
+    "repair_cost",
+    "dropped_traffic",
+    "replications",
+    "failovers",
+    "peak_replicas",
+)
+
+
+def _run_point(point: tuple) -> dict:
+    """One (ρ, faulty?, replication) day; picklable sweep task.
+
+    ``rho is None`` selects the plain-TOM baseline.  The fault stream is
+    seeded from the replication seed alone, so every ρ (and the
+    baseline) of one replication sees the identical failure trace.
+    """
+    k, l, n, rho, faulty, horizon, seed = point
+    topology = fat_tree(k)
+    flow_seed, rate_seed, fault_seed = spawn_seeds(seed, 3)
+    flows = place_vm_pairs(topology, l, seed=flow_seed)
+    flows = flows.with_rates(FacebookTrafficModel().sample(l, rng=rate_seed))
+    diurnal = DiurnalModel(num_hours=horizon)
+    rate_process = RedrawnRates(
+        flows, diurnal, np.zeros(l), FacebookTrafficModel(), seed=rate_seed
+    )
+    faults = None
+    if faulty:
+        faults = FaultProcess(
+            topology,
+            FaultConfig(switch_rate=SWITCH_RATE,
+                        mean_repair_hours=MEAN_REPAIR_HOURS),
+            seed=fault_seed,
+            horizon=horizon,
+        )
+    placement = dp_placement(topology, flows, n).placement
+    if rho is None:
+        policy = MParetoPolicy(topology, mu=MU)
+    else:
+        policy = TomReplicationPolicy(
+            topology, mu=MU, rho=rho,
+            sync_fraction=SYNC_FRACTION, max_replicas=MAX_REPLICAS,
+        )
+    try:
+        day = simulate_day(
+            topology,
+            flows,
+            policy,
+            rate_process,
+            placement,
+            range(1, horizon + 1),
+            faults=faults,
+        )
+    except InfeasibleError as exc:
+        return {"infeasible": True, "diagnosis": exc.diagnosis}
+    return {"infeasible": False, **replication_summary(day)}
+
+
+def _mean_block(outcomes: list[dict], prefix: str) -> dict:
+    done = [o for o in outcomes if not o["infeasible"]]
+    row = {f"{prefix}_infeasible": len(outcomes) - len(done)}
+    for metric in _SUMMARY_METRICS:
+        row[f"{prefix}_{metric}"] = (
+            float(np.mean([o[metric] for o in done])) if done else float("nan")
+        )
+    return row
+
+
+@register("fig14_replication",
+          "Migrate-vs-replicate cost frontier over the sync ratio rho")
+def run_replication_sweep(
+    scale: str = "default", workers: int = 1
+) -> ExperimentResult:
+    params = _BASE[check_scale(scale)]
+    k, l, n = params["k"], params["l"], params["n"]
+    horizon = params["horizon"]
+    reps = params["replications"]
+    rep_seeds = spawn_seeds(params["seed"], reps)
+
+    rho_values: tuple = (None,) + tuple(params["rhos"])
+    points = [
+        (k, l, n, rho, faulty, horizon, rep_seeds[rep])
+        for rho in rho_values
+        for faulty in (False, True)
+        for rep in range(reps)
+    ]
+    results = map_points(_run_point, points, workers=workers)
+
+    by_key: dict[tuple, list[dict]] = {}
+    for (_, _, _, rho, faulty, *_), res in zip(points, results):
+        by_key.setdefault((rho, faulty), []).append(res)
+
+    baseline = {
+        **_mean_block(by_key[(None, False)], "base"),
+        **_mean_block(by_key[(None, True)], "base_fault"),
+    }
+    rows = []
+    for rho in params["rhos"]:
+        rows.append(
+            {
+                "rho": rho,
+                **_mean_block(by_key[(rho, False)], "repl"),
+                **_mean_block(by_key[(rho, True)], "repl_fault"),
+                **baseline,
+            }
+        )
+
+    first, last = rows[0], rows[-1]
+    notes = []
+    if not np.isnan(first["repl_total_cost"]):
+        notes.append(
+            f"fault-free day cost at rho={first['rho']}: "
+            f"{first['repl_total_cost']:.0f} vs plain-TOM baseline "
+            f"{first['base_total_cost']:.0f} "
+            f"({first['repl_replications']:.1f} replications/day, "
+            f"peak {first['repl_peak_replicas']:.1f} replicas)"
+        )
+        notes.append(
+            "replica activity fades as rho grows: "
+            f"{first['repl_replications']:.1f} -> "
+            f"{last['repl_replications']:.1f} replications/day"
+        )
+    if not np.isnan(first["repl_fault_repair_cost"]):
+        notes.append(
+            "fault block (identical fault streams): repair cost "
+            f"{first['repl_fault_repair_cost']:.0f} with replicas "
+            f"({first['repl_fault_failovers']:.1f} free failovers/day) vs "
+            f"{baseline['base_fault_repair_cost']:.0f} without; dropped "
+            "traffic is endpoint-determined and stays equal: "
+            f"{first['repl_fault_dropped_traffic']:.0f} vs "
+            f"{baseline['base_fault_dropped_traffic']:.0f}"
+        )
+    return ExperimentResult(
+        experiment="fig14_replication",
+        description="Replication extension: cost frontier over the sync ratio rho",
+        rows=rows,
+        notes=notes,
+        params={**params, "mu": MU, "sync_fraction": SYNC_FRACTION,
+                "max_replicas": MAX_REPLICAS, "switch_rate": SWITCH_RATE,
+                "mean_repair_hours": MEAN_REPAIR_HOURS},
+    )

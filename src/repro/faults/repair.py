@@ -10,9 +10,22 @@ failure, and pricing on the degraded fabric would be ``inf`` (the dead
 switch has no edges left).  The simulator multiplies the plan's summed
 distance by the policy's μ, exactly like Eq. 8's ``C_b``.
 
+When the policy carries a live :class:`~repro.core.replication.ReplicaSet`
+(``replica_rows``), a stranded VNF with a surviving replica instance does
+not pay that price at all: the replica *is* the last-known-good state,
+already running on a live switch, so the repair is a **free failover** —
+the replica instance is promoted to primary, its copy is retired, and the
+move is logged under ``failovers`` (not ``moves``) so the ``verify.faults``
+pricing audit (μ × Σ healthy distance over *paid* moves) stays exact.
+
 Evacuation is deterministic: VNFs are processed in chain order, each
-moving to the nearest allowed, unoccupied switch (ties broken toward the
-smaller switch index).  VNFs already on an allowed switch stay put.
+first checking the replica copies in deployment order for a live, free
+instance (free failover), then falling back to the nearest allowed,
+unoccupied, non-replica-held switch (ties broken toward the smaller
+switch index).  VNFs already on an allowed switch stay put.  If replica
+occupancy ever leaves a paid move with no free switch, the remaining
+replica copies are decommissioned to make room (the primary service
+always wins over survivability spares).
 """
 
 from __future__ import annotations
@@ -30,29 +43,50 @@ __all__ = ["RepairPlan", "evacuate"]
 class RepairPlan:
     """The outcome of one forced evacuation.
 
-    ``moves`` lists ``(vnf_index, from_switch, to_switch)`` in chain
-    order; ``distance`` is ``Σ c_healthy(from, to)`` over the moves (the
-    simulator books ``μ · distance`` as repair cost).
+    ``moves`` lists *paid* ``(vnf_index, from_switch, to_switch)`` in
+    chain order; ``distance`` is ``Σ c_healthy(from, to)`` over those
+    moves (the simulator books ``μ · distance`` as repair cost).
+    ``failovers`` lists the free promotions onto live replica instances
+    (same triple shape, zero distance), and ``replica_rows`` is the
+    replica matrix that survives the plan (consumed and decommissioned
+    copies removed; ``None`` when the caller passed no replicas).
     """
 
     placement: np.ndarray
     moves: tuple[tuple[int, int, int], ...]
     distance: float
+    failovers: tuple[tuple[int, int, int], ...] = ()
+    replica_rows: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         placement = np.asarray(self.placement, dtype=np.int64)
         placement.setflags(write=False)
         object.__setattr__(self, "placement", placement)
+        if self.replica_rows is not None:
+            rows = np.asarray(self.replica_rows, dtype=np.int64)
+            rows = rows.reshape(-1, placement.size) if rows.size else rows.reshape(
+                0, placement.size
+            )
+            rows.setflags(write=False)
+            object.__setattr__(self, "replica_rows", rows)
 
     @property
     def num_moves(self) -> int:
         return len(self.moves)
+
+    @property
+    def num_failovers(self) -> int:
+        return len(self.failovers)
 
     def to_dict(self) -> dict:
         return {
             "placement": self.placement.tolist(),
             "moves": [list(m) for m in self.moves],
             "distance": self.distance,
+            "failovers": [list(m) for m in self.failovers],
+            "replica_rows": (
+                None if self.replica_rows is None else self.replica_rows.tolist()
+            ),
         }
 
 
@@ -62,13 +96,17 @@ def evacuate(
     healthy_distances: np.ndarray,
     *,
     diagnosis: dict | None = None,
+    replica_rows: np.ndarray | None = None,
 ) -> RepairPlan:
     """Move every VNF not on an ``allowed`` switch to the nearest free one.
 
     ``healthy_distances`` is the intact fabric's APSP table (see the
-    module docstring for why repair is priced there).  Raises
-    :class:`InfeasibleError` (carrying ``diagnosis``) when the allowed
-    set cannot host all VNFs distinctly.
+    module docstring for why repair is priced there).  ``replica_rows``
+    is an ``(r, n)`` matrix of live replica chain copies (already pruned
+    to the surviving component by the caller); a stranded VNF with a
+    live replica instance fails over for free instead of paying a move.
+    Raises :class:`InfeasibleError` (carrying ``diagnosis``) when the
+    allowed set cannot host all VNFs distinctly.
     """
     src = np.asarray(placement, dtype=np.int64)
     allowed = [int(s) for s in allowed_switches]
@@ -84,22 +122,74 @@ def evacuate(
                 **(diagnosis or {}),
             },
         )
+    rows = None
+    if replica_rows is not None:
+        rows = np.asarray(replica_rows, dtype=np.int64)
+        rows = rows.reshape(-1, src.size) if rows.size else rows.reshape(0, src.size)
     new = src.copy()
     occupied = {int(p) for p in src if int(p) in allowed_set}
+    retired: set[int] = set()
+
+    def replica_held() -> set[int]:
+        """Switches still held by live, unconsumed replica instances."""
+        held: set[int] = set()
+        if rows is None:
+            return held
+        for r_idx in range(rows.shape[0]):
+            if r_idx in retired:
+                continue
+            held.update(int(s) for s in rows[r_idx] if int(s) in allowed_set)
+        return held
+
     moves: list[tuple[int, int, int]] = []
+    failovers: list[tuple[int, int, int]] = []
     distance = 0.0
     for j in range(src.size):
         origin = int(src[j])
         if origin in allowed_set:
             continue
+        # free failover: promote a live replica instance of VNF j
+        target = None
+        if rows is not None:
+            for r_idx in range(rows.shape[0]):
+                if r_idx in retired:
+                    continue
+                cand = int(rows[r_idx, j])
+                if cand in allowed_set and cand not in occupied:
+                    target = cand
+                    retired.add(r_idx)
+                    break
+        if target is not None:
+            occupied.add(target)
+            new[j] = target
+            failovers.append((j, origin, target))
+            continue
+        held = replica_held()
         candidates = sorted(
-            (s for s in allowed if s not in occupied),
+            (s for s in allowed if s not in occupied and s not in held),
             key=lambda s: (float(healthy_distances[origin, s]), s),
         )
-        # guaranteed non-empty: |allowed| >= n and each move occupies one
+        if not candidates:
+            # replica copies are expendable spares: decommission them all
+            # so the primary chain can always be rehosted (|allowed| >= n)
+            retired.update(range(rows.shape[0]))
+            candidates = sorted(
+                (s for s in allowed if s not in occupied),
+                key=lambda s: (float(healthy_distances[origin, s]), s),
+            )
         target = candidates[0]
         occupied.add(target)
         new[j] = target
         moves.append((j, origin, target))
         distance += float(healthy_distances[origin, target])
-    return RepairPlan(placement=new, moves=tuple(moves), distance=distance)
+    surviving = None
+    if rows is not None:
+        keep = [r for r in range(rows.shape[0]) if r not in retired]
+        surviving = rows[keep] if keep else np.empty((0, src.size), dtype=np.int64)
+    return RepairPlan(
+        placement=new,
+        moves=tuple(moves),
+        distance=distance,
+        failovers=tuple(failovers),
+        replica_rows=surviving,
+    )

@@ -429,6 +429,55 @@ class SolverSession:
         # all migrators share the lead signature (topology, flows, prev, mu)
         return solver(self.topology, flows, prev, mu, **options)
 
+    def replication_step(
+        self,
+        replica_set,
+        flows: FlowSet,
+        *,
+        mu: float,
+        rho: float,
+        sync_fraction: float,
+        max_replicas: int,
+        migrate_result=None,
+        exact: bool = False,
+        candidate_switches=None,
+    ):
+        """One keep/migrate/replicate/release decision against session artifacts.
+
+        The lattice solvers live in :mod:`repro.core.replication`; this
+        query routes them through the session's compute cache (same
+        answers as the direct calls — bit-identical, like every other
+        session query).  ``migrate_result`` is the hour's Algorithm 5
+        answer when the caller already holds one (the
+        ``tom-replication`` policy computes it via :meth:`migrate` so
+        the replica-free path shares mPareto's exact artifacts);
+        ``exact=True`` prices the full corridor lattice instead of the
+        greedy menu.
+        """
+        from repro.core.replication import exact_replication_step, replication_step
+
+        count("session_queries")
+        if migrate_result is None and not exact:
+            options = {}
+            if candidate_switches is not None:
+                options["candidate_switches"] = candidate_switches
+            migrate_result = self.migrate(
+                replica_set.primary, flows, mu=mu, **options
+            )
+        solver = exact_replication_step if exact else replication_step
+        return solver(
+            self.topology,
+            flows,
+            replica_set,
+            mu,
+            rho=rho,
+            sync_fraction=sync_fraction,
+            max_replicas=max_replicas,
+            migrate_result=migrate_result,
+            candidate_switches=candidate_switches,
+            cache=self.cache,
+        )
+
     #: graceful-degradation fallback chains for deadline-bounded solves;
     #: later entries are strictly cheaper (greedy and stay-put are O(l·|V_s|)
     #: one-shot scans that cannot time out in practice).  Constrained

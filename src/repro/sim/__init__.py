@@ -15,10 +15,17 @@ from repro.sim.policies import (
     NoMigrationPolicy,
     OptimalVnfPolicy,
     PlanVmPolicy,
+    TomReplicationPolicy,
 )
 from repro.sim.runner import RunConfig, run_replications
 from repro.sim.schedules import PeriodicMParetoPolicy, ThresholdMParetoPolicy
-from repro.sim.metrics import GapAnalysis, analyze_gaps, hourly_table, migration_efficiency
+from repro.sim.metrics import (
+    GapAnalysis,
+    analyze_gaps,
+    hourly_table,
+    migration_efficiency,
+    replication_summary,
+)
 
 __all__ = [
     "simulate_day",
@@ -26,6 +33,7 @@ __all__ = [
     "HourRecord",
     "MigrationPolicy",
     "MParetoPolicy",
+    "TomReplicationPolicy",
     "OptimalVnfPolicy",
     "PlanVmPolicy",
     "McfVmPolicy",
@@ -38,4 +46,5 @@ __all__ = [
     "analyze_gaps",
     "hourly_table",
     "migration_efficiency",
+    "replication_summary",
 ]

@@ -79,6 +79,13 @@ class HourRecord:
     :mod:`repro.faults.repair`), and ``dropped_traffic`` is the summed
     rate of flows that could not be served that hour.  All three stay 0
     in the classic loop, so existing consumers see identical records.
+
+    The replication fields (``replication_cost`` = ``C_r`` paid this
+    hour, ``sync_cost`` = consistency traffic, ``num_replications`` =
+    replicate actions taken, ``num_replicas`` = live copies after the
+    hour, ``num_failovers`` = free replica promotions during forced
+    repair) stay 0 for every non-replicating policy, so existing
+    byte-identity contracts are untouched.
     """
 
     hour: int
@@ -88,10 +95,21 @@ class HourRecord:
     dropped_traffic: float = 0.0
     repair_cost: float = 0.0
     num_repairs: int = 0
+    replication_cost: float = 0.0
+    sync_cost: float = 0.0
+    num_replications: int = 0
+    num_replicas: int = 0
+    num_failovers: int = 0
 
     @property
     def total_cost(self) -> float:
-        return self.communication_cost + self.migration_cost + self.repair_cost
+        return (
+            self.communication_cost
+            + self.migration_cost
+            + self.repair_cost
+            + self.replication_cost
+            + self.sync_cost
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -102,6 +120,11 @@ class HourRecord:
             "dropped_traffic": self.dropped_traffic,
             "repair_cost": self.repair_cost,
             "num_repairs": self.num_repairs,
+            "replication_cost": self.replication_cost,
+            "sync_cost": self.sync_cost,
+            "num_replications": self.num_replications,
+            "num_replicas": self.num_replicas,
+            "num_failovers": self.num_failovers,
         }
 
 
@@ -140,6 +163,26 @@ class DayResult:
     @property
     def total_dropped_traffic(self) -> float:
         return float(sum(r.dropped_traffic for r in self.records))
+
+    @property
+    def total_replication_cost(self) -> float:
+        return float(sum(r.replication_cost for r in self.records))
+
+    @property
+    def total_sync_cost(self) -> float:
+        return float(sum(r.sync_cost for r in self.records))
+
+    @property
+    def total_replications(self) -> int:
+        return int(sum(r.num_replications for r in self.records))
+
+    @property
+    def total_failovers(self) -> int:
+        return int(sum(r.num_failovers for r in self.records))
+
+    @property
+    def peak_replicas(self) -> int:
+        return int(max((r.num_replicas for r in self.records), default=0))
 
     def hourly(self, metric: str) -> np.ndarray:
         """Per-hour series of ``metric`` (an :class:`HourRecord` attribute)."""
@@ -244,9 +287,15 @@ def simulate_day(
                     communication_cost=step.communication_cost,
                     migration_cost=step.migration_cost,
                     num_migrations=step.num_migrations,
+                    replication_cost=step.replication_cost,
+                    sync_cost=step.sync_cost,
+                    num_replications=step.num_replications,
+                    num_replicas=step.num_replicas,
                 )
             )
-    return DayResult(policy=policy.name, records=tuple(records))
+    return DayResult(
+        policy=policy.name, records=tuple(records), extra=policy.day_extra()
+    )
 
 
 def _park_flows(flows: FlowSet, drop_mask: np.ndarray, park_host: int) -> FlowSet:
@@ -337,15 +386,37 @@ def _simulate_day_faulty(
                     },
                 )
 
-            # 1. forced repair: evacuate VNFs off failed/partitioned switches
+            # 1. forced repair: evacuate VNFs off failed/partitioned switches.
+            # A policy carrying live replica copies first loses any copy
+            # with an instance on a dead switch, then fails over stranded
+            # primaries onto surviving copies for free (repair pricing is
+            # routed through the replica set — only paid moves book μ·Σc).
+            replica_rows = policy.replica_rows
+            lost_replicas: list[list[int]] = []
+            if replica_rows is not None and replica_rows.shape[0] and audit is not None:
+                live_set = {int(s) for s in live_switches.tolist()}
+                keep = [
+                    r
+                    for r in range(replica_rows.shape[0])
+                    if all(int(s) in live_set for s in replica_rows[r])
+                ]
+                lost_replicas = [
+                    [int(s) for s in replica_rows[r]]
+                    for r in range(replica_rows.shape[0])
+                    if r not in keep
+                ]
+                replica_rows = replica_rows[keep]
             plan = evacuate(
                 current,
                 live_switches,
                 healthy_distances,
                 diagnosis={"hour": hour},
+                replica_rows=replica_rows,
             )
             current = np.asarray(plan.placement, dtype=np.int64)
             repair_cost = policy.mu * plan.distance
+            if replica_rows is not None:
+                policy.force_replicas(plan.replica_rows)
 
             # 2. drop flows with failed or partitioned endpoints
             rates = rate_process.rates_at(hour)
@@ -372,10 +443,20 @@ def _simulate_day_faulty(
                         dropped_traffic=float(rates.sum()),
                         repair_cost=repair_cost,
                         num_repairs=plan.num_moves,
+                        num_replicas=(
+                            0
+                            if plan.replica_rows is None
+                            else int(plan.replica_rows.shape[0])
+                        ),
+                        num_failovers=plan.num_failovers,
                     )
                 )
                 fault_log.append(
-                    _log_entry(hour, state, audit, drop_mask, plan, current)
+                    _log_entry(
+                        hour, state, audit, drop_mask, plan, current,
+                        replica_rows=plan.replica_rows,
+                        lost_replicas=lost_replicas,
+                    )
                 )
                 continue
 
@@ -401,26 +482,36 @@ def _simulate_day_faulty(
                     dropped_traffic=dropped_traffic,
                     repair_cost=repair_cost,
                     num_repairs=plan.num_moves,
+                    replication_cost=step.replication_cost,
+                    sync_cost=step.sync_cost,
+                    num_replications=step.num_replications,
+                    num_replicas=step.num_replicas,
+                    num_failovers=plan.num_failovers,
                 )
             )
             fault_log.append(
-                _log_entry(hour, state, audit, drop_mask, plan, current)
+                _log_entry(
+                    hour, state, audit, drop_mask, plan, current,
+                    replica_rows=policy.replica_rows,
+                    lost_replicas=lost_replicas,
+                )
             )
-    return DayResult(
-        policy=policy.name,
-        records=tuple(records),
-        extra={
-            "faults": {
-                "seed": faults.seed,
-                "config": faults.config.to_dict(),
-                "trace": [e.to_dict() for e in faults.trace()],
-            },
-            "fault_log": fault_log,
+    extra = {
+        "faults": {
+            "seed": faults.seed,
+            "config": faults.config.to_dict(),
+            "trace": [e.to_dict() for e in faults.trace()],
         },
-    )
+        "fault_log": fault_log,
+    }
+    extra.update(policy.day_extra())
+    return DayResult(policy=policy.name, records=tuple(records), extra=extra)
 
 
-def _log_entry(hour, state, audit, drop_mask, plan, placement) -> dict:
+def _log_entry(
+    hour, state, audit, drop_mask, plan, placement,
+    *, replica_rows=None, lost_replicas=(),
+) -> dict:
     return {
         "hour": hour,
         "failed_switches": list(state.failed_switches),
@@ -431,4 +522,7 @@ def _log_entry(hour, state, audit, drop_mask, plan, placement) -> dict:
         "repairs": [list(m) for m in plan.moves],
         "repair_distance": plan.distance,
         "placement": placement.tolist(),
+        "failovers": [list(m) for m in plan.failovers],
+        "replica_rows": [] if replica_rows is None else np.asarray(replica_rows).tolist(),
+        "lost_replicas": [list(r) for r in lost_replicas],
     }

@@ -17,7 +17,13 @@ from repro.errors import ReproError
 from repro.sim.engine import DayResult
 from repro.utils.tables import ascii_table
 
-__all__ = ["GapAnalysis", "analyze_gaps", "hourly_table", "migration_efficiency"]
+__all__ = [
+    "GapAnalysis",
+    "analyze_gaps",
+    "hourly_table",
+    "migration_efficiency",
+    "replication_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,33 @@ def hourly_table(days: Mapping[str, DayResult], metric: str = "total_cost") -> s
             row.append(getattr(records[idx], metric) if idx < len(records) else None)
         rows.append(row)
     return ascii_table(["hour", *names], rows, title=f"hourly {metric}")
+
+
+def replication_summary(day: DayResult) -> dict:
+    """Eq. 8-style component split of one (possibly replicating) day.
+
+    Splits the day's total into communication / migration / replication /
+    sync / repair and counts the actions taken — the row shape
+    ``fig14_replication`` sweeps over ρ and ``bench_replication``
+    compares across policies.  For a non-replicating policy the
+    replication entries are identically zero, so the summary doubles as
+    the migrate-vs-replicate delta's common denominator.
+    """
+    return {
+        "policy": day.policy,
+        "communication_cost": day.total_communication_cost,
+        "migration_cost": day.total_migration_cost,
+        "replication_cost": day.total_replication_cost,
+        "sync_cost": day.total_sync_cost,
+        "repair_cost": day.total_repair_cost,
+        "dropped_traffic": day.total_dropped_traffic,
+        "total_cost": day.total_cost,
+        "migrations": day.total_migrations,
+        "replications": day.total_replications,
+        "failovers": day.total_failovers,
+        "repairs": day.total_repairs,
+        "peak_replicas": day.peak_replicas,
+    }
 
 
 def migration_efficiency(

@@ -24,6 +24,11 @@ from repro.baselines.mcf_migration import mcf_vm_migration
 from repro.baselines.plan import plan_vm_migration
 from repro.core.migration import mpareto_migration, no_migration
 from repro.core.optimal import optimal_migration
+from repro.core.replication import (
+    ReplicaSet,
+    exact_replication_step,
+    replication_step,
+)
 from repro.errors import FaultError, MigrationError
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
@@ -32,6 +37,7 @@ __all__ = [
     "PolicyStep",
     "MigrationPolicy",
     "MParetoPolicy",
+    "TomReplicationPolicy",
     "OptimalVnfPolicy",
     "NoMigrationPolicy",
     "PlanVmPolicy",
@@ -41,15 +47,29 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PolicyStep:
-    """One hour's outcome: costs paid and migrations performed."""
+    """One hour's outcome: costs paid, migrations and replications performed.
+
+    The replication fields stay at their zero defaults for every
+    non-replicating policy, so existing consumers (and byte-identity
+    comparisons) see unchanged records.
+    """
 
     communication_cost: float
     migration_cost: float
     num_migrations: int
+    replication_cost: float = 0.0
+    sync_cost: float = 0.0
+    num_replications: int = 0
+    num_replicas: int = 0
 
     @property
     def total_cost(self) -> float:
-        return self.communication_cost + self.migration_cost
+        return (
+            self.communication_cost
+            + self.migration_cost
+            + self.replication_cost
+            + self.sync_cost
+        )
 
 
 class MigrationPolicy(ABC):
@@ -136,6 +156,23 @@ class MigrationPolicy(ABC):
         """Install an externally repaired placement (forced evacuation)."""
         self._placement = np.asarray(placement, dtype=np.int64)
 
+    @property
+    def replica_rows(self) -> np.ndarray | None:
+        """Live replica chain copies the fault loop may fail over to.
+
+        ``None`` (the default) means the policy carries no replicas and
+        the fault loop's behaviour is byte-identical to before the
+        replication subsystem existed.
+        """
+        return None
+
+    def force_replicas(self, rows: np.ndarray) -> None:
+        """Install externally pruned/consumed replica rows (fault loop)."""
+
+    def day_extra(self) -> dict:
+        """Policy-owned additions to :attr:`DayResult.extra` (default none)."""
+        return {}
+
     @abstractmethod
     def step(self, rates: np.ndarray) -> PolicyStep:
         """React to the new traffic-rate vector; mutate state; report costs."""
@@ -163,6 +200,186 @@ class MParetoPolicy(MigrationPolicy):
             communication_cost=result.communication_cost,
             migration_cost=result.migration_cost,
             num_migrations=result.num_migrated,
+        )
+
+
+class TomReplicationPolicy(MigrationPolicy):
+    """TOM extended with Carpio & Jukan's replication action.
+
+    Each hour the policy may *keep*, *migrate* (Algorithm 5, paying
+    ``C_b``), *replicate* (leave the primary serving and copy the chain
+    to the fresh Algorithm 3 target, paying ``C_r = ρ·μ·Σc`` plus an
+    ongoing consistency-sync cost ``sync_fraction · Λ · Σc(p, q_r)``),
+    or *release* a stale copy for free.  Traffic is served by the
+    nearest complete copy per flow (Eq. 1 with a per-flow min over
+    copies); see DESIGN.md §5j for the accounting convention.
+
+    ``rho == 0`` (or ``max_replicas == 0``) *disables* the replication
+    action entirely — a zero-cost replica would mean no state was copied
+    — and the policy takes the exact :class:`MParetoPolicy` call path,
+    making ρ→0 the byte-identity anchor the ``verify.replication``
+    campaign enforces.  ``rho > 1`` never replicates either: the
+    ``C_r <= C_b`` dominance gate (copying state must be no dearer than
+    bulk-moving it) can never open.
+
+    ``exact=True`` prices the *entire* corridor lattice — every parallel
+    frontier as both a migrate stop and a replicate target — instead of
+    the greedy two-option menu; both route through the attached
+    :class:`~repro.session.SolverSession` when one is present.
+    """
+
+    name = "tom-replication"
+
+    def __init__(
+        self,
+        topology: Topology,
+        mu: float,
+        rho: float = 0.5,
+        sync_fraction: float = 0.05,
+        max_replicas: int = 2,
+        exact: bool = False,
+    ) -> None:
+        super().__init__(topology, mu)
+        if rho < 0:
+            raise MigrationError(f"rho must be non-negative, got {rho}")
+        if sync_fraction < 0:
+            raise MigrationError(
+                f"sync_fraction must be non-negative, got {sync_fraction}"
+            )
+        if max_replicas < 0:
+            raise MigrationError(
+                f"max_replicas must be non-negative, got {max_replicas}"
+            )
+        self.rho = float(rho)
+        self.sync_fraction = float(sync_fraction)
+        self.max_replicas = int(max_replicas)
+        self.exact = bool(exact)
+        self._replica_rows: np.ndarray | None = None
+        self._replication_log: list[dict] = []
+
+    @property
+    def replication_enabled(self) -> bool:
+        return self.rho > 0 and self.max_replicas > 0
+
+    def initialize(self, flows: FlowSet, placement: np.ndarray) -> None:
+        super().initialize(flows, placement)
+        self._replica_rows = np.empty((0, self.placement.size), dtype=np.int64)
+        self._replication_log = []
+
+    @property
+    def replica_rows(self) -> np.ndarray | None:
+        if not self.replication_enabled:
+            return None
+        return self._replica_rows
+
+    def force_replicas(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        self._replica_rows = rows.reshape(-1, self.placement.size)
+
+    @property
+    def replica_set(self) -> ReplicaSet | None:
+        if not self.replication_enabled:
+            return None
+        return ReplicaSet(primary=self.placement, replicas=self._replica_rows)
+
+    def day_extra(self) -> dict:
+        if not self._replication_log:
+            return {}
+        return {
+            "replication": {
+                "params": {
+                    "rho": self.rho,
+                    "sync_fraction": self.sync_fraction,
+                    "max_replicas": self.max_replicas,
+                    "exact": self.exact,
+                },
+                "log": list(self._replication_log),
+            }
+        }
+
+    def _mpareto_call(self, flows: FlowSet):
+        """The hour's Algorithm 5 answer, MParetoPolicy's exact call shape.
+
+        The only divergence from :meth:`MParetoPolicy.step` is the fresh
+        target restriction away from replica-held switches, applied *only*
+        when live replicas exist — so a replica-free hour's call (and its
+        cached artifacts) is byte-identical to plain mPareto's.
+        """
+        options = {}
+        if self._candidate_switches is not None:
+            options["candidate_switches"] = self._candidate_switches
+        rows = self._replica_rows
+        if self.replication_enabled and rows is not None and rows.shape[0]:
+            held = {int(s) for s in rows.ravel()}
+            base = options.get("candidate_switches")
+            if base is None:
+                base = self.topology.switches
+            options["candidate_switches"] = np.asarray(
+                [int(s) for s in base if int(s) not in held], dtype=np.int64
+            )
+        if self.session is not None:
+            return self.session.migrate(self.placement, flows, mu=self.mu, **options)
+        return mpareto_migration(
+            self.topology, flows, self.placement, self.mu, **options
+        )
+
+    def step(self, rates: np.ndarray) -> PolicyStep:
+        flows = self.flows.with_rates(rates)
+        result = self._mpareto_call(flows)
+        if not self.replication_enabled:
+            self._placement = result.migration
+            self._flows = flows
+            return PolicyStep(
+                communication_cost=result.communication_cost,
+                migration_cost=result.migration_cost,
+                num_migrations=result.num_migrated,
+            )
+        before = self.replica_set
+        kwargs = dict(
+            rho=self.rho,
+            sync_fraction=self.sync_fraction,
+            max_replicas=self.max_replicas,
+            migrate_result=result,
+            candidate_switches=self._candidate_switches,
+        )
+        if self.session is not None:
+            step = self.session.replication_step(
+                before, flows, mu=self.mu, exact=self.exact, **kwargs
+            )
+        elif self.exact:
+            step = exact_replication_step(
+                self.topology, flows, before, self.mu, cache=self._cache, **kwargs
+            )
+        else:
+            step = replication_step(
+                self.topology, flows, before, self.mu, cache=self._cache, **kwargs
+            )
+        after = step.replica_set
+        self._replication_log.append(
+            {
+                "action": step.action,
+                "primary_before": before.primary.tolist(),
+                "primary_after": after.primary.tolist(),
+                "replicas_before": before.replicas.tolist(),
+                "replicas_after": after.replicas.tolist(),
+                "communication_cost": step.communication_cost,
+                "migration_cost": step.migration_cost,
+                "replication_cost": step.replication_cost,
+                "sync_cost": step.sync_cost,
+                "options": dict(step.options),
+            }
+        )
+        self._placement = after.primary
+        self._replica_rows = after.replicas
+        self._flows = flows
+        return PolicyStep(
+            communication_cost=step.communication_cost,
+            migration_cost=step.migration_cost,
+            num_migrations=step.num_migrations,
+            replication_cost=step.replication_cost,
+            sync_cost=step.sync_cost,
+            num_replications=1 if step.action == "replicate" else 0,
+            num_replicas=after.num_replicas,
         )
 
 

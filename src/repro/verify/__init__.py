@@ -84,6 +84,15 @@ from repro.verify.oracles import (
     oracle_migration,
     oracle_placement,
 )
+from repro.verify.replication import (
+    REPLICATION_FAMILIES,
+    ReplicationCampaignConfig,
+    ReplicationCaseSpec,
+    check_replication_day,
+    generate_replication_cases,
+    run_replication_campaign,
+    run_replication_case,
+)
 from repro.verify.scenarios import FAMILIES, CaseSpec, generate_cases, shrink_candidates
 
 __all__ = [
@@ -146,6 +155,14 @@ __all__ = [
     "run_constrained_case",
     "ConstrainedCampaignConfig",
     "run_constrained_campaign",
+    # replication lattice
+    "REPLICATION_FAMILIES",
+    "ReplicationCaseSpec",
+    "generate_replication_cases",
+    "check_replication_day",
+    "run_replication_case",
+    "ReplicationCampaignConfig",
+    "run_replication_campaign",
     # incremental differential
     "generate_incremental_cases",
     "check_dynamic_tables",

@@ -1,0 +1,257 @@
+"""Replica-aware evacuation: free failovers in the fault loop.
+
+A stranded VNF with a live replica instance on a surviving switch
+promotes it (the copy is retired) instead of paying a bulk move — so
+``repair_cost`` is priced from the *paid* moves only and the fig12-style
+fault loop agrees with the pricing audit in ``verify.faults`` /
+``verify.replication``.  Unit tests pin :func:`repro.faults.repair.
+evacuate`; integration tests pin the engine on identical fault streams.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import dp_placement
+from repro.errors import InfeasibleError
+from repro.faults import FaultConfig, FaultProcess
+from repro.faults.repair import evacuate
+from repro.sim.engine import simulate_day
+from repro.sim.policies import MParetoPolicy, TomReplicationPolicy
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import ScaledRates
+
+pytestmark = pytest.mark.faults
+
+HOURS = 8
+
+
+def _ring_distances(n: int) -> np.ndarray:
+    hops = np.abs(np.arange(n)[:, None] - np.arange(n)[None, :])
+    return np.minimum(hops, n - hops).astype(np.float64)
+
+
+class TestEvacuateFailover:
+    def test_stranded_vnf_promotes_live_replica_for_free(self):
+        dist = _ring_distances(8)
+        plan = evacuate(
+            np.array([0, 1]),
+            np.array([1, 4, 5, 6]),
+            dist,
+            replica_rows=np.array([[4, 5]]),
+        )
+        # VNF 0 (on dead switch 0) fails over to its replica instance on 4
+        assert plan.failovers == ((0, 0, 4),)
+        assert plan.moves == ()
+        assert plan.distance == 0.0
+        assert plan.placement.tolist() == [4, 1]
+        # the consumed copy is retired: its row is gone
+        assert plan.replica_rows.shape == (0, 2)
+
+    def test_healthy_placement_keeps_replicas_intact(self):
+        dist = _ring_distances(8)
+        plan = evacuate(
+            np.array([0, 1]),
+            np.array([0, 1, 4, 5]),
+            dist,
+            replica_rows=np.array([[4, 5]]),
+        )
+        assert plan.moves == () and plan.failovers == ()
+        assert plan.replica_rows.tolist() == [[4, 5]]
+
+    def test_paid_move_never_lands_on_replica_held_switch(self):
+        # VNF 0 stranded with its replica instance's switch occupied by
+        # VNF 1, so it must pay a move — and the *nearest* allowed switch
+        # (3, one hop) is held by a live replica instance, so the move
+        # lands on 5 (three hops) instead
+        dist = _ring_distances(8)
+        plan = evacuate(
+            np.array([2, 4]),
+            np.array([3, 4, 5]),
+            dist,
+            replica_rows=np.array([[4, 3]]),
+        )
+        assert plan.failovers == ()
+        assert plan.moves == ((0, 2, 5),)
+        assert plan.distance == dist[2, 5]
+        # the replica survives untouched on its switches
+        assert plan.replica_rows.tolist() == [[4, 3]]
+
+    def test_replicas_retired_when_fabric_needs_the_room(self):
+        # VNF 0 stranded, its replica instance's switch already occupied
+        # by VNF 1, and the only other allowed switch held by a replica:
+        # the spare copies are expendable and must make way
+        dist = _ring_distances(8)
+        plan = evacuate(
+            np.array([0, 4]),
+            np.array([4, 5]),
+            dist,
+            replica_rows=np.array([[4, 5]]),
+        )
+        assert plan.failovers == ()
+        assert plan.moves == ((0, 0, 5),)
+        assert plan.placement.tolist() == [5, 4]
+        assert plan.distance == dist[0, 5]
+        assert plan.replica_rows.shape == (0, 2)
+
+    def test_no_replica_rows_matches_legacy_behavior(self):
+        # regression pin: the replica-aware path with no rows is
+        # byte-identical to the pre-replication evacuation
+        dist = _ring_distances(8)
+        legacy = evacuate(np.array([0, 1]), np.array([3, 4, 5]), dist)
+        routed = evacuate(
+            np.array([0, 1]), np.array([3, 4, 5]), dist, replica_rows=None
+        )
+        assert legacy.to_dict() == routed.to_dict()
+        assert legacy.replica_rows is None
+
+    def test_infeasible_when_allowed_set_too_small(self):
+        dist = _ring_distances(8)
+        with pytest.raises(InfeasibleError):
+            evacuate(
+                np.array([0, 1]),
+                np.array([5]),
+                dist,
+                diagnosis={"reason": "test"},
+                replica_rows=np.array([[5, 6]]),
+            )
+
+
+def _fault_day(topology, flows, policy, *, n=3, fault_seed, switch_rate):
+    placement = dp_placement(topology, flows, n).placement
+    rate_process = ScaledRates(
+        flows, DiurnalModel(num_hours=HOURS), np.zeros(flows.num_flows)
+    )
+    faults = FaultProcess(
+        topology,
+        FaultConfig(switch_rate=switch_rate, mean_repair_hours=4.0),
+        seed=fault_seed,
+        horizon=HOURS,
+    )
+    return simulate_day(
+        topology, flows, policy, rate_process, placement,
+        range(1, HOURS + 1), faults=faults,
+    )
+
+
+class TestFaultLoopIntegration:
+    def test_replicas_cut_repair_cost_on_identical_fault_stream(
+        self, ft4, small_scenario
+    ):
+        # scanned-and-pinned seed: free failovers fire and the
+        # dropped+repair sum strictly improves over the no-replica
+        # baseline on the byte-identical fault stream
+        flows = small_scenario(ft4, 8, seed=3)
+        repl = _fault_day(
+            ft4, flows,
+            TomReplicationPolicy(ft4, mu=100.0, rho=0.2, sync_fraction=0.001),
+            fault_seed=2, switch_rate=0.1,
+        )
+        base = _fault_day(
+            ft4, flows, MParetoPolicy(ft4, mu=100.0),
+            fault_seed=2, switch_rate=0.1,
+        )
+        assert repl.total_failovers > 0
+        # dropped traffic is endpoint-determined, so the series is equal
+        assert [r.dropped_traffic for r in repl.records] == [
+            r.dropped_traffic for r in base.records
+        ]
+        assert repl.total_repair_cost < base.total_repair_cost
+        assert (
+            repl.total_dropped_traffic + repl.total_repair_cost
+            < base.total_dropped_traffic + base.total_repair_cost
+        )
+
+    def test_failover_entries_logged_separately_from_repairs(
+        self, ft4, small_scenario
+    ):
+        flows = small_scenario(ft4, 8, seed=3)
+        day = _fault_day(
+            ft4, flows,
+            TomReplicationPolicy(ft4, mu=100.0, rho=0.2, sync_fraction=0.001),
+            fault_seed=2, switch_rate=0.1,
+        )
+        log = day.extra["fault_log"]
+        assert sum(len(e["failovers"]) for e in log) == day.total_failovers
+        for record, entry in zip(day.records, log):
+            assert record.num_repairs == len(entry["repairs"])
+            assert record.num_failovers == len(entry["failovers"])
+
+    def test_rho_inf_regression_pins_legacy_fault_loop(
+        self, ft4, small_scenario
+    ):
+        # with the dominance gate permanently closed the replica machinery
+        # must be inert: records byte-identical to plain mPareto's
+        flows = small_scenario(ft4, 8, seed=3)
+        never = _fault_day(
+            ft4, flows,
+            TomReplicationPolicy(ft4, mu=100.0, rho=1e9, sync_fraction=0.001),
+            fault_seed=2, switch_rate=0.1,
+        )
+        base = _fault_day(
+            ft4, flows, MParetoPolicy(ft4, mu=100.0),
+            fault_seed=2, switch_rate=0.1,
+        )
+        assert never.total_replications == 0
+        assert json.dumps(
+            [r.to_dict() for r in never.records], sort_keys=True
+        ) == json.dumps([r.to_dict() for r in base.records], sort_keys=True)
+
+
+@pytest.mark.replication
+class TestFailoverProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        wseed=st.integers(0, 2**10),
+        fseed=st.integers(0, 2**10),
+        rate=st.sampled_from([0.05, 0.1, 0.2]),
+    )
+    def test_dropped_traffic_is_placement_independent(
+        self, ft4, small_scenario, wseed, fseed, rate
+    ):
+        """Replicas never change what is dropped, only what repair costs."""
+        flows = small_scenario(ft4, 8, seed=wseed)
+        try:
+            repl = _fault_day(
+                ft4, flows,
+                TomReplicationPolicy(
+                    ft4, mu=100.0, rho=0.2, sync_fraction=0.001
+                ),
+                fault_seed=fseed, switch_rate=rate,
+            )
+            base = _fault_day(
+                ft4, flows, MParetoPolicy(ft4, mu=100.0),
+                fault_seed=fseed, switch_rate=rate,
+            )
+        except InfeasibleError:
+            assume(False)
+        assert [r.dropped_traffic for r in repl.records] == [
+            r.dropped_traffic for r in base.records
+        ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(wseed=st.integers(0, 2**10), fseed=st.integers(0, 2**10))
+    def test_fault_day_is_deterministic(
+        self, ft4, small_scenario, wseed, fseed
+    ):
+        flows = small_scenario(ft4, 8, seed=wseed)
+        make = lambda: TomReplicationPolicy(  # noqa: E731
+            ft4, mu=100.0, rho=0.3, sync_fraction=0.001
+        )
+        try:
+            first = _fault_day(
+                ft4, flows, make(), fault_seed=fseed, switch_rate=0.1
+            )
+            second = _fault_day(
+                ft4, flows, make(), fault_seed=fseed, switch_rate=0.1
+            )
+        except InfeasibleError:
+            assume(False)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )

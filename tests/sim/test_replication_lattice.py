@@ -1,0 +1,221 @@
+"""Property suite for the migrate-vs-replicate lattice (DESIGN.md §5j).
+
+Fast deterministic contracts (ReplicaSet validity, the ρ=0 bit-identity
+anchor, accounting splits) run unmarked in tier-1; the hypothesis
+sweeps are marked ``replication`` and run in their own CI step.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.migration import mpareto_migration
+from repro.core.replication import (
+    ReplicaSet,
+    exact_replication_step,
+    replication_step,
+)
+from repro.core.placement import dp_placement
+from repro.errors import PlacementError
+from repro.sim.engine import simulate_day
+from repro.sim.metrics import replication_summary
+from repro.sim.policies import MParetoPolicy, TomReplicationPolicy
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.dynamics import ScaledRates
+
+HOURS = 6
+
+
+def _simulate(topology, flows, policy, *, n=2, hours=HOURS):
+    placement = dp_placement(topology, flows, n).placement
+    rate_process = ScaledRates(
+        flows, DiurnalModel(num_hours=hours), np.zeros(flows.num_flows)
+    )
+    return simulate_day(
+        topology, flows, policy, rate_process, placement, range(1, hours + 1)
+    )
+
+
+class TestReplicaSet:
+    def test_rejects_overlapping_copies(self):
+        with pytest.raises(PlacementError):
+            ReplicaSet(primary=np.array([2, 3]), replicas=np.array([[3, 4]]))
+
+    def test_rejects_duplicate_within_primary(self):
+        with pytest.raises(PlacementError):
+            ReplicaSet(primary=np.array([2, 2]), replicas=np.empty((0, 2)))
+
+    def test_add_drop_roundtrip(self):
+        rs = ReplicaSet(primary=np.array([2, 3]), replicas=np.empty((0, 2)))
+        grown = rs.add_replica(np.array([4, 5]))
+        assert grown.num_replicas == 1
+        assert grown.switches() == {2, 3, 4, 5}
+        back = grown.drop_replica(0)
+        assert back.num_replicas == 0
+        assert np.array_equal(back.primary, rs.primary)
+
+    def test_prune_reports_lost_rows(self):
+        rs = ReplicaSet(
+            primary=np.array([2, 3]), replicas=np.array([[4, 5], [6, 7]])
+        )
+        kept, lost = rs.prune({2, 3, 4, 5, 9})
+        assert kept.num_replicas == 1
+        assert [list(r) for r in lost] == [[6, 7]]
+
+
+class TestRhoZeroAnchor:
+    """ρ=0 disables replication and takes MParetoPolicy's exact call path."""
+
+    def test_day_byte_identical_to_mpareto(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 8, seed=55)
+        plain = _simulate(ft4, flows, MParetoPolicy(ft4, mu=10.0))
+        zero = _simulate(
+            ft4, flows, TomReplicationPolicy(ft4, mu=10.0, rho=0.0)
+        )
+        a, b = plain.to_dict(), zero.to_dict()
+        a.pop("policy"), b.pop("policy")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_max_replicas_zero_also_disables(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 6, seed=7)
+        plain = _simulate(ft4, flows, MParetoPolicy(ft4, mu=10.0))
+        off = _simulate(
+            ft4, flows,
+            TomReplicationPolicy(ft4, mu=10.0, rho=0.5, max_replicas=0),
+        )
+        assert [r.to_dict() for r in off.records] == [
+            r.to_dict() for r in plain.records
+        ]
+
+
+class TestStepAccounting:
+    def test_step_totals_and_summary_agree(self, ft4, small_scenario):
+        flows = small_scenario(ft4, 8, seed=3)
+        policy = TomReplicationPolicy(
+            ft4, mu=100.0, rho=0.2, sync_fraction=0.001
+        )
+        day = _simulate(ft4, flows, policy)
+        summary = replication_summary(day)
+        want = (
+            summary["communication_cost"]
+            + summary["migration_cost"]
+            + summary["replication_cost"]
+            + summary["sync_cost"]
+            + summary["repair_cost"]
+        )
+        assert summary["total_cost"] == pytest.approx(want)
+        for record in day.records:
+            assert record.total_cost == pytest.approx(
+                record.communication_cost
+                + record.migration_cost
+                + record.repair_cost
+                + record.replication_cost
+                + record.sync_cost
+            )
+
+    def test_replicate_fires_and_beats_plain_tom(self, ft4, small_scenario):
+        # scanned regime: cheap copies + near-free sync make replicas win
+        flows = small_scenario(ft4, 8, seed=3)
+        repl = _simulate(
+            ft4, flows,
+            TomReplicationPolicy(
+                ft4, mu=100.0, rho=0.2, sync_fraction=0.001
+            ),
+            n=3,
+        )
+        plain = _simulate(ft4, flows, MParetoPolicy(ft4, mu=100.0), n=3)
+        assert repl.total_replications > 0
+        assert repl.peak_replicas > 0
+        assert repl.total_cost < plain.total_cost
+
+
+@pytest.mark.replication
+class TestLatticeProperties:
+    """Hypothesis sweeps over seeds and regimes (dedicated CI step)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), mu=st.sampled_from([0.0, 5.0, 100.0]))
+    def test_day_is_deterministic(self, ft4, small_scenario, seed, mu):
+        flows = small_scenario(ft4, 8, seed=seed)
+        make = lambda: TomReplicationPolicy(  # noqa: E731
+            ft4, mu=mu, rho=0.3, sync_fraction=0.001
+        )
+        first = _simulate(ft4, flows, make())
+        second = _simulate(ft4, flows, make())
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        rho_pair=st.tuples(st.floats(0.01, 1.0), st.floats(0.01, 1.0)),
+    )
+    def test_step_total_monotone_in_rho(self, ft4, small_scenario, seed, rho_pair):
+        """For a fixed hour state the chosen total is non-decreasing in ρ.
+
+        Keep/migrate prices don't depend on ρ while every replicate
+        option's price grows with it (and the menu only shrinks), so the
+        menu minimum is monotone.  The *day*-level frontier is not a
+        theorem (trajectories diverge), which is why the property pins
+        one state.
+        """
+        lo, hi = sorted(rho_pair)
+        flows = small_scenario(ft4, 8, seed=seed)
+        placement = dp_placement(ft4, flows, 2).placement
+        state = ReplicaSet(
+            primary=placement, replicas=np.empty((0, placement.size))
+        )
+        migrate = mpareto_migration(ft4, flows, placement, 100.0)
+        kwargs = dict(sync_fraction=0.001, max_replicas=2,
+                      migrate_result=migrate)
+        cheap = replication_step(ft4, flows, state, 100.0, rho=lo, **kwargs)
+        dear = replication_step(ft4, flows, state, 100.0, rho=hi, **kwargs)
+        assert cheap.total_cost <= dear.total_cost + 1e-9 * max(
+            1.0, dear.total_cost
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        rho=st.sampled_from([0.05, 0.3, 0.9]),
+        mu=st.sampled_from([0.0, 5.0, 100.0]),
+    )
+    def test_exact_lattice_never_loses_to_greedy(
+        self, ft4, small_scenario, seed, rho, mu
+    ):
+        flows = small_scenario(ft4, 6, seed=seed)
+        placement = dp_placement(ft4, flows, 2).placement
+        state = ReplicaSet(
+            primary=placement, replicas=np.empty((0, placement.size))
+        )
+        migrate = mpareto_migration(ft4, flows, placement, mu)
+        greedy = replication_step(
+            ft4, flows, state, mu, rho=rho, sync_fraction=0.001,
+            max_replicas=2, migrate_result=migrate,
+        )
+        exact = exact_replication_step(
+            ft4, flows, state, mu, rho=rho, sync_fraction=0.001,
+            max_replicas=2,
+        )
+        assert exact.total_cost <= greedy.total_cost + 1e-9 * max(
+            1.0, greedy.total_cost
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_rho_above_one_never_replicates(self, ft4, small_scenario, seed):
+        flows = small_scenario(ft4, 8, seed=seed)
+        day = _simulate(
+            ft4, flows,
+            TomReplicationPolicy(
+                ft4, mu=100.0, rho=2.5, sync_fraction=0.001
+            ),
+        )
+        assert day.total_replications == 0
+        assert day.peak_replicas == 0
