@@ -1,0 +1,103 @@
+"""Diff a fresh performance scorecard against the committed anchor.
+
+CI runs ``bench_scorecard.py`` on every build and persists the result as
+an artifact; this script compares the fresh report's headline throughput
+numbers against the anchor checked into the repo
+(``reports/BENCH_scorecard.json``) and emits a GitHub Actions
+``::warning::`` annotation for every metric that regressed by more than
+the threshold (default 20 %).
+
+It always exits 0: CI runners are noisy shared machines, so a wall-clock
+regression is a *flag for a human*, not a merge blocker — bit-identity
+and correctness gates live in the test suites, not here.
+
+Usage::
+
+    python benchmarks/scorecard_diff.py --fresh reports/BENCH_scorecard.json
+    python benchmarks/scorecard_diff.py --fresh new.json --anchor old.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: headline metrics: (dotted path under "shapes", higher_is_better)
+HEADLINES = (
+    ("fig11_session_day.hours_per_second", True),
+    ("fig12_fault_loop.hours_per_second", True),
+    ("replication_sweep.baseline_seconds", False),
+    ("serve_churn.rps", True),
+    ("serve_churn.p95_seconds", False),
+)
+
+
+def _dig(shapes: dict, dotted: str):
+    node = shapes
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def diff(anchor: dict, fresh: dict, threshold: float) -> list[str]:
+    """Return one warning line per regressed headline metric."""
+    warnings = []
+    anchor_shapes = anchor.get("shapes", {})
+    fresh_shapes = fresh.get("shapes", {})
+    for dotted, higher_is_better in HEADLINES:
+        old = _dig(anchor_shapes, dotted)
+        new = _dig(fresh_shapes, dotted)
+        if not old or new is None:
+            continue  # metric absent or zero in the anchor: nothing to diff
+        change = (new - old) / abs(old)
+        regressed = change < -threshold if higher_is_better else change > threshold
+        if regressed:
+            direction = "down" if higher_is_better else "up"
+            warnings.append(
+                f"scorecard regression: {dotted} {direction} "
+                f"{abs(change):.1%} vs anchor ({old:.6g} -> {new:.6g}, "
+                f"threshold {threshold:.0%})"
+            )
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", required=True, help="scorecard JSON from this build"
+    )
+    parser.add_argument(
+        "--anchor",
+        default="reports/BENCH_scorecard.json",
+        help="committed anchor scorecard (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="relative regression that triggers a warning (default: 20%%)",
+    )
+    args = parser.parse_args(argv)
+    anchor_path, fresh_path = Path(args.anchor), Path(args.fresh)
+    if not anchor_path.exists():
+        print(f"no anchor at {anchor_path}; nothing to diff")
+        return 0
+    if not fresh_path.exists():
+        print(f"::warning::scorecard diff: no fresh report at {fresh_path}")
+        return 0
+    anchor = json.loads(anchor_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    warnings = diff(anchor, fresh, args.threshold)
+    for line in warnings:
+        print(f"::warning::{line}")
+    if not warnings:
+        print(
+            f"scorecard within {args.threshold:.0%} of the anchor on "
+            f"{len(HEADLINES)} headline metrics"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

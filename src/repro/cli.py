@@ -57,6 +57,9 @@ DEFAULT_CONSTRAINED_JOURNAL = Path(".repro") / "constrained_journal.jsonl"
 #: and the replication (migrate-vs-replicate lattice) campaign
 DEFAULT_REPLICATION_JOURNAL = Path(".repro") / "replication_journal.jsonl"
 
+#: and the sharded-execution differential campaign
+DEFAULT_SHARD_JOURNAL = Path(".repro") / "shard_journal.jsonl"
+
 #: campaign/benchmark JSON reports land here (gitignored): generated
 #: artifacts never sit next to tracked sources
 DEFAULT_REPORTS_DIR = Path("reports")
@@ -340,6 +343,50 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    shard = sub.add_parser(
+        "shard",
+        help="run the sharded-execution verification campaign",
+        description=(
+            "Seeded simulated days (plain, fault-injected and replicating) "
+            "where the supervised sharded execution layer is checked "
+            "against the unsharded loop as a differential oracle: "
+            "byte-identical DayResults at every shard count, shard-count "
+            "invariance in the multi-block regime, and byte-identical "
+            "results under deterministic chaos (worker crashes, kills, "
+            "retries, pool rebuilds).  Exits 1 on violations."
+        ),
+    )
+    shard.add_argument(
+        "--cases", type=int, default=200, metavar="N", help="scenarios to run"
+    )
+    shard.add_argument("--seed", type=int, default=0, help="campaign seed")
+    shard.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for case fan-out (default: 1, serial)",
+    )
+    shard.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_REPORTS_DIR / "shard_report.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: reports/shard_report.json)",
+    )
+    shard.add_argument(
+        "--resume",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_SHARD_JOURNAL,
+        default=None,
+        metavar="JOURNAL",
+        help=(
+            "journal completed cases and skip them on re-run "
+            f"(default file: {DEFAULT_SHARD_JOURNAL})"
+        ),
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the hardened placement service against a churn workload",
@@ -475,6 +522,29 @@ def _add_runtime_args(sub: argparse.ArgumentParser) -> None:
         help=(
             "rebuild every hour's APSP tables and degraded views from "
             "scratch — the cold differential-oracle path"
+        ),
+    )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "split each simulated day's flow population into N deterministic "
+            "shards aggregated by supervised pool workers (results are "
+            "bit-identical to the unsharded loop; policies that need "
+            "per-flow access fall back to it automatically)"
+        ),
+    )
+    sub.add_argument(
+        "--shard-mem-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "per-shard memory budget for the aggregation gather; over "
+            "budget, workers degrade to column strips and the supervisor "
+            "splits tasks block-by-block before giving up"
         ),
     )
     sub.add_argument(
@@ -743,6 +813,50 @@ def _run_replication(args, out) -> int:
     return 1 if report["violations"] else 0
 
 
+def _run_shard(args, out) -> int:
+    from repro.verify import ShardCampaignConfig, run_shard_campaign
+
+    if args.resume is not None and Path(args.resume).exists():
+        print(f"resuming from {args.resume}", file=out)
+    start = time.perf_counter()
+    report = run_shard_campaign(
+        ShardCampaignConfig(
+            cases=args.cases,
+            seed=args.seed,
+            workers=args.workers,
+            journal_path=args.resume,
+            report_path=args.json,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    hits = report["runtime"]["journal_hits"]
+    resumed = f", {hits} from journal" if hits else ""
+    outcomes = report["coverage"]["by_outcome"]
+    kinds = report["coverage"]["by_day_kind"]
+    print(
+        f"{report['cases']} cases "
+        f"({kinds.get('plain', 0)} plain, {kinds.get('fault', 0)} fault, "
+        f"{kinds.get('replication', 0)} replication; "
+        f"{outcomes.get('infeasible', 0)} infeasible), "
+        f"{report['checks']} checks, "
+        f"{report['violations']} violations{resumed} "
+        f"[seed {args.seed}, {elapsed:.1f}s]",
+        file=out,
+    )
+    for failure in report["failures"]:
+        print(
+            f"  case {failure['case_id']} ({failure['policy']} on "
+            f"{failure['family']}, {failure['day_kind']}): "
+            f"{len(failure['violations'])} violation(s); "
+            f"spec: {failure['spec']}",
+            file=out,
+        )
+        for violation in failure["violations"][:3]:
+            print(f"    [{violation['invariant']}] {violation['message']}", file=out)
+    print(f"wrote {args.json}", file=out)
+    return 1 if report["violations"] else 0
+
+
 def _run_serve(args, out) -> int:
     import asyncio
     import json
@@ -825,12 +939,24 @@ def _dispatch(args, out) -> int:
         return _run_constrained(args, out)
     if args.command == "replication":
         return _run_replication(args, out)
+    if args.command == "shard":
+        return _run_shard(args, out)
     if getattr(args, "no_shared_artifacts", False):
         set_artifact_sharing(False)
     if not getattr(args, "incremental", True):
         from repro.sim.engine import set_incremental
 
         set_incremental(False)
+    if getattr(args, "shards", None):
+        from repro.shard import ShardConfig
+        from repro.sim.engine import set_sharding
+
+        set_sharding(
+            ShardConfig(
+                num_shards=args.shards,
+                mem_budget=args.shard_mem_budget,
+            )
+        )
     journal = Journal(args.resume) if getattr(args, "resume", None) else None
     try:
         if args.command == "run":

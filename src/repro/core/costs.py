@@ -26,7 +26,97 @@ from repro.runtime.cache import ComputeCache, get_compute_cache
 from repro.topology.base import Topology
 from repro.workload.flows import FlowSet
 
-__all__ = ["CostContext", "validate_placement"]
+__all__ = ["AggregatedFlows", "CostContext", "validate_placement"]
+
+
+class AggregatedFlows:
+    """Pre-reduced flow population: attractions without the flows.
+
+    The sharded day loop (:mod:`repro.shard`) computes the ingress/egress
+    attraction vectors and ``Λ`` as per-block partial sums in worker
+    processes and folds them in the parent — at that point the per-flow
+    arrays no longer exist in one place, but every solver in
+    :mod:`repro.core` prices placements *only* through those aggregates.
+    This class carries the folded aggregates into :class:`CostContext`
+    (whose constructor short-circuits on it instead of re-reducing), so
+    the solvers run unchanged on sharded days.
+
+    ``serving_fn`` is the one per-flow operation the aggregates cannot
+    answer: the replication lattice's min-over-copies serving cost
+    (Eq. 1 per copy, elementwise min, sum).  The shard supervisor injects
+    a pool-backed evaluator; contexts built from real flow sets never
+    consult it.
+
+    Quacks like :class:`~repro.workload.flows.FlowSet` exactly as far as
+    the day loop needs: ``with_rates`` is the identity (the aggregates
+    already embed the hour's rates) and ``validate_against`` is a no-op
+    (each block validated worker-side).  Anything needing the per-flow
+    arrays raises :class:`~repro.errors.WorkloadError` instead of
+    silently degrading.
+    """
+
+    __slots__ = (
+        "num_flows",
+        "total_rate",
+        "ingress_attraction",
+        "egress_attraction",
+        "serving_fn",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        *,
+        num_flows: int,
+        total_rate: float,
+        ingress_attraction: np.ndarray,
+        egress_attraction: np.ndarray,
+        serving_fn=None,
+        meta: dict | None = None,
+    ) -> None:
+        a_in = np.ascontiguousarray(ingress_attraction, dtype=np.float64)
+        a_out = np.ascontiguousarray(egress_attraction, dtype=np.float64)
+        if a_in.shape != a_out.shape or a_in.ndim != 1:
+            raise WorkloadError(
+                f"attraction vectors must be matching 1-D node arrays, got "
+                f"{a_in.shape} vs {a_out.shape}"
+            )
+        a_in.setflags(write=False)
+        a_out.setflags(write=False)
+        self.num_flows = int(num_flows)
+        self.total_rate = float(total_rate)
+        self.ingress_attraction = a_in
+        self.egress_attraction = a_out
+        self.serving_fn = serving_fn
+        self.meta = dict(meta or {})
+
+    # -- FlowSet protocol (the slice the solvers/day loop actually use) ------
+
+    def with_rates(self, rates) -> "AggregatedFlows":
+        """Identity: the aggregates already embed the hour's rates."""
+        return self
+
+    def validate_against(self, topology: Topology) -> None:
+        """No-op: every block was validated against the topology worker-side."""
+
+    def _no_per_flow(self, what: str):
+        raise WorkloadError(
+            f"AggregatedFlows carries folded attractions only; {what} needs "
+            "the per-flow arrays, which live in the shard workers. Price "
+            "through CostContext, or run unsharded."
+        )
+
+    @property
+    def sources(self) -> np.ndarray:
+        self._no_per_flow("sources")
+
+    @property
+    def destinations(self) -> np.ndarray:
+        self._no_per_flow("destinations")
+
+    @property
+    def rates(self) -> np.ndarray:
+        self._no_per_flow("rates")
 
 
 def validate_placement(
@@ -72,15 +162,23 @@ class CostContext:
     def __init__(
         self,
         topology: Topology,
-        flows: FlowSet,
+        flows: FlowSet | AggregatedFlows,
         cache: ComputeCache | None = None,
     ) -> None:
-        flows.validate_against(topology)
         self.topology = topology
         self.flows = flows
         self.cache = cache if cache is not None else get_compute_cache()
         dist = topology.graph.distances
         self._dist = dist
+        if isinstance(flows, AggregatedFlows):
+            # the shard layer already reduced the population; adopt its
+            # folded aggregates verbatim so sharded and unsharded contexts
+            # hold bit-identical floats
+            self.total_rate = flows.total_rate
+            self.ingress_attraction = flows.ingress_attraction
+            self.egress_attraction = flows.egress_attraction
+            return
+        flows.validate_against(topology)
         rates = flows.rates
         self.total_rate = float(rates.sum())
         # a_in[u] = Σ_i λ_i c(s(v_i), u): rows of dist indexed by source
@@ -135,6 +233,8 @@ class CostContext:
 
     def per_flow_costs(self, placement: np.ndarray) -> np.ndarray:
         """Per-flow communication cost; sums to :meth:`communication_cost`."""
+        if isinstance(self.flows, AggregatedFlows):
+            self.flows._no_per_flow("per_flow_costs")
         p = np.asarray(placement, dtype=np.int64)
         chain = self.chain_cost(p)
         return self.flows.rates * (
@@ -142,6 +242,42 @@ class CostContext:
             + chain
             + self._dist[p[-1], self.flows.destinations]
         )
+
+    # -- replication serving (min over copies) --------------------------------
+
+    def _per_copy_costs(self, copies: np.ndarray) -> np.ndarray:
+        """``(r, l)`` matrix: flow ``i``'s full route cost through copy ``r``."""
+        flows = self.flows
+        if isinstance(flows, AggregatedFlows):
+            flows._no_per_flow("_per_copy_costs")
+        dist = self._dist
+        out = np.empty((copies.shape[0], flows.num_flows))
+        for r_idx in range(copies.shape[0]):
+            row = copies[r_idx]
+            chain = float(dist[row[:-1], row[1:]].sum()) if row.size > 1 else 0.0
+            out[r_idx] = flows.rates * (
+                dist[flows.sources, row[0]] + chain + dist[row[-1], flows.destinations]
+            )
+        return out
+
+    def min_copy_serving_cost(self, copies: np.ndarray) -> float:
+        """``C_a^rep`` for a copy stack: every flow takes its cheapest copy.
+
+        On an :class:`AggregatedFlows` context this routes to the injected
+        ``serving_fn`` (the shard supervisor's pool-backed evaluator, which
+        computes the same per-block partials and folds them in block
+        order); otherwise it is the direct min-over-copies reduction.
+        """
+        copies = np.asarray(copies, dtype=np.int64)
+        flows = self.flows
+        if isinstance(flows, AggregatedFlows):
+            if flows.serving_fn is None:
+                raise WorkloadError(
+                    "this AggregatedFlows was built without a serving_fn; "
+                    "replication days need the shard supervisor's evaluator"
+                )
+            return float(flows.serving_fn(copies))
+        return float(self._per_copy_costs(copies).min(axis=0).sum())
 
     # -- Eq. 8 ---------------------------------------------------------------
 

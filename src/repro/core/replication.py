@@ -85,16 +85,7 @@ class ReplicatedPlacement:
 
 def _per_copy_flow_costs(ctx: CostContext, copies: np.ndarray) -> np.ndarray:
     """``(r, l)`` matrix: flow ``i``'s full route cost through copy ``r``."""
-    flows = ctx.flows
-    dist = ctx.distances
-    out = np.empty((copies.shape[0], flows.num_flows))
-    for r_idx in range(copies.shape[0]):
-        row = copies[r_idx]
-        chain = float(dist[row[:-1], row[1:]].sum()) if row.size > 1 else 0.0
-        out[r_idx] = flows.rates * (
-            dist[flows.sources, row[0]] + chain + dist[row[-1], flows.destinations]
-        )
-    return out
+    return ctx._per_copy_costs(copies)
 
 
 def per_flow_copy_choice(ctx: CostContext, placement: ReplicatedPlacement) -> np.ndarray:
@@ -311,9 +302,13 @@ class ReplicaSet:
 
 
 def serving_cost(ctx: CostContext, copies: np.ndarray) -> float:
-    """``C_a^rep`` for a copy stack: every flow takes its cheapest copy."""
-    return float(_per_copy_flow_costs(ctx, np.asarray(copies, dtype=np.int64))
-                 .min(axis=0).sum())
+    """``C_a^rep`` for a copy stack: every flow takes its cheapest copy.
+
+    Delegates to :meth:`~repro.core.costs.CostContext.min_copy_serving_cost`
+    so an aggregated (sharded-day) context routes to its pool-backed
+    evaluator while a plain context keeps the exact historical float ops.
+    """
+    return ctx.min_copy_serving_cost(copies)
 
 
 def replica_sync_volume(
@@ -514,7 +509,7 @@ def replication_step(
     faults.
     """
     ctx = CostContext(topology, flows, cache=cache)
-    total_rate = float(flows.rates.sum())
+    total_rate = ctx.total_rate
     fresh_target = None
     if not rho > 1:  # the dominance gate could never open
         fresh_target = _replica_target(
@@ -621,7 +616,7 @@ def exact_replication_step(
     from repro.core.migration import migration_frontiers
 
     ctx = CostContext(topology, flows, cache=cache)
-    total_rate = float(flows.rates.sum())
+    total_rate = ctx.total_rate
     primary = replica_set.primary
     replica_switches = {int(s) for s in replica_set.replicas.ravel()}
     if migrate_result is None:

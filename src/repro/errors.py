@@ -86,6 +86,22 @@ class SolverError(ReproError):
     """An internal solver reached an inconsistent state (library bug)."""
 
 
+class ShardError(ReproError):
+    """The sharded day-loop layer cannot proceed (see :mod:`repro.shard`).
+
+    Raised with a ``diagnosis`` dict naming the knob that would unblock
+    the run: a shard whose block cannot fit the memory budget even after
+    degrading to column strips, a supervisor whose shard exhausted its
+    retry budget, or a plan/workload mismatch (e.g. streaming chunk size
+    disagreeing with the shard plan's block size).
+    """
+
+    def __init__(self, message: str, *, diagnosis: dict | None = None) -> None:
+        super().__init__(message)
+        #: structured context for the failure (JSON-friendly)
+        self.diagnosis = diagnosis or {}
+
+
 class TaskError(ReproError):
     """A task failed inside an executor after exhausting its retry budget.
 

@@ -19,6 +19,15 @@ partial trailing line; :meth:`Journal.load` tolerates (and discards) a
 truncated or corrupt tail instead of failing, which is what makes the
 journal itself crash-safe.  Records are trusted pickles: only resume from
 journal files you wrote.
+
+Writers are exclusive: the first append takes an advisory ``flock`` on a
+sidecar ``<journal>.lock`` file (held for the journal's lifetime), so two
+processes resuming the same run cannot interleave appends and shred each
+other's JSONL tail.  Contention raises a diagnosed
+:class:`~repro.errors.ReproError` immediately instead of blocking; the
+lock dies with its holder (kernel-released on process death), so a killed
+run never leaves a stale lock behind.  Pure readers (``load``/``lookup``)
+take no lock — a half-appended record is already tolerated by design.
 """
 
 from __future__ import annotations
@@ -30,6 +39,11 @@ import os
 import pickle
 from pathlib import Path
 from typing import Any, IO
+
+try:  # advisory locking is POSIX-only; Windows falls back to no locking
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import ReproError
 
@@ -80,14 +94,18 @@ class Journal:
     Opening a journal loads every valid record already present (the
     resume set); :meth:`record` appends-and-flushes one record per
     completed task.  A journal is single-writer — the parent process
-    records results as they come back from workers — so no locking is
-    needed.
+    records results as they come back from workers — and the writer's
+    exclusivity is *enforced* with an advisory lock taken at the first
+    append (see the module docstring); ``lock=False`` opts out for
+    callers that manage their own exclusion.
     """
 
-    def __init__(self, path: Path | str) -> None:
+    def __init__(self, path: Path | str, *, lock: bool = True) -> None:
         self.path = Path(path)
         self._entries: dict[str, Any] = {}
         self._handle: IO[str] | None = None
+        self._lock = bool(lock)
+        self._lock_handle: IO[bytes] | None = None
         self.load()
 
     # -- reading -----------------------------------------------------------
@@ -146,8 +164,48 @@ class Journal:
         self._handle.flush()
         self._entries[fingerprint] = value
 
+    @property
+    def lock_path(self) -> Path:
+        """Sidecar lock file guarding the journal's writer slot."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _acquire_lock(self) -> None:
+        """Take the exclusive writer lock, or raise a diagnosed error.
+
+        ``flock`` locks follow the open file description: they survive
+        ``fork`` into pool workers harmlessly (workers never append) and
+        are released by the kernel the instant the holding process dies,
+        so crash recovery needs no stale-lock cleanup.
+        """
+        if not self._lock or fcntl is None or self._lock_handle is not None:
+            return
+        handle = self.lock_path.open("ab")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise ReproError(
+                f"journal {self.path} is locked by another process "
+                f"(lock file: {self.lock_path}). Two concurrent resumes of "
+                "the same run would interleave appends and corrupt the "
+                "JSONL tail; wait for the other run, point --resume at a "
+                "different journal, or remove the stale file if you are "
+                "certain no other process holds it."
+            ) from exc
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._lock_handle.close()
+                self._lock_handle = None
+
     def _open_for_append(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
         # a run killed mid-append leaves a partial line with no trailing
         # newline; terminate it first so new records never concatenate
         # onto (and get lost with) the corrupt tail
@@ -164,6 +222,7 @@ class Journal:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._release_lock()
 
     def __enter__(self) -> "Journal":
         return self

@@ -725,6 +725,16 @@ class SolverSession:
 
         # group flow sets by endpoint content; each group's attractions
         # are rows of one rates-matrix product over the shared gathers
+        from repro.core.costs import AggregatedFlows
+
+        if any(isinstance(f, AggregatedFlows) for f in flowsets):
+            # pre-reduced populations carry no endpoint arrays to stack;
+            # the per-set path prices them through their folded aggregates
+            return [
+                self.place(f, sfc, algo="dp", mode=mode, extra_edge_slack=slack)
+                for f in flowsets
+            ]
+
         groups: dict[tuple, list[int]] = {}
         for i, flows in enumerate(flowsets):
             flows.validate_against(topology)

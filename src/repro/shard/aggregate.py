@@ -1,0 +1,339 @@
+"""Per-block aggregation kernels and the canonical block fold.
+
+The sharded day loop replaces the monolithic per-flow reductions of
+:class:`~repro.core.costs.CostContext` with per-*block* partial sums
+computed in worker processes and a strict left fold over ascending block
+index in the parent.  Floating-point addition is not associative, so the
+fold order is part of the result's identity: the canonical sharded
+computation *is* the fixed-block left fold, and it is what every shard
+count, every retry, and every resumed run reproduces bit for bit.
+
+Two properties anchor the ``verify.shard`` byte-identity campaign:
+
+* **Single-block degeneracy.**  When the whole population fits one block
+  the kernels evaluate the *same expressions* the unsharded
+  ``CostContext`` does — the same ``rates @ dist[endpoints, :]`` dgemv
+  over the same C-contiguous gather, the same ``float(rates.sum())``,
+  the same ``min(axis=0).sum()`` — so a sharded day is byte-identical to
+  :func:`~repro.sim.engine.simulate_day` at campaign scales.
+* **Shard-count invariance.**  Blocks and the fold order depend only on
+  ``(num_flows, block_size)``; which shard computed a block is invisible
+  to the fold.  This holds at *any* scale, including multi-block
+  million-flow days.
+
+The memory degradation ladder lives here too: rung 0 is the full row
+gather (``l × N`` doubles); rung 1 assembles the same attraction vector
+from column strips, each a bounded ``l × w`` gather.  A dgemv output
+column is a dot product over the ``l`` flows only — independent of which
+other columns ride in the same call — so strip assembly is expected
+bitwise-equal to the full gather.  Because that is an empirical property
+of the BLAS at hand, a memoized probe checks it once per process and the
+ladder refuses (diagnosed :class:`~repro.errors.ShardError`) rather than
+silently returning different bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShardError
+
+__all__ = [
+    "BlockAggregate",
+    "compute_block_aggregate",
+    "compute_block_serving",
+    "fold_aggregates",
+    "FoldedHour",
+    "fold_serving",
+    "column_strips_bitwise",
+]
+
+# memoized verdict of the rung-1 probe: None = not yet run
+_STRIPS_BITWISE: bool | None = None
+
+
+def column_strips_bitwise() -> bool:
+    """Probe (once per process) whether strip-assembled dgemv matches full.
+
+    Mirrors the spirit of ``SolverSession._matmul_rows_bitwise``: assert
+    the needed BLAS property empirically on deterministic arrays instead
+    of assuming it, and memoize the verdict.
+    """
+    global _STRIPS_BITWISE
+    if _STRIPS_BITWISE is None:
+        rng = np.random.default_rng(987654321)
+        x = rng.standard_normal(257)
+        full_matrix = np.ascontiguousarray(rng.standard_normal((257, 131)))
+        want = x @ full_matrix
+        verdict = True
+        for width in (1, 17, 64):
+            got = np.empty_like(want)
+            for lo in range(0, want.size, width):
+                hi = min(lo + width, want.size)
+                strip = np.ascontiguousarray(full_matrix[:, lo:hi])
+                got[lo:hi] = x @ strip
+            if not np.array_equal(got, want):
+                verdict = False
+                break
+        _STRIPS_BITWISE = verdict
+    return _STRIPS_BITWISE
+
+
+@dataclass(frozen=True)
+class BlockAggregate:
+    """One block's partial sums — everything the hourly fold needs.
+
+    ``dropped_flows`` holds *global* flow indices (block start already
+    added) so concatenating per-block arrays in block order reproduces
+    ``np.flatnonzero`` of the full-population drop mask.
+    """
+
+    block: int
+    num_flows: int
+    total_rate: float
+    ingress: np.ndarray
+    egress: np.ndarray
+    any_positive: bool
+    dropped_rate: float
+    dropped_flows: np.ndarray
+    all_dropped: bool
+
+
+def _fault_mask(
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    surviving_hosts: np.ndarray | None,
+) -> np.ndarray:
+    """Drop mask for the block: either endpoint on a failed host.
+
+    Matches the set-membership semantics of
+    ``FaultAudit.dropped_flow_mask`` (``np.isin`` against the surviving
+    host set) block-locally — membership is per-flow, so blocking the
+    population commutes with the mask.
+    """
+    if surviving_hosts is None:
+        return np.zeros(sources.shape, dtype=bool)
+    alive = np.asarray(surviving_hosts, dtype=np.int64)
+    return ~(np.isin(sources, alive) & np.isin(destinations, alive))
+
+
+def compute_block_aggregate(
+    dist: np.ndarray,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    rates: np.ndarray,
+    *,
+    block_index: int,
+    block_start: int,
+    surviving_hosts: np.ndarray | None = None,
+    park_host: int | None = None,
+    mem_budget: int | None = None,
+) -> BlockAggregate:
+    """Aggregate one block: attractions, ``Λ`` partial, drop accounting.
+
+    On fault days dropped flows are zero-rated and every dropped endpoint
+    is parked on ``park_host`` exactly as the unsharded loop's
+    ``_park_flows`` + ``np.where(mask, 0, rates)`` do, then the same
+    attraction expressions run against the (possibly degraded) ``dist``.
+    """
+    mask = _fault_mask(sources, destinations, surviving_hosts)
+    dropped = bool(mask.any())
+    if dropped:
+        if park_host is None:
+            raise ShardError(
+                f"block {block_index} has dropped flows but no park host"
+            )
+        dropped_rate = float(rates[mask].sum())
+        eff_rates = np.where(mask, 0.0, rates)
+        eff_sources = np.where(mask, np.int64(park_host), sources)
+        eff_destinations = np.where(mask, np.int64(park_host), destinations)
+    else:
+        dropped_rate = 0.0
+        eff_rates = rates
+        eff_sources = sources
+        eff_destinations = destinations
+
+    # NaN policy matches CostContext: on degraded topologies dead-node
+    # columns hold inf, zero-rated flows turn them into NaN, and no solver
+    # ever reads a dead column.
+    with np.errstate(invalid="ignore"):
+        ingress = _attraction(dist, eff_sources, eff_rates, mem_budget, block_index)
+        egress = _attraction(dist, eff_destinations, eff_rates, mem_budget, block_index)
+
+    return BlockAggregate(
+        block=block_index,
+        num_flows=int(rates.size),
+        total_rate=float(eff_rates.sum()) if dropped else float(rates.sum()),
+        ingress=ingress,
+        egress=egress,
+        any_positive=bool(np.any(eff_rates > 0)),
+        dropped_rate=dropped_rate,
+        dropped_flows=(block_start + np.flatnonzero(mask)).astype(np.int64),
+        all_dropped=bool(mask.all()),
+    )
+
+
+def _attraction(
+    dist: np.ndarray,
+    endpoints: np.ndarray,
+    rates: np.ndarray,
+    mem_budget: int | None,
+    block_index: int,
+) -> np.ndarray:
+    """``rates @ dist[endpoints, :]`` under the memory degradation ladder.
+
+    Rung 0 gathers the full ``l × N`` row block — the exact expression
+    ``CostContext`` evaluates.  Rung 1 (budget exceeded or rung 0 raised
+    ``MemoryError``) assembles the same vector from bounded column
+    strips, gated by :func:`column_strips_bitwise`.
+    """
+    num_nodes = dist.shape[1]
+    gather_bytes = endpoints.size * num_nodes * 8
+    if mem_budget is None or gather_bytes <= mem_budget:
+        try:
+            return rates @ dist[endpoints, :]
+        except MemoryError:
+            if mem_budget is None:
+                # pick a strip budget that at least halves the working set
+                mem_budget = max(gather_bytes // 2, endpoints.size * 8)
+    width = max(1, int(mem_budget // max(endpoints.size * 8, 1)))
+    if width >= num_nodes:
+        width = max(1, num_nodes - 1)
+    if not column_strips_bitwise():
+        raise ShardError(
+            f"block {block_index} exceeds the memory budget and this BLAS "
+            "does not produce bitwise-stable column strips; raise "
+            "--shard-mem-budget or shrink the block size",
+            diagnosis={
+                "block": block_index,
+                "gather_bytes": gather_bytes,
+                "mem_budget": mem_budget,
+                "rung": 1,
+            },
+        )
+    out = np.empty(num_nodes)
+    columns = np.arange(num_nodes)
+    for lo in range(0, num_nodes, width):
+        hi = min(lo + width, num_nodes)
+        strip = dist[endpoints[:, None], columns[None, lo:hi]]
+        out[lo:hi] = rates @ strip
+    return out
+
+
+def compute_block_serving(
+    dist: np.ndarray,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    rates: np.ndarray,
+    copies: np.ndarray,
+    *,
+    block_index: int,
+    surviving_hosts: np.ndarray | None = None,
+    park_host: int | None = None,
+) -> float:
+    """One block's min-over-copies serving partial (replication Eq. 1).
+
+    Evaluates exactly ``CostContext._per_copy_costs`` on the block slice
+    (same per-copy expression, same ``(r, l)`` layout) followed by
+    ``min(axis=0).sum()`` — so the single-block case is bitwise the
+    unsharded ``min_copy_serving_cost``.  Only 1-D column gathers are
+    needed, so no memory ladder applies.
+    """
+    mask = _fault_mask(sources, destinations, surviving_hosts)
+    if mask.any():
+        if park_host is None:
+            raise ShardError(
+                f"block {block_index} has dropped flows but no park host"
+            )
+        rates = np.where(mask, 0.0, rates)
+        sources = np.where(mask, np.int64(park_host), sources)
+        destinations = np.where(mask, np.int64(park_host), destinations)
+    copies = np.asarray(copies, dtype=np.int64)
+    with np.errstate(invalid="ignore"):
+        out = np.empty((copies.shape[0], rates.size))
+        for r_idx in range(copies.shape[0]):
+            row = copies[r_idx]
+            chain = float(dist[row[:-1], row[1:]].sum()) if row.size > 1 else 0.0
+            out[r_idx] = rates * (
+                dist[sources, row[0]] + chain + dist[row[-1], destinations]
+            )
+        return float(out.min(axis=0).sum())
+
+
+@dataclass(frozen=True)
+class FoldedHour:
+    """The hour's folded books: what the parent builds solvers from."""
+
+    num_flows: int
+    total_rate: float
+    ingress: np.ndarray
+    egress: np.ndarray
+    any_positive: bool
+    dropped_rate: float
+    dropped_flows: np.ndarray
+    all_dropped: bool
+
+
+def fold_aggregates(aggregates: list[BlockAggregate]) -> FoldedHour:
+    """Strict left fold in ascending block index — the canonical reduction.
+
+    Requires exactly one aggregate per block ``0..n_blocks-1``.  For a
+    single block the fold is the identity (arrays copied, floats adopted
+    verbatim), which is what makes single-block sharded days byte-equal
+    to unsharded ones.
+    """
+    if not aggregates:
+        raise ShardError("cannot fold an empty aggregate list")
+    ordered = sorted(aggregates, key=lambda a: a.block)
+    indices = [a.block for a in ordered]
+    if indices != list(range(len(ordered))):
+        raise ShardError(
+            f"aggregate fold needs every block exactly once, got blocks {indices}"
+        )
+    head = ordered[0]
+    total_rate = head.total_rate
+    ingress = head.ingress.copy()
+    egress = head.egress.copy()
+    num_flows = head.num_flows
+    any_positive = head.any_positive
+    dropped_rate = head.dropped_rate
+    all_dropped = head.all_dropped
+    for agg in ordered[1:]:
+        total_rate = total_rate + agg.total_rate
+        ingress += agg.ingress
+        egress += agg.egress
+        num_flows += agg.num_flows
+        any_positive = any_positive or agg.any_positive
+        dropped_rate = dropped_rate + agg.dropped_rate
+        all_dropped = all_dropped and agg.all_dropped
+    dropped_flows = np.concatenate([a.dropped_flows for a in ordered])
+    ingress.setflags(write=False)
+    egress.setflags(write=False)
+    return FoldedHour(
+        num_flows=num_flows,
+        total_rate=total_rate,
+        ingress=ingress,
+        egress=egress,
+        any_positive=any_positive,
+        dropped_rate=dropped_rate,
+        dropped_flows=dropped_flows,
+        all_dropped=all_dropped,
+    )
+
+
+def fold_serving(partials: list[tuple[int, float]]) -> float:
+    """Left-fold per-block serving partials in ascending block index."""
+    if not partials:
+        raise ShardError("cannot fold an empty serving partial list")
+    ordered = sorted(partials, key=lambda p: p[0])
+    indices = [p[0] for p in ordered]
+    if indices != list(range(len(ordered))):
+        raise ShardError(
+            f"serving fold needs every block exactly once, got blocks {indices}"
+        )
+    total = ordered[0][1]
+    for _, value in ordered[1:]:
+        total = total + value
+    return total

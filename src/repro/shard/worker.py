@@ -1,0 +1,244 @@
+"""Worker-side execution of one shard task, plus its wire format.
+
+A :class:`ShardTask` is the self-contained recipe for one shard's share
+of one hour: which blocks to compute, how to obtain each block's flow
+arrays (inline payloads for materialized flow sets, the chunk recipe for
+streamed ones), which distance matrix to price against (a shared-memory
+ref keyed by ``dist_key``, or inline for in-process runs), and the fault
+context (surviving hosts, park host) for degraded days.
+
+Supervision hooks baked into the task:
+
+* ``key`` — a *stable* identity string built from content (hour, kind,
+  shard, a hash of the stable parts), never from volatile runtime names
+  like shm segments.  The journal fingerprint and the chaos fault draw
+  both key off it, so resumed runs salvage exactly the shards they
+  completed and chaos re-injects exactly the faults it drew before.
+* ``heartbeat`` — a shared float64 slot per shard; the worker stamps
+  ``time.monotonic()`` (system-wide on Linux) at task start and after
+  every block, which is what lets the parent distinguish a *wedged*
+  worker from a merely slow one at block granularity.
+* ``chaos`` — deterministic fault injection (crash / delay / timeout /
+  hard ``os._exit`` kill) evaluated against ``key`` and the dispatch
+  attempt, mirroring :mod:`repro.runtime.resilience` semantics: faults
+  fire only while ``attempt < faulty_attempts``, so the supervisor's
+  re-dispatch always converges on the real result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.runtime.resilience import (
+    ChaosConfig,
+    ChaosError,
+    _PARENT_PID,
+    fault_decision,
+)
+from repro.runtime.shm import ShmArrayRef, _attach_array, _owns_resource_tracker
+from repro.shard.aggregate import compute_block_aggregate, compute_block_serving
+from repro.shard.plan import Block
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.stream import StreamingWorkload
+
+__all__ = ["BlockPayload", "ShardTask", "run_shard_task"]
+
+
+@dataclass(frozen=True)
+class BlockPayload:
+    """One block's flow arrays, shipped inline (materialized-flows mode)."""
+
+    sources: np.ndarray
+    destinations: np.ndarray
+    rates: np.ndarray
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Self-contained recipe for one shard's share of one hour."""
+
+    key: str
+    kind: str  # "agg" | "serve"
+    hour: int
+    shard: int
+    blocks: tuple[Block, ...]
+    payloads: tuple[BlockPayload, ...] | None = None
+    stream: StreamingWorkload | None = None
+    diurnal: DiurnalModel | None = None
+    copies: np.ndarray | None = None
+    surviving_hosts: np.ndarray | None = None
+    park_host: int | None = None
+    dist_ref: ShmArrayRef | None = None
+    dist_data: np.ndarray | None = None
+    dist_key: str = "healthy"
+    heartbeat: ShmArrayRef | None = None
+    mem_budget: int | None = None
+    chaos: ChaosConfig | None = None
+
+
+# process-local memo: dist_key -> (array, segment kept alive for the view)
+_DIST_CACHE: dict[str, tuple[np.ndarray, shared_memory.SharedMemory | None]] = {}
+
+# process-local memo: heartbeat segment name -> (writable view, segment)
+_HEARTBEAT_CACHE: dict[str, tuple[np.ndarray, shared_memory.SharedMemory]] = {}
+
+
+def _resolve_dist(task: ShardTask) -> np.ndarray:
+    """The distance matrix this task prices against, attach memoized.
+
+    Fault days re-key per degraded state (``dist_key``), so a worker that
+    served hour 3's storm keeps that state's matrix mapped and reuses it
+    for hour 4 without re-attaching.
+    """
+    cached = _DIST_CACHE.get(task.dist_key)
+    if cached is not None:
+        return cached[0]
+    if task.dist_data is not None:
+        arr: np.ndarray = task.dist_data
+        segment = None
+    elif task.dist_ref is not None:
+        arr, segment = _attach_array(task.dist_ref)
+    else:
+        raise ShardError(f"task {task.key} carries no distance matrix")
+    _DIST_CACHE[task.dist_key] = (arr, segment)
+    return arr
+
+
+def _attach_writable(ref: ShmArrayRef) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Writable attach (heartbeat slots) — ``shm._attach_array`` is read-only."""
+    segment = shared_memory.SharedMemory(name=ref.name)
+    if _owns_resource_tracker():
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    return arr, segment
+
+
+def _beat(task: ShardTask) -> None:
+    """Stamp this shard's heartbeat slot (no-op without a heartbeat ref)."""
+    if task.heartbeat is None:
+        return
+    cached = _HEARTBEAT_CACHE.get(task.heartbeat.name)
+    if cached is None:
+        cached = _attach_writable(task.heartbeat)
+        _HEARTBEAT_CACHE[task.heartbeat.name] = cached
+    cached[0][task.shard] = time.monotonic()
+
+
+def _chaos_gate(task: ShardTask, attempt: int) -> None:
+    """Apply this task's deterministic fault draw, if any."""
+    if task.chaos is None:
+        return
+    fault = fault_decision(task.chaos, task.key, attempt)
+    if fault == "crash":
+        raise ChaosError(f"injected crash for {task.key} (attempt {attempt})")
+    if fault == "delay":
+        time.sleep(task.chaos.delay_seconds)
+    elif fault == "timeout":
+        from repro.errors import TimeoutError
+
+        raise TimeoutError(f"injected timeout for {task.key} (attempt {attempt})")
+    elif fault == "kill":
+        if os.getpid() != _PARENT_PID:
+            os._exit(17)
+        raise ChaosError(
+            f"injected kill for {task.key}, in-process fallback (attempt {attempt})"
+        )
+
+
+def _block_arrays(
+    task: ShardTask, position: int, block: Block
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(sources, destinations, rates)`` for one block, both wire modes.
+
+    Streaming mode regenerates the chunk locally and applies the diurnal
+    envelope elementwise — elementwise scaling commutes with block
+    slicing bit-for-bit, so a streamed block equals the corresponding
+    slice of a materialized ``ScaledRates.rates_at`` vector.
+    """
+    if task.payloads is not None:
+        payload = task.payloads[position]
+        return payload.sources, payload.destinations, payload.rates
+    if task.stream is None:
+        raise ShardError(f"task {task.key} carries neither payloads nor a stream")
+    chunk = task.stream.chunk(block.index)
+    if task.diurnal is not None:
+        rates = chunk.base_rates * task.diurnal.flow_scales(task.hour, chunk.offsets)
+    else:
+        rates = chunk.base_rates
+    return chunk.sources, chunk.destinations, rates
+
+
+def run_shard_task(task: ShardTask, attempt: int = 0) -> tuple:
+    """Pool entry point: compute every block of one shard task.
+
+    Returns ``("ok", [(block_index, result), ...])`` with results in
+    ascending block order, or ``("err", detail)`` where ``detail``
+    carries the worker-formatted traceback plus classification flags the
+    supervisor's degradation ladder keys on (``memory`` → rung 2 block
+    split; ``shard_error`` → diagnosed terminal failure).
+    """
+    try:
+        _chaos_gate(task, attempt)
+        _beat(task)
+        dist = _resolve_dist(task)
+        results: list[tuple[int, object]] = []
+        for position, block in enumerate(task.blocks):
+            sources, destinations, rates = _block_arrays(task, position, block)
+            if task.kind == "serve":
+                if task.copies is None:
+                    raise ShardError(f"serve task {task.key} carries no copies")
+                value: object = compute_block_serving(
+                    dist,
+                    sources,
+                    destinations,
+                    rates,
+                    task.copies,
+                    block_index=block.index,
+                    surviving_hosts=task.surviving_hosts,
+                    park_host=task.park_host,
+                )
+            elif task.kind == "agg":
+                value = compute_block_aggregate(
+                    dist,
+                    sources,
+                    destinations,
+                    rates,
+                    block_index=block.index,
+                    block_start=block.start,
+                    surviving_hosts=task.surviving_hosts,
+                    park_host=task.park_host,
+                    mem_budget=task.mem_budget,
+                )
+            else:
+                raise ShardError(f"unknown shard task kind {task.kind!r}")
+            results.append((block.index, value))
+            _beat(task)
+        return ("ok", results)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:
+        return (
+            "err",
+            {
+                "error": repr(exc),
+                "traceback": traceback.format_exc(),
+                "memory": isinstance(exc, MemoryError),
+                "shard_error": isinstance(exc, ShardError),
+                "diagnosis": dict(getattr(exc, "diagnosis", None) or {}),
+            },
+        )
+
+
+# the executors' attempt-aware calling convention (see runtime.executor):
+# the supervisor passes the dispatch attempt so chaos faults stay transient
+run_shard_task.accepts_attempt = True  # type: ignore[attr-defined]

@@ -28,7 +28,13 @@ would produce against a degraded distance table.
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
+import os
+import signal
+import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -41,6 +47,9 @@ from repro.utils.timing import Timer
 from repro.workload.dynamics import RateProcess
 from repro.workload.flows import FlowSet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard imports us)
+    from repro.shard.plan import ShardConfig
+
 __all__ = [
     "HourRecord",
     "DayResult",
@@ -48,6 +57,9 @@ __all__ = [
     "initial_placement",
     "set_incremental",
     "incremental_enabled",
+    "set_sharding",
+    "sharding_config",
+    "deliver_interrupts",
 ]
 
 #: process-wide default for the incremental solver path (fig11/fig12's
@@ -68,6 +80,65 @@ def set_incremental(enabled: bool) -> bool:
 def incremental_enabled() -> bool:
     """Whether ``simulate_day`` defaults to the incremental solver path."""
     return _INCREMENTAL_ENABLED
+
+
+#: process-wide default shard config (the CLI's ``--shards`` flag lands
+#: here); ``None`` keeps the monolithic loops.  When set, ``simulate_day``
+#: routes sharding-capable policies through
+#: :func:`repro.shard.engine.simulate_day_sharded`
+_SHARDING: "ShardConfig | None" = None
+
+
+def set_sharding(config: "ShardConfig | None") -> "ShardConfig | None":
+    """Install (or with ``None`` clear) the process default shard config."""
+    global _SHARDING
+    previous = _SHARDING
+    _SHARDING = config
+    return previous
+
+
+def sharding_config() -> "ShardConfig | None":
+    """The process-wide default shard config, if any."""
+    return _SHARDING
+
+
+@contextlib.contextmanager
+def deliver_interrupts():
+    """Convert ``SIGTERM`` to :class:`KeyboardInterrupt` for a day loop.
+
+    Installed only in the main thread of the main process (signal
+    handlers are per-process; pool workers must keep their default
+    ``SIGTERM`` so supervisors can still terminate them).  With the
+    handler in place, a ``kill`` lands as ``KeyboardInterrupt`` at the
+    loop's next bytecode boundary, letting the loop flush its journal
+    and return a partial :class:`DayResult` tagged
+    ``extra["interrupted"] = True`` instead of dying mid-hour.
+    """
+    installed = False
+    previous = None
+    if (
+        multiprocessing.parent_process() is None
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _to_interrupt(signum, frame):
+            if multiprocessing.parent_process() is not None:
+                # Forked pool worker inherited this handler: fall back to
+                # default termination so supervisors can still kill us.
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+                return
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        try:
+            previous = signal.signal(signal.SIGTERM, _to_interrupt)
+            installed = True
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    try:
+        yield
+    finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
 
 
 @dataclass(frozen=True)
@@ -262,40 +333,57 @@ def simulate_day(
         hours = range(1, rate_process.diurnal.num_hours + 1)
     if incremental is None:
         incremental = _INCREMENTAL_ENABLED
+    if _SHARDING is not None and getattr(policy, "supports_sharding", False):
+        from repro.shard.engine import simulate_day_sharded
+
+        return simulate_day_sharded(
+            topology, flows, policy, rate_process, placement, hours,
+            config=_SHARDING, session=session, faults=faults,
+            incremental=incremental,
+        )
     if faults is not None:
         return _simulate_day_faulty(
             topology, flows, policy, rate_process, placement, hours,
             session=session, faults=faults, incremental=incremental,
         )
+    interrupted = False
     with Timer.timed("simulate_day"):
         if session is not None:
             policy.attach_session(session)
         policy.initialize(flows, placement)
         records = []
-        for hour in hours:
-            rates = rate_process.rates_at(hour)
-            if incremental and session is not None:
-                # a pure rate tick: nothing cached depends on rates, so
-                # this only bumps the session's rates epoch (observable
-                # proof that the hour invalidated no artifacts)
-                session.advance(rates)
-            step = policy.step(rates)
-            count("hours_simulated")
-            records.append(
-                HourRecord(
-                    hour=hour,
-                    communication_cost=step.communication_cost,
-                    migration_cost=step.migration_cost,
-                    num_migrations=step.num_migrations,
-                    replication_cost=step.replication_cost,
-                    sync_cost=step.sync_cost,
-                    num_replications=step.num_replications,
-                    num_replicas=step.num_replicas,
-                )
-            )
-    return DayResult(
-        policy=policy.name, records=tuple(records), extra=policy.day_extra()
-    )
+        with deliver_interrupts():
+            try:
+                for hour in hours:
+                    rates = rate_process.rates_at(hour)
+                    if incremental and session is not None:
+                        # a pure rate tick: nothing cached depends on rates, so
+                        # this only bumps the session's rates epoch (observable
+                        # proof that the hour invalidated no artifacts)
+                        session.advance(rates)
+                    step = policy.step(rates)
+                    count("hours_simulated")
+                    records.append(
+                        HourRecord(
+                            hour=hour,
+                            communication_cost=step.communication_cost,
+                            migration_cost=step.migration_cost,
+                            num_migrations=step.num_migrations,
+                            replication_cost=step.replication_cost,
+                            sync_cost=step.sync_cost,
+                            num_replications=step.num_replications,
+                            num_replicas=step.num_replicas,
+                        )
+                    )
+            except KeyboardInterrupt:
+                # an interrupt ends the day early but cleanly: return the
+                # completed hours, flagged, instead of dying mid-hour
+                interrupted = True
+    extra = policy.day_extra()
+    if interrupted:
+        extra = dict(extra)
+        extra["interrupted"] = True
+    return DayResult(policy=policy.name, records=tuple(records), extra=extra)
 
 
 def _park_flows(flows: FlowSet, drop_mask: np.ndarray, park_host: int) -> FlowSet:
@@ -350,152 +438,159 @@ def _simulate_day_faulty(
         base_session = SolverSession(topology)
     with Timer.timed("simulate_day_faulty"):
         policy.initialize(flows, current)
-        for hour in hours:
-            state = faults.state_at(hour)
-            if state not in views:
-                if incremental:
-                    views[state] = base_session.apply(state)
-                elif state.is_healthy:
-                    healthy_session = (
-                        session if session is not None else SolverSession(topology)
+        interrupted = False
+        with deliver_interrupts():
+            try:
+                for hour in hours:
+                    state = faults.state_at(hour)
+                    if state not in views:
+                        if incremental:
+                            views[state] = base_session.apply(state)
+                        elif state.is_healthy:
+                            healthy_session = (
+                                session if session is not None else SolverSession(topology)
+                            )
+                            views[state] = (topology, None, healthy_session)
+                        else:
+                            degraded, audit = degrade(topology, state)
+                            views[state] = (degraded, audit, SolverSession(degraded))
+                    view, audit, view_session = views[state]
+                    if incremental:
+                        view_session.advance(rate_process.rates_at(hour))
+
+                    live_switches = (
+                        audit.surviving_switches if audit is not None else topology.switches
                     )
-                    views[state] = (topology, None, healthy_session)
-                else:
-                    degraded, audit = degrade(topology, state)
-                    views[state] = (degraded, audit, SolverSession(degraded))
-            view, audit, view_session = views[state]
-            if incremental:
-                view_session.advance(rate_process.rates_at(hour))
+                    if live_switches.size < n:
+                        raise InfeasibleError(
+                            f"hour {hour}: only {live_switches.size} surviving "
+                            f"switches for a chain of {n} VNFs",
+                            diagnosis={
+                                "reason": "too_few_surviving_switches",
+                                "hour": hour,
+                                "num_vnfs": n,
+                                "surviving_switches": live_switches.tolist(),
+                                "failed_switches": list(state.failed_switches),
+                                "components": [list(c) for c in audit.components]
+                                if audit is not None
+                                else [],
+                            },
+                        )
 
-            live_switches = (
-                audit.surviving_switches if audit is not None else topology.switches
-            )
-            if live_switches.size < n:
-                raise InfeasibleError(
-                    f"hour {hour}: only {live_switches.size} surviving "
-                    f"switches for a chain of {n} VNFs",
-                    diagnosis={
-                        "reason": "too_few_surviving_switches",
-                        "hour": hour,
-                        "num_vnfs": n,
-                        "surviving_switches": live_switches.tolist(),
-                        "failed_switches": list(state.failed_switches),
-                        "components": [list(c) for c in audit.components]
-                        if audit is not None
-                        else [],
-                    },
-                )
-
-            # 1. forced repair: evacuate VNFs off failed/partitioned switches.
-            # A policy carrying live replica copies first loses any copy
-            # with an instance on a dead switch, then fails over stranded
-            # primaries onto surviving copies for free (repair pricing is
-            # routed through the replica set — only paid moves book μ·Σc).
-            replica_rows = policy.replica_rows
-            lost_replicas: list[list[int]] = []
-            if replica_rows is not None and replica_rows.shape[0] and audit is not None:
-                live_set = {int(s) for s in live_switches.tolist()}
-                keep = [
-                    r
-                    for r in range(replica_rows.shape[0])
-                    if all(int(s) in live_set for s in replica_rows[r])
-                ]
-                lost_replicas = [
-                    [int(s) for s in replica_rows[r]]
-                    for r in range(replica_rows.shape[0])
-                    if r not in keep
-                ]
-                replica_rows = replica_rows[keep]
-            plan = evacuate(
-                current,
-                live_switches,
-                healthy_distances,
-                diagnosis={"hour": hour},
-                replica_rows=replica_rows,
-            )
-            current = np.asarray(plan.placement, dtype=np.int64)
-            repair_cost = policy.mu * plan.distance
-            if replica_rows is not None:
-                policy.force_replicas(plan.replica_rows)
-
-            # 2. drop flows with failed or partitioned endpoints
-            rates = rate_process.rates_at(hour)
-            if audit is not None:
-                drop_mask = audit.dropped_flow_mask(flows)
-            else:
-                drop_mask = np.zeros(flows.num_flows, dtype=bool)
-            dropped_traffic = float(rates[drop_mask].sum())
-            effective_rates = np.where(drop_mask, 0.0, rates)
-
-            live_hosts = (
-                audit.surviving_hosts if audit is not None else topology.hosts
-            )
-            if drop_mask.all() or live_hosts.size == 0:
-                # nothing can communicate this hour: the placement holds,
-                # no solver runs, and all offered traffic is dropped
-                count("hours_simulated")
-                records.append(
-                    HourRecord(
-                        hour=hour,
-                        communication_cost=0.0,
-                        migration_cost=0.0,
-                        num_migrations=0,
-                        dropped_traffic=float(rates.sum()),
-                        repair_cost=repair_cost,
-                        num_repairs=plan.num_moves,
-                        num_replicas=(
-                            0
-                            if plan.replica_rows is None
-                            else int(plan.replica_rows.shape[0])
-                        ),
-                        num_failovers=plan.num_failovers,
+                    # 1. forced repair: evacuate VNFs off failed/partitioned switches.
+                    # A policy carrying live replica copies first loses any copy
+                    # with an instance on a dead switch, then fails over stranded
+                    # primaries onto surviving copies for free (repair pricing is
+                    # routed through the replica set — only paid moves book μ·Σc).
+                    replica_rows = policy.replica_rows
+                    lost_replicas: list[list[int]] = []
+                    if replica_rows is not None and replica_rows.shape[0] and audit is not None:
+                        live_set = {int(s) for s in live_switches.tolist()}
+                        keep = [
+                            r
+                            for r in range(replica_rows.shape[0])
+                            if all(int(s) in live_set for s in replica_rows[r])
+                        ]
+                        lost_replicas = [
+                            [int(s) for s in replica_rows[r]]
+                            for r in range(replica_rows.shape[0])
+                            if r not in keep
+                        ]
+                        replica_rows = replica_rows[keep]
+                    plan = evacuate(
+                        current,
+                        live_switches,
+                        healthy_distances,
+                        diagnosis={"hour": hour},
+                        replica_rows=replica_rows,
                     )
-                )
-                fault_log.append(
-                    _log_entry(
-                        hour, state, audit, drop_mask, plan, current,
-                        replica_rows=plan.replica_rows,
-                        lost_replicas=lost_replicas,
+                    current = np.asarray(plan.placement, dtype=np.int64)
+                    repair_cost = policy.mu * plan.distance
+                    if replica_rows is not None:
+                        policy.force_replicas(plan.replica_rows)
+
+                    # 2. drop flows with failed or partitioned endpoints
+                    rates = rate_process.rates_at(hour)
+                    if audit is not None:
+                        drop_mask = audit.dropped_flow_mask(flows)
+                    else:
+                        drop_mask = np.zeros(flows.num_flows, dtype=bool)
+                    dropped_traffic = float(rates[drop_mask].sum())
+                    effective_rates = np.where(drop_mask, 0.0, rates)
+
+                    live_hosts = (
+                        audit.surviving_hosts if audit is not None else topology.hosts
                     )
-                )
-                continue
+                    if drop_mask.all() or live_hosts.size == 0:
+                        # nothing can communicate this hour: the placement holds,
+                        # no solver runs, and all offered traffic is dropped
+                        count("hours_simulated")
+                        records.append(
+                            HourRecord(
+                                hour=hour,
+                                communication_cost=0.0,
+                                migration_cost=0.0,
+                                num_migrations=0,
+                                dropped_traffic=float(rates.sum()),
+                                repair_cost=repair_cost,
+                                num_repairs=plan.num_moves,
+                                num_replicas=(
+                                    0
+                                    if plan.replica_rows is None
+                                    else int(plan.replica_rows.shape[0])
+                                ),
+                                num_failovers=plan.num_failovers,
+                            )
+                        )
+                        fault_log.append(
+                            _log_entry(
+                                hour, state, audit, drop_mask, plan, current,
+                                replica_rows=plan.replica_rows,
+                                lost_replicas=lost_replicas,
+                            )
+                        )
+                        continue
 
-            parked = _park_flows(flows, drop_mask, int(live_hosts[0]))
+                    parked = _park_flows(flows, drop_mask, int(live_hosts[0]))
 
-            # 3. the policy's own step, anchored on the hour's fabric view
-            policy.refit(
-                view,
-                view_session,
-                parked,
-                current,
-                candidate_switches=live_switches if audit is not None else None,
-            )
-            step = policy.step(effective_rates)
-            current = np.asarray(policy.placement, dtype=np.int64)
-            count("hours_simulated")
-            records.append(
-                HourRecord(
-                    hour=hour,
-                    communication_cost=step.communication_cost,
-                    migration_cost=step.migration_cost,
-                    num_migrations=step.num_migrations,
-                    dropped_traffic=dropped_traffic,
-                    repair_cost=repair_cost,
-                    num_repairs=plan.num_moves,
-                    replication_cost=step.replication_cost,
-                    sync_cost=step.sync_cost,
-                    num_replications=step.num_replications,
-                    num_replicas=step.num_replicas,
-                    num_failovers=plan.num_failovers,
-                )
-            )
-            fault_log.append(
-                _log_entry(
-                    hour, state, audit, drop_mask, plan, current,
-                    replica_rows=policy.replica_rows,
-                    lost_replicas=lost_replicas,
-                )
-            )
+                    # 3. the policy's own step, anchored on the hour's fabric view
+                    policy.refit(
+                        view,
+                        view_session,
+                        parked,
+                        current,
+                        candidate_switches=live_switches if audit is not None else None,
+                    )
+                    step = policy.step(effective_rates)
+                    current = np.asarray(policy.placement, dtype=np.int64)
+                    count("hours_simulated")
+                    records.append(
+                        HourRecord(
+                            hour=hour,
+                            communication_cost=step.communication_cost,
+                            migration_cost=step.migration_cost,
+                            num_migrations=step.num_migrations,
+                            dropped_traffic=dropped_traffic,
+                            repair_cost=repair_cost,
+                            num_repairs=plan.num_moves,
+                            replication_cost=step.replication_cost,
+                            sync_cost=step.sync_cost,
+                            num_replications=step.num_replications,
+                            num_replicas=step.num_replicas,
+                            num_failovers=plan.num_failovers,
+                        )
+                    )
+                    fault_log.append(
+                        _log_entry(
+                            hour, state, audit, drop_mask, plan, current,
+                            replica_rows=policy.replica_rows,
+                            lost_replicas=lost_replicas,
+                        )
+                    )
+            except KeyboardInterrupt:
+                # flush-and-return: completed hours survive, flagged
+                interrupted = True
+
     extra = {
         "faults": {
             "seed": faults.seed,
@@ -505,6 +600,8 @@ def _simulate_day_faulty(
         "fault_log": fault_log,
     }
     extra.update(policy.day_extra())
+    if interrupted:
+        extra["interrupted"] = True
     return DayResult(policy=policy.name, records=tuple(records), extra=extra)
 
 

@@ -82,6 +82,13 @@ class MigrationPolicy(ABC):
     #: no meaning once hosts die mid-day)
     supports_faults: bool = True
 
+    #: whether the policy prices placements exclusively through the
+    #: aggregate cost structure (attractions + Λ + min-over-copies
+    #: serving), which is what the sharded day loop can reconstruct from
+    #: per-block partial sums.  The VM baselines track per-VM/per-host
+    #: state the aggregates cannot express, so they must run unsharded.
+    supports_sharding: bool = True
+
     def __init__(self, topology: Topology, mu: float) -> None:
         if mu < 0:
             raise MigrationError(f"mu must be non-negative, got {mu}")
@@ -117,6 +124,17 @@ class MigrationPolicy(ABC):
     def flows(self) -> FlowSet:
         assert self._flows is not None, "policy used before initialize()"
         return self._flows
+
+    def rebind_flows(self, flows) -> None:
+        """Swap in a new flow view for the next step, keeping all state.
+
+        The sharded day loop rebinds each hour's folded
+        :class:`~repro.core.costs.AggregatedFlows` (whose ``with_rates``
+        is the identity) and then steps with ``rates=None`` — placement,
+        session, replica state and candidate restrictions all carry over,
+        exactly as they do across steps of the unsharded loop.
+        """
+        self._flows = flows
 
     def refit(
         self,
@@ -456,6 +474,7 @@ class PlanVmPolicy(MigrationPolicy):
 
     name = "plan"
     supports_faults = False
+    supports_sharding = False
 
     def __init__(
         self,
@@ -505,6 +524,7 @@ class McfVmPolicy(MigrationPolicy):
 
     name = "mcf"
     supports_faults = False
+    supports_sharding = False
 
     def __init__(
         self,

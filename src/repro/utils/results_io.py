@@ -25,14 +25,37 @@ __all__ = [
 ]
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entry table to disk (best-effort on odd FSes).
+
+    Filesystems that reject ``fsync`` on a directory descriptor (some
+    network and FUSE mounts) degrade to process-crash durability rather
+    than failing the write — the rename itself already happened.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
 def write_text_atomic(path: Path | str, text: str) -> Path:
-    """Write ``text`` to ``path`` atomically, creating parent directories.
+    """Write ``text`` to ``path`` atomically *and durably*.
 
     The content lands in a temporary file in the destination directory
     (same filesystem, so the final :func:`os.replace` is atomic), is
     flushed and fsynced, then renamed over the target — a reader, or a
     crash mid-write, can therefore never observe a truncated file, only
-    the old content or the new.
+    the old content or the new.  The containing directory is fsynced
+    before the replace (so the temp file's data cannot outrun its entry)
+    and again after it (so the rename itself survives a *host* crash, not
+    just a process crash — a shard checkpoint that claimed durability must
+    still exist after power loss).  Parent directories are created.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -44,7 +67,9 @@ def write_text_atomic(path: Path | str, text: str) -> Path:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
+        _fsync_directory(path.parent)
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

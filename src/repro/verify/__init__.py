@@ -94,6 +94,14 @@ from repro.verify.replication import (
     run_replication_case,
 )
 from repro.verify.scenarios import FAMILIES, CaseSpec, generate_cases, shrink_candidates
+from repro.verify.shard import (
+    SHARD_DAY_KINDS,
+    ShardCampaignConfig,
+    ShardCaseSpec,
+    generate_shard_cases,
+    run_shard_campaign,
+    run_shard_case,
+)
 
 __all__ = [
     # invariants
@@ -170,4 +178,11 @@ __all__ = [
     "run_incremental_case",
     "IncrementalCampaignConfig",
     "run_incremental_campaign",
+    # sharded execution differential
+    "SHARD_DAY_KINDS",
+    "ShardCaseSpec",
+    "generate_shard_cases",
+    "run_shard_case",
+    "ShardCampaignConfig",
+    "run_shard_campaign",
 ]

@@ -22,6 +22,7 @@ from repro.workload.diurnal import DiurnalModel, assign_cohorts, assign_cohorts_
 from repro.workload.dynamics import RateProcess, RedrawnRates, ScaledRates
 from repro.workload.zoom import ZoomTrafficModel
 from repro.workload.arrivals import ArrivalDepartureRates
+from repro.workload.stream import FlowChunk, RackTable, StreamingWorkload
 
 __all__ = [
     "FlowSet",
@@ -45,4 +46,7 @@ __all__ = [
     "RedrawnRates",
     "ZoomTrafficModel",
     "ArrivalDepartureRates",
+    "RackTable",
+    "FlowChunk",
+    "StreamingWorkload",
 ]

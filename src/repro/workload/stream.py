@@ -1,0 +1,225 @@
+"""Streaming chunked workload generation for paper-scale flow populations.
+
+A million-flow day must never fully materialize in the parent process:
+the sharded day loop (:mod:`repro.shard`) hands each worker a chunk
+*recipe* — (workload spec, chunk index) — and the worker regenerates its
+endpoints and base rates locally.  Determinism rests on two pillars:
+
+* **Per-chunk seed streams.**  The root :class:`numpy.random.SeedSequence`
+  is spawned once into ``num_chunks`` children, one per chunk, so chunk
+  ``c``'s draws depend only on ``(seed, chunk_size, c)`` — never on which
+  process generates it, in what order, or how many shards the run uses.
+* **Chunk == block.**  The chunk size is the shard layer's aggregation
+  block size; the canonical flow order is chunk 0's flows, then chunk
+  1's, and so on.  :meth:`StreamingWorkload.materialize` concatenates the
+  chunks in that order, so a streamed run and a materialized run describe
+  the *same* population, flow for flow — the byte-identity comparator in
+  ``verify.shard`` leans on this.
+
+Endpoint placement inside a chunk follows the paper's 80 % rack-locality
+rule exactly as :func:`~repro.workload.flows.place_vm_pairs` does, but
+against a :class:`RackTable` — a picklable few-KB stand-in for the
+topology's rack structure — so workers never need the full
+:class:`~repro.topology.base.Topology` (whose distance matrix is shipped
+once via shared memory, not per task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.topology.base import Topology
+from repro.workload.flows import FlowSet
+from repro.workload.traffic import FacebookTrafficModel, TrafficModel
+
+__all__ = ["RackTable", "FlowChunk", "StreamingWorkload"]
+
+
+@dataclass(frozen=True)
+class RackTable:
+    """Hosts grouped by rack, flattened for cheap pickling.
+
+    ``hosts`` holds every host node index in rack-major order;
+    ``offsets[r]:offsets[r+1]`` delimits rack ``r``.  This is all the
+    endpoint sampler needs — a few KB even at k=32 — so chunk recipes
+    stay tiny on the wire.
+    """
+
+    hosts: np.ndarray
+    offsets: np.ndarray
+
+    def __post_init__(self) -> None:
+        hosts = np.asarray(self.hosts, dtype=np.int64)
+        offsets = np.asarray(self.offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size < 2:
+            raise WorkloadError("offsets must hold at least one rack boundary pair")
+        if offsets[0] != 0 or offsets[-1] != hosts.size:
+            raise WorkloadError("offsets must span exactly the host array")
+        if np.any(np.diff(offsets) <= 0):
+            raise WorkloadError("every rack must contain at least one host")
+        hosts.setflags(write=False)
+        offsets.setflags(write=False)
+        object.__setattr__(self, "hosts", hosts)
+        object.__setattr__(self, "offsets", offsets)
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "RackTable":
+        racks = topology.racks()
+        hosts = np.concatenate(racks)
+        offsets = np.zeros(len(racks) + 1, dtype=np.int64)
+        np.cumsum([rack.size for rack in racks], out=offsets[1:])
+        return cls(hosts=hosts, offsets=offsets)
+
+    @property
+    def num_racks(self) -> int:
+        return int(self.offsets.size - 1)
+
+    def rack(self, index: int) -> np.ndarray:
+        return self.hosts[self.offsets[index] : self.offsets[index + 1]]
+
+
+@dataclass(frozen=True)
+class FlowChunk:
+    """One regenerated chunk: aligned endpoint/rate/offset arrays.
+
+    ``start`` is the chunk's offset in the canonical flow order, so
+    ``start + i`` is flow ``i``'s global index.
+    """
+
+    index: int
+    start: int
+    sources: np.ndarray
+    destinations: np.ndarray
+    base_rates: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.sources.size)
+
+
+@dataclass(frozen=True)
+class StreamingWorkload:
+    """A deterministic chunked flow population that never fully materializes.
+
+    The spec is pure data (picklable, a few KB): regenerating chunk ``c``
+    anywhere always yields the same arrays.  ``chunk_size`` doubles as
+    the shard layer's aggregation block size and is part of the
+    workload's identity — changing it changes the population (each chunk
+    has its own seed stream), exactly like changing ``seed``.
+
+    ``max_offset`` > 0 draws per-flow diurnal cohort offsets uniformly
+    from ``[0, max_offset)``; at 0 every flow rides the same envelope.
+    """
+
+    rack_table: RackTable
+    num_flows: int
+    chunk_size: int = 4096
+    intra_rack_fraction: float = 0.8
+    traffic: TrafficModel = field(default_factory=FacebookTrafficModel)
+    max_offset: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_flows < 1:
+            raise WorkloadError(f"num_flows must be positive, got {self.num_flows}")
+        if self.chunk_size < 1:
+            raise WorkloadError(f"chunk_size must be positive, got {self.chunk_size}")
+        if not (0.0 <= self.intra_rack_fraction <= 1.0):
+            raise WorkloadError(
+                f"intra_rack_fraction must be in [0, 1], got {self.intra_rack_fraction}"
+            )
+        if self.max_offset < 0:
+            raise WorkloadError(f"max_offset must be non-negative, got {self.max_offset}")
+        if self.rack_table.num_racks < 2 and self.intra_rack_fraction < 1.0:
+            raise WorkloadError(
+                "inter-rack pairs requested but the topology has a single rack"
+            )
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.num_flows // self.chunk_size)
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        """``(start, stop)`` of chunk ``index`` in the canonical flow order."""
+        if not (0 <= index < self.num_chunks):
+            raise WorkloadError(
+                f"chunk {index} out of range for {self.num_chunks} chunks"
+            )
+        start = index * self.chunk_size
+        return start, min(start + self.chunk_size, self.num_flows)
+
+    def chunk(self, index: int) -> FlowChunk:
+        """Regenerate chunk ``index`` — identical in every process, always.
+
+        The chunk's generator is seeded from spawn child ``index`` of the
+        root sequence; endpoints, then base rates, then cohort offsets
+        are drawn from it in that fixed order.
+        """
+        start, stop = self.chunk_bounds(index)
+        count = stop - start
+        child = np.random.SeedSequence(self.seed).spawn(self.num_chunks)[index]
+        rng = np.random.default_rng(child)
+
+        table = self.rack_table
+        num_racks = table.num_racks
+        sources = np.empty(count, dtype=np.int64)
+        destinations = np.empty(count, dtype=np.int64)
+        intra = rng.random(count) < self.intra_rack_fraction
+        for i in range(count):
+            if intra[i]:
+                rack = table.rack(int(rng.integers(num_racks)))
+                sources[i] = rack[int(rng.integers(rack.size))]
+                destinations[i] = rack[int(rng.integers(rack.size))]
+            else:
+                r1, r2 = rng.choice(num_racks, size=2, replace=False)
+                rack1, rack2 = table.rack(int(r1)), table.rack(int(r2))
+                sources[i] = rack1[int(rng.integers(rack1.size))]
+                destinations[i] = rack2[int(rng.integers(rack2.size))]
+
+        base_rates = self.traffic.sample(count, rng=rng)
+        if self.max_offset > 0:
+            offsets = rng.uniform(0.0, self.max_offset, size=count)
+        else:
+            offsets = np.zeros(count)
+        return FlowChunk(
+            index=index,
+            start=start,
+            sources=sources,
+            destinations=destinations,
+            base_rates=base_rates,
+            offsets=offsets,
+        )
+
+    def chunks(self) -> Iterator[FlowChunk]:
+        for index in range(self.num_chunks):
+            yield self.chunk(index)
+
+    def materialize(
+        self, topology: Topology | None = None
+    ) -> tuple[FlowSet, np.ndarray]:
+        """Concatenate every chunk into ``(FlowSet, cohort_offsets)``.
+
+        This *is* the canonical population (chunks in index order), so a
+        monolithic run over the returned flow set and a streamed run over
+        the chunks see flow ``i`` with the same endpoints and base rate.
+        Intended for the verify comparator and modest ``num_flows`` —
+        materializing defeats the point at a million flows.
+        """
+        parts = list(self.chunks())
+        flows = FlowSet(
+            sources=np.concatenate([p.sources for p in parts]),
+            destinations=np.concatenate([p.destinations for p in parts]),
+            rates=np.concatenate([p.base_rates for p in parts]),
+            meta={
+                "intra_rack_fraction": self.intra_rack_fraction,
+                "streamed": {"seed": self.seed, "chunk_size": self.chunk_size},
+            },
+        )
+        if topology is not None:
+            flows.validate_against(topology)
+        return flows, np.concatenate([p.offsets for p in parts])

@@ -134,3 +134,51 @@ class TestCrashTolerance:
         journal = Journal(tmp_path / "j.jsonl")
         with pytest.raises(ReproError):
             journal.record("fp", lambda: None)
+
+
+class TestWriterLock:
+    """Advisory flock on the sidecar: one writer per journal, ever."""
+
+    def test_concurrent_writer_is_diagnosed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as first:
+            first.record("a", 1)  # first append takes the writer lock
+            assert first.lock_path.exists()
+            second = Journal(path)  # loading is lock-free
+            try:
+                with pytest.raises(ReproError) as err:
+                    second.record("b", 2)
+                assert "locked by another process" in str(err.value)
+            finally:
+                second.close()
+
+    def test_close_frees_the_writer_slot(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = Journal(path)
+        first.record("a", 1)
+        first.close()
+        with Journal(path) as second:
+            second.record("b", 2)  # lock was released with the holder
+        reopened = Journal(path)
+        assert reopened.lookup("a") == (True, 1)
+        assert reopened.lookup("b") == (True, 2)
+
+    def test_readers_need_no_lock(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as writer:
+            writer.record("a", 1)
+            # a concurrent reader sees committed records while the
+            # writer still holds the lock
+            reader = Journal(path)
+            assert reader.lookup("a") == (True, 1)
+            reader.close()
+
+    def test_lock_false_opts_out(self, tmp_path):
+        # callers managing their own exclusion may interleave appends
+        path = tmp_path / "j.jsonl"
+        with Journal(path, lock=False) as first, Journal(path, lock=False) as second:
+            first.record("a", 1)
+            second.record("b", 2)
+        reopened = Journal(path)
+        assert reopened.lookup("a") == (True, 1)
+        assert reopened.lookup("b") == (True, 2)

@@ -1,0 +1,182 @@
+"""Block aggregation kernels: exact expressions, exact folds, exact ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.shard import (
+    compute_block_aggregate,
+    compute_block_serving,
+    fold_aggregates,
+    fold_serving,
+)
+from repro.shard.aggregate import column_strips_bitwise
+from repro.topology import fat_tree
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    topology = fat_tree(4)
+    rng = np.random.default_rng(11)
+    hosts = topology.hosts
+    sources = rng.choice(hosts, size=17)
+    destinations = rng.choice(hosts, size=17)
+    rates = rng.uniform(1.0, 50.0, size=17)
+    return topology.graph.distances, sources, destinations, rates
+
+
+class TestBlockAggregate:
+    def test_single_block_is_the_unsharded_expression(self, scenario):
+        dist, sources, destinations, rates = scenario
+        agg = compute_block_aggregate(
+            dist, sources, destinations, rates, block_index=0, block_start=0
+        )
+        # byte-for-byte the expressions CostContext evaluates unsharded
+        assert agg.total_rate == float(rates.sum())
+        assert np.array_equal(agg.ingress, rates @ dist[sources, :])
+        assert np.array_equal(agg.egress, rates @ dist[destinations, :])
+        assert agg.any_positive == bool((rates > 0).any())
+        assert agg.dropped_rate == 0.0
+        assert agg.dropped_flows.size == 0
+        assert not agg.all_dropped
+
+    def test_fault_mask_zero_rates_and_parks(self, scenario):
+        dist, sources, destinations, rates = scenario
+        surviving = np.setdiff1d(
+            np.union1d(sources, destinations), [int(sources[0])]
+        )
+        park = int(surviving[0])
+        agg = compute_block_aggregate(
+            dist,
+            sources,
+            destinations,
+            rates,
+            block_index=0,
+            block_start=100,
+            surviving_hosts=surviving,
+            park_host=park,
+        )
+        mask = ~(np.isin(sources, surviving) & np.isin(destinations, surviving))
+        assert mask.any() and not mask.all()
+        assert agg.dropped_rate == float(rates[mask].sum())
+        assert np.array_equal(
+            agg.dropped_flows, 100 + np.flatnonzero(mask)
+        )  # global indices
+        eff_rates = np.where(mask, 0.0, rates)
+        eff_sources = np.where(mask, park, sources)
+        assert agg.total_rate == float(eff_rates.sum())
+        assert np.array_equal(agg.ingress, eff_rates @ dist[eff_sources, :])
+
+    def test_all_dropped_flagged(self, scenario):
+        dist, sources, destinations, rates = scenario
+        agg = compute_block_aggregate(
+            dist,
+            sources,
+            destinations,
+            rates,
+            block_index=0,
+            block_start=0,
+            surviving_hosts=np.array([], dtype=np.int64),
+            park_host=int(sources[0]),
+        )
+        assert agg.all_dropped
+        assert agg.dropped_rate == float(rates.sum())
+
+
+class TestDegradationLadder:
+    def test_tiny_budget_matches_full_gather_bitwise(self, scenario):
+        dist, sources, destinations, rates = scenario
+        full = compute_block_aggregate(
+            dist, sources, destinations, rates, block_index=0, block_start=0
+        )
+        if not column_strips_bitwise():
+            with pytest.raises(ShardError):
+                compute_block_aggregate(
+                    dist, sources, destinations, rates,
+                    block_index=0, block_start=0, mem_budget=1024,
+                )
+            return
+        stripped = compute_block_aggregate(
+            dist, sources, destinations, rates,
+            block_index=0, block_start=0, mem_budget=1024,
+        )
+        assert np.array_equal(full.ingress, stripped.ingress)
+        assert np.array_equal(full.egress, stripped.egress)
+        assert full.total_rate == stripped.total_rate
+
+    def test_probe_is_memoized(self):
+        assert column_strips_bitwise() == column_strips_bitwise()
+
+
+class TestFolds:
+    def _split(self, scenario, cuts):
+        dist, sources, destinations, rates = scenario
+        aggs = []
+        bounds = [0, *cuts, len(rates)]
+        for index, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+            aggs.append(
+                compute_block_aggregate(
+                    dist,
+                    sources[lo:hi],
+                    destinations[lo:hi],
+                    rates[lo:hi],
+                    block_index=index,
+                    block_start=lo,
+                )
+            )
+        return aggs
+
+    def test_fold_is_input_order_independent(self, scenario):
+        aggs = self._split(scenario, [5, 11])
+        a = fold_aggregates(list(aggs))
+        b = fold_aggregates(list(reversed(aggs)))
+        assert a.total_rate == b.total_rate
+        assert np.array_equal(a.ingress, b.ingress)
+        assert np.array_equal(a.egress, b.egress)
+
+    def test_fold_requires_every_block_exactly_once(self, scenario):
+        # a missing *interior* block leaves a hole the fold must reject; a
+        # missing trailing block is the plan's job to catch (the engine
+        # folds exactly plan.blocks, so a lost tail raises there instead)
+        aggs = self._split(scenario, [5, 11])
+        with pytest.raises(ShardError):
+            fold_aggregates([aggs[0], aggs[2]])
+        with pytest.raises(ShardError):
+            fold_aggregates(aggs + [aggs[0]])
+        with pytest.raises(ShardError):
+            fold_aggregates([])
+
+    def test_single_block_fold_is_the_identity(self, scenario):
+        dist, sources, destinations, rates = scenario
+        agg = compute_block_aggregate(
+            dist, sources, destinations, rates, block_index=0, block_start=0
+        )
+        folded = fold_aggregates([agg])
+        assert folded.total_rate == agg.total_rate
+        assert np.array_equal(folded.ingress, agg.ingress)
+        assert folded.num_flows == len(rates)
+
+    def test_serving_fold_completeness(self):
+        assert fold_serving([(1, 2.0), (0, 1.0)]) == 1.0 + 2.0
+        with pytest.raises(ShardError):
+            fold_serving([(0, 1.0), (2, 2.0)])
+        with pytest.raises(ShardError):
+            fold_serving([])
+
+
+class TestBlockServing:
+    def test_matches_the_per_copy_min_expression(self, scenario):
+        dist, sources, destinations, rates = scenario
+        copies = np.array([[2, 5], [8, 11]], dtype=np.int64)
+        got = compute_block_serving(
+            dist, sources, destinations, rates, copies, block_index=0
+        )
+        per_copy = np.empty((len(copies), len(rates)))
+        for r, row in enumerate(copies):
+            chain = float(dist[row[:-1], row[1:]].sum())
+            per_copy[r] = rates * (
+                dist[sources, row[0]] + chain + dist[row[-1], destinations]
+            )
+        assert got == float(per_copy.min(axis=0).sum())

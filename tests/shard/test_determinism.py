@@ -1,0 +1,165 @@
+"""The shard determinism contract: identical bytes under any scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShardError
+from repro.runtime.resilience import ChaosConfig
+from repro.shard import ShardConfig, simulate_day_sharded
+from repro.sim.engine import set_sharding, sharding_config, simulate_day
+from repro.sim.policies import PlanVmPolicy
+
+from .conftest import DayCase, canon
+
+SHARD_COUNTS = (1, 2, 7, 16)
+
+
+class TestOracleIdentity:
+    """Default block size: sharded days byte-identical to the unsharded loop."""
+
+    def test_plain_day(self, plain_case):
+        want = canon(plain_case.unsharded())
+        for num_shards in SHARD_COUNTS:
+            day, _ = plain_case.sharded(num_shards)
+            assert canon(day) == want, f"{num_shards} shards diverged"
+
+    def test_fault_day(self, fault_case):
+        want = canon(fault_case.unsharded())
+        for num_shards in SHARD_COUNTS:
+            day, _ = fault_case.sharded(num_shards)
+            assert canon(day) == want, f"{num_shards} shards diverged"
+
+    def test_replication_day(self, replication_case):
+        want = canon(replication_case.unsharded())
+        for num_shards in SHARD_COUNTS:
+            day, _ = replication_case.sharded(num_shards)
+            assert canon(day) == want, f"{num_shards} shards diverged"
+
+    def test_pool_matches_serial(self, plain_case):
+        serial, _ = plain_case.sharded(2, workers=1)
+        pooled, report = plain_case.sharded(2, workers=2)
+        assert canon(pooled) == canon(serial)
+        assert report["workers"] == 2
+        assert report["dispatched"] > 0
+
+
+class TestShardCountInvariance:
+    """Tiny blocks: every shard count folds to the same bytes."""
+
+    @pytest.mark.parametrize("case_name", ["plain_case", "fault_case", "replication_case"])
+    def test_multi_block_invariance(self, case_name, request):
+        case = request.getfixturevalue(case_name)
+        days = [
+            canon(case.sharded(num_shards, block_size=4)[0])
+            for num_shards in SHARD_COUNTS
+        ]
+        assert len(set(days)) == 1
+
+
+class TestChaosImmunity:
+    def test_crashed_attempts_change_nothing(self, plain_case):
+        want = canon(plain_case.sharded(2)[0])
+        chaos = ChaosConfig(seed=1, crash_rate=1.0, faulty_attempts=1)
+        day, report = plain_case.sharded(2, chaos=chaos)
+        assert canon(day) == want
+        assert report["retries"] > 0
+
+    def test_killed_workers_change_nothing(self, plain_case):
+        # a hard worker kill (os._exit) breaks the pool; the supervisor
+        # rebuilds it and re-dispatches the dead shard's task
+        want = canon(plain_case.sharded(2)[0])
+        chaos = ChaosConfig(seed=1, kill_rate=1.0, faulty_attempts=1)
+        day, report = plain_case.sharded(2, workers=2, chaos=chaos)
+        assert canon(day) == want
+        assert report["pool_restarts"] > 0
+
+
+class TestRouting:
+    """simulate_day routes through the shard layer when armed."""
+
+    def test_set_sharding_round_trip(self, plain_case):
+        want = canon(plain_case.unsharded())
+        previous = set_sharding(ShardConfig(num_shards=2))
+        try:
+            assert sharding_config() is not None
+            got = canon(plain_case.unsharded())  # routed through the shard layer
+        finally:
+            set_sharding(previous)
+        assert got == want
+        assert sharding_config() is previous
+
+    def test_per_flow_policies_fall_back_unsharded(self, plain_case):
+        # PLAN prices per-VM state and cannot shard; routing must skip it
+        policy = PlanVmPolicy(plain_case.topology, mu=plain_case.mu)
+        assert not getattr(policy, "supports_sharding", True)
+        previous = set_sharding(ShardConfig(num_shards=2))
+        try:
+            day = simulate_day(
+                plain_case.topology,
+                plain_case.flows,
+                policy,
+                plain_case.rate_process,
+                plain_case.placement,
+                plain_case.hours,
+            )
+        finally:
+            set_sharding(previous)
+        assert len(day.records) == plain_case.horizon
+
+    def test_direct_call_rejects_per_flow_policies(self, plain_case):
+        with pytest.raises(ShardError):
+            simulate_day_sharded(
+                plain_case.topology,
+                plain_case.flows,
+                PlanVmPolicy(plain_case.topology, mu=plain_case.mu),
+                plain_case.rate_process,
+                plain_case.placement,
+                plain_case.hours,
+                config=ShardConfig(num_shards=2),
+            )
+
+
+class TestPropertySweep:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_flows=st.integers(min_value=2, max_value=40),
+        flow_seed=st.integers(min_value=0, max_value=2**20),
+        num_shards=st.sampled_from(SHARD_COUNTS),
+        day_kind=st.sampled_from(["plain", "fault", "replication"]),
+    )
+    def test_sharded_days_are_scheduling_free(
+        self, num_flows, flow_seed, num_shards, day_kind
+    ):
+        case = DayCase(
+            num_flows=num_flows,
+            flow_seed=flow_seed,
+            horizon=4,
+            policy="tom-replication" if day_kind == "replication" else "mpareto",
+            fault_seed=5 if day_kind == "fault" else None,
+        )
+        # oracle identity at the default (single-block) grain
+        want = canon(case.unsharded())
+        assert canon(case.sharded(num_shards)[0]) == want
+        # shard-count invariance at the multi-block grain
+        a = canon(case.sharded(num_shards, block_size=3)[0])
+        b = canon(case.sharded(1, block_size=3)[0])
+        assert a == b
+
+    def test_multi_block_books_match_unsharded_numerically(self, plain_case):
+        # across block grains the fold order changes, so bits may differ —
+        # but only by float reassociation, never materially
+        want = plain_case.unsharded()
+        day, _ = plain_case.sharded(3, block_size=4)
+        for theirs, ours in zip(want.records, day.records):
+            assert np.isclose(
+                theirs.communication_cost, ours.communication_cost, rtol=1e-12
+            )
+            assert theirs.num_migrations == ours.num_migrations

@@ -1,0 +1,82 @@
+"""``write_text_atomic``: atomic *and* durable, with a tolerant dir fsync."""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.utils.results_io import write_text_atomic
+
+
+class FsyncSpy:
+    """Record every fsync, classified file-vs-directory, then do it."""
+
+    def __init__(self, real):
+        self.real = real
+        self.files = 0
+        self.directories = 0
+
+    def __call__(self, descriptor):
+        if stat.S_ISDIR(os.fstat(descriptor).st_mode):
+            self.directories += 1
+        else:
+            self.files += 1
+        self.real(descriptor)
+
+
+class TestWriteTextAtomic:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "deep" / "report.json"  # parents created
+        returned = write_text_atomic(target, '{"ok": true}')
+        assert returned == target
+        assert target.read_text() == '{"ok": true}'
+
+    def test_overwrites_without_tmp_leftovers(self, tmp_path):
+        target = tmp_path / "report.json"
+        write_text_atomic(target, "old")
+        write_text_atomic(target, "new")
+        assert target.read_text() == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
+
+    def test_fsyncs_temp_file_and_directory(self, tmp_path, monkeypatch):
+        # durability discipline: the temp file's data is fsynced before
+        # the rename, and the directory entry before *and* after it
+        spy = FsyncSpy(os.fsync)
+        monkeypatch.setattr(os, "fsync", spy)
+        write_text_atomic(tmp_path / "report.json", "payload")
+        assert spy.files >= 1
+        assert spy.directories >= 2
+
+    def test_directory_fsync_failure_degrades_not_fails(
+        self, tmp_path, monkeypatch
+    ):
+        # FUSE/network mounts reject fsync on directory descriptors; the
+        # write must still land (process-crash durability) instead of
+        # erroring out of every checkpoint
+        real = os.fsync
+
+        def picky(descriptor):
+            if stat.S_ISDIR(os.fstat(descriptor).st_mode):
+                raise OSError("fsync: not supported on this mount")
+            real(descriptor)
+
+        monkeypatch.setattr(os, "fsync", picky)
+        target = write_text_atomic(tmp_path / "report.json", "payload")
+        assert target.read_text() == "payload"
+
+    def test_failed_replace_preserves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "report.json"
+        write_text_atomic(target, "old")
+
+        def explode(src, dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_text_atomic(target, "new")
+        monkeypatch.undo()
+        # old bytes intact, no temp debris for the next writer to trip on
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["report.json"]

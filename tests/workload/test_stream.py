@@ -1,0 +1,164 @@
+"""Streaming chunked workloads: same bytes wherever a chunk regenerates."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology import fat_tree
+from repro.workload.stream import RackTable, StreamingWorkload
+
+
+@pytest.fixture(scope="module")
+def table():
+    return RackTable.from_topology(fat_tree(4))
+
+
+@pytest.fixture(scope="module")
+def stream(table):
+    return StreamingWorkload(
+        rack_table=table, num_flows=23, chunk_size=5, seed=3
+    )
+
+
+class TestRackTable:
+    def test_from_topology_covers_every_host(self, table):
+        topology = fat_tree(4)
+        assert sorted(table.hosts.tolist()) == sorted(topology.hosts.tolist())
+        assert table.num_racks == len(topology.racks())
+
+    def test_rack_slices_match_offsets(self, table):
+        stitched = np.concatenate(
+            [table.rack(r) for r in range(table.num_racks)]
+        )
+        assert np.array_equal(stitched, table.hosts)
+
+    @pytest.mark.parametrize(
+        "offsets",
+        [
+            [0],  # no rack boundary pair
+            [1, 4],  # does not start at zero
+            [0, 3],  # does not span the host array
+            [0, 2, 2, 4],  # empty rack
+        ],
+    )
+    def test_malformed_offsets_rejected(self, offsets):
+        with pytest.raises(WorkloadError):
+            RackTable(hosts=np.arange(4), offsets=np.array(offsets))
+
+    def test_arrays_are_frozen(self, table):
+        with pytest.raises(ValueError):
+            table.hosts[0] = 99
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_flows": 0},
+            {"chunk_size": 0},
+            {"intra_rack_fraction": 1.5},
+            {"max_offset": -1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, table, kwargs):
+        base = {"rack_table": table, "num_flows": 10}
+        with pytest.raises(WorkloadError):
+            StreamingWorkload(**{**base, **kwargs})
+
+    def test_single_rack_cannot_mix_inter_rack_pairs(self):
+        single = RackTable(hosts=np.arange(4), offsets=np.array([0, 4]))
+        with pytest.raises(WorkloadError):
+            StreamingWorkload(rack_table=single, num_flows=5)
+        # all-intra is fine on one rack
+        StreamingWorkload(
+            rack_table=single, num_flows=5, intra_rack_fraction=1.0
+        )
+
+
+class TestChunkGrid:
+    def test_bounds_tile_the_flow_order(self, stream):
+        assert stream.num_chunks == 5  # ceil(23 / 5)
+        covered = [
+            i
+            for c in range(stream.num_chunks)
+            for i in range(*stream.chunk_bounds(c))
+        ]
+        assert covered == list(range(stream.num_flows))
+        assert stream.chunk_bounds(4) == (20, 23)  # remainder chunk
+
+    def test_out_of_range_chunk_is_diagnosed(self, stream):
+        with pytest.raises(WorkloadError):
+            stream.chunk_bounds(5)
+        with pytest.raises(WorkloadError):
+            stream.chunk(-1)
+
+
+class TestDeterminism:
+    def test_chunks_regenerate_identically(self, stream):
+        for index in range(stream.num_chunks):
+            a, b = stream.chunk(index), stream.chunk(index)
+            assert np.array_equal(a.sources, b.sources)
+            assert np.array_equal(a.destinations, b.destinations)
+            assert np.array_equal(a.base_rates, b.base_rates)
+
+    def test_chunks_survive_pickling(self, stream):
+        # a worker regenerating from an unpickled spec must agree with
+        # the parent — the whole point of shipping recipes, not arrays
+        clone = pickle.loads(pickle.dumps(stream))
+        a, b = stream.chunk(2), clone.chunk(2)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.base_rates, b.base_rates)
+
+    def test_chunks_are_independent_of_generation_order(self, stream):
+        forward = [stream.chunk(i) for i in range(stream.num_chunks)]
+        backward = [
+            stream.chunk(i) for i in reversed(range(stream.num_chunks))
+        ]
+        for a, b in zip(forward, reversed(backward)):
+            assert np.array_equal(a.sources, b.sources)
+            assert np.array_equal(a.base_rates, b.base_rates)
+
+    def test_chunk_size_is_part_of_the_identity(self, table):
+        a = StreamingWorkload(
+            rack_table=table, num_flows=20, chunk_size=5, seed=3
+        )
+        b = StreamingWorkload(
+            rack_table=table, num_flows=20, chunk_size=10, seed=3
+        )
+        assert not np.array_equal(
+            a.materialize()[0].sources, b.materialize()[0].sources
+        )
+
+
+class TestMaterialize:
+    def test_concatenates_chunks_in_index_order(self, stream):
+        flows, offsets = stream.materialize()
+        assert flows.num_flows == stream.num_flows
+        assert offsets.shape == (stream.num_flows,)
+        for index in range(stream.num_chunks):
+            start, stop = stream.chunk_bounds(index)
+            chunk = stream.chunk(index)
+            assert np.array_equal(flows.sources[start:stop], chunk.sources)
+            assert np.array_equal(
+                flows.destinations[start:stop], chunk.destinations
+            )
+            assert np.array_equal(flows.rates[start:stop], chunk.base_rates)
+
+    def test_meta_records_the_recipe(self, stream):
+        flows, _ = stream.materialize()
+        assert flows.meta["streamed"] == {"seed": 3, "chunk_size": 5}
+
+    def test_validates_against_topology(self, stream):
+        stream.materialize(fat_tree(4))  # hosts are real hosts
+
+    def test_cohort_offsets_drawn_when_enabled(self, table):
+        spread = StreamingWorkload(
+            rack_table=table, num_flows=20, chunk_size=5, seed=3, max_offset=6.0
+        )
+        _, offsets = spread.materialize()
+        assert (offsets >= 0).all() and (offsets < 6.0).all()
+        assert np.unique(offsets).size > 1
